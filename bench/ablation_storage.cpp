@@ -1,0 +1,123 @@
+// Storage ablation (Sec. III-B):
+//   * time — "the hash table approach is about 1.5-3.7x slower than our
+//     approach": identical access streams through Algorithm 1 backed by the
+//     fixed-size signature, the chained hash table, the multi-level shadow
+//     memory, and the perfect signature; google-benchmark measures ns/access.
+//   * space — shadow memory's blow-up on sparse, widely spread address sets
+//     vs the signature's fixed footprint.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/detector.hpp"
+#include "sig/hash_table_recorder.hpp"
+#include "sig/perfect_signature.hpp"
+#include "sig/shadow_memory.hpp"
+#include "sig/signature.hpp"
+#include "trace/generators.hpp"
+
+using namespace depprof;
+
+namespace {
+
+Trace shared_trace() {
+  GenParams p;
+  p.accesses = 200'000;
+  p.distinct = 40'000;
+  p.write_ratio = 0.35;
+  return gen_uniform(p);
+}
+
+/// Steady-state per-access cost: structures are built and warmed once (the
+/// paper's comparison concerns the instrumentation fast path over billions
+/// of accesses, not one-time construction).
+template <typename Store>
+void run_detector(benchmark::State& state, Store make_read(), Store make_write()) {
+  const Trace t = shared_trace();
+  DepDetector<Store, SeqSlot> det(make_read(), make_write());
+  DepMap deps;
+  for (const auto& ev : t.events) det.process(ev, deps);  // warm-up pass
+  for (auto _ : state) {
+    for (const auto& ev : t.events) det.process(ev, deps);
+    benchmark::DoNotOptimize(deps.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.events.size()));
+}
+
+void BM_Signature(benchmark::State& state) {
+  run_detector<Signature<SeqSlot>>(
+      state, +[] { return Signature<SeqSlot>(1u << 18); },
+      +[] { return Signature<SeqSlot>(1u << 18); });
+}
+BENCHMARK(BM_Signature);
+
+void BM_HashTable(benchmark::State& state) {
+  run_detector<HashTableRecorder<SeqSlot>>(
+      state, +[] { return HashTableRecorder<SeqSlot>(1u << 14); },
+      +[] { return HashTableRecorder<SeqSlot>(1u << 14); });
+}
+BENCHMARK(BM_HashTable);
+
+void BM_ShadowMemory(benchmark::State& state) {
+  run_detector<ShadowMemory<SeqSlot>>(
+      state, +[] { return ShadowMemory<SeqSlot>(); },
+      +[] { return ShadowMemory<SeqSlot>(); });
+}
+BENCHMARK(BM_ShadowMemory);
+
+void BM_PerfectSignature(benchmark::State& state) {
+  run_detector<PerfectSignature<SeqSlot>>(
+      state, +[] { return PerfectSignature<SeqSlot>(); },
+      +[] { return PerfectSignature<SeqSlot>(); });
+}
+BENCHMARK(BM_PerfectSignature);
+
+/// Space comparison on a sparse, widely spread address set: the shadow
+/// memory allocates a page per touched region while the signature stays
+/// fixed.
+void space_comparison() {
+  // One shadow page covers 2^16 word units; with addresses one page apart,
+  // every address costs a full page (65536 slots for 1 resident) while the
+  // signature stays at its fixed footprint.  256 addresses already cost the
+  // shadow memory ~0.7 GiB — the Sec. III-B ">16 GB on small programs"
+  // effect, scaled to stay allocatable here.
+  constexpr std::size_t kAddrs = 256;
+  constexpr std::uint64_t kSpread =
+      ShadowMemory<SeqSlot>::kPageSlots * 4;  // bytes: one page per address
+
+  Signature<SeqSlot> sig(1u << 18);
+  ShadowMemory<SeqSlot> shadow;
+  HashTableRecorder<SeqSlot> table(1u << 14);
+  SeqSlot s;
+  s.loc = SourceLocation(1, 1).packed();
+  for (std::size_t i = 0; i < kAddrs; ++i) {
+    const std::uint64_t addr = 0x10000 + i * kSpread;
+    sig.insert(addr, s);
+    shadow.insert(addr, s);
+    table.insert(addr, s);
+  }
+  std::printf("\nSpace on %zu sparse addresses (spread %llu B apart):\n", kAddrs,
+              static_cast<unsigned long long>(kSpread));
+  std::printf("  signature     : %10.2f MiB (fixed)\n",
+              static_cast<double>(sig.bytes()) / 1048576.0);
+  std::printf("  shadow memory : %10.2f MiB (%zu pages)\n",
+              static_cast<double>(shadow.bytes()) / 1048576.0,
+              shadow.page_count());
+  std::printf("  hash table    : %10.2f MiB\n",
+              static_cast<double>(table.bytes()) / 1048576.0);
+  std::printf(
+      "\nPaper reference: signatures bound memory where shadow memory can "
+      "exceed 16 GB on small programs; hash tables are exact but 1.5-3.7x "
+      "slower per access.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  space_comparison();
+  return 0;
+}

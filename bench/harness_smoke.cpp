@@ -1,0 +1,16 @@
+// Smoke harness: runs every registered workload once at scale 1 (natively,
+// no profiler) and prints name, suite, and checksum.  Serves as the build
+// sanity check for the benchmark layer.
+
+#include <cstdio>
+
+#include "workloads/workload.hpp"
+
+int main() {
+  for (const auto& w : depprof::all_workloads()) {
+    const auto r = w.run ? w.run(1) : depprof::WorkloadResult{};
+    std::printf("%-14s %-10s checksum=%llu\n", w.name.c_str(), w.suite.c_str(),
+                static_cast<unsigned long long>(r.checksum));
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Sec. III-B claim: "Merging identical dependences decreased the average
+// output file size for NAS benchmarks from 6.1 GB to 53 KB, corresponding
+// to an average reduction by a factor of 1e5."
+//
+// For every NAS analogue this bench compares the bytes an unmerged record
+// stream would occupy (one fixed-size record per dependence instance)
+// against the merged map's size, and the resulting reduction factor.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness/runner.hpp"
+#include "workloads/workload.hpp"
+
+using namespace depprof;
+
+int main(int argc, char** argv) {
+  int scale = 1;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--scale" && i + 1 < argc)
+      scale = std::atoi(argv[++i]);
+
+  TextTable table("Dependence-merging reduction (NAS analogues)");
+  table.set_header({"program", "instances", "merged", "raw_bytes", "merged_bytes",
+                    "factor"});
+  StatAccumulator factors;
+
+  for (const Workload* w : workloads_in_suite("nas")) {
+    ProfilerConfig cfg;
+    cfg.storage = StorageKind::kSignature;
+    cfg.slots = 1u << 20;
+    RunOptions opts;
+    opts.scale = scale;
+    opts.native_reps = 1;
+    const RunMeasurement m = profile_workload(*w, cfg, opts);
+
+    const std::uint64_t instances = m.deps.instances();
+    const std::uint64_t raw_bytes = instances * DepMap::kRawRecordBytes;
+    const std::uint64_t merged_bytes = m.deps.bytes();
+    const double factor = merged_bytes
+                              ? static_cast<double>(raw_bytes) /
+                                    static_cast<double>(merged_bytes)
+                              : 0.0;
+    factors.add(factor);
+    table.add_row({w->name, std::to_string(instances),
+                   std::to_string(m.deps.size()), std::to_string(raw_bytes),
+                   std::to_string(merged_bytes), TextTable::num(factor, 1)});
+  }
+  table.add_row({"average", "-", "-", "-", "-", TextTable::num(factors.mean(), 1)});
+
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf("\nCSV:\n%s", table.csv().c_str());
+  std::printf(
+      "\nPaper reference: 6.1 GB -> 53 KB, average reduction ~1e5x on NAS "
+      "(full inputs; the factor scales with run length, so expect smaller "
+      "factors at laptop scale and growth with --scale).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Potential data-race detection (Sec. V-B): run two instrumented kernels —
+// one properly synchronized with lock regions, one intentionally racy — and
+// show that the timestamp-reversal check flags only the racy one.
+//
+//   $ ./race_detect
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "core/profiler.hpp"
+#include "instrument/macros.hpp"
+#include "instrument/runtime.hpp"
+#include "mt/instrumented_mutex.hpp"
+#include "mt/race_report.hpp"
+
+DP_FILE("race_detect");
+
+namespace {
+
+using namespace depprof;
+
+/// Properly synchronized counter: accesses (and their pushes, Fig. 4)
+/// happen inside lock regions of an InstrumentedMutex.
+void synchronized_kernel(int rounds) {
+  long counter = 0;
+  InstrumentedMutex mu;
+  auto body = [&] {
+    for (int i = 0; i < rounds; ++i) {
+      std::lock_guard lock(mu);
+      DP_UPDATE(counter);
+      counter += 1;
+    }
+  };
+  std::thread a(body), b(body);
+  a.join();
+  b.join();
+  std::printf("  synchronized counter = %ld\n", counter);
+}
+
+/// Racy counter: two threads update a shared cell without any lock region.
+/// Chunked buffering decouples access order from push order, and the
+/// worker's timestamp check exposes the reversal.
+void racy_kernel(int rounds) {
+  std::atomic<long> counter{0};  // atomic so the *kernel* itself is benign
+  auto body = [&] {
+    for (int i = 0; i < rounds; ++i) {
+      DP_READ(counter);
+      DP_WRITE(counter);
+      counter.fetch_add(1, std::memory_order_relaxed);
+      if (i % 16 == 0) std::this_thread::yield();
+    }
+  };
+  std::thread a(body), b(body);
+  a.join();
+  b.join();
+  std::printf("  racy counter = %ld\n", counter.load());
+}
+
+RaceReport profile(void (*kernel)(int), int rounds) {
+  ProfilerConfig cfg;
+  cfg.storage = StorageKind::kPerfect;
+  cfg.mt_targets = true;
+  cfg.workers = 2;
+  cfg.chunk_size = 64;
+  auto prof = make_parallel_profiler(cfg);
+  Runtime::instance().reset();
+  Runtime::instance().attach(prof.get(), /*mt_mode=*/true);
+  kernel(rounds);
+  Runtime::instance().detach();
+  return find_races(prof->dependences());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("-- synchronized kernel (lock regions via InstrumentedMutex) --\n");
+  const RaceReport clean = profile(&synchronized_kernel, 2000);
+  std::fputs(format_race_report(clean).c_str(), stdout);
+
+  std::printf("\n-- racy kernel (no lock regions) --\n");
+  const RaceReport racy = profile(&racy_kernel, 2000);
+  std::fputs(format_race_report(racy).c_str(), stdout);
+
+  std::printf("\nsummary: %zu confirmed races in the synchronized kernel, "
+              "%zu in the racy one\n",
+              clean.confirmed_count(), racy.confirmed_count());
+  return clean.confirmed_count() == 0 && racy.confirmed_count() > 0 ? 0 : 1;
+}

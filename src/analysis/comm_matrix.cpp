@@ -1,0 +1,41 @@
+#include "analysis/comm_matrix.hpp"
+
+#include <algorithm>
+
+#include "common/heatmap.hpp"
+
+namespace depprof {
+
+std::uint64_t CommMatrix::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& row : counts)
+    for (auto v : row) sum += v;
+  return sum;
+}
+
+CommMatrix build_comm_matrix(const DepMap& deps, unsigned num_threads) {
+  unsigned max_tid = 0;
+  for (const auto& [key, info] : deps) {
+    (void)info;
+    max_tid = std::max<unsigned>(max_tid, key.sink_tid);
+    max_tid = std::max<unsigned>(max_tid, key.src_tid);
+  }
+  const unsigned n = num_threads ? num_threads : max_tid + 1;
+
+  CommMatrix m;
+  m.counts.assign(n, std::vector<std::uint64_t>(n, 0));
+  for (const auto& [key, info] : deps) {
+    if (key.type != DepType::kRaw) continue;
+    if (key.src_tid == key.sink_tid) continue;
+    if (key.src_tid >= n || key.sink_tid >= n) continue;
+    // The producer wrote (source of the RAW), the consumer read (sink).
+    m.counts[key.src_tid][key.sink_tid] += info.count;
+  }
+  return m;
+}
+
+std::string format_comm_matrix(const CommMatrix& m) {
+  return render_heatmap(m.counts, "producer", "consumer");
+}
+
+}  // namespace depprof

@@ -1,0 +1,37 @@
+#pragma once
+// Communication-pattern detection (Sec. VII-B).
+//
+// "Producer-consumer behavior describes a read-after-write relation between
+// memory operations, which can be easily derived from the RAW dependences
+// produced by our profiler.  With detailed information such as thread IDs
+// available, we can generate the communication matrix directly."
+//
+// The matrix row is the producer (writing) thread, the column the consumer
+// (reading) thread; cell intensity is the number of cross-thread RAW
+// instances — Fig. 9 rendered via common/heatmap.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dep.hpp"
+
+namespace depprof {
+
+struct CommMatrix {
+  /// counts[producer][consumer] = cross-thread RAW instances.
+  std::vector<std::vector<std::uint64_t>> counts;
+
+  std::uint64_t total() const;
+  unsigned threads() const { return static_cast<unsigned>(counts.size()); }
+};
+
+/// Builds the communication matrix from a merged dependence map of an
+/// MT-target run.  `num_threads` = 0 sizes the matrix from the largest
+/// thread id observed.
+CommMatrix build_comm_matrix(const DepMap& deps, unsigned num_threads = 0);
+
+/// ASCII rendering in the style of Fig. 9.
+std::string format_comm_matrix(const CommMatrix& m);
+
+}  // namespace depprof

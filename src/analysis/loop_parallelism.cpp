@@ -1,0 +1,74 @@
+#include "analysis/loop_parallelism.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace depprof {
+namespace {
+
+bool is_reduction_self_dep(const DepKey& key,
+                           const std::vector<std::uint32_t>& reduction_lines) {
+  if (key.sink_loc != key.src_loc) return false;
+  return std::find(reduction_lines.begin(), reduction_lines.end(),
+                   key.sink_loc) != reduction_lines.end();
+}
+
+}  // namespace
+
+std::vector<LoopVerdict> analyze_loops(const DepMap& deps,
+                                       const ControlFlowLog& cf,
+                                       const LoopAnalysisOptions& opts) {
+  std::vector<LoopVerdict> verdicts;
+  verdicts.reserve(cf.loops.size());
+  for (const auto& loop : cf.loops) {
+    LoopVerdict v;
+    v.loop = loop;
+    for (const auto& [key, info] : deps) {
+      if (key.type != DepType::kRaw) continue;  // WAR/WAW: privatizable
+      const SourceLocation sink = SourceLocation::from_packed(key.sink_loc);
+      const SourceLocation src = SourceLocation::from_packed(key.src_loc);
+      if (!loop.contains(sink) || !loop.contains(src)) continue;
+      if (is_reduction_self_dep(key, opts.reduction_lines)) continue;
+
+      bool carried = false;
+      if ((info.flags & kLoopCarried) != 0 && info.loop == loop.loop_id) {
+        // The detector saw this dependence cross an iteration boundary of
+        // exactly this loop.
+        carried = true;
+      } else if ((info.flags & kCrossLoop) != 0) {
+        // Endpoints in different innermost loops inside this loop's body: a
+        // backward dependence in source order must be carried by the common
+        // enclosing loop.
+        carried = src.line() >= sink.line();
+      } else if ((info.flags & kLoopCarried) != 0 && info.loop != loop.loop_id) {
+        // Carried by an inner loop — does not block the outer loop.
+        carried = false;
+      }
+      if (carried) {
+        v.parallelizable = false;
+        v.blockers.push_back(key);
+      }
+    }
+    verdicts.push_back(std::move(v));
+  }
+  return verdicts;
+}
+
+std::string format_loop_verdicts(const std::vector<LoopVerdict>& verdicts) {
+  std::ostringstream os;
+  for (const auto& v : verdicts) {
+    os << "loop " << SourceLocation::from_packed(v.loop.begin_loc).str() << "-"
+       << SourceLocation::from_packed(v.loop.end_loc).str() << " ("
+       << v.loop.iterations << " iterations): "
+       << (v.parallelizable ? "parallelizable" : "NOT parallelizable") << '\n';
+    for (const auto& b : v.blockers) {
+      os << "    blocked by RAW "
+         << SourceLocation::from_packed(b.sink_loc).str() << " <- "
+         << SourceLocation::from_packed(b.src_loc).str() << " ("
+         << var_registry().name(b.var) << ")\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace depprof

@@ -1,0 +1,48 @@
+#pragma once
+// Parallelism discovery in loops (Sec. VII-A).
+//
+// A DiscoPoP-style classifier over the profiler's output: a loop is
+// potentially parallelizable when no loop-carried RAW dependence connects
+// two statements of its body.  Loop-carried instances are flagged by the
+// detector at build time (src and sink share the innermost loop but differ
+// in iteration); dependences whose endpoints lie in *different* innermost
+// loops of the analysed loop's body use the classic source-order heuristic:
+// a backward dependence (source line at or after the sink line) must cross
+// an iteration of the common enclosing loop.
+//
+// WAR/WAW carried dependences do not block parallelization here (they are
+// removable by privatization), and carried self-RAW updates on lines marked
+// as reductions (DP_REDUCTION) are filtered — both standard DiscoPoP
+// practice.  Table II compares this classification under perfect vs
+// signature dependences.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dep.hpp"
+#include "trace/control_flow.hpp"
+
+namespace depprof {
+
+struct LoopVerdict {
+  LoopRecord loop;
+  bool parallelizable = true;
+  /// Carried RAW dependences that block parallelization.
+  std::vector<DepKey> blockers;
+};
+
+struct LoopAnalysisOptions {
+  /// Packed locations of reduction-update lines (Runtime::reduction_lines).
+  std::vector<std::uint32_t> reduction_lines;
+};
+
+/// Classifies every loop in the control-flow log.
+std::vector<LoopVerdict> analyze_loops(const DepMap& deps,
+                                       const ControlFlowLog& cf,
+                                       const LoopAnalysisOptions& opts = {});
+
+/// Human-readable rendering.
+std::string format_loop_verdicts(const std::vector<LoopVerdict>& verdicts);
+
+}  // namespace depprof

@@ -1,0 +1,41 @@
+#include "common/heatmap.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace depprof {
+
+std::string render_heatmap(const std::vector<std::vector<std::uint64_t>>& matrix,
+                           const std::string& row_label,
+                           const std::string& col_label) {
+  static constexpr char kRamp[] = {'.', ':', '-', '=', '+', '*', '#', '%', '@'};
+  static constexpr int kLevels = static_cast<int>(sizeof(kRamp));
+
+  std::uint64_t max_v = 0;
+  for (const auto& row : matrix)
+    for (auto v : row) max_v = std::max(max_v, v);
+
+  std::ostringstream os;
+  os << row_label << " (rows) x " << col_label << " (cols), max=" << max_v << '\n';
+  os << "     ";
+  for (std::size_t c = 0; c < (matrix.empty() ? 0 : matrix[0].size()); ++c)
+    os << (c % 10) << ' ';
+  os << '\n';
+  for (std::size_t r = 0; r < matrix.size(); ++r) {
+    os << (r < 10 ? "  " : " ") << r << " |";
+    for (auto v : matrix[r]) {
+      char ch = '.';
+      if (v > 0 && max_v > 0) {
+        // Map (0, max] to ramp levels 1..kLevels-1.
+        auto level = static_cast<int>(
+            1 + (static_cast<double>(v) / static_cast<double>(max_v)) * (kLevels - 2) + 0.5);
+        ch = kRamp[std::clamp(level, 1, kLevels - 1)];
+      }
+      os << ch << ' ';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace depprof

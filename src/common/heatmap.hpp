@@ -1,0 +1,21 @@
+#pragma once
+// ASCII heatmap renderer.
+//
+// Figure 9 of the paper shows the communication matrix of water-spatial as a
+// grid whose cell darkness encodes communication intensity between a
+// producer thread (row) and a consumer thread (column).  This renderer
+// reproduces that figure on a terminal with a density ramp.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace depprof {
+
+/// Renders a dense matrix (row = producer, column = consumer) as ASCII art.
+/// Intensities are normalised to the matrix maximum; zero cells print '.'.
+std::string render_heatmap(const std::vector<std::vector<std::uint64_t>>& matrix,
+                           const std::string& row_label = "producer",
+                           const std::string& col_label = "consumer");
+
+}  // namespace depprof

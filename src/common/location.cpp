@@ -1,0 +1,51 @@
+#include "common/location.hpp"
+
+namespace depprof {
+
+std::string SourceLocation::str() const {
+  return std::to_string(file_id()) + ":" + std::to_string(line());
+}
+
+std::uint32_t StringRegistry::intern(std::string_view name) {
+  std::lock_guard lock(mu_);
+  if (names_.empty()) {
+    names_.emplace_back();
+    ids_.emplace(std::string{}, 0);
+  }
+  auto [it, inserted] =
+      ids_.try_emplace(std::string(name), static_cast<std::uint32_t>(names_.size()));
+  if (inserted) names_.emplace_back(name);
+  return it->second;
+}
+
+std::string StringRegistry::name(std::uint32_t id) const {
+  std::lock_guard lock(mu_);
+  if (id >= names_.size()) return "?";
+  return names_[id];
+}
+
+std::size_t StringRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return names_.size();
+}
+
+StringRegistry& file_registry() {
+  static StringRegistry reg;
+  return reg;
+}
+
+StringRegistry& var_registry() {
+  static StringRegistry reg;
+  return reg;
+}
+
+std::string loc_str(SourceLocation loc, int tid) {
+  std::string s = loc.str();
+  if (tid >= 0) {
+    s += '|';
+    s += std::to_string(tid);
+  }
+  return s;
+}
+
+}  // namespace depprof

@@ -1,0 +1,80 @@
+#pragma once
+// Source-code locations and string registries.
+//
+// The paper represents every dependence endpoint as a source location of the
+// form "fileId:line" (Fig. 1) and stores the line number inside signature
+// slots using 3 bytes (Sec. III-B).  We pack a location into a single u32
+// (8-bit file id, 24-bit line) so it fits a slot exactly as in the paper.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace depprof {
+
+/// Packed source location: 8-bit file id, 24-bit line number.
+/// Value 0 is reserved as "unknown / none".
+class SourceLocation {
+ public:
+  constexpr SourceLocation() = default;
+  constexpr SourceLocation(std::uint32_t file_id, std::uint32_t line)
+      : packed_((file_id & 0xFFu) << 24 | (line & 0xFF'FFFFu)) {}
+
+  /// Rebuild from a previously obtained packed value.
+  static constexpr SourceLocation from_packed(std::uint32_t packed) {
+    SourceLocation loc;
+    loc.packed_ = packed;
+    return loc;
+  }
+
+  constexpr std::uint32_t file_id() const { return packed_ >> 24; }
+  constexpr std::uint32_t line() const { return packed_ & 0xFF'FFFFu; }
+  constexpr std::uint32_t packed() const { return packed_; }
+  constexpr bool valid() const { return packed_ != 0; }
+
+  /// Renders as "fileId:line", e.g. "1:60" — the paper's notation.
+  std::string str() const;
+
+  friend constexpr bool operator==(SourceLocation a, SourceLocation b) {
+    return a.packed_ == b.packed_;
+  }
+  friend constexpr auto operator<=>(SourceLocation a, SourceLocation b) {
+    return a.packed_ <=> b.packed_;
+  }
+
+ private:
+  std::uint32_t packed_ = 0;
+};
+
+/// Interns strings (file names, variable names) to dense small ids.
+/// Thread-safe; ids are stable for the lifetime of the registry.
+class StringRegistry {
+ public:
+  /// Returns the id for `name`, interning it on first use.  Id 0 is always
+  /// the empty string ("unknown").
+  std::uint32_t intern(std::string_view name);
+
+  /// Name for an id; returns "?" for out-of-range ids.
+  std::string name(std::uint32_t id) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+/// Process-wide registries used by the instrumentation runtime and the
+/// output formatter.  Separate registries keep file ids inside 8 bits.
+StringRegistry& file_registry();
+StringRegistry& var_registry();
+
+/// Convenience: format a location with an optional thread id, matching the
+/// paper's parallel notation "4:58|2" (Fig. 3).  `tid < 0` omits the id.
+std::string loc_str(SourceLocation loc, int tid = -1);
+
+}  // namespace depprof

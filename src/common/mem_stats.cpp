@@ -1,0 +1,48 @@
+#include "common/mem_stats.hpp"
+
+#include <sys/resource.h>
+
+namespace depprof {
+
+MemStats& MemStats::instance() {
+  static MemStats stats;
+  return stats;
+}
+
+std::int64_t MemStats::total() const {
+  std::int64_t sum = 0;
+  for (const auto& b : bytes_) sum += b.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void MemStats::reset() {
+  for (auto& b : bytes_) b.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+void MemStats::update_peak() {
+  const std::int64_t t = total();
+  std::int64_t p = peak_.load(std::memory_order_relaxed);
+  while (t > p && !peak_.compare_exchange_weak(p, t, std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t MemStats::process_max_rss() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;  // Linux: KiB
+}
+
+std::string MemStats::component_name(MemComponent c) {
+  switch (c) {
+    case MemComponent::kSignatures: return "signatures";
+    case MemComponent::kQueues: return "queues+chunks";
+    case MemComponent::kDepMaps: return "dep-maps";
+    case MemComponent::kAccessStats: return "access-stats";
+    case MemComponent::kOther: return "other";
+    case MemComponent::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace depprof

@@ -1,0 +1,79 @@
+#pragma once
+// In-process memory accounting.
+//
+// The paper measures profiler memory via `/usr/bin/time -v` max RSS
+// (Sec. VI-B2).  For component-exact Figures 7/8 we additionally account the
+// bytes owned by each profiler component (signatures, queues/chunks,
+// dependence maps); process max RSS is still reported from getrusage.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace depprof {
+
+/// Component categories tracked by the profiler.
+enum class MemComponent : unsigned {
+  kSignatures = 0,
+  kQueues,
+  kDepMaps,
+  kAccessStats,
+  kOther,
+  kCount,
+};
+
+/// Process-wide byte counters per component.  Thread-safe (relaxed atomics —
+/// the counters are statistics, not synchronisation).
+class MemStats {
+ public:
+  static MemStats& instance();
+
+  void add(MemComponent c, std::int64_t bytes) {
+    bytes_[static_cast<unsigned>(c)].fetch_add(bytes, std::memory_order_relaxed);
+    update_peak();
+  }
+
+  std::int64_t bytes(MemComponent c) const {
+    return bytes_[static_cast<unsigned>(c)].load(std::memory_order_relaxed);
+  }
+
+  /// Sum over all components.
+  std::int64_t total() const;
+
+  /// High-water mark of total() since construction or reset().
+  std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  void reset();
+
+  /// Current process max resident set size in bytes (getrusage).
+  static std::int64_t process_max_rss();
+
+  static std::string component_name(MemComponent c);
+
+ private:
+  void update_peak();
+  std::atomic<std::int64_t> bytes_[static_cast<unsigned>(MemComponent::kCount)]{};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// RAII registration of a fixed-size allocation against a component.
+class ScopedMemCharge {
+ public:
+  ScopedMemCharge(MemComponent c, std::int64_t bytes) : c_(c), bytes_(bytes) {
+    MemStats::instance().add(c_, bytes_);
+  }
+  ~ScopedMemCharge() { MemStats::instance().add(c_, -bytes_); }
+  ScopedMemCharge(const ScopedMemCharge&) = delete;
+  ScopedMemCharge& operator=(const ScopedMemCharge&) = delete;
+  ScopedMemCharge(ScopedMemCharge&& o) noexcept : c_(o.c_), bytes_(o.bytes_) {
+    o.bytes_ = 0;
+  }
+  ScopedMemCharge& operator=(ScopedMemCharge&&) = delete;
+
+ private:
+  MemComponent c_;
+  std::int64_t bytes_;
+};
+
+}  // namespace depprof

@@ -1,0 +1,54 @@
+#pragma once
+// Deterministic PRNG for workloads and synthetic trace generators.
+// xoshiro256** seeded via SplitMix64; reproducible across runs and platforms.
+
+#include <cstdint>
+
+#include "common/hash.hpp"
+
+namespace depprof {
+
+/// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    std::uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      s = mix64(x);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) { return (*this)() % n; }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace depprof

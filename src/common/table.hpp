@@ -1,0 +1,37 @@
+#pragma once
+// Plain-text table and CSV writers used by the benchmark harness to print
+// the paper's tables and figure series.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace depprof {
+
+/// Column-aligned text table with an optional title, printed to any ostream.
+/// Also exports CSV so figure series can be re-plotted.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row.  Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; width must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for numeric cells.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace depprof

@@ -1,0 +1,53 @@
+#pragma once
+// Wall-clock and per-thread CPU timers.
+//
+// The evaluation reports slowdown = instrumented wall time / native wall
+// time (Sec. VI-B).  On the single-core reproduction host true parallel wall
+// time cannot materialise, so parallel benches additionally report a
+// *simulated* parallel time built from per-thread CPU busy times
+// (DESIGN.md, substitution table) — ThreadCpuTimer provides those.
+
+#include <ctime>
+#include <cstdint>
+
+namespace depprof {
+
+/// Monotonic wall-clock timer, nanosecond resolution.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+  void reset() { start_ = now(); }
+  /// Elapsed seconds since construction or last reset().
+  double elapsed() const { return static_cast<double>(now() - start_) * 1e-9; }
+
+  static std::uint64_t now() {
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+
+ private:
+  std::uint64_t start_ = 0;
+};
+
+/// Per-thread CPU-time clock.  Must be read on the thread being measured.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { reset(); }
+  void reset() { start_ = now(); }
+  /// CPU seconds consumed by the calling thread since reset().
+  double elapsed() const { return static_cast<double>(now() - start_) * 1e-9; }
+
+  static std::uint64_t now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+
+ private:
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace depprof

@@ -1,0 +1,95 @@
+#pragma once
+// Chunks and the chunk recycling pool (Fig. 2).
+//
+// "The main thread ... collects memory accesses in chunks, whose size can be
+// configured ...  Once a chunk is full, the main thread pushes it into the
+// queue of the thread responsible for the accesses recorded in it. ...
+// Empty chunks are recycled and can be reused."
+//
+// Besides data, chunks carry in-band pipeline commands: the stop sentinel
+// and the two halves of the signature-state migration protocol used by the
+// load balancer (Sec. IV-A).  Commands ride the same FIFO as data, which is
+// what makes migration sound: a MIGRATE_OUT is processed only after every
+// access the old owner had already been handed, and an ADOPT is processed
+// before any access routed to the new owner afterwards.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/mem_stats.hpp"
+#include "queue/queues.hpp"
+#include "trace/event.hpp"
+
+namespace depprof {
+
+struct Chunk {
+  enum class Kind : std::uint32_t {
+    kData = 0,
+    kStop = 1,        ///< worker shutdown sentinel
+    kMigrateOut = 2,  ///< old owner: extract state for `addr` into mailbox `payload`
+    kAdopt = 3,       ///< new owner: adopt state for `addr` from mailbox `payload`
+  };
+
+  /// Compile-time capacity; ProfilerConfig::chunk_size (<= this) sets the
+  /// effective fill level.
+  static constexpr std::size_t kCapacity = 1024;
+
+  Kind kind = Kind::kData;
+  std::uint32_t count = 0;
+  std::uint32_t payload = 0;  ///< migration mailbox index
+  std::uint64_t addr = 0;     ///< migrated address
+  std::array<AccessEvent, kCapacity> events;
+};
+
+/// Lock-free recycling pool of chunks.  Workers release consumed chunks;
+/// producers acquire them back; new chunks are allocated only when the free
+/// list is empty, so steady-state profiling performs no allocation — the
+/// property the paper's lock-free design relies on.
+class ChunkPool {
+ public:
+  explicit ChunkPool(std::size_t max_pooled = 1u << 14)
+      : free_list_(max_pooled) {}
+
+  /// Acquires a recycled chunk or allocates a fresh one.
+  Chunk* acquire() {
+    Chunk* c = nullptr;
+    if (free_list_.try_pop(c)) {
+      c->kind = Chunk::Kind::kData;
+      c->count = 0;
+      return c;
+    }
+    auto owned = std::make_unique<Chunk>();
+    c = owned.get();
+    MemStats::instance().add(MemComponent::kQueues,
+                             static_cast<std::int64_t>(sizeof(Chunk)));
+    std::lock_guard lock(owned_mu_);
+    owned_.push_back(std::move(owned));
+    return c;
+  }
+
+  /// Returns a chunk for reuse.  If the free list is full (never in normal
+  /// operation) the chunk simply stays owned and idle.
+  void release(Chunk* c) { (void)free_list_.try_push(c); }
+
+  std::size_t allocated() const {
+    std::lock_guard lock(owned_mu_);
+    return owned_.size();
+  }
+
+  ~ChunkPool() {
+    MemStats::instance().add(
+        MemComponent::kQueues,
+        -static_cast<std::int64_t>(sizeof(Chunk) * owned_.size()));
+  }
+
+ private:
+  MpmcQueue<Chunk*> free_list_;
+  mutable std::mutex owned_mu_;
+  std::vector<std::unique_ptr<Chunk>> owned_;
+};
+
+}  // namespace depprof

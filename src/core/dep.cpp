@@ -1,0 +1,113 @@
+#include "core/dep.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/hash.hpp"
+
+namespace depprof {
+
+const char* dep_type_name(DepType t) {
+  switch (t) {
+    case DepType::kInit: return "INIT";
+    case DepType::kRaw: return "RAW";
+    case DepType::kWar: return "WAR";
+    case DepType::kWaw: return "WAW";
+  }
+  return "?";
+}
+
+std::size_t DepKeyHash::operator()(const DepKey& k) const {
+  std::uint64_t h = k.sink_loc;
+  h = mix64(h ^ (static_cast<std::uint64_t>(k.src_loc) << 32));
+  h = mix64(h ^ k.var ^ (static_cast<std::uint64_t>(k.sink_tid) << 32) ^
+            (static_cast<std::uint64_t>(k.src_tid) << 48) ^
+            (static_cast<std::uint64_t>(k.type) << 60));
+  return static_cast<std::size_t>(h);
+}
+
+DepMap::~DepMap() { clear(); }
+
+DepMap::DepMap(DepMap&& o) noexcept
+    : map_(std::move(o.map_)), instances_(o.instances_) {
+  o.map_.clear();
+  o.instances_ = 0;
+}
+
+DepMap& DepMap::operator=(DepMap&& o) noexcept {
+  if (this != &o) {
+    clear();
+    map_ = std::move(o.map_);
+    instances_ = o.instances_;
+    o.map_.clear();
+    o.instances_ = 0;
+  }
+  return *this;
+}
+
+void DepMap::add(const DepKey& key, std::uint8_t flags, std::uint32_t loop,
+                 std::uint32_t distance) {
+  ++instances_;
+  auto [it, inserted] = map_.try_emplace(key);
+  if (inserted)
+    MemStats::instance().add(MemComponent::kDepMaps,
+                             static_cast<std::int64_t>(kEntryBytes));
+  it->second.count += 1;
+  it->second.flags |= flags;
+  if (loop != 0 && (flags & kLoopCarried)) {
+    it->second.loop = loop;
+    if (distance != 0) {
+      DepInfo& info = it->second;
+      info.min_distance =
+          info.min_distance == 0 ? distance : std::min(info.min_distance, distance);
+      info.max_distance = std::max(info.max_distance, distance);
+    }
+  }
+}
+
+void DepMap::merge(const DepMap& other) {
+  for (const auto& [key, info] : other.map_) {
+    auto [it, inserted] = map_.try_emplace(key);
+    if (inserted)
+      MemStats::instance().add(MemComponent::kDepMaps,
+                               static_cast<std::int64_t>(kEntryBytes));
+    it->second.count += info.count;
+    it->second.flags |= info.flags;
+    if (info.loop != 0) it->second.loop = info.loop;
+    if (info.min_distance != 0) {
+      it->second.min_distance = it->second.min_distance == 0
+                                    ? info.min_distance
+                                    : std::min(it->second.min_distance,
+                                               info.min_distance);
+      it->second.max_distance =
+          std::max(it->second.max_distance, info.max_distance);
+    }
+  }
+  instances_ += other.instances_;
+}
+
+const DepInfo* DepMap::find(const DepKey& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<DepKey, DepInfo>> DepMap::sorted() const {
+  std::vector<std::pair<DepKey, DepInfo>> out(map_.begin(), map_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    const DepKey& x = a.first;
+    const DepKey& y = b.first;
+    return std::tie(x.sink_loc, x.sink_tid, x.type, x.src_loc, x.src_tid, x.var) <
+           std::tie(y.sink_loc, y.sink_tid, y.type, y.src_loc, y.src_tid, y.var);
+  });
+  return out;
+}
+
+void DepMap::clear() {
+  MemStats::instance().add(
+      MemComponent::kDepMaps,
+      -static_cast<std::int64_t>(kEntryBytes * map_.size()));
+  map_.clear();
+  instances_ = 0;
+}
+
+}  // namespace depprof

@@ -1,0 +1,210 @@
+#pragma once
+// Algorithm 1: signature-based data-dependence detection.
+//
+// One detector owns a read signature and a write signature and turns an
+// ordered stream of accesses to *its* addresses into merged dependences.
+// The serial profiler has one detector; the parallel pipeline has one per
+// worker (Fig. 2), which is sound because every address is owned by exactly
+// one worker and workers see their addresses in program order.
+//
+// Note on the published pseudocode: the INIT branch and the WAR branch are
+// independent.  Fig. 1 line "1:65 NOM ... {WAR 1:67|temp2} {INIT *}" shows a
+// sink that is simultaneously an initialization (first write) and the sink
+// of a WAR against an earlier read, so a write checks the read signature
+// regardless of whether the write signature already held the address.
+//
+// The detector is templated over the access store so the same algorithm
+// runs on the fixed-size Signature, the PerfectSignature baseline, the
+// ShadowMemory baseline, and the HashTableRecorder baseline.
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "core/dep.hpp"
+#include "sig/slots.hpp"
+#include "trace/event.hpp"
+
+namespace depprof {
+
+/// Builds the slot recorded for an access.
+template <typename Slot>
+Slot make_slot(const AccessEvent& ev) {
+  Slot s;
+  s.loc = ev.loc;
+  s.tag = addr_tag(ev.addr);
+  for (std::size_t i = 0; i < kLoopLevels; ++i) s.loops[i] = ev.loops[i];
+  if constexpr (std::is_same_v<Slot, MtSlot>) {
+    s.tid = ev.tid;
+    s.ts = ev.ts;
+  }
+  return s;
+}
+
+/// Result of the loop-context comparison: the carrying loop (0 = not
+/// carried) and the carried iteration distance (Alchemist-style).
+struct CarriedResult {
+  std::uint32_t loop = 0;
+  std::uint32_t distance = 0;
+};
+
+/// Level-pair match: src context `a` and sink context `b` refer to the same
+/// dynamic entry of the same loop.  Sets `matched`; returns the loop id and
+/// iteration distance when the iterations differ (the dependence is carried
+/// by that loop).
+inline CarriedResult match_loop_level(const LoopCtx& a, const LoopCtx& b,
+                                      bool& matched) {
+  if (a.loop != 0 && a.loop == b.loop && a.entry == b.entry) {
+    matched = true;
+    if (a.iter != b.iter)
+      return {b.loop, b.iter > a.iter ? b.iter - a.iter : a.iter - b.iter};
+  }
+  return {};
+}
+
+/// The loop carrying the dependence from recorded source `src` to current
+/// sink `sink` (loop 0 = none).  Matches on the sink's innermost level
+/// first.  `matched` reports whether src and sink share *any* dynamic loop
+/// entry — if not, the analysis must fall back to its source-order
+/// heuristic.
+template <typename Slot>
+CarriedResult carried_by(const Slot& src, const AccessEvent& sink,
+                         bool& matched) {
+  matched = false;
+  for (std::size_t t = 0; t < kLoopLevels; ++t)
+    for (std::size_t s = 0; s < kLoopLevels; ++s) {
+      const CarriedResult r = match_loop_level(src.loops[s], sink.loops[t], matched);
+      if (r.loop != 0) return r;
+    }
+  return {};
+}
+
+/// Flags qualifying the dependence built from recorded source `src` and
+/// current sink `sink`.
+///
+/// When the slot's address tag does not match the sink's address, the slot
+/// was written by a *colliding* address: the dependence record itself is
+/// still built (the paper's approximate-membership semantics), but the
+/// loop-context and timestamp comparisons would compare two unrelated
+/// accesses, so no qualifying flags are derived (see slots.hpp).
+template <typename Slot>
+std::uint8_t classify_dep(const Slot& src, const AccessEvent& sink,
+                          CarriedResult& carried) {
+  std::uint8_t f = 0;
+  carried = {};
+  const bool same_address = src.tag == addr_tag(sink.addr);
+  if (same_address) {
+    bool matched = false;
+    carried = carried_by(src, sink, matched);
+    if (carried.loop != 0) {
+      f |= kLoopCarried;
+    } else if (!matched && (src.loops[0].loop != 0 || sink.loops[0].loop != 0)) {
+      f |= kCrossLoop;
+    }
+  }
+  if constexpr (std::is_same_v<Slot, MtSlot>) {
+    if (src.tid != sink.tid) f |= kCrossThread;
+    // A worker expects increasing timestamps per address (Sec. V-B); a
+    // reversal proves the access/push pair was not mutually excluded with
+    // the recorded one — a potential data race.
+    if (same_address && src.ts > sink.ts) f |= kReversed;
+  }
+  return f;
+}
+
+template <typename Store, typename Slot>
+class DepDetector {
+ public:
+  /// Takes ownership of the two (empty) signatures.
+  DepDetector(Store sig_read, Store sig_write)
+      : sig_read_(std::move(sig_read)), sig_write_(std::move(sig_write)) {}
+
+  /// Processes one access in program order (Algorithm 1).
+  void process(const AccessEvent& ev, DepMap& deps) {
+    if (ev.is_free()) {
+      // Variable-lifetime analysis: obsolete addresses leave the signatures
+      // so later re-use of the memory does not fabricate dependences.
+      sig_read_.remove(ev.addr);
+      sig_write_.remove(ev.addr);
+      return;
+    }
+    if (ev.is_write()) {
+      if (const Slot* w = sig_write_.find(ev.addr)) {
+        emit(ev, *w, DepType::kWaw, deps);
+      } else {
+        deps.add(init_key(ev), 0);
+      }
+      if (const Slot* r = sig_read_.find(ev.addr)) {
+        emit(ev, *r, DepType::kWar, deps);
+      }
+      sig_write_.insert(ev.addr, make_slot<Slot>(ev));
+    } else {
+      // RAR dependences are ignored (Sec. III-B): most analyses do not need
+      // them, so reads only consult the write signature.
+      if (const Slot* w = sig_write_.find(ev.addr)) {
+        emit(ev, *w, DepType::kRaw, deps);
+      }
+      sig_read_.insert(ev.addr, make_slot<Slot>(ev));
+    }
+  }
+
+  Store& read_signature() { return sig_read_; }
+  Store& write_signature() { return sig_write_; }
+
+  /// Migration support (Sec. IV-A): extract/adopt the per-address state.
+  struct AddrState {
+    bool has_read = false;
+    bool has_write = false;
+    Slot read_slot{};
+    Slot write_slot{};
+  };
+
+  AddrState extract_state(std::uint64_t addr) {
+    AddrState st;
+    if (auto r = sig_read_.extract(addr)) {
+      st.has_read = true;
+      st.read_slot = *r;
+    }
+    if (auto w = sig_write_.extract(addr)) {
+      st.has_write = true;
+      st.write_slot = *w;
+    }
+    return st;
+  }
+
+  void adopt_state(std::uint64_t addr, const AddrState& st) {
+    if (st.has_read) sig_read_.insert(addr, st.read_slot);
+    if (st.has_write) sig_write_.insert(addr, st.write_slot);
+  }
+
+ private:
+  void emit(const AccessEvent& sink, const Slot& src, DepType type,
+            DepMap& deps) {
+    CarriedResult carried;
+    const std::uint8_t flags = classify_dep(src, sink, carried);
+    DepKey k;
+    k.sink_loc = sink.loc;
+    k.src_loc = src.loc;
+    k.var = sink.var;
+    k.sink_tid = sink.tid;
+    if constexpr (std::is_same_v<Slot, MtSlot>)
+      k.src_tid = static_cast<std::uint16_t>(src.tid);
+    k.type = type;
+    deps.add(k, flags, carried.loop, carried.distance);
+  }
+
+  static DepKey init_key(const AccessEvent& sink) {
+    DepKey k;
+    k.sink_loc = sink.loc;
+    k.src_loc = 0;
+    k.var = sink.var;
+    k.sink_tid = sink.tid;
+    k.type = DepType::kInit;
+    return k;
+  }
+
+  Store sig_read_;
+  Store sig_write_;
+};
+
+}  // namespace depprof

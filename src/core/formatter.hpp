@@ -1,0 +1,44 @@
+#pragma once
+// Dependence output formatting.
+//
+// Reproduces the textual format of Fig. 1 (sequential) and Fig. 3 (parallel)
+// exactly: one line per aggregated sink, `NOM` for plain statements, and
+// `BGN loop` / `END loop <iterations>` lines for control regions.
+//
+//   1:60 BGN loop
+//   1:60 NOM {RAW 1:60|i} {WAR 1:60|i} {INIT *}
+//   ...
+//   1:74 END loop 1200
+//
+// With thread ids (Fig. 3) sinks become "4:58|2" and sources "4:77|2|iter".
+
+#include <string>
+
+#include "core/dep.hpp"
+#include "trace/control_flow.hpp"
+
+namespace depprof {
+
+struct FormatOptions {
+  /// Print thread ids on sinks and sources (parallel targets, Fig. 3).
+  bool show_tids = false;
+  /// Append instance counts as "xN" after each dependence (extension; the
+  /// paper's format omits counts).
+  bool show_counts = false;
+  /// Mark potential data races detected via timestamp reversal (Sec. V-B)
+  /// with a trailing '!' on the dependence.
+  bool mark_races = true;
+  /// Append carried iteration distances as "d=min" or "d=min..max"
+  /// (extension; Alchemist-style distance profiling).
+  bool show_distances = false;
+};
+
+/// Renders the merged dependences (and optionally the loop control regions)
+/// in the paper's text format.
+std::string format_deps(const DepMap& deps, const ControlFlowLog* cf = nullptr,
+                        const FormatOptions& opts = {});
+
+/// Machine-readable CSV: type,sink,sink_tid,source,src_tid,var,count,flags.
+std::string deps_csv(const DepMap& deps);
+
+}  // namespace depprof

@@ -1,0 +1,399 @@
+// Parallel profiler — the Fig. 2 pipeline.
+//
+// The instrumented target thread(s) act as producers: accesses are buffered
+// into chunks and pushed to the queue of the worker that owns the address
+// (formula 1; a redistribution map installed by the load balancer takes
+// precedence).  Each worker runs Algorithm 1 on its own pair of signatures
+// and stores dependences in a thread-local map; local maps are merged into
+// the global map at the end, which "incurs only minor overhead since the
+// local maps are free of duplicates".
+//
+// Multi-threaded targets (Sec. V): every target thread is a producer with
+// its own pending chunks, worker queues become MPMC, accesses carry global
+// timestamps, and accesses inside explicit lock regions are flushed at
+// unlock so that the access and its push stay atomic (Fig. 4).
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+
+#include "common/timer.hpp"
+#include "core/chunk.hpp"
+#include "core/detector.hpp"
+#include "core/profiler.hpp"
+#include "sig/perfect_signature.hpp"
+#include "sig/signature.hpp"
+
+namespace depprof {
+namespace {
+
+constexpr std::size_t kMaxProducers = 256;
+
+/// One-shot handoff cell for migrating an address's signature state from its
+/// old owner to its new owner (Sec. IV-A: "If an address is moved to another
+/// thread, its signature state has to be moved as well").
+template <typename Slot>
+struct Mailbox {
+  std::atomic<std::uint32_t> ready{0};
+  bool has_read = false;
+  bool has_write = false;
+  Slot read_slot{};
+  Slot write_slot{};
+};
+
+template <typename Store, typename Slot>
+class ParallelProfiler final : public IProfiler {
+ public:
+  ParallelProfiler(const ProfilerConfig& cfg, std::vector<Store> read_sigs,
+                   std::vector<Store> write_sigs, std::size_t signature_bytes)
+      : cfg_(cfg),
+        chunk_fill_(std::min<std::size_t>(cfg.chunk_size ? cfg.chunk_size : 1,
+                                          Chunk::kCapacity)),
+        signature_bytes_(signature_bytes),
+        lb_enabled_(cfg.load_balance.enabled),
+        mailboxes_(kMailboxCount),
+        mailbox_free_(kMailboxCount) {
+    const unsigned w = cfg_.workers ? cfg_.workers : 1;
+    // Multiple producers (MT targets) need multi-producer queues regardless
+    // of the configured kind; the mutex queue supports both multiplicities.
+    QueueKind qk = cfg_.queue;
+    if (cfg_.mt_targets && qk == QueueKind::kLockFreeSpsc)
+      qk = QueueKind::kLockFreeMpmc;
+    for (unsigned i = 0; i < w; ++i) {
+      workers_.push_back(std::make_unique<Worker>(std::move(read_sigs[i]),
+                                                  std::move(write_sigs[i])));
+      queues_.push_back(make_queue<Chunk*>(qk, cfg_.queue_capacity));
+    }
+    for (std::uint32_t i = 0; i < kMailboxCount; ++i)
+      (void)mailbox_free_.try_push(i);
+    threads_.reserve(w);
+    for (unsigned i = 0; i < w; ++i)
+      threads_.emplace_back([this, i] { worker_main(i); });
+  }
+
+  ~ParallelProfiler() override {
+    // Dropping the profiler without finish() must still terminate the
+    // workers: they spin on their queues until a stop sentinel arrives.
+    if (!finished_) finish();
+  }
+
+  void on_access(const AccessEvent& ev) override {
+    events_.fetch_add(1, std::memory_order_relaxed);
+    // Canonicalize to the word-granular address unit once, here; routing,
+    // statistics, migration, and the detectors all operate on units.
+    AccessEvent unit = ev;
+    unit.addr = word_addr(ev.addr);
+    Producer& prod = producer_for(unit.tid);
+    const unsigned w = route(unit.addr);
+    Chunk*& pending = prod.pending[w];
+    if (pending == nullptr) pending = pool_.acquire();
+    pending->events[pending->count++] = unit;
+    const bool lock_region = (unit.flags & kInLockRegion) != 0;
+    if (pending->count >= chunk_fill_ || lock_region) push_chunk(prod, w);
+
+    if (lb_enabled_ && !cfg_.mt_targets) record_access_stat(unit.addr, prod);
+  }
+
+  void on_unlock(std::uint16_t tid) override {
+    Producer& prod = producer_for(tid);
+    for (unsigned w = 0; w < workers_.size(); ++w)
+      if (prod.pending[w] != nullptr && prod.pending[w]->count > 0)
+        push_chunk(prod, w);
+  }
+
+  void finish() override {
+    if (finished_) return;
+    // Flush every producer's partial chunks, then send stop sentinels.
+    for (auto& p : producers_) {
+      if (!p) continue;
+      for (unsigned w = 0; w < workers_.size(); ++w)
+        if (p->pending[w] != nullptr && p->pending[w]->count > 0)
+          push_chunk(*p, w);
+    }
+    for (unsigned w = 0; w < workers_.size(); ++w) {
+      Chunk* stop = pool_.acquire();
+      stop->kind = Chunk::Kind::kStop;
+      enqueue(w, stop);
+    }
+    join_workers();
+    WallTimer merge_timer;
+    for (auto& worker : workers_) global_.merge(worker->deps);
+    merge_sec_ = merge_timer.elapsed();
+    finished_ = true;
+  }
+
+  const DepMap& dependences() const override { return global_; }
+
+  DepMap take_dependences() override { return std::move(global_); }
+
+  ProfilerStats stats() const override {
+    ProfilerStats st;
+    st.events = events_.load(std::memory_order_relaxed);
+    st.chunks = chunks_produced_;
+    for (const auto& worker : workers_) {
+      st.worker_busy_sec.push_back(static_cast<double>(worker->busy_ns) * 1e-9);
+      st.worker_events.push_back(worker->events);
+    }
+    st.merge_sec = merge_sec_;
+    st.redistribution_rounds = redistribution_rounds_;
+    st.migrated_addresses = migrated_;
+    st.signature_bytes = signature_bytes_;
+    return st;
+  }
+
+ private:
+  static constexpr std::uint32_t kMailboxCount = 64;
+
+  struct Producer {
+    std::vector<Chunk*> pending;
+    explicit Producer(std::size_t workers) : pending(workers, nullptr) {}
+  };
+
+  struct Worker {
+    DepDetector<Store, Slot> detector;
+    DepMap deps;
+    std::uint64_t busy_ns = 0;
+    std::uint64_t events = 0;
+    Worker(Store r, Store w) : detector(std::move(r), std::move(w)) {}
+  };
+
+  Producer& producer_for(std::uint16_t tid) {
+    const std::size_t idx = tid < kMaxProducers ? tid : kMaxProducers - 1;
+    Producer* p = producers_[idx].get();
+    if (p != nullptr) return *p;
+    std::lock_guard lock(producer_mu_);
+    if (!producers_[idx])
+      producers_[idx] = std::make_unique<Producer>(workers_.size());
+    return *producers_[idx];
+  }
+
+  unsigned route(std::uint64_t addr) const {
+    if (!redistribution_.empty()) {
+      auto it = redistribution_.find(addr);
+      if (it != redistribution_.end()) return it->second;
+    }
+    const auto w = static_cast<std::uint32_t>(workers_.size());
+    return cfg_.modulo_routing ? modulo_worker(addr, w) : hashed_worker(addr, w);
+  }
+
+  void push_chunk(Producer& prod, unsigned w) {
+    Chunk* c = prod.pending[w];
+    prod.pending[w] = nullptr;
+    enqueue(w, c);
+    ++chunks_produced_;
+    if (lb_enabled_ && !cfg_.mt_targets &&
+        chunks_produced_ - last_eval_chunks_ >= cfg_.load_balance.eval_interval_chunks)
+      evaluate_balance();
+  }
+
+  void enqueue(unsigned w, Chunk* c) {
+    while (!queues_[w]->try_push(c)) std::this_thread::yield();
+  }
+
+  // --- load balancing (Sec. IV-A) -------------------------------------
+
+  void record_access_stat(std::uint64_t addr, Producer&) {
+    if ((stat_tick_++ & ((1u << cfg_.load_balance.sample_shift) - 1)) != 0) return;
+    auto [it, inserted] = access_counts_.try_emplace(addr, 0);
+    if (inserted)
+      MemStats::instance().add(MemComponent::kAccessStats, kStatEntryBytes);
+    ++it->second;
+  }
+
+  void evaluate_balance() {
+    last_eval_chunks_ = chunks_produced_;
+    if (redistribution_rounds_ >= cfg_.load_balance.max_rounds) return;
+    if (access_counts_.empty()) return;
+
+    std::vector<double> load(workers_.size(), 0.0);
+    for (const auto& [addr, count] : access_counts_)
+      load[route(addr)] += static_cast<double>(count);
+    double total = 0.0, max_load = 0.0;
+    for (double l : load) {
+      total += l;
+      max_load = std::max(max_load, l);
+    }
+    const double mean = total / static_cast<double>(load.size());
+    if (mean <= 0.0 || max_load <= cfg_.load_balance.imbalance_threshold * mean)
+      return;
+
+    // Top-k hottest addresses.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> hot(access_counts_.begin(),
+                                                             access_counts_.end());
+    const std::size_t k = std::min<std::size_t>(cfg_.load_balance.top_k, hot.size());
+    std::partial_sort(hot.begin(), hot.begin() + static_cast<std::ptrdiff_t>(k),
+                      hot.end(),
+                      [](const auto& a, const auto& b) { return a.second > b.second; });
+
+    // Spread them over workers in ascending-load order.
+    std::vector<unsigned> order(workers_.size());
+    for (unsigned i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](unsigned a, unsigned b) { return load[a] < load[b]; });
+
+    bool moved_any = false;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::uint64_t addr = hot[i].first;
+      const unsigned from = route(addr);
+      const unsigned to = order[i % order.size()];
+      if (from == to) continue;
+      migrate(addr, from, to);
+      moved_any = true;
+    }
+    if (moved_any) ++redistribution_rounds_;
+  }
+
+  void migrate(std::uint64_t addr, unsigned from, unsigned to) {
+    // The single producer orchestrates; FIFO order makes the handoff sound
+    // (see chunk.hpp).  Only reachable with sequential targets (producer 0).
+    Producer& prod = producer_for(0);
+    if (prod.pending[from] != nullptr && prod.pending[from]->count > 0)
+      push_chunk(prod, from);
+
+    std::uint32_t mb = 0;
+    while (!mailbox_free_.try_pop(mb)) std::this_thread::yield();
+    mailboxes_[mb].ready.store(0, std::memory_order_relaxed);
+
+    Chunk* out = pool_.acquire();
+    out->kind = Chunk::Kind::kMigrateOut;
+    out->addr = addr;
+    out->payload = mb;
+    enqueue(from, out);
+
+    Chunk* in = pool_.acquire();
+    in->kind = Chunk::Kind::kAdopt;
+    in->addr = addr;
+    in->payload = mb;
+    enqueue(to, in);
+
+    redistribution_[addr] = to;
+    ++migrated_;
+  }
+
+  // --- worker side ------------------------------------------------------
+
+  void worker_main(unsigned w) {
+    Worker& me = *workers_[w];
+    for (;;) {
+      Chunk* c = nullptr;
+      if (!queues_[w]->try_pop(c)) {
+        std::this_thread::yield();
+        continue;
+      }
+      const std::uint64_t t0 = ThreadCpuTimer::now();
+      bool stop = false;
+      switch (c->kind) {
+        case Chunk::Kind::kData:
+          for (std::uint32_t i = 0; i < c->count; ++i)
+            me.detector.process(c->events[i], me.deps);
+          me.events += c->count;
+          pool_.release(c);
+          break;
+        case Chunk::Kind::kStop:
+          pool_.release(c);
+          stop = true;
+          break;
+        case Chunk::Kind::kMigrateOut: {
+          auto st = me.detector.extract_state(c->addr);
+          Mailbox<Slot>& box = mailboxes_[c->payload];
+          box.has_read = st.has_read;
+          box.has_write = st.has_write;
+          box.read_slot = st.read_slot;
+          box.write_slot = st.write_slot;
+          box.ready.store(1, std::memory_order_release);
+          pool_.release(c);
+          break;
+        }
+        case Chunk::Kind::kAdopt: {
+          Mailbox<Slot>& box = mailboxes_[c->payload];
+          while (box.ready.load(std::memory_order_acquire) == 0)
+            std::this_thread::yield();
+          typename DepDetector<Store, Slot>::AddrState st;
+          st.has_read = box.has_read;
+          st.has_write = box.has_write;
+          st.read_slot = box.read_slot;
+          st.write_slot = box.write_slot;
+          me.detector.adopt_state(c->addr, st);
+          (void)mailbox_free_.try_push(c->payload);
+          pool_.release(c);
+          break;
+        }
+      }
+      me.busy_ns += ThreadCpuTimer::now() - t0;
+      if (stop) return;
+    }
+  }
+
+  void join_workers() {
+    for (auto& t : threads_)
+      if (t.joinable()) t.join();
+  }
+
+  static constexpr std::int64_t kStatEntryBytes = 32;
+
+  ProfilerConfig cfg_;
+  const std::size_t chunk_fill_;
+  const std::size_t signature_bytes_;
+  const bool lb_enabled_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<ConcurrentQueue<Chunk*>>> queues_;
+  std::vector<std::thread> threads_;
+  ChunkPool pool_;
+
+  std::array<std::unique_ptr<Producer>, kMaxProducers> producers_{};
+  std::mutex producer_mu_;
+
+  std::vector<Mailbox<Slot>> mailboxes_;
+  MpmcQueue<std::uint32_t> mailbox_free_;
+
+  std::unordered_map<std::uint64_t, std::uint32_t> redistribution_;
+  std::unordered_map<std::uint64_t, std::uint64_t> access_counts_;
+  std::uint64_t stat_tick_ = 0;
+  std::uint64_t chunks_produced_ = 0;
+  std::uint64_t last_eval_chunks_ = 0;
+  unsigned redistribution_rounds_ = 0;
+  std::uint64_t migrated_ = 0;
+
+  DepMap global_;
+  std::atomic<std::uint64_t> events_{0};
+  double merge_sec_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<IProfiler> make_parallel_profiler(const ProfilerConfig& config) {
+  const unsigned w = config.workers ? config.workers : 1;
+  auto build = [&]<typename Slot>() -> std::unique_ptr<IProfiler> {
+    switch (config.storage) {
+      case StorageKind::kSignature: {
+        std::vector<Signature<Slot>> reads, writes;
+        std::size_t bytes = 0;
+        for (unsigned i = 0; i < w; ++i) {
+          reads.emplace_back(config.slots, config.sig_hash);
+          writes.emplace_back(config.slots, config.sig_hash);
+          bytes += reads.back().bytes() + writes.back().bytes();
+        }
+        return std::make_unique<ParallelProfiler<Signature<Slot>, Slot>>(
+            config, std::move(reads), std::move(writes), bytes);
+      }
+      case StorageKind::kPerfect: {
+        std::vector<PerfectSignature<Slot>> reads(w), writes(w);
+        return std::make_unique<ParallelProfiler<PerfectSignature<Slot>, Slot>>(
+            config, std::move(reads), std::move(writes), 0);
+      }
+      default:
+        // The shadow-memory and hash-table baselines are serial-only
+        // (they exist for the Sec. III-B comparisons).
+        return nullptr;
+    }
+  };
+  return config.mt_targets ? build.template operator()<MtSlot>()
+                           : build.template operator()<SeqSlot>();
+}
+
+}  // namespace depprof

@@ -1,0 +1,104 @@
+#pragma once
+// Profiler configuration and the common profiler interface.
+//
+// Both the serial profiler (Sec. III) and the parallel pipeline (Sec. IV/V)
+// are AccessSinks: the instrumentation runtime (or a trace replay) feeds
+// them events; after finish() the merged global dependence map and the run
+// statistics are available.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dep.hpp"
+#include "queue/concurrent_queue.hpp"
+#include "sig/signature.hpp"
+#include "trace/event.hpp"
+
+namespace depprof {
+
+/// Which access store backs Algorithm 1.
+enum class StorageKind {
+  kSignature,  ///< fixed-size signature (the paper's design)
+  kPerfect,    ///< collision-free baseline (Sec. VI-A)
+  kShadow,     ///< multi-level shadow memory baseline (Sec. III-B)
+  kHashTable,  ///< chained hash table baseline (Sec. III-B)
+};
+
+const char* storage_kind_name(StorageKind kind);
+
+/// Load-balancing knobs (Sec. IV-A).
+struct LoadBalanceConfig {
+  bool enabled = false;
+  /// Access statistics are updated every 2^sample_shift events (0 = every
+  /// access, the paper's configuration).
+  unsigned sample_shift = 0;
+  /// Evaluate the distribution after this many produced chunks (the paper
+  /// re-checks every 50 000 chunks).
+  std::size_t eval_interval_chunks = 50'000;
+  /// Redistribute when max worker load exceeds this multiple of the mean.
+  double imbalance_threshold = 1.25;
+  /// How many of the hottest addresses are kept evenly distributed (the
+  /// paper balances the top ten).
+  unsigned top_k = 10;
+  /// Safety cap on redistribution rounds (the paper observes at most 20).
+  unsigned max_rounds = 64;
+};
+
+struct ProfilerConfig {
+  StorageKind storage = StorageKind::kSignature;
+  /// Signature slots per signature (each detector has a read and a write
+  /// signature of this size).  In the parallel profiler this is per worker;
+  /// Fig. 7 uses 6.25e6 slots per thread = 1e8 aggregate over 16 threads.
+  std::size_t slots = 1u << 20;
+  /// Slot-index function (see sig/signature.hpp); modulo is paper-faithful.
+  SigHash sig_hash = SigHash::kModulo;
+  /// True for multi-threaded target programs (Sec. V): MtSlot layout,
+  /// thread ids in dependence endpoints, timestamp race check.
+  bool mt_targets = false;
+
+  // Parallel pipeline (ignored by the serial profiler).
+  unsigned workers = 8;
+  QueueKind queue = QueueKind::kLockFreeSpsc;
+  std::size_t chunk_size = 512;          ///< accesses per chunk (<= Chunk capacity)
+  std::size_t queue_capacity = 64;       ///< chunks per worker queue
+  LoadBalanceConfig load_balance;
+  /// Route addresses to workers with the paper's plain modulo (formula 1)
+  /// instead of the mixed hash; exercised by the load-balance ablation.
+  bool modulo_routing = false;
+};
+
+/// Post-run statistics.
+struct ProfilerStats {
+  std::uint64_t events = 0;              ///< accesses processed
+  std::uint64_t chunks = 0;              ///< chunks produced (parallel only)
+  std::vector<double> worker_busy_sec;   ///< per-worker CPU time spent processing
+  std::vector<std::uint64_t> worker_events;  ///< per-worker accesses processed
+  double merge_sec = 0.0;                ///< global merge time (parallel only)
+  unsigned redistribution_rounds = 0;    ///< load-balancer activity
+  std::uint64_t migrated_addresses = 0;
+  std::size_t signature_bytes = 0;       ///< aggregate signature footprint
+};
+
+/// Common interface of the serial and parallel profilers.
+class IProfiler : public AccessSink {
+ public:
+  /// Merged global dependences; valid after finish().
+  virtual const DepMap& dependences() const = 0;
+  /// Moves the merged dependences out (the profiler's map is left empty).
+  virtual DepMap take_dependences() = 0;
+  virtual ProfilerStats stats() const = 0;
+};
+
+/// Serial profiler (Sec. III): Algorithm 1 on the calling thread.  Its
+/// on_access is NOT thread-safe: events must come from a single thread (or
+/// a replayed trace).  Multi-threaded targets need the parallel profiler,
+/// whose producer side is per-thread.
+std::unique_ptr<IProfiler> make_serial_profiler(const ProfilerConfig& config);
+
+/// Parallel profiler (Sec. IV/V): the Fig. 2 pipeline.  Worker threads are
+/// spawned on construction and joined by finish().
+std::unique_ptr<IProfiler> make_parallel_profiler(const ProfilerConfig& config);
+
+}  // namespace depprof

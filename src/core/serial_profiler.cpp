@@ -1,0 +1,92 @@
+// Serial profiler (Sec. III): Algorithm 1 executed inline on the
+// instrumented thread.  One detector instance; store backend and slot layout
+// chosen by the configuration.
+
+#include <variant>
+
+#include "common/timer.hpp"
+#include "core/detector.hpp"
+#include "core/profiler.hpp"
+#include "sig/hash_table_recorder.hpp"
+#include "sig/perfect_signature.hpp"
+#include "sig/shadow_memory.hpp"
+#include "sig/signature.hpp"
+
+namespace depprof {
+namespace {
+
+template <typename Store, typename Slot>
+class SerialProfiler final : public IProfiler {
+ public:
+  SerialProfiler(Store sig_read, Store sig_write, std::size_t signature_bytes)
+      : detector_(std::move(sig_read), std::move(sig_write)),
+        signature_bytes_(signature_bytes) {}
+
+  void on_access(const AccessEvent& ev) override {
+    ++events_;
+    // Canonicalize to the word-granular address unit once, here.
+    AccessEvent unit = ev;
+    unit.addr = word_addr(ev.addr);
+    detector_.process(unit, deps_);
+  }
+
+  void finish() override {}
+
+  const DepMap& dependences() const override { return deps_; }
+
+  DepMap take_dependences() override { return std::move(deps_); }
+
+  ProfilerStats stats() const override {
+    ProfilerStats st;
+    st.events = events_;
+    st.signature_bytes = signature_bytes_;
+    return st;
+  }
+
+ private:
+  DepDetector<Store, Slot> detector_;
+  DepMap deps_;
+  std::uint64_t events_ = 0;
+  std::size_t signature_bytes_;
+};
+
+template <typename Slot>
+std::unique_ptr<IProfiler> make_for_slot(const ProfilerConfig& c) {
+  switch (c.storage) {
+    case StorageKind::kSignature: {
+      Signature<Slot> r(c.slots, c.sig_hash), w(c.slots, c.sig_hash);
+      const std::size_t bytes = r.bytes() + w.bytes();
+      return std::make_unique<SerialProfiler<Signature<Slot>, Slot>>(
+          std::move(r), std::move(w), bytes);
+    }
+    case StorageKind::kPerfect:
+      return std::make_unique<SerialProfiler<PerfectSignature<Slot>, Slot>>(
+          PerfectSignature<Slot>{}, PerfectSignature<Slot>{}, 0);
+    case StorageKind::kShadow:
+      return std::make_unique<SerialProfiler<ShadowMemory<Slot>, Slot>>(
+          ShadowMemory<Slot>{}, ShadowMemory<Slot>{}, 0);
+    case StorageKind::kHashTable:
+      return std::make_unique<SerialProfiler<HashTableRecorder<Slot>, Slot>>(
+          HashTableRecorder<Slot>(c.slots), HashTableRecorder<Slot>(c.slots), 0);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* storage_kind_name(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kSignature: return "signature";
+    case StorageKind::kPerfect: return "perfect";
+    case StorageKind::kShadow: return "shadow";
+    case StorageKind::kHashTable: return "hashtable";
+  }
+  return "?";
+}
+
+std::unique_ptr<IProfiler> make_serial_profiler(const ProfilerConfig& config) {
+  return config.mt_targets ? make_for_slot<MtSlot>(config)
+                           : make_for_slot<SeqSlot>(config);
+}
+
+}  // namespace depprof

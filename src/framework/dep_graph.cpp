@@ -1,0 +1,92 @@
+#include "framework/dep_graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace depprof {
+
+DepGraph::DepGraph(const DepMap& deps) {
+  std::set<std::uint32_t> node_set;
+  for (const auto& [key, info] : deps.sorted()) {
+    DepEdge e;
+    e.src_loc = key.src_loc;
+    e.sink_loc = key.sink_loc;
+    e.type = key.type;
+    e.var = key.var;
+    e.count = info.count;
+    e.flags = info.flags;
+    const auto idx = static_cast<std::uint32_t>(edges_.size());
+    edges_.push_back(e);
+    node_set.insert(e.sink_loc);
+    if (e.src_loc != 0) {
+      node_set.insert(e.src_loc);
+      out_[e.src_loc].push_back(idx);
+    }
+    in_[e.sink_loc].push_back(idx);
+  }
+  nodes_.assign(node_set.begin(), node_set.end());
+}
+
+std::vector<const DepEdge*> DepGraph::out_edges(std::uint32_t loc) const {
+  std::vector<const DepEdge*> out;
+  auto it = out_.find(loc);
+  if (it != out_.end())
+    for (auto idx : it->second) out.push_back(&edges_[idx]);
+  return out;
+}
+
+std::vector<const DepEdge*> DepGraph::in_edges(std::uint32_t loc) const {
+  std::vector<const DepEdge*> in;
+  auto it = in_.find(loc);
+  if (it != in_.end())
+    for (auto idx : it->second) in.push_back(&edges_[idx]);
+  return in;
+}
+
+std::vector<std::uint32_t> DepGraph::raw_reachable(std::uint32_t loc) const {
+  std::set<std::uint32_t> visited;
+  std::vector<std::uint32_t> stack{loc};
+  while (!stack.empty()) {
+    const std::uint32_t cur = stack.back();
+    stack.pop_back();
+    auto it = out_.find(cur);
+    if (it == out_.end()) continue;
+    for (auto idx : it->second) {
+      const DepEdge& e = edges_[idx];
+      if (e.type != DepType::kRaw) continue;
+      if (visited.insert(e.sink_loc).second) stack.push_back(e.sink_loc);
+    }
+  }
+  return {visited.begin(), visited.end()};
+}
+
+bool DepGraph::has_raw_cycle() const {
+  // A node is on a RAW cycle iff it is RAW-reachable from itself.
+  for (std::uint32_t n : nodes_) {
+    const auto reach = raw_reachable(n);
+    if (std::binary_search(reach.begin(), reach.end(), n)) return true;
+  }
+  return false;
+}
+
+std::string DepGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph deps {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (std::uint32_t n : nodes_)
+    os << "  \"" << SourceLocation::from_packed(n).str() << "\";\n";
+  for (const DepEdge& e : edges_) {
+    if (e.type == DepType::kInit) continue;
+    os << "  \"" << SourceLocation::from_packed(e.src_loc).str() << "\" -> \""
+       << SourceLocation::from_packed(e.sink_loc).str() << "\" [label=\""
+       << dep_type_name(e.type) << ' ' << var_registry().name(e.var) << " x"
+       << e.count << '"';
+    if (e.type != DepType::kRaw) os << ", style=dashed";
+    if (e.flags & kLoopCarried) os << ", color=red";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace depprof

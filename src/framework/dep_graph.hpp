@@ -1,0 +1,62 @@
+#pragma once
+// Dependence graph (Sec. VIII framework representation).
+//
+// Nodes are source locations (statements); a directed edge source -> sink
+// exists for every merged dependence (the source statement's access happens
+// first).  Supports the queries dependence-based analyses need — outgoing/
+// incoming dependences of a statement, reachability along RAW chains — and
+// Graphviz DOT export for visual inspection.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dep.hpp"
+
+namespace depprof {
+
+struct DepEdge {
+  std::uint32_t src_loc = 0;   ///< earlier access (0 for INIT pseudo-edges)
+  std::uint32_t sink_loc = 0;  ///< later access
+  DepType type = DepType::kRaw;
+  std::uint32_t var = 0;
+  std::uint64_t count = 0;
+  std::uint8_t flags = 0;
+};
+
+class DepGraph {
+ public:
+  explicit DepGraph(const DepMap& deps);
+
+  /// All statement locations appearing as an endpoint, sorted.
+  const std::vector<std::uint32_t>& nodes() const { return nodes_; }
+
+  /// Dependences whose *source* is `loc` (statements depending on loc).
+  std::vector<const DepEdge*> out_edges(std::uint32_t loc) const;
+
+  /// Dependences whose *sink* is `loc` (statements loc depends on).
+  std::vector<const DepEdge*> in_edges(std::uint32_t loc) const;
+
+  /// Locations reachable from `loc` along RAW edges (dataflow cone);
+  /// excludes `loc` itself unless it sits on a RAW cycle.
+  std::vector<std::uint32_t> raw_reachable(std::uint32_t loc) const;
+
+  /// True if any RAW cycle exists (a recurrence — the dataflow pattern
+  /// behind non-parallelizable loops).
+  bool has_raw_cycle() const;
+
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Graphviz DOT rendering; RAW edges solid, WAR/WAW dashed, loop-carried
+  /// edges red.
+  std::string to_dot() const;
+
+ private:
+  std::vector<DepEdge> edges_;
+  std::vector<std::uint32_t> nodes_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> out_;  // loc -> edge idx
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> in_;
+};
+
+}  // namespace depprof

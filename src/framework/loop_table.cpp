@@ -1,0 +1,78 @@
+#include "framework/loop_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace depprof {
+
+LoopTable::LoopTable(const DepMap& deps, const ControlFlowLog& cf,
+                     const std::vector<std::uint32_t>& reduction_lines) {
+  LoopAnalysisOptions opts;
+  opts.reduction_lines = reduction_lines;
+  const auto verdicts = analyze_loops(deps, cf, opts);
+
+  auto is_reduction = [&](const DepKey& key) {
+    if (key.sink_loc != key.src_loc) return false;
+    for (auto loc : reduction_lines)
+      if (loc == key.sink_loc) return true;
+    return false;
+  };
+
+  rows_.reserve(cf.loops.size());
+  for (std::size_t i = 0; i < cf.loops.size(); ++i) {
+    LoopRow row;
+    row.loop = cf.loops[i];
+    for (const auto& [key, info] : deps) {
+      const SourceLocation sink = SourceLocation::from_packed(key.sink_loc);
+      if (!row.loop.contains(sink)) continue;
+      // Work accounting is sink-based: every dependence instance whose later
+      // access executes inside the body counts as body work.
+      row.dep_instances += info.count;
+      row.dep_kinds += 1;
+      // Carried attribution additionally requires the source inside the
+      // body and respects the reduction hints, consistent with the verdict.
+      if (key.type == DepType::kRaw && (info.flags & kLoopCarried) &&
+          info.loop == row.loop.loop_id &&
+          row.loop.contains(SourceLocation::from_packed(key.src_loc)) &&
+          !is_reduction(key)) {
+        row.carried_raw += 1;
+        if (info.min_distance != 0)
+          row.min_carried_distance =
+              row.min_carried_distance == 0
+                  ? info.min_distance
+                  : std::min(row.min_carried_distance, info.min_distance);
+      }
+    }
+    if (i < verdicts.size()) row.parallelizable = verdicts[i].parallelizable;
+    rows_.push_back(std::move(row));
+  }
+}
+
+const LoopRow* LoopTable::find(std::uint32_t loop_id) const {
+  for (const auto& row : rows_)
+    if (row.loop.loop_id == loop_id) return &row;
+  return nullptr;
+}
+
+std::string LoopTable::render() const {
+  TextTable t("loop table");
+  t.set_header({"loop", "iterations", "entries", "deps", "instances",
+                "carried RAW", "min dist", "parallelizable"});
+  for (const auto& row : rows_) {
+    t.add_row({SourceLocation::from_packed(row.loop.begin_loc).str() + "-" +
+                   SourceLocation::from_packed(row.loop.end_loc).str(),
+               std::to_string(row.loop.iterations),
+               std::to_string(row.loop.entries), std::to_string(row.dep_kinds),
+               std::to_string(row.dep_instances),
+               std::to_string(row.carried_raw),
+               std::to_string(row.min_carried_distance),
+               row.parallelizable ? "yes" : "no"});
+  }
+  std::ostringstream os;
+  t.print(os);
+  return os.str();
+}
+
+}  // namespace depprof

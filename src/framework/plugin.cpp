@@ -1,0 +1,226 @@
+#include "framework/plugin.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/comm_matrix.hpp"
+#include "analysis/loop_parallelism.hpp"
+#include "common/table.hpp"
+#include "mt/race_report.hpp"
+
+namespace depprof {
+namespace {
+
+class LoopParallelismPlugin final : public AnalysisPlugin {
+ public:
+  std::string name() const override { return "loop-parallelism"; }
+  std::string description() const override {
+    return "DiscoPoP-style parallelizable-loop discovery (Sec. VII-A)";
+  }
+  std::string run(const ProgramModel& model) override {
+    LoopAnalysisOptions opts;
+    opts.reduction_lines = model.reduction_lines();
+    return format_loop_verdicts(
+        analyze_loops(model.deps(), model.control_flow(), opts));
+  }
+};
+
+class CommMatrixPlugin final : public AnalysisPlugin {
+ public:
+  std::string name() const override { return "comm-matrix"; }
+  std::string description() const override {
+    return "producer/consumer communication matrix from cross-thread RAW "
+           "dependences (Sec. VII-B)";
+  }
+  std::string run(const ProgramModel& model) override {
+    return format_comm_matrix(build_comm_matrix(model.deps()));
+  }
+};
+
+class RaceReportPlugin final : public AnalysisPlugin {
+ public:
+  std::string name() const override { return "race-report"; }
+  std::string description() const override {
+    return "potential data races from timestamp reversals (Sec. V-B)";
+  }
+  std::string run(const ProgramModel& model) override {
+    return format_race_report(find_races(model.deps()));
+  }
+};
+
+class HotDepsPlugin final : public AnalysisPlugin {
+ public:
+  explicit HotDepsPlugin(std::size_t top_n) : top_n_(top_n) {}
+  std::string name() const override { return "hot-deps"; }
+  std::string description() const override {
+    return "dependences ranked by dynamic instance count";
+  }
+  std::string run(const ProgramModel& model) override {
+    auto sorted = model.deps().sorted();
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second.count > b.second.count;
+                     });
+    std::ostringstream os;
+    const std::size_t n = std::min(top_n_, sorted.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& [key, info] = sorted[i];
+      os << dep_type_name(key.type) << ' '
+         << SourceLocation::from_packed(key.sink_loc).str() << " <- ";
+      if (key.type == DepType::kInit)
+        os << '*';
+      else
+        os << SourceLocation::from_packed(key.src_loc).str();
+      os << " (" << var_registry().name(key.var) << ") x" << info.count
+         << '\n';
+    }
+    return os.str();
+  }
+
+ private:
+  std::size_t top_n_;
+};
+
+/// Kremlin-flavoured estimate: a loop with no carried RAW can run its
+/// iterations concurrently (self-parallelism ~ iteration count); a carried
+/// recurrence limits it to the carried dependence distance (d independent
+/// consecutive iterations; distance-1 recurrences serialize fully).  Loops
+/// are ranked by expected benefit = instrumented work inside the body x
+/// (1 - 1/SP) — the savings an ideal parallelization would realize.
+class SelfParallelismPlugin final : public AnalysisPlugin {
+ public:
+  std::string name() const override { return "self-parallelism"; }
+  std::string description() const override {
+    return "Kremlin-style per-loop parallelism estimate and benefit ranking";
+  }
+  std::string run(const ProgramModel& model) override {
+    const LoopTable& table = model.loop_table();
+    struct Row {
+      const LoopRow* row;
+      double sp;
+      double benefit;
+    };
+    std::vector<Row> rows;
+    for (const auto& r : table.rows()) {
+      const double iters =
+          std::max<double>(1.0, static_cast<double>(r.loop.iterations) /
+                                    std::max<std::uint64_t>(1, r.loop.entries));
+      const double sp =
+          r.parallelizable
+              ? iters
+              : std::min(iters, std::max(1.0, static_cast<double>(
+                                                  r.min_carried_distance)));
+      const double work = static_cast<double>(r.dep_instances);
+      rows.push_back({&r, sp, work * (1.0 - 1.0 / std::max(1.0, sp))});
+    }
+    std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      return a.benefit > b.benefit;
+    });
+
+    TextTable t("self-parallelism (ranked by expected benefit)");
+    t.set_header({"loop", "iters/entry", "self-parallelism", "work", "benefit"});
+    for (const auto& r : rows) {
+      t.add_row({SourceLocation::from_packed(r.row->loop.begin_loc).str(),
+                 TextTable::num(static_cast<double>(r.row->loop.iterations) /
+                                    std::max<std::uint64_t>(1, r.row->loop.entries),
+                                0),
+                 TextTable::num(r.sp, 0),
+                 std::to_string(r.row->dep_instances),
+                 TextTable::num(r.benefit, 0)});
+    }
+    std::ostringstream os;
+    t.print(os);
+    return os.str();
+  }
+};
+
+/// Alchemist-style distance report: for every carried RAW dependence, the
+/// carrying loop and the min/max iteration distance.  A constant distance
+/// d > 1 suggests blocking/unrolling by d (or skewing), which is why
+/// distance profilers exist.
+class DepDistancePlugin final : public AnalysisPlugin {
+ public:
+  std::string name() const override { return "dep-distance"; }
+  std::string description() const override {
+    return "carried iteration distances of RAW dependences (Alchemist-style)";
+  }
+  std::string run(const ProgramModel& model) override {
+    TextTable t("carried RAW dependence distances");
+    t.set_header({"sink", "source", "var", "loop", "instances", "min d",
+                  "max d", "note"});
+    for (const auto& [key, info] : model.deps().sorted()) {
+      if (key.type != DepType::kRaw || (info.flags & kLoopCarried) == 0)
+        continue;
+      std::string note;
+      if (info.min_distance > 1 && info.min_distance == info.max_distance)
+        note = "constant distance: block by " + std::to_string(info.min_distance);
+      else if (info.min_distance > 1)
+        note = "partial overlap up to " + std::to_string(info.min_distance);
+      else
+        note = "serializing recurrence";
+      t.add_row({SourceLocation::from_packed(key.sink_loc).str(),
+                 SourceLocation::from_packed(key.src_loc).str(),
+                 var_registry().name(key.var),
+                 SourceLocation::from_packed(info.loop).str(),
+                 std::to_string(info.count), std::to_string(info.min_distance),
+                 std::to_string(info.max_distance), note});
+    }
+    std::ostringstream os;
+    t.print(os);
+    return os.str();
+  }
+};
+
+}  // namespace
+
+PluginRegistry& PluginRegistry::instance() {
+  static PluginRegistry registry = [] {
+    PluginRegistry r;
+    r.add(make_loop_parallelism_plugin());
+    r.add(make_comm_matrix_plugin());
+    r.add(make_race_report_plugin());
+    r.add(make_hot_deps_plugin());
+    r.add(make_self_parallelism_plugin());
+    r.add(make_dep_distance_plugin());
+    return r;
+  }();
+  return registry;
+}
+
+void PluginRegistry::add(std::unique_ptr<AnalysisPlugin> plugin) {
+  plugins_.push_back(std::move(plugin));
+}
+
+AnalysisPlugin* PluginRegistry::find(const std::string& name) const {
+  for (const auto& p : plugins_)
+    if (p->name() == name) return p.get();
+  return nullptr;
+}
+
+std::vector<AnalysisPlugin*> PluginRegistry::all() const {
+  std::vector<AnalysisPlugin*> out;
+  out.reserve(plugins_.size());
+  for (const auto& p : plugins_) out.push_back(p.get());
+  return out;
+}
+
+std::unique_ptr<AnalysisPlugin> make_loop_parallelism_plugin() {
+  return std::make_unique<LoopParallelismPlugin>();
+}
+std::unique_ptr<AnalysisPlugin> make_comm_matrix_plugin() {
+  return std::make_unique<CommMatrixPlugin>();
+}
+std::unique_ptr<AnalysisPlugin> make_race_report_plugin() {
+  return std::make_unique<RaceReportPlugin>();
+}
+std::unique_ptr<AnalysisPlugin> make_hot_deps_plugin(std::size_t top_n) {
+  return std::make_unique<HotDepsPlugin>(top_n);
+}
+std::unique_ptr<AnalysisPlugin> make_self_parallelism_plugin() {
+  return std::make_unique<SelfParallelismPlugin>();
+}
+std::unique_ptr<AnalysisPlugin> make_dep_distance_plugin() {
+  return std::make_unique<DepDistancePlugin>();
+}
+
+}  // namespace depprof

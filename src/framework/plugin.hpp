@@ -1,0 +1,61 @@
+#pragma once
+// Analysis-plugin interface (Sec. VIII): "a dependence-based program
+// analysis can be implemented as a plugin".
+//
+// A plugin consumes the ProgramModel and produces a textual report (and
+// whatever structured side effects it wants).  Built-in plugins re-package
+// the Sec. VII analyses and add a Kremlin-style parallelism-metric pass:
+//
+//   loop-parallelism    — Sec. VII-A verdicts (format_loop_verdicts)
+//   comm-matrix         — Sec. VII-B producer/consumer matrix
+//   race-report         — Sec. V-B potential data races
+//   hot-deps            — dependences ranked by dynamic instance count
+//   self-parallelism    — Kremlin-flavoured per-loop parallelism estimate
+//                         (iterations vs carried recurrences), ranking loops
+//                         by expected parallelization benefit
+//   dep-distance        — Alchemist-style carried-distance report: for each
+//                         loop-carried RAW, the min/max iteration distance
+//                         and the blocking it implies
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "framework/program_model.hpp"
+
+namespace depprof {
+
+class AnalysisPlugin {
+ public:
+  virtual ~AnalysisPlugin() = default;
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+  /// Runs the analysis over the model and returns a human-readable report.
+  virtual std::string run(const ProgramModel& model) = 0;
+};
+
+/// Registry of available plugins.  Built-ins are pre-registered; user
+/// plugins can be added at runtime.
+class PluginRegistry {
+ public:
+  /// The process-wide registry, populated with the built-in plugins.
+  static PluginRegistry& instance();
+
+  void add(std::unique_ptr<AnalysisPlugin> plugin);
+  AnalysisPlugin* find(const std::string& name) const;
+  std::vector<AnalysisPlugin*> all() const;
+
+ private:
+  std::vector<std::unique_ptr<AnalysisPlugin>> plugins_;
+};
+
+/// Factory helpers for the built-in plugins (usable standalone, without the
+/// registry).
+std::unique_ptr<AnalysisPlugin> make_loop_parallelism_plugin();
+std::unique_ptr<AnalysisPlugin> make_comm_matrix_plugin();
+std::unique_ptr<AnalysisPlugin> make_race_report_plugin();
+std::unique_ptr<AnalysisPlugin> make_hot_deps_plugin(std::size_t top_n = 10);
+std::unique_ptr<AnalysisPlugin> make_self_parallelism_plugin();
+std::unique_ptr<AnalysisPlugin> make_dep_distance_plugin();
+
+}  // namespace depprof

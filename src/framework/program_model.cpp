@@ -1,0 +1,24 @@
+#include "framework/program_model.hpp"
+
+#include "instrument/runtime.hpp"
+
+namespace depprof {
+
+ProgramModel ProgramModel::from_run(IProfiler& profiler) {
+  Runtime& rt = Runtime::instance();
+  return ProgramModel(profiler.take_dependences(), rt.control_flow(),
+                      rt.call_tree(), rt.reduction_lines(), profiler.stats());
+}
+
+const DepGraph& ProgramModel::dep_graph() const {
+  if (!dep_graph_) dep_graph_ = std::make_unique<DepGraph>(deps_);
+  return *dep_graph_;
+}
+
+const LoopTable& ProgramModel::loop_table() const {
+  if (!loop_table_)
+    loop_table_ = std::make_unique<LoopTable>(deps_, cf_, reduction_lines_);
+  return *loop_table_;
+}
+
+}  // namespace depprof

@@ -1,0 +1,20 @@
+#include "harness/accuracy.hpp"
+
+namespace depprof {
+
+AccuracyResult compare_deps(const DepMap& baseline, const DepMap& tested) {
+  AccuracyResult r;
+  r.baseline_deps = baseline.size();
+  r.tested_deps = tested.size();
+  for (const auto& [key, info] : tested) {
+    (void)info;
+    if (baseline.find(key) == nullptr) ++r.false_positives;
+  }
+  for (const auto& [key, info] : baseline) {
+    (void)info;
+    if (tested.find(key) == nullptr) ++r.false_negatives;
+  }
+  return r;
+}
+
+}  // namespace depprof

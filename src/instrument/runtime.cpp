@@ -1,0 +1,192 @@
+#include "instrument/runtime.hpp"
+
+#include <algorithm>
+
+namespace depprof {
+
+Runtime& Runtime::instance() {
+  static Runtime rt;
+  return rt;
+}
+
+Runtime::ThreadState& Runtime::thread_state() {
+  thread_local ThreadState state;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (state.epoch != epoch) {
+    state.epoch = epoch;
+    state.tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    state.lock_depth = 0;
+    state.loop_stack.clear();
+    state.call_stack.clear();
+  }
+  return state;
+}
+
+void Runtime::attach(AccessSink* sink, bool mt_mode) {
+  sink_ = sink;
+  mt_mode_ = mt_mode;
+  enabled_.store(sink != nullptr, std::memory_order_release);
+}
+
+void Runtime::detach() {
+  enabled_.store(false, std::memory_order_release);
+  if (sink_ != nullptr) sink_->finish();
+  sink_ = nullptr;
+}
+
+void Runtime::record(const void* addr, std::size_t size, std::uint32_t file,
+                     std::uint32_t line, std::uint32_t var, bool is_write) {
+  (void)size;
+  ThreadState& ts = thread_state();
+  AccessEvent ev;
+  ev.addr = reinterpret_cast<std::uintptr_t>(addr);
+  ev.loc = SourceLocation(file, line).packed();
+  ev.var = var;
+  ev.kind = is_write ? AccessKind::kWrite : AccessKind::kRead;
+  ev.tid = ts.tid;
+  const std::size_t depth = ts.loop_stack.size();
+  for (std::size_t i = 0; i < kLoopLevels && i < depth; ++i) {
+    const ActiveLoop& l = ts.loop_stack[depth - 1 - i];
+    ev.loops[i] = {l.loop_id, l.entry, l.iter};
+  }
+  if (mt_mode_) ev.ts = timestamp_.fetch_add(1, std::memory_order_relaxed);
+  if (ts.lock_depth > 0) ev.flags |= kInLockRegion;
+  sink_->on_access(ev);
+}
+
+void Runtime::record_free(const void* addr, std::size_t size) {
+  ThreadState& ts = thread_state();
+  const auto base = reinterpret_cast<std::uintptr_t>(addr);
+  // One lifetime event per 4-byte word, matching the signature's address
+  // granularity (hash_address discards the low two bits).
+  const std::size_t words = std::max<std::size_t>(1, (size + 3) / 4);
+  for (std::size_t i = 0; i < words; ++i) {
+    AccessEvent ev;
+    ev.addr = base + i * 4;
+    ev.kind = AccessKind::kFree;
+    ev.tid = ts.tid;
+    if (mt_mode_) ev.ts = timestamp_.fetch_add(1, std::memory_order_relaxed);
+    sink_->on_access(ev);
+  }
+}
+
+void Runtime::loop_begin(std::uint32_t file, std::uint32_t line) {
+  ThreadState& ts = thread_state();
+  const std::uint32_t loc = SourceLocation(file, line).packed();
+  ts.loop_stack.push_back(
+      {loc, next_entry_.fetch_add(1, std::memory_order_relaxed), 0});
+  std::lock_guard lock(cf_mu_);
+  auto [it, inserted] = loops_.try_emplace(loc);
+  if (inserted) {
+    it->second.loop_id = loc;
+    it->second.begin_loc = loc;
+  }
+  it->second.entries += 1;
+}
+
+void Runtime::loop_iter() {
+  ThreadState& ts = thread_state();
+  if (!ts.loop_stack.empty()) ts.loop_stack.back().iter += 1;
+}
+
+void Runtime::loop_end(std::uint32_t file, std::uint32_t line) {
+  ThreadState& ts = thread_state();
+  if (ts.loop_stack.empty()) return;
+  const ActiveLoop top = ts.loop_stack.back();
+  ts.loop_stack.pop_back();
+  std::lock_guard lock(cf_mu_);
+  auto it = loops_.find(top.loop_id);
+  if (it != loops_.end()) {
+    it->second.end_loc = SourceLocation(file, line).packed();
+    it->second.iterations += top.iter;
+  }
+}
+
+void Runtime::func_enter(std::uint32_t file, std::uint32_t line,
+                         std::uint32_t name_id) {
+  ThreadState& ts = thread_state();
+  const std::uint32_t loc = SourceLocation(file, line).packed();
+  std::lock_guard lock(cf_mu_);
+  const std::uint32_t parent =
+      ts.call_stack.empty() ? CallTree::kRoot : ts.call_stack.back();
+  const std::uint32_t node = call_tree_.child_of(parent, loc, name_id);
+  call_tree_.node(node).calls += 1;
+  ts.call_stack.push_back(node);
+}
+
+void Runtime::func_exit() {
+  ThreadState& ts = thread_state();
+  if (!ts.call_stack.empty()) ts.call_stack.pop_back();
+}
+
+CallTree Runtime::call_tree() const {
+  std::lock_guard lock(cf_mu_);
+  return call_tree_;
+}
+
+void Runtime::sync_point() {
+  ThreadState& ts = thread_state();
+  if (enabled() && sink_ != nullptr) sink_->on_unlock(ts.tid);
+}
+
+void Runtime::lock_enter() { thread_state().lock_depth += 1; }
+
+void Runtime::lock_exit() {
+  ThreadState& ts = thread_state();
+  if (ts.lock_depth > 0) ts.lock_depth -= 1;
+  // Push buffered accesses before the target releases the lock (Fig. 4).
+  if (ts.lock_depth == 0 && enabled() && sink_ != nullptr)
+    sink_->on_unlock(ts.tid);
+}
+
+std::uint16_t Runtime::thread_id() { return thread_state().tid; }
+
+void Runtime::bind_thread_id(std::uint16_t tid) {
+  ThreadState& ts = thread_state();
+  ts.tid = tid;
+  // Keep the automatic counter ahead of explicit bindings so later
+  // first-touch threads do not collide with them.
+  std::uint16_t next = next_tid_.load(std::memory_order_relaxed);
+  while (next <= tid &&
+         !next_tid_.compare_exchange_weak(next, static_cast<std::uint16_t>(tid + 1),
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+void Runtime::mark_reduction(std::uint32_t file, std::uint32_t line) {
+  const std::uint32_t loc = SourceLocation(file, line).packed();
+  std::lock_guard lock(cf_mu_);
+  if (std::find(reduction_lines_.begin(), reduction_lines_.end(), loc) ==
+      reduction_lines_.end())
+    reduction_lines_.push_back(loc);
+}
+
+std::vector<std::uint32_t> Runtime::reduction_lines() const {
+  std::lock_guard lock(cf_mu_);
+  return reduction_lines_;
+}
+
+ControlFlowLog Runtime::control_flow() const {
+  ControlFlowLog log;
+  std::lock_guard lock(cf_mu_);
+  log.loops.reserve(loops_.size());
+  for (const auto& [loc, rec] : loops_) log.loops.push_back(rec);
+  std::sort(log.loops.begin(), log.loops.end(),
+            [](const LoopRecord& a, const LoopRecord& b) {
+              return a.begin_loc < b.begin_loc;
+            });
+  return log;
+}
+
+void Runtime::reset() {
+  std::lock_guard lock(cf_mu_);
+  loops_.clear();
+  reduction_lines_.clear();
+  call_tree_.clear();
+  timestamp_.store(1, std::memory_order_relaxed);
+  next_tid_.store(0, std::memory_order_relaxed);
+  next_entry_.store(1, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace depprof

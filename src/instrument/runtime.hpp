@@ -1,0 +1,147 @@
+#pragma once
+// Instrumentation runtime — the LLVM-pass substitute (see DESIGN.md).
+//
+// The paper instruments every IR load/store with a call carrying the address
+// and source location (Fig. 4).  Here the DP_* macros (macros.hpp) expand to
+// calls into this runtime, which assembles full AccessEvents: source
+// location, variable name, innermost-loop context, thread id, and (for MT
+// targets) a global timestamp, and forwards them to the attached profiler.
+//
+// The runtime also records runtime control-flow information (Sec. III-A):
+// loop entry/exit locations and executed iteration counts, and tracks
+// explicit lock regions of MT targets so that an access and its push stay
+// atomic (Sec. V, Fig. 4).
+//
+// When no sink is attached the per-access cost is a single predicted branch,
+// so the same workload binary serves as the "native" baseline of the
+// slowdown experiments.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/location.hpp"
+#include "trace/call_tree.hpp"
+#include "trace/control_flow.hpp"
+#include "trace/event.hpp"
+
+namespace depprof {
+
+class Runtime {
+ public:
+  static Runtime& instance();
+
+  /// Attaches the profiler (or trace recorder) receiving events.  `mt_mode`
+  /// enables global timestamps for multi-threaded targets.
+  void attach(AccessSink* sink, bool mt_mode = false);
+
+  /// Detaches the sink and calls its finish().  Control-flow data remains
+  /// readable until the next attach().
+  void detach();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // --- access events (out-of-line slow path of the macros) --------------
+
+  void record(const void* addr, std::size_t size, std::uint32_t file,
+              std::uint32_t line, std::uint32_t var, bool is_write);
+
+  /// Variable-lifetime event (Sec. III-B): `size` bytes at `addr` became
+  /// obsolete; their signature slots are cleared at word granularity.
+  void record_free(const void* addr, std::size_t size);
+
+  // --- control flow ------------------------------------------------------
+
+  /// Loop entry at file:line.  Loops are identified by their entry location.
+  void loop_begin(std::uint32_t file, std::uint32_t line);
+  /// One iteration boundary of the innermost active loop of this thread.
+  void loop_iter();
+  /// Loop exit at file:line for the innermost active loop.
+  void loop_end(std::uint32_t file, std::uint32_t line);
+
+  /// Function entry/exit (DP_FUNCTION guard).  Builds the dynamic call tree
+  /// consumed by the Sec. VIII framework's execution-tree representation.
+  void func_enter(std::uint32_t file, std::uint32_t line, std::uint32_t name_id);
+  void func_exit();
+
+  /// Call tree of the current (or last detached) session.
+  CallTree call_tree() const;
+
+  // --- lock regions (MT targets, Sec. V) ---------------------------------
+
+  void lock_enter();
+  void lock_exit();
+
+  /// Implicit synchronization point (thread create/join, barrier): the
+  /// calling thread's buffered accesses are pushed so that accesses ordered
+  /// by the synchronization also arrive at the workers in order.  This is
+  /// the "implicit synchronization patterns" support the paper sketches at
+  /// the end of Sec. V-A.
+  void sync_point();
+
+  // --- analysis hints -----------------------------------------------------
+
+  /// Marks file:line as a reduction update (x = x op e).  The paper's LLVM
+  /// pass recognises the instruction pattern; at source level the workload
+  /// marks the line.  The Sec. VII-A analysis ignores self-carried RAW
+  /// dependences on marked lines.
+  void mark_reduction(std::uint32_t file, std::uint32_t line);
+
+  /// Packed locations of all marked reduction lines.
+  std::vector<std::uint32_t> reduction_lines() const;
+
+  // --- bookkeeping --------------------------------------------------------
+
+  /// Thread id of the calling target thread (assigned on first use; the
+  /// first registering thread of an epoch gets id 0).
+  std::uint16_t thread_id();
+
+  /// Binds the calling thread to an explicit id for the current epoch.
+  /// Workloads with a meaningful thread numbering (e.g. spatial blocks in
+  /// water-spatial) call this so that dependence endpoints and the Fig. 9
+  /// communication axes reflect that numbering instead of first-touch order.
+  void bind_thread_id(std::uint16_t tid);
+
+  /// Control-flow log of the current (or last detached) session.
+  ControlFlowLog control_flow() const;
+
+  /// Clears control flow, timestamps, and thread-id assignment.  Must not be
+  /// called while a sink is attached.
+  void reset();
+
+ private:
+  Runtime() = default;
+
+  struct ActiveLoop {
+    std::uint32_t loop_id = 0;
+    std::uint32_t entry = 0;  ///< dynamic entry instance (process-unique)
+    std::uint32_t iter = 0;
+  };
+
+  struct ThreadState {
+    std::uint64_t epoch = ~0ull;
+    std::uint16_t tid = 0;
+    int lock_depth = 0;
+    std::vector<ActiveLoop> loop_stack;
+    std::vector<std::uint32_t> call_stack;  // CallTree node indices
+  };
+
+  ThreadState& thread_state();
+
+  std::atomic<bool> enabled_{false};
+  AccessSink* sink_ = nullptr;
+  bool mt_mode_ = false;
+  std::atomic<std::uint64_t> timestamp_{1};
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint16_t> next_tid_{0};
+  std::atomic<std::uint32_t> next_entry_{1};
+
+  mutable std::mutex cf_mu_;
+  std::unordered_map<std::uint32_t, LoopRecord> loops_;  // keyed by entry loc
+  std::vector<std::uint32_t> reduction_lines_;
+  CallTree call_tree_;
+};
+
+}  // namespace depprof

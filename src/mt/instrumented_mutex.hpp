@@ -1,0 +1,42 @@
+#pragma once
+// Lock-region-aware mutex for instrumented multi-threaded targets.
+//
+// The paper requires that "accesses to the same address from multiple
+// threads are protected by locks, and we insert the push operation into the
+// same lock region" (Sec. V, Fig. 4).  Wrapping the target's mutexes in this
+// type keeps the instrumentation runtime informed of lock regions: accesses
+// performed while the mutex is held are flagged and the producer's buffered
+// chunks are pushed before the lock is released.
+//
+// Satisfies the BasicLockable/Lockable requirements, so std::lock_guard and
+// std::unique_lock work unchanged.
+
+#include <mutex>
+
+#include "instrument/runtime.hpp"
+
+namespace depprof {
+
+class InstrumentedMutex {
+ public:
+  void lock() {
+    mu_.lock();
+    Runtime::instance().lock_enter();
+  }
+
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    Runtime::instance().lock_enter();
+    return true;
+  }
+
+  void unlock() {
+    Runtime::instance().lock_exit();
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace depprof

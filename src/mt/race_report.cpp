@@ -1,0 +1,39 @@
+#include "mt/race_report.hpp"
+
+#include <sstream>
+
+namespace depprof {
+
+RaceReport find_races(const DepMap& deps, bool include_unconfirmed) {
+  RaceReport report;
+  for (const auto& [key, info] : deps.sorted()) {
+    if (key.type == DepType::kInit) continue;
+    const bool reversed = (info.flags & kReversed) != 0;
+    const bool cross = (info.flags & kCrossThread) != 0;
+    if (reversed) {
+      report.findings.push_back({key, info.count, true});
+    } else if (include_unconfirmed && cross) {
+      report.findings.push_back({key, info.count, false});
+    }
+  }
+  return report;
+}
+
+std::string format_race_report(const RaceReport& report) {
+  std::ostringstream os;
+  os << "potential data races: " << report.confirmed_count() << " confirmed, "
+     << (report.findings.size() - report.confirmed_count())
+     << " unconfirmed cross-thread dependences\n";
+  for (const auto& f : report.findings) {
+    os << (f.confirmed ? "  [RACE] " : "  [dep ] ") << dep_type_name(f.dep.type)
+       << ' ' << SourceLocation::from_packed(f.dep.sink_loc).str() << '|'
+       << f.dep.sink_tid << " <- "
+       << SourceLocation::from_packed(f.dep.src_loc).str() << '|' << f.dep.src_tid
+       << " var=" << var_registry().name(f.dep.var) << " x" << f.instances;
+    if (f.confirmed) os << "  (timestamp reversal: no mutual exclusion)";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace depprof

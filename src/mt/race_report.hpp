@@ -1,0 +1,43 @@
+#pragma once
+// Potential-data-race reporting (Sec. V-B).
+//
+// The worker threads expect increasing timestamps per address; a reversal
+// proves the access/push pair of the recorded access and the current access
+// were not mutually exclusive — the dependence is flagged kReversed and
+// surfaced here as a potential data race.  Dependences that merely cross
+// threads without a reversal are "incidental happens-before relationships";
+// they are reported separately as unconfirmed.
+
+#include <string>
+#include <vector>
+
+#include "core/dep.hpp"
+
+namespace depprof {
+
+struct RaceFinding {
+  DepKey dep;
+  std::uint64_t instances = 0;
+  /// True when a timestamp reversal proved the absence of mutual exclusion.
+  bool confirmed = false;
+};
+
+struct RaceReport {
+  std::vector<RaceFinding> findings;
+
+  std::size_t confirmed_count() const {
+    std::size_t n = 0;
+    for (const auto& f : findings) n += f.confirmed ? 1 : 0;
+    return n;
+  }
+};
+
+/// Extracts potential races from a merged dependence map of an MT-target
+/// run.  `include_unconfirmed` additionally lists cross-thread dependences
+/// whose enforcement is unknown (no reversal observed).
+RaceReport find_races(const DepMap& deps, bool include_unconfirmed = false);
+
+/// Human-readable rendering of the report.
+std::string format_race_report(const RaceReport& report);
+
+}  // namespace depprof

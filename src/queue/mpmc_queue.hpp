@@ -1,0 +1,102 @@
+#pragma once
+// Lock-free bounded multi-producer/multi-consumer queue (Vyukov's design).
+//
+// Used in two places:
+//  * the MT-target pipeline (Sec. V): every target-program thread produces
+//    chunks, so worker queues need multiple producers;
+//  * the chunk recycling pool (Fig. 2: "Empty chunks are recycled"), where
+//    workers return chunks and producers grab them.
+//
+// Each cell carries a sequence number; producers and consumers claim cells
+// with a single CAS on their index and then synchronise through the cell's
+// sequence (release/acquire), so the queue is lock-free and linearizable.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/mem_stats.hpp"
+#include "queue/concurrent_queue.hpp"
+#include "queue/spsc_queue.hpp"
+
+namespace depprof {
+
+template <typename T>
+class MpmcQueue final : public ConcurrentQueue<T> {
+ public:
+  explicit MpmcQueue(std::size_t capacity)
+      : mask_(SpscQueue<T>::round_up_pow2(capacity) - 1),
+        cells_(mask_ + 1),
+        charge_(MemComponent::kQueues,
+                static_cast<std::int64_t>(sizeof(Cell) * (mask_ + 1))) {
+    for (std::size_t i = 0; i <= mask_; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  bool try_push(const T& value) override {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    Cell& cell = cells_[pos & mask_];
+    cell.value = value;
+    cell.seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(T& out) override {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    Cell& cell = cells_[pos & mask_];
+    out = cell.value;
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t size_approx() const override {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    return h > t ? h - t : 0;
+  }
+
+  std::size_t capacity() const override { return mask_ + 1; }
+
+ private:
+  static constexpr std::size_t kCacheLine = 64;
+
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  const std::size_t mask_;
+  std::vector<Cell> cells_;
+  ScopedMemCharge charge_;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace depprof

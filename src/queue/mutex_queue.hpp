@@ -1,0 +1,58 @@
+#pragma once
+// Lock-based bounded queue — the comparison point of Fig. 5.
+//
+// Same bounded-FIFO semantics as the lock-free queues but every operation
+// takes a mutex, reproducing the "major synchronization overhead comes from
+// locking and unlocking the queues" baseline the paper improves on.
+
+#include <mutex>
+#include <vector>
+
+#include "common/mem_stats.hpp"
+#include "queue/concurrent_queue.hpp"
+#include "queue/spsc_queue.hpp"
+
+namespace depprof {
+
+template <typename T>
+class MutexQueue final : public ConcurrentQueue<T> {
+ public:
+  explicit MutexQueue(std::size_t capacity)
+      : mask_(SpscQueue<T>::round_up_pow2(capacity) - 1),
+        buf_(mask_ + 1),
+        charge_(MemComponent::kQueues,
+                static_cast<std::int64_t>(sizeof(T) * (mask_ + 1))) {}
+
+  bool try_push(const T& value) override {
+    std::lock_guard lock(mu_);
+    if (head_ - tail_ > mask_) return false;
+    buf_[head_ & mask_] = value;
+    ++head_;
+    return true;
+  }
+
+  bool try_pop(T& out) override {
+    std::lock_guard lock(mu_);
+    if (head_ == tail_) return false;
+    out = buf_[tail_ & mask_];
+    ++tail_;
+    return true;
+  }
+
+  std::size_t size_approx() const override {
+    std::lock_guard lock(mu_);
+    return head_ - tail_;
+  }
+
+  std::size_t capacity() const override { return mask_ + 1; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> buf_;
+  ScopedMemCharge charge_;
+  mutable std::mutex mu_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+}  // namespace depprof

@@ -1,0 +1,76 @@
+#pragma once
+// Lock-free single-producer/single-consumer bounded ring buffer.
+//
+// This is the queue of the sequential-target pipeline (Fig. 2): the main
+// thread is the only producer and each worker consumes exclusively from its
+// own queue.  Progress is wait-free for both sides; synchronisation is a
+// release store of the index paired with an acquire load on the other side.
+// Cached peer indices keep the common case free of cross-core traffic.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/mem_stats.hpp"
+#include "queue/concurrent_queue.hpp"
+
+namespace depprof {
+
+template <typename T>
+class SpscQueue final : public ConcurrentQueue<T> {
+ public:
+  explicit SpscQueue(std::size_t capacity)
+      : mask_(round_up_pow2(capacity) - 1),
+        buf_(mask_ + 1),
+        charge_(MemComponent::kQueues,
+                static_cast<std::int64_t>(sizeof(T) * (mask_ + 1))) {}
+
+  bool try_push(const T& value) override {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_cache_ > mask_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ > mask_) return false;
+    }
+    buf_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(T& out) override {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return false;
+    }
+    out = buf_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t size_approx() const override {
+    return head_.load(std::memory_order_relaxed) -
+           tail_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const override { return mask_ + 1; }
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+ private:
+  static constexpr std::size_t kCacheLine = 64;
+
+  const std::size_t mask_;
+  std::vector<T> buf_;
+  ScopedMemCharge charge_;
+
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // producer side
+  alignas(kCacheLine) std::size_t tail_cache_ = 0;        // producer's view of tail
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // consumer side
+  alignas(kCacheLine) std::size_t head_cache_ = 0;        // consumer's view of head
+};
+
+}  // namespace depprof

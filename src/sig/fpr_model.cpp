@@ -1,0 +1,27 @@
+#include "sig/fpr_model.hpp"
+
+#include <cmath>
+
+namespace depprof {
+
+double predicted_fpr(std::size_t slots, std::size_t distinct_addresses) {
+  if (slots == 0) return 1.0;
+  const double m = static_cast<double>(slots);
+  const double n = static_cast<double>(distinct_addresses);
+  // 1 - (1 - 1/m)^n, computed in log space for numerical stability at
+  // large m.
+  return -std::expm1(n * std::log1p(-1.0 / m));
+}
+
+std::size_t slots_for_target_fpr(std::size_t distinct_addresses, double target_fpr) {
+  if (distinct_addresses == 0) return 1;
+  if (target_fpr <= 0.0) return static_cast<std::size_t>(-1);
+  if (target_fpr >= 1.0) return 1;
+  // Solve 1 - (1 - 1/m)^n = p  =>  m = 1 / (1 - (1-p)^(1/n)).
+  const double n = static_cast<double>(distinct_addresses);
+  const double base = std::exp(std::log1p(-target_fpr) / n);
+  const double m = 1.0 / (1.0 - base);
+  return static_cast<std::size_t>(std::ceil(m));
+}
+
+}  // namespace depprof

@@ -1,0 +1,24 @@
+#pragma once
+// Analytical false-positive model (Sec. VI-A, formula 2).
+//
+//   P_fp = 1 - (1 - 1/m)^n
+//
+// the probability that a given slot is occupied after inserting n distinct
+// addresses into a signature with m slots under a uniform hash.  The paper
+// uses it both to explain why c-ray/rgbyuv/rotate/rot-cc/bodytrack have
+// higher error rates (large n) and to size signatures a priori.
+
+#include <cstddef>
+
+namespace depprof {
+
+/// Formula 2: predicted probability that a membership check hits an
+/// occupied slot written by a *different* address.
+double predicted_fpr(std::size_t slots, std::size_t distinct_addresses);
+
+/// Inverse sizing helper: the minimum slot count m such that
+/// predicted_fpr(m, n) <= target.  This is the paper's "signature size can
+/// also be estimated using formula 2" use case.
+std::size_t slots_for_target_fpr(std::size_t distinct_addresses, double target_fpr);
+
+}  // namespace depprof

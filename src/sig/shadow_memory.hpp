@@ -1,0 +1,93 @@
+#pragma once
+// Shadow-memory baseline (Sec. III-B).
+//
+// "Traditional data-dependence profiling approaches record memory accesses
+// using shadow memory ... the access history of addresses is stored in a
+// table where the index of an address is the address itself."  We implement
+// the multilevel-table variant the paper mentions: a two-level page table
+// whose second-level pages are allocated on first touch.  Sparse, widely
+// spread address sets blow its memory up — the effect the ablation_storage
+// bench quantifies against signatures.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/mem_stats.hpp"
+
+namespace depprof {
+
+template <typename Slot>
+class ShadowMemory {
+ public:
+  /// One second-level page covers 2^kPageBits word-granular addresses.
+  static constexpr unsigned kPageBits = 16;
+  static constexpr std::size_t kPageSlots = std::size_t{1} << kPageBits;
+
+  ShadowMemory() = default;
+
+  const Slot* find(std::uint64_t addr) const {
+    const Page* page = find_page(addr);
+    if (page == nullptr) return nullptr;
+    const Slot& s = page->slots[offset(addr)];
+    return s.empty() ? nullptr : &s;
+  }
+
+  void insert(std::uint64_t addr, const Slot& value) {
+    Page& page = touch_page(addr);
+    page.slots[offset(addr)] = value;
+  }
+
+  void remove(std::uint64_t addr) {
+    Page* page = find_page_mut(addr);
+    if (page != nullptr) page->slots[offset(addr)] = Slot{};
+  }
+
+  std::optional<Slot> extract(std::uint64_t addr) {
+    Page* page = find_page_mut(addr);
+    if (page == nullptr) return std::nullopt;
+    Slot& s = page->slots[offset(addr)];
+    if (s.empty()) return std::nullopt;
+    Slot out = s;
+    s = Slot{};
+    return out;
+  }
+
+  void clear() { pages_.clear(); }
+
+  std::size_t page_count() const { return pages_.size(); }
+  std::size_t bytes() const { return pages_.size() * sizeof(Page); }
+
+ private:
+  struct Page {
+    std::array<Slot, kPageSlots> slots{};
+    ScopedMemCharge charge{MemComponent::kSignatures,
+                           static_cast<std::int64_t>(sizeof(slots))};
+  };
+
+  // Addresses arrive as canonical word units (see common/hash.hpp).
+  static std::uint64_t page_id(std::uint64_t addr) { return addr >> kPageBits; }
+  static std::size_t offset(std::uint64_t addr) {
+    return static_cast<std::size_t>(addr & (kPageSlots - 1));
+  }
+
+  const Page* find_page(std::uint64_t addr) const {
+    auto it = pages_.find(page_id(addr));
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+  Page* find_page_mut(std::uint64_t addr) {
+    auto it = pages_.find(page_id(addr));
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+  Page& touch_page(std::uint64_t addr) {
+    auto& p = pages_[page_id(addr)];
+    if (!p) p = std::make_unique<Page>();
+    return *p;
+  }
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace depprof

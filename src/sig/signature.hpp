@@ -1,0 +1,116 @@
+#pragma once
+// Fixed-size signature (Sec. III-B, Algorithm 1's storage).
+//
+// A signature encodes an approximate set of memory addresses in a bounded
+// array.  Unlike a Bloom filter it uses a *single* hash function so that
+// elements can be removed again (variable-lifetime analysis), and each slot
+// stores the source line of the recorded access rather than one bit.
+//
+// Hash collisions make distinct addresses share a slot; the profiler then
+// builds dependences against the wrong recorded access, which is exactly the
+// false-positive/false-negative trade quantified in Table I and modelled by
+// formula 2 (see fpr_model.hpp).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/mem_stats.hpp"
+
+namespace depprof {
+
+/// Slot-index function of the signature.
+///
+/// kModulo is the paper-faithful default: `slot = addr % m`, as in
+/// transactional-memory bit-selection signatures.  Under modulo indexing a
+/// collision partner is the *deterministic* address m slots away, so
+/// colliding accesses usually belong to the same data structure and produce
+/// identical dependence records — the reason measured FPR declines sharply
+/// with m (Table I) instead of saturating.  kMix (a strong 64-bit mixer)
+/// randomizes partners; the sighash ablation quantifies the difference.
+enum class SigHash { kModulo, kMix };
+
+template <typename Slot>
+class Signature {
+ public:
+  /// Creates a signature with `slot_count` slots (>= 1).  Memory is charged
+  /// against MemComponent::kSignatures for Figures 7/8 accounting.
+  explicit Signature(std::size_t slot_count, SigHash hash = SigHash::kModulo)
+      : hash_(hash),
+        slots_(slot_count ? slot_count : 1),
+        charge_(MemComponent::kSignatures,
+                static_cast<std::int64_t>(sizeof(Slot) * (slot_count ? slot_count : 1))) {}
+
+  /// Membership check: returns the recorded slot for `addr`, or nullptr if
+  /// the slot is empty.  Note that a non-empty slot may have been written by
+  /// a *colliding* address — the approximation the paper accepts.
+  const Slot* find(std::uint64_t addr) const {
+    const Slot& s = slots_[index(addr)];
+    return s.empty() ? nullptr : &s;
+  }
+
+  /// Insertion: records `value` as the latest access to `addr`, overwriting
+  /// whatever the slot held.
+  void insert(std::uint64_t addr, const Slot& value) {
+    Slot& s = slots_[index(addr)];
+    if (s.empty() && !value.empty()) ++occupied_;
+    s = value;
+  }
+
+  /// Removal (variable-lifetime analysis, Sec. III-B): clears the slot for
+  /// `addr`.  A colliding live address recorded in the same slot is cleared
+  /// too — another accepted approximation.
+  void remove(std::uint64_t addr) {
+    Slot& s = slots_[index(addr)];
+    if (!s.empty()) --occupied_;
+    s = Slot{};
+  }
+
+  /// Removes and returns the slot state for `addr` (used when migrating an
+  /// address to another worker during load balancing, Sec. IV-A).
+  std::optional<Slot> extract(std::uint64_t addr) {
+    Slot& s = slots_[index(addr)];
+    if (s.empty()) return std::nullopt;
+    Slot out = s;
+    s = Slot{};
+    --occupied_;
+    return out;
+  }
+
+  /// Disambiguation (Sec. III-B signature operation): number of slot indices
+  /// occupied in both signatures.  An address inserted into both is
+  /// guaranteed to be counted.
+  std::size_t intersect_count(const Signature& other) const {
+    const std::size_t n = std::min(slots_.size(), other.slots_.size());
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!slots_[i].empty() && !other.slots_[i].empty()) ++count;
+    return count;
+  }
+
+  void clear() {
+    for (auto& s : slots_) s = Slot{};
+    occupied_ = 0;
+  }
+
+  std::size_t slot_count() const { return slots_.size(); }
+  std::size_t occupied() const { return occupied_; }
+  double load_factor() const {
+    return static_cast<double>(occupied_) / static_cast<double>(slots_.size());
+  }
+  std::size_t bytes() const { return slots_.size() * sizeof(Slot); }
+
+ private:
+  std::size_t index(std::uint64_t addr) const {
+    const std::uint64_t h = hash_ == SigHash::kModulo ? addr : hash_address(addr);
+    return static_cast<std::size_t>(h % slots_.size());
+  }
+
+  SigHash hash_;
+  std::vector<Slot> slots_;
+  std::size_t occupied_ = 0;
+  ScopedMemCharge charge_;
+};
+
+}  // namespace depprof

@@ -1,0 +1,54 @@
+#include "trace/call_tree.hpp"
+
+#include <sstream>
+
+namespace depprof {
+
+std::uint32_t CallTree::child_of(std::uint32_t parent, std::uint32_t func_loc,
+                                 std::uint32_t name_id) {
+  for (std::uint32_t c : nodes_[parent].children) {
+    if (nodes_[c].func_loc == func_loc && nodes_[c].name_id == name_id)
+      return c;
+  }
+  const auto idx = static_cast<std::uint32_t>(nodes_.size());
+  CallNode node;
+  node.func_loc = func_loc;
+  node.name_id = name_id;
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(idx);
+  return idx;
+}
+
+unsigned CallTree::depth(std::uint32_t idx) const {
+  unsigned d = 0;
+  while (idx != kRoot) {
+    idx = nodes_[idx].parent;
+    ++d;
+  }
+  return d;
+}
+
+std::string CallTree::render() const {
+  std::ostringstream os;
+  // Depth-first over the explicit child lists for stable output.
+  std::vector<std::pair<std::uint32_t, unsigned>> stack{{kRoot, 0}};
+  while (!stack.empty()) {
+    const auto [idx, d] = stack.back();
+    stack.pop_back();
+    const CallNode& n = nodes_[idx];
+    if (idx == kRoot) {
+      os << "<program>\n";
+    } else {
+      os << std::string(d * 2, ' ')
+         << var_registry().name(n.name_id) << " ("
+         << SourceLocation::from_packed(n.func_loc).str() << ") x" << n.calls
+         << '\n';
+    }
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it)
+      stack.emplace_back(*it, d + 1);
+  }
+  return os.str();
+}
+
+}  // namespace depprof

@@ -1,0 +1,58 @@
+#pragma once
+// Dynamic call tree.
+//
+// The paper's Sec. VIII sketches an integrated framework that reorganizes
+// profiled data into "dynamic execution tree, call tree, dependence graph,
+// loop table".  The call tree records, per distinct (caller path, callee)
+// pair, how often the callee ran — the skeleton the execution tree and the
+// per-region analyses hang off.
+//
+// Nodes are created by Runtime::func_enter from DP_FUNCTION guards; node 0
+// is the synthetic root ("<program>").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/location.hpp"
+
+namespace depprof {
+
+struct CallNode {
+  std::uint32_t func_loc = 0;   ///< packed location of the function entry
+  std::uint32_t name_id = 0;    ///< var_registry id of the function name
+  std::uint32_t parent = 0;     ///< index of the parent node (root: self)
+  std::uint64_t calls = 0;      ///< times this path was entered
+  std::vector<std::uint32_t> children;
+};
+
+class CallTree {
+ public:
+  CallTree() { nodes_.push_back(CallNode{}); }
+
+  /// Child of `parent` for (func_loc, name_id), created on first use.
+  std::uint32_t child_of(std::uint32_t parent, std::uint32_t func_loc,
+                         std::uint32_t name_id);
+
+  static constexpr std::uint32_t kRoot = 0;
+
+  const CallNode& node(std::uint32_t idx) const { return nodes_[idx]; }
+  CallNode& node(std::uint32_t idx) { return nodes_[idx]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Depth of a node (root = 0).
+  unsigned depth(std::uint32_t idx) const;
+
+  /// Indented text rendering: "name (file:line) xCALLS" per node.
+  std::string render() const;
+
+  void clear() {
+    nodes_.clear();
+    nodes_.push_back(CallNode{});
+  }
+
+ private:
+  std::vector<CallNode> nodes_;
+};
+
+}  // namespace depprof

@@ -1,0 +1,45 @@
+#pragma once
+// Runtime control-flow information (Sec. III-A).
+//
+// Besides pair-wise dependences the profiler records control regions: the
+// entry/exit of every loop together with the number of iterations actually
+// executed (Fig. 1: "1:60 BGN loop" ... "1:74 END loop 1200").  The
+// parallelism-discovery analysis (Sec. VII-A) consumes the per-loop line
+// ranges and iteration counts recorded here.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/location.hpp"
+
+namespace depprof {
+
+/// One static loop observed at runtime, aggregated over all entries.
+struct LoopRecord {
+  std::uint32_t loop_id = 0;
+  std::uint32_t begin_loc = 0;  ///< packed location of the loop entry
+  std::uint32_t end_loc = 0;    ///< packed location of the loop exit
+  std::uint64_t iterations = 0; ///< total iterations executed (Fig. 1's "1200")
+  std::uint64_t entries = 0;    ///< times the loop was entered
+
+  /// True when `loc` lies within the loop's source-line range (same file).
+  bool contains(SourceLocation loc) const {
+    const SourceLocation b = SourceLocation::from_packed(begin_loc);
+    const SourceLocation e = SourceLocation::from_packed(end_loc);
+    return loc.file_id() == b.file_id() && loc.line() >= b.line() &&
+           loc.line() <= e.line();
+  }
+};
+
+/// All control-flow records of a run.
+struct ControlFlowLog {
+  std::vector<LoopRecord> loops;
+
+  const LoopRecord* find(std::uint32_t loop_id) const {
+    for (const auto& l : loops)
+      if (l.loop_id == loop_id) return &l;
+    return nullptr;
+  }
+};
+
+}  // namespace depprof

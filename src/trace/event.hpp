@@ -1,0 +1,84 @@
+#pragma once
+// Memory-access events — the unit of work flowing through the profiler.
+//
+// The instrumentation boundary of the paper is an LLVM pass inserting a call
+// per IR load/store (Fig. 4); our source-level macros produce the same
+// per-access records.  Everything downstream (Algorithm 1, the Fig. 2
+// pipeline, the analyses) consumes this event stream and nothing else.
+//
+// Each event carries the loop context of the access: (static loop id,
+// dynamic entry id, iteration index) for the three innermost enclosing
+// loops.  A dependence is carried by loop L when source and sink fall into
+// the same dynamic *entry* of L but different iterations — the information
+// Sec. VII-A's parallelism discovery needs.  Three levels cover the loop
+// nests of the benchmark suites; deeper nesting degrades to a conservative
+// source-order heuristic in the analysis.
+
+#include <cstdint>
+
+#include "common/location.hpp"
+
+namespace depprof {
+
+enum class AccessKind : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  /// Variable-lifetime event (Sec. III-B): the address range became obsolete
+  /// (free / scope exit); remove it from the signatures.
+  kFree = 2,
+};
+
+/// Event flag bits.
+enum AccessFlags : std::uint8_t {
+  /// The access happened inside an explicit lock region of the target
+  /// (Sec. V, Fig. 4): access and push are atomic, so its timestamp order is
+  /// trustworthy.
+  kInLockRegion = 1u << 0,
+};
+
+/// Dynamic loop context at one nesting level.
+struct LoopCtx {
+  std::uint32_t loop = 0;   ///< static loop id (entry location); 0 = none
+  std::uint32_t entry = 0;  ///< dynamic entry instance of the loop
+  std::uint32_t iter = 0;   ///< iteration index within that entry
+
+  friend bool operator==(const LoopCtx&, const LoopCtx&) = default;
+};
+
+/// Number of enclosing-loop levels recorded per access.
+inline constexpr std::size_t kLoopLevels = 3;
+
+/// One instrumented memory access (or lifetime event).
+struct AccessEvent {
+  std::uint64_t addr = 0;  ///< byte address of the access
+  std::uint64_t ts = 0;    ///< global timestamp (MT targets; 0 for sequential)
+  std::uint32_t loc = 0;   ///< packed SourceLocation
+  std::uint32_t var = 0;   ///< variable-name registry id
+  LoopCtx loops[kLoopLevels];  ///< enclosing loops, innermost first (loop==0: none)
+  std::uint16_t tid = 0;   ///< target-program thread id
+  AccessKind kind = AccessKind::kRead;
+  std::uint8_t flags = 0;
+
+  bool is_read() const { return kind == AccessKind::kRead; }
+  bool is_write() const { return kind == AccessKind::kWrite; }
+  bool is_free() const { return kind == AccessKind::kFree; }
+  SourceLocation location() const { return SourceLocation::from_packed(loc); }
+};
+
+static_assert(sizeof(AccessEvent) == 64);  // exactly one cache line
+
+/// Consumer of an instrumentation event stream.  Implemented by the serial
+/// profiler, the parallel profiler's producer side, and the trace recorder.
+class AccessSink {
+ public:
+  virtual ~AccessSink() = default;
+  virtual void on_access(const AccessEvent& ev) = 0;
+  /// A target thread left a lock region (Sec. V, Fig. 4): buffered accesses
+  /// of that thread must be pushed before the lock is released so that
+  /// access and push stay atomic.  No-op for sinks without buffering.
+  virtual void on_unlock(std::uint16_t tid) { (void)tid; }
+  /// Stream end: flush buffered state.
+  virtual void finish() {}
+};
+
+}  // namespace depprof

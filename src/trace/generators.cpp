@@ -1,0 +1,137 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace depprof {
+namespace {
+
+AccessEvent make_event(std::uint64_t addr, bool write, std::uint32_t line,
+                       std::uint16_t tid = 0, std::uint64_t ts = 0) {
+  AccessEvent ev;
+  ev.addr = addr;
+  ev.kind = write ? AccessKind::kWrite : AccessKind::kRead;
+  ev.loc = SourceLocation(1, line).packed();
+  ev.var = 0;
+  ev.tid = tid;
+  ev.ts = ts;
+  return ev;
+}
+
+}  // namespace
+
+Trace gen_uniform(const GenParams& p) {
+  Rng rng(p.seed);
+  Trace t;
+  t.events.reserve(p.accesses);
+  for (std::size_t i = 0; i < p.accesses; ++i) {
+    const std::uint64_t idx = rng.below(p.distinct ? p.distinct : 1);
+    const bool write = rng.uniform() < p.write_ratio;
+    // Distinct source lines per (address bucket, kind) keep the dependence
+    // space rich without being degenerate.
+    const auto line = static_cast<std::uint32_t>(10 + (idx % 50) * 2 + (write ? 1 : 0));
+    t.events.push_back(make_event(p.base_addr + idx * p.stride, write, line));
+  }
+  return t;
+}
+
+Trace gen_strided(const GenParams& p) {
+  Rng rng(p.seed);
+  Trace t;
+  t.events.reserve(p.accesses);
+  std::size_t i = 0;
+  while (i < p.accesses) {
+    for (std::size_t k = 0; k < p.distinct && i < p.accesses; ++k, ++i) {
+      const bool write = rng.uniform() < p.write_ratio;
+      const auto line = static_cast<std::uint32_t>(write ? 21 : 20);
+      t.events.push_back(make_event(p.base_addr + k * p.stride, write, line));
+    }
+  }
+  return t;
+}
+
+Trace gen_zipf(const GenParams& p, double s) {
+  Rng rng(p.seed);
+  const std::size_t n = p.distinct ? p.distinct : 1;
+  // Build the Zipf CDF once; ranks are mapped to shuffled addresses so the
+  // hot set is not contiguous in memory.
+  std::vector<double> cdf(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[k] = sum;
+  }
+  for (auto& c : cdf) c /= sum;
+
+  std::vector<std::uint64_t> addr_of_rank(n);
+  for (std::size_t k = 0; k < n; ++k) addr_of_rank[k] = p.base_addr + k * p.stride;
+  for (std::size_t k = n; k > 1; --k)
+    std::swap(addr_of_rank[k - 1], addr_of_rank[rng.below(k)]);
+
+  Trace t;
+  t.events.reserve(p.accesses);
+  for (std::size_t i = 0; i < p.accesses; ++i) {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto rank = static_cast<std::size_t>(it - cdf.begin());
+    const bool write = rng.uniform() < p.write_ratio;
+    const auto line = static_cast<std::uint32_t>(30 + (rank % 20) + (write ? 100 : 0));
+    t.events.push_back(make_event(addr_of_rank[rank < n ? rank : n - 1], write, line));
+  }
+  return t;
+}
+
+Trace gen_loop(const GenParams& p, std::size_t iters, bool carried,
+               std::uint32_t loop_id) {
+  Trace t;
+  const std::size_t len = p.distinct ? p.distinct : 1;
+  t.events.reserve(iters * len * 2);
+  for (std::size_t it = 0; it < iters; ++it) {
+    for (std::size_t i = 0; i < len; ++i) {
+      // Read a[i-1] (carried) or a[i] (independent), then write a[i].
+      const std::size_t src = carried ? (i + len - 1) % len : i;
+      AccessEvent rd = make_event(p.base_addr + src * p.stride, false, 40);
+      rd.loops[0] = {loop_id, 1, static_cast<std::uint32_t>(it)};
+      t.events.push_back(rd);
+      AccessEvent wr = make_event(p.base_addr + i * p.stride, true, 41);
+      wr.loops[0] = {loop_id, 1, static_cast<std::uint32_t>(it)};
+      t.events.push_back(wr);
+    }
+  }
+  return t;
+}
+
+Trace gen_mt_producer_consumer(const GenParams& p, unsigned threads,
+                               std::size_t shared_addrs) {
+  Rng rng(p.seed);
+  Trace t;
+  t.events.reserve(p.accesses);
+  std::uint64_t ts = 1;
+  const std::size_t per_thread = p.distinct / (threads ? threads : 1) + 1;
+  for (std::size_t i = 0; i < p.accesses; ++i) {
+    const auto tid = static_cast<std::uint16_t>(i % threads);
+    const bool shared = shared_addrs > 0 && rng.uniform() < 0.2;
+    std::uint64_t addr;
+    bool write;
+    if (shared) {
+      // Neighbour communication: thread t writes slot s, thread t+1 reads it.
+      const std::uint64_t s = rng.below(shared_addrs);
+      addr = p.base_addr + (p.distinct + s) * p.stride;
+      // Writers are even interleaving steps, readers odd — produces a stable
+      // producer(t) -> consumer(t+1 mod T) RAW pattern.
+      write = (s + tid) % 2 == 0;
+    } else {
+      addr = p.base_addr + (tid * per_thread + rng.below(per_thread)) * p.stride;
+      write = rng.uniform() < p.write_ratio;
+    }
+    AccessEvent ev = make_event(addr, write, shared ? 60 : 50 + tid, tid, ts++);
+    ev.flags = kInLockRegion;
+    t.events.push_back(ev);
+  }
+  return t;
+}
+
+}  // namespace depprof

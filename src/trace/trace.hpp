@@ -1,0 +1,68 @@
+#pragma once
+// In-memory access traces and their statistics.
+//
+// Traces serve three roles: deterministic test inputs (serial vs parallel
+// equivalence), synthetic workloads for the formula-2 and queue ablations,
+// and replayable captures of instrumented runs (examples/profile_trace).
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace depprof {
+
+/// A recorded sequence of access events in program order.
+struct Trace {
+  std::vector<AccessEvent> events;
+
+  std::size_t size() const { return events.size(); }
+
+  /// Number of distinct addresses touched — the `n` of formula 2.
+  std::size_t distinct_addresses() const {
+    std::unordered_set<std::uint64_t> set;
+    set.reserve(events.size() / 4 + 1);
+    for (const auto& ev : events)
+      if (!ev.is_free()) set.insert(ev.addr);
+    return set.size();
+  }
+
+  /// Fraction of write events (lifetime events excluded).
+  double write_ratio() const {
+    std::size_t writes = 0, total = 0;
+    for (const auto& ev : events) {
+      if (ev.is_free()) continue;
+      ++total;
+      writes += ev.is_write() ? 1 : 0;
+    }
+    return total ? static_cast<double>(writes) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// AccessSink that records the stream into a Trace (capture-and-replay).
+/// Thread-safe so multi-threaded targets can be recorded; events land in
+/// arrival order (per-thread order preserved, cross-thread order by lock
+/// acquisition, as in the real pipeline).
+class TraceRecorder final : public AccessSink {
+ public:
+  void on_access(const AccessEvent& ev) override {
+    std::lock_guard lock(mu_);
+    trace_.events.push_back(ev);
+  }
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+ private:
+  std::mutex mu_;
+  Trace trace_;
+};
+
+/// Replays a trace into any sink, preserving program order.
+inline void replay(const Trace& trace, AccessSink& sink) {
+  for (const auto& ev : trace.events) sink.on_access(ev);
+  sink.finish();
+}
+
+}  // namespace depprof

@@ -1,0 +1,42 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace depprof {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'E', 'P', 'T', 'R', 'C', '0', '1'};
+
+}  // namespace
+
+bool write_trace(const Trace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  os.write(kMagic, sizeof(kMagic));
+  const std::uint64_t count = trace.events.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  os.write(reinterpret_cast<const char*>(trace.events.data()),
+           static_cast<std::streamsize>(count * sizeof(AccessEvent)));
+  return static_cast<bool>(os);
+}
+
+bool read_trace(Trace& out, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is) return false;
+  Trace t;
+  t.events.resize(count);
+  is.read(reinterpret_cast<char*>(t.events.data()),
+          static_cast<std::streamsize>(count * sizeof(AccessEvent)));
+  if (!is) return false;
+  out = std::move(t);
+  return true;
+}
+
+}  // namespace depprof

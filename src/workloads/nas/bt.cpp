@@ -1,0 +1,99 @@
+// NAS BT analogue: block-tridiagonal solver.  Right-hand-side assembly is a
+// grid sweep with neighbour reads from a *separate* input array (parallel);
+// the line solve is a forward/backward substitution carried along the line.
+//
+// Loops (source order):
+//   rhs assembly   — parallel (reads u, writes rhs: disjoint arrays)
+//   forward sweep  — NOT parallel (carried: rhs[i] depends on rhs[i-1])
+//   back substitution — NOT parallel (carried: rhs[i] depends on rhs[i+1])
+//   add/update     — parallel (u[i] += rhs[i], element-wise)
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("bt");
+
+namespace depprof::workloads {
+
+WorkloadResult run_bt(int scale) {
+  const std::size_t n = 3'000 * static_cast<std::size_t>(scale);
+  Rng rng(101);
+  std::vector<double> u(n), rhs(n), a(n), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DP_WRITE(u[i]);
+    u[i] = rng.uniform();
+    DP_WRITE(a[i]);
+    a[i] = 0.1 + 0.01 * rng.uniform();
+    DP_WRITE(b[i]);
+    b[i] = 2.0 + rng.uniform();
+    DP_WRITE(c[i]);
+    c[i] = 0.1 + 0.01 * rng.uniform();
+  }
+
+  // RHS assembly: central difference of u into rhs.
+  DP_LOOP_BEGIN();
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    DP_LOOP_ITER();
+    DP_READ(u[i - 1]);
+    DP_READ(u[i]);
+    DP_READ(u[i + 1]);
+    DP_WRITE(rhs[i]);
+    rhs[i] = u[i - 1] - 2.0 * u[i] + u[i + 1];
+  }
+  DP_LOOP_END();
+
+  // Forward elimination (Thomas algorithm): carried on rhs and c.
+  DP_LOOP_BEGIN();
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    DP_LOOP_ITER();
+    DP_READ(c[i - 1]);
+    DP_READ(b[i]);
+    const double m = a[i] / (b[i] - a[i] * c[i - 1]);
+    DP_WRITE(c[i]);
+    c[i] = c[i] * m;
+    DP_READ(rhs[i - 1]);
+    DP_WRITE(rhs[i]);
+    rhs[i] = (rhs[i] - a[i] * rhs[i - 1]) * m;
+  }
+  DP_LOOP_END();
+
+  // Back substitution: carried on rhs in the reverse direction.
+  DP_LOOP_BEGIN();
+  for (std::size_t i = n - 2; i >= 1; --i) {
+    DP_LOOP_ITER();
+    DP_READ(rhs[i + 1]);
+    DP_READ(c[i]);
+    DP_WRITE(rhs[i]);
+    rhs[i] = rhs[i] - c[i] * rhs[i + 1];
+  }
+  DP_LOOP_END();
+
+  // Solution update: element-wise, parallel.
+  DP_LOOP_BEGIN();
+  for (std::size_t i = 0; i < n; ++i) {
+    DP_LOOP_ITER();
+    DP_READ(rhs[i]);
+    DP_UPDATE(u[i]);
+    u[i] += rhs[i];
+  }
+  DP_LOOP_END();
+
+  std::uint64_t check = 0;
+  for (double v : u) check += static_cast<std::uint64_t>(v * 1e3);
+  return {check};
+}
+
+Workload make_bt() {
+  Workload w;
+  w.name = "bt";
+  w.suite = "nas";
+  w.run = run_bt;
+  w.loops = {{"rhs", true}, {"forward", false}, {"backward", false}, {"add", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

@@ -1,0 +1,52 @@
+// NAS EP analogue: embarrassingly parallel random-pair generation with an
+// annulus histogram (reduction).  One main loop, annotated parallel in the
+// OpenMP version (reduction on the histogram and the two Gaussian sums).
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("ep");
+
+namespace depprof::workloads {
+
+WorkloadResult run_ep(int scale) {
+  const std::size_t n = 20'000 * static_cast<std::size_t>(scale);
+  double q[10] = {};
+  double sx = 0.0, sy = 0.0;
+  Rng rng(271828);
+
+  DP_LOOP_BEGIN();
+  for (std::size_t i = 0; i < n; ++i) {
+    DP_LOOP_ITER();
+    const double x = 2.0 * rng.uniform() - 1.0;
+    const double y = 2.0 * rng.uniform() - 1.0;
+    const double t = x * x + y * y;
+    if (t <= 1.0) {
+      const double f = std::sqrt(-2.0 * std::log(t <= 1e-300 ? 1e-300 : t) / (t <= 1e-300 ? 1.0 : t));
+      const double gx = x * f, gy = y * f;
+      const auto l = static_cast<std::size_t>(std::min(std::fabs(gx), 9.0));
+      DP_REDUCTION(); DP_UPDATE(q[l]); q[l] += 1.0;
+      DP_REDUCTION(); DP_UPDATE(sx); sx += gx;
+      DP_REDUCTION(); DP_UPDATE(sy); sy += gy;
+    }
+  }
+  DP_LOOP_END();
+
+  double check = sx + sy;
+  for (double v : q) check += v;
+  return {static_cast<std::uint64_t>(std::fabs(check) * 1e3)};
+}
+
+Workload make_ep() {
+  Workload w;
+  w.name = "ep";
+  w.suite = "nas";
+  w.run = run_ep;
+  w.loops = {{"main", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

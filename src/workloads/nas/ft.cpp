@@ -1,0 +1,120 @@
+// NAS FT analogue: iterative radix-2 FFT (Cooley-Tukey) on a complex array.
+// The bit-reversal permutation and the butterflies *within* one stage touch
+// disjoint elements (parallel); the stage loop is carried (each stage reads
+// the previous stage's results in place); the spectrum checksum is a
+// reduction.
+//
+// Loops (source order):
+//   bit-reversal — parallel (disjoint swaps)
+//   stages       — NOT parallel (in-place, stage s reads stage s-1)
+//   butterflies  — parallel (disjoint pairs within a stage)
+//   checksum     — parallel (reduction)
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("ft");
+
+namespace depprof::workloads {
+
+WorkloadResult run_ft(int scale) {
+  std::size_t n = 4'096;
+  for (int s = 1; s < scale; s *= 2) n *= 2;
+  Rng rng(707);
+  std::vector<double> re(n), im(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DP_WRITE(re[i]);
+    re[i] = rng.uniform() - 0.5;
+    DP_WRITE(im[i]);
+    im[i] = 0.0;
+  }
+
+  // Bit-reversal permutation.
+  DP_LOOP_BEGIN();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    DP_LOOP_ITER();
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      DP_READ(re[i]);
+      DP_READ(re[j]);
+      DP_WRITE(re[i]);
+      DP_WRITE(re[j]);
+      std::swap(re[i], re[j]);
+      DP_READ(im[i]);
+      DP_READ(im[j]);
+      DP_WRITE(im[i]);
+      DP_WRITE(im[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  DP_LOOP_END();
+
+  // Butterfly stages.
+  DP_LOOP_BEGIN();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    DP_LOOP_ITER();
+    const double ang = -2.0 * M_PI / static_cast<double>(len);
+    const double wr = std::cos(ang), wi = std::sin(ang);
+
+    DP_LOOP_BEGIN();
+    for (std::size_t base = 0; base < n; base += len) {
+      DP_LOOP_ITER();
+      double cr = 1.0, ci = 0.0;
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::size_t a = base + k, b = base + k + len / 2;
+        DP_READ(re[a]);
+        DP_READ(im[a]);
+        DP_READ(re[b]);
+        DP_READ(im[b]);
+        const double tr = re[b] * cr - im[b] * ci;
+        const double ti = re[b] * ci + im[b] * cr;
+        DP_WRITE(re[b]);
+        DP_WRITE(im[b]);
+        re[b] = re[a] - tr;
+        im[b] = im[a] - ti;
+        DP_WRITE(re[a]);
+        DP_WRITE(im[a]);
+        re[a] += tr;
+        im[a] += ti;
+        const double ncr = cr * wr - ci * wi;
+        ci = cr * wi + ci * wr;
+        cr = ncr;
+      }
+    }
+    DP_LOOP_END();
+  }
+  DP_LOOP_END();
+
+  double checksum = 0.0;
+  DP_LOOP_BEGIN();
+  for (std::size_t i = 0; i < n; ++i) {
+    DP_LOOP_ITER();
+    DP_READ(re[i]);
+    DP_READ(im[i]);
+    DP_REDUCTION(); DP_UPDATE(checksum); checksum += re[i] * re[i] + im[i] * im[i];
+  }
+  DP_LOOP_END();
+
+  return {static_cast<std::uint64_t>(checksum * 1e3)};
+}
+
+Workload make_ft() {
+  Workload w;
+  w.name = "ft";
+  w.suite = "nas";
+  w.run = run_ft;
+  // Loop ground truth ordered by begin line: bit-reversal, stages,
+  // butterflies, checksum.
+  w.loops = {{"bit-reversal", true}, {"stages", false}, {"butterflies", true},
+             {"checksum", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

@@ -1,0 +1,95 @@
+// NAS IS analogue: integer bucket sort.  Key histogram is a reduction
+// (parallel with reduction support), the bucket prefix sum is a scan
+// (carried), the permutation pass writes disjoint slots (parallel), and the
+// final verification is element-wise (parallel).
+//
+// Loops (source order):
+//   histogram — parallel (reduction on bucket counts)
+//   prefix    — NOT parallel (carried scan)
+//   permute   — parallel (disjoint writes via per-key cursors)
+//   verify    — parallel
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("is");
+
+namespace depprof::workloads {
+
+namespace {
+constexpr std::size_t kBuckets = 256;
+}
+
+WorkloadResult run_is(int scale) {
+  const std::size_t n = 20'000 * static_cast<std::size_t>(scale);
+  Rng rng(404);
+  std::vector<std::uint32_t> keys(n), sorted(n);
+  std::vector<std::uint32_t> count(kBuckets, 0), start(kBuckets, 0);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    DP_WRITE(keys[i]);
+    keys[i] = static_cast<std::uint32_t>(rng.below(kBuckets));
+  }
+
+  DP_LOOP_BEGIN();
+  for (std::size_t i = 0; i < n; ++i) {
+    DP_LOOP_ITER();
+    DP_READ(keys[i]);
+    DP_REDUCTION(); DP_UPDATE(count[keys[i]]); count[keys[i]] += 1;
+  }
+  DP_LOOP_END();
+
+  DP_LOOP_BEGIN();
+  for (std::size_t b = 1; b < kBuckets; ++b) {
+    DP_LOOP_ITER();
+    DP_READ(start[b - 1]);
+    DP_READ(count[b - 1]);
+    DP_WRITE(start[b]);
+    start[b] = start[b - 1] + count[b - 1];
+  }
+  DP_LOOP_END();
+
+  std::vector<std::uint32_t> cursor = start;
+  DP_LOOP_BEGIN();
+  for (std::size_t i = 0; i < n; ++i) {
+    DP_LOOP_ITER();
+    DP_READ(keys[i]);
+    const std::uint32_t k = keys[i];
+    DP_UPDATE(cursor[k]);
+    const std::uint32_t pos = cursor[k]++;
+    DP_WRITE(sorted[pos]);
+    sorted[pos] = k;
+  }
+  DP_LOOP_END();
+
+  std::uint64_t check = 0;
+  DP_LOOP_BEGIN();
+  for (std::size_t i = 1; i < n; ++i) {
+    DP_LOOP_ITER();
+    DP_READ(sorted[i - 1]);
+    DP_READ(sorted[i]);
+    check += sorted[i] >= sorted[i - 1] ? 1 : 0;
+  }
+  DP_LOOP_END();
+
+  DP_FREE(keys.data(), keys.size() * sizeof(std::uint32_t));
+  return {check};
+}
+
+Workload make_is() {
+  Workload w;
+  w.name = "is";
+  w.suite = "nas";
+  w.run = run_is;
+  // The permute pass advances per-bucket cursors: a genuine carried RAW, so
+  // only 3 of 4 loops are annotated in the OpenMP analogue — IS is one of
+  // the NAS benchmarks where not every loop is parallelized (Table II: 8 of
+  // 11 identified).
+  w.loops = {{"histogram", true}, {"prefix", false}, {"permute", false}, {"verify", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

@@ -1,0 +1,96 @@
+// NAS LU analogue: SSOR on a 2D grid.  Jacobian-style coefficient assembly
+// is element-wise (parallel); the lower and upper triangular sweeps are
+// wavefront recurrences carried in both grid directions; the residual norm
+// is a reduction.
+//
+// Loops (source order):
+//   assembly  — parallel
+//   lower sweep rows — NOT parallel (v[i][j] needs v[i-1][j] of this sweep)
+//   upper sweep rows — NOT parallel (reverse wavefront)
+//   norm      — parallel (reduction)
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("lu");
+
+namespace depprof::workloads {
+
+namespace {
+constexpr std::size_t kN = 64;
+}
+
+WorkloadResult run_lu(int scale) {
+  const std::size_t reps = static_cast<std::size_t>(scale);
+  Rng rng(303);
+  std::vector<double> v(kN * kN), coef(kN * kN);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    DP_WRITE(v[i]);
+    v[i] = rng.uniform();
+  }
+  double norm = 0.0;
+
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    DP_LOOP_BEGIN();
+    for (std::size_t i = 0; i < kN * kN; ++i) {
+      DP_LOOP_ITER();
+      DP_READ(v[i]);
+      DP_WRITE(coef[i]);
+      coef[i] = 0.2 + 0.6 * v[i];
+    }
+    DP_LOOP_END();
+
+    DP_LOOP_BEGIN();
+    for (std::size_t i = 1; i < kN; ++i) {
+      DP_LOOP_ITER();
+      for (std::size_t j = 1; j < kN; ++j) {
+        const std::size_t idx = i * kN + j;
+        DP_READ(v[idx - kN]);
+        DP_READ(v[idx - 1]);
+        DP_READ(coef[idx]);
+        DP_WRITE(v[idx]);
+        v[idx] = coef[idx] * (v[idx - kN] + v[idx - 1]) * 0.5;
+      }
+    }
+    DP_LOOP_END();
+
+    DP_LOOP_BEGIN();
+    for (std::size_t i = kN - 1; i-- > 0;) {
+      DP_LOOP_ITER();
+      for (std::size_t j = kN - 1; j-- > 0;) {
+        const std::size_t idx = i * kN + j;
+        DP_READ(v[idx + kN]);
+        DP_READ(v[idx + 1]);
+        DP_WRITE(v[idx]);
+        v[idx] = 0.9 * v[idx] + 0.05 * (v[idx + kN] + v[idx + 1]);
+      }
+    }
+    DP_LOOP_END();
+  }
+
+  DP_LOOP_BEGIN();
+  for (std::size_t i = 0; i < kN * kN; ++i) {
+    DP_LOOP_ITER();
+    DP_READ(v[i]);
+    DP_REDUCTION(); DP_UPDATE(norm); norm += v[i] * v[i];
+  }
+  DP_LOOP_END();
+
+  return {static_cast<std::uint64_t>(std::sqrt(norm) * 1e6)};
+}
+
+Workload make_lu() {
+  Workload w;
+  w.name = "lu";
+  w.suite = "nas";
+  w.run = run_lu;
+  w.loops = {{"assembly", true}, {"lower", false}, {"upper", false}, {"norm", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

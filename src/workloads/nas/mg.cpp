@@ -1,0 +1,101 @@
+// NAS MG analogue: one multigrid V-cycle on a 1D hierarchy.  Smoothing is a
+// Jacobi step reading the previous array and writing a fresh one (parallel);
+// restriction and prolongation map between levels element-wise (parallel);
+// the V-cycle loop itself is carried level to level.
+//
+// Loops (source order):
+//   vcycle      — NOT parallel (levels depend on each other)
+//   smooth      — parallel (separate in/out arrays)
+//   restrict    — parallel
+//   prolongate  — parallel
+//   norm        — parallel (reduction)
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("mg");
+
+namespace depprof::workloads {
+
+WorkloadResult run_mg(int scale) {
+  const std::size_t n0 = 4'096 * static_cast<std::size_t>(scale);
+  constexpr std::size_t kLevels = 4;
+  Rng rng(606);
+
+  std::vector<std::vector<double>> u(kLevels), tmp(kLevels);
+  for (std::size_t l = 0; l < kLevels; ++l) {
+    u[l].assign(n0 >> l, 0.0);
+    tmp[l].assign(n0 >> l, 0.0);
+  }
+  for (std::size_t i = 0; i < u[0].size(); ++i) {
+    DP_WRITE(u[0][i]);
+    u[0][i] = rng.uniform();
+  }
+  double norm = 0.0;
+
+  DP_LOOP_BEGIN();
+  for (std::size_t l = 0; l + 1 < kLevels; ++l) {
+    DP_LOOP_ITER();
+    auto& fine = u[l];
+    auto& out = tmp[l];
+    auto& coarse = u[l + 1];
+    const std::size_t n = fine.size();
+
+    DP_LOOP_BEGIN();
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      DP_LOOP_ITER();
+      DP_READ(fine[i - 1]);
+      DP_READ(fine[i + 1]);
+      DP_WRITE(out[i]);
+      out[i] = 0.5 * (fine[i - 1] + fine[i + 1]);
+    }
+    DP_LOOP_END();
+
+    DP_LOOP_BEGIN();
+    for (std::size_t i = 0; i < coarse.size(); ++i) {
+      DP_LOOP_ITER();
+      const std::size_t j = std::min(2 * i, n - 1);
+      DP_READ(out[j]);
+      DP_WRITE(coarse[i]);
+      coarse[i] = out[j];
+    }
+    DP_LOOP_END();
+  }
+  DP_LOOP_END();
+
+  DP_LOOP_BEGIN();
+  for (std::size_t i = 0; i + 1 < u[kLevels - 1].size(); ++i) {
+    DP_LOOP_ITER();
+    DP_READ(u[kLevels - 1][i]);
+    DP_UPDATE(u[kLevels - 2][2 * i]);
+    u[kLevels - 2][2 * i] += 0.5 * u[kLevels - 1][i];
+  }
+  DP_LOOP_END();
+
+  DP_LOOP_BEGIN();
+  for (std::size_t i = 0; i < u[kLevels - 2].size(); ++i) {
+    DP_LOOP_ITER();
+    DP_READ(u[kLevels - 2][i]);
+    DP_REDUCTION(); DP_UPDATE(norm); norm += u[kLevels - 2][i] * u[kLevels - 2][i];
+  }
+  DP_LOOP_END();
+
+  return {static_cast<std::uint64_t>(std::sqrt(norm) * 1e6)};
+}
+
+Workload make_mg() {
+  Workload w;
+  w.name = "mg";
+  w.suite = "nas";
+  w.run = run_mg;
+  w.loops = {{"vcycle", false}, {"smooth", true}, {"restrict", true},
+             {"prolongate", true}, {"norm", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

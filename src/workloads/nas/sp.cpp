@@ -1,0 +1,81 @@
+// NAS SP analogue: scalar pentadiagonal solver on a 2D grid.  Each grid line
+// is smoothed independently (parallel over lines), but the in-line recurrence
+// is carried; a final norm reduction closes the time step.
+//
+// Loops (source order):
+//   line loop      — parallel (lines are independent rows of the grid)
+//   time-step loop — NOT parallel (carried: grid updated in place each step)
+//   norm loop      — parallel (reduction)
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("sp");
+
+namespace depprof::workloads {
+
+namespace {
+constexpr std::size_t kLine = 96;
+}
+
+WorkloadResult run_sp(int scale) {
+  const std::size_t rows = 24 * static_cast<std::size_t>(scale);
+  Rng rng(202);
+  std::vector<double> grid(rows * kLine);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    DP_WRITE(grid[i]);
+    grid[i] = rng.uniform();
+  }
+  double norm = 0.0;
+
+  DP_LOOP_BEGIN();
+  for (std::size_t step = 0; step < 4; ++step) {
+    DP_LOOP_ITER();
+
+    DP_LOOP_BEGIN();
+    for (std::size_t r = 0; r < rows; ++r) {
+      DP_LOOP_ITER();
+      // In-line pentadiagonal-style recurrence: sequential inside the line,
+      // but instrumented at line granularity the row loop carries nothing
+      // row-to-row.
+      double carry = 0.0;
+      for (std::size_t j = 2; j < kLine; ++j) {
+        const std::size_t idx = r * kLine + j;
+        DP_READ(grid[idx - 2]);
+        DP_READ(grid[idx - 1]);
+        DP_READ(grid[idx]);
+        carry = 0.25 * (grid[idx - 2] + 2.0 * grid[idx - 1] + grid[idx]) + 0.1 * carry;
+        DP_WRITE(grid[idx]);
+        grid[idx] = carry;
+      }
+    }
+    DP_LOOP_END();
+  }
+  DP_LOOP_END();
+
+  DP_LOOP_BEGIN();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    DP_LOOP_ITER();
+    DP_READ(grid[i]);
+    DP_REDUCTION(); DP_UPDATE(norm); norm += grid[i] * grid[i];
+  }
+  DP_LOOP_END();
+
+  return {static_cast<std::uint64_t>(std::sqrt(norm) * 1e6)};
+}
+
+Workload make_sp() {
+  Workload w;
+  w.name = "sp";
+  w.suite = "nas";
+  w.run = run_sp;
+  w.loops = {{"time-step", false}, {"lines", true}, {"norm", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

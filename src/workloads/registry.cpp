@@ -1,0 +1,84 @@
+#include "workloads/workload.hpp"
+
+namespace depprof::workloads {
+
+// NAS analogues.
+Workload make_bt();
+Workload make_sp();
+Workload make_lu();
+Workload make_is();
+Workload make_ep();
+Workload make_cg();
+Workload make_mg();
+Workload make_ft();
+
+// Starbench analogues.
+Workload make_cray();
+Workload make_kmeans();
+Workload make_md5();
+Workload make_rayrot();
+Workload make_rgbyuv();
+Workload make_rotate();
+Workload make_rotcc();
+Workload make_streamcluster();
+Workload make_tinyjpeg();
+Workload make_bodytrack();
+Workload make_h264dec();
+
+// SPLASH analogue.
+Workload make_water_spatial();
+
+}  // namespace depprof::workloads
+
+namespace depprof {
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> registry = [] {
+    using namespace workloads;
+    std::vector<Workload> v;
+    v.push_back(make_bt());
+    v.push_back(make_sp());
+    v.push_back(make_lu());
+    v.push_back(make_is());
+    v.push_back(make_ep());
+    v.push_back(make_cg());
+    v.push_back(make_mg());
+    v.push_back(make_ft());
+    v.push_back(make_cray());
+    v.push_back(make_kmeans());
+    v.push_back(make_md5());
+    v.push_back(make_rayrot());
+    v.push_back(make_rgbyuv());
+    v.push_back(make_rotate());
+    v.push_back(make_rotcc());
+    v.push_back(make_streamcluster());
+    v.push_back(make_tinyjpeg());
+    v.push_back(make_bodytrack());
+    v.push_back(make_h264dec());
+    v.push_back(make_water_spatial());
+    return v;
+  }();
+  return registry;
+}
+
+const Workload* find_workload(std::string_view name) {
+  for (const auto& w : all_workloads())
+    if (w.name == name) return &w;
+  return nullptr;
+}
+
+std::vector<const Workload*> workloads_in_suite(std::string_view suite) {
+  std::vector<const Workload*> out;
+  for (const auto& w : all_workloads())
+    if (w.suite == suite) out.push_back(&w);
+  return out;
+}
+
+std::vector<const Workload*> parallel_workloads() {
+  std::vector<const Workload*> out;
+  for (const auto& w : all_workloads())
+    if (w.run_parallel) out.push_back(&w);
+  return out;
+}
+
+}  // namespace depprof

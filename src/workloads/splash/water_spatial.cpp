@@ -1,0 +1,173 @@
+// SPLASH-2 water-spatial analogue (Fig. 9): spatial domain decomposition
+// over a ring of cells.  Each thread owns a contiguous block and updates it
+// from the previous step's values; the halo cells at block boundaries are
+// read by the neighbouring thread, producing the banded producer/consumer
+// communication matrix of the paper's Fig. 9.  A per-step energy reduction
+// under a global lock adds the weak scattered communication the original
+// trace also shows.
+//
+// Boundary-cell updates and the reduction run inside InstrumentedMutex lock
+// regions, so the access/push atomicity requirement of Sec. V holds and no
+// false races are reported; the interior is thread-private.
+
+#include <algorithm>
+#include <barrier>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "mt/instrumented_mutex.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("water-spatial");
+
+namespace depprof::workloads {
+namespace {
+
+constexpr std::size_t kHalo = 8;  // boundary cells shared with each neighbour
+
+/// One cell update summing neighbour contributions within `radius` — the
+/// short-range force evaluation of the original kernel.  Halo cells use the
+/// full interaction radius (reaching into the neighbouring block); interior
+/// cells use radius 1.
+double cell_update(const double* cur, std::size_t i, std::size_t n,
+                   std::size_t radius = 1) {
+  double acc = 0.0;
+  for (std::size_t r = 1; r <= radius; ++r) {
+    const std::size_t left = (i + n - r) % n;
+    const std::size_t right = (i + r) % n;
+    DP_READ_AT(cur + left, 8, "cell");
+    DP_READ_AT(cur + right, 8, "cell");
+    acc += (cur[left] + cur[right]) / static_cast<double>(r);
+  }
+  DP_READ_AT(cur + i, 8, "cell");
+  return 0.5 * cur[i] + 0.25 * acc / static_cast<double>(radius);
+}
+
+}  // namespace
+
+WorkloadResult run_water_seq(int scale) {
+  const std::size_t n = 4'096 * static_cast<std::size_t>(scale);
+  const std::size_t steps = 4;
+  Rng rng(1818);
+  std::vector<double> buf[2];
+  buf[0].resize(n);
+  buf[1].resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DP_WRITE(buf[0][i]);
+    buf[0][i] = rng.uniform();
+  }
+  double energy = 0.0;
+
+  DP_LOOP_BEGIN();
+  for (std::size_t s = 0; s < steps; ++s) {
+    DP_LOOP_ITER();
+    const double* cur = buf[s % 2].data();
+    double* next = buf[(s + 1) % 2].data();
+
+    DP_LOOP_BEGIN();
+    for (std::size_t i = 0; i < n; ++i) {
+      DP_LOOP_ITER();
+      const double v = cell_update(cur, i, n);
+      DP_WRITE_AT(next + i, 8, "cell");
+      next[i] = v;
+      DP_REDUCTION(); DP_UPDATE(energy); energy += v;
+    }
+    DP_LOOP_END();
+  }
+  DP_LOOP_END();
+
+  return {static_cast<std::uint64_t>(energy)};
+}
+
+WorkloadResult run_water_parallel(int scale, unsigned threads) {
+  const std::size_t n = 4'096 * static_cast<std::size_t>(scale);
+  const std::size_t steps = 4;
+  Rng rng(1818);
+  std::vector<double> buf[2];
+  buf[0].resize(n);
+  buf[1].resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DP_WRITE(buf[0][i]);
+    buf[0][i] = rng.uniform();
+  }
+  DP_SYNC();  // thread creation orders the init writes before worker reads
+  double energy = 0.0;
+
+  // boundary_mu[t] guards the halo between thread t and thread (t+1) % T.
+  std::vector<InstrumentedMutex> boundary_mu(threads);
+  InstrumentedMutex energy_mu;
+  std::barrier barrier(static_cast<std::ptrdiff_t>(threads));
+
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      // Thread t owns spatial block t; bind the id so dependence endpoints
+      // (and the Fig. 9 axes) follow the spatial numbering.  Id 0 is the
+      // main thread.
+      Runtime::instance().bind_thread_id(static_cast<std::uint16_t>(t + 1));
+      const std::size_t lo = n * t / threads;
+      const std::size_t hi = n * (t + 1) / threads;
+      const unsigned left_mu = (t + threads - 1) % threads;
+      for (std::size_t s = 0; s < steps; ++s) {
+        const double* cur = buf[s % 2].data();
+        double* next = buf[(s + 1) % 2].data();
+        double local_energy = 0.0;
+
+        // Left halo: reads the left neighbour's cells (full radius).
+        {
+          std::lock_guard lock(boundary_mu[left_mu]);
+          for (std::size_t i = lo; i < std::min(lo + kHalo, hi); ++i) {
+            const double v = cell_update(cur, i, n, kHalo);
+            DP_WRITE_AT(next + i, 8, "cell");
+            next[i] = v;
+            local_energy += v;
+          }
+        }
+        // Interior: thread-private.
+        for (std::size_t i = lo + kHalo; i + kHalo < hi; ++i) {
+          const double v = cell_update(cur, i, n);
+          DP_WRITE_AT(next + i, 8, "cell");
+          next[i] = v;
+          local_energy += v;
+        }
+        // Right halo: reads the right neighbour's cells (full radius).
+        {
+          std::lock_guard lock(boundary_mu[t]);
+          for (std::size_t i = hi > kHalo ? std::max(lo + kHalo, hi - kHalo) : hi;
+               i < hi; ++i) {
+            const double v = cell_update(cur, i, n, kHalo);
+            DP_WRITE_AT(next + i, 8, "cell");
+            next[i] = v;
+            local_energy += v;
+          }
+        }
+        // Global energy reduction.
+        {
+          std::lock_guard lock(energy_mu);
+          DP_UPDATE(energy);
+          energy += local_energy;
+        }
+        DP_SYNC();  // the barrier orders this step's writes for all readers
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  return {static_cast<std::uint64_t>(energy)};
+}
+
+Workload make_water_spatial() {
+  Workload w;
+  w.name = "water-spatial";
+  w.suite = "splash";
+  w.run = run_water_seq;
+  w.run_parallel = run_water_parallel;
+  w.loops = {{"steps", false}, {"cells", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

@@ -1,0 +1,221 @@
+// Starbench bodytrack analogue: a particle filter.  Per-particle likelihood
+// evaluation against the observation is parallel; the cumulative-weight scan
+// used for resampling is carried; the frame loop is carried (particle state
+// evolves frame to frame).  Large particle state plus per-frame observation
+// gives bodytrack its large address footprint (Table I).
+//
+// Loops (source order):
+//   frames     — NOT parallel (particle state carried)
+//   likelihood — parallel
+//   scan       — NOT parallel (prefix sum)
+//   resample   — parallel (reads via cumulative table, writes disjoint)
+
+#include <cmath>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("bodytrack");
+
+namespace depprof::workloads {
+namespace {
+
+constexpr std::size_t kStateDim = 8;
+
+double likelihood(const std::vector<double>& particles, std::size_t i,
+                  const std::vector<double>& observation) {
+  double err = 0.0;
+  for (std::size_t d = 0; d < kStateDim; ++d) {
+    DP_READ(particles[i * kStateDim + d]);
+    DP_READ(observation[d]);
+    const double diff = particles[i * kStateDim + d] - observation[d];
+    err += diff * diff;
+  }
+  return std::exp(-0.5 * err);
+}
+
+}  // namespace
+
+WorkloadResult run_bodytrack(int scale) {
+  const std::size_t particles_n = 600 * static_cast<std::size_t>(scale);
+  const std::size_t frames = 6;
+  Rng rng(1616);
+  std::vector<double> particles(particles_n * kStateDim);
+  std::vector<double> next(particles_n * kStateDim);
+  std::vector<double> weights(particles_n), cumulative(particles_n);
+  std::vector<double> observation(kStateDim);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    DP_WRITE(particles[i]);
+    particles[i] = rng.uniform();
+  }
+
+  std::uint64_t check = 0;
+  DP_LOOP_BEGIN();
+  for (std::size_t f = 0; f < frames; ++f) {
+    DP_LOOP_ITER();
+    for (std::size_t d = 0; d < kStateDim; ++d) {
+      DP_WRITE(observation[d]);
+      observation[d] = 0.5 + 0.1 * std::sin(static_cast<double>(f + d));
+    }
+
+    DP_LOOP_BEGIN();
+    for (std::size_t i = 0; i < particles_n; ++i) {
+      DP_LOOP_ITER();
+      DP_WRITE(weights[i]);
+      weights[i] = likelihood(particles, i, observation);
+    }
+    DP_LOOP_END();
+
+    DP_LOOP_BEGIN();
+    for (std::size_t i = 0; i < particles_n; ++i) {
+      DP_LOOP_ITER();
+      DP_READ(weights[i]);
+      if (i == 0) {
+        DP_WRITE(cumulative[0]);
+        cumulative[0] = weights[0];
+      } else {
+        DP_READ(cumulative[i - 1]);
+        DP_WRITE(cumulative[i]);
+        cumulative[i] = cumulative[i - 1] + weights[i];
+      }
+    }
+    DP_LOOP_END();
+
+    const double total = cumulative[particles_n - 1];
+    DP_LOOP_BEGIN();
+    for (std::size_t i = 0; i < particles_n; ++i) {
+      DP_LOOP_ITER();
+      const double u = (static_cast<double>(i) + 0.5) * total /
+                       static_cast<double>(particles_n);
+      // Binary search in the cumulative table.
+      std::size_t lo = 0, hi = particles_n - 1;
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        DP_READ(cumulative[mid]);
+        if (cumulative[mid] < u)
+          lo = mid + 1;
+        else
+          hi = mid;
+      }
+      for (std::size_t d = 0; d < kStateDim; ++d) {
+        DP_READ(particles[lo * kStateDim + d]);
+        DP_WRITE(next[i * kStateDim + d]);
+        next[i * kStateDim + d] =
+            particles[lo * kStateDim + d] + 0.01 * (rng.uniform() - 0.5);
+      }
+    }
+    DP_LOOP_END();
+
+    particles.swap(next);
+    check += static_cast<std::uint64_t>(total * 1e3);
+  }
+  DP_LOOP_END();
+
+  return {check};
+}
+
+WorkloadResult run_bodytrack_parallel(int scale, unsigned threads) {
+  const std::size_t particles_n = 600 * static_cast<std::size_t>(scale);
+  const std::size_t frames = 6;
+  Rng rng(1616);
+  std::vector<double> particles(particles_n * kStateDim);
+  std::vector<double> next(particles_n * kStateDim);
+  std::vector<double> weights(particles_n), cumulative(particles_n);
+  std::vector<double> observation(kStateDim);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    DP_WRITE(particles[i]);
+    particles[i] = rng.uniform();
+  }
+
+  std::uint64_t check = 0;
+  for (std::size_t f = 0; f < frames; ++f) {
+    for (std::size_t d = 0; d < kStateDim; ++d) {
+      DP_WRITE(observation[d]);
+      observation[d] = 0.5 + 0.1 * std::sin(static_cast<double>(f + d));
+    }
+    DP_SYNC();  // thread creation orders observation writes
+
+    // Likelihoods in parallel.
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        const std::size_t lo = particles_n * t / threads;
+        const std::size_t hi = particles_n * (t + 1) / threads;
+        for (std::size_t i = lo; i < hi; ++i) {
+          DP_WRITE(weights[i]);
+          weights[i] = likelihood(particles, i, observation);
+        }
+        DP_SYNC();  // thread exit orders the weight writes
+      });
+    }
+    for (auto& th : pool) th.join();
+
+    // Sequential scan on the main thread (as the real pipeline does).
+    for (std::size_t i = 0; i < particles_n; ++i) {
+      DP_READ(weights[i]);
+      if (i == 0) {
+        DP_WRITE(cumulative[0]);
+        cumulative[0] = weights[0];
+      } else {
+        DP_READ(cumulative[i - 1]);
+        DP_WRITE(cumulative[i]);
+        cumulative[i] = cumulative[i - 1] + weights[i];
+      }
+    }
+
+    // Resampling in parallel (deterministic per-index jitter).
+    DP_SYNC();  // orders the cumulative-table writes before worker reads
+    const double total = cumulative[particles_n - 1];
+    std::vector<std::thread> rpool;
+    for (unsigned t = 0; t < threads; ++t) {
+      rpool.emplace_back([&, t] {
+        Rng lrng(1616 + f * 31 + t);
+        const std::size_t plo = particles_n * t / threads;
+        const std::size_t phi = particles_n * (t + 1) / threads;
+        for (std::size_t i = plo; i < phi; ++i) {
+          const double u = (static_cast<double>(i) + 0.5) * total /
+                           static_cast<double>(particles_n);
+          std::size_t lo = 0, hi2 = particles_n - 1;
+          while (lo < hi2) {
+            const std::size_t mid = (lo + hi2) / 2;
+            DP_READ(cumulative[mid]);
+            if (cumulative[mid] < u)
+              lo = mid + 1;
+            else
+              hi2 = mid;
+          }
+          for (std::size_t d = 0; d < kStateDim; ++d) {
+            DP_READ(particles[lo * kStateDim + d]);
+            DP_WRITE(next[i * kStateDim + d]);
+            next[i * kStateDim + d] =
+                particles[lo * kStateDim + d] + 0.01 * (lrng.uniform() - 0.5);
+          }
+        }
+        DP_SYNC();  // thread exit orders the resampled-state writes
+      });
+    }
+    for (auto& th : rpool) th.join();
+
+    particles.swap(next);
+    check += static_cast<std::uint64_t>(total * 1e3);
+  }
+
+  return {check};
+}
+
+Workload make_bodytrack() {
+  Workload w;
+  w.name = "bodytrack";
+  w.suite = "starbench";
+  w.run = run_bodytrack;
+  w.run_parallel = run_bodytrack_parallel;
+  w.loops = {{"frames", false}, {"likelihood", true}, {"scan", false},
+             {"resample", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

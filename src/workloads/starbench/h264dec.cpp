@@ -1,0 +1,132 @@
+// Starbench h264dec analogue: simplified video decode.  Within a frame,
+// macroblock rows use intra prediction from the left neighbour (carried
+// along the row) and motion compensation reads from the previous reference
+// frame; independent slices decode in parallel (the Starbench h264dec
+// parallelization).  The frame loop is carried through the reference frame.
+//
+// Loops (source order):
+//   frames      — NOT parallel (reference frame carried)
+//   slices      — parallel (slices are independent within a frame)
+//   macroblocks — NOT parallel (left-neighbour intra prediction carried)
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("h264dec");
+
+namespace depprof::workloads {
+namespace {
+
+constexpr std::size_t kMbSize = 16;   // pixels per macroblock (1D simplification)
+constexpr std::size_t kMbPerSlice = 24;
+constexpr std::size_t kSlices = 4;
+constexpr std::size_t kFrameLen = kMbSize * kMbPerSlice * kSlices;
+
+/// Decodes one slice of a frame: each macroblock mixes motion compensation
+/// (a shifted read from the reference frame) with intra prediction (the last
+/// pixel of the left-neighbour macroblock in the *current* frame).
+void decode_slice(const std::uint8_t* ref, std::uint8_t* cur, std::size_t slice,
+                  std::uint32_t mv) {
+  const std::size_t base = slice * kMbSize * kMbPerSlice;
+  DP_LOOP_BEGIN();
+  for (std::size_t mb = 0; mb < kMbPerSlice; ++mb) {
+    DP_LOOP_ITER();
+    const std::size_t mb_base = base + mb * kMbSize;
+    std::uint8_t intra = 128;
+    if (mb > 0) {
+      DP_READ_AT(cur + mb_base - 1, 1, "cur");
+      intra = cur[mb_base - 1];
+    }
+    for (std::size_t p = 0; p < kMbSize; ++p) {
+      const std::size_t src = (mb_base + p + mv) % kFrameLen;
+      DP_READ_AT(ref + src, 1, "ref");
+      DP_WRITE_AT(cur + mb_base + p, 1, "cur");
+      cur[mb_base + p] =
+          static_cast<std::uint8_t>((ref[src] + intra + static_cast<int>(p)) / 2);
+    }
+  }
+  DP_LOOP_END();
+}
+
+}  // namespace
+
+WorkloadResult run_h264dec(int scale) {
+  const std::size_t frames = 8 * static_cast<std::size_t>(scale);
+  Rng rng(1717);
+  std::vector<std::uint8_t> ref(kFrameLen), cur(kFrameLen);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    DP_WRITE(ref[i]);
+    ref[i] = static_cast<std::uint8_t>(rng.below(256));
+  }
+
+  std::uint64_t check = 0;
+  DP_LOOP_BEGIN();
+  for (std::size_t f = 0; f < frames; ++f) {
+    DP_LOOP_ITER();
+    const auto mv = static_cast<std::uint32_t>(rng.below(64));
+
+    DP_LOOP_BEGIN();
+    for (std::size_t s = 0; s < kSlices; ++s) {
+      DP_LOOP_ITER();
+      decode_slice(ref.data(), cur.data(), s, mv);
+    }
+    DP_LOOP_END();
+
+    ref.swap(cur);
+    check += ref[f % kFrameLen];
+  }
+  DP_LOOP_END();
+
+  return {check};
+}
+
+WorkloadResult run_h264dec_parallel(int scale, unsigned threads) {
+  const std::size_t frames = 8 * static_cast<std::size_t>(scale);
+  Rng rng(1717);
+  std::vector<std::uint8_t> ref(kFrameLen), cur(kFrameLen);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    DP_WRITE(ref[i]);
+    ref[i] = static_cast<std::uint8_t>(rng.below(256));
+  }
+
+  std::uint64_t check = 0;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const auto mv = static_cast<std::uint32_t>(rng.below(64));
+
+    // Slices decode on worker threads (kSlices tasks over `threads` workers).
+    DP_SYNC();  // spawning orders the previous frame's writes
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (std::size_t s = t; s < kSlices; s += threads)
+          decode_slice(ref.data(), cur.data(), s, mv);
+        DP_SYNC();  // thread exit orders this frame's writes
+      });
+    }
+    for (auto& th : pool) th.join();
+
+    ref.swap(cur);
+    check += ref[f % kFrameLen];
+  }
+
+  return {check};
+}
+
+Workload make_h264dec() {
+  Workload w;
+  w.name = "h264dec";
+  w.suite = "starbench";
+  w.run = run_h264dec;
+  w.run_parallel = run_h264dec_parallel;
+  // Ascending begin-line order: the macroblock loop lives in decode_slice
+  // above the frame and slice loops.
+  w.loops = {{"macroblocks", false}, {"frames", false}, {"slices", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

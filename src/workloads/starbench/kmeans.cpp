@@ -1,0 +1,196 @@
+// Starbench kmeans analogue: Lloyd iterations over N points in D dimensions.
+// Memory character: streaming reads of the point array, hot read-mostly
+// centroid array, small accumulator arrays with reduction updates.
+//
+// Loops (source order):
+//   outer Lloyd iteration   — NOT parallel (centroids carried across iters)
+//   assignment over points  — parallel in the pthread version
+//   centroid update over K  — parallel
+//
+// The parallel variant partitions points among threads with thread-local
+// accumulators merged under an InstrumentedMutex — the Starbench pattern.
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "mt/instrumented_mutex.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("kmeans");
+
+namespace depprof::workloads {
+namespace {
+
+constexpr std::size_t kDims = 4;
+constexpr std::size_t kClusters = 8;
+constexpr std::size_t kIters = 4;
+
+std::vector<double> make_points(std::size_t n) {
+  Rng rng(12345);
+  std::vector<double> pts(n * kDims);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    DP_WRITE(pts[i]);
+    pts[i] = rng.uniform() * 100.0;
+  }
+  return pts;
+}
+
+std::size_t nearest(const std::vector<double>& pts, std::size_t i,
+                    const std::vector<double>& centroids) {
+  double best = 1e300;
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < kClusters; ++k) {
+    double d = 0.0;
+    for (std::size_t d0 = 0; d0 < kDims; ++d0) {
+      DP_READ(pts[i * kDims + d0]);
+      DP_READ(centroids[k * kDims + d0]);
+      const double diff = pts[i * kDims + d0] - centroids[k * kDims + d0];
+      d += diff * diff;
+    }
+    if (d < best) {
+      best = d;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace
+
+WorkloadResult run_kmeans(int scale) {
+  const std::size_t n = 2'000 * static_cast<std::size_t>(scale);
+  std::vector<double> pts = make_points(n);
+  std::vector<double> centroids(kClusters * kDims);
+  for (std::size_t i = 0; i < centroids.size(); ++i) {
+    DP_READ(pts[i]);
+    DP_WRITE(centroids[i]);
+    centroids[i] = pts[i];
+  }
+  std::vector<std::uint32_t> assign(n, 0);
+  double prev_energy = 0.0;
+
+  DP_LOOP_BEGIN();
+  for (std::size_t it = 0; it < kIters; ++it) {
+    DP_LOOP_ITER();
+
+    DP_LOOP_BEGIN();
+    for (std::size_t i = 0; i < n; ++i) {
+      DP_LOOP_ITER();
+      const std::size_t k = nearest(pts, i, centroids);
+      DP_WRITE(assign[i]);
+      assign[i] = static_cast<std::uint32_t>(k);
+    }
+    DP_LOOP_END();
+
+    std::vector<double> sum(kClusters * kDims, 0.0);
+    std::vector<std::uint32_t> count(kClusters, 0);
+    DP_LOOP_BEGIN();
+    for (std::size_t i = 0; i < n; ++i) {
+      DP_LOOP_ITER();
+      DP_READ(assign[i]);
+      const std::size_t k = assign[i];
+      for (std::size_t d = 0; d < kDims; ++d) {
+        DP_READ(pts[i * kDims + d]);
+        DP_REDUCTION(); DP_UPDATE(sum[k * kDims + d]); sum[k * kDims + d] += pts[i * kDims + d];
+      }
+      DP_REDUCTION(); DP_UPDATE(count[k]); count[k] += 1;
+    }
+    DP_LOOP_END();
+
+    for (std::size_t k = 0; k < kClusters; ++k) {
+      if (count[k] == 0) continue;
+      for (std::size_t d = 0; d < kDims; ++d) {
+        DP_WRITE(centroids[k * kDims + d]);
+        centroids[k * kDims + d] = sum[k * kDims + d] / count[k];
+      }
+    }
+    DP_FREE(sum.data(), sum.size() * sizeof(double));
+    DP_FREE(count.data(), count.size() * sizeof(std::uint32_t));
+
+    // Convergence check: energy of this iteration vs the previous one — the
+    // loop-carried RAW that makes the Lloyd outer loop sequential.
+    double energy = 0.0;
+    for (std::size_t k = 0; k < centroids.size(); ++k) energy += centroids[k];
+    DP_READ(prev_energy);
+    const double diff = energy - prev_energy;
+    DP_WRITE(prev_energy);
+    prev_energy = energy;
+    if (std::fabs(diff) < 1e-12) break;
+  }
+  DP_LOOP_END();
+
+  std::uint64_t check = 0;
+  for (auto a : assign) check = check * 31 + a;
+  for (auto c : centroids) check += static_cast<std::uint64_t>(c);
+  return {check};
+}
+
+WorkloadResult run_kmeans_parallel(int scale, unsigned threads) {
+  const std::size_t n = 2'000 * static_cast<std::size_t>(scale);
+  std::vector<double> pts = make_points(n);
+  std::vector<double> centroids(kClusters * kDims);
+  for (std::size_t i = 0; i < centroids.size(); ++i) centroids[i] = pts[i];
+  std::vector<std::uint32_t> assign(n, 0);
+  InstrumentedMutex merge_mu;
+
+  for (std::size_t it = 0; it < kIters; ++it) {
+    DP_SYNC();  // spawning orders main's centroid writes before worker reads
+    std::vector<double> sum(kClusters * kDims, 0.0);
+    std::vector<std::uint32_t> count(kClusters, 0);
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        const std::size_t lo = n * t / threads;
+        const std::size_t hi = n * (t + 1) / threads;
+        std::vector<double> lsum(kClusters * kDims, 0.0);
+        std::vector<std::uint32_t> lcount(kClusters, 0);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t k = nearest(pts, i, centroids);
+          DP_WRITE(assign[i]);
+          assign[i] = static_cast<std::uint32_t>(k);
+          for (std::size_t d = 0; d < kDims; ++d)
+            lsum[k * kDims + d] += pts[i * kDims + d];
+          lcount[k] += 1;
+        }
+        std::lock_guard lock(merge_mu);
+        for (std::size_t j = 0; j < lsum.size(); ++j) {
+          DP_UPDATE(sum[j]);
+          sum[j] += lsum[j];
+        }
+        for (std::size_t k = 0; k < kClusters; ++k) {
+          DP_UPDATE(count[k]);
+          count[k] += lcount[k];
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+
+    for (std::size_t k = 0; k < kClusters; ++k) {
+      if (count[k] == 0) continue;
+      for (std::size_t d = 0; d < kDims; ++d) {
+        DP_WRITE(centroids[k * kDims + d]);
+        centroids[k * kDims + d] = sum[k * kDims + d] / count[k];
+      }
+    }
+  }
+
+  std::uint64_t check = 0;
+  for (auto a : assign) check = check * 31 + a;
+  for (auto c : centroids) check += static_cast<std::uint64_t>(c);
+  return {check};
+}
+
+Workload make_kmeans() {
+  Workload w;
+  w.name = "kmeans";
+  w.suite = "starbench";
+  w.run = run_kmeans;
+  w.run_parallel = run_kmeans_parallel;
+  w.loops = {{"lloyd-outer", false}, {"assign", true}, {"update", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

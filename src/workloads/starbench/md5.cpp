@@ -1,0 +1,169 @@
+// Starbench md5 analogue: real MD5 over many independent buffers.  The
+// buffer loop is parallel (the Starbench pthread version hashes buffers on
+// worker threads); the block chain *within* one buffer is carried (each
+// block folds into the running digest state).
+//
+// Loops (source order):
+//   buffers — parallel
+//   blocks  — NOT parallel (digest state carried block to block)
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("md5");
+
+namespace depprof::workloads {
+namespace {
+
+constexpr std::uint32_t kInit[4] = {0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                                    0x10325476u};
+
+constexpr std::uint32_t kK[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr int kS[64] = {7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12,
+                        17, 22, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+                        5, 9,  14, 20, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11,
+                        16, 23, 4, 11, 16, 23, 6, 10, 15, 21, 6, 10, 15, 21,
+                        6, 10, 15, 21, 6, 10, 15, 21};
+
+std::uint32_t rotl(std::uint32_t x, int s) { return (x << s) | (x >> (32 - s)); }
+
+/// One MD5 compression of a 64-byte block into the digest state.
+void md5_block(std::uint32_t state[4], const std::uint8_t* block) {
+  std::uint32_t m[16];
+  std::memcpy(m, block, 64);
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl(a + f + kK[i] + m[g], kS[i]);
+    a = tmp;
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+}
+
+std::uint64_t hash_buffer(const std::uint8_t* data, std::size_t blocks,
+                          std::uint32_t* state) {
+  DP_LOOP_BEGIN();
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    DP_LOOP_ITER();
+    // One load per 32-bit message word, as the IR-level instrumentation of
+    // the real decoder would see.
+    for (std::size_t word = 0; word < 16; ++word)
+      DP_READ_AT(data + blk * 64 + word * 4, 4, "block");
+    DP_READ_AT(state, 16, "state");
+    md5_block(state, data + blk * 64);
+    DP_WRITE_AT(state, 16, "state");
+  }
+  DP_LOOP_END();
+  return (static_cast<std::uint64_t>(state[0]) << 32) | state[1];
+}
+
+std::vector<std::uint8_t> make_data(std::size_t bytes) {
+  Rng rng(909);
+  std::vector<std::uint8_t> data(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    if (i % 64 == 0) DP_WRITE_AT(&data[i], 64, "data");
+    data[i] = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return data;
+}
+
+}  // namespace
+
+WorkloadResult run_md5(int scale) {
+  const std::size_t buffers = 32 * static_cast<std::size_t>(scale);
+  const std::size_t blocks = 64;  // 4 KiB per buffer
+  std::vector<std::uint8_t> data = make_data(buffers * blocks * 64);
+  std::vector<std::uint32_t> states(buffers * 4);
+  std::uint64_t check = 0;
+
+  DP_LOOP_BEGIN();
+  for (std::size_t buf = 0; buf < buffers; ++buf) {
+    DP_LOOP_ITER();
+    std::uint32_t* st = &states[buf * 4];
+    std::memcpy(st, kInit, sizeof(kInit));
+    check ^= hash_buffer(data.data() + buf * blocks * 64, blocks, st);
+  }
+  DP_LOOP_END();
+
+  return {check};
+}
+
+WorkloadResult run_md5_parallel(int scale, unsigned threads) {
+  const std::size_t buffers = 32 * static_cast<std::size_t>(scale);
+  const std::size_t blocks = 64;
+  std::vector<std::uint8_t> data = make_data(buffers * blocks * 64);
+  std::vector<std::uint32_t> states(buffers * 4);
+  std::vector<std::uint64_t> partial(threads, 0);
+
+  DP_SYNC();  // spawning orders the input-data writes
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      const std::size_t lo = buffers * t / threads;
+      const std::size_t hi = buffers * (t + 1) / threads;
+      for (std::size_t buf = lo; buf < hi; ++buf) {
+        std::uint32_t* st = &states[buf * 4];
+        std::memcpy(st, kInit, sizeof(kInit));
+        partial[t] ^= hash_buffer(data.data() + buf * blocks * 64, blocks, st);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  std::uint64_t check = 0;
+  for (auto p : partial) check ^= p;
+  return {check};
+}
+
+Workload make_md5() {
+  Workload w;
+  w.name = "md5";
+  w.suite = "starbench";
+  w.run = run_md5;
+  w.run_parallel = run_md5_parallel;
+  // Ascending begin-line order: the block chain inside hash_buffer is
+  // defined before the buffer loop in this file.
+  w.loops = {{"blocks", false}, {"buffers", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

@@ -1,0 +1,158 @@
+// Starbench ray-rot analogue: ray tracing followed by rotation of the
+// rendered frame — the combined kernel of the suite.  Both row loops are
+// parallel; the rotation reads what the tracer wrote (a forward,
+// non-carried inter-stage dependence).
+//
+// Loops (source order):
+//   trace rows  — parallel
+//   rotate rows — parallel
+
+#include <cmath>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("ray-rot");
+
+namespace depprof::workloads {
+namespace {
+
+constexpr std::size_t kSpheres = 12;
+
+struct Scene {
+  double cx[kSpheres], cy[kSpheres], cz[kSpheres], rad[kSpheres];
+};
+
+Scene make_scene() {
+  Rng rng(1313);
+  Scene s{};
+  for (std::size_t i = 0; i < kSpheres; ++i) {
+    DP_WRITE(s.cx[i]);
+    s.cx[i] = rng.uniform() * 8.0 - 4.0;
+    DP_WRITE(s.cy[i]);
+    s.cy[i] = rng.uniform() * 8.0 - 4.0;
+    DP_WRITE(s.cz[i]);
+    s.cz[i] = rng.uniform() * 4.0 + 2.0;
+    DP_WRITE(s.rad[i]);
+    s.rad[i] = 0.3 + rng.uniform();
+  }
+  return s;
+}
+
+double shade_pixel(const Scene& s, double dx, double dy) {
+  const double norm = std::sqrt(dx * dx + dy * dy + 1.0);
+  double best = 1e30, shade = 0.1;
+  for (std::size_t i = 0; i < kSpheres; ++i) {
+    DP_READ(s.cx[i]);
+    DP_READ(s.cy[i]);
+    DP_READ(s.cz[i]);
+    DP_READ(s.rad[i]);
+    const double b = (-s.cx[i] * dx - s.cy[i] * dy - s.cz[i]) / norm;
+    const double c =
+        s.cx[i] * s.cx[i] + s.cy[i] * s.cy[i] + s.cz[i] * s.cz[i] - s.rad[i] * s.rad[i];
+    const double disc = b * b - c;
+    if (disc > 0.0) {
+      const double t = -b - std::sqrt(disc);
+      if (t > 0.0 && t < best) {
+        best = t;
+        shade = 1.0 / (1.0 + 0.2 * t);
+      }
+    }
+  }
+  return shade;
+}
+
+void trace_rows(const Scene& s, std::size_t w, std::size_t h, std::size_t lo,
+                std::size_t hi, float* frame) {
+  for (std::size_t y = lo; y < hi; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const double dx = 2.0 * static_cast<double>(x) / static_cast<double>(w) - 1.0;
+      const double dy = 2.0 * static_cast<double>(y) / static_cast<double>(h) - 1.0;
+      DP_WRITE_AT(frame + y * w + x, 4, "frame");
+      frame[y * w + x] = static_cast<float>(shade_pixel(s, dx, dy));
+    }
+  }
+}
+
+void rotate_rows(const float* frame, std::size_t w, std::size_t h,
+                 std::size_t lo, std::size_t hi, float* out) {
+  for (std::size_t y = lo; y < hi; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      DP_READ_AT(frame + y * w + x, 4, "frame");
+      DP_WRITE_AT(out + x * h + (h - 1 - y), 4, "out");
+      out[x * h + (h - 1 - y)] = frame[y * w + x];
+    }
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_rayrot(int scale) {
+  const std::size_t w = 96, h = 48 * static_cast<std::size_t>(scale);
+  Scene s = make_scene();
+  std::vector<float> frame(w * h, 0.0f), out(w * h, 0.0f);
+
+  DP_LOOP_BEGIN();
+  for (std::size_t y = 0; y < h; ++y) {
+    DP_LOOP_ITER();
+    trace_rows(s, w, h, y, y + 1, frame.data());
+  }
+  DP_LOOP_END();
+
+  DP_LOOP_BEGIN();
+  for (std::size_t y = 0; y < h; ++y) {
+    DP_LOOP_ITER();
+    rotate_rows(frame.data(), w, h, y, y + 1, out.data());
+  }
+  DP_LOOP_END();
+
+  std::uint64_t check = 0;
+  for (float v : out) check += static_cast<std::uint64_t>(v * 255.0f);
+  return {check};
+}
+
+WorkloadResult run_rayrot_parallel(int scale, unsigned threads) {
+  const std::size_t w = 96, h = 48 * static_cast<std::size_t>(scale);
+  Scene s = make_scene();
+  std::vector<float> frame(w * h, 0.0f), out(w * h, 0.0f);
+
+  DP_SYNC();  // spawning orders the scene-init writes
+  {
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t)
+      pool.emplace_back([&, t] {
+        trace_rows(s, w, h, h * t / threads, h * (t + 1) / threads, frame.data());
+        DP_SYNC();  // thread exit orders the frame for the rotate stage
+      });
+    for (auto& th : pool) th.join();
+  }
+  {
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t)
+      pool.emplace_back([&, t] {
+        rotate_rows(frame.data(), w, h, h * t / threads, h * (t + 1) / threads,
+                    out.data());
+      });
+    for (auto& th : pool) th.join();
+  }
+
+  std::uint64_t check = 0;
+  for (float v : out) check += static_cast<std::uint64_t>(v * 255.0f);
+  return {check};
+}
+
+Workload make_rayrot() {
+  Workload w;
+  w.name = "ray-rot";
+  w.suite = "starbench";
+  w.run = run_rayrot;
+  w.run_parallel = run_rayrot_parallel;
+  w.loops = {{"trace-rows", true}, {"rotate-rows", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

@@ -1,0 +1,100 @@
+// Starbench rgbyuv analogue: pixel-wise RGB -> YUV colour conversion.  One
+// streaming pass over a large interleaved RGB buffer into three planes —
+// very many distinct addresses with exactly one or two touches each, the
+// pattern that gives rgbyuv the highest signature FPR in Table I.
+//
+// Loops (source order):
+//   pixels — parallel
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("rgbyuv");
+
+namespace depprof::workloads {
+namespace {
+
+std::vector<std::uint8_t> make_image(std::size_t pixels) {
+  Rng rng(1010);
+  std::vector<std::uint8_t> rgb(pixels * 3);
+  for (std::size_t p = 0; p < pixels; ++p) {
+    DP_WRITE_AT(&rgb[p * 3], 3, "rgb");
+    rgb[p * 3 + 0] = static_cast<std::uint8_t>(rng.below(256));
+    rgb[p * 3 + 1] = static_cast<std::uint8_t>(rng.below(256));
+    rgb[p * 3 + 2] = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return rgb;
+}
+
+void convert_range(const std::vector<std::uint8_t>& rgb, std::size_t lo,
+                   std::size_t hi, std::uint8_t* y, std::uint8_t* u,
+                   std::uint8_t* v) {
+  for (std::size_t p = lo; p < hi; ++p) {
+    DP_READ(rgb[p * 3 + 0]);
+    DP_READ(rgb[p * 3 + 1]);
+    DP_READ(rgb[p * 3 + 2]);
+    const int r = rgb[p * 3 + 0], g = rgb[p * 3 + 1], b = rgb[p * 3 + 2];
+    DP_WRITE_AT(y + p, 1, "y[p]");
+    y[p] = static_cast<std::uint8_t>((66 * r + 129 * g + 25 * b + 4096) >> 8);
+    DP_WRITE_AT(u + p, 1, "u[p]");
+    u[p] = static_cast<std::uint8_t>((-38 * r - 74 * g + 112 * b + 32768) >> 8);
+    DP_WRITE_AT(v + p, 1, "v[p]");
+    v[p] = static_cast<std::uint8_t>((112 * r - 94 * g - 18 * b + 32768) >> 8);
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_rgbyuv(int scale) {
+  const std::size_t pixels = 65'536 * static_cast<std::size_t>(scale);
+  std::vector<std::uint8_t> rgb = make_image(pixels);
+  std::vector<std::uint8_t> y(pixels), u(pixels), v(pixels);
+
+  DP_LOOP_BEGIN();
+  for (std::size_t p = 0; p < pixels; ++p) {
+    DP_LOOP_ITER();
+    convert_range(rgb, p, p + 1, y.data(), u.data(), v.data());
+  }
+  DP_LOOP_END();
+
+  std::uint64_t check = 0;
+  for (std::size_t p = 0; p < pixels; ++p) check += y[p] + u[p] + v[p];
+  return {check};
+}
+
+WorkloadResult run_rgbyuv_parallel(int scale, unsigned threads) {
+  const std::size_t pixels = 65'536 * static_cast<std::size_t>(scale);
+  std::vector<std::uint8_t> rgb = make_image(pixels);
+  std::vector<std::uint8_t> y(pixels), u(pixels), v(pixels);
+
+  DP_SYNC();  // spawning orders the image-init writes
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      convert_range(rgb, pixels * t / threads, pixels * (t + 1) / threads,
+                    y.data(), u.data(), v.data());
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  std::uint64_t check = 0;
+  for (std::size_t p = 0; p < pixels; ++p) check += y[p] + u[p] + v[p];
+  return {check};
+}
+
+Workload make_rgbyuv() {
+  Workload w;
+  w.name = "rgbyuv";
+  w.suite = "starbench";
+  w.run = run_rgbyuv;
+  w.run_parallel = run_rgbyuv_parallel;
+  w.loops = {{"pixels", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

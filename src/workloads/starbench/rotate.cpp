@@ -1,0 +1,93 @@
+// Starbench rotate analogue: 90-degree image rotation.  Reads stream
+// row-major while writes land column-major (transposed stride) — large
+// address footprint with a cache-hostile pattern, matching rotate's high
+// FPR in Table I.  Rows are independent (parallel).
+//
+// Loops (source order):
+//   rows — parallel
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("rotate");
+
+namespace depprof::workloads {
+namespace {
+
+std::vector<std::uint32_t> make_image(std::size_t w, std::size_t h) {
+  Rng rng(1111);
+  std::vector<std::uint32_t> img(w * h);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    DP_WRITE(img[i]);
+    img[i] = static_cast<std::uint32_t>(rng.below(1u << 24));
+  }
+  return img;
+}
+
+void rotate_rows(const std::vector<std::uint32_t>& src, std::size_t w,
+                 std::size_t h, std::size_t row_lo, std::size_t row_hi,
+                 std::uint32_t* dst) {
+  // dst is h x w: dst[x][h-1-y] = src[y][x].
+  for (std::size_t y = row_lo; y < row_hi; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      DP_READ(src[y * w + x]);
+      DP_WRITE_AT(dst + x * h + (h - 1 - y), 4, "dst");
+      dst[x * h + (h - 1 - y)] = src[y * w + x];
+    }
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_rotate(int scale) {
+  const std::size_t w = 256, h = 128 * static_cast<std::size_t>(scale);
+  std::vector<std::uint32_t> src = make_image(w, h);
+  std::vector<std::uint32_t> dst(w * h, 0);
+
+  DP_LOOP_BEGIN();
+  for (std::size_t y = 0; y < h; ++y) {
+    DP_LOOP_ITER();
+    rotate_rows(src, w, h, y, y + 1, dst.data());
+  }
+  DP_LOOP_END();
+
+  std::uint64_t check = 0;
+  for (auto p : dst) check += p & 0xFF;
+  return {check};
+}
+
+WorkloadResult run_rotate_parallel(int scale, unsigned threads) {
+  const std::size_t w = 256, h = 128 * static_cast<std::size_t>(scale);
+  std::vector<std::uint32_t> src = make_image(w, h);
+  std::vector<std::uint32_t> dst(w * h, 0);
+
+  DP_SYNC();  // spawning orders the image-init writes
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      rotate_rows(src, w, h, h * t / threads, h * (t + 1) / threads, dst.data());
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  std::uint64_t check = 0;
+  for (auto p : dst) check += p & 0xFF;
+  return {check};
+}
+
+Workload make_rotate() {
+  Workload w;
+  w.name = "rotate";
+  w.suite = "starbench";
+  w.run = run_rotate;
+  w.run_parallel = run_rotate_parallel;
+  w.loops = {{"rows", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

@@ -1,0 +1,134 @@
+// Starbench rot-cc analogue: rotation followed by colour conversion — the
+// two-stage pipeline variant.  Stage one rotates into an intermediate
+// buffer, stage two converts it; each stage's row loop is parallel, and the
+// pthread version pipelines the stages.  The union of both footprints gives
+// rot-cc the largest distinct-address count of the suite (highest FPR row in
+// Table I).
+//
+// Loops (source order):
+//   rotate rows  — parallel
+//   convert rows — parallel
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("rot-cc");
+
+namespace depprof::workloads {
+namespace {
+
+std::vector<std::uint32_t> make_image(std::size_t w, std::size_t h) {
+  Rng rng(1212);
+  std::vector<std::uint32_t> img(w * h);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    DP_WRITE(img[i]);
+    img[i] = static_cast<std::uint32_t>(rng.below(1u << 24));
+  }
+  return img;
+}
+
+void rotate_rows(const std::vector<std::uint32_t>& src, std::size_t w,
+                 std::size_t h, std::size_t lo, std::size_t hi,
+                 std::uint32_t* mid) {
+  for (std::size_t y = lo; y < hi; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      DP_READ(src[y * w + x]);
+      DP_WRITE_AT(mid + x * h + (h - 1 - y), 4, "mid");
+      mid[x * h + (h - 1 - y)] = src[y * w + x];
+    }
+  }
+}
+
+void convert_rows(const std::uint32_t* mid, std::size_t w, std::size_t lo,
+                  std::size_t hi, std::uint8_t* luma) {
+  // After rotation the image is h x w (columns become rows); `w` here is the
+  // rotated row length, i.e. the original height.
+  for (std::size_t y = lo; y < hi; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      DP_READ_AT(mid + y * w + x, 4, "mid");
+      const std::uint32_t p = mid[y * w + x];
+      const int r = static_cast<int>(p & 0xFF);
+      const int g = static_cast<int>((p >> 8) & 0xFF);
+      const int b = static_cast<int>((p >> 16) & 0xFF);
+      DP_WRITE_AT(luma + y * w + x, 1, "luma");
+      luma[y * w + x] = static_cast<std::uint8_t>((66 * r + 129 * g + 25 * b + 4096) >> 8);
+    }
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_rotcc(int scale) {
+  const std::size_t w = 256, h = 96 * static_cast<std::size_t>(scale);
+  std::vector<std::uint32_t> src = make_image(w, h);
+  std::vector<std::uint32_t> mid(w * h, 0);
+  std::vector<std::uint8_t> luma(w * h, 0);
+
+  DP_LOOP_BEGIN();
+  for (std::size_t y = 0; y < h; ++y) {
+    DP_LOOP_ITER();
+    rotate_rows(src, w, h, y, y + 1, mid.data());
+  }
+  DP_LOOP_END();
+
+  DP_LOOP_BEGIN();
+  for (std::size_t y = 0; y < w; ++y) {  // rotated image is h x w
+    DP_LOOP_ITER();
+    convert_rows(mid.data(), h, y, y + 1, luma.data());
+  }
+  DP_LOOP_END();
+
+  std::uint64_t check = 0;
+  for (auto p : luma) check += p;
+  return {check};
+}
+
+WorkloadResult run_rotcc_parallel(int scale, unsigned threads) {
+  const std::size_t w = 256, h = 96 * static_cast<std::size_t>(scale);
+  std::vector<std::uint32_t> src = make_image(w, h);
+  std::vector<std::uint32_t> mid(w * h, 0);
+  std::vector<std::uint8_t> luma(w * h, 0);
+
+  DP_SYNC();  // spawning orders the image-init writes
+  {
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        rotate_rows(src, w, h, h * t / threads, h * (t + 1) / threads, mid.data());
+        DP_SYNC();  // thread exit orders the rotated rows for stage two
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  {
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        convert_rows(mid.data(), h, w * t / threads, w * (t + 1) / threads,
+                     luma.data());
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  std::uint64_t check = 0;
+  for (auto p : luma) check += p;
+  return {check};
+}
+
+Workload make_rotcc() {
+  Workload w;
+  w.name = "rot-cc";
+  w.suite = "starbench";
+  w.run = run_rotcc;
+  w.run_parallel = run_rotcc_parallel;
+  w.loops = {{"rotate-rows", true}, {"convert-rows", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

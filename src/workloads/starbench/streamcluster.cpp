@@ -1,0 +1,175 @@
+// Starbench streamcluster analogue: online facility-location clustering.
+// Distance evaluation over all points is parallel (with a cost reduction);
+// the decision loop over candidate centers is carried (each opened center
+// changes the assignment the next candidate is judged against) — the small
+// hot working set (few addresses, many touches) that makes streamcluster
+// the *low*-FPR row of Table I.
+//
+// Loops (source order):
+//   candidates — NOT parallel (carried via assignment/cost state)
+//   distances  — parallel (reduction on cost)
+
+#include <cmath>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "mt/instrumented_mutex.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("streamcluster");
+
+namespace depprof::workloads {
+namespace {
+
+constexpr std::size_t kDims = 3;
+
+double dist2(const std::vector<float>& pts, std::size_t a, std::size_t b) {
+  double d = 0.0;
+  for (std::size_t k = 0; k < kDims; ++k) {
+    DP_READ(pts[a * kDims + k]);
+    DP_READ(pts[b * kDims + k]);
+    const double diff = pts[a * kDims + k] - pts[b * kDims + k];
+    d += diff * diff;
+  }
+  return d;
+}
+
+std::vector<float> make_points(std::size_t n) {
+  Rng rng(1414);
+  std::vector<float> pts(n * kDims);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    DP_WRITE(pts[i]);
+    pts[i] = static_cast<float>(rng.uniform());
+  }
+  return pts;
+}
+
+}  // namespace
+
+WorkloadResult run_streamcluster(int scale) {
+  const std::size_t n = 600 * static_cast<std::size_t>(scale);
+  const std::size_t candidates = 24;
+  std::vector<float> pts = make_points(n);
+  std::vector<std::uint32_t> center(n, 0);
+  std::vector<float> cost(n);
+  for (std::size_t i = 0; i < n; ++i)
+    cost[i] = static_cast<float>(dist2(pts, i, 0));
+  double total_cost = 0.0;
+
+  DP_LOOP_BEGIN();
+  for (std::size_t c = 1; c <= candidates; ++c) {
+    DP_LOOP_ITER();
+    const std::size_t cand = (c * 37) % n;
+
+    double gain = 0.0;
+    DP_LOOP_BEGIN();
+    for (std::size_t i = 0; i < n; ++i) {
+      DP_LOOP_ITER();
+      const double d = dist2(pts, i, cand);
+      DP_READ(cost[i]);
+      if (d < cost[i]) {
+        DP_REDUCTION(); DP_UPDATE(gain); gain += cost[i] - d;
+      }
+    }
+    DP_LOOP_END();
+
+    if (gain > 1.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = dist2(pts, i, cand);
+        DP_READ(cost[i]);
+        if (d < cost[i]) {
+          DP_WRITE(cost[i]);
+          cost[i] = static_cast<float>(d);
+          DP_WRITE(center[i]);
+          center[i] = static_cast<std::uint32_t>(cand);
+        }
+      }
+    }
+    DP_READ(total_cost);
+    DP_WRITE(total_cost);
+    total_cost = total_cost * 0.5 + gain;
+  }
+  DP_LOOP_END();
+
+  std::uint64_t check = static_cast<std::uint64_t>(total_cost * 1e3);
+  for (auto c : center) check += c;
+  return {check};
+}
+
+WorkloadResult run_streamcluster_parallel(int scale, unsigned threads) {
+  const std::size_t n = 600 * static_cast<std::size_t>(scale);
+  const std::size_t candidates = 24;
+  std::vector<float> pts = make_points(n);
+  std::vector<std::uint32_t> center(n, 0);
+  std::vector<float> cost(n);
+  for (std::size_t i = 0; i < n; ++i)
+    cost[i] = static_cast<float>(dist2(pts, i, 0));
+  double total_cost = 0.0;
+  InstrumentedMutex gain_mu;
+
+  for (std::size_t c = 1; c <= candidates; ++c) {
+    DP_SYNC();  // spawning orders main's cost/point writes for the workers
+    const std::size_t cand = (c * 37) % n;
+    double gain = 0.0;
+
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        const std::size_t lo = n * t / threads;
+        const std::size_t hi = n * (t + 1) / threads;
+        double local = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double d = dist2(pts, i, cand);
+          DP_READ(cost[i]);
+          if (d < cost[i]) local += cost[i] - d;
+        }
+        std::lock_guard lock(gain_mu);
+        DP_UPDATE(gain);
+        gain += local;
+      });
+    }
+    for (auto& th : pool) th.join();
+
+    if (gain > 1.0) {
+      std::vector<std::thread> upd;
+      for (unsigned t = 0; t < threads; ++t) {
+        upd.emplace_back([&, t] {
+          const std::size_t lo = n * t / threads;
+          const std::size_t hi = n * (t + 1) / threads;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const double d = dist2(pts, i, cand);
+            DP_READ(cost[i]);
+            if (d < cost[i]) {
+              DP_WRITE(cost[i]);
+              cost[i] = static_cast<float>(d);
+              DP_WRITE(center[i]);
+              center[i] = static_cast<std::uint32_t>(cand);
+            }
+          }
+          DP_SYNC();  // thread exit orders the cost updates
+        });
+      }
+      for (auto& th : upd) th.join();
+    }
+    total_cost = total_cost * 0.5 + gain;
+  }
+
+  std::uint64_t check = static_cast<std::uint64_t>(total_cost * 1e3);
+  for (auto c : center) check += c;
+  return {check};
+}
+
+Workload make_streamcluster() {
+  Workload w;
+  w.name = "streamcluster";
+  w.suite = "starbench";
+  w.run = run_streamcluster;
+  w.run_parallel = run_streamcluster_parallel;
+  w.loops = {{"candidates", false}, {"distances", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

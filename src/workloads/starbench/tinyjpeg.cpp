@@ -1,0 +1,146 @@
+// Starbench tinyjpeg analogue: JPEG-style decode.  The entropy-decode pass
+// walks a bitstream with a carried cursor (sequential); the per-block IDCT
+// pass is parallel over 8x8 blocks.  The tiny working set per block with
+// heavy re-touching matches tinyjpeg's low distinct-address count in
+// Table I.
+//
+// Loops (source order):
+//   entropy — NOT parallel (bitstream cursor carried)
+//   idct    — parallel (blocks independent)
+
+#include <cmath>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instrument/macros.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("tinyjpeg");
+
+namespace depprof::workloads {
+namespace {
+
+constexpr std::size_t kBlockSize = 64;  // 8x8 coefficients
+
+void idct_block(const std::int16_t* coef, std::uint8_t* out) {
+  // Separable 8-point transform approximation (sums over rows/cols).
+  double tmp[kBlockSize];
+  for (std::size_t u = 0; u < 8; ++u) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      double s = 0.0;
+      for (std::size_t v = 0; v < 8; ++v) {
+        DP_READ_AT(coef + u * 8 + v, 2, "coef");
+        s += coef[u * 8 + v] *
+             std::cos((2.0 * static_cast<double>(x) + 1.0) *
+                      static_cast<double>(v) * 0.19634954);
+      }
+      tmp[u * 8 + x] = s;
+    }
+  }
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    DP_WRITE_AT(out + i, 1, "pixels");
+    const double v = tmp[i] / 8.0 + 128.0;
+    out[i] = static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+  }
+}
+
+}  // namespace
+
+WorkloadResult run_tinyjpeg(int scale) {
+  const std::size_t blocks = 96 * static_cast<std::size_t>(scale);
+  Rng rng(1515);
+  std::vector<std::uint8_t> bitstream(blocks * 80);
+  for (std::size_t i = 0; i < bitstream.size(); ++i) {
+    DP_WRITE(bitstream[i]);
+    bitstream[i] = static_cast<std::uint8_t>(rng.below(256));
+  }
+  std::vector<std::int16_t> coef(blocks * kBlockSize, 0);
+  std::vector<std::uint8_t> pixels(blocks * kBlockSize, 0);
+  std::size_t cursor = 0;
+
+  // Entropy decode: the bitstream cursor makes this strictly sequential.
+  DP_LOOP_BEGIN();
+  for (std::size_t b = 0; b < blocks; ++b) {
+    DP_LOOP_ITER();
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+      DP_READ(cursor);
+      DP_READ(bitstream[cursor % bitstream.size()]);
+      const std::uint8_t byte = bitstream[cursor % bitstream.size()];
+      DP_WRITE(coef[b * kBlockSize + i]);
+      coef[b * kBlockSize + i] = static_cast<std::int16_t>((byte & 0x3F) - 32);
+      DP_WRITE(cursor);
+      cursor += 1 + (byte >> 6);  // variable-length consume
+    }
+  }
+  DP_LOOP_END();
+
+  DP_LOOP_BEGIN();
+  for (std::size_t b = 0; b < blocks; ++b) {
+    DP_LOOP_ITER();
+    idct_block(&coef[b * kBlockSize], &pixels[b * kBlockSize]);
+  }
+  DP_LOOP_END();
+
+  std::uint64_t check = 0;
+  for (auto p : pixels) check += p;
+  return {check};
+}
+
+WorkloadResult run_tinyjpeg_parallel(int scale, unsigned threads) {
+  const std::size_t blocks = 96 * static_cast<std::size_t>(scale);
+  Rng rng(1515);
+  std::vector<std::uint8_t> bitstream(blocks * 80);
+  for (std::size_t i = 0; i < bitstream.size(); ++i) {
+    DP_WRITE(bitstream[i]);
+    bitstream[i] = static_cast<std::uint8_t>(rng.below(256));
+  }
+  std::vector<std::int16_t> coef(blocks * kBlockSize, 0);
+  std::vector<std::uint8_t> pixels(blocks * kBlockSize, 0);
+  std::size_t cursor = 0;
+
+  // Entropy decode stays on the main thread (as in the real decoder)...
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+      DP_READ(cursor);
+      DP_READ(bitstream[cursor % bitstream.size()]);
+      const std::uint8_t byte = bitstream[cursor % bitstream.size()];
+      DP_WRITE(coef[b * kBlockSize + i]);
+      coef[b * kBlockSize + i] = static_cast<std::int16_t>((byte & 0x3F) - 32);
+      DP_WRITE(cursor);
+      cursor += 1 + (byte >> 6);
+    }
+  }
+
+  // ...while the IDCT fans out over worker threads.
+  DP_SYNC();  // spawning orders the decoded coefficients for the workers
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      const std::size_t lo = blocks * t / threads;
+      const std::size_t hi = blocks * (t + 1) / threads;
+      for (std::size_t b = lo; b < hi; ++b)
+        idct_block(&coef[b * kBlockSize], &pixels[b * kBlockSize]);
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  std::uint64_t check = 0;
+  for (auto p : pixels) check += p;
+  return {check};
+}
+
+Workload make_tinyjpeg() {
+  Workload w;
+  w.name = "tinyjpeg";
+  w.suite = "starbench";
+  w.run = run_tinyjpeg;
+  w.run_parallel = run_tinyjpeg_parallel;
+  // Ascending begin-line order: idct_block's reads live above the loops but
+  // carry no DP_LOOP of their own; the instrumented loops are entropy, idct.
+  w.loops = {{"entropy", false}, {"idct", true}};
+  return w;
+}
+
+}  // namespace depprof::workloads

@@ -1,0 +1,57 @@
+#pragma once
+// Workload registry — the NAS / Starbench / SPLASH analogue suites.
+//
+// Each workload is a compact, instrumented kernel reproducing the memory-
+// access character of the corresponding benchmark (see the substitution
+// table in DESIGN.md).  A workload binary runs identically with and without
+// an attached profiler (macros cost one branch when disabled), providing the
+// native baseline of the slowdown experiments.
+//
+// For Table II every sequential workload carries ground truth: for each
+// instrumented loop, in source order of the loop's DP_LOOP_BEGIN, whether
+// the loop is annotated parallel in the "OpenMP version" of the analogue.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace depprof {
+
+struct WorkloadResult {
+  /// Value derived from the computation; consumed by the harness so the
+  /// optimizer cannot elide the kernel, and checked by tests for
+  /// run-to-run determinism.
+  std::uint64_t checksum = 0;
+};
+
+/// Ground truth for one instrumented loop (Table II).
+struct LoopTruth {
+  const char* label;
+  bool parallelizable;  ///< annotated in the OpenMP version of the analogue
+};
+
+struct Workload {
+  std::string name;
+  std::string suite;  ///< "nas", "starbench", or "splash"
+  /// Sequential kernel; `scale` multiplies the problem size (1 = default).
+  std::function<WorkloadResult(int scale)> run;
+  /// Pthread-style parallel variant (Starbench/SPLASH); empty if none.
+  std::function<WorkloadResult(int scale, unsigned threads)> run_parallel;
+  /// Ground truth per instrumented loop, in ascending order of the loop's
+  /// begin location (the order ControlFlowLog::loops is sorted in).
+  std::vector<LoopTruth> loops;
+};
+
+/// All registered workloads (stable order: NAS, then Starbench, then SPLASH).
+const std::vector<Workload>& all_workloads();
+
+/// Lookup by name; nullptr if unknown.
+const Workload* find_workload(std::string_view name);
+
+/// Convenience filters.
+std::vector<const Workload*> workloads_in_suite(std::string_view suite);
+std::vector<const Workload*> parallel_workloads();
+
+}  // namespace depprof

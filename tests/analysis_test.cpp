@@ -1,0 +1,204 @@
+// Tests for the Sec. VII analyses: loop-parallelism discovery and the
+// communication matrix, plus the race-report extraction of Sec. V-B.
+
+#include <gtest/gtest.h>
+
+#include "analysis/comm_matrix.hpp"
+#include "analysis/loop_parallelism.hpp"
+#include "mt/race_report.hpp"
+
+namespace depprof {
+namespace {
+
+DepKey key(DepType type, std::uint32_t sink_line, std::uint32_t src_line,
+           std::uint16_t sink_tid = 0, std::uint16_t src_tid = 0) {
+  DepKey k;
+  k.type = type;
+  k.sink_loc = SourceLocation(1, sink_line).packed();
+  k.src_loc = src_line ? SourceLocation(1, src_line).packed() : 0;
+  k.sink_tid = sink_tid;
+  k.src_tid = src_tid;
+  return k;
+}
+
+LoopRecord loop(std::uint32_t begin, std::uint32_t end) {
+  LoopRecord l;
+  l.loop_id = SourceLocation(1, begin).packed();
+  l.begin_loc = SourceLocation(1, begin).packed();
+  l.end_loc = SourceLocation(1, end).packed();
+  l.iterations = 100;
+  return l;
+}
+
+// ------------------------------------------------------- loop parallelism
+
+TEST(LoopParallelism, NoDepsMeansParallelizable) {
+  ControlFlowLog cf;
+  cf.loops.push_back(loop(10, 20));
+  DepMap deps;
+  const auto verdicts = analyze_loops(deps, cf);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0].parallelizable);
+}
+
+TEST(LoopParallelism, CarriedRawBlocks) {
+  ControlFlowLog cf;
+  cf.loops.push_back(loop(10, 20));
+  DepMap deps;
+  deps.add(key(DepType::kRaw, 15, 16), kLoopCarried,
+           SourceLocation(1, 10).packed());
+  const auto verdicts = analyze_loops(deps, cf);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].parallelizable);
+  ASSERT_EQ(verdicts[0].blockers.size(), 1u);
+}
+
+TEST(LoopParallelism, CarriedByOtherLoopDoesNotBlock) {
+  ControlFlowLog cf;
+  cf.loops.push_back(loop(10, 30));
+  cf.loops.push_back(loop(12, 18));  // inner loop
+  DepMap deps;
+  // Carried by the *inner* loop only.
+  deps.add(key(DepType::kRaw, 15, 16), kLoopCarried,
+           SourceLocation(1, 12).packed());
+  const auto verdicts = analyze_loops(deps, cf);
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_TRUE(verdicts[0].parallelizable) << "outer not blocked by inner-carried";
+  EXPECT_FALSE(verdicts[1].parallelizable);
+}
+
+TEST(LoopParallelism, CarriedWarAndWawDoNotBlock) {
+  // Privatizable dependences (WAR/WAW) do not prevent parallelization.
+  ControlFlowLog cf;
+  cf.loops.push_back(loop(10, 20));
+  DepMap deps;
+  deps.add(key(DepType::kWar, 15, 16), kLoopCarried, SourceLocation(1, 10).packed());
+  deps.add(key(DepType::kWaw, 15, 15), kLoopCarried, SourceLocation(1, 10).packed());
+  const auto verdicts = analyze_loops(deps, cf);
+  EXPECT_TRUE(verdicts[0].parallelizable);
+}
+
+TEST(LoopParallelism, DepOutsideLoopRangeIgnored) {
+  ControlFlowLog cf;
+  cf.loops.push_back(loop(10, 20));
+  DepMap deps;
+  deps.add(key(DepType::kRaw, 25, 26), kLoopCarried,
+           SourceLocation(1, 10).packed());  // lines outside [10, 20]
+  const auto verdicts = analyze_loops(deps, cf);
+  EXPECT_TRUE(verdicts[0].parallelizable);
+}
+
+TEST(LoopParallelism, ReductionSelfDepFiltered) {
+  ControlFlowLog cf;
+  cf.loops.push_back(loop(10, 20));
+  DepMap deps;
+  deps.add(key(DepType::kRaw, 15, 15), kLoopCarried,
+           SourceLocation(1, 10).packed());
+  LoopAnalysisOptions opts;
+  opts.reduction_lines = {SourceLocation(1, 15).packed()};
+  EXPECT_TRUE(analyze_loops(deps, cf, opts)[0].parallelizable);
+  // Without the reduction hint the same dependence blocks.
+  EXPECT_FALSE(analyze_loops(deps, cf)[0].parallelizable);
+}
+
+TEST(LoopParallelism, CrossLoopBackwardHeuristicBlocks) {
+  // Dependence with no shared dynamic context (deep nesting): a backward
+  // source-order dependence inside the loop body is conservatively carried.
+  ControlFlowLog cf;
+  cf.loops.push_back(loop(10, 30));
+  DepMap deps;
+  deps.add(key(DepType::kRaw, 15, 25), kCrossLoop, 0);  // src after sink
+  EXPECT_FALSE(analyze_loops(deps, cf)[0].parallelizable);
+  DepMap fwd;
+  fwd.add(key(DepType::kRaw, 25, 15), kCrossLoop, 0);  // forward: fine
+  EXPECT_TRUE(analyze_loops(fwd, cf)[0].parallelizable);
+}
+
+TEST(LoopParallelism, FormatListsVerdictsAndBlockers) {
+  ControlFlowLog cf;
+  cf.loops.push_back(loop(10, 20));
+  DepMap deps;
+  deps.add(key(DepType::kRaw, 15, 16), kLoopCarried,
+           SourceLocation(1, 10).packed());
+  const auto verdicts = analyze_loops(deps, cf);
+  const std::string out = format_loop_verdicts(verdicts);
+  EXPECT_NE(out.find("NOT parallelizable"), std::string::npos);
+  EXPECT_NE(out.find("blocked by RAW"), std::string::npos);
+}
+
+// --------------------------------------------------------- comm matrix
+
+TEST(CommMatrix, CrossThreadRawCounts) {
+  DepMap deps;
+  deps.add(key(DepType::kRaw, 20, 10, /*sink=*/2, /*src=*/1), kCrossThread);
+  deps.add(key(DepType::kRaw, 20, 10, 2, 1), kCrossThread);
+  deps.add(key(DepType::kRaw, 21, 11, 3, 2), kCrossThread);
+  const CommMatrix m = build_comm_matrix(deps);
+  ASSERT_EQ(m.threads(), 4u);
+  EXPECT_EQ(m.counts[1][2], 2u);  // producer 1 -> consumer 2
+  EXPECT_EQ(m.counts[2][3], 1u);
+  EXPECT_EQ(m.total(), 3u);
+}
+
+TEST(CommMatrix, SameThreadAndNonRawExcluded) {
+  DepMap deps;
+  deps.add(key(DepType::kRaw, 20, 10, 1, 1), 0);             // same thread
+  deps.add(key(DepType::kWar, 20, 10, 2, 1), kCrossThread);  // not RAW
+  deps.add(key(DepType::kWaw, 20, 10, 2, 1), kCrossThread);
+  const CommMatrix m = build_comm_matrix(deps, 4);
+  EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(CommMatrix, ExplicitSizeClampsIds) {
+  DepMap deps;
+  deps.add(key(DepType::kRaw, 20, 10, 9, 1), kCrossThread);
+  const CommMatrix m = build_comm_matrix(deps, 4);  // tid 9 out of range
+  EXPECT_EQ(m.threads(), 4u);
+  EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(CommMatrix, FormatRendersHeatmap) {
+  DepMap deps;
+  deps.add(key(DepType::kRaw, 20, 10, 1, 0), kCrossThread);
+  const std::string art = format_comm_matrix(build_comm_matrix(deps, 2));
+  EXPECT_NE(art.find("producer"), std::string::npos);
+  EXPECT_NE(art.find("consumer"), std::string::npos);
+}
+
+// ---------------------------------------------------------- race report
+
+TEST(RaceReport, ReversedDepsAreConfirmedRaces) {
+  DepMap deps;
+  deps.add(key(DepType::kRaw, 20, 10, 2, 1), kCrossThread | kReversed);
+  deps.add(key(DepType::kWaw, 21, 11, 2, 1), kCrossThread);
+  const RaceReport r = find_races(deps);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_TRUE(r.findings[0].confirmed);
+  EXPECT_EQ(r.confirmed_count(), 1u);
+}
+
+TEST(RaceReport, UnconfirmedCrossThreadDepsOptional) {
+  DepMap deps;
+  deps.add(key(DepType::kRaw, 20, 10, 2, 1), kCrossThread);
+  EXPECT_EQ(find_races(deps).findings.size(), 0u);
+  const RaceReport r = find_races(deps, /*include_unconfirmed=*/true);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_FALSE(r.findings[0].confirmed);
+}
+
+TEST(RaceReport, InitNeverReported) {
+  DepMap deps;
+  deps.add(key(DepType::kInit, 20, 0), kReversed);
+  EXPECT_TRUE(find_races(deps, true).findings.empty());
+}
+
+TEST(RaceReport, FormatMentionsConfirmation) {
+  DepMap deps;
+  deps.add(key(DepType::kRaw, 20, 10, 2, 1), kCrossThread | kReversed);
+  const std::string out = format_race_report(find_races(deps));
+  EXPECT_NE(out.find("[RACE]"), std::string::npos);
+  EXPECT_NE(out.find("timestamp reversal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace depprof

@@ -1,0 +1,221 @@
+// Unit tests for the common substrate: locations, registries, hashing,
+// statistics, timers, memory accounting, tables, heatmap.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/hash.hpp"
+#include "common/heatmap.hpp"
+#include "common/location.hpp"
+#include "common/mem_stats.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace depprof {
+namespace {
+
+TEST(SourceLocation, PackAndUnpack) {
+  const SourceLocation loc(3, 1234);
+  EXPECT_EQ(loc.file_id(), 3u);
+  EXPECT_EQ(loc.line(), 1234u);
+  EXPECT_TRUE(loc.valid());
+  EXPECT_EQ(loc.str(), "3:1234");
+  EXPECT_EQ(SourceLocation::from_packed(loc.packed()), loc);
+}
+
+TEST(SourceLocation, DefaultIsInvalid) {
+  const SourceLocation loc;
+  EXPECT_FALSE(loc.valid());
+  EXPECT_EQ(loc.packed(), 0u);
+}
+
+TEST(SourceLocation, LineLimit24Bits) {
+  const SourceLocation loc(1, 0xFFFFFFu);
+  EXPECT_EQ(loc.line(), 0xFFFFFFu);
+  // Overflowing lines wrap into the 24-bit field rather than corrupting the
+  // file id.
+  const SourceLocation big(1, 0x1000001u);
+  EXPECT_EQ(big.file_id(), 1u);
+  EXPECT_EQ(big.line(), 1u);
+}
+
+TEST(SourceLocation, Ordering) {
+  EXPECT_LT(SourceLocation(1, 10), SourceLocation(1, 11));
+  EXPECT_LT(SourceLocation(1, 999), SourceLocation(2, 1));
+}
+
+TEST(StringRegistry, InternIsStable) {
+  StringRegistry reg;
+  const auto a = reg.intern("alpha");
+  const auto b = reg.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.intern("alpha"), a);
+  EXPECT_EQ(reg.name(a), "alpha");
+  EXPECT_EQ(reg.name(b), "beta");
+}
+
+TEST(StringRegistry, IdZeroIsEmpty) {
+  StringRegistry reg;
+  const auto a = reg.intern("x");
+  EXPECT_GT(a, 0u);
+  EXPECT_EQ(reg.name(0), "");
+  EXPECT_EQ(reg.name(999), "?");
+}
+
+TEST(LocStr, WithAndWithoutTid) {
+  const SourceLocation loc(4, 58);
+  EXPECT_EQ(loc_str(loc), "4:58");
+  EXPECT_EQ(loc_str(loc, 2), "4:58|2");  // Fig. 3 notation
+}
+
+TEST(Hash, Mix64IsBijectiveOnSamples) {
+  // Distinct inputs produce distinct outputs (spot check).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10'000; ++i)
+    EXPECT_TRUE(seen.insert(mix64(i)).second);
+}
+
+TEST(Hash, WordAddrUnifiesSubWordAccesses) {
+  // Word-granularity: byte addresses within one 4-byte word share a unit.
+  EXPECT_EQ(word_addr(0x1000), word_addr(0x1003));
+  EXPECT_NE(word_addr(0x1000), word_addr(0x1004));
+}
+
+TEST(Hash, WorkerAssignmentInRange) {
+  for (std::uint64_t a = 0; a < 1000; ++a) {
+    EXPECT_LT(modulo_worker(a * 8 + 0x10000, 8), 8u);
+    EXPECT_LT(hashed_worker(a * 8 + 0x10000, 8), 8u);
+  }
+}
+
+TEST(Hash, HashedWorkerSpreadsStridedAddresses) {
+  // A pure modulo on a stride-8 sequence with W=8 maps everything to one
+  // worker; the mixed variant spreads it.
+  std::set<std::uint32_t> modulo_targets, mixed_targets;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    modulo_targets.insert(modulo_worker(0x1000 + i * 8, 8));
+    mixed_targets.insert(hashed_worker(0x1000 + i * 8, 8));
+  }
+  EXPECT_EQ(modulo_targets.size(), 1u);
+  EXPECT_GT(mixed_targets.size(), 4u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(StatAccumulator, BasicMoments) {
+  StatAccumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+  EXPECT_NEAR(acc.stddev(), 1.29099, 1e-4);
+}
+
+TEST(StatAccumulator, EmptyIsZero) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.cv(), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(-3.0);   // clamps to first bin
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[5], 1u);
+  EXPECT_EQ(h.counts()[9], 1u);
+}
+
+TEST(Timers, MonotoneAndNonNegative) {
+  WallTimer w;
+  ThreadCpuTimer c;
+  volatile double sink = 0;
+  for (int i = 0; i < 100'000; ++i) sink = sink + 1.0;
+  EXPECT_GT(w.elapsed(), 0.0);
+  EXPECT_GE(c.elapsed(), 0.0);
+}
+
+TEST(MemStats, ChargeAndRelease) {
+  MemStats::instance().reset();
+  {
+    ScopedMemCharge charge(MemComponent::kSignatures, 1024);
+    EXPECT_EQ(MemStats::instance().bytes(MemComponent::kSignatures), 1024);
+    EXPECT_GE(MemStats::instance().peak(), 1024);
+  }
+  EXPECT_EQ(MemStats::instance().bytes(MemComponent::kSignatures), 0);
+}
+
+TEST(MemStats, PeakTracksHighWater) {
+  MemStats::instance().reset();
+  MemStats::instance().add(MemComponent::kQueues, 100);
+  MemStats::instance().add(MemComponent::kQueues, -100);
+  MemStats::instance().add(MemComponent::kQueues, 50);
+  EXPECT_GE(MemStats::instance().peak(), 100);
+  MemStats::instance().reset();
+}
+
+TEST(MemStats, ProcessRssIsPositive) {
+  EXPECT_GT(MemStats::process_max_rss(), 0);
+}
+
+TEST(TextTable, PrintAndCsv) {
+  TextTable t("title");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("title"), std::string::npos);
+  EXPECT_NE(os.str().find("1"), std::string::npos);
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(Heatmap, RendersAllIntensities) {
+  std::vector<std::vector<std::uint64_t>> m = {{0, 1}, {50, 100}};
+  const std::string art = render_heatmap(m);
+  EXPECT_NE(art.find("max=100"), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);  // zero cell
+  EXPECT_NE(art.find('@'), std::string::npos);  // max cell
+}
+
+TEST(Heatmap, EmptyMatrix) {
+  const std::string art = render_heatmap({});
+  EXPECT_NE(art.find("max=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace depprof

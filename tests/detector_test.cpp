@@ -1,0 +1,441 @@
+// Tests for Algorithm 1 (the dependence detector) and the dependence model:
+// RAW/WAR/WAW/INIT construction, RAR suppression, lifetime removal,
+// loop-carried classification over the three-level loop context, the
+// address-tag gating, merging, and migration state transfer.
+
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "sig/perfect_signature.hpp"
+#include "sig/signature.hpp"
+
+namespace depprof {
+namespace {
+
+AccessEvent ev(std::uint64_t addr, AccessKind kind, std::uint32_t line,
+               std::uint32_t var = 7) {
+  AccessEvent e;
+  e.addr = addr;
+  e.kind = kind;
+  e.loc = SourceLocation(1, line).packed();
+  e.var = var;
+  return e;
+}
+
+AccessEvent rd(std::uint64_t addr, std::uint32_t line) {
+  return ev(addr, AccessKind::kRead, line);
+}
+AccessEvent wr(std::uint64_t addr, std::uint32_t line) {
+  return ev(addr, AccessKind::kWrite, line);
+}
+AccessEvent fr(std::uint64_t addr) { return ev(addr, AccessKind::kFree, 0); }
+
+DepKey key(DepType type, std::uint32_t sink_line, std::uint32_t src_line,
+           std::uint32_t var = 7) {
+  DepKey k;
+  k.type = type;
+  k.sink_loc = SourceLocation(1, sink_line).packed();
+  k.src_loc = src_line ? SourceLocation(1, src_line).packed() : 0;
+  k.var = var;
+  return k;
+}
+
+using PerfectDetector = DepDetector<PerfectSignature<SeqSlot>, SeqSlot>;
+
+PerfectDetector make_perfect() { return PerfectDetector{{}, {}}; }
+
+// ------------------------------------------------------------ Algorithm 1
+
+TEST(Detector, FirstWriteIsInit) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(wr(100, 10), deps);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_NE(deps.find(key(DepType::kInit, 10, 0)), nullptr);
+}
+
+TEST(Detector, ReadAfterWriteBuildsRaw) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(wr(100, 10), deps);
+  det.process(rd(100, 20), deps);
+  EXPECT_NE(deps.find(key(DepType::kRaw, 20, 10)), nullptr);
+}
+
+TEST(Detector, WriteAfterReadBuildsWar) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(rd(100, 10), deps);
+  det.process(wr(100, 20), deps);
+  EXPECT_NE(deps.find(key(DepType::kWar, 20, 10)), nullptr);
+}
+
+TEST(Detector, WriteAfterWriteBuildsWaw) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(wr(100, 10), deps);
+  det.process(wr(100, 20), deps);
+  EXPECT_NE(deps.find(key(DepType::kWaw, 20, 10)), nullptr);
+}
+
+TEST(Detector, InitAndWarCoexistOnOneSink) {
+  // Fig. 1 line 1:65: "{WAR 1:67|temp2} {INIT *}" — a first write that is
+  // also the sink of a WAR against an earlier read.
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(rd(100, 67), deps);
+  det.process(wr(100, 65), deps);
+  EXPECT_NE(deps.find(key(DepType::kInit, 65, 0)), nullptr);
+  EXPECT_NE(deps.find(key(DepType::kWar, 65, 67)), nullptr);
+}
+
+TEST(Detector, RarIsIgnored) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(rd(100, 10), deps);
+  det.process(rd(100, 20), deps);
+  EXPECT_EQ(deps.size(), 0u);
+}
+
+TEST(Detector, ReadWithoutPriorWriteBuildsNothing) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(rd(100, 10), deps);
+  EXPECT_EQ(deps.size(), 0u);
+}
+
+TEST(Detector, RawUsesLatestWrite) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(wr(100, 10), deps);
+  det.process(wr(100, 11), deps);
+  det.process(rd(100, 20), deps);
+  EXPECT_NE(deps.find(key(DepType::kRaw, 20, 11)), nullptr);
+  EXPECT_EQ(deps.find(key(DepType::kRaw, 20, 10)), nullptr);
+}
+
+TEST(Detector, VarNameComesFromSink) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(ev(100, AccessKind::kWrite, 10, /*var=*/3), deps);
+  det.process(ev(100, AccessKind::kRead, 20, /*var=*/4), deps);
+  EXPECT_NE(deps.find(key(DepType::kRaw, 20, 10, /*var=*/4)), nullptr);
+}
+
+// ----------------------------------------------------- lifetime analysis
+
+TEST(Detector, FreeRemovesAddressState) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(wr(100, 10), deps);
+  det.process(fr(100), deps);
+  det.process(rd(100, 20), deps);  // re-used memory: no stale RAW
+  EXPECT_EQ(deps.find(key(DepType::kRaw, 20, 10)), nullptr);
+  det.process(wr(100, 30), deps);  // and the next write is an INIT again
+  EXPECT_NE(deps.find(key(DepType::kInit, 30, 0)), nullptr);
+}
+
+TEST(Detector, FreeRemovesReadStateToo) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(rd(100, 10), deps);
+  det.process(fr(100), deps);
+  det.process(wr(100, 20), deps);
+  EXPECT_EQ(deps.find(key(DepType::kWar, 20, 10)), nullptr);
+}
+
+// ----------------------------------------------- loop-carried classification
+
+AccessEvent with_loops(AccessEvent e, LoopCtx l0, LoopCtx l1 = {},
+                       LoopCtx l2 = {}) {
+  e.loops[0] = l0;
+  e.loops[1] = l1;
+  e.loops[2] = l2;
+  return e;
+}
+
+TEST(Detector, SameIterationIsNotCarried) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(with_loops(wr(100, 10), {1, 1, 5}), deps);
+  det.process(with_loops(rd(100, 20), {1, 1, 5}), deps);
+  const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->flags & kLoopCarried, 0);
+}
+
+TEST(Detector, DifferentIterationIsCarried) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(with_loops(wr(100, 10), {1, 1, 5}), deps);
+  det.process(with_loops(rd(100, 20), {1, 1, 6}), deps);
+  const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
+  ASSERT_NE(info, nullptr);
+  EXPECT_NE(info->flags & kLoopCarried, 0);
+  EXPECT_EQ(info->loop, 1u);
+}
+
+TEST(Detector, DifferentEntryOfSameLoopIsNotCarriedByIt) {
+  // A loop re-entered from an outer context: same static loop id, same
+  // iteration index, different dynamic entries — not carried by that loop.
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(with_loops(wr(100, 10), {1, /*entry=*/1, 5}), deps);
+  det.process(with_loops(rd(100, 20), {1, /*entry=*/2, 5}), deps);
+  const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->flags & kLoopCarried, 0);
+  EXPECT_NE(info->flags & kCrossLoop, 0);  // no shared dynamic context
+}
+
+TEST(Detector, OuterLoopCarriedThroughParentLevel) {
+  // The SP pattern: inner loop re-entered per time step; the dependence is
+  // carried by the outer loop (parent level), not the inner one.
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(with_loops(wr(100, 10), {/*inner*/ 2, 10, 3}, {/*outer*/ 1, 1, 0}),
+              deps);
+  det.process(with_loops(rd(100, 20), {/*inner*/ 2, 11, 3}, {/*outer*/ 1, 1, 1}),
+              deps);
+  const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
+  ASSERT_NE(info, nullptr);
+  EXPECT_NE(info->flags & kLoopCarried, 0);
+  EXPECT_EQ(info->loop, 1u);  // attributed to the outer loop
+}
+
+TEST(Detector, GrandparentLoopCarriedThroughThirdLevel) {
+  // The h264dec pattern: frames > slices > macroblocks; the reference-frame
+  // dependence is carried by the grandparent (frame) loop.
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(
+      with_loops(wr(100, 10), {3, 30, 2}, {2, 20, 1}, {/*frames*/ 1, 1, 0}),
+      deps);
+  det.process(
+      with_loops(rd(100, 20), {3, 31, 2}, {2, 21, 1}, {/*frames*/ 1, 1, 1}),
+      deps);
+  const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
+  ASSERT_NE(info, nullptr);
+  EXPECT_NE(info->flags & kLoopCarried, 0);
+  EXPECT_EQ(info->loop, 1u);
+}
+
+TEST(Detector, InnermostMatchWinsOverOuter) {
+  // Both inner and outer contexts match; the inner iteration differs — the
+  // dependence is attributed to the innermost carrying loop.
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(with_loops(wr(100, 10), {2, 20, 3}, {1, 1, 0}), deps);
+  det.process(with_loops(rd(100, 20), {2, 20, 4}, {1, 1, 0}), deps);
+  const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->loop, 2u);
+}
+
+TEST(Detector, CarriedDistanceRecorded) {
+  // Reads of a[i-4]: every carried instance has iteration distance 4.
+  auto det = make_perfect();
+  DepMap deps;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    if (i >= 4) det.process(with_loops(rd(100 + (i - 4), 20), {1, 1, i}), deps);
+    det.process(with_loops(wr(100 + i, 10), {1, 1, i}), deps);
+  }
+  const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
+  ASSERT_NE(info, nullptr);
+  EXPECT_NE(info->flags & kLoopCarried, 0);
+  EXPECT_EQ(info->min_distance, 4u);
+  EXPECT_EQ(info->max_distance, 4u);
+}
+
+TEST(Detector, DistanceRangeAccumulates) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(with_loops(wr(100, 10), {1, 1, 0}), deps);
+  det.process(with_loops(rd(100, 20), {1, 1, 1}), deps);  // d = 1
+  det.process(with_loops(wr(100, 10), {1, 1, 1}), deps);
+  det.process(with_loops(rd(100, 20), {1, 1, 6}), deps);  // d = 5
+  const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->min_distance, 1u);
+  EXPECT_EQ(info->max_distance, 5u);
+}
+
+TEST(DepMap, MergeCombinesDistances) {
+  DepMap a, b;
+  a.add(key(DepType::kRaw, 20, 10), kLoopCarried, 1, /*distance=*/3);
+  b.add(key(DepType::kRaw, 20, 10), kLoopCarried, 1, /*distance=*/7);
+  a.merge(b);
+  const DepInfo* info = a.find(key(DepType::kRaw, 20, 10));
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->min_distance, 3u);
+  EXPECT_EQ(info->max_distance, 7u);
+}
+
+TEST(Detector, NoLoopContextNoFlags) {
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(wr(100, 10), deps);
+  det.process(rd(100, 20), deps);
+  const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->flags, 0);
+}
+
+// --------------------------------------------------------- tag gating
+
+TEST(Detector, CollidingAddressStillBuildsDepButNoCarriedFlag) {
+  // Modulo collision: addr and addr + slots share a slot.  The dependence
+  // record is built (approximate membership), but the loop-context compare
+  // is gated off by the address tag, so no carried flag can be fabricated.
+  DepDetector<Signature<SeqSlot>, SeqSlot> det{
+      Signature<SeqSlot>(128, SigHash::kModulo),
+      Signature<SeqSlot>(128, SigHash::kModulo)};
+  DepMap deps;
+  det.process(with_loops(wr(5, 10), {1, 1, 3}), deps);
+  det.process(with_loops(rd(5 + 128, 20), {1, 1, 4}), deps);  // collides
+  const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
+  ASSERT_NE(info, nullptr) << "false dependence is still reported";
+  EXPECT_EQ(info->flags & kLoopCarried, 0) << "but never classified carried";
+}
+
+TEST(Detector, SameAddressKeepsCarriedFlagUnderSignature) {
+  DepDetector<Signature<SeqSlot>, SeqSlot> det{Signature<SeqSlot>(128),
+                                               Signature<SeqSlot>(128)};
+  DepMap deps;
+  det.process(with_loops(wr(5, 10), {1, 1, 3}), deps);
+  det.process(with_loops(rd(5, 20), {1, 1, 4}), deps);
+  const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
+  ASSERT_NE(info, nullptr);
+  EXPECT_NE(info->flags & kLoopCarried, 0);
+}
+
+// ------------------------------------------------------------- MT slots
+
+AccessEvent mt_ev(std::uint64_t addr, AccessKind kind, std::uint32_t line,
+                  std::uint16_t tid, std::uint64_t ts) {
+  AccessEvent e = ev(addr, kind, line);
+  e.tid = tid;
+  e.ts = ts;
+  return e;
+}
+
+TEST(Detector, CrossThreadFlagAndThreadIds) {
+  DepDetector<PerfectSignature<MtSlot>, MtSlot> det{{}, {}};
+  DepMap deps;
+  det.process(mt_ev(100, AccessKind::kWrite, 10, /*tid=*/1, /*ts=*/1), deps);
+  det.process(mt_ev(100, AccessKind::kRead, 20, /*tid=*/2, /*ts=*/2), deps);
+  DepKey k = key(DepType::kRaw, 20, 10);
+  k.sink_tid = 2;
+  k.src_tid = 1;
+  const DepInfo* info = deps.find(k);
+  ASSERT_NE(info, nullptr);
+  EXPECT_NE(info->flags & kCrossThread, 0);
+  EXPECT_EQ(info->flags & kReversed, 0);
+}
+
+TEST(Detector, TimestampReversalFlagsPotentialRace) {
+  DepDetector<PerfectSignature<MtSlot>, MtSlot> det{{}, {}};
+  DepMap deps;
+  // The write reached the worker first but carries a LATER timestamp than
+  // the read that follows: access/push atomicity was violated (Sec. V-B).
+  det.process(mt_ev(100, AccessKind::kWrite, 10, 1, /*ts=*/9), deps);
+  det.process(mt_ev(100, AccessKind::kRead, 20, 2, /*ts=*/5), deps);
+  DepKey k = key(DepType::kRaw, 20, 10);
+  k.sink_tid = 2;
+  k.src_tid = 1;
+  const DepInfo* info = deps.find(k);
+  ASSERT_NE(info, nullptr);
+  EXPECT_NE(info->flags & kReversed, 0);
+}
+
+// ------------------------------------------------------------- migration
+
+TEST(Detector, ExtractAdoptMovesPerAddressState) {
+  auto from = make_perfect();
+  auto to = make_perfect();
+  DepMap deps;
+  from.process(wr(100, 10), deps);
+  from.process(rd(100, 15), deps);
+
+  auto st = from.extract_state(100);
+  EXPECT_TRUE(st.has_read);
+  EXPECT_TRUE(st.has_write);
+  to.adopt_state(100, st);
+
+  // The new owner continues the history seamlessly: a read builds RAW
+  // against the migrated write.
+  to.process(rd(100, 20), deps);
+  EXPECT_NE(deps.find(key(DepType::kRaw, 20, 10)), nullptr);
+  // And the old owner no longer knows the address.
+  from.process(rd(100, 30), deps);
+  EXPECT_EQ(deps.find(key(DepType::kRaw, 30, 10)), nullptr);
+}
+
+// ------------------------------------------------------------- DepMap
+
+TEST(DepMap, MergesIdenticalInstances) {
+  DepMap deps;
+  const DepKey k = key(DepType::kRaw, 20, 10);
+  deps.add(k, 0);
+  deps.add(k, kLoopCarried, 3);
+  deps.add(k, kCrossThread);
+  EXPECT_EQ(deps.size(), 1u);
+  const DepInfo* info = deps.find(k);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->count, 3u);
+  EXPECT_EQ(info->flags, kLoopCarried | kCrossThread);  // flags accumulate
+  EXPECT_EQ(info->loop, 3u);
+  EXPECT_EQ(deps.instances(), 3u);
+}
+
+TEST(DepMap, MergeCombinesMaps) {
+  DepMap a, b;
+  a.add(key(DepType::kRaw, 20, 10), 0);
+  b.add(key(DepType::kRaw, 20, 10), kLoopCarried, 9);
+  b.add(key(DepType::kWar, 21, 11), 0);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.instances(), 3u);
+  EXPECT_EQ(a.find(key(DepType::kRaw, 20, 10))->count, 2u);
+  EXPECT_NE(a.find(key(DepType::kRaw, 20, 10))->flags & kLoopCarried, 0);
+}
+
+TEST(DepMap, SortedIsDeterministic) {
+  DepMap deps;
+  deps.add(key(DepType::kWar, 30, 10), 0);
+  deps.add(key(DepType::kRaw, 20, 10), 0);
+  deps.add(key(DepType::kRaw, 20, 5), 0);
+  auto sorted = deps.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_LE(sorted[0].first.sink_loc, sorted[1].first.sink_loc);
+  EXPECT_LE(sorted[1].first.sink_loc, sorted[2].first.sink_loc);
+}
+
+TEST(DepMap, MoveLeavesSourceEmpty) {
+  DepMap a;
+  a.add(key(DepType::kRaw, 20, 10), 0);
+  DepMap b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+  EXPECT_EQ(a.instances(), 0u);
+}
+
+TEST(DepMap, ChargesAndReleasesMemory) {
+  MemStats::instance().reset();
+  {
+    DepMap deps;
+    deps.add(key(DepType::kRaw, 20, 10), 0);
+    EXPECT_GT(MemStats::instance().bytes(MemComponent::kDepMaps), 0);
+  }
+  EXPECT_EQ(MemStats::instance().bytes(MemComponent::kDepMaps), 0);
+}
+
+TEST(DepTypeName, AllNames) {
+  EXPECT_STREQ(dep_type_name(DepType::kInit), "INIT");
+  EXPECT_STREQ(dep_type_name(DepType::kRaw), "RAW");
+  EXPECT_STREQ(dep_type_name(DepType::kWar), "WAR");
+  EXPECT_STREQ(dep_type_name(DepType::kWaw), "WAW");
+}
+
+}  // namespace
+}  // namespace depprof

@@ -1,0 +1,263 @@
+// Tests for the instrumentation runtime and macros: event assembly, loop
+// context tracking (entries, iterations, three-level nesting), control-flow
+// records, lifetime events, lock regions, thread ids, timestamps, and the
+// disabled-runtime fast path.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "instrument/macros.hpp"
+#include "instrument/runtime.hpp"
+#include "trace/trace.hpp"
+
+DP_FILE("instrument_test");
+
+namespace depprof {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Runtime::instance().reset(); }
+  void TearDown() override {
+    Runtime::instance().detach();
+    Runtime::instance().reset();
+  }
+
+  TraceRecorder recorder_;
+  Trace& capture() {
+    Runtime::instance().detach();
+    return recorder_.trace();
+  }
+};
+
+TEST_F(RuntimeTest, DisabledRuntimeEmitsNothing) {
+  int x = 0;
+  DP_WRITE(x);
+  x = 1;
+  DP_READ(x);
+  EXPECT_EQ(x, 1);
+  Runtime::instance().attach(&recorder_);
+  Runtime::instance().detach();
+  EXPECT_TRUE(recorder_.trace().events.empty());
+}
+
+TEST_F(RuntimeTest, RecordsAddressKindLocationVar) {
+  Runtime::instance().attach(&recorder_);
+  double value = 0.0;
+  DP_WRITE(value);
+  value = 1.0;
+  DP_READ(value);
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_EQ(t.events[0].addr, reinterpret_cast<std::uintptr_t>(&value));
+  EXPECT_TRUE(t.events[0].is_write());
+  EXPECT_TRUE(t.events[1].is_read());
+  EXPECT_EQ(t.events[0].addr, t.events[1].addr);
+  EXPECT_LT(t.events[0].location().line(), t.events[1].location().line());
+  EXPECT_EQ(var_registry().name(t.events[0].var), "value");
+}
+
+TEST_F(RuntimeTest, LoopContextAttachedToAccesses) {
+  Runtime::instance().attach(&recorder_);
+  int a = 0;
+  DP_LOOP_BEGIN();
+  for (int i = 0; i < 3; ++i) {
+    DP_LOOP_ITER();
+    DP_WRITE(a);
+    a = i;
+  }
+  DP_LOOP_END();
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 3u);
+  const std::uint32_t loop_id = t.events[0].loops[0].loop;
+  EXPECT_NE(loop_id, 0u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(t.events[i].loops[0].loop, loop_id);
+    EXPECT_EQ(t.events[i].loops[0].iter, static_cast<std::uint32_t>(i + 1));
+  }
+}
+
+TEST_F(RuntimeTest, LoopEntriesAreDistinct) {
+  Runtime::instance().attach(&recorder_);
+  int a = 0;
+  for (int round = 0; round < 2; ++round) {
+    DP_LOOP_BEGIN();
+    for (int i = 0; i < 2; ++i) {
+      DP_LOOP_ITER();
+      DP_WRITE(a);
+      a = i;
+    }
+    DP_LOOP_END();
+  }
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 4u);
+  EXPECT_EQ(t.events[0].loops[0].loop, t.events[2].loops[0].loop);
+  EXPECT_NE(t.events[0].loops[0].entry, t.events[2].loops[0].entry);
+}
+
+TEST_F(RuntimeTest, ThreeLevelNestingRecorded) {
+  Runtime::instance().attach(&recorder_);
+  int a = 0;
+  DP_LOOP_BEGIN();  // outer
+  DP_LOOP_ITER();
+  {
+    DP_LOOP_BEGIN();  // middle
+    DP_LOOP_ITER();
+    {
+      DP_LOOP_BEGIN();  // inner
+      DP_LOOP_ITER();
+      DP_WRITE(a);
+      a = 1;
+      DP_LOOP_END();
+    }
+    DP_LOOP_END();
+  }
+  DP_LOOP_END();
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 1u);
+  const AccessEvent& e = t.events[0];
+  EXPECT_NE(e.loops[0].loop, 0u);
+  EXPECT_NE(e.loops[1].loop, 0u);
+  EXPECT_NE(e.loops[2].loop, 0u);
+  EXPECT_NE(e.loops[0].loop, e.loops[1].loop);
+  EXPECT_NE(e.loops[1].loop, e.loops[2].loop);
+}
+
+TEST_F(RuntimeTest, ControlFlowLogRecordsLoops) {
+  Runtime::instance().attach(&recorder_);
+  int a = 0;
+  DP_LOOP_BEGIN();
+  for (int i = 0; i < 5; ++i) {
+    DP_LOOP_ITER();
+    DP_WRITE(a);
+    a = i;
+  }
+  DP_LOOP_END();
+  Runtime::instance().detach();
+  const ControlFlowLog cf = Runtime::instance().control_flow();
+  ASSERT_EQ(cf.loops.size(), 1u);
+  EXPECT_EQ(cf.loops[0].iterations, 5u);  // the Fig. 1 "END loop 1200" count
+  EXPECT_EQ(cf.loops[0].entries, 1u);
+  EXPECT_LT(SourceLocation::from_packed(cf.loops[0].begin_loc).line(),
+            SourceLocation::from_packed(cf.loops[0].end_loc).line());
+}
+
+TEST_F(RuntimeTest, LoopIterationsAccumulateOverEntries) {
+  Runtime::instance().attach(&recorder_);
+  for (int round = 0; round < 3; ++round) {
+    DP_LOOP_BEGIN();
+    for (int i = 0; i < 4; ++i) DP_LOOP_ITER();
+    DP_LOOP_END();
+  }
+  Runtime::instance().detach();
+  const ControlFlowLog cf = Runtime::instance().control_flow();
+  ASSERT_EQ(cf.loops.size(), 1u);
+  EXPECT_EQ(cf.loops[0].iterations, 12u);
+  EXPECT_EQ(cf.loops[0].entries, 3u);
+}
+
+TEST_F(RuntimeTest, FreeEmitsWordGranularLifetimeEvents) {
+  Runtime::instance().attach(&recorder_);
+  alignas(4) char buf[16];
+  DP_FREE(buf, sizeof(buf));
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 4u);  // 16 bytes / 4-byte words
+  for (const auto& e : t.events) EXPECT_TRUE(e.is_free());
+  EXPECT_EQ(t.events[1].addr - t.events[0].addr, 4u);
+}
+
+TEST_F(RuntimeTest, LockRegionFlagsAccesses) {
+  Runtime::instance().attach(&recorder_, /*mt_mode=*/true);
+  int x = 0;
+  DP_WRITE(x);  // outside any lock region
+  x = 1;
+  DP_LOCK_ENTER();
+  DP_WRITE(x);  // inside
+  x = 2;
+  DP_LOCK_EXIT();
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_EQ(t.events[0].flags & kInLockRegion, 0);
+  EXPECT_NE(t.events[1].flags & kInLockRegion, 0);
+}
+
+TEST_F(RuntimeTest, TimestampsMonotoneInMtMode) {
+  Runtime::instance().attach(&recorder_, /*mt_mode=*/true);
+  int x = 0;
+  DP_WRITE(x);
+  x = 1;
+  DP_READ(x);
+  DP_READ(x);
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 3u);
+  EXPECT_LT(t.events[0].ts, t.events[1].ts);
+  EXPECT_LT(t.events[1].ts, t.events[2].ts);
+}
+
+TEST_F(RuntimeTest, NoTimestampsInSequentialMode) {
+  Runtime::instance().attach(&recorder_, /*mt_mode=*/false);
+  int x = 0;
+  DP_WRITE(x);
+  x = 1;
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 1u);
+  EXPECT_EQ(t.events[0].ts, 0u);
+}
+
+TEST_F(RuntimeTest, ThreadIdsAssignedPerThread) {
+  Runtime::instance().attach(&recorder_, /*mt_mode=*/true);
+  int x = 0, y = 0;
+  DP_WRITE(x);
+  x = 1;
+  std::thread worker([&] {
+    DP_WRITE(y);
+    y = 2;
+  });
+  worker.join();
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_NE(t.events[0].tid, t.events[1].tid);
+}
+
+TEST_F(RuntimeTest, ResetStartsNewEpoch) {
+  Runtime::instance().attach(&recorder_, true);
+  int x = 0;
+  DP_WRITE(x);
+  x = 1;
+  Runtime::instance().detach();
+  const std::uint16_t tid_before = Runtime::instance().thread_id();
+  Runtime::instance().reset();
+  // After reset the calling thread re-registers and ids restart from 0.
+  EXPECT_EQ(Runtime::instance().thread_id(), 0u);
+  (void)tid_before;
+  EXPECT_TRUE(Runtime::instance().control_flow().loops.empty());
+}
+
+TEST_F(RuntimeTest, ReductionLinesRecorded) {
+  Runtime::instance().attach(&recorder_);
+  double sum = 0.0;
+  DP_REDUCTION(); DP_UPDATE(sum); sum += 1.0;
+  Runtime::instance().detach();
+  const auto lines = Runtime::instance().reduction_lines();
+  ASSERT_EQ(lines.size(), 1u);
+  // The reduction line matches the update's access line (same source line).
+  const Trace& t = recorder_.trace();
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_EQ(lines[0], t.events[0].loc);
+}
+
+TEST_F(RuntimeTest, UpdateEmitsReadThenWrite) {
+  Runtime::instance().attach(&recorder_);
+  double sum = 1.0;
+  DP_UPDATE(sum);
+  sum += 1.0;
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_TRUE(t.events[0].is_read());
+  EXPECT_TRUE(t.events[1].is_write());
+  EXPECT_EQ(t.events[0].addr, t.events[1].addr);
+}
+
+}  // namespace
+}  // namespace depprof

@@ -1,0 +1,299 @@
+// Integration tests of the serial profiler and the parallel pipeline:
+// configuration handling, canonical word granularity, and the central
+// soundness property — for sequential targets the parallel profiler
+// produces exactly the same dependences as the serial one (Sec. V-A's
+// premise), across queue kinds, worker counts, chunk sizes, and with the
+// load balancer migrating hot addresses mid-run.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/profiler.hpp"
+#include "harness/accuracy.hpp"
+#include "queue/queues.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace.hpp"
+
+namespace depprof {
+namespace {
+
+DepMap run_serial(const Trace& t, const ProfilerConfig& cfg) {
+  auto p = make_serial_profiler(cfg);
+  replay(t, *p);
+  return p->take_dependences();
+}
+
+DepMap run_parallel(const Trace& t, const ProfilerConfig& cfg) {
+  auto p = make_parallel_profiler(cfg);
+  replay(t, *p);
+  return p->take_dependences();
+}
+
+bool same_deps(const DepMap& a, const DepMap& b) {
+  const AccuracyResult r = compare_deps(a, b);
+  return r.false_positives == 0 && r.false_negatives == 0 &&
+         a.size() == b.size();
+}
+
+ProfilerConfig perfect_cfg() {
+  ProfilerConfig cfg;
+  cfg.storage = StorageKind::kPerfect;
+  return cfg;
+}
+
+// -------------------------------------------------------------- serial
+
+TEST(SerialProfiler, CountsEvents) {
+  GenParams p;
+  p.accesses = 1000;
+  const Trace t = gen_uniform(p);
+  auto prof = make_serial_profiler(perfect_cfg());
+  replay(t, *prof);
+  EXPECT_EQ(prof->stats().events, 1000u);
+}
+
+TEST(SerialProfiler, WordGranularityUnifiesSubWordAccesses) {
+  auto prof = make_serial_profiler(perfect_cfg());
+  AccessEvent w;
+  w.addr = 0x1000;
+  w.kind = AccessKind::kWrite;
+  w.loc = SourceLocation(1, 10).packed();
+  prof->on_access(w);
+  AccessEvent r = w;
+  r.addr = 0x1002;  // same 4-byte word
+  r.kind = AccessKind::kRead;
+  r.loc = SourceLocation(1, 20).packed();
+  prof->on_access(r);
+  prof->finish();
+  DepKey k;
+  k.type = DepType::kRaw;
+  k.sink_loc = SourceLocation(1, 20).packed();
+  k.src_loc = SourceLocation(1, 10).packed();
+  EXPECT_NE(prof->dependences().find(k), nullptr);
+}
+
+TEST(SerialProfiler, AllStorageBackendsRun) {
+  GenParams p;
+  p.accesses = 5000;
+  p.distinct = 500;
+  const Trace t = gen_uniform(p);
+  for (StorageKind s : {StorageKind::kSignature, StorageKind::kPerfect,
+                        StorageKind::kShadow, StorageKind::kHashTable}) {
+    ProfilerConfig cfg;
+    cfg.storage = s;
+    cfg.slots = 1u << 16;
+    auto prof = make_serial_profiler(cfg);
+    replay(t, *prof);
+    EXPECT_GT(prof->dependences().size(), 0u) << storage_kind_name(s);
+  }
+}
+
+TEST(SerialProfiler, ExactBackendsAgree) {
+  // Perfect signature, shadow memory, and hash table are all exact: they
+  // must produce identical dependence sets on any trace.
+  GenParams p;
+  p.accesses = 20'000;
+  p.distinct = 2'000;
+  const Trace t = gen_uniform(p);
+  ProfilerConfig cfg;
+  cfg.storage = StorageKind::kPerfect;
+  const DepMap perfect = run_serial(t, cfg);
+  cfg.storage = StorageKind::kShadow;
+  const DepMap shadow = run_serial(t, cfg);
+  cfg.storage = StorageKind::kHashTable;
+  const DepMap table = run_serial(t, cfg);
+  EXPECT_TRUE(same_deps(perfect, shadow));
+  EXPECT_TRUE(same_deps(perfect, table));
+}
+
+TEST(SerialProfiler, LargeSignatureMatchesPerfectOnSmallTrace) {
+  GenParams p;
+  p.accesses = 10'000;
+  p.distinct = 1'000;
+  const Trace t = gen_uniform(p);
+  ProfilerConfig sig;
+  sig.storage = StorageKind::kSignature;
+  sig.slots = 1u << 22;  // far larger than the footprint: zero collisions
+  ProfilerConfig perfect = perfect_cfg();
+  EXPECT_TRUE(same_deps(run_serial(t, perfect), run_serial(t, sig)));
+}
+
+// ------------------------------------------- serial == parallel (property)
+
+struct EquivCase {
+  QueueKind queue;
+  unsigned workers;
+  std::size_t chunk;
+  bool modulo_routing;
+};
+
+class SerialParallelEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(SerialParallelEquivalence, IdenticalDependences) {
+  const EquivCase c = GetParam();
+  GenParams p;
+  p.accesses = 60'000;
+  p.distinct = 3'000;
+  p.write_ratio = 0.4;
+  const Trace t = gen_uniform(p);
+
+  ProfilerConfig cfg = perfect_cfg();
+  const DepMap serial = run_serial(t, cfg);
+
+  cfg.queue = c.queue;
+  cfg.workers = c.workers;
+  cfg.chunk_size = c.chunk;
+  cfg.modulo_routing = c.modulo_routing;
+  const DepMap parallel = run_parallel(t, cfg);
+
+  EXPECT_TRUE(same_deps(serial, parallel))
+      << queue_kind_name(c.queue) << " workers=" << c.workers
+      << " chunk=" << c.chunk;
+  // Instance counts must match too, not only the key sets.
+  EXPECT_EQ(serial.instances(), parallel.instances());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SerialParallelEquivalence,
+    ::testing::Values(EquivCase{QueueKind::kLockFreeSpsc, 1, 512, false},
+                      EquivCase{QueueKind::kLockFreeSpsc, 4, 512, false},
+                      EquivCase{QueueKind::kLockFreeSpsc, 8, 64, false},
+                      EquivCase{QueueKind::kLockFreeSpsc, 16, 1, false},
+                      EquivCase{QueueKind::kLockFreeMpmc, 4, 128, false},
+                      EquivCase{QueueKind::kMutex, 4, 512, false},
+                      EquivCase{QueueKind::kMutex, 8, 32, true},
+                      EquivCase{QueueKind::kLockFreeSpsc, 4, 512, true}));
+
+TEST(ParallelProfiler, EquivalenceOnLoopTrace) {
+  GenParams p;
+  p.distinct = 500;
+  const Trace t = gen_loop(p, /*iters=*/20, /*carried=*/true);
+  ProfilerConfig cfg = perfect_cfg();
+  const DepMap serial = run_serial(t, cfg);
+  cfg.workers = 8;
+  const DepMap parallel = run_parallel(t, cfg);
+  EXPECT_TRUE(same_deps(serial, parallel));
+  // Carried flags survive the pipeline and the merge.
+  bool carried_found = false;
+  for (const auto& [k, info] : parallel)
+    if (k.type == DepType::kRaw && (info.flags & kLoopCarried)) carried_found = true;
+  EXPECT_TRUE(carried_found);
+}
+
+TEST(ParallelProfiler, EquivalenceWithSignatureStorage) {
+  // Signature-based worker state must behave identically whether the
+  // address stream is processed by 1 worker or split over 8 — each address
+  // is owned by exactly one worker, so its slot history is the same.
+  GenParams p;
+  p.accesses = 40'000;
+  p.distinct = 2'000;
+  const Trace t = gen_uniform(p);
+  ProfilerConfig cfg;
+  cfg.storage = StorageKind::kSignature;
+  cfg.slots = 1u << 22;  // collision-free regime
+  const DepMap serial = run_serial(t, cfg);
+  cfg.workers = 8;
+  const DepMap parallel = run_parallel(t, cfg);
+  EXPECT_TRUE(same_deps(serial, parallel));
+}
+
+// ------------------------------------------------------- load balancing
+
+TEST(ParallelProfiler, LoadBalancerPreservesDependences) {
+  // Hot-skewed stream with aggressive rebalancing: migrations must never
+  // corrupt per-address signature state (FIFO migrate/adopt protocol).
+  GenParams p;
+  p.accesses = 300'000;
+  p.distinct = 2'000;
+  const Trace t = gen_zipf(p, 1.4);
+
+  ProfilerConfig cfg = perfect_cfg();
+  const DepMap serial = run_serial(t, cfg);
+
+  cfg.workers = 4;
+  cfg.chunk_size = 32;
+  cfg.load_balance.enabled = true;
+  cfg.load_balance.eval_interval_chunks = 200;
+  cfg.load_balance.imbalance_threshold = 1.05;
+  cfg.load_balance.top_k = 10;
+  cfg.load_balance.max_rounds = 64;
+
+  auto prof = make_parallel_profiler(cfg);
+  replay(t, *prof);
+  const ProfilerStats st = prof->stats();
+  EXPECT_GT(st.migrated_addresses, 0u) << "test must actually exercise migration";
+  EXPECT_GT(st.redistribution_rounds, 0u);
+  EXPECT_TRUE(same_deps(serial, prof->dependences()));
+}
+
+TEST(ParallelProfiler, LoadBalancerRespectsMaxRounds) {
+  GenParams p;
+  p.accesses = 100'000;
+  p.distinct = 500;
+  const Trace t = gen_zipf(p, 1.5);
+  ProfilerConfig cfg = perfect_cfg();
+  cfg.workers = 4;
+  cfg.chunk_size = 16;
+  cfg.load_balance.enabled = true;
+  cfg.load_balance.eval_interval_chunks = 50;
+  cfg.load_balance.imbalance_threshold = 1.0;
+  cfg.load_balance.max_rounds = 3;
+  auto prof = make_parallel_profiler(cfg);
+  replay(t, *prof);
+  EXPECT_LE(prof->stats().redistribution_rounds, 3u);
+}
+
+// ------------------------------------------------------------ statistics
+
+TEST(ParallelProfiler, StatsAccountAllEvents) {
+  GenParams p;
+  p.accesses = 10'000;
+  const Trace t = gen_uniform(p);
+  ProfilerConfig cfg = perfect_cfg();
+  cfg.workers = 4;
+  auto prof = make_parallel_profiler(cfg);
+  replay(t, *prof);
+  const ProfilerStats st = prof->stats();
+  EXPECT_EQ(st.events, 10'000u);
+  std::uint64_t worker_sum = 0;
+  for (auto e : st.worker_events) worker_sum += e;
+  EXPECT_EQ(worker_sum, 10'000u);
+  EXPECT_GT(st.chunks, 0u);
+  EXPECT_EQ(st.worker_busy_sec.size(), 4u);
+}
+
+TEST(ParallelProfiler, FinishIsIdempotent) {
+  ProfilerConfig cfg = perfect_cfg();
+  cfg.workers = 2;
+  auto prof = make_parallel_profiler(cfg);
+  AccessEvent e;
+  e.addr = 0x1000;
+  e.kind = AccessKind::kWrite;
+  e.loc = SourceLocation(1, 1).packed();
+  prof->on_access(e);
+  prof->finish();
+  prof->finish();  // second finish must be a no-op
+  EXPECT_EQ(prof->dependences().size(), 1u);
+}
+
+TEST(ParallelProfiler, DestructionWithoutFinishIsSafe) {
+  ProfilerConfig cfg = perfect_cfg();
+  cfg.workers = 4;
+  auto prof = make_parallel_profiler(cfg);
+  AccessEvent e;
+  e.addr = 0x1000;
+  e.kind = AccessKind::kWrite;
+  e.loc = SourceLocation(1, 1).packed();
+  prof->on_access(e);
+  // Dropping the profiler without finish() must join workers, not hang.
+}
+
+TEST(ParallelProfiler, UnsupportedStorageReturnsNull) {
+  ProfilerConfig cfg;
+  cfg.storage = StorageKind::kShadow;
+  EXPECT_EQ(make_parallel_profiler(cfg), nullptr);
+}
+
+}  // namespace
+}  // namespace depprof

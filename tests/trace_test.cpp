@@ -1,0 +1,143 @@
+// Tests for the trace substrate: containers, statistics, synthetic
+// generators, recorder/replay, and binary trace I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "trace/generators.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+
+namespace depprof {
+namespace {
+
+TEST(Trace, StatisticsMatchGeneratorParams) {
+  GenParams p;
+  p.accesses = 10'000;
+  p.distinct = 500;
+  p.write_ratio = 0.3;
+  const Trace t = gen_uniform(p);
+  EXPECT_EQ(t.size(), 10'000u);
+  EXPECT_LE(t.distinct_addresses(), 500u);
+  EXPECT_GE(t.distinct_addresses(), 450u);  // nearly all touched
+  EXPECT_NEAR(t.write_ratio(), 0.3, 0.05);
+}
+
+TEST(Generators, Deterministic) {
+  GenParams p;
+  p.accesses = 1'000;
+  const Trace a = gen_uniform(p);
+  const Trace b = gen_uniform(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events[i].addr, b.events[i].addr);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+  }
+}
+
+TEST(Generators, SeedChangesStream) {
+  GenParams p;
+  p.accesses = 1'000;
+  const Trace a = gen_uniform(p);
+  p.seed = 99;
+  const Trace b = gen_uniform(p);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    diff += a.events[i].addr != b.events[i].addr ? 1 : 0;
+  EXPECT_GT(diff, 100u);
+}
+
+TEST(Generators, StridedSweepsLinearly) {
+  GenParams p;
+  p.accesses = 100;
+  p.distinct = 50;
+  p.stride = 16;
+  const Trace t = gen_strided(p);
+  for (std::size_t i = 1; i < 50; ++i)
+    EXPECT_EQ(t.events[i].addr - t.events[i - 1].addr, 16u);
+  EXPECT_EQ(t.events[50].addr, t.events[0].addr);  // second sweep restarts
+}
+
+TEST(Generators, ZipfIsHeavilySkewed) {
+  GenParams p;
+  p.accesses = 50'000;
+  p.distinct = 1'000;
+  const Trace t = gen_zipf(p, 1.2);
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  for (const auto& ev : t.events) ++counts[ev.addr];
+  std::uint64_t max_count = 0;
+  for (const auto& [addr, c] : counts) max_count = std::max(max_count, c);
+  // The hottest address absorbs far more than a uniform share.
+  EXPECT_GT(max_count, 50'000u / 1'000u * 10);
+}
+
+TEST(Generators, LoopTraceCarriesLoopContext) {
+  GenParams p;
+  p.distinct = 10;
+  const Trace t = gen_loop(p, /*iters=*/3, /*carried=*/true, /*loop_id=*/7);
+  ASSERT_EQ(t.size(), 3u * 10u * 2u);
+  for (const auto& ev : t.events) EXPECT_EQ(ev.loops[0].loop, 7u);
+  EXPECT_EQ(t.events[0].loops[0].iter, 0u);
+  EXPECT_EQ(t.events.back().loops[0].iter, 2u);
+}
+
+TEST(Generators, MtTraceHasTimestampsAndThreads) {
+  GenParams p;
+  p.accesses = 1'000;
+  const Trace t = gen_mt_producer_consumer(p, /*threads=*/4, /*shared=*/16);
+  std::uint64_t prev_ts = 0;
+  bool all_threads[4] = {};
+  for (const auto& ev : t.events) {
+    EXPECT_GT(ev.ts, prev_ts);
+    prev_ts = ev.ts;
+    ASSERT_LT(ev.tid, 4u);
+    all_threads[ev.tid] = true;
+  }
+  for (bool seen : all_threads) EXPECT_TRUE(seen);
+}
+
+TEST(TraceRecorder, CapturesAndReplays) {
+  GenParams p;
+  p.accesses = 500;
+  const Trace t = gen_uniform(p);
+  TraceRecorder rec;
+  replay(t, rec);
+  ASSERT_EQ(rec.trace().size(), t.size());
+  EXPECT_EQ(rec.trace().events[0].addr, t.events[0].addr);
+}
+
+TEST(TraceIo, RoundTrip) {
+  GenParams p;
+  p.accesses = 777;
+  const Trace t = gen_zipf(p);
+  const std::string path = "/tmp/depprof_trace_test.bin";
+  ASSERT_TRUE(write_trace(t, path));
+  Trace back;
+  ASSERT_TRUE(read_trace(back, path));
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back.events[i].addr, t.events[i].addr);
+    EXPECT_EQ(back.events[i].loc, t.events[i].loc);
+    EXPECT_EQ(back.events[i].kind, t.events[i].kind);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMissingAndMalformedFiles) {
+  Trace out;
+  EXPECT_FALSE(read_trace(out, "/tmp/depprof_does_not_exist.bin"));
+  const std::string path = "/tmp/depprof_garbage.bin";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a trace", f);
+  std::fclose(f);
+  EXPECT_FALSE(read_trace(out, path));
+  EXPECT_TRUE(out.events.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace depprof

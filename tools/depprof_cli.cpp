@@ -1,0 +1,241 @@
+// depprof — command-line front end.
+//
+// Profiles a bundled workload (or a recorded trace file) under a chosen
+// profiler configuration and emits dependences in the paper's text format,
+// CSV, or Graphviz DOT, optionally running analysis plugins.
+//
+// Usage:
+//   depprof list
+//   depprof plugins
+//   depprof run <workload> [options]
+//   depprof replay <trace-file> [options]
+//
+// Options:
+//   --storage signature|perfect|shadow|hashtable   (default signature)
+//   --slots N            signature slots per signature   (default 1M)
+//   --parallel           use the Fig. 2 pipeline
+//   --workers N          pipeline workers                 (default 8)
+//   --queue lockfree|mutex                               (default lockfree)
+//   --mt-threads N       run the pthread variant with N target threads
+//   --scale N            workload scale factor            (default 1)
+//   --format text|csv|dot                                (default text)
+//   --distances          annotate carried iteration distances (text format)
+//   --plugin NAME        run an analysis plugin (repeatable; 'all' = every)
+//   --stats              print run statistics
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/formatter.hpp"
+#include "framework/plugin.hpp"
+#include "framework/program_model.hpp"
+#include "harness/runner.hpp"
+#include "instrument/runtime.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/workload.hpp"
+
+using namespace depprof;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: depprof <list|plugins|run <workload>|replay <trace>> [options]\n"
+      "see the header of tools/depprof_cli.cpp or README.md for options\n",
+      stderr);
+  return 2;
+}
+
+struct CliOptions {
+  ProfilerConfig cfg;
+  bool parallel = false;
+  unsigned mt_threads = 0;
+  int scale = 1;
+  std::string format = "text";
+  bool distances = false;
+  std::vector<std::string> plugins;
+  bool stats = false;
+};
+
+bool parse(int argc, char** argv, int start, CliOptions& out) {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--storage") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "signature") == 0)
+        out.cfg.storage = StorageKind::kSignature;
+      else if (std::strcmp(v, "perfect") == 0)
+        out.cfg.storage = StorageKind::kPerfect;
+      else if (std::strcmp(v, "shadow") == 0)
+        out.cfg.storage = StorageKind::kShadow;
+      else if (std::strcmp(v, "hashtable") == 0)
+        out.cfg.storage = StorageKind::kHashTable;
+      else
+        return false;
+    } else if (arg == "--slots") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out.cfg.slots = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--parallel") {
+      out.parallel = true;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out.cfg.workers = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "mutex") == 0)
+        out.cfg.queue = QueueKind::kMutex;
+      else if (std::strcmp(v, "lockfree") == 0)
+        out.cfg.queue = QueueKind::kLockFreeSpsc;
+      else
+        return false;
+    } else if (arg == "--mt-threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out.mt_threads = static_cast<unsigned>(std::atoi(v));
+      out.parallel = true;
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out.scale = std::atoi(v);
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out.format = v;
+    } else if (arg == "--distances") {
+      out.distances = true;
+    } else if (arg == "--plugin") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out.plugins.emplace_back(v);
+    } else if (arg == "--stats") {
+      out.stats = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void emit(const ProgramModel& model, const CliOptions& opts) {
+  if (opts.format == "csv") {
+    std::fputs(deps_csv(model.deps()).c_str(), stdout);
+  } else if (opts.format == "dot") {
+    std::fputs(model.dep_graph().to_dot().c_str(), stdout);
+  } else {
+    FormatOptions fmt;
+    fmt.show_tids = opts.mt_threads > 0;
+    fmt.show_distances = opts.distances;
+    std::fputs(format_deps(model.deps(), &model.control_flow(), fmt).c_str(),
+               stdout);
+  }
+
+  for (const std::string& name : opts.plugins) {
+    if (name == "all") {
+      for (AnalysisPlugin* p : PluginRegistry::instance().all())
+        std::printf("\n== plugin %s ==\n%s", p->name().c_str(),
+                    p->run(model).c_str());
+      continue;
+    }
+    AnalysisPlugin* p = PluginRegistry::instance().find(name);
+    if (p == nullptr) {
+      std::fprintf(stderr, "unknown plugin '%s' (try `depprof plugins`)\n",
+                   name.c_str());
+      continue;
+    }
+    std::printf("\n== plugin %s ==\n%s", p->name().c_str(),
+                p->run(model).c_str());
+  }
+
+  if (opts.stats) {
+    const ProfilerStats& st = model.stats();
+    std::printf("\n# events=%llu chunks=%llu merged=%zu instances=%llu "
+                "redistributions=%u sig_bytes=%zu\n",
+                static_cast<unsigned long long>(st.events),
+                static_cast<unsigned long long>(st.chunks), model.deps().size(),
+                static_cast<unsigned long long>(model.deps().instances()),
+                st.redistribution_rounds, st.signature_bytes);
+  }
+}
+
+int cmd_run(const char* name, const CliOptions& opts) {
+  const Workload* w = find_workload(name);
+  if (w == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (try `depprof list`)\n", name);
+    return 1;
+  }
+  ProfilerConfig cfg = opts.cfg;
+  if (opts.mt_threads > 0) cfg.mt_targets = true;
+
+  Runtime::instance().reset();
+  auto profiler = opts.parallel ? make_parallel_profiler(cfg)
+                                : make_serial_profiler(cfg);
+  if (!profiler) {
+    std::fprintf(stderr, "storage kind not supported by this pipeline\n");
+    return 1;
+  }
+  Runtime::instance().attach(profiler.get(), cfg.mt_targets);
+  if (opts.mt_threads > 0 && w->run_parallel)
+    (void)w->run_parallel(opts.scale, opts.mt_threads);
+  else
+    (void)w->run(opts.scale);
+  Runtime::instance().detach();
+
+  emit(ProgramModel::from_run(*profiler), opts);
+  return 0;
+}
+
+int cmd_replay(const char* path, const CliOptions& opts) {
+  Trace trace;
+  if (!read_trace(trace, path)) {
+    std::fprintf(stderr, "cannot read trace '%s'\n", path);
+    return 1;
+  }
+  auto profiler = opts.parallel ? make_parallel_profiler(opts.cfg)
+                                : make_serial_profiler(opts.cfg);
+  if (!profiler) {
+    std::fprintf(stderr, "storage kind not supported by this pipeline\n");
+    return 1;
+  }
+  Runtime::instance().reset();
+  replay(trace, *profiler);
+  emit(ProgramModel(profiler->take_dependences(), {}, {}, {},
+                    profiler->stats()),
+       opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "list") {
+    for (const auto& w : all_workloads())
+      std::printf("%-14s %-10s %s\n", w.name.c_str(), w.suite.c_str(),
+                  w.run_parallel ? "(seq+pthread)" : "(seq)");
+    return 0;
+  }
+  if (cmd == "plugins") {
+    for (AnalysisPlugin* p : PluginRegistry::instance().all())
+      std::printf("%-18s %s\n", p->name().c_str(), p->description().c_str());
+    return 0;
+  }
+  if ((cmd == "run" || cmd == "replay") && argc >= 3) {
+    CliOptions opts;
+    if (!parse(argc, argv, 3, opts)) return usage();
+    return cmd == "run" ? cmd_run(argv[2], opts) : cmd_replay(argv[2], opts);
+  }
+  return usage();
+}
