@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sighash.dir/ablation_sighash.cpp.o"
+  "CMakeFiles/ablation_sighash.dir/ablation_sighash.cpp.o.d"
+  "ablation_sighash"
+  "ablation_sighash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sighash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

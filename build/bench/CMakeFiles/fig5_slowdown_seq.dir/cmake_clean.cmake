@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_slowdown_seq.dir/fig5_slowdown_seq.cpp.o"
+  "CMakeFiles/fig5_slowdown_seq.dir/fig5_slowdown_seq.cpp.o.d"
+  "fig5_slowdown_seq"
+  "fig5_slowdown_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_slowdown_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

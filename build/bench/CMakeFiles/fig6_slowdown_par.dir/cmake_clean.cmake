@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_slowdown_par.dir/fig6_slowdown_par.cpp.o"
+  "CMakeFiles/fig6_slowdown_par.dir/fig6_slowdown_par.cpp.o.d"
+  "fig6_slowdown_par"
+  "fig6_slowdown_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_slowdown_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

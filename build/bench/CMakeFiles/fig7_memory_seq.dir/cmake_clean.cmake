@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_memory_seq.dir/fig7_memory_seq.cpp.o"
+  "CMakeFiles/fig7_memory_seq.dir/fig7_memory_seq.cpp.o.d"
+  "fig7_memory_seq"
+  "fig7_memory_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_memory_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

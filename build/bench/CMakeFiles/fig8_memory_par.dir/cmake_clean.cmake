@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_memory_par.dir/fig8_memory_par.cpp.o"
+  "CMakeFiles/fig8_memory_par.dir/fig8_memory_par.cpp.o.d"
+  "fig8_memory_par"
+  "fig8_memory_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_memory_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_comm_matrix.dir/fig9_comm_matrix.cpp.o"
+  "CMakeFiles/fig9_comm_matrix.dir/fig9_comm_matrix.cpp.o.d"
+  "fig9_comm_matrix"
+  "fig9_comm_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_comm_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formula2_validation.dir/formula2_validation.cpp.o"
+  "CMakeFiles/formula2_validation.dir/formula2_validation.cpp.o.d"
+  "formula2_validation"
+  "formula2_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formula2_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

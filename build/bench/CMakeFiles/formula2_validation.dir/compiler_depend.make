@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for formula2_validation.
+# This may be replaced when dependencies are built.

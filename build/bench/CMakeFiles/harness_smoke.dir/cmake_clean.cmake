@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_smoke.dir/harness_smoke.cpp.o"
+  "CMakeFiles/harness_smoke.dir/harness_smoke.cpp.o.d"
+  "harness_smoke"
+  "harness_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_factor.dir/merge_factor.cpp.o"
+  "CMakeFiles/merge_factor.dir/merge_factor.cpp.o.d"
+  "merge_factor"
+  "merge_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

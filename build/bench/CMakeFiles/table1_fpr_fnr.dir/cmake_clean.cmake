@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fpr_fnr.dir/table1_fpr_fnr.cpp.o"
+  "CMakeFiles/table1_fpr_fnr.dir/table1_fpr_fnr.cpp.o.d"
+  "table1_fpr_fnr"
+  "table1_fpr_fnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fpr_fnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_loops.dir/table2_loops.cpp.o"
+  "CMakeFiles/table2_loops.dir/table2_loops.cpp.o.d"
+  "table2_loops"
+  "table2_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

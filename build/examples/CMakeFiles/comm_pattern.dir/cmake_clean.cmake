@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_pattern.dir/comm_pattern.cpp.o"
+  "CMakeFiles/comm_pattern.dir/comm_pattern.cpp.o.d"
+  "comm_pattern"
+  "comm_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_parallelism.dir/discover_parallelism.cpp.o"
+  "CMakeFiles/discover_parallelism.dir/discover_parallelism.cpp.o.d"
+  "discover_parallelism"
+  "discover_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

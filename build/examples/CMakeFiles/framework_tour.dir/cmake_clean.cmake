@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framework_tour.dir/framework_tour.cpp.o"
+  "CMakeFiles/framework_tour.dir/framework_tour.cpp.o.d"
+  "framework_tour"
+  "framework_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framework_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_trace.dir/profile_trace.cpp.o"
+  "CMakeFiles/profile_trace.dir/profile_trace.cpp.o.d"
+  "profile_trace"
+  "profile_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

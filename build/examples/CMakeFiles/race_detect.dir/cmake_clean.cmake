@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_detect.dir/race_detect.cpp.o"
+  "CMakeFiles/race_detect.dir/race_detect.cpp.o.d"
+  "race_detect"
+  "race_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

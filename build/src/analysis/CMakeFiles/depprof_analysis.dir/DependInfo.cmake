@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/comm_matrix.cpp" "src/analysis/CMakeFiles/depprof_analysis.dir/comm_matrix.cpp.o" "gcc" "src/analysis/CMakeFiles/depprof_analysis.dir/comm_matrix.cpp.o.d"
+  "/root/repo/src/analysis/loop_parallelism.cpp" "src/analysis/CMakeFiles/depprof_analysis.dir/loop_parallelism.cpp.o" "gcc" "src/analysis/CMakeFiles/depprof_analysis.dir/loop_parallelism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/depprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/depprof_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/depprof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/depprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

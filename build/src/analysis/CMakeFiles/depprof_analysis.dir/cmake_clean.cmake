@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depprof_analysis.dir/comm_matrix.cpp.o"
+  "CMakeFiles/depprof_analysis.dir/comm_matrix.cpp.o.d"
+  "CMakeFiles/depprof_analysis.dir/loop_parallelism.cpp.o"
+  "CMakeFiles/depprof_analysis.dir/loop_parallelism.cpp.o.d"
+  "libdepprof_analysis.a"
+  "libdepprof_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depprof_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

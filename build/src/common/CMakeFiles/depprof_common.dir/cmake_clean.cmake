@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depprof_common.dir/heatmap.cpp.o"
+  "CMakeFiles/depprof_common.dir/heatmap.cpp.o.d"
+  "CMakeFiles/depprof_common.dir/location.cpp.o"
+  "CMakeFiles/depprof_common.dir/location.cpp.o.d"
+  "CMakeFiles/depprof_common.dir/mem_stats.cpp.o"
+  "CMakeFiles/depprof_common.dir/mem_stats.cpp.o.d"
+  "CMakeFiles/depprof_common.dir/table.cpp.o"
+  "CMakeFiles/depprof_common.dir/table.cpp.o.d"
+  "libdepprof_common.a"
+  "libdepprof_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depprof_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dep.cpp" "src/core/CMakeFiles/depprof_core.dir/dep.cpp.o" "gcc" "src/core/CMakeFiles/depprof_core.dir/dep.cpp.o.d"
+  "/root/repo/src/core/formatter.cpp" "src/core/CMakeFiles/depprof_core.dir/formatter.cpp.o" "gcc" "src/core/CMakeFiles/depprof_core.dir/formatter.cpp.o.d"
+  "/root/repo/src/core/parallel_profiler.cpp" "src/core/CMakeFiles/depprof_core.dir/parallel_profiler.cpp.o" "gcc" "src/core/CMakeFiles/depprof_core.dir/parallel_profiler.cpp.o.d"
+  "/root/repo/src/core/serial_profiler.cpp" "src/core/CMakeFiles/depprof_core.dir/serial_profiler.cpp.o" "gcc" "src/core/CMakeFiles/depprof_core.dir/serial_profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/depprof_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/depprof_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/depprof_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depprof_core.dir/dep.cpp.o"
+  "CMakeFiles/depprof_core.dir/dep.cpp.o.d"
+  "CMakeFiles/depprof_core.dir/formatter.cpp.o"
+  "CMakeFiles/depprof_core.dir/formatter.cpp.o.d"
+  "CMakeFiles/depprof_core.dir/parallel_profiler.cpp.o"
+  "CMakeFiles/depprof_core.dir/parallel_profiler.cpp.o.d"
+  "CMakeFiles/depprof_core.dir/serial_profiler.cpp.o"
+  "CMakeFiles/depprof_core.dir/serial_profiler.cpp.o.d"
+  "libdepprof_core.a"
+  "libdepprof_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depprof_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depprof_framework.dir/dep_graph.cpp.o"
+  "CMakeFiles/depprof_framework.dir/dep_graph.cpp.o.d"
+  "CMakeFiles/depprof_framework.dir/loop_table.cpp.o"
+  "CMakeFiles/depprof_framework.dir/loop_table.cpp.o.d"
+  "CMakeFiles/depprof_framework.dir/plugin.cpp.o"
+  "CMakeFiles/depprof_framework.dir/plugin.cpp.o.d"
+  "CMakeFiles/depprof_framework.dir/program_model.cpp.o"
+  "CMakeFiles/depprof_framework.dir/program_model.cpp.o.d"
+  "libdepprof_framework.a"
+  "libdepprof_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depprof_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depprof_harness.dir/accuracy.cpp.o"
+  "CMakeFiles/depprof_harness.dir/accuracy.cpp.o.d"
+  "CMakeFiles/depprof_harness.dir/runner.cpp.o"
+  "CMakeFiles/depprof_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/depprof_harness.dir/table2.cpp.o"
+  "CMakeFiles/depprof_harness.dir/table2.cpp.o.d"
+  "libdepprof_harness.a"
+  "libdepprof_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depprof_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

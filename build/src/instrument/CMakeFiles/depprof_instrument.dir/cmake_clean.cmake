@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depprof_instrument.dir/runtime.cpp.o"
+  "CMakeFiles/depprof_instrument.dir/runtime.cpp.o.d"
+  "libdepprof_instrument.a"
+  "libdepprof_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depprof_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depprof_mt.dir/race_report.cpp.o"
+  "CMakeFiles/depprof_mt.dir/race_report.cpp.o.d"
+  "libdepprof_mt.a"
+  "libdepprof_mt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depprof_mt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

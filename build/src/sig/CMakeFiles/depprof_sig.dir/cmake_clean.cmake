@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depprof_sig.dir/fpr_model.cpp.o"
+  "CMakeFiles/depprof_sig.dir/fpr_model.cpp.o.d"
+  "libdepprof_sig.a"
+  "libdepprof_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depprof_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

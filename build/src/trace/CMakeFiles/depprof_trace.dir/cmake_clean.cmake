@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depprof_trace.dir/call_tree.cpp.o"
+  "CMakeFiles/depprof_trace.dir/call_tree.cpp.o.d"
+  "CMakeFiles/depprof_trace.dir/generators.cpp.o"
+  "CMakeFiles/depprof_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/depprof_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/depprof_trace.dir/trace_io.cpp.o.d"
+  "libdepprof_trace.a"
+  "libdepprof_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depprof_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

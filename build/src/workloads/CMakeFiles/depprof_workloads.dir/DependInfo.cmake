@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/nas/bt.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/bt.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/bt.cpp.o.d"
+  "/root/repo/src/workloads/nas/cg.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/cg.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/cg.cpp.o.d"
+  "/root/repo/src/workloads/nas/ep.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/ep.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/ep.cpp.o.d"
+  "/root/repo/src/workloads/nas/ft.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/ft.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/ft.cpp.o.d"
+  "/root/repo/src/workloads/nas/is.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/is.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/is.cpp.o.d"
+  "/root/repo/src/workloads/nas/lu.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/lu.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/lu.cpp.o.d"
+  "/root/repo/src/workloads/nas/mg.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/mg.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/mg.cpp.o.d"
+  "/root/repo/src/workloads/nas/sp.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/sp.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/nas/sp.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/splash/water_spatial.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/splash/water_spatial.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/splash/water_spatial.cpp.o.d"
+  "/root/repo/src/workloads/starbench/bodytrack.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/bodytrack.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/bodytrack.cpp.o.d"
+  "/root/repo/src/workloads/starbench/cray.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/cray.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/cray.cpp.o.d"
+  "/root/repo/src/workloads/starbench/h264dec.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/h264dec.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/h264dec.cpp.o.d"
+  "/root/repo/src/workloads/starbench/kmeans.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/kmeans.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/starbench/md5.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/md5.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/md5.cpp.o.d"
+  "/root/repo/src/workloads/starbench/rayrot.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/rayrot.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/rayrot.cpp.o.d"
+  "/root/repo/src/workloads/starbench/rgbyuv.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/rgbyuv.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/rgbyuv.cpp.o.d"
+  "/root/repo/src/workloads/starbench/rotate.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/rotate.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/rotate.cpp.o.d"
+  "/root/repo/src/workloads/starbench/rotcc.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/rotcc.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/rotcc.cpp.o.d"
+  "/root/repo/src/workloads/starbench/streamcluster.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/streamcluster.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/streamcluster.cpp.o.d"
+  "/root/repo/src/workloads/starbench/tinyjpeg.cpp" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/tinyjpeg.cpp.o" "gcc" "src/workloads/CMakeFiles/depprof_workloads.dir/starbench/tinyjpeg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instrument/CMakeFiles/depprof_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/mt/CMakeFiles/depprof_mt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/depprof_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/depprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/depprof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/depprof_sig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/detector_test.cpp" "tests/CMakeFiles/detector_test.dir/detector_test.cpp.o" "gcc" "tests/CMakeFiles/detector_test.dir/detector_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/depprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/depprof_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/depprof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/depprof_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/mt/CMakeFiles/depprof_mt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/depprof_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/depprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/depprof_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/framework/CMakeFiles/depprof_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/depprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

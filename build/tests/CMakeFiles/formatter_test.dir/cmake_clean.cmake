@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formatter_test.dir/formatter_test.cpp.o"
+  "CMakeFiles/formatter_test.dir/formatter_test.cpp.o.d"
+  "formatter_test"
+  "formatter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formatter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_test.dir/mt_test.cpp.o"
+  "CMakeFiles/mt_test.dir/mt_test.cpp.o.d"
+  "mt_test"
+  "mt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

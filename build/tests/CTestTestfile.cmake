@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;22;depprof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sig_test "/root/repo/build/tests/sig_test")
+set_tests_properties(sig_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;23;depprof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(queue_test "/root/repo/build/tests/queue_test")
+set_tests_properties(queue_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;24;depprof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(trace_test "/root/repo/build/tests/trace_test")
+set_tests_properties(trace_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;25;depprof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(detector_test "/root/repo/build/tests/detector_test")
+set_tests_properties(detector_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;26;depprof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(profiler_test "/root/repo/build/tests/profiler_test")
+set_tests_properties(profiler_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;27;depprof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(instrument_test "/root/repo/build/tests/instrument_test")
+set_tests_properties(instrument_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;28;depprof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(formatter_test "/root/repo/build/tests/formatter_test")
+set_tests_properties(formatter_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;29;depprof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analysis_test "/root/repo/build/tests/analysis_test")
+set_tests_properties(analysis_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;30;depprof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mt_test "/root/repo/build/tests/mt_test")
+set_tests_properties(mt_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;31;depprof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_test "/root/repo/build/tests/workload_test")
+set_tests_properties(workload_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;32;depprof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(harness_test "/root/repo/build/tests/harness_test")
+set_tests_properties(harness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;33;depprof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(framework_test "/root/repo/build/tests/framework_test")
+set_tests_properties(framework_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;34;depprof_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(oracle_test "/root/repo/build/tests/oracle_test")
+set_tests_properties(oracle_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;19;add_test;/root/repo/tests/CMakeLists.txt;35;depprof_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depprof.dir/depprof_cli.cpp.o"
+  "CMakeFiles/depprof.dir/depprof_cli.cpp.o.d"
+  "depprof"
+  "depprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/depprof" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_plugins "/root/repo/build/tools/depprof" "plugins")
+set_tests_properties(cli_plugins PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_text "/root/repo/build/tools/depprof" "run" "ep" "--stats")
+set_tests_properties(cli_run_text PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_csv "/root/repo/build/tools/depprof" "run" "ep" "--format" "csv")
+set_tests_properties(cli_run_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_dot "/root/repo/build/tools/depprof" "run" "ep" "--format" "dot")
+set_tests_properties(cli_run_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_plugins "/root/repo/build/tools/depprof" "run" "cg" "--plugin" "all" "--storage" "perfect")
+set_tests_properties(cli_run_plugins PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_parallel "/root/repo/build/tools/depprof" "run" "is" "--parallel" "--workers" "4" "--queue" "mutex")
+set_tests_properties(cli_run_parallel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_mt "/root/repo/build/tools/depprof" "run" "water-spatial" "--mt-threads" "4" "--storage" "perfect" "--plugin" "comm-matrix")
+set_tests_properties(cli_run_mt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage "/root/repo/build/tools/depprof" "frobnicate")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
