@@ -19,6 +19,7 @@
 #include "core/profiler.hpp"
 #include "harness/accuracy.hpp"
 #include "harness/runner.hpp"
+#include "obs/bench_report.hpp"
 #include "trace/trace.hpp"
 #include "workloads/workload.hpp"
 
@@ -68,12 +69,14 @@ std::size_t carried_count(const DepMap& deps, DepType type) {
   return n;
 }
 
-DepMap run_trace(const Trace& t, StorageKind storage) {
+DepMap run_trace(const Trace& t, StorageKind storage,
+                 obs::PipelineSnapshot* stages = nullptr) {
   ProfilerConfig cfg;
   cfg.storage = storage;
   cfg.slots = 1u << 16;
   auto prof = make_serial_profiler(cfg);
   replay(t, *prof);
+  if (stages != nullptr) *stages = prof->stats().stages;
   return prof->take_dependences();
 }
 
@@ -87,11 +90,17 @@ Trace strip_frees(const Trace& t) {
 }  // namespace
 
 int main() {
+  obs::BenchReport report("ablation_lifetime");
+
   // -- 1. synthetic scratch reuse ----------------------------------------
   std::printf("Scratch-buffer reuse (64 iterations, one freed buffer):\n");
   for (bool frees : {true, false}) {
     const Trace t = scratch_reuse_trace(64, 16, frees);
-    const DepMap deps = run_trace(t, StorageKind::kSignature);
+    obs::PipelineSnapshot stages;
+    const DepMap deps = run_trace(t, StorageKind::kSignature, &stages);
+    report.metric(frees ? "carried_raw_with_frees" : "carried_raw_without_frees",
+                  static_cast<double>(carried_count(deps, DepType::kRaw)));
+    report.stages(frees ? "lifetime_on" : "lifetime_off", stages);
     std::printf(
         "  lifetime events %-3s -> %zu merged deps; carried RAW/WAR/WAW = "
         "%zu/%zu/%zu (%s)\n",
@@ -120,6 +129,10 @@ int main() {
 
     const AccuracyResult acc_with = compare_deps(baseline, with_lifetime);
     const AccuracyResult acc_without = compare_deps(baseline, without);
+    report.metric(std::string(name) + "_fpr_with_lifetime",
+                  acc_with.fpr_percent());
+    report.metric(std::string(name) + "_fpr_without_lifetime",
+                  acc_without.fpr_percent());
     table.add_row({name, std::to_string(frees),
                    TextTable::num(acc_with.fpr_percent()),
                    TextTable::num(acc_without.fpr_percent()),
@@ -133,5 +146,6 @@ int main() {
       "signatures lowers the probability of building incorrect dependences; "
       "single-hash (non-Bloom) signatures exist precisely to allow this "
       "removal.\n");
+  report.write();
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/profiler.hpp"
+#include "obs/bench_report.hpp"
 #include "trace/generators.hpp"
 
 using namespace depprof;
@@ -61,7 +62,7 @@ void routing_spread() {
   std::fputs(os.str().c_str(), stdout);
 }
 
-void redistribution() {
+void redistribution(obs::BenchReport& report) {
   GenParams p;
   p.accesses = 3'000'000;
   p.distinct = 30'000;
@@ -98,6 +99,12 @@ void redistribution() {
                    std::to_string(st.redistribution_rounds),
                    std::to_string(st.migrated_addresses),
                    TextTable::num(busy_max * 1e3, 2)});
+
+    const char* key = enabled ? "balancer_on" : "balancer_off";
+    report.metric(std::string(key) + "_worker_event_cv", events.cv());
+    report.metric(std::string(key) + "_rounds", st.redistribution_rounds);
+    report.metric(std::string(key) + "_migrated", st.migrated_addresses);
+    report.stages(key, st.stages);
   }
 
   std::ostringstream os;
@@ -113,7 +120,9 @@ void redistribution() {
 }  // namespace
 
 int main() {
+  obs::BenchReport report("ablation_loadbalance");
   routing_spread();
-  redistribution();
+  redistribution(report);
+  report.write();
   return 0;
 }

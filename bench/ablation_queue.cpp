@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "harness/runner.hpp"
+#include "obs/bench_report.hpp"
 #include "queue/queues.hpp"
 #include "workloads/workload.hpp"
 
@@ -88,7 +89,7 @@ BENCHMARK(BM_MutexThreaded)->Unit(benchmark::kMillisecond);
 /// lock-based penalty is largest at chunk=1 (one queue operation per
 /// access, the regime where the paper's 1.3-1.6x gap lives) and is
 /// amortized away by larger chunks.
-void end_to_end() {
+void end_to_end(obs::BenchReport& report) {
   const Workload* w = find_workload("cg");
   if (w == nullptr) return;
   std::printf("\nEnd-to-end pipeline on '%s' (8 workers), sim slowdown:\n",
@@ -108,8 +109,15 @@ void end_to_end() {
       RunOptions opts;
       opts.parallel_pipeline = true;
       opts.native_reps = 2;
-      sim[idx++] = profile_workload(*w, cfg, opts).simulated_slowdown();
+      const RunMeasurement m = profile_workload(*w, cfg, opts);
+      sim[idx] = m.simulated_slowdown();
+      const char* qname = idx == 0 ? "mutex" : "spsc";
+      report.stages(std::string(qname) + "_chunk" + std::to_string(chunk),
+                    m.stats.stages);
+      ++idx;
     }
+    report.metric("mutex_over_lockfree_chunk" + std::to_string(chunk),
+                  sim[1] > 0 ? sim[0] / sim[1] : 0.0);
     std::printf("  %-10zu %-12.1f %-15.1f %.2fx\n", chunk, sim[0], sim[1],
                 sim[1] > 0 ? sim[0] / sim[1] : 0.0);
   }
@@ -123,6 +131,8 @@ void end_to_end() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  end_to_end();
+  obs::BenchReport report("ablation_queue");
+  end_to_end(report);
+  report.write();
   return 0;
 }

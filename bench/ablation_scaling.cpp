@@ -16,6 +16,7 @@
 
 #include "common/table.hpp"
 #include "harness/runner.hpp"
+#include "obs/bench_report.hpp"
 #include "workloads/workload.hpp"
 
 using namespace depprof;
@@ -33,6 +34,9 @@ int main(int argc, char** argv) {
   table.set_header({"program", "serial", "W=1", "W=2", "W=4", "W=8", "W=16",
                     "producer-bound"});
 
+  obs::BenchReport report("ablation_scaling");
+  obs::PipelineSnapshot last_stages[5];  // last workload, per worker count
+
   for (const char* name : names) {
     const Workload* w = find_workload(name);
     if (w == nullptr) continue;
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
 
     std::vector<std::string> row = {w->name, TextTable::num(serial.slowdown(), 1)};
     double producer_bound = 0.0;
+    int wi = 0;
     for (unsigned wc : workers) {
       ProfilerConfig cfg;
       cfg.storage = StorageKind::kSignature;
@@ -59,7 +64,10 @@ int main(int argc, char** argv) {
       const RunMeasurement m = profile_workload(*w, cfg, popts);
       row.push_back(TextTable::num(m.simulated_slowdown(), 1));
       producer_bound = m.native_sec > 0 ? m.producer_cpu_sec / m.native_sec : 0;
+      last_stages[wi++] = m.stats.stages;
     }
+    report.metric(std::string(w->name) + "_serial_slowdown", serial.slowdown());
+    report.metric(std::string(w->name) + "_producer_bound", producer_bound);
     row.push_back(TextTable::num(producer_bound, 1));
     table.add_row(std::move(row));
   }
@@ -71,5 +79,10 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper reference: serial 190x -> 78x at 16 workers (2.4x pipeline "
       "speedup), saturating at the producer bound.\n");
+
+  for (int i = 0; i < 5; ++i)
+    if (!last_stages[i].empty())
+      report.stages("W=" + std::to_string(workers[i]), last_stages[i]);
+  report.write();
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "common/table.hpp"
 #include "harness/accuracy.hpp"
 #include "harness/runner.hpp"
+#include "obs/bench_report.hpp"
 #include "workloads/workload.hpp"
 
 using namespace depprof;
@@ -37,6 +38,8 @@ int main(int argc, char** argv) {
                   " slots");
   table.set_header({"program", "FPR modulo", "FNR modulo", "FPR mix", "FNR mix"});
   StatAccumulator fpr_mod, fnr_mod, fpr_mix, fnr_mix;
+  obs::BenchReport report("ablation_sighash");
+  obs::PipelineSnapshot last_stages[2];  // modulo / mix
 
   for (const Workload* w : workloads_in_suite("starbench")) {
     RunOptions opts;
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
       cfg.sig_hash = hashes[h];
       const RunMeasurement m = profile_workload(*w, cfg, opts);
       acc[h] = compare_deps(base.deps, m.deps);
+      last_stages[h] = m.stats.stages;
     }
     fpr_mod.add(acc[0].fpr_percent());
     fnr_mod.add(acc[0].fnr_percent());
@@ -74,5 +78,13 @@ int main(int argc, char** argv) {
   table.print(os);
   std::fputs(os.str().c_str(), stdout);
   std::printf("\nCSV:\n%s", table.csv().c_str());
+
+  report.metric("avg_fpr_modulo", fpr_mod.mean());
+  report.metric("avg_fnr_modulo", fnr_mod.mean());
+  report.metric("avg_fpr_mix", fpr_mix.mean());
+  report.metric("avg_fnr_mix", fnr_mix.mean());
+  if (!last_stages[0].empty()) report.stages("modulo", last_stages[0]);
+  if (!last_stages[1].empty()) report.stages("mix", last_stages[1]);
+  report.write();
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "harness/runner.hpp"
+#include "obs/bench_report.hpp"
 #include "workloads/workload.hpp"
 
 using namespace depprof;
@@ -60,6 +61,8 @@ int main(int argc, char** argv) {
                     "16T_lock-free(wall)"});
 
   StatAccumulator suite_avg[2][4];  // [nas|starbench][config]
+  obs::BenchReport report("fig5_slowdown_seq");
+  obs::PipelineSnapshot last_stages[4];  // last profiled workload, per config
 
   for (const Workload& wl : all_workloads()) {
     const Workload* w = &wl;
@@ -86,6 +89,7 @@ int main(int argc, char** argv) {
       sim[c] = p.parallel ? m.simulated_slowdown() : m.slowdown();
       const int s = w->suite == "nas" ? 0 : 1;
       suite_avg[s][c].add(sim[c]);
+      last_stages[c] = m.stats.stages;
     }
 
     table.add_row({w->name, w->suite, TextTable::num(native_ms, 3),
@@ -112,5 +116,15 @@ int main(int argc, char** argv) {
       "\nPaper reference (Fig. 5): serial ~190x; 8T lock-free ~97x (NAS) / "
       "~101x (Starbench); 16T lock-free ~78x / ~93x; lock-based ~1.3-1.6x "
       "slower than lock-free.\n");
+
+  const char* suite_keys[2] = {"nas", "starbench"};
+  for (int s = 0; s < 2; ++s)
+    for (int c = 0; c < 4; ++c)
+      if (suite_avg[s][c].count() > 0)
+        report.metric(std::string(suite_keys[s]) + "_avg_sim_" + points[c].label,
+                      suite_avg[s][c].mean());
+  for (int c = 0; c < 4; ++c)
+    if (!last_stages[c].empty()) report.stages(points[c].label, last_stages[c]);
+  report.write();
   return 0;
 }

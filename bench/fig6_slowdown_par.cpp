@@ -17,6 +17,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "harness/runner.hpp"
+#include "obs/bench_report.hpp"
 #include "workloads/workload.hpp"
 
 using namespace depprof;
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
 
   StatAccumulator avg8, avg16;
   const unsigned worker_counts[2] = {8, 16};
+  obs::BenchReport report("fig6_slowdown_par");
+  obs::PipelineSnapshot last_stages[2];
 
   for (const Workload* w : workloads_in_suite("starbench")) {
     if (!w->run_parallel) continue;
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
       native_ms = m.native_sec * 1e3;
       sim[c] = m.simulated_slowdown();
       wall[c] = m.slowdown();
+      last_stages[c] = m.stats.stages;
     }
     avg8.add(sim[0]);
     avg16.add(sim[1]);
@@ -78,5 +82,11 @@ int main(int argc, char** argv) {
       "\nPaper reference (Fig. 6): average 346x with 8 profiling threads, "
       "261x with 16; MT profiling costs more than sequential profiling "
       "(Fig. 5) because of added contention.\n");
+
+  report.metric("avg_sim_8T", avg8.mean());
+  report.metric("avg_sim_16T", avg16.mean());
+  if (!last_stages[0].empty()) report.stages("8T_mpmc", last_stages[0]);
+  if (!last_stages[1].empty()) report.stages("16T_mpmc", last_stages[1]);
+  report.write();
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "harness/runner.hpp"
+#include "obs/bench_report.hpp"
 #include "workloads/workload.hpp"
 
 using namespace depprof;
@@ -47,6 +48,8 @@ int main(int argc, char** argv) {
                     "sig8", "queues8", "deps8"});
 
   StatAccumulator avg_naive[2], avg8[2], avg16[2];
+  obs::BenchReport report("fig7_memory_seq");
+  obs::PipelineSnapshot last_stages[2];  // 8T / 16T of last workload
 
   for (const Workload& wl : all_workloads()) {
     const Workload* w = &wl;
@@ -75,6 +78,7 @@ int main(int argc, char** argv) {
       popts.parallel_pipeline = true;
       const RunMeasurement m = profile_workload(*w, cfg, popts);
       peak[c] = mib(m.peak_component_bytes);
+      last_stages[c] = m.stats.stages;
       if (c == 0) {
         sig8 = mib(m.component_bytes[static_cast<unsigned>(MemComponent::kSignatures)]);
         q8 = mib(m.component_bytes[static_cast<unsigned>(MemComponent::kQueues)]);
@@ -107,5 +111,17 @@ int main(int argc, char** argv) {
       "\nPaper reference (Fig. 7): 473/505 MiB (8T), 649/1390 MiB (16T) for "
       "NAS/Starbench at 6.25e6 slots per worker; more workers => more "
       "signature memory, naive grows with the address footprint.\n");
+
+  const char* suite_keys[2] = {"nas", "starbench"};
+  for (int s = 0; s < 2; ++s) {
+    if (avg_naive[s].count() == 0) continue;
+    report.metric(std::string(suite_keys[s]) + "_avg_naive_mib",
+                  avg_naive[s].mean());
+    report.metric(std::string(suite_keys[s]) + "_avg_8T_mib", avg8[s].mean());
+    report.metric(std::string(suite_keys[s]) + "_avg_16T_mib", avg16[s].mean());
+  }
+  if (!last_stages[0].empty()) report.stages("8T_lock-free", last_stages[0]);
+  if (!last_stages[1].empty()) report.stages("16T_lock-free", last_stages[1]);
+  report.write();
   return 0;
 }

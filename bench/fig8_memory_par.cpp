@@ -18,6 +18,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "harness/runner.hpp"
+#include "obs/bench_report.hpp"
 #include "workloads/workload.hpp"
 
 using namespace depprof;
@@ -46,6 +47,8 @@ int main(int argc, char** argv) {
   TextTable table("Fig. 8 — profiler memory on parallel Starbench targets (MiB)");
   table.set_header({"program", "naive", "8T", "16T"});
   StatAccumulator avg_naive, avg8, avg16;
+  obs::BenchReport report("fig8_memory_par");
+  obs::PipelineSnapshot last_stages[2];
 
   for (const Workload* w : workloads_in_suite("starbench")) {
     if (!w->run_parallel) continue;
@@ -80,6 +83,7 @@ int main(int argc, char** argv) {
       popts.parallel_pipeline = true;
       const RunMeasurement m = profile_workload(*w, cfg, popts);
       peak[c] = mib(m.peak_component_bytes);
+      last_stages[c] = m.stats.stages;
     }
 
     avg_naive.add(naive_mib);
@@ -100,5 +104,12 @@ int main(int argc, char** argv) {
       "\nPaper reference (Fig. 8): 995 MiB (8T) and 1920 MiB (16T) on "
       "average — higher than the sequential Fig. 7 because of MT slots, "
       "MPMC queues, and thread-extended dependence records.\n");
+
+  report.metric("avg_naive_mib", avg_naive.mean());
+  report.metric("avg_8T_mib", avg8.mean());
+  report.metric("avg_16T_mib", avg16.mean());
+  if (!last_stages[0].empty()) report.stages("8T_mpmc", last_stages[0]);
+  if (!last_stages[1].empty()) report.stages("16T_mpmc", last_stages[1]);
+  report.write();
   return 0;
 }

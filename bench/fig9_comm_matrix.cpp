@@ -14,6 +14,7 @@
 
 #include "analysis/comm_matrix.hpp"
 #include "harness/runner.hpp"
+#include "obs/bench_report.hpp"
 #include "workloads/workload.hpp"
 
 using namespace depprof;
@@ -73,5 +74,12 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper reference: banded neighbour pattern (halo exchange) as in "
       "Fig. 9; expect strong (t, t+-1 mod T) cells.\n");
+
+  obs::BenchReport report("fig9_comm_matrix");
+  report.metric("target_threads", threads);
+  report.metric("cross_thread_raw_instances",
+                static_cast<double>(matrix.total()));
+  report.stages("mt_pipeline", m.stats.stages);
+  report.write();
   return 0;
 }

@@ -15,11 +15,14 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/detector.hpp"
+#include "core/profiler.hpp"
 #include "harness/accuracy.hpp"
+#include "obs/bench_report.hpp"
 #include "sig/fpr_model.hpp"
 #include "sig/perfect_signature.hpp"
 #include "sig/signature.hpp"
 #include "trace/generators.hpp"
+#include "trace/trace.hpp"
 
 using namespace depprof;
 
@@ -78,5 +81,28 @@ int main() {
 
   std::printf("\nSizing helper (slots_for_target_fpr): n=1e6 @ 1%% -> %zu slots\n",
               slots_for_target_fpr(1'000'000, 0.01));
+
+  obs::BenchReport report("formula2_validation");
+  {
+    // Model error at the mid-load point for the machine-readable record.
+    const std::size_t m = 1u << 17;
+    const auto n = static_cast<std::size_t>(m * 0.5);
+    const Measured meas = measure(m, n);
+    report.metric("predicted_pfp_halfload", predicted_fpr(m, n));
+    report.metric("measured_occupancy_halfload", meas.occupancy);
+
+    // The formula's subject never touches the pipeline; replay a uniform
+    // stream through the serial signature profiler for the breakdown.
+    ProfilerConfig cfg;
+    cfg.storage = StorageKind::kSignature;
+    cfg.slots = m;
+    auto prof = make_serial_profiler(cfg);
+    GenParams p;
+    p.accesses = 100'000;
+    p.distinct = n;
+    replay(gen_uniform(p), *prof);
+    report.stages("serial_sig_replay", prof->stats().stages);
+  }
+  report.write();
   return 0;
 }

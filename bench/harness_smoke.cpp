@@ -1,16 +1,46 @@
 // Smoke harness: runs every registered workload once at scale 1 (natively,
-// no profiler) and prints name, suite, and checksum.  Serves as the build
-// sanity check for the benchmark layer.
+// no profiler) and prints name, suite, and checksum, then profiles one
+// small workload end to end so BENCH_harness_smoke.json carries a real
+// pipeline stage breakdown.  Serves as the build sanity check for the
+// benchmark layer.
 
 #include <cstdio>
 
+#include "harness/runner.hpp"
+#include "obs/bench_report.hpp"
 #include "workloads/workload.hpp"
 
 int main() {
-  for (const auto& w : depprof::all_workloads()) {
-    const auto r = w.run ? w.run(1) : depprof::WorkloadResult{};
+  using namespace depprof;
+
+  obs::BenchReport report("harness_smoke");
+  std::size_t count = 0;
+  for (const auto& w : all_workloads()) {
+    const auto r = w.run ? w.run(1) : WorkloadResult{};
     std::printf("%-14s %-10s checksum=%llu\n", w.name.c_str(), w.suite.c_str(),
                 static_cast<unsigned long long>(r.checksum));
+    ++count;
   }
+  report.metric("workloads", static_cast<double>(count));
+
+  // One small profiled run (serial and parallel) exercises the whole
+  // harness path and populates the stage breakdown.
+  if (const Workload* w = find_workload("kmeans")) {
+    ProfilerConfig cfg;
+    cfg.storage = StorageKind::kSignature;
+    cfg.slots = 1u << 16;
+    RunOptions opts;
+    opts.native_reps = 1;
+    const RunMeasurement serial = profile_workload(*w, cfg, opts);
+    report.metric("serial_slowdown", serial.slowdown());
+    report.stages("serial", serial.stats.stages);
+
+    cfg.workers = 4;
+    opts.parallel_pipeline = true;
+    const RunMeasurement par = profile_workload(*w, cfg, opts);
+    report.metric("parallel_sim_slowdown", par.simulated_slowdown());
+    report.stages("parallel_4w", par.stats.stages);
+  }
+  report.write();
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "common/table.hpp"
 #include "harness/accuracy.hpp"
 #include "harness/runner.hpp"
+#include "obs/bench_report.hpp"
 #include "workloads/workload.hpp"
 
 using namespace depprof;
@@ -49,6 +50,8 @@ int main(int argc, char** argv) {
                     "FNR@" + std::to_string(slots[2])});
 
   StatAccumulator avg_fpr[3], avg_fnr[3];
+  obs::BenchReport report("table1_fpr_fnr");
+  obs::PipelineSnapshot last_stages;  // largest-slot signature run
 
   auto suite = workloads_in_suite("starbench");
   for (const Workload* w : suite) {
@@ -74,6 +77,7 @@ int main(int argc, char** argv) {
       sig.storage = StorageKind::kSignature;
       sig.slots = slots[s];
       RunMeasurement m = profile_workload(*w, sig, opts);
+      if (s == 2) last_stages = m.stats.stages;
       const AccuracyResult acc = compare_deps(base.deps, m.deps);
       avg_fpr[s].add(acc.fpr_percent());
       avg_fnr[s].add(acc.fnr_percent());
@@ -97,5 +101,13 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper reference (Table I averages): FPR 24.47/4.71/0.35 %%, "
       "FNR 5.42/0.71/0.04 %% at 1e6/1e7/1e8 slots.\n");
+
+  for (int s = 0; s < 3; ++s) {
+    report.metric("avg_fpr_at_" + std::to_string(slots[s]), avg_fpr[s].mean());
+    report.metric("avg_fnr_at_" + std::to_string(slots[s]), avg_fnr[s].mean());
+  }
+  if (!last_stages.empty())
+    report.stages("serial_sig_" + std::to_string(slots[2]), last_stages);
+  report.write();
   return 0;
 }

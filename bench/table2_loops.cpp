@@ -15,7 +15,9 @@
 #include <sstream>
 
 #include "common/table.hpp"
+#include "harness/runner.hpp"
 #include "harness/table2.hpp"
+#include "obs/bench_report.hpp"
 #include "workloads/workload.hpp"
 
 using namespace depprof;
@@ -61,5 +63,26 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper reference (Table II): 147 OMP loops, 136 identified by both "
       "DP and sig, 0 missed (92.5%%).\n");
+
+  obs::BenchReport report("table2_loops");
+  report.metric("omp_loops", omp);
+  report.metric("identified_dp", dp);
+  report.metric("identified_sig", sig);
+  report.metric("missed_sig", missed);
+  report.metric("false_parallel_sig", false_par);
+  // run_table2 consumes its profilers internally; profile one NAS workload
+  // at the same signature size for the stage breakdown.
+  auto nas = workloads_in_suite("nas");
+  if (!nas.empty()) {
+    ProfilerConfig cfg;
+    cfg.storage = StorageKind::kSignature;
+    cfg.slots = slots;
+    RunOptions opts;
+    opts.scale = scale;
+    opts.native_reps = 1;
+    const RunMeasurement m = profile_workload(*nas.front(), cfg, opts);
+    report.stages("serial_sig", m.stats.stages);
+  }
+  report.write();
   return 0;
 }

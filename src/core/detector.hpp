@@ -13,15 +13,20 @@
 // of a WAR against an earlier read, so a write checks the read signature
 // regardless of whether the write signature already held the address.
 //
-// The detector is templated over the access store so the same algorithm
-// runs on the fixed-size Signature, the PerfectSignature baseline, the
-// ShadowMemory baseline, and the HashTableRecorder baseline.
+// DetectorCore is the single Algorithm 1 implementation, templated over any
+// type satisfying the AccessStore concept: the fixed-size Signature, the
+// PerfectSignature baseline, the ShadowMemory baseline, and the
+// HashTableRecorder baseline.  The slot layout is deduced from the store
+// (Store::slot_type), so each (backend, target kind) pair is one full
+// monomorphization — there is no per-access branch on the storage kind
+// anywhere in the detect loop.
 
 #include <cstdint>
 #include <type_traits>
 #include <utility>
 
 #include "core/dep.hpp"
+#include "sig/access_store.hpp"
 #include "sig/slots.hpp"
 #include "trace/event.hpp"
 
@@ -112,11 +117,13 @@ std::uint8_t classify_dep(const Slot& src, const AccessEvent& sink,
   return f;
 }
 
-template <typename Store, typename Slot>
-class DepDetector {
+template <AccessStore Store>
+class DetectorCore {
  public:
+  using Slot = typename Store::slot_type;
+
   /// Takes ownership of the two (empty) signatures.
-  DepDetector(Store sig_read, Store sig_write)
+  DetectorCore(Store sig_read, Store sig_write)
       : sig_read_(std::move(sig_read)), sig_write_(std::move(sig_write)) {}
 
   /// Processes one access in program order (Algorithm 1).

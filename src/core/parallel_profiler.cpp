@@ -1,31 +1,36 @@
-// Parallel profiler — the Fig. 2 pipeline.
+// Parallel profiler — the Fig. 2 pipeline as a driver over the shared
+// stage components (core/pipeline.hpp).
 //
-// The instrumented target thread(s) act as producers: accesses are buffered
-// into chunks and pushed to the queue of the worker that owns the address
-// (formula 1; a redistribution map installed by the load balancer takes
-// precedence).  Each worker runs Algorithm 1 on its own pair of signatures
-// and stores dependences in a thread-local map; local maps are merged into
+// The instrumented target thread(s) act as producers: accesses are staged
+// into per-worker chunks (ProduceStage) and pushed to the queue of the
+// worker that owns the address (RouteStage: formula 1, with the load
+// balancer's redistribution map taking precedence).  Each worker runs one
+// DetectStage — Algorithm 1 on its own pair of signatures with a
+// thread-local dependence map; the merge stage folds the local maps into
 // the global map at the end, which "incurs only minor overhead since the
 // local maps are free of duplicates".
 //
 // Multi-threaded targets (Sec. V): every target thread is a producer with
-// its own pending chunks, worker queues become MPMC, accesses carry global
+// its own staged chunks, worker queues become MPMC, accesses carry global
 // timestamps, and accesses inside explicit lock regions are flushed at
 // unlock so that the access and its push stay atomic (Fig. 4).
+//
+// Every storage backend runs here: the factory resolves StorageKind to a
+// concrete store once (core/store_factory.hpp), and the worker loop only
+// switches on the chunk kind — never on the backend.
 
-#include <algorithm>
 #include <array>
 #include <atomic>
-#include <cstring>
+#include <mutex>
 #include <thread>
-#include <unordered_map>
+#include <vector>
 
+#include "common/hash.hpp"
 #include "common/timer.hpp"
 #include "core/chunk.hpp"
-#include "core/detector.hpp"
+#include "core/pipeline.hpp"
 #include "core/profiler.hpp"
-#include "sig/perfect_signature.hpp"
-#include "sig/signature.hpp"
+#include "core/store_factory.hpp"
 
 namespace depprof {
 namespace {
@@ -44,8 +49,10 @@ struct Mailbox {
   Slot write_slot{};
 };
 
-template <typename Store, typename Slot>
+template <AccessStore Store>
 class ParallelProfiler final : public IProfiler {
+  using Slot = typename Store::slot_type;
+
  public:
   ParallelProfiler(const ProfilerConfig& cfg, std::vector<Store> read_sigs,
                    std::vector<Store> write_sigs, std::size_t signature_bytes)
@@ -54,17 +61,21 @@ class ParallelProfiler final : public IProfiler {
                                           Chunk::kCapacity)),
         signature_bytes_(signature_bytes),
         lb_enabled_(cfg.load_balance.enabled),
+        obs_(cfg.workers ? cfg.workers : 1),
+        router_(cfg, obs_.workers(), obs_.route()),
+        merge_(obs_.merge()),
         mailboxes_(kMailboxCount),
         mailbox_free_(kMailboxCount) {
-    const unsigned w = cfg_.workers ? cfg_.workers : 1;
+    const unsigned w = obs_.workers();
     // Multiple producers (MT targets) need multi-producer queues regardless
     // of the configured kind; the mutex queue supports both multiplicities.
     QueueKind qk = cfg_.queue;
     if (cfg_.mt_targets && qk == QueueKind::kLockFreeSpsc)
       qk = QueueKind::kLockFreeMpmc;
+    detectors_.reserve(w);
     for (unsigned i = 0; i < w; ++i) {
-      workers_.push_back(std::make_unique<Worker>(std::move(read_sigs[i]),
-                                                  std::move(write_sigs[i])));
+      detectors_.push_back(std::make_unique<DetectStage<Store>>(
+          std::move(read_sigs[i]), std::move(write_sigs[i]), obs_.detect(i)));
       queues_.push_back(make_queue<Chunk*>(qk, cfg_.queue_capacity));
     }
     for (std::uint32_t i = 0; i < kMailboxCount; ++i)
@@ -80,28 +91,34 @@ class ParallelProfiler final : public IProfiler {
     if (!finished_) finish();
   }
 
-  void on_access(const AccessEvent& ev) override {
-    events_.fetch_add(1, std::memory_order_relaxed);
-    // Canonicalize to the word-granular address unit once, here; routing,
-    // statistics, migration, and the detectors all operate on units.
-    AccessEvent unit = ev;
-    unit.addr = word_addr(ev.addr);
-    Producer& prod = producer_for(unit.tid);
-    const unsigned w = route(unit.addr);
-    Chunk*& pending = prod.pending[w];
-    if (pending == nullptr) pending = pool_.acquire();
-    pending->events[pending->count++] = unit;
-    const bool lock_region = (unit.flags & kInLockRegion) != 0;
-    if (pending->count >= chunk_fill_ || lock_region) push_chunk(prod, w);
+  void on_access(const AccessEvent& ev) override { on_batch(&ev, 1); }
 
-    if (lb_enabled_ && !cfg_.mt_targets) record_access_stat(unit.addr, prod);
+  void on_batch(const AccessEvent* events, std::size_t count) override {
+    if (count == 0) return;
+    obs_.produce().add_events(count);
+    obs_.route().add_events(count);
+    // Batches originate from one target thread (see AccessSink), so one
+    // producer lookup covers the whole batch.
+    ProduceStage& prod = producer_for(events[0].tid);
+    for (std::size_t i = 0; i < count; ++i) {
+      // Canonicalize to the word-granular address unit once, here; routing,
+      // statistics, migration, and the detectors all operate on units.
+      AccessEvent unit = events[i];
+      unit.addr = word_addr(unit.addr);
+      const unsigned w = router_.route(unit.addr);
+      Chunk* ready = prod.add(w, unit, chunk_fill_);
+      // Lock-region accesses push immediately: access + push stay atomic.
+      if (ready == nullptr && (unit.flags & kInLockRegion) != 0)
+        ready = prod.take(w);
+      if (ready != nullptr) push_chunk(ready, w);
+      if (lb_enabled_ && !cfg_.mt_targets) router_.record_access(unit.addr);
+    }
   }
 
   void on_unlock(std::uint16_t tid) override {
-    Producer& prod = producer_for(tid);
-    for (unsigned w = 0; w < workers_.size(); ++w)
-      if (prod.pending[w] != nullptr && prod.pending[w]->count > 0)
-        push_chunk(prod, w);
+    ProduceStage& prod = producer_for(tid);
+    for (unsigned w = 0; w < obs_.workers(); ++w)
+      if (Chunk* c = prod.take(w)) push_chunk(c, w);
   }
 
   void finish() override {
@@ -109,19 +126,16 @@ class ParallelProfiler final : public IProfiler {
     // Flush every producer's partial chunks, then send stop sentinels.
     for (auto& p : producers_) {
       if (!p) continue;
-      for (unsigned w = 0; w < workers_.size(); ++w)
-        if (p->pending[w] != nullptr && p->pending[w]->count > 0)
-          push_chunk(*p, w);
+      for (unsigned w = 0; w < obs_.workers(); ++w)
+        if (Chunk* c = p->take(w)) push_chunk(c, w);
     }
-    for (unsigned w = 0; w < workers_.size(); ++w) {
+    for (unsigned w = 0; w < obs_.workers(); ++w) {
       Chunk* stop = pool_.acquire();
       stop->kind = Chunk::Kind::kStop;
       enqueue(w, stop);
     }
     join_workers();
-    WallTimer merge_timer;
-    for (auto& worker : workers_) global_.merge(worker->deps);
-    merge_sec_ = merge_timer.elapsed();
+    for (auto& d : detectors_) merge_.fold(global_, d->deps());
     finished_ = true;
   }
 
@@ -131,173 +145,101 @@ class ParallelProfiler final : public IProfiler {
 
   ProfilerStats stats() const override {
     ProfilerStats st;
-    st.events = events_.load(std::memory_order_relaxed);
-    st.chunks = chunks_produced_;
-    for (const auto& worker : workers_) {
-      st.worker_busy_sec.push_back(static_cast<double>(worker->busy_ns) * 1e-9);
-      st.worker_events.push_back(worker->events);
-    }
-    st.merge_sec = merge_sec_;
-    st.redistribution_rounds = redistribution_rounds_;
-    st.migrated_addresses = migrated_;
     st.signature_bytes = signature_bytes_;
+    fill_stats_from(obs_.snapshot(), st);
     return st;
   }
 
  private:
   static constexpr std::uint32_t kMailboxCount = 64;
 
-  struct Producer {
-    std::vector<Chunk*> pending;
-    explicit Producer(std::size_t workers) : pending(workers, nullptr) {}
-  };
-
-  struct Worker {
-    DepDetector<Store, Slot> detector;
-    DepMap deps;
-    std::uint64_t busy_ns = 0;
-    std::uint64_t events = 0;
-    Worker(Store r, Store w) : detector(std::move(r), std::move(w)) {}
-  };
-
-  Producer& producer_for(std::uint16_t tid) {
+  ProduceStage& producer_for(std::uint16_t tid) {
     const std::size_t idx = tid < kMaxProducers ? tid : kMaxProducers - 1;
-    Producer* p = producers_[idx].get();
+    ProduceStage* p = producers_[idx].get();
     if (p != nullptr) return *p;
     std::lock_guard lock(producer_mu_);
     if (!producers_[idx])
-      producers_[idx] = std::make_unique<Producer>(workers_.size());
+      producers_[idx] = std::make_unique<ProduceStage>(obs_.workers(), pool_);
     return *producers_[idx];
   }
 
-  unsigned route(std::uint64_t addr) const {
-    if (!redistribution_.empty()) {
-      auto it = redistribution_.find(addr);
-      if (it != redistribution_.end()) return it->second;
-    }
-    const auto w = static_cast<std::uint32_t>(workers_.size());
-    return cfg_.modulo_routing ? modulo_worker(addr, w) : hashed_worker(addr, w);
-  }
-
-  void push_chunk(Producer& prod, unsigned w) {
-    Chunk* c = prod.pending[w];
-    prod.pending[w] = nullptr;
+  void push_chunk(Chunk* c, unsigned w) {
     enqueue(w, c);
-    ++chunks_produced_;
-    if (lb_enabled_ && !cfg_.mt_targets &&
-        chunks_produced_ - last_eval_chunks_ >= cfg_.load_balance.eval_interval_chunks)
-      evaluate_balance();
+    const std::uint64_t produced =
+        obs_.produce().chunks.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (lb_enabled_ && !cfg_.mt_targets && router_.due(produced))
+      rebalance(produced);
   }
 
   void enqueue(unsigned w, Chunk* c) {
-    while (!queues_[w]->try_push(c)) std::this_thread::yield();
-  }
-
-  // --- load balancing (Sec. IV-A) -------------------------------------
-
-  void record_access_stat(std::uint64_t addr, Producer&) {
-    if ((stat_tick_++ & ((1u << cfg_.load_balance.sample_shift) - 1)) != 0) return;
-    auto [it, inserted] = access_counts_.try_emplace(addr, 0);
-    if (inserted)
-      MemStats::instance().add(MemComponent::kAccessStats, kStatEntryBytes);
-    ++it->second;
-  }
-
-  void evaluate_balance() {
-    last_eval_chunks_ = chunks_produced_;
-    if (redistribution_rounds_ >= cfg_.load_balance.max_rounds) return;
-    if (access_counts_.empty()) return;
-
-    std::vector<double> load(workers_.size(), 0.0);
-    for (const auto& [addr, count] : access_counts_)
-      load[route(addr)] += static_cast<double>(count);
-    double total = 0.0, max_load = 0.0;
-    for (double l : load) {
-      total += l;
-      max_load = std::max(max_load, l);
+    if (!queues_[w]->try_push(c)) {
+      obs_.produce().add_stalls(1);
+      do {
+        std::this_thread::yield();
+      } while (!queues_[w]->try_push(c));
     }
-    const double mean = total / static_cast<double>(load.size());
-    if (mean <= 0.0 || max_load <= cfg_.load_balance.imbalance_threshold * mean)
-      return;
-
-    // Top-k hottest addresses.
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> hot(access_counts_.begin(),
-                                                             access_counts_.end());
-    const std::size_t k = std::min<std::size_t>(cfg_.load_balance.top_k, hot.size());
-    std::partial_sort(hot.begin(), hot.begin() + static_cast<std::ptrdiff_t>(k),
-                      hot.end(),
-                      [](const auto& a, const auto& b) { return a.second > b.second; });
-
-    // Spread them over workers in ascending-load order.
-    std::vector<unsigned> order(workers_.size());
-    for (unsigned i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(),
-              [&](unsigned a, unsigned b) { return load[a] < load[b]; });
-
-    bool moved_any = false;
-    for (std::size_t i = 0; i < k; ++i) {
-      const std::uint64_t addr = hot[i].first;
-      const unsigned from = route(addr);
-      const unsigned to = order[i % order.size()];
-      if (from == to) continue;
-      migrate(addr, from, to);
-      moved_any = true;
-    }
-    if (moved_any) ++redistribution_rounds_;
+    obs_.produce().raise_queue_depth(queues_[w]->size_approx());
   }
 
-  void migrate(std::uint64_t addr, unsigned from, unsigned to) {
-    // The single producer orchestrates; FIFO order makes the handoff sound
-    // (see chunk.hpp).  Only reachable with sequential targets (producer 0).
-    Producer& prod = producer_for(0);
-    if (prod.pending[from] != nullptr && prod.pending[from]->count > 0)
-      push_chunk(prod, from);
+  // --- load balancing (Sec. IV-A) ---------------------------------------
 
+  void rebalance(std::uint64_t chunks_produced) {
+    for (const Migration& m : router_.evaluate(chunks_produced)) {
+      // Flush staged accesses of the old owner so they arrive before the
+      // handoff chunk; FIFO order makes the migration sound (see
+      // chunk.hpp).  Only reachable with sequential targets (producer 0).
+      ProduceStage& prod = producer_for(0);
+      if (Chunk* c = prod.take(m.from)) push_chunk(c, m.from);
+      hand_off(m);
+    }
+  }
+
+  void hand_off(const Migration& m) {
     std::uint32_t mb = 0;
     while (!mailbox_free_.try_pop(mb)) std::this_thread::yield();
     mailboxes_[mb].ready.store(0, std::memory_order_relaxed);
 
     Chunk* out = pool_.acquire();
     out->kind = Chunk::Kind::kMigrateOut;
-    out->addr = addr;
+    out->addr = m.addr;
     out->payload = mb;
-    enqueue(from, out);
+    enqueue(m.from, out);
 
     Chunk* in = pool_.acquire();
     in->kind = Chunk::Kind::kAdopt;
-    in->addr = addr;
+    in->addr = m.addr;
     in->payload = mb;
-    enqueue(to, in);
-
-    redistribution_[addr] = to;
-    ++migrated_;
+    enqueue(m.to, in);
   }
 
   // --- worker side ------------------------------------------------------
 
   void worker_main(unsigned w) {
-    Worker& me = *workers_[w];
+    DetectStage<Store>& me = *detectors_[w];
+    obs::StageStats& stats = obs_.detect(w);
+    std::uint64_t idle_since = 0;
     for (;;) {
       Chunk* c = nullptr;
       if (!queues_[w]->try_pop(c)) {
+        if (idle_since == 0) idle_since = WallTimer::now();
         std::this_thread::yield();
         continue;
       }
-      const std::uint64_t t0 = ThreadCpuTimer::now();
-      bool stop = false;
+      if (idle_since != 0) {
+        stats.add_idle_ns(WallTimer::now() - idle_since);
+        idle_since = 0;
+      }
       switch (c->kind) {
         case Chunk::Kind::kData:
-          for (std::uint32_t i = 0; i < c->count; ++i)
-            me.detector.process(c->events[i], me.deps);
-          me.events += c->count;
+          me.process(c->events.data(), c->count);
           pool_.release(c);
           break;
         case Chunk::Kind::kStop:
           pool_.release(c);
-          stop = true;
-          break;
+          return;
         case Chunk::Kind::kMigrateOut: {
-          auto st = me.detector.extract_state(c->addr);
+          const std::uint64_t t0 = ThreadCpuTimer::now();
+          auto st = me.core().extract_state(c->addr);
           Mailbox<Slot>& box = mailboxes_[c->payload];
           box.has_read = st.has_read;
           box.has_write = st.has_write;
@@ -305,25 +247,26 @@ class ParallelProfiler final : public IProfiler {
           box.write_slot = st.write_slot;
           box.ready.store(1, std::memory_order_release);
           pool_.release(c);
+          stats.add_busy_ns(ThreadCpuTimer::now() - t0);
           break;
         }
         case Chunk::Kind::kAdopt: {
           Mailbox<Slot>& box = mailboxes_[c->payload];
           while (box.ready.load(std::memory_order_acquire) == 0)
             std::this_thread::yield();
-          typename DepDetector<Store, Slot>::AddrState st;
+          const std::uint64_t t0 = ThreadCpuTimer::now();
+          typename DetectorCore<Store>::AddrState st;
           st.has_read = box.has_read;
           st.has_write = box.has_write;
           st.read_slot = box.read_slot;
           st.write_slot = box.write_slot;
-          me.detector.adopt_state(c->addr, st);
+          me.core().adopt_state(c->addr, st);
           (void)mailbox_free_.try_push(c->payload);
           pool_.release(c);
+          stats.add_busy_ns(ThreadCpuTimer::now() - t0);
           break;
         }
       }
-      me.busy_ns += ThreadCpuTimer::now() - t0;
-      if (stop) return;
     }
   }
 
@@ -332,35 +275,27 @@ class ParallelProfiler final : public IProfiler {
       if (t.joinable()) t.join();
   }
 
-  static constexpr std::int64_t kStatEntryBytes = 32;
-
   ProfilerConfig cfg_;
   const std::size_t chunk_fill_;
   const std::size_t signature_bytes_;
   const bool lb_enabled_;
 
-  std::vector<std::unique_ptr<Worker>> workers_;
+  obs::PipelineObs obs_;
+  RouteStage router_;
+  MergeStage merge_;
+
+  std::vector<std::unique_ptr<DetectStage<Store>>> detectors_;
   std::vector<std::unique_ptr<ConcurrentQueue<Chunk*>>> queues_;
   std::vector<std::thread> threads_;
   ChunkPool pool_;
 
-  std::array<std::unique_ptr<Producer>, kMaxProducers> producers_{};
+  std::array<std::unique_ptr<ProduceStage>, kMaxProducers> producers_{};
   std::mutex producer_mu_;
 
   std::vector<Mailbox<Slot>> mailboxes_;
   MpmcQueue<std::uint32_t> mailbox_free_;
 
-  std::unordered_map<std::uint64_t, std::uint32_t> redistribution_;
-  std::unordered_map<std::uint64_t, std::uint64_t> access_counts_;
-  std::uint64_t stat_tick_ = 0;
-  std::uint64_t chunks_produced_ = 0;
-  std::uint64_t last_eval_chunks_ = 0;
-  unsigned redistribution_rounds_ = 0;
-  std::uint64_t migrated_ = 0;
-
   DepMap global_;
-  std::atomic<std::uint64_t> events_{0};
-  double merge_sec_ = 0.0;
   bool finished_ = false;
 };
 
@@ -368,32 +303,21 @@ class ParallelProfiler final : public IProfiler {
 
 std::unique_ptr<IProfiler> make_parallel_profiler(const ProfilerConfig& config) {
   const unsigned w = config.workers ? config.workers : 1;
-  auto build = [&]<typename Slot>() -> std::unique_ptr<IProfiler> {
-    switch (config.storage) {
-      case StorageKind::kSignature: {
-        std::vector<Signature<Slot>> reads, writes;
+  return with_store(
+      config,
+      [&]<typename Store>(std::type_identity<Store>) -> std::unique_ptr<IProfiler> {
+        std::vector<Store> reads, writes;
+        reads.reserve(w);
+        writes.reserve(w);
         std::size_t bytes = 0;
         for (unsigned i = 0; i < w; ++i) {
-          reads.emplace_back(config.slots, config.sig_hash);
-          writes.emplace_back(config.slots, config.sig_hash);
+          reads.push_back(make_store<Store>(config));
+          writes.push_back(make_store<Store>(config));
           bytes += reads.back().bytes() + writes.back().bytes();
         }
-        return std::make_unique<ParallelProfiler<Signature<Slot>, Slot>>(
+        return std::make_unique<ParallelProfiler<Store>>(
             config, std::move(reads), std::move(writes), bytes);
-      }
-      case StorageKind::kPerfect: {
-        std::vector<PerfectSignature<Slot>> reads(w), writes(w);
-        return std::make_unique<ParallelProfiler<PerfectSignature<Slot>, Slot>>(
-            config, std::move(reads), std::move(writes), 0);
-      }
-      default:
-        // The shadow-memory and hash-table baselines are serial-only
-        // (they exist for the Sec. III-B comparisons).
-        return nullptr;
-    }
-  };
-  return config.mt_targets ? build.template operator()<MtSlot>()
-                           : build.template operator()<SeqSlot>();
+      });
 }
 
 }  // namespace depprof

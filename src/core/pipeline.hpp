@@ -1,0 +1,247 @@
+#pragma once
+// Shared pipeline-stage components of the Fig. 2 profiler.
+//
+// Both profilers are thin drivers over the same four stages:
+//
+//   produce — batch accesses into chunks (one instance per target thread)
+//   route   — address ownership (formula 1) plus the Sec. IV-A load balancer
+//   detect  — Algorithm 1 per worker (DetectorCore over any AccessStore)
+//   merge   — fold the worker-local dependence maps into the global map
+//
+// The serial profiler is the one-worker degenerate case: its events go
+// produce → detect with no queue in between, and merge folds a single local
+// map.  Every stage updates its obs::StageStats block, which is what gives
+// ProfilerStats one well-defined shape for both profilers.
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/mem_stats.hpp"
+#include "common/timer.hpp"
+#include "core/chunk.hpp"
+#include "core/detector.hpp"
+#include "core/profiler.hpp"
+#include "obs/stage_stats.hpp"
+#include "sig/access_store.hpp"
+
+namespace depprof {
+
+/// Produce stage: stages accesses of one producer thread into per-worker
+/// chunks.  The driver decides when a returned chunk is pushed (queue) or
+/// processed inline (serial).
+class ProduceStage {
+ public:
+  ProduceStage(std::size_t workers, ChunkPool& pool)
+      : pending_(workers, nullptr), pool_(&pool) {}
+
+  /// Appends `ev` to the pending chunk for worker `w`; returns the chunk
+  /// once it reaches `fill` events and must be handed on, else nullptr.
+  Chunk* add(unsigned w, const AccessEvent& ev, std::size_t fill) {
+    Chunk*& pending = pending_[w];
+    if (pending == nullptr) pending = pool_->acquire();
+    pending->events[pending->count++] = ev;
+    return pending->count >= fill ? take(w) : nullptr;
+  }
+
+  /// Removes and returns the non-empty pending chunk for worker `w`
+  /// (nullptr when nothing is staged) — lock-region and finish() flushes.
+  Chunk* take(unsigned w) {
+    Chunk* c = pending_[w];
+    if (c == nullptr || c->count == 0) return nullptr;
+    pending_[w] = nullptr;
+    return c;
+  }
+
+  std::size_t workers() const { return pending_.size(); }
+
+ private:
+  std::vector<Chunk*> pending_;
+  ChunkPool* pool_;
+};
+
+/// A load-balancer decision: ownership of `addr` moves from worker `from`
+/// to worker `to`.  The driver executes the signature-state handoff
+/// (Sec. IV-A) — the routing change itself is already installed.
+struct Migration {
+  std::uint64_t addr = 0;
+  unsigned from = 0;
+  unsigned to = 0;
+};
+
+/// Route stage: formula-1 address ownership, with the redistribution map
+/// installed by the load balancer taking precedence.  All members are
+/// touched only by the producer side (the load balancer is disabled for
+/// multi-producer MT targets), so no locking is needed; the obs counters it
+/// bumps are atomics and safe to snapshot concurrently.
+class RouteStage {
+ public:
+  RouteStage(const ProfilerConfig& cfg, unsigned workers,
+             obs::StageStats& stats)
+      : cfg_(cfg), workers_(workers ? workers : 1), stats_(&stats) {}
+
+  unsigned route(std::uint64_t addr) const {
+    if (!redistribution_.empty()) {
+      auto it = redistribution_.find(addr);
+      if (it != redistribution_.end()) return it->second;
+    }
+    return cfg_.modulo_routing ? modulo_worker(addr, workers_)
+                               : hashed_worker(addr, workers_);
+  }
+
+  /// Samples one access into the load-balancer statistics (every
+  /// 2^sample_shift events, Sec. IV-A).
+  void record_access(std::uint64_t addr) {
+    if ((stat_tick_++ & ((1u << cfg_.load_balance.sample_shift) - 1)) != 0)
+      return;
+    auto [it, inserted] = access_counts_.try_emplace(addr, 0);
+    if (inserted)
+      MemStats::instance().add(MemComponent::kAccessStats, kStatEntryBytes);
+    ++it->second;
+  }
+
+  /// True when enough chunks were produced since the last evaluation.
+  bool due(std::uint64_t chunks_produced) const {
+    return chunks_produced - last_eval_chunks_ >=
+           cfg_.load_balance.eval_interval_chunks;
+  }
+
+  /// Re-evaluates the distribution (Sec. IV-A): when the maximum worker
+  /// load exceeds the imbalance threshold, the top-k hottest addresses are
+  /// spread over the workers in ascending-load order.  Installs the new
+  /// routing and returns the decisions for the driver to execute.
+  std::vector<Migration> evaluate(std::uint64_t chunks_produced) {
+    last_eval_chunks_ = chunks_produced;
+    if (rounds_ >= cfg_.load_balance.max_rounds) return {};
+    if (access_counts_.empty()) return {};
+
+    std::vector<double> load(workers_, 0.0);
+    for (const auto& [addr, count] : access_counts_)
+      load[route(addr)] += static_cast<double>(count);
+    double total = 0.0, max_load = 0.0;
+    for (double l : load) {
+      total += l;
+      max_load = std::max(max_load, l);
+    }
+    const double mean = total / static_cast<double>(load.size());
+    if (mean <= 0.0 ||
+        max_load <= cfg_.load_balance.imbalance_threshold * mean)
+      return {};
+
+    // Top-k hottest addresses.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> hot(
+        access_counts_.begin(), access_counts_.end());
+    const std::size_t k =
+        std::min<std::size_t>(cfg_.load_balance.top_k, hot.size());
+    std::partial_sort(
+        hot.begin(), hot.begin() + static_cast<std::ptrdiff_t>(k), hot.end(),
+        [](const auto& a, const auto& b) { return a.second > b.second; });
+
+    // Spread them over workers in ascending-load order.
+    std::vector<unsigned> order(workers_);
+    for (unsigned i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](unsigned a, unsigned b) { return load[a] < load[b]; });
+
+    std::vector<Migration> moves;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::uint64_t addr = hot[i].first;
+      const unsigned from = route(addr);
+      const unsigned to = order[i % order.size()];
+      if (from == to) continue;
+      moves.push_back({addr, from, to});
+      redistribution_[addr] = to;
+    }
+    if (!moves.empty()) {
+      ++rounds_;
+      stats_->add_rounds(1);
+      stats_->add_migrations(moves.size());
+    }
+    return moves;
+  }
+
+ private:
+  static constexpr std::int64_t kStatEntryBytes = 32;
+
+  const ProfilerConfig cfg_;
+  const unsigned workers_;
+  obs::StageStats* stats_;
+  std::unordered_map<std::uint64_t, std::uint32_t> redistribution_;
+  std::unordered_map<std::uint64_t, std::uint64_t> access_counts_;
+  std::uint64_t stat_tick_ = 0;
+  std::uint64_t last_eval_chunks_ = 0;
+  unsigned rounds_ = 0;
+};
+
+/// Detect stage: one Algorithm 1 instance (DetectorCore) plus the
+/// worker-local dependence map.  Each call is one chunk/batch of owned
+/// accesses in program order; the tight loop is fully monomorphized.
+template <AccessStore Store>
+class DetectStage {
+ public:
+  DetectStage(Store sig_read, Store sig_write, obs::StageStats& stats)
+      : core_(std::move(sig_read), std::move(sig_write)), stats_(&stats) {}
+
+  void process(const AccessEvent* events, std::size_t count) {
+    const std::uint64_t t0 = ThreadCpuTimer::now();
+    for (std::size_t i = 0; i < count; ++i) core_.process(events[i], deps_);
+    stats_->add_busy_ns(ThreadCpuTimer::now() - t0);
+    stats_->add_events(count);
+    stats_->add_chunks(1);
+  }
+
+  DetectorCore<Store>& core() { return core_; }
+  DepMap& deps() { return deps_; }
+  obs::StageStats& stats() { return *stats_; }
+
+ private:
+  DetectorCore<Store> core_;
+  DepMap deps_;
+  obs::StageStats* stats_;
+};
+
+/// Merge stage: folds one worker-local map into the global map.  "Merging
+/// incurs only minor overhead since the local maps are free of duplicates";
+/// the stage's busy time is the number the merge_factor bench validates.
+class MergeStage {
+ public:
+  explicit MergeStage(obs::StageStats& stats) : stats_(&stats) {}
+
+  void fold(DepMap& global, DepMap& local) {
+    const std::uint64_t t0 = WallTimer::now();
+    stats_->add_events(local.size());
+    global.merge(local);
+    stats_->add_busy_ns(WallTimer::now() - t0);
+    stats_->add_chunks(1);
+  }
+
+ private:
+  obs::StageStats* stats_;
+};
+
+/// Derives the classic ProfilerStats fields from a pipeline snapshot — the
+/// one place that defines their meaning, used by both profilers.
+inline void fill_stats_from(obs::PipelineSnapshot snap, ProfilerStats& st) {
+  if (const auto* p = snap.find("produce")) {
+    st.events = p->events;
+    st.chunks = p->chunks;
+  }
+  if (const auto* r = snap.find("route")) {
+    st.redistribution_rounds = static_cast<unsigned>(r->rounds);
+    st.migrated_addresses = r->migrations;
+  }
+  for (const auto& s : snap.stages) {
+    if (s.stage.rfind("detect", 0) == 0) {
+      st.worker_busy_sec.push_back(s.busy_sec());
+      st.worker_events.push_back(s.events);
+    }
+  }
+  if (const auto* m = snap.find("merge")) st.merge_sec = m->busy_sec();
+  st.workers = static_cast<unsigned>(st.worker_busy_sec.size());
+  st.stages = std::move(snap);
+}
+
+}  // namespace depprof

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/dep.hpp"
+#include "obs/stage_stats.hpp"
 #include "queue/concurrent_queue.hpp"
 #include "sig/signature.hpp"
 #include "trace/event.hpp"
@@ -69,16 +70,21 @@ struct ProfilerConfig {
   bool modulo_routing = false;
 };
 
-/// Post-run statistics.
+/// Post-run statistics.  Both profilers fill every field the same way: the
+/// serial profiler is the one-worker case (workers == 1, one busy/events
+/// entry, chunks counts delivered batches).  The per-stage `stages` snapshot
+/// is the source the scalar fields are derived from (see core/pipeline.hpp).
 struct ProfilerStats {
   std::uint64_t events = 0;              ///< accesses processed
-  std::uint64_t chunks = 0;              ///< chunks produced (parallel only)
+  std::uint64_t chunks = 0;              ///< chunks/batches produced
+  unsigned workers = 0;                  ///< detect-stage instances
   std::vector<double> worker_busy_sec;   ///< per-worker CPU time spent processing
   std::vector<std::uint64_t> worker_events;  ///< per-worker accesses processed
-  double merge_sec = 0.0;                ///< global merge time (parallel only)
+  double merge_sec = 0.0;                ///< global merge time
   unsigned redistribution_rounds = 0;    ///< load-balancer activity
   std::uint64_t migrated_addresses = 0;
   std::size_t signature_bytes = 0;       ///< aggregate signature footprint
+  obs::PipelineSnapshot stages;          ///< per-stage counter snapshot
 };
 
 /// Common interface of the serial and parallel profilers.

@@ -1,76 +1,76 @@
-// Serial profiler (Sec. III): Algorithm 1 executed inline on the
-// instrumented thread.  One detector instance; store backend and slot layout
-// chosen by the configuration.
+// Serial profiler (Sec. III): the one-worker degenerate case of the shared
+// pipeline.  Batches go produce → detect with no queue in between; finish()
+// folds the single local map through the merge stage.  The store backend is
+// resolved once at construction (core/store_factory.hpp), so the detect
+// loop is one monomorphized DetectorCore instantiation.
 
-#include <variant>
+#include <algorithm>
+#include <array>
 
-#include "common/timer.hpp"
-#include "core/detector.hpp"
+#include "common/hash.hpp"
+#include "core/pipeline.hpp"
 #include "core/profiler.hpp"
-#include "sig/hash_table_recorder.hpp"
-#include "sig/perfect_signature.hpp"
-#include "sig/shadow_memory.hpp"
-#include "sig/signature.hpp"
+#include "core/store_factory.hpp"
 
 namespace depprof {
 namespace {
 
-template <typename Store, typename Slot>
+template <AccessStore Store>
 class SerialProfiler final : public IProfiler {
  public:
   SerialProfiler(Store sig_read, Store sig_write, std::size_t signature_bytes)
-      : detector_(std::move(sig_read), std::move(sig_write)),
+      : obs_(1),
+        detect_(std::move(sig_read), std::move(sig_write), obs_.detect(0)),
+        merge_(obs_.merge()),
         signature_bytes_(signature_bytes) {}
 
-  void on_access(const AccessEvent& ev) override {
-    ++events_;
+  void on_access(const AccessEvent& ev) override { on_batch(&ev, 1); }
+
+  void on_batch(const AccessEvent* events, std::size_t count) override {
+    if (count == 0) return;
+    obs_.produce().add_events(count);
+    obs_.produce().add_chunks(1);
     // Canonicalize to the word-granular address unit once, here.
-    AccessEvent unit = ev;
-    unit.addr = word_addr(ev.addr);
-    detector_.process(unit, deps_);
+    std::array<AccessEvent, kUnitBatch> unit;
+    while (count > 0) {
+      const std::size_t n = std::min(count, unit.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        unit[i] = events[i];
+        unit[i].addr = word_addr(events[i].addr);
+      }
+      detect_.process(unit.data(), n);
+      events += n;
+      count -= n;
+    }
   }
 
-  void finish() override {}
+  void finish() override {
+    if (finished_) return;
+    finished_ = true;
+    merge_.fold(global_, detect_.deps());
+  }
 
-  const DepMap& dependences() const override { return deps_; }
+  const DepMap& dependences() const override { return global_; }
 
-  DepMap take_dependences() override { return std::move(deps_); }
+  DepMap take_dependences() override { return std::move(global_); }
 
   ProfilerStats stats() const override {
     ProfilerStats st;
-    st.events = events_;
     st.signature_bytes = signature_bytes_;
+    fill_stats_from(obs_.snapshot(), st);
     return st;
   }
 
  private:
-  DepDetector<Store, Slot> detector_;
-  DepMap deps_;
-  std::uint64_t events_ = 0;
-  std::size_t signature_bytes_;
-};
+  static constexpr std::size_t kUnitBatch = 256;
 
-template <typename Slot>
-std::unique_ptr<IProfiler> make_for_slot(const ProfilerConfig& c) {
-  switch (c.storage) {
-    case StorageKind::kSignature: {
-      Signature<Slot> r(c.slots, c.sig_hash), w(c.slots, c.sig_hash);
-      const std::size_t bytes = r.bytes() + w.bytes();
-      return std::make_unique<SerialProfiler<Signature<Slot>, Slot>>(
-          std::move(r), std::move(w), bytes);
-    }
-    case StorageKind::kPerfect:
-      return std::make_unique<SerialProfiler<PerfectSignature<Slot>, Slot>>(
-          PerfectSignature<Slot>{}, PerfectSignature<Slot>{}, 0);
-    case StorageKind::kShadow:
-      return std::make_unique<SerialProfiler<ShadowMemory<Slot>, Slot>>(
-          ShadowMemory<Slot>{}, ShadowMemory<Slot>{}, 0);
-    case StorageKind::kHashTable:
-      return std::make_unique<SerialProfiler<HashTableRecorder<Slot>, Slot>>(
-          HashTableRecorder<Slot>(c.slots), HashTableRecorder<Slot>(c.slots), 0);
-  }
-  return nullptr;
-}
+  obs::PipelineObs obs_;
+  DetectStage<Store> detect_;
+  MergeStage merge_;
+  DepMap global_;
+  std::size_t signature_bytes_;
+  bool finished_ = false;
+};
 
 }  // namespace
 
@@ -85,8 +85,15 @@ const char* storage_kind_name(StorageKind kind) {
 }
 
 std::unique_ptr<IProfiler> make_serial_profiler(const ProfilerConfig& config) {
-  return config.mt_targets ? make_for_slot<MtSlot>(config)
-                           : make_for_slot<SeqSlot>(config);
+  return with_store(
+      config,
+      [&]<typename Store>(std::type_identity<Store>) -> std::unique_ptr<IProfiler> {
+        Store r = make_store<Store>(config);
+        Store w = make_store<Store>(config);
+        const std::size_t bytes = r.bytes() + w.bytes();
+        return std::make_unique<SerialProfiler<Store>>(std::move(r),
+                                                       std::move(w), bytes);
+      });
 }
 
 }  // namespace depprof

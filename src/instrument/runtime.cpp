@@ -9,6 +9,10 @@ Runtime& Runtime::instance() {
   return rt;
 }
 
+Runtime::ThreadState::~ThreadState() {
+  Runtime::instance().forget_thread(*this);
+}
+
 Runtime::ThreadState& Runtime::thread_state() {
   thread_local ThreadState state;
   const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
@@ -18,11 +22,32 @@ Runtime::ThreadState& Runtime::thread_state() {
     state.lock_depth = 0;
     state.loop_stack.clear();
     state.call_stack.clear();
+    state.buffer.discard();
+  }
+  if (!state.registered) {
+    std::lock_guard lock(buffers_mu_);
+    threads_.push_back(&state);
+    state.registered = true;
   }
   return state;
 }
 
+void Runtime::forget_thread(ThreadState& state) {
+  std::lock_guard lock(buffers_mu_);
+  // A thread exiting mid-session must not drop its tail of buffered events.
+  if (enabled_.load(std::memory_order_acquire) && sink_ != nullptr)
+    state.buffer.flush(*sink_);
+  threads_.erase(std::remove(threads_.begin(), threads_.end(), &state),
+                 threads_.end());
+}
+
 void Runtime::attach(AccessSink* sink, bool mt_mode) {
+  {
+    // Buffers may still hold events of a previous session whose sink is
+    // gone; they must not leak into the new one.
+    std::lock_guard lock(buffers_mu_);
+    for (ThreadState* ts : threads_) ts->buffer.discard();
+  }
   sink_ = sink;
   mt_mode_ = mt_mode;
   enabled_.store(sink != nullptr, std::memory_order_release);
@@ -30,6 +55,11 @@ void Runtime::attach(AccessSink* sink, bool mt_mode) {
 
 void Runtime::detach() {
   enabled_.store(false, std::memory_order_release);
+  {
+    std::lock_guard lock(buffers_mu_);
+    if (sink_ != nullptr)
+      for (ThreadState* ts : threads_) ts->buffer.flush(*sink_);
+  }
   if (sink_ != nullptr) sink_->finish();
   sink_ = nullptr;
 }
@@ -51,7 +81,11 @@ void Runtime::record(const void* addr, std::size_t size, std::uint32_t file,
   }
   if (mt_mode_) ev.ts = timestamp_.fetch_add(1, std::memory_order_relaxed);
   if (ts.lock_depth > 0) ev.flags |= kInLockRegion;
-  sink_->on_access(ev);
+  const bool full = ts.buffer.add(ev);
+  // Inside a lock region the access and its push must stay atomic (Fig. 4):
+  // deliver immediately so no other thread can enter the region and push a
+  // conflicting access first.
+  if (full || ts.lock_depth > 0) ts.buffer.flush(*sink_);
 }
 
 void Runtime::record_free(const void* addr, std::size_t size) {
@@ -66,7 +100,7 @@ void Runtime::record_free(const void* addr, std::size_t size) {
     ev.kind = AccessKind::kFree;
     ev.tid = ts.tid;
     if (mt_mode_) ev.ts = timestamp_.fetch_add(1, std::memory_order_relaxed);
-    sink_->on_access(ev);
+    if (ts.buffer.add(ev)) ts.buffer.flush(*sink_);
   }
 }
 
@@ -126,7 +160,10 @@ CallTree Runtime::call_tree() const {
 
 void Runtime::sync_point() {
   ThreadState& ts = thread_state();
-  if (enabled() && sink_ != nullptr) sink_->on_unlock(ts.tid);
+  if (enabled() && sink_ != nullptr) {
+    ts.buffer.flush(*sink_);
+    sink_->on_unlock(ts.tid);
+  }
 }
 
 void Runtime::lock_enter() { thread_state().lock_depth += 1; }
@@ -135,8 +172,10 @@ void Runtime::lock_exit() {
   ThreadState& ts = thread_state();
   if (ts.lock_depth > 0) ts.lock_depth -= 1;
   // Push buffered accesses before the target releases the lock (Fig. 4).
-  if (ts.lock_depth == 0 && enabled() && sink_ != nullptr)
+  if (ts.lock_depth == 0 && enabled() && sink_ != nullptr) {
+    ts.buffer.flush(*sink_);
     sink_->on_unlock(ts.tid);
+  }
 }
 
 std::uint16_t Runtime::thread_id() { return thread_state().tid; }

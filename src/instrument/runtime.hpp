@@ -26,6 +26,7 @@
 #include "trace/call_tree.hpp"
 #include "trace/control_flow.hpp"
 #include "trace/event.hpp"
+#include "trace/event_buffer.hpp"
 
 namespace depprof {
 
@@ -124,11 +125,17 @@ class Runtime {
     std::uint64_t epoch = ~0ull;
     std::uint16_t tid = 0;
     int lock_depth = 0;
+    bool registered = false;
     std::vector<ActiveLoop> loop_stack;
     std::vector<std::uint32_t> call_stack;  // CallTree node indices
+    /// Per-thread chunk buffer: events accumulate here and flush through
+    /// AccessSink::on_batch — the same chunk path trace replay uses.
+    EventBuffer buffer;
+    ~ThreadState();
   };
 
   ThreadState& thread_state();
+  void forget_thread(ThreadState& state);
 
   std::atomic<bool> enabled_{false};
   AccessSink* sink_ = nullptr;
@@ -137,6 +144,11 @@ class Runtime {
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint16_t> next_tid_{0};
   std::atomic<std::uint32_t> next_entry_{1};
+
+  /// Guards the live-thread registry so attach/detach can discard or flush
+  /// every thread's buffered events.
+  std::mutex buffers_mu_;
+  std::vector<ThreadState*> threads_;
 
   mutable std::mutex cf_mu_;
   std::unordered_map<std::uint32_t, LoopRecord> loops_;  // keyed by entry loc

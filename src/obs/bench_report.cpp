@@ -1,0 +1,51 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/report.hpp"
+
+namespace depprof::obs {
+
+void BenchReport::metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+void BenchReport::stages(const std::string& label, const PipelineSnapshot& snap) {
+  stages_.emplace_back(label, snap);
+}
+
+std::string BenchReport::json() const {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << name_ << "\",\"metrics\":{";
+  bool first = true;
+  char num[32];
+  for (const auto& [key, value] : metrics_) {
+    if (!first) os << ',';
+    first = false;
+    std::snprintf(num, sizeof(num), "%.6g", value);
+    os << '"' << key << "\":" << num;
+  }
+  os << "},\"stage_breakdowns\":{";
+  first = true;
+  for (const auto& [label, snap] : stages_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << label << "\":" << snapshot_json(snap);
+  }
+  os << "}}";
+  return os.str();
+}
+
+void BenchReport::write() const {
+  const std::string text = json();
+  const std::string file = path();
+  if (std::FILE* f = std::fopen(file.c_str(), "w")) {
+    std::fputs(text.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  std::printf("\nJSON (%s):\n%s\n", file.c_str(), text.c_str());
+}
+
+}  // namespace depprof::obs

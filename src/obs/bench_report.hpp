@@ -1,0 +1,41 @@
+#pragma once
+// BENCH_*.json emission — the machine-readable side of every bench binary.
+//
+// Each bench binary builds one BenchReport: scalar metrics (the numbers its
+// text tables already print) plus one or more labelled pipeline stage
+// breakdowns (obs::PipelineSnapshot).  write() stores the JSON next to the
+// working directory as BENCH_<name>.json and echoes it to stdout so the
+// perf-trajectory collector can pick it up either way.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/stage_stats.hpp"
+
+namespace depprof::obs {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Adds one scalar metric (printed with %.6g).
+  void metric(const std::string& key, double value);
+
+  /// Adds one labelled per-stage breakdown (e.g. one per configuration).
+  void stages(const std::string& label, const PipelineSnapshot& snap);
+
+  const std::string& name() const { return name_; }
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+  std::string json() const;
+
+  /// Writes BENCH_<name>.json and echoes the JSON to stdout.
+  void write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, PipelineSnapshot>> stages_;
+};
+
+}  // namespace depprof::obs

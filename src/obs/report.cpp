@@ -1,0 +1,71 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace depprof::obs {
+namespace {
+
+std::string fmt_sec(double sec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", sec);
+  return buf;
+}
+
+}  // namespace
+
+std::string snapshot_csv(const PipelineSnapshot& snap) {
+  std::ostringstream os;
+  os << "stage,events,chunks,stalls,queue_depth_hwm,busy_sec,idle_sec,"
+        "migrations,rounds\n";
+  for (const auto& s : snap.stages) {
+    os << s.stage << ',' << s.events << ',' << s.chunks << ',' << s.stalls
+       << ',' << s.queue_depth_hwm << ',' << fmt_sec(s.busy_sec()) << ','
+       << fmt_sec(s.idle_sec()) << ',' << s.migrations << ',' << s.rounds
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string snapshot_json(const PipelineSnapshot& snap) {
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  for (const auto& s : snap.stages) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"stage\":\"" << s.stage << "\",\"events\":" << s.events
+       << ",\"chunks\":" << s.chunks << ",\"stalls\":" << s.stalls
+       << ",\"queue_depth_hwm\":" << s.queue_depth_hwm
+       << ",\"busy_sec\":" << fmt_sec(s.busy_sec())
+       << ",\"idle_sec\":" << fmt_sec(s.idle_sec())
+       << ",\"migrations\":" << s.migrations << ",\"rounds\":" << s.rounds
+       << '}';
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string snapshot_text(const PipelineSnapshot& snap) {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-11s %12s %10s %8s %10s %10s %10s %6s %6s\n",
+                "stage", "events", "chunks", "stalls", "depth_hwm", "busy_s",
+                "idle_s", "moved", "rounds");
+  os << line;
+  for (const auto& s : snap.stages) {
+    std::snprintf(line, sizeof(line),
+                  "%-11s %12llu %10llu %8llu %10llu %10.4f %10.4f %6llu %6llu\n",
+                  s.stage.c_str(), static_cast<unsigned long long>(s.events),
+                  static_cast<unsigned long long>(s.chunks),
+                  static_cast<unsigned long long>(s.stalls),
+                  static_cast<unsigned long long>(s.queue_depth_hwm),
+                  s.busy_sec(), s.idle_sec(),
+                  static_cast<unsigned long long>(s.migrations),
+                  static_cast<unsigned long long>(s.rounds));
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace depprof::obs

@@ -1,0 +1,22 @@
+#pragma once
+// Rendering of pipeline stage snapshots: human-readable table for terminal
+// output, CSV and JSON for the `depprof --stats` report and the bench
+// binaries' BENCH_*.json stage breakdowns.
+
+#include <string>
+
+#include "obs/stage_stats.hpp"
+
+namespace depprof::obs {
+
+/// CSV, one row per stage:
+/// stage,events,chunks,stalls,queue_depth_hwm,busy_sec,idle_sec,migrations,rounds
+std::string snapshot_csv(const PipelineSnapshot& snap);
+
+/// JSON array of stage objects (same fields as the CSV).
+std::string snapshot_json(const PipelineSnapshot& snap);
+
+/// Aligned human-readable table.
+std::string snapshot_text(const PipelineSnapshot& snap);
+
+}  // namespace depprof::obs

@@ -1,0 +1,142 @@
+#pragma once
+// Per-stage observability counters for the profiler pipeline.
+//
+// The Fig. 2 pipeline is a chain of stages — produce (chunk batching on the
+// target threads), route (address ownership + load balancing), detect (one
+// Algorithm 1 instance per worker), merge (folding the worker-local maps
+// into the global one).  Each stage instance owns one cache-line-padded
+// block of monotonic counters so that the hot path never shares a line with
+// another stage and a concurrent snapshot never tears a stage in half.
+//
+// All mutation is relaxed-atomic: the counters are statistics, not
+// synchronization.  Counters only ever increase (high-water marks included),
+// so any two snapshots of a live pipeline are ordered component-wise — the
+// monotonicity property obs_test asserts.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace depprof::obs {
+
+/// One cache-line-padded block of monotonic counters for a stage instance.
+struct alignas(64) StageStats {
+  std::atomic<std::uint64_t> events{0};   ///< accesses through the stage
+  std::atomic<std::uint64_t> chunks{0};   ///< chunks/batches through the stage
+  std::atomic<std::uint64_t> stalls{0};   ///< queue-full push retries
+  std::atomic<std::uint64_t> queue_depth_hwm{0};  ///< most chunks ever queued
+  std::atomic<std::uint64_t> busy_ns{0};  ///< time spent processing input
+  std::atomic<std::uint64_t> idle_ns{0};  ///< time spent waiting for input
+  std::atomic<std::uint64_t> migrations{0};  ///< addresses rerouted (route stage)
+  std::atomic<std::uint64_t> rounds{0};      ///< redistribution rounds (route stage)
+
+  void add_events(std::uint64_t n) { events.fetch_add(n, std::memory_order_relaxed); }
+  void add_chunks(std::uint64_t n) { chunks.fetch_add(n, std::memory_order_relaxed); }
+  void add_stalls(std::uint64_t n) { stalls.fetch_add(n, std::memory_order_relaxed); }
+  void add_busy_ns(std::uint64_t n) { busy_ns.fetch_add(n, std::memory_order_relaxed); }
+  void add_idle_ns(std::uint64_t n) { idle_ns.fetch_add(n, std::memory_order_relaxed); }
+  void add_migrations(std::uint64_t n) { migrations.fetch_add(n, std::memory_order_relaxed); }
+  void add_rounds(std::uint64_t n) { rounds.fetch_add(n, std::memory_order_relaxed); }
+
+  /// Raises the queue-depth high-water mark to `depth` if it is higher.
+  void raise_queue_depth(std::uint64_t depth) {
+    std::uint64_t cur = queue_depth_hwm.load(std::memory_order_relaxed);
+    while (depth > cur &&
+           !queue_depth_hwm.compare_exchange_weak(cur, depth,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+};
+
+static_assert(sizeof(StageStats) == 64, "one stage block per cache line");
+
+/// Plain-data copy of one stage's counters at a point in time.
+struct StageSnapshot {
+  std::string stage;  ///< "produce", "route", "detect[i]", "merge"
+  std::uint64_t events = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t queue_depth_hwm = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t idle_ns = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t rounds = 0;
+
+  double busy_sec() const { return static_cast<double>(busy_ns) * 1e-9; }
+  double idle_sec() const { return static_cast<double>(idle_ns) * 1e-9; }
+};
+
+/// Point-in-time copy of every stage of one pipeline.
+struct PipelineSnapshot {
+  std::vector<StageSnapshot> stages;
+
+  bool empty() const { return stages.empty(); }
+
+  const StageSnapshot* find(const std::string& name) const {
+    for (const auto& s : stages)
+      if (s.stage == name) return &s;
+    return nullptr;
+  }
+
+  /// Sum of a counter over the detect stages (per-worker Algorithm 1 runs).
+  std::uint64_t detect_events() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : stages)
+      if (s.stage.rfind("detect", 0) == 0) sum += s.events;
+    return sum;
+  }
+};
+
+/// Counter blocks for one pipeline instance: produce, route, one detect
+/// block per worker, merge.  The serial profiler is the one-worker special
+/// case of the same layout, which is what gives ProfilerStats a single
+/// well-defined shape for both profilers.
+class PipelineObs {
+ public:
+  explicit PipelineObs(unsigned workers)
+      : workers_(workers ? workers : 1),
+        detect_(std::make_unique<StageStats[]>(workers_)) {}
+
+  unsigned workers() const { return workers_; }
+
+  StageStats& produce() { return produce_; }
+  StageStats& route() { return route_; }
+  StageStats& detect(unsigned worker) { return detect_[worker]; }
+  StageStats& merge() { return merge_; }
+
+  PipelineSnapshot snapshot() const {
+    PipelineSnapshot snap;
+    snap.stages.reserve(workers_ + 3);
+    snap.stages.push_back(read("produce", produce_));
+    snap.stages.push_back(read("route", route_));
+    for (unsigned w = 0; w < workers_; ++w)
+      snap.stages.push_back(read("detect[" + std::to_string(w) + "]", detect_[w]));
+    snap.stages.push_back(read("merge", merge_));
+    return snap;
+  }
+
+ private:
+  static StageSnapshot read(std::string name, const StageStats& s) {
+    StageSnapshot out;
+    out.stage = std::move(name);
+    out.events = s.events.load(std::memory_order_relaxed);
+    out.chunks = s.chunks.load(std::memory_order_relaxed);
+    out.stalls = s.stalls.load(std::memory_order_relaxed);
+    out.queue_depth_hwm = s.queue_depth_hwm.load(std::memory_order_relaxed);
+    out.busy_ns = s.busy_ns.load(std::memory_order_relaxed);
+    out.idle_ns = s.idle_ns.load(std::memory_order_relaxed);
+    out.migrations = s.migrations.load(std::memory_order_relaxed);
+    out.rounds = s.rounds.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  unsigned workers_;
+  StageStats produce_;
+  StageStats route_;
+  std::unique_ptr<StageStats[]> detect_;
+  StageStats merge_;
+};
+
+}  // namespace depprof::obs

@@ -19,12 +19,16 @@
 
 #include "common/hash.hpp"
 #include "common/mem_stats.hpp"
+#include "sig/access_store.hpp"
+#include "sig/slots.hpp"
 
 namespace depprof {
 
 template <typename Slot>
 class HashTableRecorder {
  public:
+  using slot_type = Slot;
+
   explicit HashTableRecorder(std::size_t bucket_count = 1 << 16)
       : buckets_(bucket_count ? bucket_count : 1),
         charge_(MemComponent::kSignatures,
@@ -111,5 +115,8 @@ class HashTableRecorder {
   std::size_t size_ = 0;
   ScopedMemCharge charge_;
 };
+
+static_assert(AccessStore<HashTableRecorder<SeqSlot>>);
+static_assert(AccessStore<HashTableRecorder<MtSlot>>);
 
 }  // namespace depprof

@@ -12,12 +12,16 @@
 #include <unordered_map>
 
 #include "common/mem_stats.hpp"
+#include "sig/access_store.hpp"
+#include "sig/slots.hpp"
 
 namespace depprof {
 
 template <typename Slot>
 class PerfectSignature {
  public:
+  using slot_type = Slot;
+
   PerfectSignature() = default;
 
   /// Exact membership check: nullptr unless `addr` itself was inserted.
@@ -74,5 +78,8 @@ class PerfectSignature {
   static constexpr std::size_t kEntryBytes = sizeof(std::uint64_t) + sizeof(Slot) + 16;
   std::unordered_map<std::uint64_t, Slot> map_;
 };
+
+static_assert(AccessStore<PerfectSignature<SeqSlot>>);
+static_assert(AccessStore<PerfectSignature<MtSlot>>);
 
 }  // namespace depprof

@@ -16,12 +16,16 @@
 #include <unordered_map>
 
 #include "common/mem_stats.hpp"
+#include "sig/access_store.hpp"
+#include "sig/slots.hpp"
 
 namespace depprof {
 
 template <typename Slot>
 class ShadowMemory {
  public:
+  using slot_type = Slot;
+
   /// One second-level page covers 2^kPageBits word-granular addresses.
   static constexpr unsigned kPageBits = 16;
   static constexpr std::size_t kPageSlots = std::size_t{1} << kPageBits;
@@ -37,12 +41,17 @@ class ShadowMemory {
 
   void insert(std::uint64_t addr, const Slot& value) {
     Page& page = touch_page(addr);
-    page.slots[offset(addr)] = value;
+    Slot& s = page.slots[offset(addr)];
+    if (s.empty() && !value.empty()) ++resident_;
+    s = value;
   }
 
   void remove(std::uint64_t addr) {
     Page* page = find_page_mut(addr);
-    if (page != nullptr) page->slots[offset(addr)] = Slot{};
+    if (page == nullptr) return;
+    Slot& s = page->slots[offset(addr)];
+    if (!s.empty()) --resident_;
+    s = Slot{};
   }
 
   std::optional<Slot> extract(std::uint64_t addr) {
@@ -52,12 +61,17 @@ class ShadowMemory {
     if (s.empty()) return std::nullopt;
     Slot out = s;
     s = Slot{};
+    --resident_;
     return out;
   }
 
-  void clear() { pages_.clear(); }
+  void clear() {
+    pages_.clear();
+    resident_ = 0;
+  }
 
   std::size_t page_count() const { return pages_.size(); }
+  std::size_t occupied() const { return resident_; }
   std::size_t bytes() const { return pages_.size() * sizeof(Page); }
 
  private:
@@ -88,6 +102,10 @@ class ShadowMemory {
   }
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  std::size_t resident_ = 0;
 };
+
+static_assert(AccessStore<ShadowMemory<SeqSlot>>);
+static_assert(AccessStore<ShadowMemory<MtSlot>>);
 
 }  // namespace depprof

@@ -17,6 +17,8 @@
 
 #include "common/hash.hpp"
 #include "common/mem_stats.hpp"
+#include "sig/access_store.hpp"
+#include "sig/slots.hpp"
 
 namespace depprof {
 
@@ -34,6 +36,8 @@ enum class SigHash { kModulo, kMix };
 template <typename Slot>
 class Signature {
  public:
+  using slot_type = Slot;
+
   /// Creates a signature with `slot_count` slots (>= 1).  Memory is charged
   /// against MemComponent::kSignatures for Figures 7/8 accounting.
   explicit Signature(std::size_t slot_count, SigHash hash = SigHash::kModulo)
@@ -112,5 +116,8 @@ class Signature {
   std::size_t occupied_ = 0;
   ScopedMemCharge charge_;
 };
+
+static_assert(AccessStore<Signature<SeqSlot>>);
+static_assert(AccessStore<Signature<MtSlot>>);
 
 }  // namespace depprof

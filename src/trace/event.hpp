@@ -73,6 +73,14 @@ class AccessSink {
  public:
   virtual ~AccessSink() = default;
   virtual void on_access(const AccessEvent& ev) = 0;
+  /// Batched delivery — the chunk path shared by live instrumentation
+  /// (thread-local EventBuffer flushes) and trace replay.  Sinks with a hot
+  /// per-event loop override this so the stream pays one virtual call per
+  /// batch instead of one per access.  Events of one batch all originate
+  /// from the same target thread, in program order.
+  virtual void on_batch(const AccessEvent* events, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) on_access(events[i]);
+  }
   /// A target thread left a lock region (Sec. V, Fig. 4): buffered accesses
   /// of that thread must be pushed before the lock is released so that
   /// access and push stay atomic.  No-op for sinks without buffering.

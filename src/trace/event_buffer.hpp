@@ -1,0 +1,63 @@
+#pragma once
+// Thread-local event chunk buffer — the producer half of the batched event
+// path.
+//
+// The instrumentation runtime appends each assembled AccessEvent to the
+// calling thread's EventBuffer and flushes it through AccessSink::on_batch
+// when the buffer fills, at lock-region boundaries (Fig. 4: access and push
+// must stay atomic), at implicit synchronization points, and at detach.
+// Trace replay streams its recorded events through the same on_batch entry
+// point via replay_batched(), so live instrumentation and replay exercise
+// one code path into the profilers.
+
+#include <array>
+#include <cstddef>
+
+#include "trace/event.hpp"
+
+namespace depprof {
+
+class EventBuffer {
+ public:
+  /// Events buffered per thread before a flush (16 KiB per thread).
+  static constexpr std::size_t kCapacity = 256;
+
+  /// Appends one event; returns true when the buffer is full and must be
+  /// flushed before the next add().
+  bool add(const AccessEvent& ev) {
+    events_[count_++] = ev;
+    return count_ == kCapacity;
+  }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  /// Delivers the buffered events as one batch and empties the buffer.
+  void flush(AccessSink& sink) {
+    if (count_ == 0) return;
+    sink.on_batch(events_.data(), count_);
+    count_ = 0;
+  }
+
+  /// Drops buffered events without delivering them (stale events of a
+  /// previous profiling session).
+  void discard() { count_ = 0; }
+
+ private:
+  std::array<AccessEvent, kCapacity> events_;
+  std::size_t count_ = 0;
+};
+
+/// Streams a contiguous event range through `sink` in EventBuffer-sized
+/// batches — the same chunk granularity the live instrumentation produces.
+inline void deliver_batched(const AccessEvent* events, std::size_t count,
+                            AccessSink& sink) {
+  for (std::size_t off = 0; off < count; off += EventBuffer::kCapacity) {
+    const std::size_t n = count - off < EventBuffer::kCapacity
+                              ? count - off
+                              : EventBuffer::kCapacity;
+    sink.on_batch(events + off, n);
+  }
+}
+
+}  // namespace depprof

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "trace/event.hpp"
+#include "trace/event_buffer.hpp"
 
 namespace depprof {
 
@@ -51,6 +52,10 @@ class TraceRecorder final : public AccessSink {
     std::lock_guard lock(mu_);
     trace_.events.push_back(ev);
   }
+  void on_batch(const AccessEvent* events, std::size_t count) override {
+    std::lock_guard lock(mu_);
+    trace_.events.insert(trace_.events.end(), events, events + count);
+  }
   Trace& trace() { return trace_; }
   const Trace& trace() const { return trace_; }
 
@@ -59,9 +64,11 @@ class TraceRecorder final : public AccessSink {
   Trace trace_;
 };
 
-/// Replays a trace into any sink, preserving program order.
+/// Replays a trace into any sink, preserving program order.  Events travel
+/// through the same batched chunk path (AccessSink::on_batch) that live
+/// instrumentation uses.
 inline void replay(const Trace& trace, AccessSink& sink) {
-  for (const auto& ev : trace.events) sink.on_access(ev);
+  deliver_batched(trace.events.data(), trace.events.size(), sink);
   sink.finish();
 }
 

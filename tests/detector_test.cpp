@@ -40,7 +40,7 @@ DepKey key(DepType type, std::uint32_t sink_line, std::uint32_t src_line,
   return k;
 }
 
-using PerfectDetector = DepDetector<PerfectSignature<SeqSlot>, SeqSlot>;
+using PerfectDetector = DetectorCore<PerfectSignature<SeqSlot>>;
 
 PerfectDetector make_perfect() { return PerfectDetector{{}, {}}; }
 
@@ -287,7 +287,7 @@ TEST(Detector, CollidingAddressStillBuildsDepButNoCarriedFlag) {
   // Modulo collision: addr and addr + slots share a slot.  The dependence
   // record is built (approximate membership), but the loop-context compare
   // is gated off by the address tag, so no carried flag can be fabricated.
-  DepDetector<Signature<SeqSlot>, SeqSlot> det{
+  DetectorCore<Signature<SeqSlot>> det{
       Signature<SeqSlot>(128, SigHash::kModulo),
       Signature<SeqSlot>(128, SigHash::kModulo)};
   DepMap deps;
@@ -299,8 +299,8 @@ TEST(Detector, CollidingAddressStillBuildsDepButNoCarriedFlag) {
 }
 
 TEST(Detector, SameAddressKeepsCarriedFlagUnderSignature) {
-  DepDetector<Signature<SeqSlot>, SeqSlot> det{Signature<SeqSlot>(128),
-                                               Signature<SeqSlot>(128)};
+  DetectorCore<Signature<SeqSlot>> det{Signature<SeqSlot>(128),
+                                       Signature<SeqSlot>(128)};
   DepMap deps;
   det.process(with_loops(wr(5, 10), {1, 1, 3}), deps);
   det.process(with_loops(rd(5, 20), {1, 1, 4}), deps);
@@ -320,7 +320,7 @@ AccessEvent mt_ev(std::uint64_t addr, AccessKind kind, std::uint32_t line,
 }
 
 TEST(Detector, CrossThreadFlagAndThreadIds) {
-  DepDetector<PerfectSignature<MtSlot>, MtSlot> det{{}, {}};
+  DetectorCore<PerfectSignature<MtSlot>> det{{}, {}};
   DepMap deps;
   det.process(mt_ev(100, AccessKind::kWrite, 10, /*tid=*/1, /*ts=*/1), deps);
   det.process(mt_ev(100, AccessKind::kRead, 20, /*tid=*/2, /*ts=*/2), deps);
@@ -334,7 +334,7 @@ TEST(Detector, CrossThreadFlagAndThreadIds) {
 }
 
 TEST(Detector, TimestampReversalFlagsPotentialRace) {
-  DepDetector<PerfectSignature<MtSlot>, MtSlot> det{{}, {}};
+  DetectorCore<PerfectSignature<MtSlot>> det{{}, {}};
   DepMap deps;
   // The write reached the worker first but carries a LATER timestamp than
   // the read that follows: access/push atomicity was violated (Sec. V-B).

@@ -9,6 +9,7 @@
 
 #include <tuple>
 
+#include "core/formatter.hpp"
 #include "core/profiler.hpp"
 #include "harness/accuracy.hpp"
 #include "queue/queues.hpp"
@@ -289,11 +290,63 @@ TEST(ParallelProfiler, DestructionWithoutFinishIsSafe) {
   // Dropping the profiler without finish() must join workers, not hang.
 }
 
-TEST(ParallelProfiler, UnsupportedStorageReturnsNull) {
+// ---------------------- all backends × all queues (byte-identical merges)
+
+struct BackendQueueCase {
+  StorageKind storage;
+  QueueKind queue;
+};
+
+class BackendQueueEquivalence
+    : public ::testing::TestWithParam<BackendQueueCase> {};
+
+TEST_P(BackendQueueEquivalence, ByteIdenticalMergedMaps) {
+  const BackendQueueCase c = GetParam();
+  GenParams p;
+  p.accesses = 30'000;
+  p.distinct = 1'500;
+  p.write_ratio = 0.4;
+  // Randomize the trace per backend so the matrix does not reuse one stream.
+  p.seed = 42 + static_cast<unsigned>(c.storage) * 1337 +
+           static_cast<unsigned>(c.queue) * 17;
+  const Trace t = gen_uniform(p);
+
   ProfilerConfig cfg;
-  cfg.storage = StorageKind::kShadow;
-  EXPECT_EQ(make_parallel_profiler(cfg), nullptr);
+  cfg.storage = c.storage;
+  // The signature backend only matches serial==parallel in the
+  // collision-free regime: the per-worker signatures partition the address
+  // set differently than the single serial signature, so collisions (and
+  // hence false dependences) would otherwise differ.  The generator's
+  // address span is far below this slot count, so modulo indexing is
+  // injective for every store.
+  cfg.slots = 1u << 18;
+  const DepMap serial = run_serial(t, cfg);
+
+  cfg.queue = c.queue;
+  cfg.workers = 4;
+  cfg.chunk_size = 128;
+  auto prof = make_parallel_profiler(cfg);
+  ASSERT_NE(prof, nullptr) << storage_kind_name(c.storage);
+  replay(t, *prof);
+  EXPECT_EQ(deps_csv(serial), deps_csv(prof->dependences()))
+      << storage_kind_name(c.storage) << " over " << queue_kind_name(c.queue);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAllQueues, BackendQueueEquivalence,
+    ::testing::Values(
+        BackendQueueCase{StorageKind::kSignature, QueueKind::kLockFreeSpsc},
+        BackendQueueCase{StorageKind::kSignature, QueueKind::kLockFreeMpmc},
+        BackendQueueCase{StorageKind::kSignature, QueueKind::kMutex},
+        BackendQueueCase{StorageKind::kPerfect, QueueKind::kLockFreeSpsc},
+        BackendQueueCase{StorageKind::kPerfect, QueueKind::kLockFreeMpmc},
+        BackendQueueCase{StorageKind::kPerfect, QueueKind::kMutex},
+        BackendQueueCase{StorageKind::kShadow, QueueKind::kLockFreeSpsc},
+        BackendQueueCase{StorageKind::kShadow, QueueKind::kLockFreeMpmc},
+        BackendQueueCase{StorageKind::kShadow, QueueKind::kMutex},
+        BackendQueueCase{StorageKind::kHashTable, QueueKind::kLockFreeSpsc},
+        BackendQueueCase{StorageKind::kHashTable, QueueKind::kLockFreeMpmc},
+        BackendQueueCase{StorageKind::kHashTable, QueueKind::kMutex}));
 
 }  // namespace
 }  // namespace depprof

@@ -15,13 +15,15 @@
 //   --slots N            signature slots per signature   (default 1M)
 //   --parallel           use the Fig. 2 pipeline
 //   --workers N          pipeline workers                 (default 8)
-//   --queue lockfree|mutex                               (default lockfree)
+//   --queue lockfree|mpmc|mutex                          (default lockfree)
 //   --mt-threads N       run the pthread variant with N target threads
 //   --scale N            workload scale factor            (default 1)
 //   --format text|csv|dot                                (default text)
 //   --distances          annotate carried iteration distances (text format)
 //   --plugin NAME        run an analysis plugin (repeatable; 'all' = every)
-//   --stats              print run statistics
+//   --stats              print run statistics and the per-stage pipeline
+//                        counters (produce/route/detect/merge); rendered as
+//                        CSV or JSON when --format csv|json is given
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +33,7 @@
 
 #include "core/formatter.hpp"
 #include "framework/plugin.hpp"
+#include "obs/report.hpp"
 #include "framework/program_model.hpp"
 #include "harness/runner.hpp"
 #include "instrument/runtime.hpp"
@@ -96,6 +99,8 @@ bool parse(int argc, char** argv, int start, CliOptions& out) {
         out.cfg.queue = QueueKind::kMutex;
       else if (std::strcmp(v, "lockfree") == 0)
         out.cfg.queue = QueueKind::kLockFreeSpsc;
+      else if (std::strcmp(v, "mpmc") == 0)
+        out.cfg.queue = QueueKind::kLockFreeMpmc;
       else
         return false;
     } else if (arg == "--mt-threads") {
@@ -159,12 +164,19 @@ void emit(const ProgramModel& model, const CliOptions& opts) {
 
   if (opts.stats) {
     const ProfilerStats& st = model.stats();
-    std::printf("\n# events=%llu chunks=%llu merged=%zu instances=%llu "
-                "redistributions=%u sig_bytes=%zu\n",
+    std::printf("\n# events=%llu chunks=%llu workers=%u merged=%zu "
+                "instances=%llu redistributions=%u sig_bytes=%zu\n",
                 static_cast<unsigned long long>(st.events),
-                static_cast<unsigned long long>(st.chunks), model.deps().size(),
+                static_cast<unsigned long long>(st.chunks), st.workers,
+                model.deps().size(),
                 static_cast<unsigned long long>(model.deps().instances()),
                 st.redistribution_rounds, st.signature_bytes);
+    if (opts.format == "csv")
+      std::fputs(obs::snapshot_csv(st.stages).c_str(), stdout);
+    else if (opts.format == "json")
+      std::printf("%s\n", obs::snapshot_json(st.stages).c_str());
+    else
+      std::fputs(obs::snapshot_text(st.stages).c_str(), stdout);
   }
 }
 
