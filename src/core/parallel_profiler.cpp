@@ -18,11 +18,20 @@
 // Every storage backend runs here: the factory resolves StorageKind to a
 // concrete store once (core/store_factory.hpp), and the worker loop only
 // switches on the chunk kind — never on the backend.
+//
+// Waiting is a policy (queue/wait_strategy.hpp): the three blocking sites —
+// idle workers, producers facing a full queue, and the migration-mailbox
+// handoff — run the configured spin/yield/park strategy instead of spinning
+// unboundedly, with per-site backpressure accounting in the obs counters
+// and wake hooks so that parked threads are woken by whoever unblocks them
+// (including the stop sentinels at shutdown).
 
 #include <array>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -31,11 +40,14 @@
 #include "core/pipeline.hpp"
 #include "core/profiler.hpp"
 #include "core/store_factory.hpp"
+#include "queue/wait_strategy.hpp"
 
 namespace depprof {
 namespace {
 
-constexpr std::size_t kMaxProducers = 256;
+/// Thread ids below this get a lock-free producer slot; higher ids go
+/// through the mutex-guarded registry (producer_for).
+constexpr std::size_t kMaxFastProducers = 256;
 
 /// One-shot handoff cell for migrating an address's signature state from its
 /// old owner to its new owner (Sec. IV-A: "If an address is moved to another
@@ -61,9 +73,11 @@ class ParallelProfiler final : public IProfiler {
                                           Chunk::kCapacity)),
         signature_bytes_(signature_bytes),
         lb_enabled_(cfg.load_balance.enabled),
+        wait_(cfg.wait),
         obs_(cfg.workers ? cfg.workers : 1),
         router_(cfg, obs_.workers(), obs_.route()),
         merge_(obs_.merge()),
+        gates_(std::make_unique<QueueGates[]>(obs_.workers())),
         mailboxes_(kMailboxCount),
         mailbox_free_(kMailboxCount) {
     const unsigned w = obs_.workers();
@@ -87,7 +101,7 @@ class ParallelProfiler final : public IProfiler {
 
   ~ParallelProfiler() override {
     // Dropping the profiler without finish() must still terminate the
-    // workers: they spin on their queues until a stop sentinel arrives.
+    // workers: the stop sentinels wake any parked worker via the gates.
     if (!finished_) finish();
   }
 
@@ -123,16 +137,19 @@ class ParallelProfiler final : public IProfiler {
 
   void finish() override {
     if (finished_) return;
-    // Flush every producer's partial chunks, then send stop sentinels.
-    for (auto& p : producers_) {
-      if (!p) continue;
-      for (unsigned w = 0; w < obs_.workers(); ++w)
-        if (Chunk* c = p->take(w)) push_chunk(c, w);
+    // Flush every producer's partial chunks, then send stop sentinels.  By
+    // contract all target threads have quiesced before finish(), so the
+    // registry lock is uncontended and the pending chunks are visible.
+    {
+      std::lock_guard lock(producer_mu_);
+      for (const auto& p : producer_owned_)
+        for (unsigned w = 0; w < obs_.workers(); ++w)
+          if (Chunk* c = p->take(w)) push_chunk(c, w);
     }
     for (unsigned w = 0; w < obs_.workers(); ++w) {
       Chunk* stop = pool_.acquire();
       stop->kind = Chunk::Kind::kStop;
-      enqueue(w, stop);
+      enqueue(w, stop);  // enqueue's wake hook rouses a parked worker
     }
     join_workers();
     for (auto& d : detectors_) merge_.fold(global_, d->deps());
@@ -153,14 +170,35 @@ class ParallelProfiler final : public IProfiler {
  private:
   static constexpr std::uint32_t kMailboxCount = 64;
 
+  /// Producer slot lookup.  Fast slots are published with release/acquire:
+  /// a target thread either sees a fully constructed stage or takes the
+  /// lock, so two threads can race on the same tid without a data race (the
+  /// old double-checked load was unsynchronized).  Thread ids beyond the
+  /// fast array go through the mutex-guarded registry — each tid gets its
+  /// own stage instead of all aliasing the last slot.
   ProduceStage& producer_for(std::uint16_t tid) {
-    const std::size_t idx = tid < kMaxProducers ? tid : kMaxProducers - 1;
-    ProduceStage* p = producers_[idx].get();
-    if (p != nullptr) return *p;
+    if (tid < kMaxFastProducers) {
+      if (ProduceStage* p = producers_[tid].load(std::memory_order_acquire))
+        return *p;
+      std::lock_guard lock(producer_mu_);
+      ProduceStage* p = producers_[tid].load(std::memory_order_relaxed);
+      if (p == nullptr) {
+        p = new_producer();
+        producers_[tid].store(p, std::memory_order_release);
+      }
+      return *p;
+    }
     std::lock_guard lock(producer_mu_);
-    if (!producers_[idx])
-      producers_[idx] = std::make_unique<ProduceStage>(obs_.workers(), pool_);
-    return *producers_[idx];
+    ProduceStage*& slot = producer_registry_[tid];
+    if (slot == nullptr) slot = new_producer();
+    return *slot;
+  }
+
+  /// Creates and registers a stage; caller holds producer_mu_.
+  ProduceStage* new_producer() {
+    producer_owned_.push_back(
+        std::make_unique<ProduceStage>(obs_.workers(), pool_));
+    return producer_owned_.back().get();
   }
 
   void push_chunk(Chunk* c, unsigned w) {
@@ -171,14 +209,22 @@ class ParallelProfiler final : public IProfiler {
       rebalance(produced);
   }
 
+  /// Pushes `c`, applying the wait strategy when worker w's queue is full
+  /// (bounded backpressure: the block time is charged to the produce stage)
+  /// and waking the worker if it parked on an empty queue.
   void enqueue(unsigned w, Chunk* c) {
+    obs::StageStats& prod = obs_.produce();
     if (!queues_[w]->try_push(c)) {
-      obs_.produce().add_stalls(1);
-      do {
-        std::this_thread::yield();
-      } while (!queues_[w]->try_push(c));
+      prod.add_stalls(1);
+      const std::uint64_t t0 = WallTimer::now();
+      const WaitCounters wc = wait_until(
+          wait_, gates_[w].not_full, [&] { return queues_[w]->try_push(c); });
+      prod.add_block_ns(WallTimer::now() - t0);
+      prod.add_parked_ns(wc.parked_ns);
+      prod.add_parks(wc.parks);
     }
-    obs_.produce().raise_queue_depth(queues_[w]->size_approx());
+    prod.add_wakes(gates_[w].not_empty.notify_all());
+    prod.raise_queue_depth(queues_[w]->size_approx());
   }
 
   // --- load balancing (Sec. IV-A) ---------------------------------------
@@ -196,7 +242,16 @@ class ParallelProfiler final : public IProfiler {
 
   void hand_off(const Migration& m) {
     std::uint32_t mb = 0;
-    while (!mailbox_free_.try_pop(mb)) std::this_thread::yield();
+    if (!mailbox_free_.try_pop(mb)) {
+      // All mailboxes in flight: wait for an adopting worker to return one
+      // (it notifies mailbox_ec_).  Producer-side backpressure.
+      const std::uint64_t t0 = WallTimer::now();
+      const WaitCounters wc = wait_until(
+          wait_, mailbox_ec_, [&] { return mailbox_free_.try_pop(mb); });
+      obs_.produce().add_block_ns(WallTimer::now() - t0);
+      obs_.produce().add_parked_ns(wc.parked_ns);
+      obs_.produce().add_parks(wc.parks);
+    }
     mailboxes_[mb].ready.store(0, std::memory_order_relaxed);
 
     Chunk* out = pool_.acquire();
@@ -217,18 +272,25 @@ class ParallelProfiler final : public IProfiler {
   void worker_main(unsigned w) {
     DetectStage<Store>& me = *detectors_[w];
     obs::StageStats& stats = obs_.detect(w);
-    std::uint64_t idle_since = 0;
+    ConcurrentQueue<Chunk*>& queue = *queues_[w];
+    QueueGates& gate = gates_[w];
     for (;;) {
       Chunk* c = nullptr;
-      if (!queues_[w]->try_pop(c)) {
-        if (idle_since == 0) idle_since = WallTimer::now();
-        std::this_thread::yield();
-        continue;
+      if (!queue.try_pop(c)) {
+        // Idle: wait for the producer side with the configured strategy.
+        // Wall idle vs CPU-while-idle are tracked separately — the latter is
+        // what pure spinning burns on an oversubscribed host.
+        const std::uint64_t w0 = WallTimer::now();
+        const std::uint64_t c0 = ThreadCpuTimer::now();
+        const WaitCounters wc =
+            wait_until(wait_, gate.not_empty, [&] { return queue.try_pop(c); });
+        stats.add_idle_cpu_ns(ThreadCpuTimer::now() - c0);
+        stats.add_idle_ns(WallTimer::now() - w0);
+        stats.add_parked_ns(wc.parked_ns);
+        stats.add_parks(wc.parks);
       }
-      if (idle_since != 0) {
-        stats.add_idle_ns(WallTimer::now() - idle_since);
-        idle_since = 0;
-      }
+      // A producer blocked on this full queue can take the freed cell.
+      stats.add_wakes(gate.not_full.notify_all());
       switch (c->kind) {
         case Chunk::Kind::kData:
           me.process(c->events.data(), c->count);
@@ -238,7 +300,8 @@ class ParallelProfiler final : public IProfiler {
           pool_.release(c);
           return;
         case Chunk::Kind::kMigrateOut: {
-          const std::uint64_t t0 = ThreadCpuTimer::now();
+          const std::uint64_t w0 = WallTimer::now();
+          const std::uint64_t c0 = ThreadCpuTimer::now();
           auto st = me.core().extract_state(c->addr);
           Mailbox<Slot>& box = mailboxes_[c->payload];
           box.has_read = st.has_read;
@@ -246,15 +309,28 @@ class ParallelProfiler final : public IProfiler {
           box.read_slot = st.read_slot;
           box.write_slot = st.write_slot;
           box.ready.store(1, std::memory_order_release);
+          // Wake the adopting worker (and anyone waiting for a mailbox).
+          stats.add_wakes(mailbox_ec_.notify_all());
           pool_.release(c);
-          stats.add_busy_ns(ThreadCpuTimer::now() - t0);
+          stats.add_cpu_ns(ThreadCpuTimer::now() - c0);
+          stats.add_busy_ns(WallTimer::now() - w0);
           break;
         }
         case Chunk::Kind::kAdopt: {
           Mailbox<Slot>& box = mailboxes_[c->payload];
-          while (box.ready.load(std::memory_order_acquire) == 0)
-            std::this_thread::yield();
-          const std::uint64_t t0 = ThreadCpuTimer::now();
+          if (box.ready.load(std::memory_order_acquire) == 0) {
+            // Handoff not published yet: blocked on a peer stage, so the
+            // time is backpressure (block_ns), not input starvation.
+            const std::uint64_t t0 = WallTimer::now();
+            const WaitCounters wc = wait_until(wait_, mailbox_ec_, [&] {
+              return box.ready.load(std::memory_order_acquire) != 0;
+            });
+            stats.add_block_ns(WallTimer::now() - t0);
+            stats.add_parked_ns(wc.parked_ns);
+            stats.add_parks(wc.parks);
+          }
+          const std::uint64_t w0 = WallTimer::now();
+          const std::uint64_t c0 = ThreadCpuTimer::now();
           typename DetectorCore<Store>::AddrState st;
           st.has_read = box.has_read;
           st.has_write = box.has_write;
@@ -262,8 +338,11 @@ class ParallelProfiler final : public IProfiler {
           st.write_slot = box.write_slot;
           me.core().adopt_state(c->addr, st);
           (void)mailbox_free_.try_push(c->payload);
+          // A producer may be waiting in hand_off for a free mailbox.
+          stats.add_wakes(mailbox_ec_.notify_all());
           pool_.release(c);
-          stats.add_busy_ns(ThreadCpuTimer::now() - t0);
+          stats.add_cpu_ns(ThreadCpuTimer::now() - c0);
+          stats.add_busy_ns(WallTimer::now() - w0);
           break;
         }
       }
@@ -279,6 +358,7 @@ class ParallelProfiler final : public IProfiler {
   const std::size_t chunk_fill_;
   const std::size_t signature_bytes_;
   const bool lb_enabled_;
+  const WaitKind wait_;
 
   obs::PipelineObs obs_;
   RouteStage router_;
@@ -289,11 +369,20 @@ class ParallelProfiler final : public IProfiler {
   std::vector<std::thread> threads_;
   ChunkPool pool_;
 
-  std::array<std::unique_ptr<ProduceStage>, kMaxProducers> producers_{};
+  /// Per-worker wake hooks for the park strategy (one pair per queue).
+  std::unique_ptr<QueueGates[]> gates_;
+
+  /// Producer slots: lock-free array for tids < kMaxFastProducers, registry
+  /// for the rest; producer_owned_ holds ownership of both (producer_mu_
+  /// guards all slow-path state).
+  std::array<std::atomic<ProduceStage*>, kMaxFastProducers> producers_{};
+  std::unordered_map<std::uint16_t, ProduceStage*> producer_registry_;
+  std::vector<std::unique_ptr<ProduceStage>> producer_owned_;
   std::mutex producer_mu_;
 
   std::vector<Mailbox<Slot>> mailboxes_;
   MpmcQueue<std::uint32_t> mailbox_free_;
+  EventCount mailbox_ec_;
 
   DepMap global_;
   bool finished_ = false;

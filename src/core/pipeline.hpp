@@ -186,9 +186,14 @@ class DetectStage {
       : core_(std::move(sig_read), std::move(sig_write)), stats_(&stats) {}
 
   void process(const AccessEvent* events, std::size_t count) {
-    const std::uint64_t t0 = ThreadCpuTimer::now();
+    // Both clock domains (see obs/stage_stats.hpp): wall busy_ns pairs with
+    // the wall idle_ns for consistent busy/idle ratios; thread-CPU cpu_ns
+    // excludes preemption and feeds the simulated parallel time.
+    const std::uint64_t w0 = WallTimer::now();
+    const std::uint64_t c0 = ThreadCpuTimer::now();
     for (std::size_t i = 0; i < count; ++i) core_.process(events[i], deps_);
-    stats_->add_busy_ns(ThreadCpuTimer::now() - t0);
+    stats_->add_cpu_ns(ThreadCpuTimer::now() - c0);
+    stats_->add_busy_ns(WallTimer::now() - w0);
     stats_->add_events(count);
     stats_->add_chunks(1);
   }
@@ -211,10 +216,12 @@ class MergeStage {
   explicit MergeStage(obs::StageStats& stats) : stats_(&stats) {}
 
   void fold(DepMap& global, DepMap& local) {
-    const std::uint64_t t0 = WallTimer::now();
+    const std::uint64_t w0 = WallTimer::now();
+    const std::uint64_t c0 = ThreadCpuTimer::now();
     stats_->add_events(local.size());
     global.merge(local);
-    stats_->add_busy_ns(WallTimer::now() - t0);
+    stats_->add_cpu_ns(ThreadCpuTimer::now() - c0);
+    stats_->add_busy_ns(WallTimer::now() - w0);
     stats_->add_chunks(1);
   }
 
@@ -235,7 +242,9 @@ inline void fill_stats_from(obs::PipelineSnapshot snap, ProfilerStats& st) {
   }
   for (const auto& s : snap.stages) {
     if (s.stage.rfind("detect", 0) == 0) {
-      st.worker_busy_sec.push_back(s.busy_sec());
+      // CPU seconds, not wall: worker_busy_sec is the simulated-parallel-time
+      // input, so it must exclude preemption and parked sleep (DESIGN.md).
+      st.worker_busy_sec.push_back(s.cpu_sec());
       st.worker_events.push_back(s.events);
     }
   }

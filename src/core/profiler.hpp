@@ -14,6 +14,7 @@
 #include "core/dep.hpp"
 #include "obs/stage_stats.hpp"
 #include "queue/concurrent_queue.hpp"
+#include "queue/wait_strategy.hpp"
 #include "sig/signature.hpp"
 #include "trace/event.hpp"
 
@@ -64,6 +65,11 @@ struct ProfilerConfig {
   QueueKind queue = QueueKind::kLockFreeSpsc;
   std::size_t chunk_size = 512;          ///< accesses per chunk (<= Chunk capacity)
   std::size_t queue_capacity = 64;       ///< chunks per worker queue
+  /// How pipeline threads wait at the three blocking sites (idle workers,
+  /// producers facing a full queue, migration-mailbox handoff).  kSpin is
+  /// the paper's busy-wait; kPark (default) degrades gracefully when the
+  /// host is oversubscribed.  See queue/wait_strategy.hpp.
+  WaitKind wait = WaitKind::kPark;
   LoadBalanceConfig load_balance;
   /// Route addresses to workers with the paper's plain modulo (formula 1)
   /// instead of the mixed hash; exercised by the load-balance ablation.

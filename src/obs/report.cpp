@@ -16,13 +16,16 @@ std::string fmt_sec(double sec) {
 
 std::string snapshot_csv(const PipelineSnapshot& snap) {
   std::ostringstream os;
-  os << "stage,events,chunks,stalls,queue_depth_hwm,busy_sec,idle_sec,"
+  os << "stage,events,chunks,stalls,queue_depth_hwm,busy_sec,cpu_sec,"
+        "idle_sec,idle_cpu_sec,parked_sec,parks,block_sec,wakes,"
         "migrations,rounds\n";
   for (const auto& s : snap.stages) {
     os << s.stage << ',' << s.events << ',' << s.chunks << ',' << s.stalls
        << ',' << s.queue_depth_hwm << ',' << fmt_sec(s.busy_sec()) << ','
-       << fmt_sec(s.idle_sec()) << ',' << s.migrations << ',' << s.rounds
-       << '\n';
+       << fmt_sec(s.cpu_sec()) << ',' << fmt_sec(s.idle_sec()) << ','
+       << fmt_sec(s.idle_cpu_sec()) << ',' << fmt_sec(s.parked_sec()) << ','
+       << s.parks << ',' << fmt_sec(s.block_sec()) << ',' << s.wakes << ','
+       << s.migrations << ',' << s.rounds << '\n';
   }
   return os.str();
 }
@@ -38,7 +41,13 @@ std::string snapshot_json(const PipelineSnapshot& snap) {
        << ",\"chunks\":" << s.chunks << ",\"stalls\":" << s.stalls
        << ",\"queue_depth_hwm\":" << s.queue_depth_hwm
        << ",\"busy_sec\":" << fmt_sec(s.busy_sec())
+       << ",\"cpu_sec\":" << fmt_sec(s.cpu_sec())
        << ",\"idle_sec\":" << fmt_sec(s.idle_sec())
+       << ",\"idle_cpu_sec\":" << fmt_sec(s.idle_cpu_sec())
+       << ",\"parked_sec\":" << fmt_sec(s.parked_sec())
+       << ",\"parks\":" << s.parks
+       << ",\"block_sec\":" << fmt_sec(s.block_sec())
+       << ",\"wakes\":" << s.wakes
        << ",\"migrations\":" << s.migrations << ",\"rounds\":" << s.rounds
        << '}';
   }
@@ -48,19 +57,25 @@ std::string snapshot_json(const PipelineSnapshot& snap) {
 
 std::string snapshot_text(const PipelineSnapshot& snap) {
   std::ostringstream os;
-  char line[160];
-  std::snprintf(line, sizeof(line), "%-11s %12s %10s %8s %10s %10s %10s %6s %6s\n",
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-11s %12s %10s %8s %10s %10s %10s %10s %10s %9s %7s %9s %6s "
+                "%6s %6s\n",
                 "stage", "events", "chunks", "stalls", "depth_hwm", "busy_s",
-                "idle_s", "moved", "rounds");
+                "cpu_s", "idle_s", "idlecpu_s", "parked_s", "parks", "block_s",
+                "wakes", "moved", "rounds");
   os << line;
   for (const auto& s : snap.stages) {
     std::snprintf(line, sizeof(line),
-                  "%-11s %12llu %10llu %8llu %10llu %10.4f %10.4f %6llu %6llu\n",
+                  "%-11s %12llu %10llu %8llu %10llu %10.4f %10.4f %10.4f "
+                  "%10.4f %9.4f %7llu %9.4f %6llu %6llu %6llu\n",
                   s.stage.c_str(), static_cast<unsigned long long>(s.events),
                   static_cast<unsigned long long>(s.chunks),
                   static_cast<unsigned long long>(s.stalls),
                   static_cast<unsigned long long>(s.queue_depth_hwm),
-                  s.busy_sec(), s.idle_sec(),
+                  s.busy_sec(), s.cpu_sec(), s.idle_sec(), s.idle_cpu_sec(),
+                  s.parked_sec(), static_cast<unsigned long long>(s.parks),
+                  s.block_sec(), static_cast<unsigned long long>(s.wakes),
                   static_cast<unsigned long long>(s.migrations),
                   static_cast<unsigned long long>(s.rounds));
     os << line;

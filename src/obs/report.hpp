@@ -10,7 +10,8 @@
 namespace depprof::obs {
 
 /// CSV, one row per stage:
-/// stage,events,chunks,stalls,queue_depth_hwm,busy_sec,idle_sec,migrations,rounds
+/// stage,events,chunks,stalls,queue_depth_hwm,busy_sec,cpu_sec,idle_sec,
+/// idle_cpu_sec,parked_sec,parks,block_sec,wakes,migrations,rounds
 std::string snapshot_csv(const PipelineSnapshot& snap);
 
 /// JSON array of stage objects (same fields as the CSV).

@@ -12,6 +12,14 @@
 // synchronization.  Counters only ever increase (high-water marks included),
 // so any two snapshots of a live pipeline are ordered component-wise — the
 // monotonicity property obs_test asserts.
+//
+// Clock domains (see common/timer.hpp): busy_ns, idle_ns, parked_ns, and
+// block_ns are wall-clock on the owning thread, so busy/idle/parked ratios
+// are internally consistent; cpu_ns and idle_cpu_ns are CLOCK_THREAD_CPUTIME
+// on the same intervals — cpu_ns feeds the simulated parallel time (it
+// excludes preemption and parked sleep), idle_cpu_ns is the CPU a wait
+// strategy burned while the stage had no input (the oversubscription metric
+// of bench/ablation_waitstrategy).
 
 #include <atomic>
 #include <cstdint>
@@ -27,8 +35,14 @@ struct alignas(64) StageStats {
   std::atomic<std::uint64_t> chunks{0};   ///< chunks/batches through the stage
   std::atomic<std::uint64_t> stalls{0};   ///< queue-full push retries
   std::atomic<std::uint64_t> queue_depth_hwm{0};  ///< most chunks ever queued
-  std::atomic<std::uint64_t> busy_ns{0};  ///< time spent processing input
-  std::atomic<std::uint64_t> idle_ns{0};  ///< time spent waiting for input
+  std::atomic<std::uint64_t> busy_ns{0};  ///< wall time spent processing input
+  std::atomic<std::uint64_t> cpu_ns{0};   ///< thread-CPU time spent processing
+  std::atomic<std::uint64_t> idle_ns{0};  ///< wall time spent waiting for input
+  std::atomic<std::uint64_t> idle_cpu_ns{0};  ///< thread-CPU burned while waiting
+  std::atomic<std::uint64_t> parked_ns{0};  ///< wall time blocked in the OS
+  std::atomic<std::uint64_t> parks{0};      ///< blocking episodes (eventcount waits)
+  std::atomic<std::uint64_t> block_ns{0};  ///< wall time blocked on backpressure
+  std::atomic<std::uint64_t> wakes{0};     ///< wakeups this stage delivered to peers
   std::atomic<std::uint64_t> migrations{0};  ///< addresses rerouted (route stage)
   std::atomic<std::uint64_t> rounds{0};      ///< redistribution rounds (route stage)
 
@@ -36,7 +50,15 @@ struct alignas(64) StageStats {
   void add_chunks(std::uint64_t n) { chunks.fetch_add(n, std::memory_order_relaxed); }
   void add_stalls(std::uint64_t n) { stalls.fetch_add(n, std::memory_order_relaxed); }
   void add_busy_ns(std::uint64_t n) { busy_ns.fetch_add(n, std::memory_order_relaxed); }
+  void add_cpu_ns(std::uint64_t n) { cpu_ns.fetch_add(n, std::memory_order_relaxed); }
   void add_idle_ns(std::uint64_t n) { idle_ns.fetch_add(n, std::memory_order_relaxed); }
+  void add_idle_cpu_ns(std::uint64_t n) { idle_cpu_ns.fetch_add(n, std::memory_order_relaxed); }
+  void add_parked_ns(std::uint64_t n) { parked_ns.fetch_add(n, std::memory_order_relaxed); }
+  void add_parks(std::uint64_t n) { parks.fetch_add(n, std::memory_order_relaxed); }
+  void add_block_ns(std::uint64_t n) { block_ns.fetch_add(n, std::memory_order_relaxed); }
+  void add_wakes(std::uint64_t n) {
+    if (n != 0) wakes.fetch_add(n, std::memory_order_relaxed);
+  }
   void add_migrations(std::uint64_t n) { migrations.fetch_add(n, std::memory_order_relaxed); }
   void add_rounds(std::uint64_t n) { rounds.fetch_add(n, std::memory_order_relaxed); }
 
@@ -50,7 +72,8 @@ struct alignas(64) StageStats {
   }
 };
 
-static_assert(sizeof(StageStats) == 64, "one stage block per cache line");
+static_assert(sizeof(StageStats) == 128,
+              "whole cache lines only: no stage shares a line with another");
 
 /// Plain-data copy of one stage's counters at a point in time.
 struct StageSnapshot {
@@ -60,12 +83,22 @@ struct StageSnapshot {
   std::uint64_t stalls = 0;
   std::uint64_t queue_depth_hwm = 0;
   std::uint64_t busy_ns = 0;
+  std::uint64_t cpu_ns = 0;
   std::uint64_t idle_ns = 0;
+  std::uint64_t idle_cpu_ns = 0;
+  std::uint64_t parked_ns = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t block_ns = 0;
+  std::uint64_t wakes = 0;
   std::uint64_t migrations = 0;
   std::uint64_t rounds = 0;
 
   double busy_sec() const { return static_cast<double>(busy_ns) * 1e-9; }
+  double cpu_sec() const { return static_cast<double>(cpu_ns) * 1e-9; }
   double idle_sec() const { return static_cast<double>(idle_ns) * 1e-9; }
+  double idle_cpu_sec() const { return static_cast<double>(idle_cpu_ns) * 1e-9; }
+  double parked_sec() const { return static_cast<double>(parked_ns) * 1e-9; }
+  double block_sec() const { return static_cast<double>(block_ns) * 1e-9; }
 };
 
 /// Point-in-time copy of every stage of one pipeline.
@@ -126,7 +159,13 @@ class PipelineObs {
     out.stalls = s.stalls.load(std::memory_order_relaxed);
     out.queue_depth_hwm = s.queue_depth_hwm.load(std::memory_order_relaxed);
     out.busy_ns = s.busy_ns.load(std::memory_order_relaxed);
+    out.cpu_ns = s.cpu_ns.load(std::memory_order_relaxed);
     out.idle_ns = s.idle_ns.load(std::memory_order_relaxed);
+    out.idle_cpu_ns = s.idle_cpu_ns.load(std::memory_order_relaxed);
+    out.parked_ns = s.parked_ns.load(std::memory_order_relaxed);
+    out.parks = s.parks.load(std::memory_order_relaxed);
+    out.block_ns = s.block_ns.load(std::memory_order_relaxed);
+    out.wakes = s.wakes.load(std::memory_order_relaxed);
     out.migrations = s.migrations.load(std::memory_order_relaxed);
     out.rounds = s.rounds.load(std::memory_order_relaxed);
     return out;

@@ -30,7 +30,11 @@ bool stage_ge(const obs::StageSnapshot& later, const obs::StageSnapshot& earlier
   return later.events >= earlier.events && later.chunks >= earlier.chunks &&
          later.stalls >= earlier.stalls &&
          later.queue_depth_hwm >= earlier.queue_depth_hwm &&
-         later.busy_ns >= earlier.busy_ns && later.idle_ns >= earlier.idle_ns &&
+         later.busy_ns >= earlier.busy_ns && later.cpu_ns >= earlier.cpu_ns &&
+         later.idle_ns >= earlier.idle_ns &&
+         later.idle_cpu_ns >= earlier.idle_cpu_ns &&
+         later.parked_ns >= earlier.parked_ns && later.parks >= earlier.parks &&
+         later.block_ns >= earlier.block_ns && later.wakes >= earlier.wakes &&
          later.migrations >= earlier.migrations && later.rounds >= earlier.rounds;
 }
 
@@ -50,14 +54,27 @@ TEST(StageStats, CountersAccumulate) {
   s.add_chunks(2);
   s.add_stalls(1);
   s.add_busy_ns(10);
+  s.add_cpu_ns(8);
   s.add_idle_ns(20);
+  s.add_idle_cpu_ns(15);
+  s.add_parked_ns(12);
+  s.add_parks(2);
+  s.add_block_ns(7);
+  s.add_wakes(3);
+  s.add_wakes(0);  // no-waiter fast path adds nothing
   s.add_migrations(5);
   s.add_rounds(1);
   EXPECT_EQ(s.events.load(), 7u);
   EXPECT_EQ(s.chunks.load(), 2u);
   EXPECT_EQ(s.stalls.load(), 1u);
   EXPECT_EQ(s.busy_ns.load(), 10u);
+  EXPECT_EQ(s.cpu_ns.load(), 8u);
   EXPECT_EQ(s.idle_ns.load(), 20u);
+  EXPECT_EQ(s.idle_cpu_ns.load(), 15u);
+  EXPECT_EQ(s.parked_ns.load(), 12u);
+  EXPECT_EQ(s.parks.load(), 2u);
+  EXPECT_EQ(s.block_ns.load(), 7u);
+  EXPECT_EQ(s.wakes.load(), 3u);
   EXPECT_EQ(s.migrations.load(), 5u);
   EXPECT_EQ(s.rounds.load(), 1u);
 }
@@ -147,6 +164,9 @@ TEST(PipelineObs, StallCounterFiresUnderTinyQueue) {
   ASSERT_NE(produce, nullptr);
   EXPECT_GT(produce->stalls, 0u);
   EXPECT_GE(produce->queue_depth_hwm, 1u);
+  // Every stall runs one bounded-backpressure wait episode, so the producer
+  // block time must be visible too.
+  EXPECT_GT(produce->block_ns, 0u);
 }
 
 // The merge stage is empty while the pipeline runs and is populated by
@@ -195,6 +215,11 @@ TEST(Report, RenderersCoverEveryStage) {
   EXPECT_NE(json.find("\"stage\":\"produce\""), std::string::npos);
   EXPECT_NE(json.find("\"stage\":\"merge\""), std::string::npos);
   EXPECT_NE(json.find("1.500000"), std::string::npos);
+  // Backpressure fields are part of every rendering.
+  EXPECT_NE(json.find("\"parked_sec\""), std::string::npos);
+  EXPECT_NE(json.find("\"block_sec\""), std::string::npos);
+  EXPECT_NE(json.find("\"wakes\""), std::string::npos);
+  EXPECT_NE(csv.find("parked_sec"), std::string::npos);
 
   const std::string text = obs::snapshot_text(snap);
   EXPECT_NE(text.find("produce"), std::string::npos);

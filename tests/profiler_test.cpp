@@ -325,11 +325,17 @@ TEST_P(BackendQueueEquivalence, ByteIdenticalMergedMaps) {
   cfg.queue = c.queue;
   cfg.workers = 4;
   cfg.chunk_size = 128;
-  auto prof = make_parallel_profiler(cfg);
-  ASSERT_NE(prof, nullptr) << storage_kind_name(c.storage);
-  replay(t, *prof);
-  EXPECT_EQ(deps_csv(serial), deps_csv(prof->dependences()))
-      << storage_kind_name(c.storage) << " over " << queue_kind_name(c.queue);
+  // Waiting is a policy, never a semantics knob: every wait strategy must
+  // reproduce the byte-identical merged map.
+  for (WaitKind wait : {WaitKind::kSpin, WaitKind::kYield, WaitKind::kPark}) {
+    cfg.wait = wait;
+    auto prof = make_parallel_profiler(cfg);
+    ASSERT_NE(prof, nullptr) << storage_kind_name(c.storage);
+    replay(t, *prof);
+    EXPECT_EQ(deps_csv(serial), deps_csv(prof->dependences()))
+        << storage_kind_name(c.storage) << " over " << queue_kind_name(c.queue)
+        << " wait=" << wait_kind_name(wait);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,221 @@
+// Concurrency stress tests for the parallel pipeline's producer and
+// migration paths (ISSUE 2).  These are the TSan targets for the fixed
+// races: the producer-slot publication in producer_for (formerly an
+// unsynchronized double-checked load), the per-tid producer registry for
+// thread ids beyond the fast-slot array (formerly all aliased one slot),
+// the migration-mailbox handoff, and the parked-wait shutdown protocol.
+// Queue capacities are deliberately tiny so every push exercises the
+// bounded-backpressure wait and its wake hooks.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/formatter.hpp"
+#include "core/profiler.hpp"
+#include "harness/accuracy.hpp"
+#include "queue/wait_strategy.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace.hpp"
+
+namespace depprof {
+namespace {
+
+bool same_deps(const DepMap& a, const DepMap& b) {
+  const AccuracyResult r = compare_deps(a, b);
+  return r.false_positives == 0 && r.false_negatives == 0 &&
+         a.size() == b.size();
+}
+
+/// Deterministic per-thread access stream over a private address range:
+/// writes then re-reads with a one-slot shift, producing RAW, WAR, and WAW
+/// dependences whose endpoints carry `tid`.
+std::vector<AccessEvent> thread_stream(std::uint16_t tid, std::uint64_t base,
+                                       std::size_t rounds, std::size_t addrs) {
+  std::vector<AccessEvent> evs;
+  evs.reserve(rounds * addrs * 2);
+  std::uint64_t ts = static_cast<std::uint64_t>(tid) << 32;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < addrs; ++i) {
+      AccessEvent wv;
+      wv.addr = base + i * 8;
+      wv.kind = AccessKind::kWrite;
+      wv.loc = SourceLocation(7, 10 + static_cast<std::uint32_t>(i % 5)).packed();
+      wv.tid = tid;
+      wv.ts = ++ts;
+      evs.push_back(wv);
+      AccessEvent rd;
+      rd.addr = base + ((i + 1) % addrs) * 8;
+      rd.kind = AccessKind::kRead;
+      rd.loc = SourceLocation(7, 20 + static_cast<std::uint32_t>(i % 3)).packed();
+      rd.tid = tid;
+      rd.ts = ++ts;
+      evs.push_back(rd);
+    }
+  }
+  return evs;
+}
+
+// >= 8 concurrent target threads — thread ids straddling the old
+// kMaxProducers=256 clamp, so several land in the mutex-guarded registry —
+// each registering its producer while pushing through capacity-2 MPMC
+// queues.  Address ranges are disjoint, so the merged map must equal a
+// serial replay of the concatenated streams regardless of interleaving,
+// for every wait strategy.
+TEST(ParallelStress, ConcurrentProducersHighTidsTinyQueues) {
+  constexpr std::uint16_t kTids[] = {3, 77, 255, 256, 300, 511, 1000, 40000};
+  constexpr std::size_t kThreads = sizeof(kTids) / sizeof(kTids[0]);
+  // Sized for the worst case: kSpin on a single-core host makes every
+  // blocked push burn a scheduler quantum, so chunk count — not event
+  // count — bounds the runtime (also under TSan in CI).
+  constexpr std::size_t kRounds = 12;
+  constexpr std::size_t kAddrs = 16;
+
+  std::vector<std::vector<AccessEvent>> streams;
+  Trace serial_trace;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    streams.push_back(thread_stream(kTids[i], 0x100000 + i * 0x10000, kRounds,
+                                    kAddrs));
+    serial_trace.events.insert(serial_trace.events.end(), streams[i].begin(),
+                               streams[i].end());
+  }
+
+  ProfilerConfig cfg;
+  cfg.storage = StorageKind::kPerfect;
+  cfg.mt_targets = true;
+  auto serial = make_serial_profiler(cfg);
+  replay(serial_trace, *serial);
+
+  for (WaitKind wait : {WaitKind::kSpin, WaitKind::kYield, WaitKind::kPark}) {
+    cfg.workers = 4;
+    cfg.chunk_size = 4;
+    cfg.queue_capacity = 2;
+    cfg.wait = wait;
+    auto prof = make_parallel_profiler(cfg);
+    ASSERT_NE(prof, nullptr);
+
+    std::vector<std::thread> producers;
+    for (std::size_t i = 0; i < kThreads; ++i)
+      producers.emplace_back([&, i] {
+        const std::vector<AccessEvent>& evs = streams[i];
+        constexpr std::size_t kBatch = 16;
+        for (std::size_t off = 0; off < evs.size(); off += kBatch)
+          prof->on_batch(evs.data() + off,
+                         std::min(kBatch, evs.size() - off));
+      });
+    for (auto& t : producers) t.join();
+    prof->finish();
+
+    const ProfilerStats st = prof->stats();
+    const std::uint64_t total = kThreads * kRounds * kAddrs * 2;
+    // No event may be lost or duplicated by producer registration races.
+    EXPECT_EQ(st.events, total) << "wait=" << wait_kind_name(wait);
+    EXPECT_EQ(st.stages.detect_events(), total) << "wait=" << wait_kind_name(wait);
+    EXPECT_TRUE(same_deps(serial->dependences(), prof->dependences()))
+        << "wait=" << wait_kind_name(wait);
+  }
+}
+
+// Aggressive load-balancer migrations through capacity-2 queues: the
+// mailbox handoff (including its parked wait and wake hooks) must never
+// corrupt per-address signature state.
+TEST(ParallelStress, MigrationsUnderTinyQueuesPreserveDeps) {
+  GenParams p;
+  p.accesses = 120'000;
+  p.distinct = 1'000;
+  const Trace t = gen_zipf(p, 1.4);
+
+  ProfilerConfig cfg;
+  cfg.storage = StorageKind::kPerfect;
+  const DepMap serial = [&] {
+    auto s = make_serial_profiler(cfg);
+    replay(t, *s);
+    return s->take_dependences();
+  }();
+
+  for (WaitKind wait : {WaitKind::kYield, WaitKind::kPark}) {
+    cfg.workers = 4;
+    cfg.chunk_size = 8;
+    cfg.queue_capacity = 2;
+    cfg.wait = wait;
+    cfg.load_balance.enabled = true;
+    cfg.load_balance.eval_interval_chunks = 100;
+    cfg.load_balance.imbalance_threshold = 1.02;
+    cfg.load_balance.top_k = 10;
+    cfg.load_balance.max_rounds = 64;
+    auto prof = make_parallel_profiler(cfg);
+    replay(t, *prof);
+
+    const ProfilerStats st = prof->stats();
+    EXPECT_GT(st.migrated_addresses, 0u)
+        << "migration path not exercised, wait=" << wait_kind_name(wait);
+    EXPECT_TRUE(same_deps(serial, prof->dependences()))
+        << "wait=" << wait_kind_name(wait);
+  }
+}
+
+// Workers parked on empty queues must be woken by the stop sentinels: a
+// profiler dropped (or finished) while all workers sleep must terminate
+// rather than hang.  The ctest timeout is the hang detector.
+TEST(ParallelStress, ShutdownWakesParkedWorkers) {
+  for (int round = 0; round < 4; ++round) {
+    ProfilerConfig cfg;
+    cfg.storage = StorageKind::kPerfect;
+    cfg.workers = 4;
+    cfg.wait = WaitKind::kPark;
+    auto prof = make_parallel_profiler(cfg);
+    AccessEvent e;
+    e.addr = 0x1000;
+    e.kind = AccessKind::kWrite;
+    e.loc = SourceLocation(1, 1).packed();
+    prof->on_access(e);
+    // Let every worker drain its queue and park before shutdown.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (round % 2 == 0)
+      prof->finish();
+    // Odd rounds: destructor-only shutdown must also wake parked workers.
+  }
+}
+
+// The parked strategy must actually park under starvation — the counters
+// the backpressure layer reports have to reflect the blocking that
+// happened (produce block time under a full queue, worker parks while
+// starved).
+TEST(ParallelStress, BackpressureCountersReflectBlocking) {
+  ProfilerConfig cfg;
+  cfg.storage = StorageKind::kPerfect;
+  cfg.workers = 2;
+  cfg.chunk_size = 1;
+  cfg.queue_capacity = 1;
+  cfg.wait = WaitKind::kPark;
+  auto prof = make_parallel_profiler(cfg);
+
+  // Starve the workers first so they run through spin -> yield -> park.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  GenParams p;
+  p.accesses = 40'000;
+  p.distinct = 64;
+  const Trace t = gen_uniform(p);
+  replay(t, *prof);
+
+  const ProfilerStats st = prof->stats();
+  const obs::StageSnapshot* produce = st.stages.find("produce");
+  ASSERT_NE(produce, nullptr);
+  EXPECT_GT(produce->stalls, 0u);
+  EXPECT_GT(produce->block_ns, 0u);
+  std::uint64_t worker_parks = 0, worker_idle = 0;
+  for (const auto& s : st.stages.stages)
+    if (s.stage.rfind("detect", 0) == 0) {
+      worker_parks += s.parks;
+      worker_idle += s.idle_ns;
+    }
+  EXPECT_GT(worker_parks, 0u);  // the pre-replay starvation guarantees parks
+  EXPECT_GT(worker_idle, 0u);
+}
+
+}  // namespace
+}  // namespace depprof

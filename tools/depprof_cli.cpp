@@ -16,6 +16,9 @@
 //   --parallel           use the Fig. 2 pipeline
 //   --workers N          pipeline workers                 (default 8)
 //   --queue lockfree|mpmc|mutex                          (default lockfree)
+//   --wait spin|yield|park   pipeline wait strategy at the blocking sites
+//                        (idle workers, full queues, migration mailbox;
+//                        default park — see src/queue/wait_strategy.hpp)
 //   --mt-threads N       run the pthread variant with N target threads
 //   --scale N            workload scale factor            (default 1)
 //   --format text|csv|dot                                (default text)
@@ -103,6 +106,9 @@ bool parse(int argc, char** argv, int start, CliOptions& out) {
         out.cfg.queue = QueueKind::kLockFreeMpmc;
       else
         return false;
+    } else if (arg == "--wait") {
+      const char* v = next();
+      if (v == nullptr || !parse_wait_kind(v, out.cfg.wait)) return false;
     } else if (arg == "--mt-threads") {
       const char* v = next();
       if (v == nullptr) return false;
