@@ -93,10 +93,13 @@ class RouteStage {
   }
 
   /// Samples one access into the load-balancer statistics (every
-  /// 2^sample_shift events, Sec. IV-A).
+  /// 2^sample_shift events, Sec. IV-A).  The 64-bit mask matches the 64-bit
+  /// tick, and the shift is clamped: 1 << s is undefined for s >= the
+  /// operand width, and a 32-bit mask would alias every 2^32 ticks.
   void record_access(std::uint64_t addr) {
-    if ((stat_tick_++ & ((1u << cfg_.load_balance.sample_shift) - 1)) != 0)
-      return;
+    const unsigned shift = std::min(cfg_.load_balance.sample_shift, 63u);
+    const std::uint64_t mask = (std::uint64_t{1} << shift) - 1;
+    if ((stat_tick_++ & mask) != 0) return;
     auto [it, inserted] = access_counts_.try_emplace(addr, 0);
     if (inserted)
       MemStats::instance().add(MemComponent::kAccessStats, kStatEntryBytes);
@@ -115,7 +118,11 @@ class RouteStage {
   /// routing and returns the decisions for the driver to execute.
   std::vector<Migration> evaluate(std::uint64_t chunks_produced) {
     last_eval_chunks_ = chunks_produced;
-    if (rounds_ >= cfg_.load_balance.max_rounds) return {};
+    if (rounds_ >= cfg_.load_balance.max_rounds) {
+      // No further rounds will run: the statistics table is dead weight.
+      release_stats();
+      return {};
+    }
     if (access_counts_.empty()) return {};
 
     std::vector<double> load(workers_, 0.0);
@@ -128,8 +135,10 @@ class RouteStage {
     }
     const double mean = total / static_cast<double>(load.size());
     if (mean <= 0.0 ||
-        max_load <= cfg_.load_balance.imbalance_threshold * mean)
+        max_load <= cfg_.load_balance.imbalance_threshold * mean) {
+      decay_stats();
       return {};
+    }
 
     // Top-k hottest addresses.
     std::vector<std::pair<std::uint64_t, std::uint64_t>> hot(
@@ -160,11 +169,45 @@ class RouteStage {
       stats_->add_rounds(1);
       stats_->add_migrations(moves.size());
     }
+    decay_stats();
     return moves;
   }
 
+  /// Live entries in the load-balancer statistics table (tests/observability).
+  std::size_t stat_entries() const { return access_counts_.size(); }
+
  private:
   static constexpr std::int64_t kStatEntryBytes = 32;
+
+  /// Ages the access statistics after an evaluation round.  Without decay,
+  /// phase-1 hot addresses dominate every later round and the table grows
+  /// without bound over a long run; halving keeps recent traffic twice as
+  /// influential as the previous round's and drops cold entries entirely.
+  void decay_stats() {
+    std::size_t erased = 0;
+    for (auto it = access_counts_.begin(); it != access_counts_.end();) {
+      it->second >>= 1;
+      if (it->second == 0) {
+        it = access_counts_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    if (erased != 0)
+      MemStats::instance().add(
+          MemComponent::kAccessStats,
+          -static_cast<std::int64_t>(erased) * kStatEntryBytes);
+  }
+
+  /// Drops the whole statistics table (terminal: max_rounds reached).
+  void release_stats() {
+    if (access_counts_.empty()) return;
+    MemStats::instance().add(
+        MemComponent::kAccessStats,
+        -static_cast<std::int64_t>(access_counts_.size()) * kStatEntryBytes);
+    access_counts_.clear();
+  }
 
   const ProfilerConfig cfg_;
   const unsigned workers_;

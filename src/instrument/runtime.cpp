@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/hash.hpp"
+
 namespace depprof {
 
 Runtime& Runtime::instance() {
@@ -35,39 +37,55 @@ Runtime::ThreadState& Runtime::thread_state() {
 void Runtime::forget_thread(ThreadState& state) {
   std::lock_guard lock(buffers_mu_);
   // A thread exiting mid-session must not drop its tail of buffered events.
-  if (enabled_.load(std::memory_order_acquire) && sink_ != nullptr)
-    state.buffer.flush(*sink_);
+  AccessSink* sink = sink_.load(std::memory_order_acquire);
+  if (enabled_.load(std::memory_order_acquire) && sink != nullptr)
+    state.buffer.flush(*sink);
   threads_.erase(std::remove(threads_.begin(), threads_.end(), &state),
                  threads_.end());
+}
+
+void Runtime::drain_in_flight_locked() {
+  for (ThreadState* ts : threads_)
+    while (ts->in_flight.load(std::memory_order_seq_cst)) {
+    }
 }
 
 void Runtime::attach(AccessSink* sink, bool mt_mode) {
   {
     // Buffers may still hold events of a previous session whose sink is
-    // gone; they must not leak into the new one.
+    // gone; they must not leak into the new one.  Late record() calls of
+    // that session must have finished with their buffers before we discard.
     std::lock_guard lock(buffers_mu_);
+    drain_in_flight_locked();
     for (ThreadState* ts : threads_) ts->buffer.discard();
   }
-  sink_ = sink;
-  mt_mode_ = mt_mode;
+  mt_mode_.store(mt_mode, std::memory_order_relaxed);
+  sink_.store(sink, std::memory_order_seq_cst);
   enabled_.store(sink != nullptr, std::memory_order_release);
 }
 
 void Runtime::detach() {
   enabled_.store(false, std::memory_order_release);
+  // Swap the sink out first: record() snapshots it exactly once, so after
+  // the drain below no target thread can still reach the old sink — a
+  // thread that passed the enabled() check either saw the swap (and bailed)
+  // or raised its in_flight flag before our load of it.
+  AccessSink* sink = sink_.exchange(nullptr, std::memory_order_seq_cst);
   {
     std::lock_guard lock(buffers_mu_);
-    if (sink_ != nullptr)
-      for (ThreadState* ts : threads_) ts->buffer.flush(*sink_);
+    drain_in_flight_locked();
+    if (sink != nullptr)
+      for (ThreadState* ts : threads_) ts->buffer.flush(*sink);
   }
-  if (sink_ != nullptr) sink_->finish();
-  sink_ = nullptr;
+  if (sink != nullptr) sink->finish();
 }
 
 void Runtime::record(const void* addr, std::size_t size, std::uint32_t file,
                      std::uint32_t line, std::uint32_t var, bool is_write) {
   (void)size;
   ThreadState& ts = thread_state();
+  SinkUse use(*this, ts);
+  if (use.sink() == nullptr) return;  // detached after the enabled() check
   AccessEvent ev;
   ev.addr = reinterpret_cast<std::uintptr_t>(addr);
   ev.loc = SourceLocation(file, line).packed();
@@ -79,28 +97,37 @@ void Runtime::record(const void* addr, std::size_t size, std::uint32_t file,
     const ActiveLoop& l = ts.loop_stack[depth - 1 - i];
     ev.loops[i] = {l.loop_id, l.entry, l.iter};
   }
-  if (mt_mode_) ev.ts = timestamp_.fetch_add(1, std::memory_order_relaxed);
+  if (mt_mode_.load(std::memory_order_relaxed))
+    ev.ts = timestamp_.fetch_add(1, std::memory_order_relaxed);
   if (ts.lock_depth > 0) ev.flags |= kInLockRegion;
   const bool full = ts.buffer.add(ev);
   // Inside a lock region the access and its push must stay atomic (Fig. 4):
   // deliver immediately so no other thread can enter the region and push a
   // conflicting access first.
-  if (full || ts.lock_depth > 0) ts.buffer.flush(*sink_);
+  if (full || ts.lock_depth > 0) ts.buffer.flush(*use.sink());
 }
 
 void Runtime::record_free(const void* addr, std::size_t size) {
   ThreadState& ts = thread_state();
+  SinkUse use(*this, ts);
+  if (use.sink() == nullptr) return;  // detached after the enabled() check
   const auto base = reinterpret_cast<std::uintptr_t>(addr);
-  // One lifetime event per 4-byte word, matching the signature's address
-  // granularity (hash_address discards the low two bits).
-  const std::size_t words = std::max<std::size_t>(1, (size + 3) / 4);
-  for (std::size_t i = 0; i < words; ++i) {
+  // One lifetime event per 4-byte word overlapped by [base, base+size),
+  // matching the signature's address granularity (hash_address discards the
+  // low two bits).  The span is derived from word(base)..word(base+size-1):
+  // an unaligned base straddles one more word than size/4 suggests, and a
+  // final word left in the signatures would fabricate dependences when the
+  // heap reuses the memory.
+  const std::uint64_t first = word_addr(base);
+  const std::uint64_t last = word_addr(base + (size > 0 ? size - 1 : 0));
+  const bool mt = mt_mode_.load(std::memory_order_relaxed);
+  for (std::uint64_t w = first; w <= last; ++w) {
     AccessEvent ev;
-    ev.addr = base + i * 4;
+    ev.addr = w << 2;
     ev.kind = AccessKind::kFree;
     ev.tid = ts.tid;
-    if (mt_mode_) ev.ts = timestamp_.fetch_add(1, std::memory_order_relaxed);
-    if (ts.buffer.add(ev)) ts.buffer.flush(*sink_);
+    if (mt) ev.ts = timestamp_.fetch_add(1, std::memory_order_relaxed);
+    if (ts.buffer.add(ev)) ts.buffer.flush(*use.sink());
   }
 }
 
@@ -160,9 +187,10 @@ CallTree Runtime::call_tree() const {
 
 void Runtime::sync_point() {
   ThreadState& ts = thread_state();
-  if (enabled() && sink_ != nullptr) {
-    ts.buffer.flush(*sink_);
-    sink_->on_unlock(ts.tid);
+  SinkUse use(*this, ts);
+  if (AccessSink* sink = use.sink()) {
+    ts.buffer.flush(*sink);
+    sink->on_unlock(ts.tid);
   }
 }
 
@@ -171,10 +199,12 @@ void Runtime::lock_enter() { thread_state().lock_depth += 1; }
 void Runtime::lock_exit() {
   ThreadState& ts = thread_state();
   if (ts.lock_depth > 0) ts.lock_depth -= 1;
+  if (ts.lock_depth != 0) return;
   // Push buffered accesses before the target releases the lock (Fig. 4).
-  if (ts.lock_depth == 0 && enabled() && sink_ != nullptr) {
-    ts.buffer.flush(*sink_);
-    sink_->on_unlock(ts.tid);
+  SinkUse use(*this, ts);
+  if (AccessSink* sink = use.sink()) {
+    ts.buffer.flush(*sink);
+    sink->on_unlock(ts.tid);
   }
 }
 

@@ -131,15 +131,58 @@ class Runtime {
     /// Per-thread chunk buffer: events accumulate here and flush through
     /// AccessSink::on_batch — the same chunk path trace replay uses.
     EventBuffer buffer;
+    /// True while the owning thread is inside a record/flush critical
+    /// section using the attached sink.  attach()/detach() swap the sink
+    /// pointer first and then wait for every registered thread's flag to
+    /// clear, so a thread that passed the enabled() check can never reach
+    /// the sink (or its own buffer) concurrently with the swap-side flush.
+    std::atomic<bool> in_flight{false};
     ~ThreadState();
+  };
+
+  /// RAII sink snapshot for the record-side critical sections.  Raises the
+  /// thread's in_flight flag, then snapshots the sink exactly once; sink()
+  /// is nullptr when the profiler detached after the caller's enabled()
+  /// check, in which case the flag is already released and the caller must
+  /// bail out without touching its buffer.
+  class SinkUse {
+   public:
+    SinkUse(Runtime& rt, ThreadState& ts) : ts_(&ts) {
+      // seq_cst store/load pair with the seq_cst sink swap in attach/detach:
+      // either this use sees the swapped pointer, or the swapper sees the
+      // raised flag and waits for release().
+      ts_->in_flight.store(true, std::memory_order_seq_cst);
+      sink_ = rt.sink_.load(std::memory_order_seq_cst);
+      if (sink_ == nullptr) release();
+    }
+    ~SinkUse() { release(); }
+    SinkUse(const SinkUse&) = delete;
+    SinkUse& operator=(const SinkUse&) = delete;
+    AccessSink* sink() const { return sink_; }
+
+   private:
+    void release() {
+      if (ts_ != nullptr) {
+        ts_->in_flight.store(false, std::memory_order_release);
+        ts_ = nullptr;
+      }
+    }
+    ThreadState* ts_;
+    AccessSink* sink_ = nullptr;
   };
 
   ThreadState& thread_state();
   void forget_thread(ThreadState& state);
+  /// Spins until no registered thread is inside a SinkUse section.  Caller
+  /// holds buffers_mu_ and has already swapped sink_, so no new section can
+  /// observe the old sink.  Threads inside a section never block on
+  /// buffers_mu_ (registration happens before the flag is raised), so the
+  /// wait is bounded by one in-flight record per thread.
+  void drain_in_flight_locked();
 
   std::atomic<bool> enabled_{false};
-  AccessSink* sink_ = nullptr;
-  bool mt_mode_ = false;
+  std::atomic<AccessSink*> sink_{nullptr};
+  std::atomic<bool> mt_mode_{false};
   std::atomic<std::uint64_t> timestamp_{1};
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint16_t> next_tid_{0};

@@ -1,0 +1,320 @@
+#include "oracle/corpus.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "queue/queues.hpp"
+
+namespace depprof {
+namespace {
+
+constexpr std::string_view kVersionLine = "depfuzz-repro v1";
+
+const char* sig_hash_name(SigHash h) {
+  return h == SigHash::kModulo ? "modulo" : "mix";
+}
+
+bool parse_storage(std::string_view v, StorageKind& out) {
+  if (v == "signature") out = StorageKind::kSignature;
+  else if (v == "perfect") out = StorageKind::kPerfect;
+  else if (v == "shadow") out = StorageKind::kShadow;
+  else if (v == "hashtable") out = StorageKind::kHashTable;
+  else return false;
+  return true;
+}
+
+bool parse_queue(std::string_view v, QueueKind& out) {
+  if (v == "lock-free-spsc") out = QueueKind::kLockFreeSpsc;
+  else if (v == "lock-free-mpmc") out = QueueKind::kLockFreeMpmc;
+  else if (v == "mutex") out = QueueKind::kMutex;
+  else return false;
+  return true;
+}
+
+bool parse_sig_hash(std::string_view v, SigHash& out) {
+  if (v == "modulo") out = SigHash::kModulo;
+  else if (v == "mix") out = SigHash::kMix;
+  else return false;
+  return true;
+}
+
+bool parse_u64(std::string_view v, std::uint64_t& out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  const std::string s(v);
+  out = std::strtoull(s.c_str(), &end, 0);  // base 0: accepts 0x...
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_double(std::string_view v, double& out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  const std::string s(v);
+  out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_bool(std::string_view v, bool& out) {
+  if (v == "0") out = false;
+  else if (v == "1") out = true;
+  else return false;
+  return true;
+}
+
+/// Splits one whitespace-separated token into key and value at '='.
+bool split_kv(std::string_view token, std::string_view& key,
+              std::string_view& value) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos || eq == 0) return false;
+  key = token.substr(0, eq);
+  value = token.substr(eq + 1);
+  return true;
+}
+
+std::vector<std::string_view> tokens_of(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+bool set_error(std::string* error, std::size_t line_no,
+               const std::string& what) {
+  if (error != nullptr) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "line %zu: ", line_no);
+    *error = buf + what;
+  }
+  return false;
+}
+
+bool parse_config_line(const std::vector<std::string_view>& toks,
+                       ProfilerConfig& cfg, std::string& bad_key) {
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    std::string_view key, value;
+    if (!split_kv(toks[i], key, value)) {
+      bad_key = std::string(toks[i]);
+      return false;
+    }
+    std::uint64_t u = 0;
+    bool ok;
+    if (key == "storage") ok = parse_storage(value, cfg.storage);
+    else if (key == "slots") ok = parse_u64(value, u), cfg.slots = u;
+    else if (key == "sighash") ok = parse_sig_hash(value, cfg.sig_hash);
+    else if (key == "mt") ok = parse_bool(value, cfg.mt_targets);
+    else if (key == "workers")
+      ok = parse_u64(value, u), cfg.workers = static_cast<unsigned>(u);
+    else if (key == "queue") ok = parse_queue(value, cfg.queue);
+    else if (key == "wait") ok = parse_wait_kind(std::string(value).c_str(), cfg.wait);
+    else if (key == "chunk") ok = parse_u64(value, u), cfg.chunk_size = u;
+    else if (key == "qcap") ok = parse_u64(value, u), cfg.queue_capacity = u;
+    else if (key == "modulo_routing") ok = parse_bool(value, cfg.modulo_routing);
+    else ok = false;
+    if (!ok) {
+      bad_key = std::string(toks[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_lb_line(const std::vector<std::string_view>& toks,
+                   LoadBalanceConfig& lb, std::string& bad_key) {
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    std::string_view key, value;
+    if (!split_kv(toks[i], key, value)) {
+      bad_key = std::string(toks[i]);
+      return false;
+    }
+    std::uint64_t u = 0;
+    double d = 0.0;
+    bool ok;
+    if (key == "enabled") ok = parse_bool(value, lb.enabled);
+    else if (key == "sample_shift")
+      ok = parse_u64(value, u), lb.sample_shift = static_cast<unsigned>(u);
+    else if (key == "interval")
+      ok = parse_u64(value, u), lb.eval_interval_chunks = u;
+    else if (key == "threshold")
+      ok = parse_double(value, d), lb.imbalance_threshold = d;
+    else if (key == "top_k")
+      ok = parse_u64(value, u), lb.top_k = static_cast<unsigned>(u);
+    else if (key == "max_rounds")
+      ok = parse_u64(value, u), lb.max_rounds = static_cast<unsigned>(u);
+    else ok = false;
+    if (!ok) {
+      bad_key = std::string(toks[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_event_line(const std::vector<std::string_view>& toks,
+                      AccessEvent& ev, std::string& bad_key) {
+  if (toks.size() < 2) {
+    bad_key = "missing event kind";
+    return false;
+  }
+  if (toks[1] == "R") ev.kind = AccessKind::kRead;
+  else if (toks[1] == "W") ev.kind = AccessKind::kWrite;
+  else if (toks[1] == "F") ev.kind = AccessKind::kFree;
+  else {
+    bad_key = std::string(toks[1]);
+    return false;
+  }
+  for (std::size_t i = 2; i < toks.size(); ++i) {
+    std::string_view key, value;
+    if (!split_kv(toks[i], key, value)) {
+      bad_key = std::string(toks[i]);
+      return false;
+    }
+    std::uint64_t u = 0;
+    bool ok = true;
+    if (key == "addr") ok = parse_u64(value, ev.addr);
+    else if (key == "loc")
+      ok = parse_u64(value, u), ev.loc = static_cast<std::uint32_t>(u);
+    else if (key == "var")
+      ok = parse_u64(value, u), ev.var = static_cast<std::uint32_t>(u);
+    else if (key == "tid")
+      ok = parse_u64(value, u), ev.tid = static_cast<std::uint16_t>(u);
+    else if (key == "ts") ok = parse_u64(value, ev.ts);
+    else if (key == "flags")
+      ok = parse_u64(value, u), ev.flags = static_cast<std::uint8_t>(u);
+    else if (key == "loops") {
+      unsigned l0, e0, i0, l1, e1, i1, l2, e2, i2;
+      const std::string s(value);
+      ok = std::sscanf(s.c_str(), "%u:%u:%u,%u:%u:%u,%u:%u:%u", &l0, &e0, &i0,
+                       &l1, &e1, &i1, &l2, &e2, &i2) == 9;
+      if (ok) {
+        ev.loops[0] = {l0, e0, i0};
+        ev.loops[1] = {l1, e1, i1};
+        ev.loops[2] = {l2, e2, i2};
+      }
+    } else ok = false;
+    if (!ok) {
+      bad_key = std::string(toks[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string format_repro(const ReproCase& repro) {
+  std::ostringstream os;
+  os << kVersionLine << '\n';
+  if (!repro.note.empty()) os << "note " << repro.note << '\n';
+  const ProfilerConfig& c = repro.cfg;
+  os << "config storage=" << storage_kind_name(c.storage)
+     << " slots=" << c.slots << " sighash=" << sig_hash_name(c.sig_hash)
+     << " mt=" << (c.mt_targets ? 1 : 0) << " workers=" << c.workers
+     << " queue=" << queue_kind_name(c.queue)
+     << " wait=" << wait_kind_name(c.wait) << " chunk=" << c.chunk_size
+     << " qcap=" << c.queue_capacity
+     << " modulo_routing=" << (c.modulo_routing ? 1 : 0) << '\n';
+  const LoadBalanceConfig& lb = c.load_balance;
+  os << "lb enabled=" << (lb.enabled ? 1 : 0)
+     << " sample_shift=" << lb.sample_shift
+     << " interval=" << lb.eval_interval_chunks
+     << " threshold=" << lb.imbalance_threshold << " top_k=" << lb.top_k
+     << " max_rounds=" << lb.max_rounds << '\n';
+  for (const AccessEvent& ev : repro.trace.events) {
+    const char kind = ev.is_free() ? 'F' : ev.is_write() ? 'W' : 'R';
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "ev %c addr=0x%llx loc=%u var=%u tid=%u ts=%llu flags=%u "
+                  "loops=%u:%u:%u,%u:%u:%u,%u:%u:%u\n",
+                  kind, static_cast<unsigned long long>(ev.addr), ev.loc,
+                  ev.var, ev.tid, static_cast<unsigned long long>(ev.ts),
+                  ev.flags, ev.loops[0].loop, ev.loops[0].entry,
+                  ev.loops[0].iter, ev.loops[1].loop, ev.loops[1].entry,
+                  ev.loops[1].iter, ev.loops[2].loop, ev.loops[2].entry,
+                  ev.loops[2].iter);
+    os << buf;
+  }
+  return os.str();
+}
+
+bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
+  ReproCase repro;
+  bool saw_version = false;
+  bool saw_config = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (!saw_version) {
+      if (line != kVersionLine)
+        return set_error(error, line_no,
+                         "expected version line '" +
+                             std::string(kVersionLine) + "'");
+      saw_version = true;
+      continue;
+    }
+    if (line[0] == '#') continue;
+    const std::vector<std::string_view> toks = tokens_of(line);
+    if (toks.empty()) continue;
+    std::string bad;
+    if (toks[0] == "note") {
+      const std::size_t at = line.find("note ");
+      repro.note = at == std::string_view::npos
+                       ? ""
+                       : std::string(line.substr(at + 5));
+    } else if (toks[0] == "config") {
+      if (!parse_config_line(toks, repro.cfg, bad))
+        return set_error(error, line_no, "bad config token '" + bad + "'");
+      saw_config = true;
+    } else if (toks[0] == "lb") {
+      if (!parse_lb_line(toks, repro.cfg.load_balance, bad))
+        return set_error(error, line_no, "bad lb token '" + bad + "'");
+    } else if (toks[0] == "ev") {
+      AccessEvent ev;
+      if (!parse_event_line(toks, ev, bad))
+        return set_error(error, line_no, "bad event token '" + bad + "'");
+      repro.trace.events.push_back(ev);
+    } else {
+      return set_error(error, line_no,
+                       "unknown directive '" + std::string(toks[0]) + "'");
+    }
+  }
+  if (!saw_version) return set_error(error, 0, "empty file");
+  if (!saw_config) return set_error(error, line_no, "missing config line");
+  out = std::move(repro);
+  return true;
+}
+
+bool write_repro(const ReproCase& repro, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << format_repro(repro);
+  return static_cast<bool>(os);
+}
+
+bool read_repro(ReproCase& out, const std::string& path, std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse_repro(out, buf.str(), error);
+}
+
+}  // namespace depprof

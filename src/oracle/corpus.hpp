@@ -1,0 +1,57 @@
+#pragma once
+// On-disk repro format for differential-harness findings.
+//
+// A repro is one minimized (trace, config) pair in a line-oriented text
+// format so it diffs and reviews like source.  Every repro committed under
+// tests/corpus/ is replayed by the corpus regression test on each CI run,
+// turning yesterday's fuzz finding into tomorrow's regression gate.
+//
+//   depfuzz-repro v1
+//   # free-form provenance comment
+//   note <one-line description>
+//   config storage=perfect slots=1048576 sighash=modulo mt=0 workers=4
+//          ... queue=lock-free-spsc wait=park chunk=7 qcap=64 modulo_routing=0
+//   lb enabled=1 sample_shift=0 interval=200 threshold=1.25 top_k=10
+//          ... max_rounds=64
+//   ev W addr=0x2000 loc=16777226 var=0 tid=0 ts=0 flags=0
+//          ... loops=1:1:0,0:0:0,0:0:0
+//
+// (`config` and `lb` are single lines; they are wrapped here for the
+// comment only.)  `ev` kinds are R / W / F.  Unknown directives or keys are
+// hard parse errors — the corpus lint relies on strictness, so a typo in a
+// committed repro fails CI instead of silently replaying something else.
+//
+// MT repros must be order-faithful under single-threaded replay: every
+// mixed-tid event stream needs the lock-region flag (bit 0) set, as the
+// harness replays the trace from one thread and the producer side only
+// preserves cross-thread order for lock-flagged accesses.
+
+#include <string>
+#include <string_view>
+
+#include "core/profiler.hpp"
+#include "trace/trace.hpp"
+
+namespace depprof {
+
+/// One parsed/parseable repro case.
+struct ReproCase {
+  std::string note;  ///< one-line provenance ("" allowed)
+  ProfilerConfig cfg;
+  Trace trace;
+};
+
+/// Renders `repro` in the v1 text format.
+std::string format_repro(const ReproCase& repro);
+
+/// Strict parser: returns false and sets `error` (when non-null) on any
+/// unknown directive, unknown key, malformed value, or missing section.
+bool parse_repro(ReproCase& out, std::string_view text,
+                 std::string* error = nullptr);
+
+/// File round-trip helpers.
+bool write_repro(const ReproCase& repro, const std::string& path);
+bool read_repro(ReproCase& out, const std::string& path,
+                std::string* error = nullptr);
+
+}  // namespace depprof

@@ -1,0 +1,103 @@
+#include "oracle/diff.hpp"
+
+#include <cstdio>
+
+#include "common/location.hpp"
+
+namespace depprof {
+namespace {
+
+bool same_info(const DepInfo& a, const DepInfo& b) {
+  return a.count == b.count && a.flags == b.flags && a.loop == b.loop &&
+         a.min_distance == b.min_distance && a.max_distance == b.max_distance;
+}
+
+void append_key(std::string& out, const DepKey& k) {
+  const SourceLocation sink = SourceLocation::from_packed(k.sink_loc);
+  const SourceLocation src = SourceLocation::from_packed(k.src_loc);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s sink=%u:%u(t%u) src=%u:%u(t%u) var=%u",
+                dep_type_name(k.type), sink.file_id(), sink.line(), k.sink_tid,
+                src.file_id(), src.line(), k.src_tid, k.var);
+  out += buf;
+}
+
+void append_info(std::string& out, const DepInfo& i) {
+  char buf[120];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu flags=0x%x loop=%u dist=[%u,%u]",
+                static_cast<unsigned long long>(i.count), i.flags, i.loop,
+                i.min_distance, i.max_distance);
+  out += buf;
+}
+
+}  // namespace
+
+DepDiff diff_deps(const DepMap& expected, const DepMap& actual,
+                  std::size_t max_samples) {
+  DepDiff d;
+  d.expected_size = expected.size();
+  d.actual_size = actual.size();
+  for (const auto& [key, info] : expected) {
+    const DepInfo* other = actual.find(key);
+    if (other == nullptr) {
+      ++d.missing;
+      if (d.samples.size() < max_samples)
+        d.samples.push_back({DepDiffEntry::Kind::kMissing, key, info, {}});
+    } else if (!same_info(info, *other)) {
+      ++d.mismatched;
+      if (d.samples.size() < max_samples)
+        d.samples.push_back({DepDiffEntry::Kind::kMismatch, key, info, *other});
+    }
+  }
+  for (const auto& [key, info] : actual) {
+    if (expected.find(key) == nullptr) {
+      ++d.extra;
+      if (d.samples.size() < max_samples)
+        d.samples.push_back({DepDiffEntry::Kind::kExtra, key, {}, info});
+    }
+  }
+  return d;
+}
+
+std::string format_diff(const DepDiff& diff, const std::string& expected_name,
+                        const std::string& actual_name) {
+  if (diff.identical()) return {};
+  std::string out;
+  char head[200];
+  std::snprintf(head, sizeof(head),
+                "%s (%zu deps) vs %s (%zu deps): %zu missing, %zu extra, "
+                "%zu mismatched\n",
+                expected_name.c_str(), diff.expected_size, actual_name.c_str(),
+                diff.actual_size, diff.missing, diff.extra, diff.mismatched);
+  out += head;
+  for (const DepDiffEntry& e : diff.samples) {
+    switch (e.kind) {
+      case DepDiffEntry::Kind::kMissing:
+        out += "  missing  ";
+        append_key(out, e.key);
+        out += "  ";
+        append_info(out, e.expected);
+        break;
+      case DepDiffEntry::Kind::kExtra:
+        out += "  extra    ";
+        append_key(out, e.key);
+        out += "  ";
+        append_info(out, e.actual);
+        break;
+      case DepDiffEntry::Kind::kMismatch:
+        out += "  mismatch ";
+        append_key(out, e.key);
+        out += "\n    expected ";
+        append_info(out, e.expected);
+        out += "\n    actual   ";
+        append_info(out, e.actual);
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace depprof

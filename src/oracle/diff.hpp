@@ -1,0 +1,53 @@
+#pragma once
+// Structured comparison of two dependence maps.
+//
+// The differential harness never wants a bare bool: when a profiler
+// diverges from the oracle it needs to know *how* — keys the profiler
+// missed (false negatives: a colliding insert evicted the true slot), keys
+// it invented (false positives: a probe hit a foreign slot), and keys whose
+// aggregated facts disagree (instance counts, qualifier flags, carried loop
+// or distances).  The diff powers the pass/fail decision (exact stores must
+// be identical; finite signatures must stay within the formula-2 budget),
+// the human-readable failure report, and the shrinker's predicate.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/dep.hpp"
+
+namespace depprof {
+
+/// One divergent dependence record.
+struct DepDiffEntry {
+  enum class Kind { kMissing, kExtra, kMismatch };
+  Kind kind = Kind::kMissing;
+  DepKey key;
+  DepInfo expected;  ///< zero-initialised for kExtra
+  DepInfo actual;    ///< zero-initialised for kMissing
+};
+
+/// Aggregate diff between an expected (oracle) and an actual map.
+struct DepDiff {
+  std::size_t missing = 0;     ///< keys only in expected
+  std::size_t extra = 0;       ///< keys only in actual
+  std::size_t mismatched = 0;  ///< shared keys with differing DepInfo
+  std::size_t expected_size = 0;
+  std::size_t actual_size = 0;
+  /// First few divergent records, for the report (capped at collection).
+  std::vector<DepDiffEntry> samples;
+
+  bool identical() const { return missing + extra + mismatched == 0; }
+  /// Number of divergent keys — the quantity the FPR budget bounds.
+  std::size_t divergent_keys() const { return missing + extra + mismatched; }
+};
+
+/// Full comparison: keys, instance counts, flags, carried loop/distances.
+DepDiff diff_deps(const DepMap& expected, const DepMap& actual,
+                  std::size_t max_samples = 8);
+
+/// Human-readable rendering of a diff ("" when identical).
+std::string format_diff(const DepDiff& diff, const std::string& expected_name,
+                        const std::string& actual_name);
+
+}  // namespace depprof

@@ -1,0 +1,105 @@
+#include "oracle/exact_oracle.hpp"
+
+#include "common/hash.hpp"
+
+namespace depprof {
+namespace {
+
+/// The loop carrying the dependence from `src` to `sink` (0 = none) and the
+/// iteration distance, plus whether the two contexts share *any* dynamic
+/// loop entry.  Matches the sink's innermost level first; the first shared
+/// entry with differing iterations decides the carrying loop.
+struct OracleCarried {
+  std::uint32_t loop = 0;
+  std::uint32_t distance = 0;
+  bool matched = false;
+};
+
+OracleCarried oracle_carried(const LoopCtx* src, const LoopCtx* sink) {
+  OracleCarried r;
+  for (std::size_t t = 0; t < kLoopLevels; ++t)
+    for (std::size_t s = 0; s < kLoopLevels; ++s) {
+      const LoopCtx& a = src[s];
+      const LoopCtx& b = sink[t];
+      if (a.loop == 0 || a.loop != b.loop || a.entry != b.entry) continue;
+      r.matched = true;
+      if (a.iter != b.iter && r.loop == 0) {
+        r.loop = b.loop;
+        r.distance = b.iter > a.iter ? b.iter - a.iter : a.iter - b.iter;
+        return r;
+      }
+    }
+  return r;
+}
+
+}  // namespace
+
+ExactOracle::LastAccess ExactOracle::remember(const AccessEvent& ev) {
+  LastAccess a;
+  a.loc = ev.loc;
+  a.tid = ev.tid;
+  a.ts = ev.ts;
+  for (std::size_t i = 0; i < kLoopLevels; ++i) a.loops[i] = ev.loops[i];
+  return a;
+}
+
+void ExactOracle::emit(const AccessEvent& sink, const LastAccess& src,
+                       DepType type) {
+  const OracleCarried carried = oracle_carried(src.loops, sink.loops);
+  std::uint8_t flags = 0;
+  if (carried.loop != 0) {
+    flags |= kLoopCarried;
+  } else if (!carried.matched &&
+             (src.loops[0].loop != 0 || sink.loops[0].loop != 0)) {
+    flags |= kCrossLoop;
+  }
+  if (mt_) {
+    if (src.tid != sink.tid) flags |= kCrossThread;
+    if (src.ts > sink.ts) flags |= kReversed;
+  }
+  DepKey k;
+  k.sink_loc = sink.loc;
+  k.src_loc = src.loc;
+  k.var = sink.var;
+  k.sink_tid = sink.tid;
+  if (mt_) k.src_tid = src.tid;
+  k.type = type;
+  deps_.add(k, flags, carried.loop, carried.distance);
+}
+
+void ExactOracle::on_access(const AccessEvent& ev) {
+  const std::uint64_t unit = word_addr(ev.addr);
+  if (ev.is_free()) {
+    last_read_.erase(unit);
+    last_write_.erase(unit);
+    return;
+  }
+  if (ev.is_write()) {
+    if (auto w = last_write_.find(unit); w != last_write_.end()) {
+      emit(ev, w->second, DepType::kWaw);
+    } else {
+      DepKey k;
+      k.sink_loc = ev.loc;
+      k.src_loc = 0;
+      k.var = ev.var;
+      k.sink_tid = ev.tid;
+      k.type = DepType::kInit;
+      deps_.add(k, 0);
+    }
+    if (auto r = last_read_.find(unit); r != last_read_.end())
+      emit(ev, r->second, DepType::kWar);
+    last_write_[unit] = remember(ev);
+  } else {
+    if (auto w = last_write_.find(unit); w != last_write_.end())
+      emit(ev, w->second, DepType::kRaw);
+    last_read_[unit] = remember(ev);
+  }
+}
+
+DepMap oracle_dependences(const Trace& trace, bool mt_targets) {
+  ExactOracle oracle(mt_targets);
+  for (const AccessEvent& ev : trace.events) oracle.on_access(ev);
+  return oracle.take_dependences();
+}
+
+}  // namespace depprof

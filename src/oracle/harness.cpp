@@ -1,0 +1,124 @@
+#include "oracle/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/hash.hpp"
+#include "oracle/diff.hpp"
+#include "oracle/exact_oracle.hpp"
+#include "sig/fpr_model.hpp"
+
+namespace depprof {
+namespace {
+
+/// Budget parameters: kMargin absorbs the difference between the per-probe
+/// formula-2 estimate and the realized collision count of a concrete hash
+/// over a concrete address set; kSlack keeps tiny traces from flagging a
+/// single unlucky collision as a contract violation.
+constexpr double kMargin = 4.0;
+constexpr std::size_t kSlack = 16;
+
+/// Word-unit span and distinct-unit count of the trace (free events
+/// excluded: they only clear state).  The signature operates on word units,
+/// so these — not byte addresses — are the n of formula 2.
+struct UnitStats {
+  std::uint64_t span = 0;   ///< max_unit - min_unit + 1 (0 for empty traces)
+  std::size_t events = 0;   ///< non-free accesses
+  std::size_t distinct = 0; ///< distinct word units
+};
+
+UnitStats unit_stats(const Trace& trace) {
+  UnitStats s;
+  std::uint64_t lo = ~0ull, hi = 0;
+  std::unordered_set<std::uint64_t> units;
+  for (const AccessEvent& ev : trace.events) {
+    if (ev.is_free()) continue;
+    const std::uint64_t u = word_addr(ev.addr);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    units.insert(u);
+    ++s.events;
+  }
+  if (s.events > 0) s.span = hi - lo + 1;
+  s.distinct = units.size();
+  return s;
+}
+
+}  // namespace
+
+const char* expectation_name(Expectation e) {
+  switch (e) {
+    case Expectation::kExact: return "exact";
+    case Expectation::kBounded: return "bounded";
+  }
+  return "?";
+}
+
+Expectation classify_expectation(const ProfilerConfig& cfg,
+                                 const Trace& trace) {
+  if (cfg.storage != StorageKind::kSignature) return Expectation::kExact;
+  if (cfg.sig_hash == SigHash::kModulo &&
+      unit_stats(trace).span <= cfg.slots)
+    return Expectation::kExact;
+  return Expectation::kBounded;
+}
+
+DivergenceBudget divergence_budget(const ProfilerConfig& cfg,
+                                   const Trace& trace,
+                                   std::size_t oracle_keys) {
+  DivergenceBudget b;
+  const UnitStats s = unit_stats(trace);
+  b.fpr = predicted_fpr(cfg.slots, s.distinct);
+  const double scaled =
+      kMargin * b.fpr * static_cast<double>(oracle_keys + s.events);
+  b.max_divergent_keys = kSlack + static_cast<std::size_t>(std::ceil(scaled));
+  return b;
+}
+
+CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg) {
+  CaseOutcome out;
+  out.expectation = classify_expectation(cfg, trace);
+
+  const DepMap oracle = oracle_dependences(trace, cfg.mt_targets);
+
+  auto serial = make_serial_profiler(cfg);
+  replay(trace, *serial);
+  auto parallel = make_parallel_profiler(cfg);
+  replay(trace, *parallel);
+
+  const DepDiff serial_diff = diff_deps(oracle, serial->dependences());
+  const DepDiff parallel_diff = diff_deps(oracle, parallel->dependences());
+
+  auto fail = [&](const std::string& what) {
+    out.ok = false;
+    if (!out.detail.empty()) out.detail += '\n';
+    out.detail += what;
+  };
+
+  if (out.expectation == Expectation::kExact) {
+    if (!serial_diff.identical())
+      fail(format_diff(serial_diff, "oracle", "serial"));
+    if (!parallel_diff.identical())
+      fail(format_diff(parallel_diff, "oracle", "parallel"));
+  } else {
+    const DivergenceBudget budget =
+        divergence_budget(cfg, trace, oracle.size());
+    auto check_bounded = [&](const DepDiff& d, const char* name) {
+      if (d.divergent_keys() <= budget.max_divergent_keys) return;
+      char head[160];
+      std::snprintf(head, sizeof(head),
+                    "%s exceeds the formula-2 divergence budget: %zu "
+                    "divergent keys > %zu allowed (P_fp=%.4f)\n",
+                    name, d.divergent_keys(), budget.max_divergent_keys,
+                    budget.fpr);
+      fail(head + format_diff(d, "oracle", name));
+    };
+    check_bounded(serial_diff, "serial");
+    check_bounded(parallel_diff, "parallel");
+  }
+  return out;
+}
+
+}  // namespace depprof

@@ -1,0 +1,73 @@
+#pragma once
+// Differential-oracle harness: one trace, one profiler configuration, three
+// executions, one verdict.
+//
+// For every case the harness runs the exact oracle, the serial profiler,
+// and the parallel profiler over the same trace and checks the paper's
+// correctness contract:
+//
+//   * exact stores (PerfectSignature, ShadowMemory, HashTableRecorder) and
+//     signatures operating in the collision-free regime must produce maps
+//     byte-identical to the oracle — keys, instance counts, qualifier
+//     flags, carried loops and distances;
+//   * finite signatures may diverge, but only within a budget derived from
+//     the formula-2 false-positive model (see divergence_budget);
+//   * serial and parallel must agree with each other under the same rules
+//     (identical for exact stores; each within budget of the oracle for
+//     finite signatures — their collision sets legitimately differ because
+//     the per-worker signatures partition the address space).
+//
+// The harness is the one definition of "the pipeline is correct" shared by
+// tools/depfuzz, the corpus regression tests, and the CI smoke job.
+
+#include <cstdint>
+#include <string>
+
+#include "core/profiler.hpp"
+#include "trace/trace.hpp"
+
+namespace depprof {
+
+/// What the configuration promises relative to the oracle.
+enum class Expectation {
+  kExact,    ///< byte-identical dependence maps
+  kBounded,  ///< divergence within the formula-2 budget
+};
+
+const char* expectation_name(Expectation e);
+
+/// Divergence budget for a finite-signature configuration: divergent keys
+/// (missing + extra + mismatched) per comparison must not exceed
+/// max_divergent_keys, which is kSlack + kMargin * P_fp * (oracle keys +
+/// events).  P_fp is formula 2 evaluated at the trace's distinct address
+/// count; for saturated signatures (P_fp -> 1) the bound is honest but
+/// weak — the paper itself only claims accuracy while the signature is
+/// sized for the working set.
+struct DivergenceBudget {
+  double fpr = 0.0;
+  std::size_t max_divergent_keys = 0;
+};
+
+/// Classifies what `cfg` promises on `trace`.  Exact stores are always
+/// kExact.  A signature is kExact when collisions are structurally
+/// impossible: modulo indexing with the trace's word-unit span no larger
+/// than the slot count (any two in-span units then map to distinct slots).
+Expectation classify_expectation(const ProfilerConfig& cfg, const Trace& trace);
+
+DivergenceBudget divergence_budget(const ProfilerConfig& cfg,
+                                   const Trace& trace,
+                                   std::size_t oracle_keys);
+
+/// Verdict for one (trace, config) case.
+struct CaseOutcome {
+  bool ok = true;
+  Expectation expectation = Expectation::kExact;
+  std::string detail;  ///< failure report ("" when ok)
+};
+
+/// Runs oracle + serial + parallel over `trace` under `cfg` and checks the
+/// contract above.  The parallel run uses cfg as-is (workers, queue, wait,
+/// chunking, load balancer); the serial run shares the storage half of cfg.
+CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg);
+
+}  // namespace depprof

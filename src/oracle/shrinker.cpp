@@ -1,0 +1,93 @@
+#include "oracle/shrinker.hpp"
+
+#include <algorithm>
+
+namespace depprof {
+namespace {
+
+/// `events` minus the half-open index range [begin, end).
+std::vector<AccessEvent> without_range(const std::vector<AccessEvent>& events,
+                                       std::size_t begin, std::size_t end) {
+  std::vector<AccessEvent> kept;
+  kept.reserve(events.size() - (end - begin));
+  kept.insert(kept.end(), events.begin(),
+              events.begin() + static_cast<std::ptrdiff_t>(begin));
+  kept.insert(kept.end(), events.begin() + static_cast<std::ptrdiff_t>(end),
+              events.end());
+  return kept;
+}
+
+}  // namespace
+
+Trace shrink_trace(Trace failing, const ProfilerConfig& cfg,
+                   const FailurePredicate& still_fails, std::size_t max_evals,
+                   ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  st.initial_events = failing.events.size();
+
+  std::size_t granularity = 2;
+  while (failing.events.size() >= 2 && st.evaluations < max_evals) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, (failing.events.size() + granularity - 1) /
+                                     granularity);
+    bool reduced = false;
+    for (std::size_t begin = 0;
+         begin < failing.events.size() && st.evaluations < max_evals;) {
+      const std::size_t end =
+          std::min(begin + chunk, failing.events.size());
+      Trace candidate;
+      candidate.events = without_range(failing.events, begin, end);
+      ++st.evaluations;
+      if (!candidate.events.empty() && still_fails(candidate, cfg)) {
+        failing.events = std::move(candidate.events);
+        // Keep the granularity relative to the smaller trace and retry from
+        // the front: earlier chunks may have become removable.
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        begin = 0;
+      } else {
+        begin = end;
+      }
+    }
+    if (!reduced) {
+      if (chunk <= 1) break;  // single-event granularity exhausted
+      granularity = std::min(granularity * 2, failing.events.size());
+    }
+  }
+  st.final_events = failing.events.size();
+  return failing;
+}
+
+ProfilerConfig shrink_config(const Trace& trace, ProfilerConfig cfg,
+                             const FailurePredicate& still_fails,
+                             ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+
+  auto try_apply = [&](auto mutate) {
+    ProfilerConfig candidate = cfg;
+    mutate(candidate);
+    ++st.evaluations;
+    if (still_fails(trace, candidate)) cfg = candidate;
+  };
+
+  // Most-simplifying first: each step is kept only if the failure survives.
+  if (cfg.load_balance.enabled)
+    try_apply([](ProfilerConfig& c) { c.load_balance.enabled = false; });
+  if (cfg.workers > 1) {
+    try_apply([](ProfilerConfig& c) { c.workers = 1; });
+    if (cfg.workers > 2) try_apply([](ProfilerConfig& c) { c.workers = 2; });
+  }
+  if (cfg.chunk_size != 1)
+    try_apply([](ProfilerConfig& c) { c.chunk_size = 1; });
+  if (cfg.queue != QueueKind::kMutex)
+    try_apply([](ProfilerConfig& c) { c.queue = QueueKind::kMutex; });
+  if (cfg.wait != WaitKind::kSpin)
+    try_apply([](ProfilerConfig& c) { c.wait = WaitKind::kSpin; });
+  if (cfg.modulo_routing)
+    try_apply([](ProfilerConfig& c) { c.modulo_routing = false; });
+  return cfg;
+}
+
+}  // namespace depprof

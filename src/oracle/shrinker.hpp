@@ -1,0 +1,52 @@
+#pragma once
+// Delta-debugging minimizer for failing differential cases.
+//
+// When the harness flags a (trace, config) mismatch, the raw repro is
+// typically tens of thousands of events under an eight-worker pipeline —
+// useless for debugging.  The shrinker reduces it on two axes while the
+// failure keeps reproducing:
+//
+//   * trace minimization: classic ddmin over the event list — try dropping
+//     ever-smaller chunks, restart the granularity ladder after every
+//     successful reduction, stop when no single event can be removed (or
+//     the evaluation budget runs out);
+//   * config simplification: a fixed ladder of "simpler" settings (fewer
+//     workers, chunk size 1, mutex queue, spin wait, load balancer off),
+//     each kept only if the shrunk trace still fails under it.
+//
+// The predicate re-runs the real profilers, so every evaluation costs a
+// pipeline spin-up; the budget caps worst-case shrink time.  Parallel-only
+// failures can be schedule-dependent — the caller may wrap its predicate
+// with retries if it needs to shrink a flaky repro.
+
+#include <cstddef>
+#include <functional>
+
+#include "core/profiler.hpp"
+#include "trace/trace.hpp"
+
+namespace depprof {
+
+/// Returns true when (trace, cfg) still reproduces the failure.
+using FailurePredicate =
+    std::function<bool(const Trace&, const ProfilerConfig&)>;
+
+struct ShrinkStats {
+  std::size_t evaluations = 0;
+  std::size_t initial_events = 0;
+  std::size_t final_events = 0;
+};
+
+/// ddmin over the event list.  Returns the smallest still-failing trace
+/// found within `max_evals` predicate evaluations.
+Trace shrink_trace(Trace failing, const ProfilerConfig& cfg,
+                   const FailurePredicate& still_fails, std::size_t max_evals,
+                   ShrinkStats* stats = nullptr);
+
+/// Config-simplification ladder.  Returns the simplest configuration that
+/// still fails on `trace`.
+ProfilerConfig shrink_config(const Trace& trace, ProfilerConfig cfg,
+                             const FailurePredicate& still_fails,
+                             ShrinkStats* stats = nullptr);
+
+}  // namespace depprof

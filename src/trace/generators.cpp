@@ -104,6 +104,39 @@ Trace gen_loop(const GenParams& p, std::size_t iters, bool carried,
   return t;
 }
 
+Trace gen_churn(const GenParams& p, double free_ratio, unsigned threads) {
+  Rng rng(p.seed);
+  Trace t;
+  t.events.reserve(p.accesses);
+  const std::size_t pool = p.distinct ? p.distinct : 1;
+  std::uint64_t ts = 1;
+  for (std::size_t i = 0; i < p.accesses; ++i) {
+    const std::uint64_t addr = p.base_addr + rng.below(pool) * p.stride;
+    const double roll = rng.uniform();
+    AccessEvent ev;
+    ev.addr = addr;
+    if (roll < free_ratio) {
+      ev.kind = AccessKind::kFree;
+    } else {
+      const bool write = roll < free_ratio + (1.0 - free_ratio) * p.write_ratio;
+      ev.kind = write ? AccessKind::kWrite : AccessKind::kRead;
+      ev.loc = SourceLocation(1, 70 + static_cast<std::uint32_t>(rng.below(30)) +
+                                     (write ? 100 : 0))
+                   .packed();
+      ev.var = static_cast<std::uint32_t>(rng.below(4));
+    }
+    if (threads > 0) {
+      ev.tid = static_cast<std::uint16_t>(i % threads);
+      ev.ts = ts++;
+      // Lock-ordered interleaving: each access pushes atomically (Fig. 4),
+      // so a single-threaded replay of this trace is order-faithful.
+      ev.flags |= kInLockRegion;
+    }
+    t.events.push_back(ev);
+  }
+  return t;
+}
+
 Trace gen_mt_producer_consumer(const GenParams& p, unsigned threads,
                                std::size_t shared_addrs) {
   Rng rng(p.seed);

@@ -47,4 +47,13 @@ Trace gen_loop(const GenParams& p, std::size_t iters, bool carried,
 Trace gen_mt_producer_consumer(const GenParams& p, unsigned threads,
                                std::size_t shared_addrs);
 
+/// Lifetime-churn trace: uniform reads/writes over a small, heavily reused
+/// address pool with a `free_ratio` fraction of kFree events — the
+/// allocate/free/reallocate pattern that exercises the variable-lifetime
+/// removal path (Sec. III-B) and, with `threads` > 0, a round-robin MT
+/// interleaving of it (lock-region flagged, increasing timestamps).  Freed
+/// words re-enter circulation immediately, so a store that fails to clear
+/// them fabricates dependences.
+Trace gen_churn(const GenParams& p, double free_ratio, unsigned threads = 0);
+
 }  // namespace depprof

@@ -24,12 +24,24 @@ bool write_trace(const Trace& trace, const std::string& path) {
 bool read_trace(Trace& out, const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return false;
+  is.seekg(0, std::ios::end);
+  const std::streamoff end = is.tellg();
+  is.seekg(0, std::ios::beg);
+  if (!is || end < 0) return false;
+  const auto file_size = static_cast<std::uint64_t>(end);
   char magic[8];
   is.read(magic, sizeof(magic));
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
   std::uint64_t count = 0;
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!is) return false;
+  // The header is untrusted input: a corrupt or truncated file can carry an
+  // arbitrary count, and resizing to it would allocate gigabytes before the
+  // read failed.  The payload the count claims must actually be present.
+  constexpr std::uint64_t kHeaderBytes = sizeof(kMagic) + sizeof(count);
+  if (file_size < kHeaderBytes ||
+      count > (file_size - kHeaderBytes) / sizeof(AccessEvent))
+    return false;
   Trace t;
   t.events.resize(count);
   is.read(reinterpret_cast<char*>(t.events.data()),

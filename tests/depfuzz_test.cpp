@@ -1,0 +1,384 @@
+// Tests for the differential-oracle harness stack (ISSUE 3): the exact
+// reference oracle, the structured dependence diff, the expectation
+// classifier and divergence budget, the ddmin shrinker, the repro corpus
+// format, and the replay of every committed repro under tests/corpus.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "oracle/corpus.hpp"
+#include "oracle/diff.hpp"
+#include "oracle/exact_oracle.hpp"
+#include "oracle/harness.hpp"
+#include "oracle/shrinker.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace.hpp"
+
+namespace depprof {
+namespace {
+
+AccessEvent make_ev(AccessKind kind, std::uint64_t addr, std::uint32_t loc,
+                    std::uint32_t var = 1, std::uint16_t tid = 0,
+                    std::uint64_t ts = 0) {
+  AccessEvent ev;
+  ev.kind = kind;
+  ev.addr = addr;
+  ev.loc = loc;
+  ev.var = var;
+  ev.tid = tid;
+  ev.ts = ts;
+  return ev;
+}
+
+// --- exact oracle ---------------------------------------------------------
+
+TEST(ExactOracle, BasicDependenceKinds) {
+  Trace t;
+  t.events.push_back(make_ev(AccessKind::kWrite, 0x100, 11));  // INIT
+  t.events.push_back(make_ev(AccessKind::kRead, 0x100, 12));   // RAW 12<-11
+  t.events.push_back(make_ev(AccessKind::kWrite, 0x100, 13));  // WAW + WAR
+  t.events.push_back(make_ev(AccessKind::kRead, 0x100, 14));   // RAW 14<-13
+  t.events.push_back(make_ev(AccessKind::kRead, 0x100, 15));   // RAR: ignored
+
+  const DepMap deps = oracle_dependences(t, false);
+  std::size_t init = 0, raw = 0, war = 0, waw = 0;
+  for (const auto& [key, info] : deps) {
+    switch (key.type) {
+      case DepType::kInit: ++init; break;
+      case DepType::kRaw: ++raw; break;
+      case DepType::kWar: ++war; break;
+      case DepType::kWaw: ++waw; break;
+    }
+  }
+  EXPECT_EQ(init, 1u);
+  EXPECT_EQ(raw, 3u);  // 12<-11, 14<-13, 15<-13 (distinct sink locations)
+  EXPECT_EQ(war, 1u);
+  EXPECT_EQ(waw, 1u);
+}
+
+TEST(ExactOracle, FreeRestartsLifetime) {
+  Trace t;
+  t.events.push_back(make_ev(AccessKind::kWrite, 0x100, 11));
+  t.events.push_back(make_ev(AccessKind::kFree, 0x100, 0, 0));
+  t.events.push_back(make_ev(AccessKind::kWrite, 0x100, 12));  // INIT again
+
+  const DepMap deps = oracle_dependences(t, false);
+  for (const auto& [key, info] : deps) EXPECT_NE(key.type, DepType::kWaw);
+  EXPECT_EQ(deps.size(), 2u);  // two INITs
+}
+
+TEST(ExactOracle, LoopCarriedDistance) {
+  Trace t;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    AccessEvent w = make_ev(AccessKind::kWrite, 0x200, 21);
+    w.loops[0] = {9, 1, i};
+    t.events.push_back(w);
+    AccessEvent r = make_ev(AccessKind::kRead, 0x200, 22);
+    r.loops[0] = {9, 1, i + 1};  // reads the previous iteration's value
+    t.events.push_back(r);
+  }
+  const DepMap deps = oracle_dependences(t, false);
+  bool carried_raw = false;
+  for (const auto& [key, info] : deps) {
+    if (key.type != DepType::kRaw) continue;
+    carried_raw = true;
+    EXPECT_TRUE(info.flags & kLoopCarried);
+    EXPECT_EQ(info.loop, 9u);
+    EXPECT_EQ(info.min_distance, 1u);
+    EXPECT_EQ(info.max_distance, 1u);
+  }
+  EXPECT_TRUE(carried_raw);
+}
+
+TEST(ExactOracle, MtCrossThreadAndReversed) {
+  Trace t;
+  t.events.push_back(make_ev(AccessKind::kWrite, 0x300, 31, 1, /*tid=*/0,
+                             /*ts=*/50));
+  t.events.push_back(make_ev(AccessKind::kRead, 0x300, 32, 1, /*tid=*/1,
+                             /*ts=*/10));  // earlier ts: reversed
+  const DepMap deps = oracle_dependences(t, true);
+  bool found = false;
+  for (const auto& [key, info] : deps) {
+    if (key.type != DepType::kRaw) continue;
+    found = true;
+    EXPECT_EQ(key.sink_tid, 1u);
+    EXPECT_EQ(key.src_tid, 0u);
+    EXPECT_TRUE(info.flags & kCrossThread);
+    EXPECT_TRUE(info.flags & kReversed);
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- diff -----------------------------------------------------------------
+
+TEST(DepDiff, CountsMissingExtraMismatch) {
+  DepKey init;
+  init.sink_loc = 11;
+  init.type = DepType::kInit;
+  DepKey raw;
+  raw.sink_loc = 12;
+  raw.src_loc = 11;
+  raw.type = DepType::kRaw;
+
+  DepMap expected;
+  expected.add(init, 0);
+  expected.add(raw, 0);
+  DepMap same;
+  same.add(init, 0);
+  same.add(raw, 0);
+  EXPECT_TRUE(diff_deps(expected, same).identical());
+
+  // Double-count one record and invent one key.
+  DepMap mutated;
+  mutated.add(init, 0);
+  mutated.add(raw, 0);
+  mutated.add(raw, 0);
+  DepKey invented;
+  invented.sink_loc = 999;
+  invented.type = DepType::kWaw;
+  mutated.add(invented, 0);
+  const DepDiff d1 = diff_deps(expected, mutated);
+  EXPECT_EQ(d1.extra, 1u);
+  EXPECT_EQ(d1.mismatched, 1u);
+  EXPECT_FALSE(d1.identical());
+  EXPECT_FALSE(format_diff(d1, "oracle", "profiler").empty());
+
+  // Drop one key.
+  DepMap dropped;
+  dropped.add(init, 0);
+  const DepDiff d2 = diff_deps(expected, dropped);
+  EXPECT_EQ(d2.missing, 1u);
+}
+
+// --- harness --------------------------------------------------------------
+
+TEST(Harness, ClassifiesExpectations) {
+  GenParams p;
+  p.accesses = 500;
+  p.distinct = 100;
+  const Trace t = gen_uniform(p);
+
+  ProfilerConfig cfg;
+  cfg.storage = StorageKind::kPerfect;
+  EXPECT_EQ(classify_expectation(cfg, t), Expectation::kExact);
+
+  cfg.storage = StorageKind::kSignature;
+  cfg.sig_hash = SigHash::kModulo;
+  cfg.slots = 1u << 20;  // span of 100 strided words fits easily
+  EXPECT_EQ(classify_expectation(cfg, t), Expectation::kExact);
+
+  cfg.slots = 8;  // span exceeds the slot count: collisions possible
+  EXPECT_EQ(classify_expectation(cfg, t), Expectation::kBounded);
+
+  cfg.sig_hash = SigHash::kMix;
+  cfg.slots = 1u << 20;  // mixed hash never proves injectivity
+  EXPECT_EQ(classify_expectation(cfg, t), Expectation::kBounded);
+}
+
+TEST(Harness, ExactCasesHoldAcrossBackends) {
+  GenParams p;
+  p.accesses = 3000;
+  p.distinct = 400;
+  const Trace t = gen_churn(p, 0.2);
+  for (const StorageKind storage :
+       {StorageKind::kPerfect, StorageKind::kShadow, StorageKind::kHashTable,
+        StorageKind::kSignature}) {
+    ProfilerConfig cfg;
+    cfg.storage = storage;
+    cfg.workers = 3;
+    cfg.chunk_size = 16;
+    const CaseOutcome outcome = run_case(t, cfg);
+    EXPECT_TRUE(outcome.ok) << storage_kind_name(storage) << "\n"
+                            << outcome.detail;
+  }
+}
+
+TEST(Harness, BoundedBudgetGrowsWithPredictedFpr) {
+  GenParams p;
+  p.accesses = 2000;
+  p.distinct = 1000;
+  const Trace t = gen_uniform(p);
+  ProfilerConfig small, large;
+  small.slots = 256;
+  large.slots = 1u << 20;
+  const DivergenceBudget b_small = divergence_budget(small, t, 100);
+  const DivergenceBudget b_large = divergence_budget(large, t, 100);
+  EXPECT_GT(b_small.fpr, b_large.fpr);
+  EXPECT_GE(b_small.max_divergent_keys, b_large.max_divergent_keys);
+}
+
+// --- shrinker -------------------------------------------------------------
+
+TEST(Shrinker, MinimizesToThePlantedKernel) {
+  // A big trace where the "failure" is the presence of one specific
+  // write-read pair; ddmin should strip everything else.
+  GenParams p;
+  p.accesses = 400;
+  p.distinct = 64;
+  Trace t = gen_uniform(p);
+  t.events.insert(t.events.begin() + 123,
+                  make_ev(AccessKind::kWrite, 0xdead0, 77));
+  t.events.insert(t.events.begin() + 301,
+                  make_ev(AccessKind::kRead, 0xdead0, 78));
+
+  const FailurePredicate planted = [](const Trace& trace,
+                                      const ProfilerConfig&) {
+    const DepMap deps = oracle_dependences(trace, false);
+    for (const auto& [key, info] : deps)
+      if (key.type == DepType::kRaw && key.sink_loc == 78 &&
+          key.src_loc == 77)
+        return true;
+    return false;
+  };
+
+  ProfilerConfig cfg;
+  ShrinkStats st;
+  const Trace minimized = shrink_trace(t, cfg, planted, 10'000, &st);
+  EXPECT_EQ(minimized.size(), 2u);
+  EXPECT_TRUE(planted(minimized, cfg));
+  EXPECT_EQ(st.initial_events, 402u);
+  EXPECT_EQ(st.final_events, 2u);
+  EXPECT_GT(st.evaluations, 0u);
+}
+
+TEST(Shrinker, ConfigLadderSimplifiesWhenFailureIsConfigIndependent) {
+  ProfilerConfig cfg;
+  cfg.workers = 8;
+  cfg.chunk_size = 1024;
+  cfg.queue = QueueKind::kLockFreeMpmc;
+  cfg.wait = WaitKind::kPark;
+  cfg.load_balance.enabled = true;
+  cfg.modulo_routing = true;
+  Trace t;
+  t.events.push_back(make_ev(AccessKind::kWrite, 0x100, 11));
+
+  const FailurePredicate always = [](const Trace&, const ProfilerConfig&) {
+    return true;
+  };
+  const ProfilerConfig simple = shrink_config(t, cfg, always);
+  EXPECT_EQ(simple.workers, 1u);
+  EXPECT_EQ(simple.chunk_size, 1u);
+  EXPECT_EQ(simple.queue, QueueKind::kMutex);
+  EXPECT_EQ(simple.wait, WaitKind::kSpin);
+  EXPECT_FALSE(simple.load_balance.enabled);
+  EXPECT_FALSE(simple.modulo_routing);
+}
+
+TEST(Shrinker, KeepsConfigWhenSimplificationLosesTheFailure) {
+  ProfilerConfig cfg;
+  cfg.workers = 8;
+  Trace t;
+  t.events.push_back(make_ev(AccessKind::kWrite, 0x100, 11));
+  const FailurePredicate needs_workers =
+      [](const Trace&, const ProfilerConfig& c) { return c.workers >= 4; };
+  const ProfilerConfig kept = shrink_config(t, cfg, needs_workers);
+  EXPECT_EQ(kept.workers, 8u);
+}
+
+// --- corpus format --------------------------------------------------------
+
+ReproCase sample_repro() {
+  ReproCase r;
+  r.note = "round-trip sample";
+  r.cfg.storage = StorageKind::kShadow;
+  r.cfg.slots = 4096;
+  r.cfg.sig_hash = SigHash::kMix;
+  r.cfg.mt_targets = true;
+  r.cfg.workers = 3;
+  r.cfg.queue = QueueKind::kLockFreeMpmc;
+  r.cfg.wait = WaitKind::kYield;
+  r.cfg.chunk_size = 7;
+  r.cfg.queue_capacity = 32;
+  r.cfg.modulo_routing = true;
+  r.cfg.load_balance.enabled = true;
+  r.cfg.load_balance.sample_shift = 2;
+  r.cfg.load_balance.eval_interval_chunks = 17;
+  r.cfg.load_balance.imbalance_threshold = 1.5;
+  r.cfg.load_balance.top_k = 3;
+  r.cfg.load_balance.max_rounds = 9;
+  AccessEvent ev = make_ev(AccessKind::kWrite, 0xabc0, 41, 2, 1, 99);
+  ev.flags = kInLockRegion;
+  ev.loops[0] = {5, 2, 7};
+  r.trace.events.push_back(ev);
+  r.trace.events.push_back(make_ev(AccessKind::kFree, 0xabc0, 0, 0, 1, 100));
+  return r;
+}
+
+TEST(Corpus, FormatParseRoundTrip) {
+  const ReproCase original = sample_repro();
+  const std::string text = format_repro(original);
+  ReproCase back;
+  std::string error;
+  ASSERT_TRUE(parse_repro(back, text, &error)) << error;
+
+  EXPECT_EQ(back.note, original.note);
+  EXPECT_EQ(back.cfg.storage, original.cfg.storage);
+  EXPECT_EQ(back.cfg.slots, original.cfg.slots);
+  EXPECT_EQ(back.cfg.sig_hash, original.cfg.sig_hash);
+  EXPECT_EQ(back.cfg.mt_targets, original.cfg.mt_targets);
+  EXPECT_EQ(back.cfg.workers, original.cfg.workers);
+  EXPECT_EQ(back.cfg.queue, original.cfg.queue);
+  EXPECT_EQ(back.cfg.wait, original.cfg.wait);
+  EXPECT_EQ(back.cfg.chunk_size, original.cfg.chunk_size);
+  EXPECT_EQ(back.cfg.queue_capacity, original.cfg.queue_capacity);
+  EXPECT_EQ(back.cfg.modulo_routing, original.cfg.modulo_routing);
+  EXPECT_EQ(back.cfg.load_balance.enabled, original.cfg.load_balance.enabled);
+  EXPECT_EQ(back.cfg.load_balance.eval_interval_chunks,
+            original.cfg.load_balance.eval_interval_chunks);
+  EXPECT_EQ(back.cfg.load_balance.top_k, original.cfg.load_balance.top_k);
+  ASSERT_EQ(back.trace.size(), original.trace.size());
+  const AccessEvent& ev = back.trace.events[0];
+  EXPECT_EQ(ev.addr, 0xabc0u);
+  EXPECT_EQ(ev.ts, 99u);
+  EXPECT_EQ(ev.flags, kInLockRegion);
+  EXPECT_EQ(ev.loops[0].loop, 5u);
+  EXPECT_EQ(ev.loops[0].entry, 2u);
+  EXPECT_EQ(ev.loops[0].iter, 7u);
+  EXPECT_TRUE(back.trace.events[1].is_free());
+}
+
+TEST(Corpus, StrictParserRejectsUnknownInput) {
+  ReproCase out;
+  std::string error;
+  EXPECT_FALSE(parse_repro(out, "", &error));
+  EXPECT_FALSE(parse_repro(out, "something else\n", &error));
+  EXPECT_FALSE(parse_repro(
+      out, "depfuzz-repro v1\nconfig storage=perfect\nfrobnicate 1\n",
+      &error));
+  EXPECT_NE(error.find("frobnicate"), std::string::npos);
+  EXPECT_FALSE(parse_repro(
+      out, "depfuzz-repro v1\nconfig storage=perfect bogus_key=1\n", &error));
+  EXPECT_FALSE(parse_repro(
+      out, "depfuzz-repro v1\nconfig storage=warehouse\n", &error));
+  EXPECT_FALSE(parse_repro(
+      out, "depfuzz-repro v1\nconfig storage=perfect\nev X addr=0x1\n",
+      &error));
+  // Missing the config line entirely.
+  EXPECT_FALSE(parse_repro(out, "depfuzz-repro v1\nnote hi\n", &error));
+}
+
+// --- committed corpus replays clean ---------------------------------------
+
+TEST(Corpus, EveryCommittedReproReplaysClean) {
+  const std::filesystem::path dir = DEPFUZZ_CORPUS_DIR;
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".repro") continue;
+    ++seen;
+    ReproCase repro;
+    std::string error;
+    ASSERT_TRUE(read_repro(repro, entry.path().string(), &error))
+        << entry.path() << ": " << error;
+    const CaseOutcome outcome = run_case(repro.trace, repro.cfg);
+    EXPECT_TRUE(outcome.ok) << entry.path() << " (" << repro.note << ")\n"
+                            << outcome.detail;
+  }
+  EXPECT_GE(seen, 3u);  // the hand-written seeds must stay present
+}
+
+}  // namespace
+}  // namespace depprof

@@ -1,0 +1,234 @@
+// Regression tests for the bugs the differential-oracle harness flagged
+// (ISSUE 3).  Each test pins one fixed defect: the word-span expansion of
+// unaligned lifetime events, load-balancer statistics that never decayed,
+// the trace reader trusting a hostile header, and shift-width UB in the
+// route-stage sampler.  The detach/record race regression lives in
+// stress_test.cpp (DetachUnderLoad) where TSan watches it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "common/hash.hpp"
+#include "common/mem_stats.hpp"
+#include "core/pipeline.hpp"
+#include "core/profiler.hpp"
+#include "instrument/runtime.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+
+namespace depprof {
+namespace {
+
+// --- satellite 1: record_free must cover every touched word ---------------
+
+std::set<std::uint64_t> freed_words(const Trace& trace) {
+  std::set<std::uint64_t> words;
+  for (const AccessEvent& ev : trace.events)
+    if (ev.is_free()) words.insert(word_addr(ev.addr));
+  return words;
+}
+
+TEST(FreeSpanRegression, UnalignedFreeCoversEveryTouchedWord) {
+  alignas(8) static char buf[16];
+  Runtime& rt = Runtime::instance();
+  TraceRecorder rec;
+  rt.attach(&rec);
+  // Bytes buf[2..5] straddle the boundary between word(buf) and word(buf+4):
+  // a span derived from the byte count alone (one word for four bytes) would
+  // leave the second word's signature state alive.
+  rt.record_free(&buf[2], 4);
+  rt.detach();
+
+  const std::set<std::uint64_t> words = freed_words(rec.trace());
+  EXPECT_EQ(words.size(), 2u);
+  EXPECT_TRUE(words.count(word_addr(reinterpret_cast<std::uint64_t>(&buf[2]))));
+  EXPECT_TRUE(words.count(word_addr(reinterpret_cast<std::uint64_t>(&buf[5]))));
+  rt.reset();
+}
+
+TEST(FreeSpanRegression, ZeroSizeFreeStillClearsBaseWord) {
+  alignas(8) static char buf[8];
+  Runtime& rt = Runtime::instance();
+  TraceRecorder rec;
+  rt.attach(&rec);
+  rt.record_free(&buf[1], 0);
+  rt.detach();
+
+  const std::set<std::uint64_t> words = freed_words(rec.trace());
+  EXPECT_EQ(words.size(), 1u);
+  EXPECT_TRUE(words.count(word_addr(reinterpret_cast<std::uint64_t>(&buf[1]))));
+  rt.reset();
+}
+
+TEST(FreeSpanRegression, WriteAfterUnalignedFreeIsInitNotWaw) {
+  alignas(8) static int cells[4];
+  Runtime& rt = Runtime::instance();
+  TraceRecorder rec;
+  rt.attach(&rec);
+  rt.record(&cells[1], 4, 1, 10, 1, /*is_write=*/true);
+  // Free bytes [cells+2, cells+6): unaligned, crossing into cells[1]'s word.
+  rt.record_free(reinterpret_cast<char*>(cells) + 2, 4);
+  rt.record(&cells[1], 4, 1, 20, 1, /*is_write=*/true);
+  rt.detach();
+  rt.reset();
+
+  ProfilerConfig cfg;
+  cfg.storage = StorageKind::kPerfect;
+  auto profiler = make_serial_profiler(cfg);
+  replay(rec.trace(), *profiler);
+
+  const std::uint32_t second_write = SourceLocation(1, 20).packed();
+  bool init_after_free = false;
+  for (const auto& [key, info] : profiler->dependences()) {
+    EXPECT_NE(key.type, DepType::kWaw)
+        << "lifetime event failed to clear the written word";
+    if (key.type == DepType::kInit && key.sink_loc == second_write)
+      init_after_free = true;
+  }
+  EXPECT_TRUE(init_after_free);
+}
+
+// --- satellite 2: load-balancer statistics must decay ---------------------
+
+ProfilerConfig balanced_cfg(unsigned workers) {
+  ProfilerConfig cfg;
+  cfg.workers = workers;
+  cfg.load_balance.enabled = true;
+  cfg.load_balance.sample_shift = 0;
+  cfg.load_balance.eval_interval_chunks = 1;
+  cfg.load_balance.imbalance_threshold = 1.25;
+  cfg.load_balance.top_k = 4;
+  cfg.load_balance.max_rounds = 16;
+  return cfg;
+}
+
+TEST(LoadBalanceRegression, StatsDecayToZeroWithoutFreshTraffic) {
+  const ProfilerConfig cfg = balanced_cfg(1);  // one worker: never imbalanced
+  obs::StageStats stats;
+  RouteStage route(cfg, cfg.workers, stats);
+  const std::int64_t baseline =
+      MemStats::instance().bytes(MemComponent::kAccessStats);
+
+  for (int round = 0; round < 8; ++round)
+    for (std::uint64_t a = 0; a < 64; ++a) route.record_access(a * 4);
+  ASSERT_EQ(route.stat_entries(), 64u);
+
+  // Counts are 8 per entry: halving reaches zero within four rounds.  An
+  // evaluator that never ages its table keeps all 64 entries forever.
+  for (std::uint64_t eval = 1; eval <= 5; ++eval) route.evaluate(eval);
+  EXPECT_EQ(route.stat_entries(), 0u);
+  EXPECT_EQ(MemStats::instance().bytes(MemComponent::kAccessStats), baseline);
+}
+
+TEST(LoadBalanceRegression, ExhaustedRoundsReleaseTheTable) {
+  ProfilerConfig cfg = balanced_cfg(4);
+  cfg.load_balance.max_rounds = 0;
+  obs::StageStats stats;
+  RouteStage route(cfg, cfg.workers, stats);
+  const std::int64_t baseline =
+      MemStats::instance().bytes(MemComponent::kAccessStats);
+
+  for (std::uint64_t a = 0; a < 32; ++a) route.record_access(a * 4);
+  ASSERT_EQ(route.stat_entries(), 32u);
+  route.evaluate(1);
+  EXPECT_EQ(route.stat_entries(), 0u);
+  EXPECT_EQ(MemStats::instance().bytes(MemComponent::kAccessStats), baseline);
+}
+
+// --- satellite 5: sampler shift width -------------------------------------
+
+TEST(LoadBalanceRegression, OversizedSampleShiftIsClampedNotUb) {
+  for (const unsigned shift : {32u, 40u, 63u, 64u, 200u}) {
+    ProfilerConfig cfg = balanced_cfg(4);
+    cfg.load_balance.sample_shift = shift;
+    obs::StageStats stats;
+    RouteStage route(cfg, cfg.workers, stats);
+    // With a >= 2^32 sampling period only the very first access lands in
+    // the table.  The pre-fix 32-bit mask shifted by >= 32 was UB and could
+    // sample everything (or nothing) depending on codegen.
+    for (std::uint64_t a = 0; a < 100; ++a) route.record_access(a * 4);
+    EXPECT_EQ(route.stat_entries(), 1u) << "shift " << shift;
+    route.evaluate(1);  // return the MemStats bytes
+  }
+}
+
+// --- satellite 3: read_trace must not trust the header --------------------
+
+class TraceIoRegression : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  const std::string path_ = "fuzz_regression_trace.bin";
+};
+
+Trace small_trace(std::size_t n) {
+  Trace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    AccessEvent ev;
+    ev.addr = 0x1000 + 4 * i;
+    ev.kind = i % 2 ? AccessKind::kRead : AccessKind::kWrite;
+    ev.loc = SourceLocation(1, static_cast<std::uint32_t>(i + 1)).packed();
+    t.events.push_back(ev);
+  }
+  return t;
+}
+
+TEST_F(TraceIoRegression, RoundTripStillWorks) {
+  const Trace t = small_trace(5);
+  ASSERT_TRUE(write_trace(t, path_));
+  Trace back;
+  ASSERT_TRUE(read_trace(back, path_));
+  ASSERT_EQ(back.size(), t.size());
+  EXPECT_EQ(back.events[4].addr, t.events[4].addr);
+}
+
+TEST_F(TraceIoRegression, RejectsCountLargerThanFile) {
+  ASSERT_TRUE(write_trace(small_trace(2), path_));
+  {
+    // Patch the header count to claim a gigabyte of events.
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f);
+    f.seekp(8);
+    const std::uint64_t lying_count = 1'000'000'000;
+    f.write(reinterpret_cast<const char*>(&lying_count), sizeof(lying_count));
+  }
+  Trace out;
+  out.events.push_back(AccessEvent{});
+  EXPECT_FALSE(read_trace(out, path_));
+  EXPECT_EQ(out.size(), 1u);  // untouched on failure
+}
+
+TEST_F(TraceIoRegression, RejectsTruncatedPayload) {
+  ASSERT_TRUE(write_trace(small_trace(4), path_));
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 40u);
+    bytes.resize(bytes.size() - 40);  // chop into the last event
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  Trace out;
+  EXPECT_FALSE(read_trace(out, path_));
+}
+
+TEST_F(TraceIoRegression, RejectsGarbageAndShortFiles) {
+  {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f << "not a trace";
+  }
+  Trace out;
+  EXPECT_FALSE(read_trace(out, path_));
+  {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+  }
+  EXPECT_FALSE(read_trace(out, path_));
+}
+
+}  // namespace
+}  // namespace depprof

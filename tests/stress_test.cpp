@@ -17,6 +17,7 @@
 #include "core/formatter.hpp"
 #include "core/profiler.hpp"
 #include "harness/accuracy.hpp"
+#include "instrument/runtime.hpp"
 #include "queue/wait_strategy.hpp"
 #include "trace/generators.hpp"
 #include "trace/trace.hpp"
@@ -215,6 +216,71 @@ TEST(ParallelStress, BackpressureCountersReflectBlocking) {
     }
   EXPECT_GT(worker_parks, 0u);  // the pre-replay starvation guarantees parks
   EXPECT_GT(worker_idle, 0u);
+}
+
+// Target threads keep calling into the runtime while the main thread
+// attaches and detaches profilers (ISSUE 3 satellite: the record path used
+// to read the sink pointer twice, so a detach between the enabled() check
+// and the buffer flush dereferenced a dying profiler).  TSan watches the
+// snapshot protocol; the assertions check no event is delivered to a sink
+// after its detach() returned.
+TEST(ParallelStress, DetachUnderLoad) {
+  /// Counts deliveries and flags any that arrive after detach() completed.
+  class ClosableSink final : public AccessSink {
+   public:
+    void on_access(const AccessEvent&) override { on_batch(nullptr, 1); }
+    void on_batch(const AccessEvent*, std::size_t count) override {
+      events_.fetch_add(count, std::memory_order_relaxed);
+      if (closed_.load(std::memory_order_relaxed))
+        late_.fetch_add(count, std::memory_order_relaxed);
+    }
+    void finish() override {}
+    void close() { closed_.store(true, std::memory_order_relaxed); }
+    std::uint64_t events() const {
+      return events_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t late() const { return late_.load(std::memory_order_relaxed); }
+
+   private:
+    std::atomic<bool> closed_{false};
+    std::atomic<std::uint64_t> events_{0};
+    std::atomic<std::uint64_t> late_{0};
+  };
+
+  Runtime& rt = Runtime::instance();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> hammers;
+  static int cells[64];
+  for (int t = 0; t < 4; ++t)
+    hammers.emplace_back([&, t] {
+      std::uint32_t line = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < 64; ++i)
+          rt.record(&cells[(t * 16 + i) % 64], 4, 1, 1 + line % 1000,
+                    1, i % 2 == 0);
+        rt.record_free(&cells[t * 16], 8);
+        rt.sync_point();
+        ++line;
+      }
+    });
+
+  std::uint64_t total = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    ClosableSink sink;
+    rt.attach(&sink, /*mt_mode=*/true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    rt.detach();
+    sink.close();
+    // Give the hammers a beat: any still-unsynchronized record path would
+    // now flush into the closed (stack-dead after this iteration) sink.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    EXPECT_EQ(sink.late(), 0u) << "events delivered after detach";
+    total += sink.events();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : hammers) th.join();
+  rt.reset();
+  EXPECT_GT(total, 0u);  // the cycles actually observed traffic
 }
 
 }  // namespace
