@@ -1,0 +1,72 @@
+#pragma once
+// Transparent-huge-page allocator for large flat arrays.
+//
+// A profiler-sized signature (hundreds of MB of slots) accessed in hashed
+// order misses the dTLB on nearly every probe when backed by 4 KiB pages,
+// and the resulting page walks serialize on the handful of hardware walkers
+// — a stall that software prefetching cannot hide (prefetches are dropped
+// on a TLB miss).  Backing the slot array with 2 MiB pages keeps the whole
+// array TLB-resident, which is what makes the batched kernel's slot
+// prefetches effective (see DESIGN.md, "Batched detect kernel").
+//
+// Allocations below kHugeThreshold, or on platforms without mmap/madvise,
+// fall back to operator new — behaviour is identical either way.
+
+#include <cstddef>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace depprof {
+
+namespace huge {
+
+constexpr std::size_t kHugeThreshold = 2u << 20;  // one huge page
+
+#if defined(__linux__)
+inline void* alloc(std::size_t bytes) {
+  if (bytes < kHugeThreshold) return ::operator new(bytes);
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw std::bad_alloc();
+#if defined(MADV_HUGEPAGE)
+  (void)::madvise(p, bytes, MADV_HUGEPAGE);  // advisory; 4K pages still work
+#endif
+  return p;
+}
+
+inline void free(void* p, std::size_t bytes) {
+  if (bytes < kHugeThreshold) {
+    ::operator delete(p);
+    return;
+  }
+  ::munmap(p, bytes);
+}
+#else
+inline void* alloc(std::size_t bytes) { return ::operator new(bytes); }
+inline void free(void* p, std::size_t) { ::operator delete(p); }
+#endif
+
+}  // namespace huge
+
+/// std::allocator drop-in backing large arrays with transparent huge pages.
+template <typename T>
+struct HugePageAllocator {
+  using value_type = T;
+
+  HugePageAllocator() = default;
+  template <typename U>
+  HugePageAllocator(const HugePageAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(huge::alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) { huge::free(p, n * sizeof(T)); }
+
+  template <typename U>
+  bool operator==(const HugePageAllocator<U>&) const { return true; }
+};
+
+}  // namespace depprof

@@ -17,14 +17,19 @@ std::int64_t MemStats::total() const {
 
 void MemStats::reset() {
   for (auto& b : bytes_) b.store(0, std::memory_order_relaxed);
+  for (auto& p : component_peak_) p.store(0, std::memory_order_relaxed);
   peak_.store(0, std::memory_order_relaxed);
 }
 
-void MemStats::update_peak() {
-  const std::int64_t t = total();
-  std::int64_t p = peak_.load(std::memory_order_relaxed);
-  while (t > p && !peak_.compare_exchange_weak(p, t, std::memory_order_relaxed)) {
+void MemStats::raise(std::atomic<std::int64_t>& mark, std::int64_t value) {
+  std::int64_t cur = mark.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !mark.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
   }
+}
+
+void MemStats::update_peak() {
+  raise(peak_, total());
 }
 
 std::int64_t MemStats::process_max_rss() {

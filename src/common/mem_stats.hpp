@@ -30,7 +30,10 @@ class MemStats {
   static MemStats& instance();
 
   void add(MemComponent c, std::int64_t bytes) {
-    bytes_[static_cast<unsigned>(c)].fetch_add(bytes, std::memory_order_relaxed);
+    const unsigned i = static_cast<unsigned>(c);
+    const std::int64_t now =
+        bytes_[i].fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    raise(component_peak_[i], now);
     update_peak();
   }
 
@@ -44,6 +47,14 @@ class MemStats {
   /// High-water mark of total() since construction or reset().
   std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
 
+  /// High-water mark of one component since construction or reset() — what
+  /// the merge-accounting regression test watches: a merge that copies the
+  /// worker-local maps before freeing them doubles peak(kDepMaps).
+  std::int64_t peak(MemComponent c) const {
+    return component_peak_[static_cast<unsigned>(c)].load(
+        std::memory_order_relaxed);
+  }
+
   void reset();
 
   /// Current process max resident set size in bytes (getrusage).
@@ -52,8 +63,10 @@ class MemStats {
   static std::string component_name(MemComponent c);
 
  private:
+  static void raise(std::atomic<std::int64_t>& mark, std::int64_t value);
   void update_peak();
   std::atomic<std::int64_t> bytes_[static_cast<unsigned>(MemComponent::kCount)]{};
+  std::atomic<std::int64_t> component_peak_[static_cast<unsigned>(MemComponent::kCount)]{};
   std::atomic<std::int64_t> peak_{0};
 };
 

@@ -65,25 +65,64 @@ void DepMap::add(const DepKey& key, std::uint8_t flags, std::uint32_t loop,
   }
 }
 
+void DepMap::add_many(const DepKey& key, std::uint64_t n) {
+  DepInfo info;
+  info.count = n;
+  fold(key, info);
+}
+
+namespace {
+
+void fold_info(DepInfo& into, const DepInfo& info) {
+  into.count += info.count;
+  into.flags |= info.flags;
+  if (info.loop != 0) into.loop = info.loop;
+  if (info.min_distance != 0) {
+    into.min_distance = into.min_distance == 0
+                            ? info.min_distance
+                            : std::min(into.min_distance, info.min_distance);
+    into.max_distance = std::max(into.max_distance, info.max_distance);
+  }
+}
+
+}  // namespace
+
+void DepMap::fold(const DepKey& key, const DepInfo& info) {
+  if (info.count == 0) return;
+  instances_ += info.count;
+  auto [it, inserted] = map_.try_emplace(key);
+  if (inserted)
+    MemStats::instance().add(MemComponent::kDepMaps,
+                             static_cast<std::int64_t>(kEntryBytes));
+  fold_info(it->second, info);
+}
+
 void DepMap::merge(const DepMap& other) {
   for (const auto& [key, info] : other.map_) {
     auto [it, inserted] = map_.try_emplace(key);
     if (inserted)
       MemStats::instance().add(MemComponent::kDepMaps,
                                static_cast<std::int64_t>(kEntryBytes));
-    it->second.count += info.count;
-    it->second.flags |= info.flags;
-    if (info.loop != 0) it->second.loop = info.loop;
-    if (info.min_distance != 0) {
-      it->second.min_distance = it->second.min_distance == 0
-                                    ? info.min_distance
-                                    : std::min(it->second.min_distance,
-                                               info.min_distance);
-      it->second.max_distance =
-          std::max(it->second.max_distance, info.max_distance);
-    }
+    fold_info(it->second, info);
   }
   instances_ += other.instances_;
+}
+
+void DepMap::merge_from(DepMap& other) {
+  if (this == &other) return;
+  for (auto src = other.map_.begin(); src != other.map_.end();
+       src = other.map_.erase(src)) {
+    auto [it, inserted] = map_.try_emplace(src->first);
+    fold_info(it->second, src->second);
+    // A transferred entry keeps its existing kDepMaps credit; a collapsed
+    // duplicate releases it.  Erasing incrementally keeps the accounting
+    // exact at every step of the merge window.
+    if (!inserted)
+      MemStats::instance().add(MemComponent::kDepMaps,
+                               -static_cast<std::int64_t>(kEntryBytes));
+  }
+  instances_ += other.instances_;
+  other.instances_ = 0;
 }
 
 const DepInfo* DepMap::find(const DepKey& key) const {

@@ -90,8 +90,30 @@ class DepMap {
   void add(const DepKey& key, std::uint8_t flags, std::uint32_t loop = 0,
            std::uint32_t distance = 0);
 
-  /// Merges all entries of `other` into this map (end-of-run global merge).
+  /// Records `n` unqualified instances of `key` in one map probe — exactly
+  /// equivalent to calling add(key, 0) n times.  The batched detect kernel
+  /// uses this to fold a batch's INIT records (which carry no flags, loop,
+  /// or distance) into the map once per distinct key instead of per event.
+  void add_many(const DepKey& key, std::uint64_t n);
+
+  /// Folds a pre-aggregated record (`info.count` instances) into the map in
+  /// one probe, with exactly the result of add()ing those instances one at a
+  /// time.  The batched detect kernel accumulates each batch's records in a
+  /// small local table and folds one entry per distinct key.
+  void fold(const DepKey& key, const DepInfo& info);
+
+  /// Merges all entries of `other` into this map, leaving `other` intact.
+  /// Every entry newly inserted here is *additional* live memory, so prefer
+  /// merge_from() when `other` is being retired.
   void merge(const DepMap& other);
+
+  /// Transfer merge (end-of-run global merge): folds `other` into this map
+  /// and empties it as it goes.  MemStats-wise each entry either moves
+  /// (ownership transfer, no net change) or collapses into an existing entry
+  /// (net release), so peak kDepMaps never exceeds the live entry count —
+  /// the non-destructive merge() double-counted every transferred entry for
+  /// the duration of the merge window.
+  void merge_from(DepMap& other);
 
   const DepInfo* find(const DepKey& key) const;
   std::size_t size() const { return map_.size(); }

@@ -21,10 +21,13 @@
 // monomorphization — there is no per-access branch on the storage kind
 // anywhere in the detect loop.
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <type_traits>
 #include <utility>
 
+#include "common/hash.hpp"
 #include "core/dep.hpp"
 #include "sig/access_store.hpp"
 #include "sig/slots.hpp"
@@ -128,31 +131,48 @@ class DetectorCore {
 
   /// Processes one access in program order (Algorithm 1).
   void process(const AccessEvent& ev, DepMap& deps) {
-    if (ev.is_free()) {
-      // Variable-lifetime analysis: obsolete addresses leave the signatures
-      // so later re-use of the memory does not fabricate dependences.
-      sig_read_.remove(ev.addr);
-      sig_write_.remove(ev.addr);
-      return;
+    process_one(ev, [&](const DepKey& k, std::uint8_t flags,
+                        std::uint32_t loop, std::uint32_t distance) {
+      deps.add(k, flags, loop, distance);
+    });
+  }
+
+  /// Distance (in events) between a prefetch and its consuming compare.
+  /// Far enough to cover an LLC miss at ~4 events' work per miss, small
+  /// enough that the prefetched lines are still resident when reached.
+  static constexpr std::size_t kPrefetchDistance = 8;
+
+  /// Batched Algorithm 1: identical results to calling process() per event,
+  /// with the two batch-only optimizations of the hot path:
+  ///
+  ///  - the read/write store slots of the event kPrefetchDistance ahead are
+  ///    software-prefetched (write intent) before each compare/update,
+  ///    overlapping the slot misses of the per-event kernel;
+  ///  - dependence records — which repeat the same few (sink, source, var)
+  ///    keys throughout a batch — are aggregated in a small stack table and
+  ///    folded into the map once per distinct key (DepMap::fold) instead of
+  ///    one map probe per event.
+  ///
+  /// Returns the number of prefetch pairs issued (obs accounting).
+  std::size_t process_batch(const AccessEvent* events, std::size_t count,
+                            DepMap& deps) {
+    DepBatch batch;
+    std::size_t prefetched = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t ahead = i + kPrefetchDistance;
+      if (ahead < count) {
+        sig_read_.prefetch(events[ahead].addr);
+        sig_write_.prefetch(events[ahead].addr);
+        ++prefetched;
+      }
+      process_one(events[i], [&](const DepKey& k, std::uint8_t flags,
+                                 std::uint32_t loop, std::uint32_t distance) {
+        if (!batch.accumulate(k, flags, loop, distance))
+          deps.add(k, flags, loop, distance);
+      });
     }
-    if (ev.is_write()) {
-      if (const Slot* w = sig_write_.find(ev.addr)) {
-        emit(ev, *w, DepType::kWaw, deps);
-      } else {
-        deps.add(init_key(ev), 0);
-      }
-      if (const Slot* r = sig_read_.find(ev.addr)) {
-        emit(ev, *r, DepType::kWar, deps);
-      }
-      sig_write_.insert(ev.addr, make_slot<Slot>(ev));
-    } else {
-      // RAR dependences are ignored (Sec. III-B): most analyses do not need
-      // them, so reads only consult the write signature.
-      if (const Slot* w = sig_write_.find(ev.addr)) {
-        emit(ev, *w, DepType::kRaw, deps);
-      }
-      sig_read_.insert(ev.addr, make_slot<Slot>(ev));
-    }
+    batch.flush(deps);
+    return prefetched;
   }
 
   Store& read_signature() { return sig_read_; }
@@ -185,19 +205,115 @@ class DetectorCore {
   }
 
  private:
-  void emit(const AccessEvent& sink, const Slot& src, DepType type,
-            DepMap& deps) {
+  /// Algorithm 1 for one access.  Every dependence record (including INIT)
+  /// goes through `sink(key, flags, loop, distance)` instead of touching the
+  /// map directly, so the batch kernel can aggregate records per batch while
+  /// the per-event kernel adds them straight to the map.
+  template <typename Sink>
+  void process_one(const AccessEvent& ev, Sink&& sink) {
+    if (ev.is_free()) {
+      // Variable-lifetime analysis: obsolete addresses leave the signatures
+      // so later re-use of the memory does not fabricate dependences.
+      sig_read_.remove(ev.addr);
+      sig_write_.remove(ev.addr);
+      return;
+    }
+    if (ev.is_write()) {
+      if (const Slot* w = sig_write_.find(ev.addr)) {
+        emit(ev, *w, DepType::kWaw, sink);
+      } else {
+        sink(init_key(ev), 0, 0, 0);
+      }
+      if (const Slot* r = sig_read_.find(ev.addr)) {
+        emit(ev, *r, DepType::kWar, sink);
+      }
+      sig_write_.insert(ev.addr, make_slot<Slot>(ev));
+    } else {
+      // RAR dependences are ignored (Sec. III-B): most analyses do not need
+      // them, so reads only consult the write signature.
+      if (const Slot* w = sig_write_.find(ev.addr)) {
+        emit(ev, *w, DepType::kRaw, sink);
+      }
+      sig_read_.insert(ev.addr, make_slot<Slot>(ev));
+    }
+  }
+
+  /// Per-batch record accumulator: a small linear-probe table keyed by
+  /// DepKey, applying DepMap::add's per-instance update rules locally.
+  /// Flushing folds each entry into the map with DepMap::fold, whose result
+  /// is exactly that of replaying the instances one add() at a time (the
+  /// per-key updates are order-insensitive across batches: flags OR, count
+  /// sum, min/max distance, last carried loop within the batch's stream
+  /// order).  Occupancy sentinel is count == 0.  Probes are capped; a record
+  /// that finds neither its key nor a free slot within the cap goes straight
+  /// to the map, which keeps the table loss-free and bounded.
+  struct DepBatch {
+    // Power of two (the probe sequence masks); sized for the instantaneous
+    // key set of a hot loop (tens of keys), not the whole program's map.
+    static constexpr std::size_t kSlots = 128;
+    static constexpr std::size_t kMaxProbe = 8;
+    static_assert((kSlots & (kSlots - 1)) == 0);
+    struct Entry {
+      DepKey key;
+      DepInfo info;  ///< info.count == 0 = slot free
+    };
+    std::array<Entry, kSlots> entries{};
+
+    /// Applies one instance; false if the record must go to the map.
+    bool accumulate(const DepKey& key, std::uint8_t flags, std::uint32_t loop,
+                    std::uint32_t distance) {
+      // A throwaway 128-slot table does not need DepKeyHash's full-strength
+      // mixing — one multiply per field keeps the accumulate cheaper than
+      // the map probe it replaces; collisions just fall through to the map.
+      std::size_t i =
+          (key.sink_loc * 0x9E3779B9u + key.src_loc * 0x85EBCA6Bu +
+           key.var * 0xC2B2AE35u + key.sink_tid + key.src_tid +
+           static_cast<std::size_t>(key.type)) &
+          (kSlots - 1);
+      for (std::size_t probe = 0; probe < kMaxProbe; ++probe) {
+        Entry& e = entries[i];
+        if (e.info.count != 0 && !(e.key == key)) {
+          i = (i + 1) & (kSlots - 1);
+          continue;
+        }
+        if (e.info.count == 0) e.key = key;
+        // Mirror DepMap::add's per-instance update exactly.
+        e.info.count += 1;
+        e.info.flags |= flags;
+        if (loop != 0 && (flags & kLoopCarried)) {
+          e.info.loop = loop;
+          if (distance != 0) {
+            e.info.min_distance = e.info.min_distance == 0
+                                      ? distance
+                                      : std::min(e.info.min_distance, distance);
+            e.info.max_distance = std::max(e.info.max_distance, distance);
+          }
+        }
+        return true;
+      }
+      return false;
+    }
+
+    void flush(DepMap& deps) {
+      for (const Entry& e : entries)
+        if (e.info.count != 0) deps.fold(e.key, e.info);
+    }
+  };
+
+  template <typename Sink>
+  void emit(const AccessEvent& sink_ev, const Slot& src, DepType type,
+            Sink&& sink) {
     CarriedResult carried;
-    const std::uint8_t flags = classify_dep(src, sink, carried);
+    const std::uint8_t flags = classify_dep(src, sink_ev, carried);
     DepKey k;
-    k.sink_loc = sink.loc;
+    k.sink_loc = sink_ev.loc;
     k.src_loc = src.loc;
-    k.var = sink.var;
-    k.sink_tid = sink.tid;
+    k.var = sink_ev.var;
+    k.sink_tid = sink_ev.tid;
     if constexpr (std::is_same_v<Slot, MtSlot>)
       k.src_tid = static_cast<std::uint16_t>(src.tid);
     k.type = type;
-    deps.add(k, flags, carried.loop, carried.distance);
+    sink(k, flags, carried.loop, carried.distance);
   }
 
   static DepKey init_key(const AccessEvent& sink) {

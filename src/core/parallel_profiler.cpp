@@ -89,7 +89,8 @@ class ParallelProfiler final : public IProfiler {
     detectors_.reserve(w);
     for (unsigned i = 0; i < w; ++i) {
       detectors_.push_back(std::make_unique<DetectStage<Store>>(
-          std::move(read_sigs[i]), std::move(write_sigs[i]), obs_.detect(i)));
+          std::move(read_sigs[i]), std::move(write_sigs[i]), obs_.detect(i),
+          cfg_.batched_detect));
       queues_.push_back(make_queue<Chunk*>(qk, cfg_.queue_capacity));
     }
     for (std::uint32_t i = 0; i < kMailboxCount; ++i)
@@ -114,18 +115,11 @@ class ParallelProfiler final : public IProfiler {
     // Batches originate from one target thread (see AccessSink), so one
     // producer lookup covers the whole batch.
     ProduceStage& prod = producer_for(events[0].tid);
-    for (std::size_t i = 0; i < count; ++i) {
-      // Canonicalize to the word-granular address unit once, here; routing,
-      // statistics, migration, and the detectors all operate on units.
-      AccessEvent unit = events[i];
-      unit.addr = word_addr(unit.addr);
-      const unsigned w = router_.route(unit.addr);
-      Chunk* ready = prod.add(w, unit, chunk_fill_);
-      // Lock-region accesses push immediately: access + push stay atomic.
-      if (ready == nullptr && (unit.flags & kInLockRegion) != 0)
-        ready = prod.take(w);
-      if (ready != nullptr) push_chunk(ready, w);
-      if (lb_enabled_ && !cfg_.mt_targets) router_.record_access(unit.addr);
+    while (count > 0) {
+      const std::size_t n = std::min(count, kScatterBatch);
+      scatter(prod, events, n);
+      events += n;
+      count -= n;
     }
   }
 
@@ -169,6 +163,82 @@ class ParallelProfiler final : public IProfiler {
 
  private:
   static constexpr std::uint32_t kMailboxCount = 64;
+  /// Scatter granularity: one routing pass + one counting sort per this many
+  /// events.  Matches the instrumentation flush batch; the scratch buffers
+  /// (two event arrays + destinations) stay comfortably on the stack, which
+  /// keeps the scatter path reentrant for concurrent MT producers.
+  static constexpr std::size_t kScatterBatch = 256;
+  /// Counting-sort scratch is stack-sized for this many workers; a (absurd)
+  /// wider pipeline falls back to the per-event path.
+  static constexpr unsigned kMaxScatterWorkers = 128;
+
+  /// The batched produce/route half of the hot path: canonicalize and route
+  /// the whole sub-batch once (route_batch hoists the override-table and
+  /// hash-kind branches), then counting-sort the events into contiguous
+  /// per-worker runs appended chunk-wise (ProduceStage::add_run).  Batches
+  /// containing lock-region accesses keep the per-event path: those must
+  /// push the moment they are staged so access + push stay atomic (Fig. 4).
+  void scatter(ProduceStage& prod, const AccessEvent* events, std::size_t n) {
+    std::array<AccessEvent, kScatterBatch> unit;
+    std::array<unsigned, kScatterBatch> dest;
+    bool lock_region = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Canonicalize to the word-granular address unit once, here; routing,
+      // statistics, migration, and the detectors all operate on units.
+      unit[i] = events[i];
+      unit[i].addr = word_addr(events[i].addr);
+      lock_region |= (unit[i].flags & kInLockRegion) != 0;
+    }
+    const bool sample = lb_enabled_ && !cfg_.mt_targets;
+    const unsigned W = obs_.workers();
+    if (lock_region || W > kMaxScatterWorkers) {
+      // Per-event fallback.  Routing is re-consulted per event because a
+      // push below can trigger a rebalance that changes it mid-batch.
+      for (std::size_t i = 0; i < n; ++i) {
+        const unsigned w = router_.route(unit[i].addr);
+        Chunk* ready = prod.add(w, unit[i], chunk_fill_);
+        if (ready == nullptr && (unit[i].flags & kInLockRegion) != 0)
+          ready = prod.take(w);
+        if (ready != nullptr) push_chunk(ready, w);
+        if (sample) router_.record_access(unit[i].addr);
+      }
+      return;
+    }
+    router_.route_batch(unit.data(), n, dest.data());
+    if (sample)
+      for (std::size_t i = 0; i < n; ++i) router_.record_access(unit[i].addr);
+    // Counting sort into contiguous per-worker runs (stable, so per-worker
+    // program order is preserved — the soundness invariant of Fig. 2).
+    std::array<std::uint32_t, kMaxScatterWorkers> offset{};
+    for (std::size_t i = 0; i < n; ++i) ++offset[dest[i]];
+    std::uint32_t sum = 0;
+    for (unsigned w = 0; w < W; ++w) {
+      const std::uint32_t c = offset[w];
+      offset[w] = sum;
+      sum += c;
+    }
+    std::array<AccessEvent, kScatterBatch> run;
+    std::array<std::uint32_t, kMaxScatterWorkers> start;
+    for (unsigned w = 0; w < W; ++w) start[w] = offset[w];
+    for (std::size_t i = 0; i < n; ++i) run[offset[dest[i]]++] = unit[i];
+    // Rebalancing is deferred to the end of the sub-batch: the destinations
+    // above were computed against the current routing, and a mid-batch
+    // routing change would strand the tail of a run on the old owner.
+    for (unsigned w = 0; w < W; ++w) {
+      if (start[w] == offset[w]) continue;
+      prod.add_run(w, run.data() + start[w], offset[w] - start[w], chunk_fill_,
+                   [this](Chunk* c, unsigned worker) {
+                     enqueue(worker, c);
+                     obs_.produce().chunks.fetch_add(1,
+                                                     std::memory_order_relaxed);
+                   });
+    }
+    if (sample) {
+      const std::uint64_t produced =
+          obs_.produce().chunks.load(std::memory_order_relaxed);
+      if (router_.due(produced)) rebalance(produced);
+    }
+  }
 
   /// Producer slot lookup.  Fast slots are published with release/acquire:
   /// a target thread either sees a fully constructed stage or takes the

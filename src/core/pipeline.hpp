@@ -47,6 +47,29 @@ class ProduceStage {
     return pending->count >= fill ? take(w) : nullptr;
   }
 
+  /// Appends a contiguous run of `n` events, all owned by worker `w`, to
+  /// its pending chunk — the batch path's bulk variant of add().  Chunks
+  /// that reach `fill` are handed to `push(chunk, w)` as the run is copied,
+  /// so a run longer than the remaining chunk room spans several chunks.
+  template <typename Push>
+  void add_run(unsigned w, const AccessEvent* events, std::size_t n,
+               std::size_t fill, Push&& push) {
+    Chunk*& pending = pending_[w];
+    while (n > 0) {
+      if (pending == nullptr) pending = pool_->acquire();
+      const std::size_t room = std::min(n, fill - pending->count);
+      std::copy_n(events, room, pending->events.data() + pending->count);
+      pending->count += static_cast<std::uint32_t>(room);
+      events += room;
+      n -= room;
+      if (pending->count >= fill) {
+        Chunk* full = pending;
+        pending = nullptr;
+        push(full, w);
+      }
+    }
+  }
+
   /// Removes and returns the non-empty pending chunk for worker `w`
   /// (nullptr when nothing is staged) — lock-region and finish() flushes.
   Chunk* take(unsigned w) {
@@ -72,6 +95,121 @@ struct Migration {
   unsigned to = 0;
 };
 
+/// Flat open-addressing map from address unit to overriding worker — the
+/// load balancer's redistribution table.  Replaces the per-event
+/// `unordered_map` probe on the route hot path: the table is tiny (top-k
+/// addresses per round), so a linear-probe lookup is one or two contiguous
+/// cache lines instead of a node-based bucket walk, and the common
+/// balancer-inactive case is a single size check.  Deletion is backward-
+/// shift (no tombstones), so probe chains never grow stale.  Capacity bytes
+/// are charged to MemComponent::kAccessStats — before this table the
+/// override map was invisible to MemStats entirely.
+class OverrideTable {
+ public:
+  OverrideTable() = default;
+  ~OverrideTable() { release(); }
+  OverrideTable(const OverrideTable&) = delete;
+  OverrideTable& operator=(const OverrideTable&) = delete;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  const std::uint32_t* find(std::uint64_t addr) const {
+    if (size_ == 0) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = home(addr, mask);; i = (i + 1) & mask) {
+      if (slots_[i].key == kEmptyKey) return nullptr;
+      if (slots_[i].key == addr) return &slots_[i].worker;
+    }
+  }
+
+  void insert(std::uint64_t addr, std::uint32_t worker) {
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) grow();
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = home(addr, mask);; i = (i + 1) & mask) {
+      if (slots_[i].key == addr) {
+        slots_[i].worker = worker;
+        return;
+      }
+      if (slots_[i].key == kEmptyKey) {
+        slots_[i] = {addr, worker};
+        ++size_;
+        return;
+      }
+    }
+  }
+
+  bool erase(std::uint64_t addr) {
+    if (size_ == 0) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = home(addr, mask);
+    for (;; i = (i + 1) & mask) {
+      if (slots_[i].key == kEmptyKey) return false;
+      if (slots_[i].key == addr) break;
+    }
+    // Backward-shift deletion: pull every displaced follower of the probe
+    // chain one step back so lookups never need tombstones.
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (slots_[j].key == kEmptyKey) break;
+      const std::size_t h = home(slots_[j].key, mask);
+      if (((j - h) & mask) >= ((j - i) & mask)) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    slots_[i].key = kEmptyKey;
+    --size_;
+    return true;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& e : slots_)
+      if (e.key != kEmptyKey) fn(e.key, e.worker);
+  }
+
+  /// Frees the backing storage (terminal release at max_rounds).
+  void release() {
+    if (slots_.empty()) return;
+    MemStats::instance().add(
+        MemComponent::kAccessStats,
+        -static_cast<std::int64_t>(slots_.size() * sizeof(Entry)));
+    slots_.clear();
+    slots_.shrink_to_fit();
+    size_ = 0;
+  }
+
+ private:
+  // Addresses are canonical word units (byte >> 2), so the all-ones key is
+  // unreachable and serves as the empty sentinel.
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+  struct Entry {
+    std::uint64_t key = kEmptyKey;
+    std::uint32_t worker = 0;
+  };
+
+  static std::size_t home(std::uint64_t addr, std::size_t mask) {
+    return static_cast<std::size_t>(mix64(addr)) & mask;
+  }
+
+  void grow() {
+    std::vector<Entry> old = std::move(slots_);
+    const std::size_t cap = old.empty() ? 16 : old.size() * 2;
+    slots_.assign(cap, Entry{});
+    MemStats::instance().add(
+        MemComponent::kAccessStats,
+        static_cast<std::int64_t>((cap - old.size()) * sizeof(Entry)));
+    size_ = 0;
+    for (const Entry& e : old)
+      if (e.key != kEmptyKey) insert(e.key, e.worker);
+  }
+
+  std::vector<Entry> slots_;
+  std::size_t size_ = 0;
+};
+
 /// Route stage: formula-1 address ownership, with the redistribution map
 /// installed by the load balancer taking precedence.  All members are
 /// touched only by the producer side (the load balancer is disabled for
@@ -84,12 +222,34 @@ class RouteStage {
       : cfg_(cfg), workers_(workers ? workers : 1), stats_(&stats) {}
 
   unsigned route(std::uint64_t addr) const {
-    if (!redistribution_.empty()) {
-      auto it = redistribution_.find(addr);
-      if (it != redistribution_.end()) return it->second;
+    if (!overrides_.empty()) {
+      if (const std::uint32_t* w = overrides_.find(addr)) return *w;
     }
+    return base_route(addr);
+  }
+
+  /// Formula-1 ownership before any load-balancer override.
+  unsigned base_route(std::uint64_t addr) const {
     return cfg_.modulo_routing ? modulo_worker(addr, workers_)
                                : hashed_worker(addr, workers_);
+  }
+
+  /// Routes a whole batch of canonicalized events in one pass — the scatter
+  /// half of the batched hot path.  The override-table check and the routing-
+  /// function branch are hoisted out of the loop: while the balancer is
+  /// inactive (the common case, and always once max_rounds is exhausted)
+  /// each event costs exactly one modulo/mix, no table probe.
+  void route_batch(const AccessEvent* events, std::size_t count,
+                   unsigned* dest) const {
+    if (!overrides_.empty()) {
+      for (std::size_t i = 0; i < count; ++i) dest[i] = route(events[i].addr);
+    } else if (cfg_.modulo_routing) {
+      for (std::size_t i = 0; i < count; ++i)
+        dest[i] = modulo_worker(events[i].addr, workers_);
+    } else {
+      for (std::size_t i = 0; i < count; ++i)
+        dest[i] = hashed_worker(events[i].addr, workers_);
+    }
   }
 
   /// Samples one access into the load-balancer statistics (every
@@ -119,11 +279,13 @@ class RouteStage {
   std::vector<Migration> evaluate(std::uint64_t chunks_produced) {
     last_eval_chunks_ = chunks_produced;
     if (rounds_ >= cfg_.load_balance.max_rounds) {
-      // No further rounds will run: the statistics table is dead weight.
+      // No further rounds will run: the statistics table is dead weight and
+      // the overrides would pin hot addresses to stale decisions (and their
+      // memory) forever — migrate everything home and free both tables.
       release_stats();
-      return {};
+      return release_overrides();
     }
-    if (access_counts_.empty()) return {};
+    if (access_counts_.empty()) return evict_stale_overrides();
 
     std::vector<double> load(workers_, 0.0);
     for (const auto& [addr, count] : access_counts_)
@@ -137,7 +299,7 @@ class RouteStage {
     if (mean <= 0.0 ||
         max_load <= cfg_.load_balance.imbalance_threshold * mean) {
       decay_stats();
-      return {};
+      return evict_stale_overrides();
     }
 
     // Top-k hottest addresses.
@@ -149,20 +311,25 @@ class RouteStage {
         hot.begin(), hot.begin() + static_cast<std::ptrdiff_t>(k), hot.end(),
         [](const auto& a, const auto& b) { return a.second > b.second; });
 
-    // Spread them over workers in ascending-load order.
+    // Spread them over workers in ascending-load order.  The target cursor
+    // advances only on an actual move: a hot address already sitting on the
+    // current target must not consume the slot, or the next hot address
+    // skips the least-loaded worker and piles onto a busier one.
     std::vector<unsigned> order(workers_);
     for (unsigned i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(),
               [&](unsigned a, unsigned b) { return load[a] < load[b]; });
 
     std::vector<Migration> moves;
+    std::size_t cursor = 0;
     for (std::size_t i = 0; i < k; ++i) {
       const std::uint64_t addr = hot[i].first;
       const unsigned from = route(addr);
-      const unsigned to = order[i % order.size()];
+      const unsigned to = order[cursor % order.size()];
       if (from == to) continue;
       moves.push_back({addr, from, to});
-      redistribution_[addr] = to;
+      overrides_.insert(addr, to);
+      ++cursor;
     }
     if (!moves.empty()) {
       ++rounds_;
@@ -170,11 +337,15 @@ class RouteStage {
       stats_->add_migrations(moves.size());
     }
     decay_stats();
+    evict_stale_overrides(moves);
     return moves;
   }
 
   /// Live entries in the load-balancer statistics table (tests/observability).
   std::size_t stat_entries() const { return access_counts_.size(); }
+
+  /// Live entries in the redistribution override table.
+  std::size_t override_entries() const { return overrides_.size(); }
 
  private:
   static constexpr std::int64_t kStatEntryBytes = 32;
@@ -209,10 +380,63 @@ class RouteStage {
     access_counts_.clear();
   }
 
+  /// Evicts overrides whose statistics decayed away: the address is no
+  /// longer hot, so keeping it pinned to a past decision only grows the
+  /// table.  Eviction is itself a migration (back to the formula-1 route) —
+  /// silently re-routing would strand the signature state at the override
+  /// target and break serial==parallel equivalence.  `fresh` excludes the
+  /// moves installed this very round, whose statistics were just halved.
+  std::vector<Migration> evict_stale_overrides() {
+    std::vector<Migration> none;
+    evict_stale_overrides(none);
+    return none;
+  }
+
+  void evict_stale_overrides(std::vector<Migration>& moves) {
+    if (overrides_.empty()) return;
+    const std::size_t fresh = moves.size();
+    std::vector<std::uint64_t> stale;
+    overrides_.for_each([&](std::uint64_t addr, std::uint32_t) {
+      if (access_counts_.find(addr) != access_counts_.end()) return;
+      for (std::size_t i = 0; i < fresh; ++i)
+        if (moves[i].addr == addr) return;
+      stale.push_back(addr);
+    });
+    for (const std::uint64_t addr : stale) {
+      const std::uint32_t* cur = overrides_.find(addr);
+      const unsigned from = *cur;
+      const unsigned home = base_route(addr);
+      overrides_.erase(addr);
+      if (from != home) {
+        moves.push_back({addr, from, home});
+        stats_->add_migrations(1);
+      }
+    }
+    if (overrides_.empty()) overrides_.release();
+  }
+
+  /// Terminal release (max_rounds reached): migrates every overridden
+  /// address back to its formula-1 owner and frees the table — route() is a
+  /// plain hash from here on and the capacity bytes return to MemStats.
+  std::vector<Migration> release_overrides() {
+    std::vector<Migration> moves;
+    if (overrides_.empty()) return moves;
+    overrides_.for_each([&](std::uint64_t addr, std::uint32_t from) {
+      const unsigned home = base_route(addr);
+      if (from != home) moves.push_back({addr, from, home});
+    });
+    // The moves carry the pre-release routing in `from`; installing the
+    // release before the driver executes them is safe because hand-off
+    // chunks ride the same FIFOs as the data routed afterwards.
+    overrides_.release();
+    stats_->add_migrations(moves.size());
+    return moves;
+  }
+
   const ProfilerConfig cfg_;
   const unsigned workers_;
   obs::StageStats* stats_;
-  std::unordered_map<std::uint64_t, std::uint32_t> redistribution_;
+  OverrideTable overrides_;
   std::unordered_map<std::uint64_t, std::uint64_t> access_counts_;
   std::uint64_t stat_tick_ = 0;
   std::uint64_t last_eval_chunks_ = 0;
@@ -225,8 +449,11 @@ class RouteStage {
 template <AccessStore Store>
 class DetectStage {
  public:
-  DetectStage(Store sig_read, Store sig_write, obs::StageStats& stats)
-      : core_(std::move(sig_read), std::move(sig_write)), stats_(&stats) {}
+  DetectStage(Store sig_read, Store sig_write, obs::StageStats& stats,
+              bool batched = true)
+      : core_(std::move(sig_read), std::move(sig_write)),
+        stats_(&stats),
+        batched_(batched) {}
 
   void process(const AccessEvent* events, std::size_t count) {
     // Both clock domains (see obs/stage_stats.hpp): wall busy_ns pairs with
@@ -234,7 +461,12 @@ class DetectStage {
     // excludes preemption and feeds the simulated parallel time.
     const std::uint64_t w0 = WallTimer::now();
     const std::uint64_t c0 = ThreadCpuTimer::now();
-    for (std::size_t i = 0; i < count; ++i) core_.process(events[i], deps_);
+    if (batched_) {
+      stats_->add_prefetches(core_.process_batch(events, count, deps_));
+      stats_->add_kernel_batches(1);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) core_.process(events[i], deps_);
+    }
     stats_->add_cpu_ns(ThreadCpuTimer::now() - c0);
     stats_->add_busy_ns(WallTimer::now() - w0);
     stats_->add_events(count);
@@ -249,6 +481,7 @@ class DetectStage {
   DetectorCore<Store> core_;
   DepMap deps_;
   obs::StageStats* stats_;
+  bool batched_;
 };
 
 /// Merge stage: folds one worker-local map into the global map.  "Merging
@@ -262,7 +495,10 @@ class MergeStage {
     const std::uint64_t w0 = WallTimer::now();
     const std::uint64_t c0 = ThreadCpuTimer::now();
     stats_->add_events(local.size());
-    global.merge(local);
+    // Transfer merge: the worker-local map is being retired, so entries move
+    // rather than duplicate — peak kDepMaps stays at the live entry count
+    // instead of double-counting every local entry for the merge window.
+    global.merge_from(local);
     stats_->add_cpu_ns(ThreadCpuTimer::now() - c0);
     stats_->add_busy_ns(WallTimer::now() - w0);
     stats_->add_chunks(1);

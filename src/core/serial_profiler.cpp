@@ -18,9 +18,11 @@ namespace {
 template <AccessStore Store>
 class SerialProfiler final : public IProfiler {
  public:
-  SerialProfiler(Store sig_read, Store sig_write, std::size_t signature_bytes)
+  SerialProfiler(Store sig_read, Store sig_write, std::size_t signature_bytes,
+                 bool batched)
       : obs_(1),
-        detect_(std::move(sig_read), std::move(sig_write), obs_.detect(0)),
+        detect_(std::move(sig_read), std::move(sig_write), obs_.detect(0),
+                batched),
         merge_(obs_.merge()),
         signature_bytes_(signature_bytes) {}
 
@@ -62,7 +64,10 @@ class SerialProfiler final : public IProfiler {
   }
 
  private:
-  static constexpr std::size_t kUnitBatch = 256;
+  // Matches Chunk capacity: bigger batches amortize the batched kernel's
+  // per-batch record-table flush over more events (the INIT key space is
+  // small, so instances-per-key grows with the batch).
+  static constexpr std::size_t kUnitBatch = 1024;
 
   obs::PipelineObs obs_;
   DetectStage<Store> detect_;
@@ -91,8 +96,8 @@ std::unique_ptr<IProfiler> make_serial_profiler(const ProfilerConfig& config) {
         Store r = make_store<Store>(config);
         Store w = make_store<Store>(config);
         const std::size_t bytes = r.bytes() + w.bytes();
-        return std::make_unique<SerialProfiler<Store>>(std::move(r),
-                                                       std::move(w), bytes);
+        return std::make_unique<SerialProfiler<Store>>(
+            std::move(r), std::move(w), bytes, config.batched_detect);
       });
 }
 

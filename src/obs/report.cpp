@@ -18,14 +18,15 @@ std::string snapshot_csv(const PipelineSnapshot& snap) {
   std::ostringstream os;
   os << "stage,events,chunks,stalls,queue_depth_hwm,busy_sec,cpu_sec,"
         "idle_sec,idle_cpu_sec,parked_sec,parks,block_sec,wakes,"
-        "migrations,rounds\n";
+        "migrations,rounds,kernel_batches,prefetches\n";
   for (const auto& s : snap.stages) {
     os << s.stage << ',' << s.events << ',' << s.chunks << ',' << s.stalls
        << ',' << s.queue_depth_hwm << ',' << fmt_sec(s.busy_sec()) << ','
        << fmt_sec(s.cpu_sec()) << ',' << fmt_sec(s.idle_sec()) << ','
        << fmt_sec(s.idle_cpu_sec()) << ',' << fmt_sec(s.parked_sec()) << ','
        << s.parks << ',' << fmt_sec(s.block_sec()) << ',' << s.wakes << ','
-       << s.migrations << ',' << s.rounds << '\n';
+       << s.migrations << ',' << s.rounds << ',' << s.kernel_batches << ','
+       << s.prefetches << '\n';
   }
   return os.str();
 }
@@ -49,7 +50,8 @@ std::string snapshot_json(const PipelineSnapshot& snap) {
        << ",\"block_sec\":" << fmt_sec(s.block_sec())
        << ",\"wakes\":" << s.wakes
        << ",\"migrations\":" << s.migrations << ",\"rounds\":" << s.rounds
-       << '}';
+       << ",\"kernel_batches\":" << s.kernel_batches
+       << ",\"prefetches\":" << s.prefetches << '}';
   }
   os << ']';
   return os.str();
@@ -60,15 +62,15 @@ std::string snapshot_text(const PipelineSnapshot& snap) {
   char line[256];
   std::snprintf(line, sizeof(line),
                 "%-11s %12s %10s %8s %10s %10s %10s %10s %10s %9s %7s %9s %6s "
-                "%6s %6s\n",
+                "%6s %6s %8s %10s\n",
                 "stage", "events", "chunks", "stalls", "depth_hwm", "busy_s",
                 "cpu_s", "idle_s", "idlecpu_s", "parked_s", "parks", "block_s",
-                "wakes", "moved", "rounds");
+                "wakes", "moved", "rounds", "batches", "prefetch");
   os << line;
   for (const auto& s : snap.stages) {
     std::snprintf(line, sizeof(line),
                   "%-11s %12llu %10llu %8llu %10llu %10.4f %10.4f %10.4f "
-                  "%10.4f %9.4f %7llu %9.4f %6llu %6llu %6llu\n",
+                  "%10.4f %9.4f %7llu %9.4f %6llu %6llu %6llu %8llu %10llu\n",
                   s.stage.c_str(), static_cast<unsigned long long>(s.events),
                   static_cast<unsigned long long>(s.chunks),
                   static_cast<unsigned long long>(s.stalls),
@@ -77,7 +79,9 @@ std::string snapshot_text(const PipelineSnapshot& snap) {
                   s.parked_sec(), static_cast<unsigned long long>(s.parks),
                   s.block_sec(), static_cast<unsigned long long>(s.wakes),
                   static_cast<unsigned long long>(s.migrations),
-                  static_cast<unsigned long long>(s.rounds));
+                  static_cast<unsigned long long>(s.rounds),
+                  static_cast<unsigned long long>(s.kernel_batches),
+                  static_cast<unsigned long long>(s.prefetches));
     os << line;
   }
   return os.str();

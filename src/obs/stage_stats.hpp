@@ -45,6 +45,8 @@ struct alignas(64) StageStats {
   std::atomic<std::uint64_t> wakes{0};     ///< wakeups this stage delivered to peers
   std::atomic<std::uint64_t> migrations{0};  ///< addresses rerouted (route stage)
   std::atomic<std::uint64_t> rounds{0};      ///< redistribution rounds (route stage)
+  std::atomic<std::uint64_t> kernel_batches{0};  ///< batched-kernel invocations (detect)
+  std::atomic<std::uint64_t> prefetches{0};      ///< slot prefetches issued K ahead (detect)
 
   void add_events(std::uint64_t n) { events.fetch_add(n, std::memory_order_relaxed); }
   void add_chunks(std::uint64_t n) { chunks.fetch_add(n, std::memory_order_relaxed); }
@@ -61,6 +63,8 @@ struct alignas(64) StageStats {
   }
   void add_migrations(std::uint64_t n) { migrations.fetch_add(n, std::memory_order_relaxed); }
   void add_rounds(std::uint64_t n) { rounds.fetch_add(n, std::memory_order_relaxed); }
+  void add_kernel_batches(std::uint64_t n) { kernel_batches.fetch_add(n, std::memory_order_relaxed); }
+  void add_prefetches(std::uint64_t n) { prefetches.fetch_add(n, std::memory_order_relaxed); }
 
   /// Raises the queue-depth high-water mark to `depth` if it is higher.
   void raise_queue_depth(std::uint64_t depth) {
@@ -92,6 +96,8 @@ struct StageSnapshot {
   std::uint64_t wakes = 0;
   std::uint64_t migrations = 0;
   std::uint64_t rounds = 0;
+  std::uint64_t kernel_batches = 0;
+  std::uint64_t prefetches = 0;
 
   double busy_sec() const { return static_cast<double>(busy_ns) * 1e-9; }
   double cpu_sec() const { return static_cast<double>(cpu_ns) * 1e-9; }
@@ -168,6 +174,8 @@ class PipelineObs {
     out.wakes = s.wakes.load(std::memory_order_relaxed);
     out.migrations = s.migrations.load(std::memory_order_relaxed);
     out.rounds = s.rounds.load(std::memory_order_relaxed);
+    out.kernel_batches = s.kernel_batches.load(std::memory_order_relaxed);
+    out.prefetches = s.prefetches.load(std::memory_order_relaxed);
     return out;
   }
 

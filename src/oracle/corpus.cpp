@@ -119,6 +119,9 @@ bool parse_config_line(const std::vector<std::string_view>& toks,
     else if (key == "chunk") ok = parse_u64(value, u), cfg.chunk_size = u;
     else if (key == "qcap") ok = parse_u64(value, u), cfg.queue_capacity = u;
     else if (key == "modulo_routing") ok = parse_bool(value, cfg.modulo_routing);
+    // Written by every repro since the batched kernel landed; optional on
+    // read so older committed corpus files still parse.
+    else if (key == "batch") ok = parse_bool(value, cfg.batched_detect);
     else ok = false;
     if (!ok) {
       bad_key = std::string(toks[i]);
@@ -222,7 +225,8 @@ std::string format_repro(const ReproCase& repro) {
      << " queue=" << queue_kind_name(c.queue)
      << " wait=" << wait_kind_name(c.wait) << " chunk=" << c.chunk_size
      << " qcap=" << c.queue_capacity
-     << " modulo_routing=" << (c.modulo_routing ? 1 : 0) << '\n';
+     << " modulo_routing=" << (c.modulo_routing ? 1 : 0)
+     << " batch=" << (c.batched_detect ? 1 : 0) << '\n';
   const LoadBalanceConfig& lb = c.load_balance;
   os << "lb enabled=" << (lb.enabled ? 1 : 0)
      << " sample_shift=" << lb.sample_shift

@@ -15,6 +15,8 @@
 //   insert(addr, slot)   — record the latest access
 //   remove(addr)         — variable-lifetime removal (Sec. III-B)
 //   extract(addr)        — remove-and-return for worker migration (Sec. IV-A)
+//   prefetch(addr)       — hint the slot for `addr` into cache (batched kernel);
+//                          advisory only, never observable in results
 //   clear()              — drop all recorded state
 //   occupied()           — live entries (statistics)
 //   bytes()              — memory footprint (Figures 7/8 accounting)
@@ -36,6 +38,7 @@ concept AccessStore = requires(S store, const S const_store, std::uint64_t addr,
   { store.insert(addr, slot) } -> std::same_as<void>;
   { store.remove(addr) } -> std::same_as<void>;
   { store.extract(addr) } -> std::same_as<std::optional<typename S::slot_type>>;
+  { const_store.prefetch(addr) } -> std::same_as<void>;
   { store.clear() } -> std::same_as<void>;
   { const_store.occupied() } -> std::convertible_to<std::size_t>;
   { const_store.bytes() } -> std::convertible_to<std::size_t>;

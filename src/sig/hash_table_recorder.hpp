@@ -19,6 +19,7 @@
 
 #include "common/hash.hpp"
 #include "common/mem_stats.hpp"
+#include "common/prefetch.hpp"
 #include "sig/access_store.hpp"
 #include "sig/slots.hpp"
 
@@ -59,6 +60,13 @@ class HashTableRecorder {
   }
 
   void remove(std::uint64_t addr) { (void)extract(addr); }
+
+  /// Advisory cache hint (batched kernel): pulls the first chain node; the
+  /// chain walk beyond it still pays its misses — part of why this baseline
+  /// trails the signature (Sec. III-B).
+  void prefetch(std::uint64_t addr) const {
+    if (const Node* n = buckets_[index(addr)].get()) prefetch_ro(n);
+  }
 
   std::optional<Slot> extract(std::uint64_t addr) {
     std::unique_ptr<Node>* link = &buckets_[index(addr)];

@@ -56,6 +56,12 @@ class PerfectSignature {
     return out;
   }
 
+  /// Advisory cache hint (batched kernel).  The node-based map hides its
+  /// bucket layout, so there is no slot address to prefetch without paying
+  /// the full lookup — the hint degrades to a no-op here; the hotpath bench
+  /// measures the batched kernel per backend for exactly this reason.
+  void prefetch(std::uint64_t addr) const { (void)addr; }
+
   void clear() {
     MemStats::instance().add(
         MemComponent::kSignatures,

@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "common/mem_stats.hpp"
+#include "common/prefetch.hpp"
 #include "sig/access_store.hpp"
 #include "sig/slots.hpp"
 
@@ -63,6 +64,13 @@ class ShadowMemory {
     s = Slot{};
     --resident_;
     return out;
+  }
+
+  /// Advisory cache hint (batched kernel): the page lookup runs now, the
+  /// slot line lands in cache by the time the compare/update reaches it.
+  void prefetch(std::uint64_t addr) const {
+    if (const Page* page = find_page(addr))
+      prefetch_obj_rw(&page->slots[offset(addr)], sizeof(Slot));
   }
 
   void clear() {

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/huge_alloc.hpp"
 #include "common/mem_stats.hpp"
+#include "common/prefetch.hpp"
 #include "sig/access_store.hpp"
 #include "sig/slots.hpp"
 
@@ -43,6 +45,8 @@ class Signature {
   explicit Signature(std::size_t slot_count, SigHash hash = SigHash::kModulo)
       : hash_(hash),
         slots_(slot_count ? slot_count : 1),
+        mask_((slots_.size() & (slots_.size() - 1)) == 0 ? slots_.size() - 1
+                                                         : 0),
         charge_(MemComponent::kSignatures,
                 static_cast<std::int64_t>(sizeof(Slot) * (slot_count ? slot_count : 1))) {}
 
@@ -82,6 +86,13 @@ class Signature {
     return out;
   }
 
+  /// Hints the slot for `addr` into cache (batched kernel, K events ahead).
+  /// Write intent: nearly every probe is followed by an insert to the same
+  /// slot, and a Slot regularly straddles two cache lines.
+  void prefetch(std::uint64_t addr) const {
+    prefetch_obj_rw(&slots_[index(addr)], sizeof(Slot));
+  }
+
   /// Disambiguation (Sec. III-B signature operation): number of slot indices
   /// occupied in both signatures.  An address inserted into both is
   /// guaranteed to be counted.
@@ -108,11 +119,19 @@ class Signature {
  private:
   std::size_t index(std::uint64_t addr) const {
     const std::uint64_t h = hash_ == SigHash::kModulo ? addr : hash_address(addr);
+    // h & mask_ == h % size for power-of-two sizes; the hot path calls this
+    // up to five times per event (find/find/insert plus two prefetches in
+    // the batched kernel), so sparing the 64-bit division matters.
+    if (mask_ != 0) return static_cast<std::size_t>(h & mask_);
     return static_cast<std::size_t>(h % slots_.size());
   }
 
   SigHash hash_;
-  std::vector<Slot> slots_;
+  /// Slot array on transparent huge pages: at profiler sizes (hundreds of
+  /// MB) hashed probing misses the dTLB on every access with 4 KiB pages,
+  /// and the page-walk stalls would defeat the batched kernel's prefetches.
+  std::vector<Slot, HugePageAllocator<Slot>> slots_;
+  std::uint64_t mask_;  ///< size - 1 when size is a power of two, else 0
   std::size_t occupied_ = 0;
   ScopedMemCharge charge_;
 };

@@ -266,6 +266,9 @@ TEST(Shrinker, ConfigLadderSimplifiesWhenFailureIsConfigIndependent) {
   EXPECT_EQ(simple.wait, WaitKind::kSpin);
   EXPECT_FALSE(simple.load_balance.enabled);
   EXPECT_FALSE(simple.modulo_routing);
+  // The ladder also steps the batched kernel down to the per-event loop so
+  // a repro that survives is known not to depend on batching.
+  EXPECT_FALSE(simple.batched_detect);
 }
 
 TEST(Shrinker, KeepsConfigWhenSimplificationLosesTheFailure) {
@@ -294,6 +297,7 @@ ReproCase sample_repro() {
   r.cfg.chunk_size = 7;
   r.cfg.queue_capacity = 32;
   r.cfg.modulo_routing = true;
+  r.cfg.batched_detect = false;  // non-default: the round trip must keep it
   r.cfg.load_balance.enabled = true;
   r.cfg.load_balance.sample_shift = 2;
   r.cfg.load_balance.eval_interval_chunks = 17;
@@ -326,6 +330,7 @@ TEST(Corpus, FormatParseRoundTrip) {
   EXPECT_EQ(back.cfg.chunk_size, original.cfg.chunk_size);
   EXPECT_EQ(back.cfg.queue_capacity, original.cfg.queue_capacity);
   EXPECT_EQ(back.cfg.modulo_routing, original.cfg.modulo_routing);
+  EXPECT_EQ(back.cfg.batched_detect, original.cfg.batched_detect);
   EXPECT_EQ(back.cfg.load_balance.enabled, original.cfg.load_balance.enabled);
   EXPECT_EQ(back.cfg.load_balance.eval_interval_chunks,
             original.cfg.load_balance.eval_interval_chunks);

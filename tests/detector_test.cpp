@@ -411,6 +411,126 @@ TEST(DepMap, SortedIsDeterministic) {
   EXPECT_LE(sorted[1].first.sink_loc, sorted[2].first.sink_loc);
 }
 
+TEST(DepMap, AddManyMatchesRepeatedAdds) {
+  DepMap bulk, loop;
+  const DepKey k = key(DepType::kRaw, 20, 10);
+  bulk.add_many(k, 5);
+  for (int i = 0; i < 5; ++i) loop.add(k, 0);
+  EXPECT_EQ(bulk.size(), loop.size());
+  EXPECT_EQ(bulk.instances(), loop.instances());
+  const DepInfo* info = bulk.find(k);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->count, 5u);
+  EXPECT_EQ(info->flags, 0u);
+  EXPECT_EQ(info->min_distance, 0u);  // no distance recorded: sentinel stays
+  bulk.add_many(k, 0);  // zero-count bulk add is a no-op
+  EXPECT_EQ(bulk.instances(), 5u);
+  EXPECT_EQ(bulk.size(), 1u);
+}
+
+TEST(DepMap, FoldMatchesReplayedAdds) {
+  // fold() is the batched kernel's flush: one pre-aggregated record per key
+  // must land exactly as the per-event adds it replaces.
+  const DepKey k = key(DepType::kRaw, 20, 10);
+  DepMap replayed;
+  replayed.add(k, kLoopCarried, 3, /*distance=*/4);
+  replayed.add(k, kLoopCarried, 3, /*distance=*/9);
+  replayed.add(k, kCrossThread);
+
+  DepMap folded;
+  DepInfo rec;
+  rec.count = 3;
+  rec.flags = kLoopCarried | kCrossThread;
+  rec.loop = 3;
+  rec.min_distance = 4;
+  rec.max_distance = 9;
+  folded.fold(k, rec);
+
+  EXPECT_EQ(folded.instances(), replayed.instances());
+  const DepInfo* a = folded.find(k);
+  const DepInfo* b = replayed.find(k);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->count, b->count);
+  EXPECT_EQ(a->flags, b->flags);
+  EXPECT_EQ(a->loop, b->loop);
+  EXPECT_EQ(a->min_distance, b->min_distance);
+  EXPECT_EQ(a->max_distance, b->max_distance);
+}
+
+TEST(DepMap, FoldPreservesZeroDistanceSentinel) {
+  // min_distance == 0 means "no distance recorded", not a distance of zero.
+  // Folding a distance-free record must not clobber a recorded minimum, and
+  // a fresh entry built only from distance-free records keeps the sentinel.
+  const DepKey k = key(DepType::kRaw, 20, 10);
+  DepMap deps;
+  deps.add(k, kLoopCarried, 3, /*distance=*/5);
+  DepInfo no_dist;
+  no_dist.count = 2;
+  no_dist.flags = kLoopCarried;
+  no_dist.loop = 3;
+  deps.fold(k, no_dist);
+  const DepInfo* info = deps.find(k);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->count, 3u);
+  EXPECT_EQ(info->min_distance, 5u);
+  EXPECT_EQ(info->max_distance, 5u);
+
+  DepMap fresh;
+  fresh.fold(k, no_dist);
+  EXPECT_EQ(fresh.find(k)->min_distance, 0u);
+  EXPECT_EQ(fresh.find(k)->max_distance, 0u);
+}
+
+TEST(DepMap, MergeFromTransfersAndEmptiesSource) {
+  DepMap a, b;
+  a.add(key(DepType::kRaw, 20, 10), 0);
+  b.add(key(DepType::kRaw, 20, 10), kLoopCarried, 9);
+  b.add(key(DepType::kWar, 21, 11), 0);
+  a.merge_from(b);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.instances(), 0u);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.instances(), 3u);
+  EXPECT_EQ(a.find(key(DepType::kRaw, 20, 10))->count, 2u);
+  EXPECT_NE(a.find(key(DepType::kRaw, 20, 10))->flags & kLoopCarried, 0);
+}
+
+TEST(DepMap, MergeFromKeepsMemChargeExact) {
+  MemStats::instance().reset();
+  DepMap a, b;
+  a.add(key(DepType::kRaw, 20, 10), 0);
+  const std::int64_t per_entry =
+      MemStats::instance().bytes(MemComponent::kDepMaps);
+  ASSERT_GT(per_entry, 0);
+  b.add(key(DepType::kRaw, 20, 10), 0);  // duplicate: collapses on merge
+  b.add(key(DepType::kWar, 21, 11), 0);  // unique: transfers
+  ASSERT_EQ(MemStats::instance().bytes(MemComponent::kDepMaps), 3 * per_entry);
+
+  a.merge_from(b);
+  // Two live entries remain, and the transfer never allocated a shadow copy:
+  // the high-water mark is the pre-merge three entries, not four.
+  EXPECT_EQ(MemStats::instance().bytes(MemComponent::kDepMaps), 2 * per_entry);
+  EXPECT_EQ(MemStats::instance().peak(MemComponent::kDepMaps), 3 * per_entry);
+}
+
+TEST(DepMap, SortedHandlesInitOnlyEntries) {
+  // INIT keys have src_loc == 0 (no source statement); sorting must order
+  // them by sink without touching the absent source.
+  DepMap deps;
+  deps.add(key(DepType::kInit, 12, 0), 0);
+  deps.add(key(DepType::kInit, 10, 0), 0);
+  deps.add(key(DepType::kInit, 11, 0), 0);
+  auto sorted = deps.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    EXPECT_LT(sorted[i - 1].first.sink_loc, sorted[i].first.sink_loc);
+  for (const auto& [k, info] : sorted) {
+    EXPECT_EQ(k.type, DepType::kInit);
+    EXPECT_EQ(k.src_loc, 0u);
+  }
+}
+
 TEST(DepMap, MoveLeavesSourceEmpty) {
   DepMap a;
   a.add(key(DepType::kRaw, 20, 10), 0);

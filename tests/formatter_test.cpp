@@ -151,5 +151,40 @@ TEST(Formatter, EmptyMapYieldsEmptyOutput) {
   EXPECT_TRUE(format_deps(deps).empty());
 }
 
+TEST(Formatter, InitOnlyMapFormatsEverySink) {
+  // A map holding nothing but first-writes (src_loc == 0 throughout) must
+  // render one NOM line per sink with the '*' source placeholder — the
+  // formatter must never try to resolve the absent source location.
+  DepMap deps;
+  deps.add(key(DepType::kInit, 12, 0), 0);
+  deps.add(key(DepType::kInit, 10, 0), 0);
+  const std::string out = format_deps(deps);
+  const auto first = out.find("1:10 NOM {INIT *}");
+  const auto second = out.find("1:12 NOM {INIT *}");
+  ASSERT_NE(first, std::string::npos) << out;
+  ASSERT_NE(second, std::string::npos) << out;
+  EXPECT_LT(first, second);
+
+  const std::string csv = deps_csv(deps);
+  EXPECT_NE(csv.find("INIT,1:10,0,*,"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("INIT,1:12,0,*,"), std::string::npos) << csv;
+}
+
+TEST(Formatter, ZeroDistanceSentinelIsNotAnnotated) {
+  // min_distance == 0 is the "no distance recorded" sentinel, not a real
+  // distance: a carried dependence whose iteration distance was never
+  // measured must not grow a "d=" annotation even with distances enabled.
+  DepMap deps;
+  deps.add(key(DepType::kRaw, 20, 10), kLoopCarried, /*loop=*/3,
+           /*distance=*/0);
+  FormatOptions opts;
+  opts.show_distances = true;
+  EXPECT_EQ(format_deps(deps, nullptr, opts).find("d="), std::string::npos);
+  // The CSV keeps the raw sentinel so downstream tools can tell "unknown"
+  // from a measured distance.
+  EXPECT_NE(deps_csv(deps).find(",1,1,0,0,0,0"), std::string::npos)
+      << deps_csv(deps);
+}
+
 }  // namespace
 }  // namespace depprof

@@ -1,9 +1,12 @@
-// Regression tests for the bugs the differential-oracle harness flagged
-// (ISSUE 3).  Each test pins one fixed defect: the word-span expansion of
-// unaligned lifetime events, load-balancer statistics that never decayed,
-// the trace reader trusting a hostile header, and shift-width UB in the
-// route-stage sampler.  The detach/record race regression lives in
-// stress_test.cpp (DetachUnderLoad) where TSan watches it.
+// Regression tests for fixed defects.  The ISSUE 3 fuzz findings: the
+// word-span expansion of unaligned lifetime events, load-balancer
+// statistics that never decayed, the trace reader trusting a hostile
+// header, and shift-width UB in the route-stage sampler.  The ISSUE 4
+// bugfixes: the end-of-run merge double-counting DepMap memory, the
+// redistribution override table outliving its usefulness, and the
+// hot-address spreading cursor skipping the least-loaded worker.  The
+// detach/record race regression lives in stress_test.cpp (DetachUnderLoad)
+// where TSan watches it.
 
 #include <gtest/gtest.h>
 
@@ -228,6 +231,140 @@ TEST_F(TraceIoRegression, RejectsGarbageAndShortFiles) {
     std::ofstream f(path_, std::ios::binary | std::ios::trunc);
   }
   EXPECT_FALSE(read_trace(out, path_));
+}
+
+// --- ISSUE 4 satellite 1: end-of-run merge must transfer, not copy --------
+
+TEST(MergeAccountingRegression, FinishDoesNotDoubleCountDepMaps) {
+  // Every address gets its own write→read pair at its own pair of source
+  // lines, so each worker-local map holds keys no other worker produces and
+  // the merged map is exactly the sum of the locals.  A fold that *copies*
+  // a local before freeing it therefore doubles the kDepMaps footprint at
+  // its peak; a transferring fold keeps the peak at the final size.
+  Trace t;
+  constexpr std::uint32_t kAddrs = 400;
+  for (std::uint32_t i = 0; i < kAddrs; ++i) {
+    AccessEvent w;
+    w.addr = 0x10000 + 4 * i;
+    w.kind = AccessKind::kWrite;
+    w.loc = SourceLocation(1, 2 * i + 1).packed();
+    t.events.push_back(w);
+    AccessEvent r = w;
+    r.kind = AccessKind::kRead;
+    r.loc = SourceLocation(1, 2 * i + 2).packed();
+    t.events.push_back(r);
+  }
+
+  MemStats::instance().reset();
+  ProfilerConfig cfg;
+  cfg.storage = StorageKind::kPerfect;
+  cfg.workers = 4;
+  auto prof = make_parallel_profiler(cfg);
+  replay(t, *prof);
+
+  const std::int64_t final_bytes =
+      MemStats::instance().bytes(MemComponent::kDepMaps);
+  const std::int64_t peak = MemStats::instance().peak(MemComponent::kDepMaps);
+  EXPECT_EQ(prof->dependences().size(), 2u * kAddrs);  // INIT + RAW per addr
+  ASSERT_GT(final_bytes, 0);
+  EXPECT_LE(peak, final_bytes + final_bytes / 4)
+      << "merge copied the worker-local maps instead of transferring them";
+}
+
+// --- ISSUE 4 satellite 2: override-table lifetime -------------------------
+
+TEST(LoadBalanceRegression, StaleOverridesAreEvictedHomeward) {
+  ProfilerConfig cfg = balanced_cfg(2);
+  cfg.modulo_routing = true;
+  cfg.load_balance.top_k = 2;
+  obs::StageStats stats;
+  RouteStage route(cfg, cfg.workers, stats);
+  const std::int64_t baseline =
+      MemStats::instance().bytes(MemComponent::kAccessStats);
+
+  // Skewed traffic: unit 2 on worker 0, units 1/3/5 pile onto worker 1.
+  for (int i = 0; i < 30; ++i) route.record_access(2);
+  for (int i = 0; i < 25; ++i) route.record_access(1);
+  for (int i = 0; i < 24; ++i) route.record_access(3);
+  for (int i = 0; i < 23; ++i) route.record_access(5);
+  ASSERT_EQ(route.evaluate(1).size(), 1u);
+  ASSERT_EQ(route.override_entries(), 1u);
+  ASSERT_EQ(route.route(1), 0u);  // overridden off its modulo home
+
+  // No fresh traffic: the statistics decay away, and the override must go
+  // with them — as a homeward migration, never a silent re-route (silent
+  // re-routing strands the signature state at the override target).  The
+  // pre-fix table kept the entry, and its memory, for the rest of the run.
+  std::vector<Migration> home;
+  for (std::uint64_t eval = 2; eval < 10 && home.empty(); ++eval)
+    home = route.evaluate(eval);
+  ASSERT_EQ(home.size(), 1u);
+  EXPECT_EQ(home[0].addr, 1u);
+  EXPECT_EQ(home[0].from, 0u);
+  EXPECT_EQ(home[0].to, 1u);
+  EXPECT_EQ(route.override_entries(), 0u);
+  EXPECT_EQ(route.route(1), 1u);
+  EXPECT_EQ(MemStats::instance().bytes(MemComponent::kAccessStats), baseline);
+}
+
+TEST(LoadBalanceRegression, MaxRoundsReleasesOverridesHomeward) {
+  ProfilerConfig cfg = balanced_cfg(2);
+  cfg.modulo_routing = true;
+  cfg.load_balance.top_k = 2;
+  cfg.load_balance.max_rounds = 1;
+  obs::StageStats stats;
+  RouteStage route(cfg, cfg.workers, stats);
+  const std::int64_t baseline =
+      MemStats::instance().bytes(MemComponent::kAccessStats);
+
+  for (int i = 0; i < 30; ++i) route.record_access(2);
+  for (int i = 0; i < 25; ++i) route.record_access(1);
+  for (int i = 0; i < 24; ++i) route.record_access(3);
+  for (int i = 0; i < 23; ++i) route.record_access(5);
+  ASSERT_EQ(route.evaluate(1).size(), 1u);
+  ASSERT_EQ(route.override_entries(), 1u);
+
+  // Rounds exhausted: the next evaluation must send every overridden
+  // address back to its formula-1 owner and free both tables for good.
+  const std::vector<Migration> home = route.evaluate(2);
+  ASSERT_EQ(home.size(), 1u);
+  EXPECT_EQ(home[0].addr, 1u);
+  EXPECT_EQ(home[0].from, 0u);
+  EXPECT_EQ(home[0].to, 1u);
+  EXPECT_EQ(route.override_entries(), 0u);
+  EXPECT_EQ(route.stat_entries(), 0u);
+  EXPECT_EQ(route.route(1), 1u);
+  EXPECT_EQ(MemStats::instance().bytes(MemComponent::kAccessStats), baseline);
+}
+
+// --- ISSUE 4 satellite 3: spreading cursor advances only on a move --------
+
+TEST(LoadBalanceRegression, SpreadingCursorDoesNotSkipLeastLoadedWorker) {
+  // Two workers under modulo routing.  Unit 2 is the single hottest address
+  // and already lives on the least-loaded worker 0; units 1/3/5 overload
+  // worker 1 (load 30 vs 72, ratio 1.41 > threshold 1.25).  With top_k=2
+  // the spreader considers [unit 2, unit 1] against the ascending-load
+  // order [w0, w1].  Unit 2 stays put — and must not consume w0's slot: the
+  // pre-fix cursor advanced anyway, offered unit 1 its *own* worker w1, and
+  // the round moved nothing at all.
+  ProfilerConfig cfg = balanced_cfg(2);
+  cfg.modulo_routing = true;
+  cfg.load_balance.top_k = 2;
+  obs::StageStats stats;
+  RouteStage route(cfg, cfg.workers, stats);
+
+  for (int i = 0; i < 30; ++i) route.record_access(2);
+  for (int i = 0; i < 25; ++i) route.record_access(1);
+  for (int i = 0; i < 24; ++i) route.record_access(3);
+  for (int i = 0; i < 23; ++i) route.record_access(5);
+
+  const std::vector<Migration> moves = route.evaluate(1);
+  ASSERT_EQ(moves.size(), 1u) << "hot address stranded on the busy worker";
+  EXPECT_EQ(moves[0].addr, 1u);
+  EXPECT_EQ(moves[0].from, 1u);
+  EXPECT_EQ(moves[0].to, 0u);
+  EXPECT_EQ(route.route(1), 0u);
+  EXPECT_EQ(route.route(2), 0u);  // the resident hot address did not move
 }
 
 }  // namespace

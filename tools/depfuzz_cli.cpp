@@ -126,12 +126,16 @@ std::vector<FuzzCase> smoke_cases() {
         c.cfg.workers = kWorkerCounts[idx % 4];
         if (idx % 2 == 0) c.cfg.load_balance = active_balancer();
         c.cfg.mt_targets = false;
+        // Kernel axis: alternate batched and per-event detection so the
+        // smoke gate always covers both against the oracle.
+        c.cfg.batched_detect = idx % 2 == 0;
         c.trace = tr.trace;
         c.name = std::string(sp.name) + "/" + queue_kind_name(queue) +
                  "/chunk" + std::to_string(chunk) + "/" +
                  wait_kind_name(c.cfg.wait) + "/w" +
                  std::to_string(c.cfg.workers) +
-                 (c.cfg.load_balance.enabled ? "/lb" : "") + "/" + tr.name;
+                 (c.cfg.load_balance.enabled ? "/lb" : "") +
+                 (c.cfg.batched_detect ? "/batch" : "/perev") + "/" + tr.name;
         cases.push_back(std::move(c));
         ++idx;
       }
@@ -150,9 +154,11 @@ std::vector<FuzzCase> smoke_cases() {
     c.cfg.wait = kWaits[s % 3];
     c.cfg.workers = 4;
     if (s % 2 == 1) c.cfg.load_balance = active_balancer();
+    c.cfg.batched_detect = s % 2 == 0;
     c.trace = tr.trace;
     c.name = std::string(sp.name) + "/mt/" + queue_kind_name(c.cfg.queue) +
-             "/chunk" + std::to_string(c.cfg.chunk_size) + "/" + tr.name;
+             "/chunk" + std::to_string(c.cfg.chunk_size) +
+             (c.cfg.batched_detect ? "/batch" : "/perev") + "/" + tr.name;
     cases.push_back(std::move(c));
   }
   return cases;
@@ -211,6 +217,7 @@ FuzzCase random_case(Rng& rng, std::uint64_t seq) {
   c.cfg.chunk_size = kChunkSizes[rng.below(3)];
   c.cfg.queue_capacity = 4u << rng.below(5);
   c.cfg.modulo_routing = rng.below(2) == 0;
+  c.cfg.batched_detect = rng.below(2) == 0;
   if (rng.below(2) == 0) {
     c.cfg.load_balance = active_balancer();
     c.cfg.load_balance.sample_shift = static_cast<unsigned>(rng.below(4));

@@ -19,6 +19,9 @@
 //   --wait spin|yield|park   pipeline wait strategy at the blocking sites
 //                        (idle workers, full queues, migration mailbox;
 //                        default park — see src/queue/wait_strategy.hpp)
+//   --batch / --no-batch run detection with the batched prefetching kernel
+//                        or the per-event kernel (default --batch; results
+//                        are byte-identical either way)
 //   --mt-threads N       run the pthread variant with N target threads
 //   --scale N            workload scale factor            (default 1)
 //   --format text|csv|dot                                (default text)
@@ -109,6 +112,10 @@ bool parse(int argc, char** argv, int start, CliOptions& out) {
     } else if (arg == "--wait") {
       const char* v = next();
       if (v == nullptr || !parse_wait_kind(v, out.cfg.wait)) return false;
+    } else if (arg == "--batch") {
+      out.cfg.batched_detect = true;
+    } else if (arg == "--no-batch") {
+      out.cfg.batched_detect = false;
     } else if (arg == "--mt-threads") {
       const char* v = next();
       if (v == nullptr) return false;
