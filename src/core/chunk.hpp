@@ -16,9 +16,8 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <memory>
 #include <mutex>
-#include <vector>
+#include <unordered_set>
 
 #include "common/mem_stats.hpp"
 #include "queue/queues.hpp"
@@ -38,58 +37,120 @@ struct Chunk {
   /// effective fill level.
   static constexpr std::size_t kCapacity = 1024;
 
+  /// Payload bytes of the event array, reinterpreted as raw storage when
+  /// the chunk carries packed wire records (core/wire.hpp).
+  static constexpr std::size_t kPayloadBytes = kCapacity * sizeof(AccessEvent);
+
   Kind kind = Kind::kData;
-  std::uint32_t count = 0;
+  std::uint32_t count = 0;    ///< raw events (packed: logical events carried)
   std::uint32_t payload = 0;  ///< migration mailbox index
   std::uint64_t addr = 0;     ///< migrated address
+  /// True when `events` holds `bytes` bytes of packed wire records instead
+  /// of `count` raw AccessEvents.
+  bool packed = false;
+  std::uint32_t records = 0;  ///< wire records in a packed chunk
+  std::uint32_t bytes = 0;    ///< payload bytes used in a packed chunk
   std::array<AccessEvent, kCapacity> events;
+
+  unsigned char* payload_bytes() {
+    return reinterpret_cast<unsigned char*>(events.data());
+  }
+  const unsigned char* payload_bytes() const {
+    return reinterpret_cast<const unsigned char*>(events.data());
+  }
+
+  /// Queue-bandwidth cost of this chunk's payload (obs bytes_on_wire).
+  std::size_t wire_bytes() const {
+    return packed ? bytes : static_cast<std::size_t>(count) * sizeof(AccessEvent);
+  }
 };
 
 /// Lock-free recycling pool of chunks.  Workers release consumed chunks;
 /// producers acquire them back; new chunks are allocated only when the free
 /// list is empty, so steady-state profiling performs no allocation — the
 /// property the paper's lock-free design relies on.
+///
+/// The pool is bounded: at most `max_pooled` idle chunks are retained; a
+/// release that finds the free list full deletes the chunk instead of
+/// hoarding it, so a produce burst (many chunks in flight at once) no
+/// longer ratchets the pool's footprint up for the rest of the run.  Every
+/// live chunk — idle or in flight — is charged to MemStats kQueues; the
+/// charge is dropped when the chunk is deleted (spill or pool teardown).
+/// The pool owns every chunk it ever handed out, so teardown reclaims
+/// in-flight chunks too; the owned-set lock is taken only on allocation and
+/// spill, never on the steady-state acquire/release recycle path.
 class ChunkPool {
  public:
-  explicit ChunkPool(std::size_t max_pooled = 1u << 14)
-      : free_list_(max_pooled) {}
+  /// Default cap: 256 idle chunks = 16 MiB of retained chunk storage.
+  explicit ChunkPool(std::size_t max_pooled = 256) : free_list_(max_pooled) {}
 
   /// Acquires a recycled chunk or allocates a fresh one.
   Chunk* acquire() {
     Chunk* c = nullptr;
     if (free_list_.try_pop(c)) {
-      c->kind = Chunk::Kind::kData;
-      c->count = 0;
-      return c;
+      pooled_.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      c = new Chunk();
+      {
+        std::lock_guard lock(owned_mu_);
+        owned_.insert(c);
+      }
+      allocated_.fetch_add(1, std::memory_order_relaxed);
+      MemStats::instance().add(MemComponent::kQueues,
+                               static_cast<std::int64_t>(sizeof(Chunk)));
     }
-    auto owned = std::make_unique<Chunk>();
-    c = owned.get();
-    MemStats::instance().add(MemComponent::kQueues,
-                             static_cast<std::int64_t>(sizeof(Chunk)));
-    std::lock_guard lock(owned_mu_);
-    owned_.push_back(std::move(owned));
+    c->kind = Chunk::Kind::kData;
+    c->count = 0;
+    c->packed = false;
+    c->records = 0;
+    c->bytes = 0;
     return c;
   }
 
-  /// Returns a chunk for reuse.  If the free list is full (never in normal
-  /// operation) the chunk simply stays owned and idle.
-  void release(Chunk* c) { (void)free_list_.try_push(c); }
+  /// Returns a chunk for reuse, or frees it when the pool is at its cap.
+  void release(Chunk* c) {
+    if (free_list_.try_push(c)) {
+      pooled_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    destroy(c);
+  }
 
+  /// Live chunks (idle + in flight).
   std::size_t allocated() const {
-    std::lock_guard lock(owned_mu_);
-    return owned_.size();
+    return allocated_.load(std::memory_order_relaxed);
+  }
+
+  /// Idle chunks currently retained in the free list.
+  std::size_t pool_size() const {
+    return pooled_.load(std::memory_order_relaxed);
   }
 
   ~ChunkPool() {
-    MemStats::instance().add(
-        MemComponent::kQueues,
-        -static_cast<std::int64_t>(sizeof(Chunk) * owned_.size()));
+    for (Chunk* c : owned_) {
+      delete c;
+      MemStats::instance().add(MemComponent::kQueues,
+                               -static_cast<std::int64_t>(sizeof(Chunk)));
+    }
   }
 
  private:
+  void destroy(Chunk* c) {
+    {
+      std::lock_guard lock(owned_mu_);
+      owned_.erase(c);
+    }
+    delete c;
+    allocated_.fetch_sub(1, std::memory_order_relaxed);
+    MemStats::instance().add(MemComponent::kQueues,
+                             -static_cast<std::int64_t>(sizeof(Chunk)));
+  }
+
   MpmcQueue<Chunk*> free_list_;
-  mutable std::mutex owned_mu_;
-  std::vector<std::unique_ptr<Chunk>> owned_;
+  std::mutex owned_mu_;
+  std::unordered_set<Chunk*> owned_;
+  std::atomic<std::size_t> allocated_{0};
+  std::atomic<std::size_t> pooled_{0};
 };
 
 }  // namespace depprof

@@ -55,7 +55,7 @@ void DepMap::add(const DepKey& key, std::uint8_t flags, std::uint32_t loop,
   it->second.count += 1;
   it->second.flags |= flags;
   if (loop != 0 && (flags & kLoopCarried)) {
-    it->second.loop = loop;
+    it->second.loop = std::max(it->second.loop, loop);
     if (distance != 0) {
       DepInfo& info = it->second;
       info.min_distance =
@@ -76,7 +76,7 @@ namespace {
 void fold_info(DepInfo& into, const DepInfo& info) {
   into.count += info.count;
   into.flags |= info.flags;
-  if (info.loop != 0) into.loop = info.loop;
+  into.loop = std::max(into.loop, info.loop);
   if (info.min_distance != 0) {
     into.min_distance = into.min_distance == 0
                             ? info.min_distance

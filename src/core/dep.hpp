@@ -64,7 +64,13 @@ struct DepKeyHash {
 struct DepInfo {
   std::uint64_t count = 0;  ///< dynamic instances merged into this record
   std::uint8_t flags = 0;   ///< OR of instance DepFlags
-  std::uint32_t loop = 0;   ///< loop id of a carried instance (0 if none)
+  /// Max loop id over carried instances (0 if none).  The max join — like
+  /// every other field here (sum, OR, min, max) — is commutative and
+  /// associative, so the merged map is independent of the order in which
+  /// instances of different addresses reach the map.  That order freedom is
+  /// what lets the front-end dedup cache reorder events across words while
+  /// provably preserving the map (see DESIGN.md "Front-end event reduction").
+  std::uint32_t loop = 0;
   /// Dependence distance in iterations of the carrying loop (Alchemist-
   /// style): the min/max |sink iteration - source iteration| over carried
   /// instances.  A minimum distance d means up to d consecutive iterations

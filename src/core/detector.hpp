@@ -241,10 +241,9 @@ class DetectorCore {
   /// Per-batch record accumulator: a small linear-probe table keyed by
   /// DepKey, applying DepMap::add's per-instance update rules locally.
   /// Flushing folds each entry into the map with DepMap::fold, whose result
-  /// is exactly that of replaying the instances one add() at a time (the
-  /// per-key updates are order-insensitive across batches: flags OR, count
-  /// sum, min/max distance, last carried loop within the batch's stream
-  /// order).  Occupancy sentinel is count == 0.  Probes are capped; a record
+  /// is exactly that of replaying the instances one add() at a time (every
+  /// per-key update is a commutative join: flags OR, count sum, min/max
+  /// distance, max carried loop).  Occupancy sentinel is count == 0.  Probes are capped; a record
   /// that finds neither its key nor a free slot within the cap goes straight
   /// to the map, which keeps the table loss-free and bounded.
   struct DepBatch {
@@ -281,7 +280,7 @@ class DetectorCore {
         e.info.count += 1;
         e.info.flags |= flags;
         if (loop != 0 && (flags & kLoopCarried)) {
-          e.info.loop = loop;
+          e.info.loop = std::max(e.info.loop, loop);
           if (distance != 0) {
             e.info.min_distance = e.info.min_distance == 0
                                       ? distance

@@ -26,6 +26,7 @@
 // and wake hooks so that parked threads are woken by whoever unblocks them
 // (including the stop sentinels at shutdown).
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <memory>
@@ -117,8 +118,29 @@ class ParallelProfiler final : public IProfiler {
     ProduceStage& prod = producer_for(events[0].tid);
     while (count > 0) {
       const std::size_t n = std::min(count, kScatterBatch);
-      scatter(prod, events, n);
+      scatter(prod, events, nullptr, n);
       events += n;
+      count -= n;
+    }
+  }
+
+  void on_batch_rle(const AccessEvent* events, const std::uint32_t* reps,
+                    std::size_t count) override {
+    if (count == 0) return;
+    std::uint64_t logical = 0;
+    for (std::size_t i = 0; i < count; ++i) logical += reps[i];
+    // Produce/route report the *logical* access count — the stream the
+    // target executed — while events_deduped says how many of those rode an
+    // existing record instead of their own.
+    obs_.produce().add_events(logical);
+    obs_.route().add_events(logical);
+    obs_.produce().add_events_deduped(logical - count);
+    ProduceStage& prod = producer_for(events[0].tid);
+    while (count > 0) {
+      const std::size_t n = std::min(count, kScatterBatch);
+      scatter(prod, events, reps, n);
+      events += n;
+      reps += n;
       count -= n;
     }
   }
@@ -175,10 +197,14 @@ class ParallelProfiler final : public IProfiler {
   /// The batched produce/route half of the hot path: canonicalize and route
   /// the whole sub-batch once (route_batch hoists the override-table and
   /// hash-kind branches), then counting-sort the events into contiguous
-  /// per-worker runs appended chunk-wise (ProduceStage::add_run).  Batches
-  /// containing lock-region accesses keep the per-event path: those must
-  /// push the moment they are staged so access + push stay atomic (Fig. 4).
-  void scatter(ProduceStage& prod, const AccessEvent* events, std::size_t n) {
+  /// per-worker runs appended chunk-wise.  `reps` (nullable) carries the
+  /// front-end RLE run lengths: a run is routed and staged once — packed
+  /// with its rep count, or expanded at staging when packing is off.
+  /// Batches containing lock-region accesses keep the per-event path: those
+  /// must push the moment they are staged so access + push stay atomic
+  /// (Fig. 4).
+  void scatter(ProduceStage& prod, const AccessEvent* events,
+               const std::uint32_t* reps, std::size_t n) {
     std::array<AccessEvent, kScatterBatch> unit;
     std::array<unsigned, kScatterBatch> dest;
     bool lock_region = false;
@@ -193,13 +219,32 @@ class ParallelProfiler final : public IProfiler {
     const unsigned W = obs_.workers();
     if (lock_region || W > kMaxScatterWorkers) {
       // Per-event fallback.  Routing is re-consulted per event because a
-      // push below can trigger a rebalance that changes it mid-batch.
+      // push below can trigger a rebalance that changes it mid-batch.  With
+      // packing on, staging must stay packed: a worker's pending chunk may
+      // already hold wire records, and a raw append would corrupt it.
       for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t rep = reps != nullptr ? reps[i] : 1;
         const unsigned w = router_.route(unit[i].addr);
-        Chunk* ready = prod.add(w, unit[i], chunk_fill_);
-        if (ready == nullptr && (unit[i].flags & kInLockRegion) != 0)
-          ready = prod.take(w);
-        if (ready != nullptr) push_chunk(ready, w);
+        if (cfg_.pack) {
+          prod.add_run_packed(w, &unit[i], &rep, 1, chunk_fill_,
+                              obs_.produce(),
+                              [this](Chunk* c, unsigned worker) {
+                                push_chunk(c, worker);
+                              });
+          // Lock-region accesses must be pushed the moment they are staged
+          // (Fig. 4), even from a part-full chunk.
+          if ((unit[i].flags & kInLockRegion) != 0)
+            if (Chunk* ready = prod.take(w)) push_chunk(ready, w);
+        } else {
+          // Runs expanded — lock-region events are never deduped, so reps
+          // beyond 1 only reach here via trace replay.
+          for (std::uint32_t r = 0; r < rep; ++r) {
+            Chunk* ready = prod.add(w, unit[i], chunk_fill_);
+            if (ready == nullptr && (unit[i].flags & kInLockRegion) != 0)
+              ready = prod.take(w);
+            if (ready != nullptr) push_chunk(ready, w);
+          }
+        }
         if (sample) router_.record_access(unit[i].addr);
       }
       return;
@@ -218,20 +263,33 @@ class ParallelProfiler final : public IProfiler {
       sum += c;
     }
     std::array<AccessEvent, kScatterBatch> run;
+    std::array<std::uint32_t, kScatterBatch> run_reps;
     std::array<std::uint32_t, kMaxScatterWorkers> start;
     for (unsigned w = 0; w < W; ++w) start[w] = offset[w];
-    for (std::size_t i = 0; i < n; ++i) run[offset[dest[i]]++] = unit[i];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t slot = offset[dest[i]]++;
+      run[slot] = unit[i];
+      run_reps[slot] = reps != nullptr ? reps[i] : 1;
+    }
     // Rebalancing is deferred to the end of the sub-batch: the destinations
     // above were computed against the current routing, and a mid-batch
     // routing change would strand the tail of a run on the old owner.
+    const auto push = [this](Chunk* c, unsigned worker) {
+      enqueue(worker, c);
+      obs_.produce().chunks.fetch_add(1, std::memory_order_relaxed);
+    };
     for (unsigned w = 0; w < W; ++w) {
       if (start[w] == offset[w]) continue;
-      prod.add_run(w, run.data() + start[w], offset[w] - start[w], chunk_fill_,
-                   [this](Chunk* c, unsigned worker) {
-                     enqueue(worker, c);
-                     obs_.produce().chunks.fetch_add(1,
-                                                     std::memory_order_relaxed);
-                   });
+      const std::size_t len = offset[w] - start[w];
+      if (cfg_.pack)
+        prod.add_run_packed(w, run.data() + start[w],
+                            run_reps.data() + start[w], len, chunk_fill_,
+                            obs_.produce(), push);
+      else if (reps != nullptr)
+        prod.add_run_rle(w, run.data() + start[w], run_reps.data() + start[w],
+                         len, chunk_fill_, push);
+      else
+        prod.add_run(w, run.data() + start[w], len, chunk_fill_, push);
     }
     if (sample) {
       const std::uint64_t produced =
@@ -284,6 +342,7 @@ class ParallelProfiler final : public IProfiler {
   /// and waking the worker if it parked on an empty queue.
   void enqueue(unsigned w, Chunk* c) {
     obs::StageStats& prod = obs_.produce();
+    if (c->kind == Chunk::Kind::kData) prod.add_bytes_on_wire(c->wire_bytes());
     if (!queues_[w]->try_push(c)) {
       prod.add_stalls(1);
       const std::uint64_t t0 = WallTimer::now();
@@ -363,7 +422,10 @@ class ParallelProfiler final : public IProfiler {
       stats.add_wakes(gate.not_full.notify_all());
       switch (c->kind) {
         case Chunk::Kind::kData:
-          me.process(c->events.data(), c->count);
+          if (c->packed)
+            process_packed(me, *c);
+          else
+            me.process(c->events.data(), c->count);
           pool_.release(c);
           break;
         case Chunk::Kind::kStop:
@@ -417,6 +479,35 @@ class ParallelProfiler final : public IProfiler {
         }
       }
     }
+  }
+
+  /// Decodes a packed chunk back into raw AccessEvents (expanding RLE runs)
+  /// and feeds the detect kernel in slab-sized sub-batches.  The wire format
+  /// never reaches DetectorCore — Algorithm 1 consumes the same 64-byte
+  /// events it always did.
+  static void process_packed(DetectStage<Store>& me, const Chunk& c) {
+    constexpr std::size_t kSlab = 512;
+    std::array<AccessEvent, kSlab> slab;
+    std::size_t fill = 0;
+    WireDecoder dec;
+    dec.reset();
+    const unsigned char* src = c.payload_bytes();
+    for (std::uint32_t r = 0; r < c.records; ++r) {
+      AccessEvent ev;
+      std::uint32_t rep = 0;
+      src += dec.decode(src, ev, rep);
+      while (rep > 0) {
+        const std::size_t n = std::min<std::size_t>(rep, kSlab - fill);
+        std::fill_n(slab.data() + fill, n, ev);
+        fill += n;
+        rep -= static_cast<std::uint32_t>(n);
+        if (fill == kSlab) {
+          me.process(slab.data(), fill);
+          fill = 0;
+        }
+      }
+    }
+    if (fill > 0) me.process(slab.data(), fill);
   }
 
   void join_workers() {

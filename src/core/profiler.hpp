@@ -79,6 +79,18 @@ struct ProfilerConfig {
   /// event at a time.  The dependence maps are byte-identical either way;
   /// the flag exists for the hotpath ablation and the depfuzz kernel axis.
   bool batched_detect = true;
+  /// Front-end redundancy elision: exact repeats of an access (same word,
+  /// kind, loc, var, tid, loop context) are run-length encoded before they
+  /// enter the pipeline (on_batch_rle), so the produce/route/queue path
+  /// handles one record per run instead of one per instance.  Map-preserving
+  /// (see DESIGN.md "Front-end event reduction"); the flag exists for the
+  /// frontend ablation and the depfuzz dedup axis.
+  bool dedup = true;
+  /// Compact chunk encoding: events travel the producer->worker queues as
+  /// ~16-byte delta-packed wire records (core/wire.hpp) instead of raw
+  /// 64-byte AccessEvents, and are decoded back before detection.  The
+  /// dependence maps are byte-identical either way.
+  bool pack = true;
 };
 
 /// Post-run statistics.  Both profilers fill every field the same way: the

@@ -32,6 +32,10 @@ class SerialProfiler final : public IProfiler {
     if (count == 0) return;
     obs_.produce().add_events(count);
     obs_.produce().add_chunks(1);
+    // No queue between produce and detect here, so the "wire" cost is the
+    // raw event bytes handed across the stage boundary — the serial
+    // baseline the packed parallel encoding is measured against.
+    obs_.produce().add_bytes_on_wire(count * sizeof(AccessEvent));
     // Canonicalize to the word-granular address unit once, here.
     std::array<AccessEvent, kUnitBatch> unit;
     while (count > 0) {
@@ -44,6 +48,38 @@ class SerialProfiler final : public IProfiler {
       events += n;
       count -= n;
     }
+  }
+
+  void on_batch_rle(const AccessEvent* events, const std::uint32_t* reps,
+                    std::size_t count) override {
+    if (count == 0) return;
+    std::uint64_t logical = 0;
+    for (std::size_t i = 0; i < count; ++i) logical += reps[i];
+    obs_.produce().add_events(logical);
+    obs_.produce().add_chunks(1);
+    obs_.produce().add_events_deduped(logical - count);
+    // One record per RLE run crosses the stage boundary.
+    obs_.produce().add_bytes_on_wire(count * sizeof(AccessEvent));
+    // Expand runs during the canonicalization copy: the detect kernel
+    // consumes the same raw event stream either way.
+    std::array<AccessEvent, kUnitBatch> unit;
+    std::size_t fill = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      AccessEvent ev = events[i];
+      ev.addr = word_addr(events[i].addr);
+      std::uint32_t rep = reps[i];
+      while (rep > 0) {
+        const std::size_t n = std::min<std::size_t>(rep, unit.size() - fill);
+        std::fill_n(unit.data() + fill, n, ev);
+        fill += n;
+        rep -= static_cast<std::uint32_t>(n);
+        if (fill == unit.size()) {
+          detect_.process(unit.data(), fill);
+          fill = 0;
+        }
+      }
+    }
+    if (fill > 0) detect_.process(unit.data(), fill);
   }
 
   void finish() override {

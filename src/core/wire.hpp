@@ -1,0 +1,148 @@
+#pragma once
+// Compact chunk encoding — the pack half of the front-end event reduction
+// layer (see DESIGN.md "Front-end event reduction").
+//
+// A raw AccessEvent costs one 64-byte cache line of queue bandwidth per
+// access.  Within one producer's stream, consecutive events differ in only
+// a few fields — the address moves a little, the location and variable
+// change, the loop iteration advances — so each event is carried on the
+// wire as a 16-byte delta record against the previous event of the same
+// chunk, with a full-size escape record for anything that does not fit
+// (and, always, for the first record of a chunk, which doubles as the
+// per-chunk base).  Each record also carries a run-length count, so the
+// front-end dedup cache's RLE runs travel as one record.
+//
+// The codec is strictly chunk-local: the encoder and decoder both start
+// from "no previous event" at every chunk boundary, so chunks stay
+// independently decodable regardless of queue interleaving or migration.
+// Decoding happens at the head of the worker's detect loop, back into the
+// 64-byte AccessEvent the DetectorCore consumes — Algorithm 1 never sees
+// the wire format.
+
+#include <cstdint>
+#include <cstring>
+
+#include "trace/event.hpp"
+
+namespace depprof {
+
+/// One packed wire record.  kind_flags holds (kind | flags << 2) and the
+/// reserved value 0xFF marks an escape record: the 16-byte header (its rep
+/// still meaningful) followed by the raw 64-byte AccessEvent.
+struct WireRecord {
+  std::uint32_t loc = 0;
+  std::int32_t addr_delta = 0;   ///< address units vs previous event
+  std::uint16_t var = 0;
+  std::uint16_t ts_delta = 0;    ///< timestamp advance vs previous event
+  std::uint16_t iter_delta = 0;  ///< loops[0].iter advance vs previous event
+  std::uint8_t kind_flags = 0;   ///< kind | flags << 2; 0xFF = escape
+  std::uint8_t rep = 0;          ///< run length - 1
+};
+
+static_assert(sizeof(WireRecord) == 16, "wire record is a quarter line");
+
+inline constexpr std::uint8_t kWireEscape = 0xFF;
+
+/// Upper bound on the bytes one encode step may write (escape record).
+inline constexpr std::size_t kMaxWireRecordBytes =
+    sizeof(WireRecord) + sizeof(AccessEvent);
+
+/// Longest run one wire record can carry (8-bit rep field).
+inline constexpr std::uint32_t kMaxWireRep = 256;
+
+/// Chunk-local encoder.  reset() at every chunk boundary.
+class WireEncoder {
+ public:
+  void reset() { has_prev_ = false; }
+
+  /// Encodes one run (`rep` in [1, kMaxWireRep] identical instances of
+  /// `ev`) at `dst`; returns bytes written (16 or 16+64).  Sets `escaped`
+  /// when the full-size record was needed.
+  std::size_t encode(const AccessEvent& ev, std::uint32_t rep,
+                     unsigned char* dst, bool& escaped) {
+    WireRecord r;
+    r.rep = static_cast<std::uint8_t>(rep - 1);
+    // kind_flags can never collide with the escape marker for valid kinds
+    // (kind <= 2), but flags with bits above 0x3F would be truncated by the
+    // << 2 packing, so such events take the escape path.
+    bool fit = has_prev_ && ev.tid == prev_.tid && ev.var <= 0xFFFF &&
+               (ev.flags >> 6) == 0 &&
+               ev.ts >= prev_.ts && ev.ts - prev_.ts <= 0xFFFF &&
+               ev.loops[1] == prev_.loops[1] && ev.loops[2] == prev_.loops[2] &&
+               ev.loops[0].loop == prev_.loops[0].loop &&
+               ev.loops[0].entry == prev_.loops[0].entry &&
+               ev.loops[0].iter >= prev_.loops[0].iter &&
+               ev.loops[0].iter - prev_.loops[0].iter <= 0xFFFF;
+    if (fit) {
+      const std::int64_t da = static_cast<std::int64_t>(ev.addr) -
+                              static_cast<std::int64_t>(prev_.addr);
+      fit = da >= INT32_MIN && da <= INT32_MAX;
+      if (fit) {
+        r.addr_delta = static_cast<std::int32_t>(da);
+        r.ts_delta = static_cast<std::uint16_t>(ev.ts - prev_.ts);
+        r.iter_delta = static_cast<std::uint16_t>(ev.loops[0].iter -
+                                                  prev_.loops[0].iter);
+      }
+    }
+    prev_ = ev;
+    has_prev_ = true;
+    if (!fit) {
+      r.kind_flags = kWireEscape;
+      std::memcpy(dst, &r, sizeof(r));
+      std::memcpy(dst + sizeof(r), &ev, sizeof(ev));
+      escaped = true;
+      return sizeof(r) + sizeof(ev);
+    }
+    r.loc = ev.loc;
+    r.var = static_cast<std::uint16_t>(ev.var);
+    r.kind_flags = static_cast<std::uint8_t>(
+        static_cast<std::uint8_t>(ev.kind) |
+        static_cast<std::uint8_t>(ev.flags << 2));
+    std::memcpy(dst, &r, sizeof(r));
+    escaped = false;
+    return sizeof(r);
+  }
+
+ private:
+  AccessEvent prev_;
+  bool has_prev_ = false;
+};
+
+/// Chunk-local decoder.  reset() at every chunk boundary; decode() mirrors
+/// WireEncoder::encode exactly.
+class WireDecoder {
+ public:
+  void reset() { has_prev_ = false; }
+
+  /// Decodes one record at `src` into `ev` and its run length `rep`;
+  /// returns bytes consumed.
+  std::size_t decode(const unsigned char* src, AccessEvent& ev,
+                     std::uint32_t& rep) {
+    WireRecord r;
+    std::memcpy(&r, src, sizeof(r));
+    rep = static_cast<std::uint32_t>(r.rep) + 1;
+    if (r.kind_flags == kWireEscape) {
+      std::memcpy(&ev, src + sizeof(r), sizeof(ev));
+      prev_ = ev;
+      has_prev_ = true;
+      return sizeof(r) + sizeof(ev);
+    }
+    ev = prev_;
+    ev.addr = static_cast<std::uint64_t>(static_cast<std::int64_t>(prev_.addr) +
+                                         r.addr_delta);
+    ev.ts = prev_.ts + r.ts_delta;
+    ev.loc = r.loc;
+    ev.var = r.var;
+    ev.loops[0].iter = prev_.loops[0].iter + r.iter_delta;
+    ev.kind = static_cast<AccessKind>(r.kind_flags & 0x3);
+    ev.flags = static_cast<std::uint8_t>(r.kind_flags >> 2);
+    prev_ = ev;
+    return sizeof(r);
+  }
+
+ private:
+  AccessEvent prev_;
+  bool has_prev_ = false;
+};
+
+}  // namespace depprof

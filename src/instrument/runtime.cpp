@@ -25,6 +25,7 @@ Runtime::ThreadState& Runtime::thread_state() {
     state.loop_stack.clear();
     state.call_stack.clear();
     state.buffer.discard();
+    state.cache.invalidate_all();
   }
   if (!state.registered) {
     std::lock_guard lock(buffers_mu_);
@@ -40,6 +41,7 @@ void Runtime::forget_thread(ThreadState& state) {
   AccessSink* sink = sink_.load(std::memory_order_acquire);
   if (enabled_.load(std::memory_order_acquire) && sink != nullptr)
     state.buffer.flush(*sink);
+  state.cache.invalidate_all();
   threads_.erase(std::remove(threads_.begin(), threads_.end(), &state),
                  threads_.end());
 }
@@ -50,16 +52,22 @@ void Runtime::drain_in_flight_locked() {
     }
 }
 
-void Runtime::attach(AccessSink* sink, bool mt_mode) {
+void Runtime::attach(AccessSink* sink, bool mt_mode, bool dedup) {
   {
     // Buffers may still hold events of a previous session whose sink is
     // gone; they must not leak into the new one.  Late record() calls of
     // that session must have finished with their buffers before we discard.
     std::lock_guard lock(buffers_mu_);
     drain_in_flight_locked();
-    for (ThreadState* ts : threads_) ts->buffer.discard();
+    for (ThreadState* ts : threads_) {
+      ts->buffer.discard();
+      ts->cache.invalidate_all();
+    }
   }
   mt_mode_.store(mt_mode, std::memory_order_relaxed);
+  // In mt_mode every event carries a fresh timestamp, so no two events are
+  // ever identical — the cache could only miss.  Keep it off entirely.
+  dedup_.store(dedup && !mt_mode, std::memory_order_relaxed);
   sink_.store(sink, std::memory_order_seq_cst);
   enabled_.store(sink != nullptr, std::memory_order_release);
 }
@@ -74,8 +82,10 @@ void Runtime::detach() {
   {
     std::lock_guard lock(buffers_mu_);
     drain_in_flight_locked();
-    if (sink != nullptr)
-      for (ThreadState* ts : threads_) ts->buffer.flush(*sink);
+    for (ThreadState* ts : threads_) {
+      if (sink != nullptr) ts->buffer.flush(*sink);
+      ts->cache.invalidate_all();
+    }
   }
   if (sink != nullptr) sink->finish();
 }
@@ -100,11 +110,30 @@ void Runtime::record(const void* addr, std::size_t size, std::uint32_t file,
   if (mt_mode_.load(std::memory_order_relaxed))
     ev.ts = timestamp_.fetch_add(1, std::memory_order_relaxed);
   if (ts.lock_depth > 0) ev.flags |= kInLockRegion;
+  if (dedup_.load(std::memory_order_relaxed) && dedup_eligible(ev)) {
+    // Front-end redundancy elision: an exact repeat of the most recent
+    // buffered access to this word only bumps that record's rep counter.
+    const std::uint64_t w = word_addr(ev.addr);
+    const std::uint32_t idx = ts.cache.find(w);
+    if (idx != DedupCache::kNoIndex &&
+        same_access_identity(ts.buffer.at(idx), ev) && ts.buffer.bump_rep(idx))
+      return;
+    if (ts.buffer.add(ev)) {
+      ts.buffer.flush(*use.sink());
+      ts.cache.invalidate_all();
+    } else {
+      ts.cache.put(w, static_cast<std::uint32_t>(ts.buffer.size() - 1));
+    }
+    return;
+  }
   const bool full = ts.buffer.add(ev);
   // Inside a lock region the access and its push must stay atomic (Fig. 4):
   // deliver immediately so no other thread can enter the region and push a
   // conflicting access first.
-  if (full || ts.lock_depth > 0) ts.buffer.flush(*use.sink());
+  if (full || ts.lock_depth > 0) {
+    ts.buffer.flush(*use.sink());
+    ts.cache.invalidate_all();
+  }
 }
 
 void Runtime::record_free(const void* addr, std::size_t size) {
@@ -122,17 +151,25 @@ void Runtime::record_free(const void* addr, std::size_t size) {
   const std::uint64_t last = word_addr(base + (size > 0 ? size - 1 : 0));
   const bool mt = mt_mode_.load(std::memory_order_relaxed);
   for (std::uint64_t w = first; w <= last; ++w) {
+    // Lifetime boundary: a cached access to this word must not absorb a
+    // repeat recorded after the heap recycles the memory — the repeat is a
+    // fresh INIT, not another instance of the dead variable's access.
+    ts.cache.invalidate_word(w);
     AccessEvent ev;
     ev.addr = w << 2;
     ev.kind = AccessKind::kFree;
     ev.tid = ts.tid;
     if (mt) ev.ts = timestamp_.fetch_add(1, std::memory_order_relaxed);
-    if (ts.buffer.add(ev)) ts.buffer.flush(*use.sink());
+    if (ts.buffer.add(ev)) {
+      ts.buffer.flush(*use.sink());
+      ts.cache.invalidate_all();
+    }
   }
 }
 
 void Runtime::loop_begin(std::uint32_t file, std::uint32_t line) {
   ThreadState& ts = thread_state();
+  ts.cache.invalidate_all();  // dedup never crosses a loop-context change
   const std::uint32_t loc = SourceLocation(file, line).packed();
   ts.loop_stack.push_back(
       {loc, next_entry_.fetch_add(1, std::memory_order_relaxed), 0});
@@ -147,11 +184,13 @@ void Runtime::loop_begin(std::uint32_t file, std::uint32_t line) {
 
 void Runtime::loop_iter() {
   ThreadState& ts = thread_state();
+  ts.cache.invalidate_all();  // dedup never crosses an iteration advance
   if (!ts.loop_stack.empty()) ts.loop_stack.back().iter += 1;
 }
 
 void Runtime::loop_end(std::uint32_t file, std::uint32_t line) {
   ThreadState& ts = thread_state();
+  ts.cache.invalidate_all();  // dedup never crosses a loop-context change
   if (ts.loop_stack.empty()) return;
   const ActiveLoop top = ts.loop_stack.back();
   ts.loop_stack.pop_back();
@@ -190,6 +229,7 @@ void Runtime::sync_point() {
   SinkUse use(*this, ts);
   if (AccessSink* sink = use.sink()) {
     ts.buffer.flush(*sink);
+    ts.cache.invalidate_all();
     sink->on_unlock(ts.tid);
   }
 }
@@ -204,6 +244,7 @@ void Runtime::lock_exit() {
   SinkUse use(*this, ts);
   if (AccessSink* sink = use.sink()) {
     ts.buffer.flush(*sink);
+    ts.cache.invalidate_all();
     sink->on_unlock(ts.tid);
   }
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/location.hpp"
+#include "instrument/dedup.hpp"
 #include "trace/call_tree.hpp"
 #include "trace/control_flow.hpp"
 #include "trace/event.hpp"
@@ -35,8 +36,15 @@ class Runtime {
   static Runtime& instance();
 
   /// Attaches the profiler (or trace recorder) receiving events.  `mt_mode`
-  /// enables global timestamps for multi-threaded targets.
-  void attach(AccessSink* sink, bool mt_mode = false);
+  /// enables global timestamps for multi-threaded targets.  `dedup` enables
+  /// the front-end redundancy-elision cache (instrument/dedup.hpp): exact
+  /// repeats of an access are run-length encoded into the outgoing batches
+  /// instead of re-buffered.  Ignored in mt_mode, where every event carries
+  /// a fresh timestamp the race check depends on.  The depprof CLI wires
+  /// this from ProfilerConfig::dedup (default on); the parameter itself
+  /// defaults off so recorders and existing harnesses see the verbatim
+  /// stream unless they opt in.
+  void attach(AccessSink* sink, bool mt_mode = false, bool dedup = false);
 
   /// Detaches the sink and calls its finish().  Control-flow data remains
   /// readable until the next attach().
@@ -131,6 +139,11 @@ class Runtime {
     /// Per-thread chunk buffer: events accumulate here and flush through
     /// AccessSink::on_batch — the same chunk path trace replay uses.
     EventBuffer buffer;
+    /// Front-end dedup cache over the buffered records.  Invalidated (O(1)
+    /// generation bump) at every flush point — buffer flush/discard, loop
+    /// begin/iter/end, lock and sync boundaries — and per-word by
+    /// record_free for the freed span.
+    DedupCache cache;
     /// True while the owning thread is inside a record/flush critical
     /// section using the attached sink.  attach()/detach() swap the sink
     /// pointer first and then wait for every registered thread's flag to
@@ -183,6 +196,7 @@ class Runtime {
   std::atomic<bool> enabled_{false};
   std::atomic<AccessSink*> sink_{nullptr};
   std::atomic<bool> mt_mode_{false};
+  std::atomic<bool> dedup_{false};
   std::atomic<std::uint64_t> timestamp_{1};
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint16_t> next_tid_{0};

@@ -18,7 +18,8 @@ std::string snapshot_csv(const PipelineSnapshot& snap) {
   std::ostringstream os;
   os << "stage,events,chunks,stalls,queue_depth_hwm,busy_sec,cpu_sec,"
         "idle_sec,idle_cpu_sec,parked_sec,parks,block_sec,wakes,"
-        "migrations,rounds,kernel_batches,prefetches\n";
+        "migrations,rounds,kernel_batches,prefetches,events_deduped,"
+        "bytes_on_wire,pack_escapes\n";
   for (const auto& s : snap.stages) {
     os << s.stage << ',' << s.events << ',' << s.chunks << ',' << s.stalls
        << ',' << s.queue_depth_hwm << ',' << fmt_sec(s.busy_sec()) << ','
@@ -26,7 +27,8 @@ std::string snapshot_csv(const PipelineSnapshot& snap) {
        << fmt_sec(s.idle_cpu_sec()) << ',' << fmt_sec(s.parked_sec()) << ','
        << s.parks << ',' << fmt_sec(s.block_sec()) << ',' << s.wakes << ','
        << s.migrations << ',' << s.rounds << ',' << s.kernel_batches << ','
-       << s.prefetches << '\n';
+       << s.prefetches << ',' << s.events_deduped << ',' << s.bytes_on_wire
+       << ',' << s.pack_escapes << '\n';
   }
   return os.str();
 }
@@ -51,7 +53,10 @@ std::string snapshot_json(const PipelineSnapshot& snap) {
        << ",\"wakes\":" << s.wakes
        << ",\"migrations\":" << s.migrations << ",\"rounds\":" << s.rounds
        << ",\"kernel_batches\":" << s.kernel_batches
-       << ",\"prefetches\":" << s.prefetches << '}';
+       << ",\"prefetches\":" << s.prefetches
+       << ",\"events_deduped\":" << s.events_deduped
+       << ",\"bytes_on_wire\":" << s.bytes_on_wire
+       << ",\"pack_escapes\":" << s.pack_escapes << '}';
   }
   os << ']';
   return os.str();
@@ -62,15 +67,17 @@ std::string snapshot_text(const PipelineSnapshot& snap) {
   char line[256];
   std::snprintf(line, sizeof(line),
                 "%-11s %12s %10s %8s %10s %10s %10s %10s %10s %9s %7s %9s %6s "
-                "%6s %6s %8s %10s\n",
+                "%6s %6s %8s %10s %10s %12s %8s\n",
                 "stage", "events", "chunks", "stalls", "depth_hwm", "busy_s",
                 "cpu_s", "idle_s", "idlecpu_s", "parked_s", "parks", "block_s",
-                "wakes", "moved", "rounds", "batches", "prefetch");
+                "wakes", "moved", "rounds", "batches", "prefetch", "deduped",
+                "wire_bytes", "escapes");
   os << line;
   for (const auto& s : snap.stages) {
     std::snprintf(line, sizeof(line),
                   "%-11s %12llu %10llu %8llu %10llu %10.4f %10.4f %10.4f "
-                  "%10.4f %9.4f %7llu %9.4f %6llu %6llu %6llu %8llu %10llu\n",
+                  "%10.4f %9.4f %7llu %9.4f %6llu %6llu %6llu %8llu %10llu "
+                  "%10llu %12llu %8llu\n",
                   s.stage.c_str(), static_cast<unsigned long long>(s.events),
                   static_cast<unsigned long long>(s.chunks),
                   static_cast<unsigned long long>(s.stalls),
@@ -81,7 +88,10 @@ std::string snapshot_text(const PipelineSnapshot& snap) {
                   static_cast<unsigned long long>(s.migrations),
                   static_cast<unsigned long long>(s.rounds),
                   static_cast<unsigned long long>(s.kernel_batches),
-                  static_cast<unsigned long long>(s.prefetches));
+                  static_cast<unsigned long long>(s.prefetches),
+                  static_cast<unsigned long long>(s.events_deduped),
+                  static_cast<unsigned long long>(s.bytes_on_wire),
+                  static_cast<unsigned long long>(s.pack_escapes));
     os << line;
   }
   return os.str();

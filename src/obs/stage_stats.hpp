@@ -47,6 +47,9 @@ struct alignas(64) StageStats {
   std::atomic<std::uint64_t> rounds{0};      ///< redistribution rounds (route stage)
   std::atomic<std::uint64_t> kernel_batches{0};  ///< batched-kernel invocations (detect)
   std::atomic<std::uint64_t> prefetches{0};      ///< slot prefetches issued K ahead (detect)
+  std::atomic<std::uint64_t> events_deduped{0};  ///< accesses elided as exact repeats (produce)
+  std::atomic<std::uint64_t> bytes_on_wire{0};   ///< chunk payload bytes actually queued (produce)
+  std::atomic<std::uint64_t> pack_escapes{0};    ///< wire records that needed the escape slot (produce)
 
   void add_events(std::uint64_t n) { events.fetch_add(n, std::memory_order_relaxed); }
   void add_chunks(std::uint64_t n) { chunks.fetch_add(n, std::memory_order_relaxed); }
@@ -65,6 +68,9 @@ struct alignas(64) StageStats {
   void add_rounds(std::uint64_t n) { rounds.fetch_add(n, std::memory_order_relaxed); }
   void add_kernel_batches(std::uint64_t n) { kernel_batches.fetch_add(n, std::memory_order_relaxed); }
   void add_prefetches(std::uint64_t n) { prefetches.fetch_add(n, std::memory_order_relaxed); }
+  void add_events_deduped(std::uint64_t n) { events_deduped.fetch_add(n, std::memory_order_relaxed); }
+  void add_bytes_on_wire(std::uint64_t n) { bytes_on_wire.fetch_add(n, std::memory_order_relaxed); }
+  void add_pack_escapes(std::uint64_t n) { pack_escapes.fetch_add(n, std::memory_order_relaxed); }
 
   /// Raises the queue-depth high-water mark to `depth` if it is higher.
   void raise_queue_depth(std::uint64_t depth) {
@@ -76,7 +82,7 @@ struct alignas(64) StageStats {
   }
 };
 
-static_assert(sizeof(StageStats) == 128,
+static_assert(sizeof(StageStats) == 192,
               "whole cache lines only: no stage shares a line with another");
 
 /// Plain-data copy of one stage's counters at a point in time.
@@ -98,6 +104,9 @@ struct StageSnapshot {
   std::uint64_t rounds = 0;
   std::uint64_t kernel_batches = 0;
   std::uint64_t prefetches = 0;
+  std::uint64_t events_deduped = 0;
+  std::uint64_t bytes_on_wire = 0;
+  std::uint64_t pack_escapes = 0;
 
   double busy_sec() const { return static_cast<double>(busy_ns) * 1e-9; }
   double cpu_sec() const { return static_cast<double>(cpu_ns) * 1e-9; }
@@ -176,6 +185,9 @@ class PipelineObs {
     out.rounds = s.rounds.load(std::memory_order_relaxed);
     out.kernel_batches = s.kernel_batches.load(std::memory_order_relaxed);
     out.prefetches = s.prefetches.load(std::memory_order_relaxed);
+    out.events_deduped = s.events_deduped.load(std::memory_order_relaxed);
+    out.bytes_on_wire = s.bytes_on_wire.load(std::memory_order_relaxed);
+    out.pack_escapes = s.pack_escapes.load(std::memory_order_relaxed);
     return out;
   }
 

@@ -12,7 +12,13 @@
 namespace depprof {
 namespace {
 
-constexpr std::string_view kVersionLine = "depfuzz-repro v1";
+// v2 added the front-end reduction axes and hard-requires their keys: a
+// repro that omits dedup=/pack= would silently replay under whatever the
+// current defaults are, which is exactly the ambiguity the corpus lint
+// exists to reject.  v1 files predate the axes and replay with both off —
+// the semantics they were recorded under.
+constexpr std::string_view kVersionLineV1 = "depfuzz-repro v1";
+constexpr std::string_view kVersionLineV2 = "depfuzz-repro v2";
 
 const char* sig_hash_name(SigHash h) {
   return h == SigHash::kModulo ? "modulo" : "mix";
@@ -98,8 +104,9 @@ bool set_error(std::string* error, std::size_t line_no,
   return false;
 }
 
-bool parse_config_line(const std::vector<std::string_view>& toks,
-                       ProfilerConfig& cfg, std::string& bad_key) {
+bool parse_config_line(const std::vector<std::string_view>& toks, int version,
+                       ProfilerConfig& cfg, bool& saw_dedup, bool& saw_pack,
+                       std::string& bad_key) {
   for (std::size_t i = 1; i < toks.size(); ++i) {
     std::string_view key, value;
     if (!split_kv(toks[i], key, value)) {
@@ -122,6 +129,12 @@ bool parse_config_line(const std::vector<std::string_view>& toks,
     // Written by every repro since the batched kernel landed; optional on
     // read so older committed corpus files still parse.
     else if (key == "batch") ok = parse_bool(value, cfg.batched_detect);
+    // v2-only front-end reduction axes; in a v1 file they are unknown keys
+    // (strictness over permissiveness — see the version-line comment).
+    else if (key == "dedup" && version >= 2)
+      ok = parse_bool(value, cfg.dedup), saw_dedup = true;
+    else if (key == "pack" && version >= 2)
+      ok = parse_bool(value, cfg.pack), saw_pack = true;
     else ok = false;
     if (!ok) {
       bad_key = std::string(toks[i]);
@@ -216,7 +229,7 @@ bool parse_event_line(const std::vector<std::string_view>& toks,
 
 std::string format_repro(const ReproCase& repro) {
   std::ostringstream os;
-  os << kVersionLine << '\n';
+  os << kVersionLineV2 << '\n';
   if (!repro.note.empty()) os << "note " << repro.note << '\n';
   const ProfilerConfig& c = repro.cfg;
   os << "config storage=" << storage_kind_name(c.storage)
@@ -226,7 +239,9 @@ std::string format_repro(const ReproCase& repro) {
      << " wait=" << wait_kind_name(c.wait) << " chunk=" << c.chunk_size
      << " qcap=" << c.queue_capacity
      << " modulo_routing=" << (c.modulo_routing ? 1 : 0)
-     << " batch=" << (c.batched_detect ? 1 : 0) << '\n';
+     << " batch=" << (c.batched_detect ? 1 : 0)
+     << " dedup=" << (c.dedup ? 1 : 0) << " pack=" << (c.pack ? 1 : 0)
+     << '\n';
   const LoadBalanceConfig& lb = c.load_balance;
   os << "lb enabled=" << (lb.enabled ? 1 : 0)
      << " sample_shift=" << lb.sample_shift
@@ -252,8 +267,10 @@ std::string format_repro(const ReproCase& repro) {
 
 bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
   ReproCase repro;
-  bool saw_version = false;
+  int version = 0;
   bool saw_config = false;
+  bool saw_dedup = false;
+  bool saw_pack = false;
   std::size_t line_no = 0;
   std::size_t pos = 0;
   while (pos <= text.size()) {
@@ -263,12 +280,21 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
     pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
     ++line_no;
     if (line.empty()) continue;
-    if (!saw_version) {
-      if (line != kVersionLine)
+    if (version == 0) {
+      if (line == kVersionLineV1) {
+        version = 1;
+        // v1 predates the front-end reduction axes; such repros were
+        // recorded (and minimized) against the raw event path.
+        repro.cfg.dedup = false;
+        repro.cfg.pack = false;
+      } else if (line == kVersionLineV2) {
+        version = 2;
+      } else {
         return set_error(error, line_no,
                          "expected version line '" +
-                             std::string(kVersionLine) + "'");
-      saw_version = true;
+                             std::string(kVersionLineV1) + "' or '" +
+                             std::string(kVersionLineV2) + "'");
+      }
       continue;
     }
     if (line[0] == '#') continue;
@@ -281,8 +307,12 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
                        ? ""
                        : std::string(line.substr(at + 5));
     } else if (toks[0] == "config") {
-      if (!parse_config_line(toks, repro.cfg, bad))
+      if (!parse_config_line(toks, version, repro.cfg, saw_dedup, saw_pack,
+                             bad))
         return set_error(error, line_no, "bad config token '" + bad + "'");
+      if (version >= 2 && (!saw_dedup || !saw_pack))
+        return set_error(error, line_no,
+                         "v2 config requires dedup= and pack= keys");
       saw_config = true;
     } else if (toks[0] == "lb") {
       if (!parse_lb_line(toks, repro.cfg.load_balance, bad))
@@ -297,7 +327,7 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
                        "unknown directive '" + std::string(toks[0]) + "'");
     }
   }
-  if (!saw_version) return set_error(error, 0, "empty file");
+  if (version == 0) return set_error(error, 0, "empty file");
   if (!saw_config) return set_error(error, line_no, "missing config line");
   out = std::move(repro);
   return true;

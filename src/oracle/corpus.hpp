@@ -6,11 +6,12 @@
 // tests/corpus/ is replayed by the corpus regression test on each CI run,
 // turning yesterday's fuzz finding into tomorrow's regression gate.
 //
-//   depfuzz-repro v1
+//   depfuzz-repro v2
 //   # free-form provenance comment
 //   note <one-line description>
 //   config storage=perfect slots=1048576 sighash=modulo mt=0 workers=4
 //          ... queue=lock-free-spsc wait=park chunk=7 qcap=64 modulo_routing=0
+//          ... batch=1 dedup=1 pack=1
 //   lb enabled=1 sample_shift=0 interval=200 threshold=1.25 top_k=10
 //          ... max_rounds=64
 //   ev W addr=0x2000 loc=16777226 var=0 tid=0 ts=0 flags=0
@@ -20,6 +21,12 @@
 // comment only.)  `ev` kinds are R / W / F.  Unknown directives or keys are
 // hard parse errors — the corpus lint relies on strictness, so a typo in a
 // committed repro fails CI instead of silently replaying something else.
+//
+// Versioning: v2 (current) hard-requires the front-end reduction keys
+// dedup= and pack= on the config line, so a repro can never silently
+// replay under whichever defaults happen to be current.  v1 files (which
+// predate those axes) still parse, with both axes off — the semantics they
+// were recorded under.  format_repro always writes v2.
 //
 // MT repros must be order-faithful under single-threaded replay: every
 // mixed-tid event stream needs the lock-region flag (bit 0) set, as the

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/hash.hpp"
+#include "instrument/dedup.hpp"
 #include "oracle/diff.hpp"
 #include "oracle/exact_oracle.hpp"
 #include "sig/fpr_model.hpp"
@@ -83,19 +84,38 @@ CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg) {
 
   const DepMap oracle = oracle_dependences(trace, cfg.mt_targets);
 
-  auto serial = make_serial_profiler(cfg);
-  replay(trace, *serial);
-  auto parallel = make_parallel_profiler(cfg);
-  replay(trace, *parallel);
-
-  const DepDiff serial_diff = diff_deps(oracle, serial->dependences());
-  const DepDiff parallel_diff = diff_deps(oracle, parallel->dependences());
-
   auto fail = [&](const std::string& what) {
     out.ok = false;
     if (!out.detail.empty()) out.detail += '\n';
     out.detail += what;
   };
+
+  auto serial = make_serial_profiler(cfg);
+  auto parallel = make_parallel_profiler(cfg);
+  if (cfg.dedup) {
+    // Map-preservation contract of the front-end dedup (instrument/dedup.hpp):
+    // expanding the RLE stream must reproduce the oracle's map exactly, for
+    // every configuration — this is stronger than the exact/bounded split
+    // below and is checked against the oracle itself, so a dedup defect is
+    // attributed to dedup rather than to whichever store runs under it.
+    const RleStream rle =
+        dedup_stream(trace.events.data(), trace.events.size());
+    Trace expanded;
+    expanded.events = expand_rle(rle);
+    const DepMap oracle_rle = oracle_dependences(expanded, cfg.mt_targets);
+    const DepDiff dedup_diff = diff_deps(oracle, oracle_rle);
+    if (!dedup_diff.identical())
+      fail("dedup is not map-preserving:\n" +
+           format_diff(dedup_diff, "oracle(raw)", "oracle(dedup-expanded)"));
+    replay_rle(rle, *serial);
+    replay_rle(rle, *parallel);
+  } else {
+    replay(trace, *serial);
+    replay(trace, *parallel);
+  }
+
+  const DepDiff serial_diff = diff_deps(oracle, serial->dependences());
+  const DepDiff parallel_diff = diff_deps(oracle, parallel->dependences());
 
   if (out.expectation == Expectation::kExact) {
     if (!serial_diff.identical())

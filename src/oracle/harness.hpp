@@ -15,7 +15,15 @@
 //   * serial and parallel must agree with each other under the same rules
 //     (identical for exact stores; each within budget of the oracle for
 //     finite signatures — their collision sets legitimately differ because
-//     the per-worker signatures partition the address space).
+//     the per-worker signatures partition the address space);
+//   * front-end redundancy elision (ProfilerConfig::dedup) is
+//     map-preserving, not merely bounded: the exact oracle over the
+//     expanded RLE stream must be byte-identical to the oracle over the
+//     raw trace for *every* configuration, and the profilers are then fed
+//     the deduplicated stream under the same exact/bounded rules as above.
+//     Compact chunk encoding (ProfilerConfig::pack) is exercised implicitly
+//     by the parallel run — the wire codec is lossless by construction and
+//     any decode defect shows up as a divergence here.
 //
 // The harness is the one definition of "the pipeline is correct" shared by
 // tools/depfuzz, the corpus regression tests, and the CI smoke job.

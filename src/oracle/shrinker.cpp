@@ -91,6 +91,11 @@ ProfilerConfig shrink_config(const Trace& trace, ProfilerConfig cfg,
   // no scatter), so prefer it when the failure reproduces without batching.
   if (cfg.batched_detect)
     try_apply([](ProfilerConfig& c) { c.batched_detect = false; });
+  // Strip the front-end reduction layers independently: a failure that
+  // survives with dedup (or pack) off did not need that layer, and the
+  // repro should say so.
+  if (cfg.dedup) try_apply([](ProfilerConfig& c) { c.dedup = false; });
+  if (cfg.pack) try_apply([](ProfilerConfig& c) { c.pack = false; });
   return cfg;
 }
 

@@ -81,6 +81,18 @@ class AccessSink {
   virtual void on_batch(const AccessEvent* events, std::size_t count) {
     for (std::size_t i = 0; i < count; ++i) on_access(events[i]);
   }
+  /// Run-length-encoded batch: `reps[i]` identical instances of `events[i]`
+  /// (reps[i] >= 1), produced by the front-end dedup cache.  Expanding the
+  /// runs in order yields exactly the stream on_batch would have carried, so
+  /// the default implementation does that and sinks that never look at
+  /// per-instance identity (recorders, profilers without a compressed fast
+  /// path) need no override.  Profilers override this to keep the runs
+  /// compressed through their produce/route stages.
+  virtual void on_batch_rle(const AccessEvent* events,
+                            const std::uint32_t* reps, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i)
+      for (std::uint32_t r = 0; r < reps[i]; ++r) on_access(events[i]);
+  }
   /// A target thread left a lock region (Sec. V, Fig. 4): buffered accesses
   /// of that thread must be pushed before the lock is released so that
   /// access and push stay atomic.  No-op for sinks without buffering.

@@ -269,6 +269,10 @@ TEST(Shrinker, ConfigLadderSimplifiesWhenFailureIsConfigIndependent) {
   // The ladder also steps the batched kernel down to the per-event loop so
   // a repro that survives is known not to depend on batching.
   EXPECT_FALSE(simple.batched_detect);
+  // Likewise the front-end reduction layers: a config-independent failure
+  // must shrink to a repro with both dedup and pack off.
+  EXPECT_FALSE(simple.dedup);
+  EXPECT_FALSE(simple.pack);
 }
 
 TEST(Shrinker, KeepsConfigWhenSimplificationLosesTheFailure) {
@@ -298,6 +302,8 @@ ReproCase sample_repro() {
   r.cfg.queue_capacity = 32;
   r.cfg.modulo_routing = true;
   r.cfg.batched_detect = false;  // non-default: the round trip must keep it
+  r.cfg.dedup = false;           // non-default, like batched_detect
+  r.cfg.pack = false;
   r.cfg.load_balance.enabled = true;
   r.cfg.load_balance.sample_shift = 2;
   r.cfg.load_balance.eval_interval_chunks = 17;
@@ -331,6 +337,8 @@ TEST(Corpus, FormatParseRoundTrip) {
   EXPECT_EQ(back.cfg.queue_capacity, original.cfg.queue_capacity);
   EXPECT_EQ(back.cfg.modulo_routing, original.cfg.modulo_routing);
   EXPECT_EQ(back.cfg.batched_detect, original.cfg.batched_detect);
+  EXPECT_EQ(back.cfg.dedup, original.cfg.dedup);
+  EXPECT_EQ(back.cfg.pack, original.cfg.pack);
   EXPECT_EQ(back.cfg.load_balance.enabled, original.cfg.load_balance.enabled);
   EXPECT_EQ(back.cfg.load_balance.eval_interval_chunks,
             original.cfg.load_balance.eval_interval_chunks);
@@ -364,6 +372,41 @@ TEST(Corpus, StrictParserRejectsUnknownInput) {
       &error));
   // Missing the config line entirely.
   EXPECT_FALSE(parse_repro(out, "depfuzz-repro v1\nnote hi\n", &error));
+}
+
+TEST(Corpus, VersionedFrontEndReductionKeys) {
+  ReproCase out;
+  std::string error;
+  // v2 hard-requires both front-end reduction keys: a repro omitting them
+  // would silently replay under whatever the current defaults are.
+  EXPECT_FALSE(parse_repro(
+      out, "depfuzz-repro v2\nconfig storage=perfect\n", &error));
+  EXPECT_NE(error.find("dedup"), std::string::npos);
+  EXPECT_FALSE(parse_repro(
+      out, "depfuzz-repro v2\nconfig storage=perfect dedup=1\n", &error));
+  EXPECT_FALSE(parse_repro(
+      out, "depfuzz-repro v2\nconfig storage=perfect pack=0\n", &error));
+  ASSERT_TRUE(parse_repro(
+      out, "depfuzz-repro v2\nconfig storage=perfect dedup=1 pack=0\n",
+      &error))
+      << error;
+  EXPECT_TRUE(out.cfg.dedup);
+  EXPECT_FALSE(out.cfg.pack);
+  // v1 predates the axes: the keys are unknown there, and an old corpus
+  // file parses with both off — the semantics it was recorded under.
+  EXPECT_FALSE(parse_repro(
+      out, "depfuzz-repro v1\nconfig storage=perfect dedup=1 pack=1\n",
+      &error));
+  ASSERT_TRUE(
+      parse_repro(out, "depfuzz-repro v1\nconfig storage=perfect\n", &error))
+      << error;
+  EXPECT_FALSE(out.cfg.dedup);
+  EXPECT_FALSE(out.cfg.pack);
+  // format_repro always writes the current version with both keys present.
+  const std::string text = format_repro(sample_repro());
+  EXPECT_NE(text.find("depfuzz-repro v2"), std::string::npos);
+  EXPECT_NE(text.find("dedup="), std::string::npos);
+  EXPECT_NE(text.find("pack="), std::string::npos);
 }
 
 // --- committed corpus replays clean ---------------------------------------

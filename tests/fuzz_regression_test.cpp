@@ -367,5 +367,70 @@ TEST(LoadBalanceRegression, SpreadingCursorDoesNotSkipLeastLoadedWorker) {
   EXPECT_EQ(route.route(2), 0u);  // the resident hot address did not move
 }
 
+// --- ISSUE 5 satellite: record_free must invalidate the dedup cache -------
+
+TEST(DedupRegression, FreeInvalidatesCachedWordSoReuseStartsAFreshLifetime) {
+  // W(x); free(x); W(x) with byte-identical access identities — the pattern
+  // a realloc-reuse produces.  The second write is a fresh INIT; without
+  // the per-word cache invalidation in record_free it merges into the
+  // *pre-free* write's record, the expanded stream decodes as W,W,F, and
+  // the profiler reports a WAW inside what are two separate lifetimes
+  // while the second INIT disappears.
+  alignas(8) static int cell;
+  Runtime& rt = Runtime::instance();
+  rt.reset();
+  TraceRecorder rec;
+  rt.attach(&rec, /*mt_mode=*/false, /*dedup=*/true);
+  rt.record(&cell, 4, 1, 10, 1, /*is_write=*/true);
+  rt.record_free(&cell, 4);
+  rt.record(&cell, 4, 1, 10, 1, /*is_write=*/true);
+  rt.detach();
+  rt.reset();
+
+  ProfilerConfig cfg;
+  cfg.storage = StorageKind::kPerfect;
+  auto profiler = make_serial_profiler(cfg);
+  replay(rec.trace(), *profiler);
+
+  const std::uint32_t write_loc = SourceLocation(1, 10).packed();
+  std::uint64_t init_instances = 0;
+  for (const auto& [key, info] : profiler->dependences()) {
+    EXPECT_NE(key.type, DepType::kWaw)
+        << "dedup merged a write across the freed word's lifetime boundary";
+    if (key.type == DepType::kInit && key.sink_loc == write_loc)
+      init_instances += info.count;
+  }
+  EXPECT_EQ(init_instances, 2u) << "the post-free INIT was suppressed";
+}
+
+// --- ISSUE 5 satellite: the chunk pool is bounded --------------------------
+
+TEST(ChunkPoolRegression, ProduceBurstDoesNotRatchetThePoolFootprint) {
+  MemStats::instance().reset();
+  {
+    ChunkPool pool(/*max_pooled=*/8);
+    // The free-list ring itself charges kQueues; measure chunks as a delta.
+    const std::int64_t baseline =
+        MemStats::instance().bytes(MemComponent::kQueues);
+    // A burst holds many chunks in flight at once; before the bound, every
+    // one of them was hoarded on the free list forever afterwards.
+    std::vector<Chunk*> burst;
+    for (int i = 0; i < 100; ++i) burst.push_back(pool.acquire());
+    EXPECT_EQ(pool.allocated(), 100u);
+    for (Chunk* c : burst) pool.release(c);
+    EXPECT_EQ(pool.pool_size(), 8u);   // cap, not burst size
+    EXPECT_EQ(pool.allocated(), 8u);   // the spill freed the rest
+    EXPECT_EQ(MemStats::instance().bytes(MemComponent::kQueues) - baseline,
+              static_cast<std::int64_t>(8 * sizeof(Chunk)));
+    // Steady state recycles the retained chunks without allocating.
+    Chunk* c = pool.acquire();
+    EXPECT_EQ(pool.allocated(), 8u);
+    pool.release(c);
+  }
+  // Teardown returns every charged byte.
+  EXPECT_EQ(MemStats::instance().bytes(MemComponent::kQueues), 0);
+  MemStats::instance().reset();
+}
+
 }  // namespace
 }  // namespace depprof

@@ -12,6 +12,7 @@
 #include "core/formatter.hpp"
 #include "core/profiler.hpp"
 #include "harness/accuracy.hpp"
+#include "instrument/dedup.hpp"
 #include "queue/queues.hpp"
 #include "trace/generators.hpp"
 #include "trace/trace.hpp"
@@ -373,6 +374,36 @@ TEST_P(BackendQueueEquivalence, ByteIdenticalMergedMaps) {
           << storage_kind_name(c.storage) << " over "
           << queue_kind_name(c.queue) << " wait=" << wait_kind_name(wait)
           << " batched=" << batched;
+    }
+  }
+
+  // Front-end reduction axes: the full dedup × pack lattice must reproduce
+  // the same merged map, with the deduplicated RLE stream feeding both
+  // profilers when dedup is on (the serial baseline above stays raw, so
+  // this also asserts dedup is map-preserving per backend and queue).
+  const RleStream rle = dedup_stream(t.events.data(), t.events.size());
+  cfg.batched_detect = true;
+  cfg.wait = WaitKind::kSpin;
+  for (bool dedup : {false, true}) {
+    for (bool pack : {false, true}) {
+      cfg.dedup = dedup;
+      cfg.pack = pack;
+      {
+        auto prof = make_serial_profiler(cfg);
+        if (dedup) replay_rle(rle, *prof);
+        else replay(t, *prof);
+        EXPECT_EQ(deps_csv(serial), deps_csv(prof->dependences()))
+            << storage_kind_name(c.storage) << " serial dedup=" << dedup
+            << " pack=" << pack;
+      }
+      auto prof = make_parallel_profiler(cfg);
+      ASSERT_NE(prof, nullptr) << storage_kind_name(c.storage);
+      if (dedup) replay_rle(rle, *prof);
+      else replay(t, *prof);
+      EXPECT_EQ(deps_csv(serial), deps_csv(prof->dependences()))
+          << storage_kind_name(c.storage) << " over "
+          << queue_kind_name(c.queue) << " dedup=" << dedup
+          << " pack=" << pack;
     }
   }
 }

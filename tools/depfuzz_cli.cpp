@@ -129,13 +129,19 @@ std::vector<FuzzCase> smoke_cases() {
         // Kernel axis: alternate batched and per-event detection so the
         // smoke gate always covers both against the oracle.
         c.cfg.batched_detect = idx % 2 == 0;
+        // Front-end reduction axes: walk the full dedup x pack lattice as
+        // the case index advances so every combination is smoke-gated.
+        c.cfg.dedup = (idx / 2) % 2 == 0;
+        c.cfg.pack = idx % 2 == 0;
         c.trace = tr.trace;
         c.name = std::string(sp.name) + "/" + queue_kind_name(queue) +
                  "/chunk" + std::to_string(chunk) + "/" +
                  wait_kind_name(c.cfg.wait) + "/w" +
                  std::to_string(c.cfg.workers) +
                  (c.cfg.load_balance.enabled ? "/lb" : "") +
-                 (c.cfg.batched_detect ? "/batch" : "/perev") + "/" + tr.name;
+                 (c.cfg.batched_detect ? "/batch" : "/perev") +
+                 (c.cfg.dedup ? "/dedup" : "") + (c.cfg.pack ? "/pack" : "") +
+                 "/" + tr.name;
         cases.push_back(std::move(c));
         ++idx;
       }
@@ -155,10 +161,17 @@ std::vector<FuzzCase> smoke_cases() {
     c.cfg.workers = 4;
     if (s % 2 == 1) c.cfg.load_balance = active_balancer();
     c.cfg.batched_detect = s % 2 == 0;
+    // MT events never dedup (fresh timestamps), but the axes still alter
+    // the replay path (RLE delivery, packed escape-heavy chunks) — keep
+    // both exercised under MT too.
+    c.cfg.dedup = s % 2 == 0;
+    c.cfg.pack = (s / 2) % 2 == 0;
     c.trace = tr.trace;
     c.name = std::string(sp.name) + "/mt/" + queue_kind_name(c.cfg.queue) +
              "/chunk" + std::to_string(c.cfg.chunk_size) +
-             (c.cfg.batched_detect ? "/batch" : "/perev") + "/" + tr.name;
+             (c.cfg.batched_detect ? "/batch" : "/perev") +
+             (c.cfg.dedup ? "/dedup" : "") + (c.cfg.pack ? "/pack" : "") +
+             "/" + tr.name;
     cases.push_back(std::move(c));
   }
   return cases;
@@ -218,6 +231,8 @@ FuzzCase random_case(Rng& rng, std::uint64_t seq) {
   c.cfg.queue_capacity = 4u << rng.below(5);
   c.cfg.modulo_routing = rng.below(2) == 0;
   c.cfg.batched_detect = rng.below(2) == 0;
+  c.cfg.dedup = rng.below(2) == 0;
+  c.cfg.pack = rng.below(2) == 0;
   if (rng.below(2) == 0) {
     c.cfg.load_balance = active_balancer();
     c.cfg.load_balance.sample_shift = static_cast<unsigned>(rng.below(4));

@@ -22,6 +22,14 @@
 //   --batch / --no-batch run detection with the batched prefetching kernel
 //                        or the per-event kernel (default --batch; results
 //                        are byte-identical either way)
+//   --dedup / --no-dedup front-end redundancy elision: collapse exact access
+//                        repeats at record time (default --dedup; the merged
+//                        map is identical either way — see DESIGN.md
+//                        "Front-end event reduction")
+//   --pack / --no-pack   compact chunk encoding: carry accesses as 16-byte
+//                        delta records on the pipeline queues (default
+//                        --pack; parallel runs only — the serial profiler
+//                        has no queue to pack)
 //   --mt-threads N       run the pthread variant with N target threads
 //   --scale N            workload scale factor            (default 1)
 //   --format text|csv|dot                                (default text)
@@ -116,6 +124,14 @@ bool parse(int argc, char** argv, int start, CliOptions& out) {
       out.cfg.batched_detect = true;
     } else if (arg == "--no-batch") {
       out.cfg.batched_detect = false;
+    } else if (arg == "--dedup") {
+      out.cfg.dedup = true;
+    } else if (arg == "--no-dedup") {
+      out.cfg.dedup = false;
+    } else if (arg == "--pack") {
+      out.cfg.pack = true;
+    } else if (arg == "--no-pack") {
+      out.cfg.pack = false;
     } else if (arg == "--mt-threads") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -209,7 +225,7 @@ int cmd_run(const char* name, const CliOptions& opts) {
     std::fprintf(stderr, "storage kind not supported by this pipeline\n");
     return 1;
   }
-  Runtime::instance().attach(profiler.get(), cfg.mt_targets);
+  Runtime::instance().attach(profiler.get(), cfg.mt_targets, cfg.dedup);
   if (opts.mt_threads > 0 && w->run_parallel)
     (void)w->run_parallel(opts.scale, opts.mt_threads);
   else
