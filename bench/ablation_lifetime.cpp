@@ -17,6 +17,7 @@
 
 #include "common/table.hpp"
 #include "core/profiler.hpp"
+#include "trace/nest.hpp"
 #include "harness/accuracy.hpp"
 #include "harness/runner.hpp"
 #include "obs/bench_report.hpp"
@@ -36,11 +37,13 @@ namespace {
 Trace scratch_reuse_trace(std::size_t iters, std::size_t buf_words,
                           bool with_frees) {
   Trace t;
+  const std::uint32_t ctx = nest_forest().enter(NestForest::kRoot, 1);
   for (std::size_t it = 0; it < iters; ++it) {
     for (std::size_t w = 0; w < buf_words; ++w) {
       AccessEvent ev;
       ev.addr = 0x5000 + w * 4;  // same scratch address every iteration
-      ev.loops[0] = {1, 1, static_cast<std::uint32_t>(it)};
+      ev.ctx = ctx;
+      ev.iters[0] = static_cast<std::uint32_t>(it);
       if ((w + it) % 2 == 0) {  // partial initialization
         ev.kind = AccessKind::kWrite;
         ev.loc = SourceLocation(1, 11).packed();

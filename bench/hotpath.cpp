@@ -33,6 +33,7 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "core/profiler.hpp"
+#include "trace/nest.hpp"
 #include "obs/bench_report.hpp"
 #include "oracle/diff.hpp"
 #include "trace/event.hpp"
@@ -88,6 +89,8 @@ std::vector<AccessEvent> make_loop_stream(std::size_t events,
   constexpr std::uint64_t kHBase = 150'000'017;
   constexpr std::uint64_t kCBase = 99'000'041;
   std::size_t phase = 0, j = 0, iter = 0;
+  // One top-level dynamic entry per phase, interned on first use.
+  std::vector<std::uint32_t> phase_ctx;
   auto push = [&](std::uint64_t unit, AccessKind kind, std::uint32_t loc,
                   std::uint32_t var) {
     AccessEvent ev;
@@ -95,9 +98,11 @@ std::vector<AccessEvent> make_loop_stream(std::size_t events,
     ev.kind = kind;
     ev.loc = loc;
     ev.var = var;
-    ev.loops[0].loop = static_cast<std::uint32_t>(phase) + 1;
-    ev.loops[0].entry = 1;
-    ev.loops[0].iter = static_cast<std::uint32_t>(j) + 1;
+    while (phase_ctx.size() <= phase)
+      phase_ctx.push_back(nest_forest().enter(
+          NestForest::kRoot, static_cast<std::uint32_t>(phase_ctx.size()) + 1));
+    ev.ctx = phase_ctx[phase];
+    ev.iters[0] = static_cast<std::uint32_t>(j) + 1;
     out.push_back(ev);
   };
   while (out.size() + kBodyLines <= events) {

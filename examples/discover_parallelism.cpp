@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     std::printf("\nground truth (OpenMP annotations of the analogue):\n");
     unsigned agree = 0;
     for (std::size_t i = 0; i < verdicts.size(); ++i) {
-      const bool ok = verdicts[i].parallelizable == w->loops[i].parallelizable;
+      const bool ok = verdicts[i].parallelizable() == w->loops[i].parallelizable;
       agree += ok ? 1 : 0;
       std::printf("  %-12s expected %-18s -> %s\n", w->loops[i].label,
                   w->loops[i].parallelizable ? "parallelizable" : "sequential",

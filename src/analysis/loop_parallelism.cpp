@@ -15,6 +15,18 @@ bool is_reduction_self_dep(const DepKey& key,
 
 }  // namespace
 
+const char* loop_verdict_name(LoopVerdictKind kind) {
+  switch (kind) {
+    case LoopVerdictKind::kDoallSafe:
+      return "DOALL-safe";
+    case LoopVerdictKind::kReductionSuspect:
+      return "reduction-suspect";
+    case LoopVerdictKind::kSerial:
+      return "serial";
+  }
+  return "?";
+}
+
 std::vector<LoopVerdict> analyze_loops(const DepMap& deps,
                                        const ControlFlowLog& cf,
                                        const LoopAnalysisOptions& opts) {
@@ -24,31 +36,28 @@ std::vector<LoopVerdict> analyze_loops(const DepMap& deps,
     LoopVerdict v;
     v.loop = loop;
     for (const auto& [key, info] : deps) {
-      if (key.type != DepType::kRaw) continue;  // WAR/WAW: privatizable
-      const SourceLocation sink = SourceLocation::from_packed(key.sink_loc);
-      const SourceLocation src = SourceLocation::from_packed(key.src_loc);
-      if (!loop.contains(sink) || !loop.contains(src)) continue;
-      if (is_reduction_self_dep(key, opts.reduction_lines)) continue;
-
-      bool carried = false;
-      if ((info.flags & kLoopCarried) != 0 && info.loop == loop.loop_id) {
-        // The detector saw this dependence cross an iteration boundary of
-        // exactly this loop.
-        carried = true;
-      } else if ((info.flags & kCrossLoop) != 0) {
-        // Endpoints in different innermost loops inside this loop's body: a
-        // backward dependence in source order must be carried by the common
-        // enclosing loop.
-        carried = src.line() >= sink.line();
-      } else if ((info.flags & kLoopCarried) != 0 && info.loop != loop.loop_id) {
-        // Carried by an inner loop — does not block the outer loop.
-        carried = false;
+      if (key.type == DepType::kInit) continue;
+      // Carried by this loop means: at some nest level the innermost
+      // common loop of the endpoints was this loop and the carried-distance
+      // buckets (1, >=2/unknown) are non-empty there.  Inner-loop carries
+      // and distance-0 instances leave those buckets untouched.
+      if (!info.carried_by(loop.loop_id)) continue;
+      if (key.type != DepType::kRaw) {
+        v.privatizable.push_back(key);
+        continue;
       }
-      if (carried) {
-        v.parallelizable = false;
-        v.blockers.push_back(key);
+      if (is_reduction_self_dep(key, opts.reduction_lines)) {
+        v.reductions.push_back(key);
+        continue;
       }
+      v.blockers.push_back(key);
     }
+    if (!v.blockers.empty())
+      v.kind = LoopVerdictKind::kSerial;
+    else if (!v.reductions.empty())
+      v.kind = LoopVerdictKind::kReductionSuspect;
+    else
+      v.kind = LoopVerdictKind::kDoallSafe;
     verdicts.push_back(std::move(v));
   }
   return verdicts;
@@ -59,13 +68,24 @@ std::string format_loop_verdicts(const std::vector<LoopVerdict>& verdicts) {
   for (const auto& v : verdicts) {
     os << "loop " << SourceLocation::from_packed(v.loop.begin_loc).str() << "-"
        << SourceLocation::from_packed(v.loop.end_loc).str() << " ("
-       << v.loop.iterations << " iterations): "
-       << (v.parallelizable ? "parallelizable" : "NOT parallelizable") << '\n';
+       << v.loop.iterations << " iterations): " << loop_verdict_name(v.kind)
+       << '\n';
     for (const auto& b : v.blockers) {
-      os << "    blocked by RAW "
+      os << "    blocked by carried RAW "
          << SourceLocation::from_packed(b.sink_loc).str() << " <- "
          << SourceLocation::from_packed(b.src_loc).str() << " ("
          << var_registry().name(b.var) << ")\n";
+    }
+    for (const auto& r : v.reductions) {
+      os << "    reduction update at "
+         << SourceLocation::from_packed(r.sink_loc).str() << " ("
+         << var_registry().name(r.var) << ")\n";
+    }
+    for (const auto& p : v.privatizable) {
+      os << "    privatize " << var_registry().name(p.var) << " ("
+         << dep_type_name(p.type) << ' '
+         << SourceLocation::from_packed(p.sink_loc).str() << " <- "
+         << SourceLocation::from_packed(p.src_loc).str() << ")\n";
     }
   }
   return os.str();

@@ -1,20 +1,28 @@
 #pragma once
 // Parallelism discovery in loops (Sec. VII-A).
 //
-// A DiscoPoP-style classifier over the profiler's output: a loop is
-// potentially parallelizable when no loop-carried RAW dependence connects
-// two statements of its body.  Loop-carried instances are flagged by the
-// detector at build time (src and sink share the innermost loop but differ
-// in iteration); dependences whose endpoints lie in *different* innermost
-// loops of the analysed loop's body use the classic source-order heuristic:
-// a backward dependence (source line at or after the sink line) must cross
-// an iteration of the common enclosing loop.
+// A DiscoPoP-style classifier over the profiler's output, driven entirely
+// by the per-level nest attribution the detector records (core/dep.hpp):
+// every dependence instance names the innermost *common* loop of its
+// endpoints and the carried-distance bucket at that level, so "is this
+// dependence carried by loop L" is a lookup, not a heuristic — the old
+// source-order guess for cross-loop dependences is gone.
 //
-// WAR/WAW carried dependences do not block parallelization here (they are
-// removable by privatization), and carried self-RAW updates on lines marked
-// as reductions (DP_REDUCTION) are filtered — both standard DiscoPoP
-// practice.  Table II compares this classification under perfect vs
-// signature dependences.
+// Classification per loop L:
+//   - serial             some RAW dependence is carried by L (nonzero
+//                        distance bucket at L's level) and is not a marked
+//                        reduction update.
+//   - reduction-suspect  the only RAW dependences carried by L are
+//                        self-updates on lines marked DP_REDUCTION — DOALL
+//                        after rewriting the update as a reduction.
+//   - DOALL-safe         no RAW dependence is carried by L.  Dependences
+//                        carried by inner loops, iteration-local (distance
+//                        0) dependences, and cross-loop dependences whose
+//                        common loop is not L do not block L.
+//
+// WAR/WAW dependences carried by L never block — they are removable by
+// privatization and are reported as the privatization work list.  Table II
+// compares this classification under perfect vs signature dependences.
 
 #include <cstdint>
 #include <string>
@@ -25,11 +33,26 @@
 
 namespace depprof {
 
+enum class LoopVerdictKind {
+  kDoallSafe = 0,
+  kReductionSuspect = 1,
+  kSerial = 2,
+};
+
+const char* loop_verdict_name(LoopVerdictKind kind);
+
 struct LoopVerdict {
   LoopRecord loop;
-  bool parallelizable = true;
-  /// Carried RAW dependences that block parallelization.
+  LoopVerdictKind kind = LoopVerdictKind::kDoallSafe;
+  /// Carried RAW dependences (non-reduction) that force kSerial.
   std::vector<DepKey> blockers;
+  /// Carried self-RAW updates on marked reduction lines.
+  std::vector<DepKey> reductions;
+  /// Carried WAR/WAW dependences — removable by privatizing their variable.
+  std::vector<DepKey> privatizable;
+
+  /// Table II compatibility: a loop counts as parallelizable unless serial.
+  bool parallelizable() const { return kind != LoopVerdictKind::kSerial; }
 };
 
 struct LoopAnalysisOptions {

@@ -45,24 +45,14 @@ DepMap& DepMap::operator=(DepMap&& o) noexcept {
   return *this;
 }
 
-void DepMap::add(const DepKey& key, std::uint8_t flags, std::uint32_t loop,
-                 std::uint32_t distance) {
+void DepMap::add(const DepKey& key, std::uint8_t flags,
+                 const DepAttribution& at) {
   ++instances_;
   auto [it, inserted] = map_.try_emplace(key);
   if (inserted)
     MemStats::instance().add(MemComponent::kDepMaps,
                              static_cast<std::int64_t>(kEntryBytes));
-  it->second.count += 1;
-  it->second.flags |= flags;
-  if (loop != 0 && (flags & kLoopCarried)) {
-    it->second.loop = std::max(it->second.loop, loop);
-    if (distance != 0) {
-      DepInfo& info = it->second;
-      info.min_distance =
-          info.min_distance == 0 ? distance : std::min(info.min_distance, distance);
-      info.max_distance = std::max(info.max_distance, distance);
-    }
-  }
+  apply_dep_instance(it->second, flags, at);
 }
 
 void DepMap::add_many(const DepKey& key, std::uint64_t n) {
@@ -76,12 +66,11 @@ namespace {
 void fold_info(DepInfo& into, const DepInfo& info) {
   into.count += info.count;
   into.flags |= info.flags;
-  into.loop = std::max(into.loop, info.loop);
-  if (info.min_distance != 0) {
-    into.min_distance = into.min_distance == 0
-                            ? info.min_distance
-                            : std::min(into.min_distance, info.min_distance);
-    into.max_distance = std::max(into.max_distance, info.max_distance);
+  for (std::size_t d = 0; d < kNestLevels; ++d) {
+    into.levels[d].loop = std::max(into.levels[d].loop, info.levels[d].loop);
+    into.levels[d].d0 += info.levels[d].d0;
+    into.levels[d].d1 += info.levels[d].d1;
+    into.levels[d].d2p += info.levels[d].d2p;
   }
 }
 

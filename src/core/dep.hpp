@@ -9,6 +9,7 @@
 // (factor ~1e5); the map also counts raw instances so the merge_factor bench
 // can reproduce that ratio.
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -30,10 +31,13 @@ const char* dep_type_name(DepType t);
 
 /// Per-instance qualifiers, OR-ed together when instances merge.
 enum DepFlags : std::uint8_t {
-  /// Source and sink share the innermost loop but executed in different
-  /// iterations — a loop-carried dependence (input to Sec. VII-A).
+  /// Source and sink share an enclosing dynamic loop entry and executed in
+  /// different iterations of it — a loop-carried dependence (input to
+  /// Sec. VII-A).  The carrier is the innermost *common* loop; the per-level
+  /// buckets in DepInfo say which level and at what distance.
   kLoopCarried = 1u << 0,
-  /// Source and sink lie in different innermost loops.
+  /// Source and sink lie in different innermost dynamic loop entries (they
+  /// may still share an outer loop — see the level buckets).
   kCrossLoop = 1u << 1,
   /// Source and sink executed on different target threads (Sec. V) — the
   /// raw material of communication patterns (Sec. VII-B).
@@ -60,24 +64,104 @@ struct DepKeyHash {
   std::size_t operator()(const DepKey& k) const;
 };
 
-/// Aggregated facts about one merged dependence.
+/// Nest levels DepInfo keeps per-level carry buckets for.  Matches the
+/// event's root-anchored iteration window (kNestIters in trace/event.hpp;
+/// detector.hpp static_asserts the two agree); common levels deeper than
+/// this fold into the last level.
+inline constexpr std::size_t kNestLevels = 7;
+
+/// Per-instance nest attribution of one dependence: the innermost loop
+/// entry common to source and sink, resolved by the detector (and,
+/// independently, the oracle) from the two context ids.
+struct DepAttribution {
+  std::uint32_t loop = 0;      ///< static loop id of the common loop; 0 = none
+  std::uint32_t level = 0;     ///< 1-based nest depth of that loop; 0 = none
+  std::uint32_t distance = 0;  ///< |sink iter - src iter| at that level
+  /// False when the common level lies beyond the event iteration window
+  /// (nest deeper than kNestIters): the instance is treated as carried at
+  /// distance >= 2 — the conservative bucket.
+  bool distance_known = true;
+};
+
+/// One nest level's aggregated carry evidence: how many instances had their
+/// innermost common loop at this depth, bucketed by carried distance
+/// (0 = same iteration, 1 = adjacent iterations, >= 2 = farther), plus the
+/// max-join of the common-loop ids seen here.
+struct DepLevel {
+  std::uint32_t loop = 0;  ///< max static loop id attributed at this depth
+  std::uint64_t d0 = 0;    ///< instances at distance 0 (not carried)
+  std::uint64_t d1 = 0;    ///< instances at distance exactly 1
+  std::uint64_t d2p = 0;   ///< instances at distance >= 2 (or unknown)
+
+  std::uint64_t carried() const { return d1 + d2p; }
+};
+
+/// Aggregated facts about one merged dependence.  Every field is a
+/// commutative, associative join (count sum, flags OR, per-level loop max
+/// and bucket sums), so the merged map is independent of the order in which
+/// instances of different addresses reach the map.  That order freedom is
+/// what lets the front-end dedup cache reorder events across words while
+/// provably preserving the map (see DESIGN.md "Front-end event reduction").
 struct DepInfo {
   std::uint64_t count = 0;  ///< dynamic instances merged into this record
   std::uint8_t flags = 0;   ///< OR of instance DepFlags
-  /// Max loop id over carried instances (0 if none).  The max join — like
-  /// every other field here (sum, OR, min, max) — is commutative and
-  /// associative, so the merged map is independent of the order in which
-  /// instances of different addresses reach the map.  That order freedom is
-  /// what lets the front-end dedup cache reorder events across words while
-  /// provably preserving the map (see DESIGN.md "Front-end event reduction").
-  std::uint32_t loop = 0;
-  /// Dependence distance in iterations of the carrying loop (Alchemist-
-  /// style): the min/max |sink iteration - source iteration| over carried
-  /// instances.  A minimum distance d means up to d consecutive iterations
-  /// are mutually independent.  0 until a carried instance is recorded.
-  std::uint32_t min_distance = 0;
-  std::uint32_t max_distance = 0;
+  /// levels[d] aggregates the instances whose innermost common loop sits at
+  /// nest depth d+1 (levels[kNestLevels-1] also absorbs deeper ones).
+  DepLevel levels[kNestLevels];
+
+  /// Deepest level with carried instances; 0 when never carried.
+  std::uint32_t carried_level() const {
+    for (std::size_t d = kNestLevels; d > 0; --d)
+      if (levels[d - 1].carried() != 0) return static_cast<std::uint32_t>(d);
+    return 0;
+  }
+  /// Loop id recorded at the deepest carried level (0 when never carried).
+  std::uint32_t carried_loop() const {
+    const std::uint32_t lvl = carried_level();
+    return lvl == 0 ? 0 : levels[lvl - 1].loop;
+  }
+  /// True when some carried instance was attributed to `loop` (any level).
+  bool carried_by(std::uint32_t loop) const {
+    for (const DepLevel& l : levels)
+      if (l.loop == loop && l.carried() != 0) return true;
+    return false;
+  }
+  /// Smallest carried-distance bucket floor over all levels: 1, 2 (= ">=2"),
+  /// or 0 when never carried.
+  std::uint32_t min_carried_bucket() const {
+    std::uint32_t best = 0;
+    for (const DepLevel& l : levels) {
+      if (l.d1 != 0) return 1;
+      if (l.d2p != 0) best = 2;
+    }
+    return best;
+  }
 };
+
+/// The per-instance update rule: count, flags, and the level bucket of the
+/// instance's attribution.  Shared by DepMap::add and the batched kernel's
+/// stack accumulator so the two paths cannot drift apart.  Note the level
+/// buckets key on *depth*: two different static loops at the same depth
+/// under one DepKey share a row (the loop id max-joins) — rare in practice,
+/// and the oracle aggregates identically, so the differential contract is
+/// unaffected.
+inline void apply_dep_instance(DepInfo& info, std::uint8_t flags,
+                               const DepAttribution& at) {
+  info.count += 1;
+  info.flags |= flags;
+  if (at.loop != 0 && at.level != 0) {
+    const std::size_t d =
+        at.level <= kNestLevels ? at.level - 1 : kNestLevels - 1;
+    DepLevel& lvl = info.levels[d];
+    lvl.loop = std::max(lvl.loop, at.loop);
+    if (!at.distance_known || at.distance >= 2)
+      lvl.d2p += 1;
+    else if (at.distance == 1)
+      lvl.d1 += 1;
+    else
+      lvl.d0 += 1;
+  }
+}
 
 /// Merged dependence storage ("local dependence storage" / "global
 /// dependence storage" of Fig. 2).  Not thread-safe; the pipeline keeps one
@@ -91,15 +175,15 @@ class DepMap {
   DepMap(const DepMap&) = delete;
   DepMap& operator=(const DepMap&) = delete;
 
-  /// Records one dependence instance.  `distance` is the carried iteration
-  /// distance (0 when the instance is not loop-carried).
-  void add(const DepKey& key, std::uint8_t flags, std::uint32_t loop = 0,
-           std::uint32_t distance = 0);
+  /// Records one dependence instance.  `at` is the instance's nest
+  /// attribution (at.loop == 0 when the endpoints share no loop).
+  void add(const DepKey& key, std::uint8_t flags,
+           const DepAttribution& at = {});
 
   /// Records `n` unqualified instances of `key` in one map probe — exactly
   /// equivalent to calling add(key, 0) n times.  The batched detect kernel
-  /// uses this to fold a batch's INIT records (which carry no flags, loop,
-  /// or distance) into the map once per distinct key instead of per event.
+  /// uses this to fold a batch's INIT records (which carry no flags or
+  /// attribution) into the map once per distinct key instead of per event.
   void add_many(const DepKey& key, std::uint64_t n);
 
   /// Folds a pre-aggregated record (`info.count` instances) into the map in

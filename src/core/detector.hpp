@@ -32,8 +32,12 @@
 #include "sig/access_store.hpp"
 #include "sig/slots.hpp"
 #include "trace/event.hpp"
+#include "trace/nest.hpp"
 
 namespace depprof {
+
+static_assert(kNestLevels == kNestIters,
+              "DepInfo level buckets mirror the event iteration window");
 
 /// Builds the slot recorded for an access.
 template <typename Slot>
@@ -41,7 +45,8 @@ Slot make_slot(const AccessEvent& ev) {
   Slot s;
   s.loc = ev.loc;
   s.tag = addr_tag(ev.addr);
-  for (std::size_t i = 0; i < kLoopLevels; ++i) s.loops[i] = ev.loops[i];
+  s.ctx = ev.ctx;
+  for (std::size_t i = 0; i < kNestIters; ++i) s.iters[i] = ev.iters[i];
   if constexpr (std::is_same_v<Slot, MtSlot>) {
     s.tid = ev.tid;
     s.ts = ev.ts;
@@ -49,66 +54,82 @@ Slot make_slot(const AccessEvent& ev) {
   return s;
 }
 
-/// Result of the loop-context comparison: the carrying loop (0 = not
-/// carried) and the carried iteration distance (Alchemist-style).
-struct CarriedResult {
-  std::uint32_t loop = 0;
-  std::uint32_t distance = 0;
-};
-
-/// Level-pair match: src context `a` and sink context `b` refer to the same
-/// dynamic entry of the same loop.  Sets `matched`; returns the loop id and
-/// iteration distance when the iterations differ (the dependence is carried
-/// by that loop).
-inline CarriedResult match_loop_level(const LoopCtx& a, const LoopCtx& b,
-                                      bool& matched) {
-  if (a.loop != 0 && a.loop == b.loop && a.entry == b.entry) {
-    matched = true;
-    if (a.iter != b.iter)
-      return {b.loop, b.iter > a.iter ? b.iter - a.iter : a.iter - b.iter};
+/// Resolves two nest contexts to the innermost dynamic loop entry common to
+/// both (the lowest common ancestor in the forest) and the carried distance
+/// at that level.  Returns a zero attribution when the endpoints share no
+/// loop entry.
+///
+/// The LCA loop is the *only* candidate carrier: both contexts descend from
+/// the same dynamic entry at every level above it, and a thread reaches two
+/// different child entries (or two iterations of the same entry) only after
+/// advancing some iteration counter at or above the divergence point —
+/// every strictly higher level's counter is therefore equal for both
+/// endpoints, and the distance vector of the pair is zero everywhere except
+/// possibly at the LCA level itself.  That level's counters sit inside both
+/// events' root-anchored windows whenever its depth is <= kNestIters;
+/// deeper common levels degrade to "carried, distance unknown" (the >= 2
+/// bucket) rather than to any heuristic.
+inline DepAttribution attribute_nest(std::uint32_t src_ctx,
+                                     const std::uint32_t* src_iters,
+                                     std::uint32_t sink_ctx,
+                                     const std::uint32_t* sink_iters) {
+  DepAttribution at;
+  if (src_ctx == NestForest::kRoot || sink_ctx == NestForest::kRoot) return at;
+  const NestForest& forest = nest_forest();
+  std::uint32_t a = src_ctx;
+  std::uint32_t b = sink_ctx;
+  std::uint32_t da = forest.depth(a);
+  std::uint32_t db = forest.depth(b);
+  while (da > db) {
+    a = forest.parent(a);
+    --da;
   }
-  return {};
-}
-
-/// The loop carrying the dependence from recorded source `src` to current
-/// sink `sink` (loop 0 = none).  Matches on the sink's innermost level
-/// first.  `matched` reports whether src and sink share *any* dynamic loop
-/// entry — if not, the analysis must fall back to its source-order
-/// heuristic.
-template <typename Slot>
-CarriedResult carried_by(const Slot& src, const AccessEvent& sink,
-                         bool& matched) {
-  matched = false;
-  for (std::size_t t = 0; t < kLoopLevels; ++t)
-    for (std::size_t s = 0; s < kLoopLevels; ++s) {
-      const CarriedResult r = match_loop_level(src.loops[s], sink.loops[t], matched);
-      if (r.loop != 0) return r;
-    }
-  return {};
+  while (db > da) {
+    b = forest.parent(b);
+    --db;
+  }
+  while (a != b) {
+    a = forest.parent(a);
+    b = forest.parent(b);
+    --da;
+  }
+  if (a == NestForest::kRoot) return at;
+  at.loop = forest.loop(a);
+  at.level = da;
+  if (da <= kNestIters) {
+    const std::uint32_t ia = src_iters[da - 1];
+    const std::uint32_t ib = sink_iters[da - 1];
+    at.distance = ib > ia ? ib - ia : ia - ib;
+    at.distance_known = true;
+  } else {
+    at.distance = 0;
+    at.distance_known = false;
+  }
+  return at;
 }
 
 /// Flags qualifying the dependence built from recorded source `src` and
-/// current sink `sink`.
+/// current sink `sink`, plus its nest attribution.
 ///
 /// When the slot's address tag does not match the sink's address, the slot
 /// was written by a *colliding* address: the dependence record itself is
 /// still built (the paper's approximate-membership semantics), but the
-/// loop-context and timestamp comparisons would compare two unrelated
-/// accesses, so no qualifying flags are derived (see slots.hpp).
+/// nest-context and timestamp comparisons would compare two unrelated
+/// accesses, so no qualifying flags or attribution are derived (see
+/// slots.hpp).
 template <typename Slot>
 std::uint8_t classify_dep(const Slot& src, const AccessEvent& sink,
-                          CarriedResult& carried) {
+                          DepAttribution& at) {
   std::uint8_t f = 0;
-  carried = {};
+  at = {};
   const bool same_address = src.tag == addr_tag(sink.addr);
   if (same_address) {
-    bool matched = false;
-    carried = carried_by(src, sink, matched);
-    if (carried.loop != 0) {
+    at = attribute_nest(src.ctx, src.iters, sink.ctx, sink.iters);
+    if (at.loop != 0 && (!at.distance_known || at.distance != 0))
       f |= kLoopCarried;
-    } else if (!matched && (src.loops[0].loop != 0 || sink.loops[0].loop != 0)) {
+    if (src.ctx != sink.ctx &&
+        (src.ctx != NestForest::kRoot || sink.ctx != NestForest::kRoot))
       f |= kCrossLoop;
-    }
   }
   if constexpr (std::is_same_v<Slot, MtSlot>) {
     if (src.tid != sink.tid) f |= kCrossThread;
@@ -132,9 +153,7 @@ class DetectorCore {
   /// Processes one access in program order (Algorithm 1).
   void process(const AccessEvent& ev, DepMap& deps) {
     process_one(ev, [&](const DepKey& k, std::uint8_t flags,
-                        std::uint32_t loop, std::uint32_t distance) {
-      deps.add(k, flags, loop, distance);
-    });
+                        const DepAttribution& at) { deps.add(k, flags, at); });
   }
 
   /// Distance (in events) between a prefetch and its consuming compare.
@@ -166,9 +185,8 @@ class DetectorCore {
         ++prefetched;
       }
       process_one(events[i], [&](const DepKey& k, std::uint8_t flags,
-                                 std::uint32_t loop, std::uint32_t distance) {
-        if (!batch.accumulate(k, flags, loop, distance))
-          deps.add(k, flags, loop, distance);
+                                 const DepAttribution& at) {
+        if (!batch.accumulate(k, flags, at)) deps.add(k, flags, at);
       });
     }
     batch.flush(deps);
@@ -206,7 +224,7 @@ class DetectorCore {
 
  private:
   /// Algorithm 1 for one access.  Every dependence record (including INIT)
-  /// goes through `sink(key, flags, loop, distance)` instead of touching the
+  /// goes through `sink(key, flags, attribution)` instead of touching the
   /// map directly, so the batch kernel can aggregate records per batch while
   /// the per-event kernel adds them straight to the map.
   template <typename Sink>
@@ -222,7 +240,7 @@ class DetectorCore {
       if (const Slot* w = sig_write_.find(ev.addr)) {
         emit(ev, *w, DepType::kWaw, sink);
       } else {
-        sink(init_key(ev), 0, 0, 0);
+        sink(init_key(ev), 0, DepAttribution{});
       }
       if (const Slot* r = sig_read_.find(ev.addr)) {
         emit(ev, *r, DepType::kWar, sink);
@@ -242,8 +260,8 @@ class DetectorCore {
   /// DepKey, applying DepMap::add's per-instance update rules locally.
   /// Flushing folds each entry into the map with DepMap::fold, whose result
   /// is exactly that of replaying the instances one add() at a time (every
-  /// per-key update is a commutative join: flags OR, count sum, min/max
-  /// distance, max carried loop).  Occupancy sentinel is count == 0.  Probes are capped; a record
+  /// per-key update is a commutative join: flags OR, count sum, per-level
+  /// loop max and bucket sums).  Occupancy sentinel is count == 0.  Probes are capped; a record
   /// that finds neither its key nor a free slot within the cap goes straight
   /// to the map, which keeps the table loss-free and bounded.
   struct DepBatch {
@@ -259,8 +277,8 @@ class DetectorCore {
     std::array<Entry, kSlots> entries{};
 
     /// Applies one instance; false if the record must go to the map.
-    bool accumulate(const DepKey& key, std::uint8_t flags, std::uint32_t loop,
-                    std::uint32_t distance) {
+    bool accumulate(const DepKey& key, std::uint8_t flags,
+                    const DepAttribution& at) {
       // A throwaway 128-slot table does not need DepKeyHash's full-strength
       // mixing — one multiply per field keeps the accumulate cheaper than
       // the map probe it replaces; collisions just fall through to the map.
@@ -276,18 +294,8 @@ class DetectorCore {
           continue;
         }
         if (e.info.count == 0) e.key = key;
-        // Mirror DepMap::add's per-instance update exactly.
-        e.info.count += 1;
-        e.info.flags |= flags;
-        if (loop != 0 && (flags & kLoopCarried)) {
-          e.info.loop = std::max(e.info.loop, loop);
-          if (distance != 0) {
-            e.info.min_distance = e.info.min_distance == 0
-                                      ? distance
-                                      : std::min(e.info.min_distance, distance);
-            e.info.max_distance = std::max(e.info.max_distance, distance);
-          }
-        }
+        // The exact same per-instance update DepMap::add applies.
+        apply_dep_instance(e.info, flags, at);
         return true;
       }
       return false;
@@ -302,8 +310,8 @@ class DetectorCore {
   template <typename Sink>
   void emit(const AccessEvent& sink_ev, const Slot& src, DepType type,
             Sink&& sink) {
-    CarriedResult carried;
-    const std::uint8_t flags = classify_dep(src, sink_ev, carried);
+    DepAttribution at;
+    const std::uint8_t flags = classify_dep(src, sink_ev, at);
     DepKey k;
     k.sink_loc = sink_ev.loc;
     k.src_loc = src.loc;
@@ -312,7 +320,7 @@ class DetectorCore {
     if constexpr (std::is_same_v<Slot, MtSlot>)
       k.src_tid = static_cast<std::uint16_t>(src.tid);
     k.type = type;
-    sink(k, flags, carried.loop, carried.distance);
+    sink(k, flags, at);
   }
 
   static DepKey init_key(const AccessEvent& sink) {

@@ -31,9 +31,17 @@ std::string source_str(const DepKey& k, const DepInfo& info,
     os << '|' << var_registry().name(k.var);
   }
   if (opts.show_counts) os << " x" << info.count;
-  if (opts.show_distances && info.min_distance != 0) {
-    os << " d=" << info.min_distance;
-    if (info.max_distance != info.min_distance) os << ".." << info.max_distance;
+  if (opts.show_distances) {
+    // One term per attributed nest level: L<level>=<d0>|<d1>|<d2p> — the
+    // instance counts per carry-distance bucket (0, 1, >=2-or-unknown) at
+    // that level's common loop.
+    for (std::size_t d = 0; d < kNestLevels; ++d) {
+      const DepLevel& lvl = info.levels[d];
+      if (lvl.loop == 0 && lvl.d0 == 0 && lvl.d1 == 0 && lvl.d2p == 0)
+        continue;
+      os << " L" << (d + 1) << '=' << lvl.d0 << '|' << lvl.d1 << '|'
+         << lvl.d2p;
+    }
   }
   if (opts.mark_races && (info.flags & kReversed)) os << '!';
   os << '}';
@@ -104,7 +112,7 @@ std::string format_deps(const DepMap& deps, const ControlFlowLog* cf,
 std::string deps_csv(const DepMap& deps) {
   std::ostringstream os;
   os << "type,sink,sink_tid,source,src_tid,var,count,carried,cross_thread,"
-        "reversed,min_dist,max_dist\n";
+        "reversed,carried_level,carried_loop,d0,d1,d2p\n";
   for (const auto& [key, info] : deps.sorted()) {
     os << dep_type_name(key.type) << ','
        << SourceLocation::from_packed(key.sink_loc).str() << ',' << key.sink_tid
@@ -113,11 +121,20 @@ std::string deps_csv(const DepMap& deps) {
       os << '*';
     else
       os << SourceLocation::from_packed(key.src_loc).str();
+    std::uint64_t d0 = 0, d1 = 0, d2p = 0;
+    for (std::size_t d = 0; d < kNestLevels; ++d) {
+      d0 += info.levels[d].d0;
+      d1 += info.levels[d].d1;
+      d2p += info.levels[d].d2p;
+    }
+    const std::uint32_t clevel = info.carried_level();
     os << ',' << key.src_tid << ',' << var_registry().name(key.var) << ','
        << info.count << ',' << ((info.flags & kLoopCarried) ? 1 : 0) << ','
        << ((info.flags & kCrossThread) ? 1 : 0) << ','
-       << ((info.flags & kReversed) ? 1 : 0) << ',' << info.min_distance << ','
-       << info.max_distance << '\n';
+       << ((info.flags & kReversed) ? 1 : 0) << ',' << clevel << ',';
+    if (clevel != 0)
+      os << SourceLocation::from_packed(info.carried_loop()).str();
+    os << ',' << d0 << ',' << d1 << ',' << d2p << '\n';
   }
   return os.str();
 }

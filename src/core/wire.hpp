@@ -5,12 +5,38 @@
 // A raw AccessEvent costs one 64-byte cache line of queue bandwidth per
 // access.  Within one producer's stream, consecutive events differ in only
 // a few fields — the address moves a little, the location and variable
-// change, the loop iteration advances — so each event is carried on the
-// wire as a 16-byte delta record against the previous event of the same
-// chunk, with a full-size escape record for anything that does not fit
-// (and, always, for the first record of a chunk, which doubles as the
-// per-chunk base).  Each record also carries a run-length count, so the
-// front-end dedup cache's RLE runs travel as one record.
+// change, the nest context takes one step through the loop tree — so each
+// event is carried on the wire as a 16-byte delta record against the
+// previous event of the same chunk, with a full-size escape record for
+// anything that does not fit (and, always, for the first record of a chunk,
+// which doubles as the per-chunk base).  Each record also carries a
+// run-length count, so the front-end dedup cache's RLE runs travel as one
+// record.
+//
+// The nest context and iteration window are delta-coded through the 16-bit
+// `step` field, [op:2][idx:3][payload:11]:
+//
+//   op 0  iter advance   iters[idx] += payload; ctx unchanged.  payload 0
+//                        (with idx 0) means "identical context".
+//   op 1  push           ctx += payload (NestForest ids grow monotonically,
+//                        so a child entered now has a larger id than any
+//                        earlier node); iters unchanged — the new level's
+//                        window slot was already 0 in the previous event.
+//   op 2  pop            ctx = payload-th parent of the previous ctx (the
+//                        decoder consults the process-wide nest forest,
+//                        which is interned before any event referencing a
+//                        node is published); window slots at or beyond the
+//                        new depth are zeroed.
+//   op 3  sibling        ctx += payload; iters[idx] += 1 (the enclosing
+//         re-entry       loop advanced one iteration); deeper slots are
+//                        zeroed.  This is the inner-loop-exits-and-re-
+//                        enters step that dominates nested hot loops.
+//
+// The encoder never trusts these shapes: it builds the candidate step,
+// applies the decoder's own transition function to the previous event, and
+// emits the step only when the prediction equals the real event exactly.
+// Anything else escapes.  Encoder and decoder therefore cannot drift — they
+// share apply_wire_step().
 //
 // The codec is strictly chunk-local: the encoder and decoder both start
 // from "no previous event" at every chunk boundary, so chunks stay
@@ -23,6 +49,7 @@
 #include <cstring>
 
 #include "trace/event.hpp"
+#include "trace/nest.hpp"
 
 namespace depprof {
 
@@ -31,12 +58,12 @@ namespace depprof {
 /// still meaningful) followed by the raw 64-byte AccessEvent.
 struct WireRecord {
   std::uint32_t loc = 0;
-  std::int32_t addr_delta = 0;   ///< address units vs previous event
+  std::int32_t addr_delta = 0;  ///< address units vs previous event
   std::uint16_t var = 0;
-  std::uint16_t ts_delta = 0;    ///< timestamp advance vs previous event
-  std::uint16_t iter_delta = 0;  ///< loops[0].iter advance vs previous event
-  std::uint8_t kind_flags = 0;   ///< kind | flags << 2; 0xFF = escape
-  std::uint8_t rep = 0;          ///< run length - 1
+  std::uint16_t ts_delta = 0;   ///< timestamp advance vs previous event
+  std::uint16_t step = 0;       ///< nest-context step: [op:2][idx:3][payload:11]
+  std::uint8_t kind_flags = 0;  ///< kind | flags << 2; 0xFF = escape
+  std::uint8_t rep = 0;         ///< run length - 1
 };
 
 static_assert(sizeof(WireRecord) == 16, "wire record is a quarter line");
@@ -49,6 +76,47 @@ inline constexpr std::size_t kMaxWireRecordBytes =
 
 /// Longest run one wire record can carry (8-bit rep field).
 inline constexpr std::uint32_t kMaxWireRep = 256;
+
+/// Largest step payload ([op:2][idx:3][payload:11]).
+inline constexpr std::uint32_t kMaxStepPayload = 0x7FF;
+
+inline constexpr std::uint16_t make_wire_step(unsigned op, std::size_t idx,
+                                              std::uint32_t payload) {
+  return static_cast<std::uint16_t>((op << 14) | (idx << 11) | payload);
+}
+
+/// The shared context-transition function: patches `ev`'s ctx/iters (which
+/// on entry hold the previous event's values) according to `step`.  The
+/// decoder applies it verbatim; the encoder applies it to validate a
+/// candidate step by prediction equality before emitting it.
+inline void apply_wire_step(AccessEvent& ev, std::uint16_t step) {
+  const unsigned op = step >> 14;
+  const std::size_t idx = (step >> 11) & 0x7;
+  const std::uint32_t payload = step & kMaxStepPayload;
+  switch (op) {
+    case 0:  // iteration advance within the same dynamic nest entry
+      ev.iters[idx] += payload;
+      break;
+    case 1:  // push: deeper entry; the new level's slot was already 0
+      ev.ctx += payload;
+      break;
+    case 2: {  // pop: payload-th ancestor; zero slots at/beyond new depth
+      NestForest& forest = nest_forest();
+      std::uint32_t c = ev.ctx;
+      for (std::uint32_t k = 0; k < payload && c != NestForest::kRoot; ++k)
+        c = forest.parent(c);
+      ev.ctx = c;
+      for (std::size_t i = forest.depth(c); i < kNestIters; ++i)
+        ev.iters[i] = 0;
+      break;
+    }
+    case 3:  // sibling re-entry: enclosing level advanced, deeper reset
+      ev.ctx += payload;
+      ev.iters[idx] += 1;
+      for (std::size_t i = idx + 1; i < kNestIters; ++i) ev.iters[i] = 0;
+      break;
+  }
+}
 
 /// Chunk-local encoder.  reset() at every chunk boundary.
 class WireEncoder {
@@ -68,11 +136,7 @@ class WireEncoder {
     bool fit = has_prev_ && ev.tid == prev_.tid && ev.var <= 0xFFFF &&
                (ev.flags >> 6) == 0 &&
                ev.ts >= prev_.ts && ev.ts - prev_.ts <= 0xFFFF &&
-               ev.loops[1] == prev_.loops[1] && ev.loops[2] == prev_.loops[2] &&
-               ev.loops[0].loop == prev_.loops[0].loop &&
-               ev.loops[0].entry == prev_.loops[0].entry &&
-               ev.loops[0].iter >= prev_.loops[0].iter &&
-               ev.loops[0].iter - prev_.loops[0].iter <= 0xFFFF;
+               find_step(ev, r.step);
     if (fit) {
       const std::int64_t da = static_cast<std::int64_t>(ev.addr) -
                               static_cast<std::int64_t>(prev_.addr);
@@ -80,8 +144,6 @@ class WireEncoder {
       if (fit) {
         r.addr_delta = static_cast<std::int32_t>(da);
         r.ts_delta = static_cast<std::uint16_t>(ev.ts - prev_.ts);
-        r.iter_delta = static_cast<std::uint16_t>(ev.loops[0].iter -
-                                                  prev_.loops[0].iter);
       }
     }
     prev_ = ev;
@@ -104,12 +166,82 @@ class WireEncoder {
   }
 
  private:
+  /// Selects a step whose decoder-side prediction reproduces ev's ctx and
+  /// iteration window exactly.  Returns false (-> escape) when none does.
+  bool find_step(const AccessEvent& ev, std::uint16_t& step) const {
+    NestForest& forest = nest_forest();
+    // A context id the forest has not interned (possible only for corrupt
+    // replayed input) must not reach the decoder's parent walk.
+    if (ev.ctx >= forest.size() || prev_.ctx >= forest.size()) return false;
+    if (ev.ctx == prev_.ctx) {
+      // At most one window slot may advance, by at most the payload range.
+      std::size_t idx = 0;
+      int ndiff = 0;
+      for (std::size_t i = 0; i < kNestIters; ++i) {
+        if (ev.iters[i] != prev_.iters[i]) {
+          idx = i;
+          ++ndiff;
+        }
+      }
+      if (ndiff == 0) {
+        step = make_wire_step(0, 0, 0);
+        return true;
+      }
+      if (ndiff == 1 && ev.iters[idx] > prev_.iters[idx] &&
+          ev.iters[idx] - prev_.iters[idx] <= kMaxStepPayload) {
+        step = make_wire_step(0, idx, ev.iters[idx] - prev_.iters[idx]);
+        return true;
+      }
+      return false;
+    }
+    if (ev.ctx > prev_.ctx) {
+      const std::uint32_t dc = ev.ctx - prev_.ctx;
+      if (dc > kMaxStepPayload) return false;
+      if (predicts(ev, make_wire_step(1, 0, dc))) {
+        step = make_wire_step(1, 0, dc);
+        return true;
+      }
+      // Sibling re-entry: the first slot that differs must be the advancing
+      // enclosing level; deeper ones must reset.  predicts() verifies.
+      for (std::size_t i = 0; i < kNestIters; ++i) {
+        if (ev.iters[i] != prev_.iters[i]) {
+          if (predicts(ev, make_wire_step(3, i, dc))) {
+            step = make_wire_step(3, i, dc);
+            return true;
+          }
+          return false;
+        }
+      }
+      return false;
+    }
+    // ctx decreased: pop to an ancestor, if ev.ctx is one within range.
+    const std::uint32_t dp = forest.depth(prev_.ctx);
+    const std::uint32_t de = forest.depth(ev.ctx);
+    if (de >= dp || dp - de > kMaxStepPayload) return false;
+    if (predicts(ev, make_wire_step(2, 0, dp - de))) {
+      step = make_wire_step(2, 0, dp - de);
+      return true;
+    }
+    return false;
+  }
+
+  /// True when applying `step` to the previous event reproduces ev's ctx
+  /// and iteration window byte-for-byte.
+  bool predicts(const AccessEvent& ev, std::uint16_t step) const {
+    AccessEvent t = prev_;
+    apply_wire_step(t, step);
+    if (t.ctx != ev.ctx) return false;
+    for (std::size_t i = 0; i < kNestIters; ++i)
+      if (t.iters[i] != ev.iters[i]) return false;
+    return true;
+  }
+
   AccessEvent prev_;
   bool has_prev_ = false;
 };
 
 /// Chunk-local decoder.  reset() at every chunk boundary; decode() mirrors
-/// WireEncoder::encode exactly.
+/// WireEncoder::encode exactly (they share apply_wire_step).
 class WireDecoder {
  public:
   void reset() { has_prev_ = false; }
@@ -133,7 +265,7 @@ class WireDecoder {
     ev.ts = prev_.ts + r.ts_delta;
     ev.loc = r.loc;
     ev.var = r.var;
-    ev.loops[0].iter = prev_.loops[0].iter + r.iter_delta;
+    apply_wire_step(ev, r.step);
     ev.kind = static_cast<AccessKind>(r.kind_flags & 0x3);
     ev.flags = static_cast<std::uint8_t>(r.kind_flags >> 2);
     prev_ = ev;

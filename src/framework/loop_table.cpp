@@ -31,21 +31,27 @@ LoopTable::LoopTable(const DepMap& deps, const ControlFlowLog& cf,
       // access executes inside the body counts as body work.
       row.dep_instances += info.count;
       row.dep_kinds += 1;
-      // Carried attribution additionally requires the source inside the
-      // body and respects the reduction hints, consistent with the verdict.
-      if (key.type == DepType::kRaw && (info.flags & kLoopCarried) &&
-          info.loop == row.loop.loop_id &&
-          row.loop.contains(SourceLocation::from_packed(key.src_loc)) &&
+      // Carried attribution comes straight from the per-level nest data,
+      // consistent with the verdict; the reduction hints are respected.
+      if (key.type == DepType::kRaw && info.carried_by(row.loop.loop_id) &&
           !is_reduction(key)) {
         row.carried_raw += 1;
-        if (info.min_distance != 0)
-          row.min_carried_distance =
-              row.min_carried_distance == 0
-                  ? info.min_distance
-                  : std::min(row.min_carried_distance, info.min_distance);
+        // The level attributed to this loop narrows the distance bucket.
+        for (std::size_t d = 0; d < kNestLevels; ++d) {
+          const DepLevel& lvl = info.levels[d];
+          if (lvl.loop != row.loop.loop_id || lvl.carried() == 0) continue;
+          const std::uint32_t bucket = lvl.d1 != 0 ? 1 : 2;
+          row.min_carried_bucket =
+              row.min_carried_bucket == 0
+                  ? bucket
+                  : std::min(row.min_carried_bucket, bucket);
+        }
       }
     }
-    if (i < verdicts.size()) row.parallelizable = verdicts[i].parallelizable;
+    if (i < verdicts.size()) {
+      row.verdict = verdicts[i].kind;
+      row.parallelizable = verdicts[i].parallelizable();
+    }
     rows_.push_back(std::move(row));
   }
 }
@@ -59,7 +65,7 @@ const LoopRow* LoopTable::find(std::uint32_t loop_id) const {
 std::string LoopTable::render() const {
   TextTable t("loop table");
   t.set_header({"loop", "iterations", "entries", "deps", "instances",
-                "carried RAW", "min dist", "parallelizable"});
+                "carried RAW", "min bucket", "verdict"});
   for (const auto& row : rows_) {
     t.add_row({SourceLocation::from_packed(row.loop.begin_loc).str() + "-" +
                    SourceLocation::from_packed(row.loop.end_loc).str(),
@@ -67,8 +73,10 @@ std::string LoopTable::render() const {
                std::to_string(row.loop.entries), std::to_string(row.dep_kinds),
                std::to_string(row.dep_instances),
                std::to_string(row.carried_raw),
-               std::to_string(row.min_carried_distance),
-               row.parallelizable ? "yes" : "no"});
+               row.min_carried_bucket == 0
+                   ? "-"
+                   : row.min_carried_bucket == 1 ? "1" : "2+",
+               loop_verdict_name(row.verdict)});
   }
   std::ostringstream os;
   t.print(os);

@@ -21,9 +21,11 @@ struct LoopRow {
   std::uint64_t dep_instances = 0;   ///< dependence instances inside the body
   std::size_t dep_kinds = 0;         ///< merged dependences inside the body
   std::size_t carried_raw = 0;       ///< carried RAW deps attributed to this loop
-  /// Smallest carried-RAW iteration distance attributed to this loop: up to
-  /// this many consecutive iterations are mutually independent (0 = none).
-  std::uint32_t min_carried_distance = 0;
+  /// Smallest carried-RAW distance bucket attributed to this loop: 1 =
+  /// adjacent iterations conflict, 2 = a gap of at least one independent
+  /// iteration (or unknown for very deep nests), 0 = no carried RAW.
+  std::uint32_t min_carried_bucket = 0;
+  LoopVerdictKind verdict = LoopVerdictKind::kDoallSafe;
   bool parallelizable = true;
 };
 

@@ -105,11 +105,14 @@ class SelfParallelismPlugin final : public AnalysisPlugin {
       const double iters =
           std::max<double>(1.0, static_cast<double>(r.loop.iterations) /
                                     std::max<std::uint64_t>(1, r.loop.entries));
+      // Bucketed distances: a d=1 recurrence serializes fully (SP 1); a
+      // carried dependence with only d>=2 instances leaves at least one
+      // independent iteration between conflicting ones (SP 2).
       const double sp =
           r.parallelizable
               ? iters
               : std::min(iters, std::max(1.0, static_cast<double>(
-                                                  r.min_carried_distance)));
+                                                  r.min_carried_bucket)));
       const double work = static_cast<double>(r.dep_instances);
       rows.push_back({&r, sp, work * (1.0 - 1.0 / std::max(1.0, sp))});
     }
@@ -134,10 +137,11 @@ class SelfParallelismPlugin final : public AnalysisPlugin {
   }
 };
 
-/// Alchemist-style distance report: for every carried RAW dependence, the
-/// carrying loop and the min/max iteration distance.  A constant distance
-/// d > 1 suggests blocking/unrolling by d (or skewing), which is why
-/// distance profilers exist.
+/// Alchemist-style distance report: for every carried RAW dependence, one
+/// row per attributed nest level with the carrying loop and the carry-
+/// distance buckets.  A carried dependence whose d=1 bucket is empty leaves
+/// a gap of independent iterations — blocking/unrolling (or skewing) may
+/// still apply, which is why distance profilers exist.
 class DepDistancePlugin final : public AnalysisPlugin {
  public:
   std::string name() const override { return "dep-distance"; }
@@ -146,24 +150,24 @@ class DepDistancePlugin final : public AnalysisPlugin {
   }
   std::string run(const ProgramModel& model) override {
     TextTable t("carried RAW dependence distances");
-    t.set_header({"sink", "source", "var", "loop", "instances", "min d",
-                  "max d", "note"});
+    t.set_header({"sink", "source", "var", "loop", "level", "instances",
+                  "d=1", "d>=2", "note"});
     for (const auto& [key, info] : model.deps().sorted()) {
       if (key.type != DepType::kRaw || (info.flags & kLoopCarried) == 0)
         continue;
-      std::string note;
-      if (info.min_distance > 1 && info.min_distance == info.max_distance)
-        note = "constant distance: block by " + std::to_string(info.min_distance);
-      else if (info.min_distance > 1)
-        note = "partial overlap up to " + std::to_string(info.min_distance);
-      else
-        note = "serializing recurrence";
-      t.add_row({SourceLocation::from_packed(key.sink_loc).str(),
-                 SourceLocation::from_packed(key.src_loc).str(),
-                 var_registry().name(key.var),
-                 SourceLocation::from_packed(info.loop).str(),
-                 std::to_string(info.count), std::to_string(info.min_distance),
-                 std::to_string(info.max_distance), note});
+      for (std::size_t d = 0; d < kNestLevels; ++d) {
+        const DepLevel& lvl = info.levels[d];
+        if (lvl.carried() == 0) continue;
+        const char* note = lvl.d1 != 0
+                               ? "serializing recurrence"
+                               : "gapped: blocking/unrolling may apply";
+        t.add_row({SourceLocation::from_packed(key.sink_loc).str(),
+                   SourceLocation::from_packed(key.src_loc).str(),
+                   var_registry().name(key.var),
+                   SourceLocation::from_packed(lvl.loop).str(),
+                   std::to_string(d + 1), std::to_string(info.count),
+                   std::to_string(lvl.d1), std::to_string(lvl.d2p), note});
+      }
     }
     std::ostringstream os;
     t.print(os);

@@ -22,9 +22,9 @@ Scored score(const std::vector<LoopVerdict>& verdicts,
   const std::size_t n = std::min(verdicts.size(), truth.size());
   for (std::size_t i = 0; i < n; ++i) {
     if (truth[i].parallelizable) {
-      s.identified += verdicts[i].parallelizable ? 1 : 0;
+      s.identified += verdicts[i].parallelizable() ? 1 : 0;
     } else {
-      s.false_parallel += verdicts[i].parallelizable ? 1 : 0;
+      s.false_parallel += verdicts[i].parallelizable() ? 1 : 0;
     }
   }
   return s;

@@ -24,8 +24,9 @@
 //     can shift.
 //  2. Algorithm 1's detection state is per-address, so cross-word order is
 //     invisible to exact stores; and every aggregation in DepInfo is a
-//     commutative join (count sum, flags OR, min/max distance, max loop),
-//     so the merged map is independent of cross-word arrival order.
+//     commutative join (count sum, flags OR, per-level loop max and carry-
+//     bucket sums), so the merged map is independent of cross-word arrival
+//     order.
 //  3. Eligibility is gated: events with a nonzero timestamp (MT targets,
 //     where collapsing repeats would change the Sec. V-B reversed-timestamp
 //     race check), events inside lock regions, and lifetime events never
@@ -50,13 +51,16 @@ namespace depprof {
 
 /// Dedup identity: two events are exact repeats when they touch the same
 /// word with the same kind, location, variable, thread, timestamp, flags,
-/// and loop-iteration context.  (Sub-word byte addresses may differ — the
-/// profilers canonicalize to word granularity before detection.)
+/// nest context, and iteration window.  (Sub-word byte addresses may differ
+/// — the profilers canonicalize to word granularity before detection.)
 inline bool same_access_identity(const AccessEvent& a, const AccessEvent& b) {
-  return word_addr(a.addr) == word_addr(b.addr) && a.kind == b.kind &&
-         a.loc == b.loc && a.var == b.var && a.tid == b.tid && a.ts == b.ts &&
-         a.flags == b.flags && a.loops[0] == b.loops[0] &&
-         a.loops[1] == b.loops[1] && a.loops[2] == b.loops[2];
+  if (word_addr(a.addr) != word_addr(b.addr) || a.kind != b.kind ||
+      a.loc != b.loc || a.var != b.var || a.tid != b.tid || a.ts != b.ts ||
+      a.flags != b.flags || a.ctx != b.ctx)
+    return false;
+  for (std::size_t i = 0; i < kNestIters; ++i)
+    if (a.iters[i] != b.iters[i]) return false;
+  return true;
 }
 
 /// Whether the cache may merge this event at all.  Timestamped events (MT

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.hpp"
+#include "trace/nest.hpp"
 
 namespace depprof {
 
@@ -103,9 +104,11 @@ void Runtime::record(const void* addr, std::size_t size, std::uint32_t file,
   ev.kind = is_write ? AccessKind::kWrite : AccessKind::kRead;
   ev.tid = ts.tid;
   const std::size_t depth = ts.loop_stack.size();
-  for (std::size_t i = 0; i < kLoopLevels && i < depth; ++i) {
-    const ActiveLoop& l = ts.loop_stack[depth - 1 - i];
-    ev.loops[i] = {l.loop_id, l.entry, l.iter};
+  if (depth > 0) {
+    ev.ctx = ts.loop_stack.back().node;
+    // Root-anchored iteration window: outermost loop first (event.hpp).
+    for (std::size_t i = 0; i < kNestIters && i < depth; ++i)
+      ev.iters[i] = ts.loop_stack[i].iter;
   }
   if (mt_mode_.load(std::memory_order_relaxed))
     ev.ts = timestamp_.fetch_add(1, std::memory_order_relaxed);
@@ -171,8 +174,12 @@ void Runtime::loop_begin(std::uint32_t file, std::uint32_t line) {
   ThreadState& ts = thread_state();
   ts.cache.invalidate_all();  // dedup never crosses a loop-context change
   const std::uint32_t loc = SourceLocation(file, line).packed();
-  ts.loop_stack.push_back(
-      {loc, next_entry_.fetch_add(1, std::memory_order_relaxed), 0});
+  const std::uint32_t parent_node =
+      ts.loop_stack.empty() ? NestForest::kRoot : ts.loop_stack.back().node;
+  const std::uint32_t parent_loop =
+      ts.loop_stack.empty() ? 0 : ts.loop_stack.back().loop_id;
+  const std::uint32_t node = nest_forest().enter(parent_node, loc);
+  ts.loop_stack.push_back({loc, node, 0});
   std::lock_guard lock(cf_mu_);
   auto [it, inserted] = loops_.try_emplace(loc);
   if (inserted) {
@@ -180,18 +187,33 @@ void Runtime::loop_begin(std::uint32_t file, std::uint32_t line) {
     it->second.begin_loc = loc;
   }
   it->second.entries += 1;
+  nest_edges_[(static_cast<std::uint64_t>(parent_loop) << 32) | loc] += 1;
 }
 
 void Runtime::loop_iter() {
   ThreadState& ts = thread_state();
   ts.cache.invalidate_all();  // dedup never crosses an iteration advance
-  if (!ts.loop_stack.empty()) ts.loop_stack.back().iter += 1;
+  if (ts.loop_stack.empty()) {
+    // A thread entering mid-loop (MT targets) sees iteration markers of a
+    // loop its own stack never opened; advancing nothing is the only safe
+    // interpretation.  Counted so the harness can surface the mismatch.
+    std::lock_guard lock(cf_mu_);
+    stray_iters_ += 1;
+    return;
+  }
+  ts.loop_stack.back().iter += 1;
 }
 
 void Runtime::loop_end(std::uint32_t file, std::uint32_t line) {
   ThreadState& ts = thread_state();
   ts.cache.invalidate_all();  // dedup never crosses a loop-context change
-  if (ts.loop_stack.empty()) return;
+  if (ts.loop_stack.empty()) {
+    // Mid-loop thread (see loop_iter): there is no frame to pop, and
+    // popping another loop's frame would corrupt the thread's nest cursor.
+    std::lock_guard lock(cf_mu_);
+    stray_ends_ += 1;
+    return;
+  }
   const ActiveLoop top = ts.loop_stack.back();
   ts.loop_stack.pop_back();
   std::lock_guard lock(cf_mu_);
@@ -285,17 +307,34 @@ ControlFlowLog Runtime::control_flow() const {
             [](const LoopRecord& a, const LoopRecord& b) {
               return a.begin_loc < b.begin_loc;
             });
+  log.edges.reserve(nest_edges_.size());
+  for (const auto& [key, count] : nest_edges_)
+    log.edges.push_back({static_cast<std::uint32_t>(key >> 32),
+                         static_cast<std::uint32_t>(key), count});
+  std::sort(log.edges.begin(), log.edges.end(),
+            [](const NestEdge& a, const NestEdge& b) {
+              return a.parent_loop != b.parent_loop
+                         ? a.parent_loop < b.parent_loop
+                         : a.child_loop < b.child_loop;
+            });
+  log.stray_iters = stray_iters_;
+  log.stray_ends = stray_ends_;
   return log;
 }
 
 void Runtime::reset() {
   std::lock_guard lock(cf_mu_);
   loops_.clear();
+  nest_edges_.clear();
+  stray_iters_ = 0;
+  stray_ends_ = 0;
   reduction_lines_.clear();
   call_tree_.clear();
   timestamp_.store(1, std::memory_order_relaxed);
   next_tid_.store(0, std::memory_order_relaxed);
-  next_entry_.store(1, std::memory_order_relaxed);
+  // The nest forest is deliberately NOT cleared: it is append-only and
+  // process-wide, so context ids inside recorded traces stay valid across
+  // sessions (trace/nest.hpp).
   epoch_.fetch_add(1, std::memory_order_release);
 }
 

@@ -63,11 +63,18 @@ class Runtime {
 
   // --- control flow ------------------------------------------------------
 
-  /// Loop entry at file:line.  Loops are identified by their entry location.
+  /// Loop entry at file:line.  Loops are identified by their entry
+  /// location; each dynamic entry is interned as a fresh NestForest node
+  /// under the thread's current innermost entry, and the observed
+  /// parent->child nesting edge is recorded for the control-flow nest tree.
   void loop_begin(std::uint32_t file, std::uint32_t line);
   /// One iteration boundary of the innermost active loop of this thread.
+  /// Ignored (and counted as stray) when the thread's loop stack is empty —
+  /// a thread created inside a loop body sees its enclosing markers from
+  /// the parent thread only.
   void loop_iter();
-  /// Loop exit at file:line for the innermost active loop.
+  /// Loop exit at file:line for the innermost active loop.  Ignored (and
+  /// counted as stray) on an empty per-thread loop stack.
   void loop_end(std::uint32_t file, std::uint32_t line);
 
   /// Function entry/exit (DP_FUNCTION guard).  Builds the dynamic call tree
@@ -125,7 +132,7 @@ class Runtime {
 
   struct ActiveLoop {
     std::uint32_t loop_id = 0;
-    std::uint32_t entry = 0;  ///< dynamic entry instance (process-unique)
+    std::uint32_t node = 0;  ///< interned NestForest entry of this execution
     std::uint32_t iter = 0;
   };
 
@@ -200,7 +207,6 @@ class Runtime {
   std::atomic<std::uint64_t> timestamp_{1};
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint16_t> next_tid_{0};
-  std::atomic<std::uint32_t> next_entry_{1};
 
   /// Guards the live-thread registry so attach/detach can discard or flush
   /// every thread's buffered events.
@@ -209,6 +215,10 @@ class Runtime {
 
   mutable std::mutex cf_mu_;
   std::unordered_map<std::uint32_t, LoopRecord> loops_;  // keyed by entry loc
+  /// Observed nesting edges, keyed by (parent loop id << 32 | child loop id).
+  std::unordered_map<std::uint64_t, std::uint64_t> nest_edges_;
+  std::uint64_t stray_iters_ = 0;
+  std::uint64_t stray_ends_ = 0;
   std::vector<std::uint32_t> reduction_lines_;
   CallTree call_tree_;
 };

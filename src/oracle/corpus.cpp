@@ -4,10 +4,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "queue/queues.hpp"
+#include "trace/nest.hpp"
 
 namespace depprof {
 namespace {
@@ -16,9 +20,24 @@ namespace {
 // repro that omits dedup=/pack= would silently replay under whatever the
 // current defaults are, which is exactly the ambiguity the corpus lint
 // exists to reject.  v1 files predate the axes and replay with both off —
-// the semantics they were recorded under.
+// the semantics they were recorded under.  v3 replaced the three fixed
+// (loop, entry, iter) triples per event with interned nest-context ids
+// (`nest` directives + ctx=/iters= keys); v1/v2 files still parse, their
+// triples re-interned into an equivalent nest chain.
 constexpr std::string_view kVersionLineV1 = "depfuzz-repro v1";
 constexpr std::string_view kVersionLineV2 = "depfuzz-repro v2";
+constexpr std::string_view kVersionLineV3 = "depfuzz-repro v3";
+
+/// File-scoped nest state threaded through event parsing.
+struct NestParseState {
+  /// v3: file-local nest id -> process forest id (id 0 preseeded to root).
+  std::unordered_map<std::uint32_t, std::uint32_t> id_map{{0, 0}};
+  /// v1/v2 compat: (parent forest id, loop, entry) -> forest id, so the
+  /// same dynamic entry named by several events re-interns to one node.
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,
+           std::uint32_t>
+      legacy_chain;
+};
 
 const char* sig_hash_name(SigHash h) {
   return h == SigHash::kModulo ? "modulo" : "mix";
@@ -175,8 +194,69 @@ bool parse_lb_line(const std::vector<std::string_view>& toks,
   return true;
 }
 
+/// v3 `nest id=N parent=P loop=L` directive: interns one dynamic entry.
+/// Parents must be declared (or 0) before their children.
+bool parse_nest_line(const std::vector<std::string_view>& toks,
+                     NestParseState& nest, std::string& bad_key) {
+  std::uint64_t id = 0, parent = 0, loop = 0;
+  bool saw_id = false;
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    std::string_view key, value;
+    if (!split_kv(toks[i], key, value)) {
+      bad_key = std::string(toks[i]);
+      return false;
+    }
+    bool ok;
+    if (key == "id") ok = parse_u64(value, id), saw_id = true;
+    else if (key == "parent") ok = parse_u64(value, parent);
+    else if (key == "loop") ok = parse_u64(value, loop);
+    else ok = false;
+    if (!ok) {
+      bad_key = std::string(toks[i]);
+      return false;
+    }
+  }
+  if (!saw_id || id == 0 || nest.id_map.count(static_cast<std::uint32_t>(id))) {
+    bad_key = "id";
+    return false;
+  }
+  const auto pit = nest.id_map.find(static_cast<std::uint32_t>(parent));
+  if (pit == nest.id_map.end()) {
+    bad_key = "parent";
+    return false;
+  }
+  nest.id_map[static_cast<std::uint32_t>(id)] =
+      nest_forest().enter(pit->second, static_cast<std::uint32_t>(loop));
+  return true;
+}
+
+/// Re-interns a v1/v2 `loops=` value (three innermost-first (loop, entry,
+/// iter) triples, 0 = unused) as a nest chain and stamps ctx/iters.
+bool apply_legacy_loops(AccessEvent& ev, std::string_view value,
+                        NestParseState& nest) {
+  unsigned l[3], e[3], it[3];
+  const std::string s(value);
+  if (std::sscanf(s.c_str(), "%u:%u:%u,%u:%u:%u,%u:%u:%u", &l[0], &e[0],
+                  &it[0], &l[1], &e[1], &it[1], &l[2], &e[2], &it[2]) != 9)
+    return false;
+  std::uint32_t parent = NestForest::kRoot;
+  std::size_t depth = 0;
+  for (int i = 2; i >= 0; --i) {  // triples were stored innermost-first
+    if (l[i] == 0) continue;
+    const auto key = std::make_tuple(parent, l[i], e[i]);
+    auto [pos, inserted] = nest.legacy_chain.try_emplace(key, 0);
+    if (inserted) pos->second = nest_forest().enter(parent, l[i]);
+    parent = pos->second;
+    if (depth < kNestIters) ev.iters[depth] = it[i];
+    ++depth;
+  }
+  ev.ctx = parent;
+  return true;
+}
+
 bool parse_event_line(const std::vector<std::string_view>& toks,
-                      AccessEvent& ev, std::string& bad_key) {
+                      AccessEvent& ev, int version, NestParseState& nest,
+                      std::string& bad_key) {
   if (toks.size() < 2) {
     bad_key = "missing event kind";
     return false;
@@ -206,16 +286,26 @@ bool parse_event_line(const std::vector<std::string_view>& toks,
     else if (key == "ts") ok = parse_u64(value, ev.ts);
     else if (key == "flags")
       ok = parse_u64(value, u), ev.flags = static_cast<std::uint8_t>(u);
-    else if (key == "loops") {
-      unsigned l0, e0, i0, l1, e1, i1, l2, e2, i2;
-      const std::string s(value);
-      ok = std::sscanf(s.c_str(), "%u:%u:%u,%u:%u:%u,%u:%u:%u", &l0, &e0, &i0,
-                       &l1, &e1, &i1, &l2, &e2, &i2) == 9;
+    else if (key == "loops" && version <= 2)
+      ok = apply_legacy_loops(ev, value, nest);
+    else if (key == "ctx" && version >= 3) {
+      ok = parse_u64(value, u);
       if (ok) {
-        ev.loops[0] = {l0, e0, i0};
-        ev.loops[1] = {l1, e1, i1};
-        ev.loops[2] = {l2, e2, i2};
+        const auto it = nest.id_map.find(static_cast<std::uint32_t>(u));
+        ok = it != nest.id_map.end();
+        if (ok) ev.ctx = it->second;
       }
+    } else if (key == "iters" && version >= 3) {
+      const std::string s(value);
+      std::size_t idx = 0;
+      const char* p = s.c_str();
+      char* end = nullptr;
+      while (*p != '\0' && idx < kNestIters) {
+        ev.iters[idx++] = static_cast<std::uint32_t>(std::strtoul(p, &end, 0));
+        if (end == p) break;
+        p = *end == ',' ? end + 1 : end;
+      }
+      ok = end != nullptr && *end == '\0';
     } else ok = false;
     if (!ok) {
       bad_key = std::string(toks[i]);
@@ -229,7 +319,7 @@ bool parse_event_line(const std::vector<std::string_view>& toks,
 
 std::string format_repro(const ReproCase& repro) {
   std::ostringstream os;
-  os << kVersionLineV2 << '\n';
+  os << kVersionLineV3 << '\n';
   if (!repro.note.empty()) os << "note " << repro.note << '\n';
   const ProfilerConfig& c = repro.cfg;
   os << "config storage=" << storage_kind_name(c.storage)
@@ -248,18 +338,37 @@ std::string format_repro(const ReproCase& repro) {
      << " interval=" << lb.eval_interval_chunks
      << " threshold=" << lb.imbalance_threshold << " top_k=" << lb.top_k
      << " max_rounds=" << lb.max_rounds << '\n';
+  // Nest table: every forest node reachable from an event context, written
+  // ancestors-first (forest ids grow child-after-parent, so ascending
+  // forest-id order is a valid declaration order) with dense file-local
+  // ids.  Parsing re-interns them, so repros stay self-contained across
+  // processes.
+  NestForest& forest = nest_forest();
+  std::map<std::uint32_t, std::uint32_t> local_id;  // forest id -> file id
+  local_id[NestForest::kRoot] = 0;
+  for (const AccessEvent& ev : repro.trace.events)
+    for (std::uint32_t c = ev.ctx;
+         c != NestForest::kRoot && !local_id.count(c); c = forest.parent(c))
+      local_id[c] = 1;  // mark; numbered below in ascending order
+  std::uint32_t next_id = 1;
+  for (auto& [fid, lid] : local_id) {
+    if (fid == NestForest::kRoot) continue;
+    lid = next_id++;
+    os << "nest id=" << lid << " parent=" << local_id[forest.parent(fid)]
+       << " loop=" << forest.loop(fid) << '\n';
+  }
+  static_assert(kNestIters == 7, "update the iters= format below");
   for (const AccessEvent& ev : repro.trace.events) {
     const char kind = ev.is_free() ? 'F' : ev.is_write() ? 'W' : 'R';
-    char buf[192];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "ev %c addr=0x%llx loc=%u var=%u tid=%u ts=%llu flags=%u "
-                  "loops=%u:%u:%u,%u:%u:%u,%u:%u:%u\n",
+                  "ctx=%u iters=%u,%u,%u,%u,%u,%u,%u\n",
                   kind, static_cast<unsigned long long>(ev.addr), ev.loc,
                   ev.var, ev.tid, static_cast<unsigned long long>(ev.ts),
-                  ev.flags, ev.loops[0].loop, ev.loops[0].entry,
-                  ev.loops[0].iter, ev.loops[1].loop, ev.loops[1].entry,
-                  ev.loops[1].iter, ev.loops[2].loop, ev.loops[2].entry,
-                  ev.loops[2].iter);
+                  ev.flags, local_id[ev.ctx], ev.iters[0], ev.iters[1],
+                  ev.iters[2], ev.iters[3], ev.iters[4], ev.iters[5],
+                  ev.iters[6]);
     os << buf;
   }
   return os.str();
@@ -271,6 +380,7 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
   bool saw_config = false;
   bool saw_dedup = false;
   bool saw_pack = false;
+  NestParseState nest;
   std::size_t line_no = 0;
   std::size_t pos = 0;
   while (pos <= text.size()) {
@@ -289,11 +399,14 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
         repro.cfg.pack = false;
       } else if (line == kVersionLineV2) {
         version = 2;
+      } else if (line == kVersionLineV3) {
+        version = 3;
       } else {
         return set_error(error, line_no,
                          "expected version line '" +
-                             std::string(kVersionLineV1) + "' or '" +
-                             std::string(kVersionLineV2) + "'");
+                             std::string(kVersionLineV1) + "', '" +
+                             std::string(kVersionLineV2) + "' or '" +
+                             std::string(kVersionLineV3) + "'");
       }
       continue;
     }
@@ -317,9 +430,14 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
     } else if (toks[0] == "lb") {
       if (!parse_lb_line(toks, repro.cfg.load_balance, bad))
         return set_error(error, line_no, "bad lb token '" + bad + "'");
+    } else if (toks[0] == "nest") {
+      if (version < 3)
+        return set_error(error, line_no, "nest directive requires v3");
+      if (!parse_nest_line(toks, nest, bad))
+        return set_error(error, line_no, "bad nest token '" + bad + "'");
     } else if (toks[0] == "ev") {
       AccessEvent ev;
-      if (!parse_event_line(toks, ev, bad))
+      if (!parse_event_line(toks, ev, version, nest, bad))
         return set_error(error, line_no, "bad event token '" + bad + "'");
       repro.trace.events.push_back(ev);
     } else {

@@ -6,7 +6,7 @@
 // tests/corpus/ is replayed by the corpus regression test on each CI run,
 // turning yesterday's fuzz finding into tomorrow's regression gate.
 //
-//   depfuzz-repro v2
+//   depfuzz-repro v3
 //   # free-form provenance comment
 //   note <one-line description>
 //   config storage=perfect slots=1048576 sighash=modulo mt=0 workers=4
@@ -14,19 +14,28 @@
 //          ... batch=1 dedup=1 pack=1
 //   lb enabled=1 sample_shift=0 interval=200 threshold=1.25 top_k=10
 //          ... max_rounds=64
+//   nest id=1 parent=0 loop=16777276
+//   nest id=2 parent=1 loop=16777280
 //   ev W addr=0x2000 loc=16777226 var=0 tid=0 ts=0 flags=0
-//          ... loops=1:1:0,0:0:0,0:0:0
+//          ... ctx=2 iters=3,1,0,0,0,0,0
 //
 // (`config` and `lb` are single lines; they are wrapped here for the
 // comment only.)  `ev` kinds are R / W / F.  Unknown directives or keys are
 // hard parse errors — the corpus lint relies on strictness, so a typo in a
 // committed repro fails CI instead of silently replaying something else.
 //
-// Versioning: v2 (current) hard-requires the front-end reduction keys
-// dedup= and pack= on the config line, so a repro can never silently
-// replay under whichever defaults happen to be current.  v1 files (which
-// predate those axes) still parse, with both axes off — the semantics they
-// were recorded under.  format_repro always writes v2.
+// Versioning: v3 (current) carries the loop-nest context as interned
+// `nest` directives (file-local ids, parents declared before children)
+// referenced by each event's ctx= key, plus the root-anchored iteration
+// window iters=; parsing re-interns the table into the process nest
+// forest.  v2 files, whose events carried three fixed innermost-first
+// (loop, entry, iter) triples under loops=, still parse: the triples are
+// re-interned into an equivalent nest chain keyed by (parent, loop,
+// entry).  v2 also introduced — and v3 keeps — the hard-required front-end
+// reduction keys dedup= and pack= on the config line, so a repro can never
+// silently replay under whichever defaults happen to be current.  v1 files
+// (which predate those axes) still parse, with both axes off — the
+// semantics they were recorded under.  format_repro always writes v3.
 //
 // MT repros must be order-faithful under single-threaded replay: every
 // mixed-tid event stream needs the lock-region flag (bit 0) set, as the

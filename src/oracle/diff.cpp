@@ -8,8 +8,14 @@ namespace depprof {
 namespace {
 
 bool same_info(const DepInfo& a, const DepInfo& b) {
-  return a.count == b.count && a.flags == b.flags && a.loop == b.loop &&
-         a.min_distance == b.min_distance && a.max_distance == b.max_distance;
+  if (a.count != b.count || a.flags != b.flags) return false;
+  for (std::size_t d = 0; d < kNestLevels; ++d) {
+    if (a.levels[d].loop != b.levels[d].loop ||
+        a.levels[d].d0 != b.levels[d].d0 || a.levels[d].d1 != b.levels[d].d1 ||
+        a.levels[d].d2p != b.levels[d].d2p)
+      return false;
+  }
+  return true;
 }
 
 void append_key(std::string& out, const DepKey& k) {
@@ -25,11 +31,18 @@ void append_key(std::string& out, const DepKey& k) {
 
 void append_info(std::string& out, const DepInfo& i) {
   char buf[120];
-  std::snprintf(buf, sizeof(buf),
-                "count=%llu flags=0x%x loop=%u dist=[%u,%u]",
-                static_cast<unsigned long long>(i.count), i.flags, i.loop,
-                i.min_distance, i.max_distance);
+  std::snprintf(buf, sizeof(buf), "count=%llu flags=0x%x",
+                static_cast<unsigned long long>(i.count), i.flags);
   out += buf;
+  for (std::size_t d = 0; d < kNestLevels; ++d) {
+    const DepLevel& l = i.levels[d];
+    if (l.loop == 0 && l.d0 == 0 && l.d1 == 0 && l.d2p == 0) continue;
+    std::snprintf(buf, sizeof(buf), " L%zu[loop=%u d0=%llu d1=%llu d2p=%llu]",
+                  d + 1, l.loop, static_cast<unsigned long long>(l.d0),
+                  static_cast<unsigned long long>(l.d1),
+                  static_cast<unsigned long long>(l.d2p));
+    out += buf;
+  }
 }
 
 }  // namespace

@@ -1,34 +1,54 @@
 #include "oracle/exact_oracle.hpp"
 
+#include <vector>
+
 #include "common/hash.hpp"
+#include "trace/nest.hpp"
 
 namespace depprof {
 namespace {
 
-/// The loop carrying the dependence from `src` to `sink` (0 = none) and the
-/// iteration distance, plus whether the two contexts share *any* dynamic
-/// loop entry.  Matches the sink's innermost level first; the first shared
-/// entry with differing iterations decides the carrying loop.
-struct OracleCarried {
+/// Independent nest attribution: collect each context's ancestor chain
+/// (innermost -> root), then scan for the deepest entry present in both.
+/// Deliberately a different algorithm than the detector's lockstep
+/// depth-levelled walk — same forest data, independently derived answer —
+/// so an off-by-one in either side shows up as a differential divergence.
+struct OracleAttr {
   std::uint32_t loop = 0;
+  std::uint32_t level = 0;
   std::uint32_t distance = 0;
-  bool matched = false;
+  bool distance_known = true;
 };
 
-OracleCarried oracle_carried(const LoopCtx* src, const LoopCtx* sink) {
-  OracleCarried r;
-  for (std::size_t t = 0; t < kLoopLevels; ++t)
-    for (std::size_t s = 0; s < kLoopLevels; ++s) {
-      const LoopCtx& a = src[s];
-      const LoopCtx& b = sink[t];
-      if (a.loop == 0 || a.loop != b.loop || a.entry != b.entry) continue;
-      r.matched = true;
-      if (a.iter != b.iter && r.loop == 0) {
-        r.loop = b.loop;
-        r.distance = b.iter > a.iter ? b.iter - a.iter : a.iter - b.iter;
-        return r;
+OracleAttr oracle_attribute(std::uint32_t src_ctx,
+                            const std::uint32_t* src_iters,
+                            std::uint32_t sink_ctx,
+                            const std::uint32_t* sink_iters) {
+  OracleAttr r;
+  const NestForest& forest = nest_forest();
+  // Ancestor chain of the source context, innermost first.
+  std::vector<std::uint32_t> chain;
+  for (std::uint32_t c = src_ctx; c != NestForest::kRoot;
+       c = forest.parent(c))
+    chain.push_back(c);
+  // Walk the sink's chain outward; the first hit in the source chain is the
+  // deepest common entry.
+  for (std::uint32_t c = sink_ctx; c != NestForest::kRoot;
+       c = forest.parent(c)) {
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i] != c) continue;
+      r.loop = forest.loop(c);
+      r.level = forest.depth(c);
+      if (r.level <= kNestIters) {
+        const std::uint32_t ia = src_iters[r.level - 1];
+        const std::uint32_t ib = sink_iters[r.level - 1];
+        r.distance = ib > ia ? ib - ia : ia - ib;
+      } else {
+        r.distance_known = false;
       }
+      return r;
     }
+  }
   return r;
 }
 
@@ -39,20 +59,20 @@ ExactOracle::LastAccess ExactOracle::remember(const AccessEvent& ev) {
   a.loc = ev.loc;
   a.tid = ev.tid;
   a.ts = ev.ts;
-  for (std::size_t i = 0; i < kLoopLevels; ++i) a.loops[i] = ev.loops[i];
+  a.ctx = ev.ctx;
+  for (std::size_t i = 0; i < kNestIters; ++i) a.iters[i] = ev.iters[i];
   return a;
 }
 
 void ExactOracle::emit(const AccessEvent& sink, const LastAccess& src,
                        DepType type) {
-  const OracleCarried carried = oracle_carried(src.loops, sink.loops);
+  const OracleAttr attr =
+      oracle_attribute(src.ctx, src.iters, sink.ctx, sink.iters);
   std::uint8_t flags = 0;
-  if (carried.loop != 0) {
+  if (attr.loop != 0 && (!attr.distance_known || attr.distance != 0))
     flags |= kLoopCarried;
-  } else if (!carried.matched &&
-             (src.loops[0].loop != 0 || sink.loops[0].loop != 0)) {
+  if (src.ctx != sink.ctx && (src.ctx != 0 || sink.ctx != 0))
     flags |= kCrossLoop;
-  }
   if (mt_) {
     if (src.tid != sink.tid) flags |= kCrossThread;
     if (src.ts > sink.ts) flags |= kReversed;
@@ -64,7 +84,12 @@ void ExactOracle::emit(const AccessEvent& sink, const LastAccess& src,
   k.sink_tid = sink.tid;
   if (mt_) k.src_tid = src.tid;
   k.type = type;
-  deps_.add(k, flags, carried.loop, carried.distance);
+  DepAttribution at;
+  at.loop = attr.loop;
+  at.level = attr.level;
+  at.distance = attr.distance;
+  at.distance_known = attr.distance_known;
+  deps_.add(k, flags, at);
 }
 
 void ExactOracle::on_access(const AccessEvent& ev) {

@@ -16,9 +16,12 @@
 // the last write; WAR against the last read (the signature keeps one read
 // slot per address, so only the most recent read is a WAR source); RAW
 // against the last write; RAR ignored (Sec. III-B); kFree clears the
-// address.  Loop-carried classification compares the recorded loop contexts
-// level-by-level, innermost sink level first; MT mode adds thread ids to
-// the dependence endpoints and flags timestamp reversals (Sec. V-B).
+// address.  Loop-carried classification resolves the two recorded nest
+// contexts to their innermost common loop entry — via an ancestor-chain
+// scan implemented independently of the detector's lockstep LCA walk (same
+// forest data, independently derived answer) — and buckets the carried
+// distance per nest level exactly as DepMap does; MT mode adds thread ids
+// to the dependence endpoints and flags timestamp reversals (Sec. V-B).
 
 #include <cstdint>
 #include <unordered_map>
@@ -48,7 +51,8 @@ class ExactOracle final : public AccessSink {
     std::uint32_t loc = 0;
     std::uint16_t tid = 0;
     std::uint64_t ts = 0;
-    LoopCtx loops[kLoopLevels];
+    std::uint32_t ctx = 0;                 ///< innermost dynamic loop entry
+    std::uint32_t iters[kNestIters] = {};  ///< root-anchored iteration window
   };
 
   static LastAccess remember(const AccessEvent& ev);

@@ -1,6 +1,9 @@
 #include "oracle/shrinker.hpp"
 
 #include <algorithm>
+#include <unordered_map>
+
+#include "trace/nest.hpp"
 
 namespace depprof {
 namespace {
@@ -15,6 +18,42 @@ std::vector<AccessEvent> without_range(const std::vector<AccessEvent>& events,
   kept.insert(kept.end(), events.begin() + static_cast<std::ptrdiff_t>(end),
               events.end());
   return kept;
+}
+
+/// Rewrites every event onto a depth-1 nest: each dynamic context is
+/// replaced by a fresh entry of its innermost loop directly under the root,
+/// and the innermost iteration moves to window slot 0.  Distinct dynamic
+/// entries stay distinct, so same-entry/different-entry relationships (and
+/// hence carried-vs-independent classification at the innermost level)
+/// survive; only the enclosing levels are discarded.
+Trace flatten_nest(const Trace& t) {
+  NestForest& forest = nest_forest();
+  std::unordered_map<std::uint32_t, std::uint32_t> flat;  // ctx -> flat ctx
+  Trace out;
+  out.events.reserve(t.events.size());
+  for (AccessEvent ev : t.events) {
+    if (ev.ctx != NestForest::kRoot) {
+      const std::size_t depth = forest.depth(ev.ctx);
+      auto [it, fresh] = flat.try_emplace(ev.ctx, NestForest::kRoot);
+      if (fresh)
+        it->second = forest.enter(NestForest::kRoot, forest.loop(ev.ctx));
+      const std::uint32_t inner =
+          depth >= 1 && depth <= kNestIters ? ev.iters[depth - 1] : 0;
+      ev.ctx = it->second;
+      ev.iters[0] = inner;
+      for (std::size_t i = 1; i < kNestIters; ++i) ev.iters[i] = 0;
+    }
+    out.events.push_back(ev);
+  }
+  return out;
+}
+
+/// True when any event sits deeper than one loop level.
+bool has_deep_nest(const Trace& t) {
+  const NestForest& forest = nest_forest();
+  for (const AccessEvent& ev : t.events)
+    if (ev.ctx != NestForest::kRoot && forest.depth(ev.ctx) > 1) return true;
+  return false;
 }
 
 }  // namespace
@@ -54,6 +93,14 @@ Trace shrink_trace(Trace failing, const ProfilerConfig& cfg,
       if (chunk <= 1) break;  // single-event granularity exhausted
       granularity = std::min(granularity * 2, failing.events.size());
     }
+  }
+  // Final rung: flatten the loop nest.  A repro that still fails with every
+  // event rewritten onto a depth-1 entry of its innermost loop did not need
+  // the enclosing levels, and the flat form is far easier to read.
+  if (st.evaluations < max_evals && has_deep_nest(failing)) {
+    Trace candidate = flatten_nest(failing);
+    ++st.evaluations;
+    if (still_fails(candidate, cfg)) failing = std::move(candidate);
   }
   st.final_events = failing.events.size();
   return failing;

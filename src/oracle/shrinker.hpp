@@ -9,7 +9,9 @@
 //   * trace minimization: classic ddmin over the event list — try dropping
 //     ever-smaller chunks, restart the granularity ladder after every
 //     successful reduction, stop when no single event can be removed (or
-//     the evaluation budget runs out);
+//     the evaluation budget runs out); a final rung tries flattening the
+//     loop nest (every event rewritten onto a depth-1 entry of its
+//     innermost loop) so repros that do not need the nest say so;
 //   * config simplification: a fixed ladder of "simpler" settings (fewer
 //     workers, chunk size 1, mutex queue, spin wait, load balancer off),
 //     each kept only if the shrunk trace still fails under it.

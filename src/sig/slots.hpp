@@ -6,11 +6,13 @@
 // "each slot of the array is three bytes long ... so that the source line
 // number ... can be stored in it"; the evaluation uses 4-byte slots).
 //
-// Our slots additionally record the three-level loop context of the access
-// ((loop, entry, iteration) of the three innermost enclosing loops), which is
-// what the Sec. VII-A parallelism discovery needs to tell loop-carried from
-// intra-iteration dependences, and — in the MT layout (Sec. V) — the
-// accessing thread id and the global timestamp used for race detection.
+// Our slots additionally record the nest context of the access (the
+// interned innermost dynamic loop entry plus the root-anchored iteration
+// window — see trace/nest.hpp and trace/event.hpp), which is what the
+// Sec. VII-A parallelism discovery needs to tell loop-carried from
+// intra-iteration dependences at every nest level, and — in the MT layout
+// (Sec. V) — the accessing thread id and the global timestamp used for race
+// detection.
 // The slot size remains a small constant, so the signature's bounded-memory
 // property is unchanged; only the constant differs from the paper's 4 bytes.
 //
@@ -41,7 +43,8 @@ constexpr std::uint32_t addr_tag(std::uint64_t addr) {
 struct SeqSlot {
   std::uint32_t loc = 0;  ///< packed SourceLocation of the last access; 0 = empty
   std::uint32_t tag = 0;  ///< addr_tag of the recorded address
-  LoopCtx loops[kLoopLevels];  ///< loop context of the last access
+  std::uint32_t ctx = 0;  ///< innermost dynamic loop entry (NestForest id)
+  std::uint32_t iters[kNestIters] = {};  ///< root-anchored iteration window
 
   bool empty() const { return loc == 0; }
   SourceLocation location() const { return SourceLocation::from_packed(loc); }
@@ -51,7 +54,8 @@ struct SeqSlot {
 struct MtSlot {
   std::uint32_t loc = 0;  ///< packed SourceLocation of the last access; 0 = empty
   std::uint32_t tag = 0;  ///< addr_tag of the recorded address
-  LoopCtx loops[kLoopLevels];
+  std::uint32_t ctx = 0;  ///< innermost dynamic loop entry (NestForest id)
+  std::uint32_t iters[kNestIters] = {};  ///< root-anchored iteration window
   std::uint32_t tid = 0;  ///< target-program thread id of the last access
   std::uint64_t ts = 0;   ///< global timestamp of the last access (race check)
 
@@ -59,7 +63,7 @@ struct MtSlot {
   SourceLocation location() const { return SourceLocation::from_packed(loc); }
 };
 
-static_assert(sizeof(SeqSlot) == 44);
+static_assert(sizeof(SeqSlot) == 40);
 static_assert(sizeof(MtSlot) == 56);
 
 }  // namespace depprof

@@ -31,14 +31,49 @@ struct LoopRecord {
   }
 };
 
+/// One observed static nesting edge: `child_loop` was entered while
+/// `parent_loop` (0 = no enclosing loop) was the innermost active loop of
+/// the entering thread.  The edges form the run's loop-nest tree — or, for
+/// loops reached from several contexts, a DAG; `entries` counts how often
+/// the edge was taken.
+struct NestEdge {
+  std::uint32_t parent_loop = 0;
+  std::uint32_t child_loop = 0;
+  std::uint64_t entries = 0;
+};
+
 /// All control-flow records of a run.
 struct ControlFlowLog {
   std::vector<LoopRecord> loops;
+  /// Nest tree edges, sorted by (parent_loop, child_loop).
+  std::vector<NestEdge> edges;
+  /// Stray loop markers: DP_LOOP_ITER / DP_LOOP_END calls that found the
+  /// calling thread's loop stack empty (a thread entering mid-loop, or
+  /// mismatched instrumentation).  They are ignored — counted here so the
+  /// harness can surface them instead of silently corrupting the nest.
+  std::uint64_t stray_iters = 0;
+  std::uint64_t stray_ends = 0;
 
   const LoopRecord* find(std::uint32_t loop_id) const {
     for (const auto& l : loops)
       if (l.loop_id == loop_id) return &l;
     return nullptr;
+  }
+
+  /// Loops observed directly inside `parent_loop` (0 = top level), in
+  /// ascending loop id (= begin location) order.
+  std::vector<std::uint32_t> children_of(std::uint32_t parent_loop) const {
+    std::vector<std::uint32_t> out;
+    for (const auto& e : edges)
+      if (e.parent_loop == parent_loop) out.push_back(e.child_loop);
+    return out;
+  }
+
+  /// True when `loop_id` was ever entered with an enclosing loop active.
+  bool has_parent(std::uint32_t loop_id) const {
+    for (const auto& e : edges)
+      if (e.child_loop == loop_id && e.parent_loop != 0) return true;
+    return false;
   }
 };
 

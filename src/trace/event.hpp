@@ -6,13 +6,18 @@
 // per-access records.  Everything downstream (Algorithm 1, the Fig. 2
 // pipeline, the analyses) consumes this event stream and nothing else.
 //
-// Each event carries the loop context of the access: (static loop id,
-// dynamic entry id, iteration index) for the three innermost enclosing
-// loops.  A dependence is carried by loop L when source and sink fall into
-// the same dynamic *entry* of L but different iterations — the information
-// Sec. VII-A's parallelism discovery needs.  Three levels cover the loop
-// nests of the benchmark suites; deeper nesting degrades to a conservative
-// source-order heuristic in the analysis.
+// Each event carries the loop context of the access as one interned nest
+// context id — the innermost dynamic loop entry, a node of the global
+// NestForest (trace/nest.hpp) — plus a bounded, root-anchored window of
+// iteration counters: iters[i] is the iteration of the enclosing loop at
+// nest depth i+1, counted from the *outermost* loop.  A dependence is
+// carried by the innermost loop entry common to source and sink when their
+// iteration counters differ at that entry's depth.  Root-anchoring is what
+// keeps the window sufficient: the common entry's depth never exceeds
+// either endpoint's depth, so its counter sits inside both windows whenever
+// the common depth is <= kNestIters, regardless of how deep the endpoints
+// themselves are.  Deeper common levels (nests beyond kNestIters) degrade
+// conservatively to "carried, distance >= 2" — never to a heuristic.
 
 #include <cstdint>
 
@@ -36,17 +41,8 @@ enum AccessFlags : std::uint8_t {
   kInLockRegion = 1u << 0,
 };
 
-/// Dynamic loop context at one nesting level.
-struct LoopCtx {
-  std::uint32_t loop = 0;   ///< static loop id (entry location); 0 = none
-  std::uint32_t entry = 0;  ///< dynamic entry instance of the loop
-  std::uint32_t iter = 0;   ///< iteration index within that entry
-
-  friend bool operator==(const LoopCtx&, const LoopCtx&) = default;
-};
-
-/// Number of enclosing-loop levels recorded per access.
-inline constexpr std::size_t kLoopLevels = 3;
+/// Levels of the root-anchored iteration window carried per access.
+inline constexpr std::size_t kNestIters = 7;
 
 /// One instrumented memory access (or lifetime event).
 struct AccessEvent {
@@ -54,7 +50,13 @@ struct AccessEvent {
   std::uint64_t ts = 0;    ///< global timestamp (MT targets; 0 for sequential)
   std::uint32_t loc = 0;   ///< packed SourceLocation
   std::uint32_t var = 0;   ///< variable-name registry id
-  LoopCtx loops[kLoopLevels];  ///< enclosing loops, innermost first (loop==0: none)
+  /// Innermost enclosing dynamic loop entry — a NestForest node id
+  /// (NestForest::kRoot = not inside any loop).
+  std::uint32_t ctx = 0;
+  /// Root-anchored iteration counters: iters[i] is the iteration of the
+  /// enclosing loop at depth i+1 (outermost = depth 1).  Levels beyond the
+  /// context's depth — and beyond kNestIters — are 0.
+  std::uint32_t iters[kNestIters] = {};
   std::uint16_t tid = 0;   ///< target-program thread id
   AccessKind kind = AccessKind::kRead;
   std::uint8_t flags = 0;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "trace/nest.hpp"
 
 namespace depprof {
 namespace {
@@ -19,6 +20,77 @@ AccessEvent make_event(std::uint64_t addr, bool write, std::uint32_t line,
   ev.tid = tid;
   ev.ts = ts;
   return ev;
+}
+
+/// The generators' stand-in for the runtime's per-thread loop stack: interns
+/// dynamic entries into the process-wide nest forest and stamps events with
+/// the innermost entry plus the root-anchored iteration window, exactly as
+/// Runtime::record does.
+class NestStamper {
+ public:
+  void push(std::uint32_t loop) {
+    const std::uint32_t parent =
+        stack_.empty() ? NestForest::kRoot : stack_.back().node;
+    stack_.push_back({nest_forest().enter(parent, loop), 0});
+  }
+  void iter() {
+    if (!stack_.empty()) ++stack_.back().iter;
+  }
+  void pop() {
+    if (!stack_.empty()) stack_.pop_back();
+  }
+  void stamp(AccessEvent& ev) const {
+    if (stack_.empty()) return;
+    ev.ctx = stack_.back().node;
+    for (std::size_t i = 0; i < kNestIters && i < stack_.size(); ++i)
+      ev.iters[i] = stack_[i].iter;
+  }
+
+ private:
+  struct Level {
+    std::uint32_t node = 0;
+    std::uint32_t iter = 0;
+  };
+  std::vector<Level> stack_;
+};
+
+void gen_nest_level(Trace& t, NestStamper& nest, const GenParams& p, Rng& rng,
+                    std::uint32_t level, std::uint32_t depth,
+                    std::size_t width) {
+  nest.push(level * 10);  // static loop id per nest level
+  // Some dynamic entries of inner loops execute zero iterations — the
+  // begin/end markers fire but no body access or DP_LOOP_ITER does.
+  if (level > 1 && rng.below(4) == 0) {
+    nest.pop();
+    return;
+  }
+  const std::uint64_t acc_addr = p.base_addr + level * p.stride;
+  for (std::size_t it = 0; it < width; ++it) {
+    // Per-level accumulator: read-then-write every iteration gives a
+    // distance-1 carried RAW at exactly this level.
+    AccessEvent rd = make_event(acc_addr, false, 40 + level * 4);
+    nest.stamp(rd);
+    t.events.push_back(rd);
+    // Per-iteration slot: write-then-read inside one iteration is
+    // iteration-independent (distance 0); the slot recurs every 5
+    // iterations, adding a distance >= 2 carried WAW.
+    const std::uint64_t slot =
+        p.base_addr + (100 + level * 8 + it % 5) * p.stride;
+    AccessEvent wr0 = make_event(slot, true, 41 + level * 4);
+    nest.stamp(wr0);
+    t.events.push_back(wr0);
+    // Imperfect nest: the child loop sits between body accesses, and its
+    // every dynamic entry is a fresh forest node (sibling re-entry).
+    if (level < depth) gen_nest_level(t, nest, p, rng, level + 1, depth, width);
+    AccessEvent rd0 = make_event(slot, false, 42 + level * 4);
+    nest.stamp(rd0);
+    t.events.push_back(rd0);
+    AccessEvent wr = make_event(acc_addr, true, 43 + level * 4);
+    nest.stamp(wr);
+    t.events.push_back(wr);
+    nest.iter();
+  }
+  nest.pop();
 }
 
 }  // namespace
@@ -89,28 +161,58 @@ Trace gen_loop(const GenParams& p, std::size_t iters, bool carried,
   Trace t;
   const std::size_t len = p.distinct ? p.distinct : 1;
   t.events.reserve(iters * len * 2);
+  NestStamper nest;
+  nest.push(loop_id);
   for (std::size_t it = 0; it < iters; ++it) {
     for (std::size_t i = 0; i < len; ++i) {
       // Read a[i-1] (carried) or a[i] (independent), then write a[i].
       const std::size_t src = carried ? (i + len - 1) % len : i;
       AccessEvent rd = make_event(p.base_addr + src * p.stride, false, 40);
-      rd.loops[0] = {loop_id, 1, static_cast<std::uint32_t>(it)};
+      nest.stamp(rd);
       t.events.push_back(rd);
       AccessEvent wr = make_event(p.base_addr + i * p.stride, true, 41);
-      wr.loops[0] = {loop_id, 1, static_cast<std::uint32_t>(it)};
+      nest.stamp(wr);
       t.events.push_back(wr);
     }
+    nest.iter();
   }
   return t;
 }
 
-Trace gen_churn(const GenParams& p, double free_ratio, unsigned threads) {
+Trace gen_nest(const GenParams& p, std::uint32_t depth, std::size_t width) {
+  Trace t;
+  Rng rng(p.seed);
+  NestStamper nest;
+  // Two sibling top-level nests: accesses shared across them exercise the
+  // cross-loop (no common entry) attribution path.
+  gen_nest_level(t, nest, p, rng, 1, depth ? depth : 1, width);
+  gen_nest_level(t, nest, p, rng, 1, depth ? depth : 1, width);
+  return t;
+}
+
+Trace gen_churn(const GenParams& p, double free_ratio, unsigned threads,
+                std::size_t nest_depth) {
   Rng rng(p.seed);
   Trace t;
   t.events.reserve(p.accesses);
   const std::size_t pool = p.distinct ? p.distinct : 1;
   std::uint64_t ts = 1;
+  NestStamper nest;
+  for (std::size_t d = 1; d <= nest_depth; ++d)
+    nest.push(static_cast<std::uint32_t>(200 + d));
   for (std::size_t i = 0; i < p.accesses; ++i) {
+    if (nest_depth > 0 && i > 0) {
+      // Walk the nest while churning: the innermost loop iterates every 16
+      // events and is re-entered (fresh forest node, enclosing level
+      // advances) every 64, so frees and reuse land in varied contexts.
+      if (i % 64 == 0) {
+        nest.pop();
+        nest.iter();
+        nest.push(static_cast<std::uint32_t>(200 + nest_depth));
+      } else if (i % 16 == 0) {
+        nest.iter();
+      }
+    }
     const std::uint64_t addr = p.base_addr + rng.below(pool) * p.stride;
     const double roll = rng.uniform();
     AccessEvent ev;
@@ -132,6 +234,7 @@ Trace gen_churn(const GenParams& p, double free_ratio, unsigned threads) {
       // so a single-threaded replay of this trace is order-faithful.
       ev.flags |= kInLockRegion;
     }
+    nest.stamp(ev);
     t.events.push_back(ev);
   }
   return t;

@@ -37,9 +37,21 @@ Trace gen_zipf(const GenParams& p, double s = 1.2);
 
 /// Loop-structured trace: `iters` iterations over an array with an optional
 /// loop-carried RAW (element i reads element i-1's value written in the
-/// previous iteration).  Ground truth for loop-parallelism tests.
+/// previous iteration).  Ground truth for loop-parallelism tests.  The loop
+/// is one dynamic entry interned into the process nest forest.
 Trace gen_loop(const GenParams& p, std::size_t iters, bool carried,
                std::uint32_t loop_id = 1);
+
+/// Nested-loop trace: an imperfect nest `depth` levels deep (body accesses
+/// surround the child loop at every level), `width` iterations per level.
+/// Each level carries a distance-1 RAW on its accumulator, each iteration a
+/// distance-0 pair plus a recurring distance >= 2 WAW; some inner entries
+/// execute zero iterations, every child entry is a sibling re-entry, and
+/// two top-level nests make cross-loop pairs.  `depth` beyond the event's
+/// iteration window (kNestIters) exercises the conservative deep-nest
+/// attribution path.
+Trace gen_nest(const GenParams& p, std::uint32_t depth = 3,
+               std::size_t width = 4);
 
 /// Multi-threaded interleaving: `threads` round-robin producers each with a
 /// private range plus a shared region with cross-thread RAW (producer ->
@@ -53,7 +65,11 @@ Trace gen_mt_producer_consumer(const GenParams& p, unsigned threads,
 /// removal path (Sec. III-B) and, with `threads` > 0, a round-robin MT
 /// interleaving of it (lock-region flagged, increasing timestamps).  Freed
 /// words re-enter circulation immediately, so a store that fails to clear
-/// them fabricates dependences.
-Trace gen_churn(const GenParams& p, double free_ratio, unsigned threads = 0);
+/// them fabricates dependences.  With `nest_depth` > 0 the whole stream
+/// runs inside a loop nest that depth deep whose innermost loop iterates
+/// and is re-entered periodically, mixing lifetime churn with nest-context
+/// changes.
+Trace gen_churn(const GenParams& p, double free_ratio, unsigned threads = 0,
+                std::size_t nest_depth = 0);
 
 }  // namespace depprof

@@ -2,11 +2,27 @@
 
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <vector>
+
+#include "trace/nest.hpp"
 
 namespace depprof {
 namespace {
 
-constexpr char kMagic[8] = {'D', 'E', 'P', 'T', 'R', 'C', '0', '1'};
+// v02: events carry interned nest-context ids, which are process-local, so
+// the file embeds a nest node table (file-local ids, parents before
+// children) and the reader re-interns it.  v01 files predate the context
+// model: their fixed-size records embed ids from a dead forest, so they are
+// rejected rather than silently misattributed.
+constexpr char kMagic[8] = {'D', 'E', 'P', 'T', 'R', 'C', '0', '2'};
+
+/// One serialized nest node: file-local parent id + static loop id.  The
+/// file-local id of a node is its index + 1 (0 = root, never written).
+struct WireNestNode {
+  std::uint32_t parent = 0;
+  std::uint32_t loop = 0;
+};
 
 }  // namespace
 
@@ -14,10 +30,37 @@ bool write_trace(const Trace& trace, const std::string& path) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) return false;
   os.write(kMagic, sizeof(kMagic));
+
+  // Collect every forest node reachable from an event context.  Ascending
+  // forest-id order is a valid parents-first declaration order (forest ids
+  // grow child-after-parent), so a std::map doubles as the emit order.
+  NestForest& forest = nest_forest();
+  std::map<std::uint32_t, std::uint32_t> local_id;  // forest id -> file id
+  local_id[NestForest::kRoot] = 0;
+  for (const AccessEvent& ev : trace.events)
+    for (std::uint32_t c = ev.ctx;
+         c != NestForest::kRoot && !local_id.count(c); c = forest.parent(c))
+      local_id[c] = 1;  // mark; numbered below
+  std::vector<WireNestNode> nodes;
+  nodes.reserve(local_id.size() - 1);
+  for (auto& [fid, lid] : local_id) {
+    if (fid == NestForest::kRoot) continue;
+    lid = static_cast<std::uint32_t>(nodes.size() + 1);
+    nodes.push_back({local_id[forest.parent(fid)], forest.loop(fid)});
+  }
+  const std::uint64_t node_count = nodes.size();
+  os.write(reinterpret_cast<const char*>(&node_count), sizeof(node_count));
+  os.write(reinterpret_cast<const char*>(nodes.data()),
+           static_cast<std::streamsize>(node_count * sizeof(WireNestNode)));
+
   const std::uint64_t count = trace.events.size();
   os.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  os.write(reinterpret_cast<const char*>(trace.events.data()),
-           static_cast<std::streamsize>(count * sizeof(AccessEvent)));
+  // Events are written with the context id translated to its file-local id
+  // so the file is self-contained across processes.
+  for (AccessEvent ev : trace.events) {
+    ev.ctx = local_id[ev.ctx];
+    os.write(reinterpret_cast<const char*>(&ev), sizeof(ev));
+  }
   return static_cast<bool>(os);
 }
 
@@ -31,22 +74,48 @@ bool read_trace(Trace& out, const std::string& path) {
   const auto file_size = static_cast<std::uint64_t>(end);
   char magic[8];
   is.read(magic, sizeof(magic));
+  // Rejects v01 files along with garbage: their fixed-size records embed
+  // context ids of a forest that no longer exists, and replaying them would
+  // misattribute every nest.
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
-  std::uint64_t count = 0;
-  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+
+  // All counts below are untrusted: the payload a count claims must be
+  // present in the file before anything is allocated for it.
+  std::uint64_t remaining = file_size - sizeof(kMagic);
+  std::uint64_t node_count = 0;
+  if (remaining < sizeof(node_count)) return false;
+  is.read(reinterpret_cast<char*>(&node_count), sizeof(node_count));
+  remaining -= sizeof(node_count);
+  if (!is || node_count > remaining / sizeof(WireNestNode)) return false;
+  std::vector<WireNestNode> nodes(node_count);
+  is.read(reinterpret_cast<char*>(nodes.data()),
+          static_cast<std::streamsize>(node_count * sizeof(WireNestNode)));
+  remaining -= node_count * sizeof(WireNestNode);
   if (!is) return false;
-  // The header is untrusted input: a corrupt or truncated file can carry an
-  // arbitrary count, and resizing to it would allocate gigabytes before the
-  // read failed.  The payload the count claims must actually be present.
-  constexpr std::uint64_t kHeaderBytes = sizeof(kMagic) + sizeof(count);
-  if (file_size < kHeaderBytes ||
-      count > (file_size - kHeaderBytes) / sizeof(AccessEvent))
-    return false;
+
+  // Re-intern the table.  File-local ids are positional (index + 1) and
+  // parents must precede children, i.e. parent < own id.
+  NestForest& forest = nest_forest();
+  std::vector<std::uint32_t> id_map(node_count + 1, NestForest::kRoot);
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    if (nodes[i].parent > i) return false;  // forward/self reference
+    id_map[i + 1] = forest.enter(id_map[nodes[i].parent], nodes[i].loop);
+  }
+
+  std::uint64_t count = 0;
+  if (remaining < sizeof(count)) return false;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  remaining -= sizeof(count);
+  if (!is || count > remaining / sizeof(AccessEvent)) return false;
   Trace t;
   t.events.resize(count);
   is.read(reinterpret_cast<char*>(t.events.data()),
           static_cast<std::streamsize>(count * sizeof(AccessEvent)));
   if (!is) return false;
+  for (AccessEvent& ev : t.events) {
+    if (ev.ctx > node_count) return false;  // dangling context reference
+    ev.ctx = id_map[ev.ctx];
+  }
   out = std::move(t);
   return true;
 }

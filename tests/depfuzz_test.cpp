@@ -16,6 +16,7 @@
 #include "oracle/harness.hpp"
 #include "oracle/shrinker.hpp"
 #include "trace/generators.hpp"
+#include "trace/nest.hpp"
 #include "trace/trace.hpp"
 
 namespace depprof {
@@ -72,13 +73,16 @@ TEST(ExactOracle, FreeRestartsLifetime) {
 }
 
 TEST(ExactOracle, LoopCarriedDistance) {
+  const std::uint32_t entry = nest_forest().enter(NestForest::kRoot, 9);
   Trace t;
   for (std::uint32_t i = 0; i < 4; ++i) {
     AccessEvent w = make_ev(AccessKind::kWrite, 0x200, 21);
-    w.loops[0] = {9, 1, i};
+    w.ctx = entry;
+    w.iters[0] = i;
     t.events.push_back(w);
     AccessEvent r = make_ev(AccessKind::kRead, 0x200, 22);
-    r.loops[0] = {9, 1, i + 1};  // reads the previous iteration's value
+    r.ctx = entry;
+    r.iters[0] = i + 1;  // reads the previous iteration's value
     t.events.push_back(r);
   }
   const DepMap deps = oracle_dependences(t, false);
@@ -87,11 +91,47 @@ TEST(ExactOracle, LoopCarriedDistance) {
     if (key.type != DepType::kRaw) continue;
     carried_raw = true;
     EXPECT_TRUE(info.flags & kLoopCarried);
-    EXPECT_EQ(info.loop, 9u);
-    EXPECT_EQ(info.min_distance, 1u);
-    EXPECT_EQ(info.max_distance, 1u);
+    EXPECT_EQ(info.carried_level(), 1u);
+    EXPECT_EQ(info.carried_loop(), 9u);
+    EXPECT_EQ(info.levels[0].d1, 4u);  // every instance at distance 1
+    EXPECT_EQ(info.levels[0].d2p, 0u);
+    EXPECT_EQ(info.min_carried_bucket(), 1u);
   }
   EXPECT_TRUE(carried_raw);
+}
+
+TEST(ExactOracle, NestedCommonLoopAttribution) {
+  // Sink and source in different entries of an inner loop, same iteration
+  // gap of the shared outer loop: the dependence is carried by the *outer*
+  // loop (level 1), and the inner loop never shows up as carrier.
+  NestForest& forest = nest_forest();
+  const std::uint32_t outer = forest.enter(NestForest::kRoot, 5);
+  const std::uint32_t in1 = forest.enter(outer, 6);
+  const std::uint32_t in2 = forest.enter(outer, 6);
+  Trace t;
+  AccessEvent w = make_ev(AccessKind::kWrite, 0x300, 31);
+  w.ctx = in1;
+  w.iters[0] = 0;  // outer iteration
+  w.iters[1] = 3;  // inner iteration
+  t.events.push_back(w);
+  AccessEvent r = make_ev(AccessKind::kRead, 0x300, 32);
+  r.ctx = in2;
+  r.iters[0] = 2;
+  r.iters[1] = 3;
+  t.events.push_back(r);
+  const DepMap deps = oracle_dependences(t, false);
+  bool found = false;
+  for (const auto& [key, info] : deps) {
+    if (key.type != DepType::kRaw) continue;
+    found = true;
+    EXPECT_TRUE(info.flags & kLoopCarried);
+    EXPECT_TRUE(info.flags & kCrossLoop);
+    EXPECT_EQ(info.carried_level(), 1u);
+    EXPECT_EQ(info.carried_loop(), 5u);
+    EXPECT_EQ(info.levels[0].d2p, 1u);  // outer distance 2
+    EXPECT_EQ(info.levels[1].carried(), 0u);
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(ExactOracle, MtCrossThreadAndReversed) {
@@ -245,6 +285,84 @@ TEST(Shrinker, MinimizesToThePlantedKernel) {
   EXPECT_GT(st.evaluations, 0u);
 }
 
+TEST(Shrinker, FlattensNestWhenFailureSurvivesIt) {
+  // The planted failure is an innermost-carried RAW: write and read share
+  // one dynamic entry of the inner loop but sit in different iterations of
+  // it.  That survives flattening (same entry stays same entry, the
+  // innermost iteration moves to slot 0), so the shrinker must hand back a
+  // depth-1 repro.
+  NestForest& forest = nest_forest();
+  const std::uint32_t outer = forest.enter(NestForest::kRoot, 80);
+  const std::uint32_t inner = forest.enter(outer, 81);
+  Trace t;
+  AccessEvent w = make_ev(AccessKind::kWrite, 0xbeef0, 91);
+  w.ctx = inner;
+  w.iters[0] = 2;
+  w.iters[1] = 0;
+  AccessEvent r = make_ev(AccessKind::kRead, 0xbeef0, 92);
+  r.ctx = inner;
+  r.iters[0] = 2;
+  r.iters[1] = 1;
+  t.events.push_back(w);
+  t.events.push_back(r);
+
+  const FailurePredicate carried_raw = [](const Trace& trace,
+                                          const ProfilerConfig&) {
+    const DepMap deps = oracle_dependences(trace, false);
+    for (const auto& [key, info] : deps)
+      if (key.type == DepType::kRaw && (info.flags & kLoopCarried) != 0 &&
+          info.carried_loop() == 81)
+        return true;
+    return false;
+  };
+
+  ProfilerConfig cfg;
+  const Trace flat = shrink_trace(t, cfg, carried_raw, 10'000);
+  ASSERT_EQ(flat.size(), 2u);
+  EXPECT_TRUE(carried_raw(flat, cfg));
+  for (const auto& ev : flat.events) {
+    EXPECT_EQ(forest.depth(ev.ctx), 1u);
+    EXPECT_EQ(forest.loop(ev.ctx), 81u);  // innermost loop kept
+    EXPECT_EQ(ev.iters[1], 0u);
+  }
+  // The innermost iteration moved to window slot 0.
+  EXPECT_EQ(flat.events[0].iters[0], 0u);
+  EXPECT_EQ(flat.events[1].iters[0], 1u);
+}
+
+TEST(Shrinker, KeepsNestWhenFlatteningLosesTheFailure) {
+  // Here the failure is outer-level attribution: a dependence carried by
+  // the *outer* loop of a two-deep nest.  Flattening drops the outer level,
+  // so the rung's candidate no longer fails and the nest must be kept.
+  NestForest& forest = nest_forest();
+  const std::uint32_t outer = forest.enter(NestForest::kRoot, 85);
+  const std::uint32_t in1 = forest.enter(outer, 86);
+  const std::uint32_t in2 = forest.enter(outer, 86);
+  Trace t;
+  AccessEvent w = make_ev(AccessKind::kWrite, 0xfeed0, 95);
+  w.ctx = in1;
+  w.iters[0] = 0;
+  AccessEvent r = make_ev(AccessKind::kRead, 0xfeed0, 96);
+  r.ctx = in2;
+  r.iters[0] = 1;
+  t.events.push_back(w);
+  t.events.push_back(r);
+
+  const FailurePredicate outer_carried = [&](const Trace& trace,
+                                             const ProfilerConfig&) {
+    const DepMap deps = oracle_dependences(trace, false);
+    for (const auto& [key, info] : deps)
+      if (key.type == DepType::kRaw && info.carried_loop() == 85) return true;
+    return false;
+  };
+
+  ProfilerConfig cfg;
+  const Trace kept = shrink_trace(t, cfg, outer_carried, 10'000);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_TRUE(outer_carried(kept, cfg));
+  EXPECT_EQ(forest.depth(kept.events[0].ctx), 2u);
+}
+
 TEST(Shrinker, ConfigLadderSimplifiesWhenFailureIsConfigIndependent) {
   ProfilerConfig cfg;
   cfg.workers = 8;
@@ -312,7 +430,8 @@ ReproCase sample_repro() {
   r.cfg.load_balance.max_rounds = 9;
   AccessEvent ev = make_ev(AccessKind::kWrite, 0xabc0, 41, 2, 1, 99);
   ev.flags = kInLockRegion;
-  ev.loops[0] = {5, 2, 7};
+  ev.ctx = nest_forest().enter(NestForest::kRoot, 5);
+  ev.iters[0] = 7;
   r.trace.events.push_back(ev);
   r.trace.events.push_back(make_ev(AccessKind::kFree, 0xabc0, 0, 0, 1, 100));
   return r;
@@ -348,10 +467,98 @@ TEST(Corpus, FormatParseRoundTrip) {
   EXPECT_EQ(ev.addr, 0xabc0u);
   EXPECT_EQ(ev.ts, 99u);
   EXPECT_EQ(ev.flags, kInLockRegion);
-  EXPECT_EQ(ev.loops[0].loop, 5u);
-  EXPECT_EQ(ev.loops[0].entry, 2u);
-  EXPECT_EQ(ev.loops[0].iter, 7u);
+  // The nest table re-interns on parse: the context is a (possibly new)
+  // forest node with the same shape.
+  ASSERT_NE(ev.ctx, NestForest::kRoot);
+  EXPECT_EQ(nest_forest().loop(ev.ctx), 5u);
+  EXPECT_EQ(nest_forest().depth(ev.ctx), 1u);
+  EXPECT_EQ(ev.iters[0], 7u);
   EXPECT_TRUE(back.trace.events[1].is_free());
+}
+
+TEST(Corpus, V3NestDirectivesRebuildChains) {
+  const std::string text =
+      "depfuzz-repro v3\n"
+      "config storage=perfect dedup=0 pack=0\n"
+      "nest id=1 parent=0 loop=50\n"
+      "nest id=2 parent=1 loop=60\n"
+      "ev W addr=0x100 loc=11 ctx=2 iters=3,4,0,0,0,0,0\n"
+      "ev R addr=0x100 loc=12 ctx=1 iters=3,0,0,0,0,0,0\n";
+  ReproCase out;
+  std::string error;
+  ASSERT_TRUE(parse_repro(out, text, &error)) << error;
+  ASSERT_EQ(out.trace.size(), 2u);
+  const NestForest& forest = nest_forest();
+  const AccessEvent& inner = out.trace.events[0];
+  const AccessEvent& outer = out.trace.events[1];
+  EXPECT_EQ(forest.loop(inner.ctx), 60u);
+  EXPECT_EQ(forest.depth(inner.ctx), 2u);
+  EXPECT_EQ(forest.parent(inner.ctx), outer.ctx);
+  EXPECT_EQ(forest.loop(outer.ctx), 50u);
+  EXPECT_EQ(inner.iters[1], 4u);
+}
+
+TEST(Corpus, V3RejectsMalformedNests) {
+  ReproCase out;
+  std::string error;
+  // Undeclared parent.
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v3\n"
+                           "config storage=perfect dedup=0 pack=0\n"
+                           "nest id=2 parent=1 loop=60\n",
+                           &error));
+  // Duplicate id.
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v3\n"
+                           "config storage=perfect dedup=0 pack=0\n"
+                           "nest id=1 parent=0 loop=50\n"
+                           "nest id=1 parent=0 loop=60\n",
+                           &error));
+  // Event referencing an undeclared context.
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v3\n"
+                           "config storage=perfect dedup=0 pack=0\n"
+                           "ev W addr=0x1 ctx=7\n",
+                           &error));
+  // nest directive is v3-only.
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v2\n"
+                           "config storage=perfect dedup=0 pack=0\n"
+                           "nest id=1 parent=0 loop=50\n",
+                           &error));
+  EXPECT_NE(error.find("v3"), std::string::npos);
+}
+
+TEST(Corpus, LegacyLoopsTriplesReinternAsNestChains) {
+  // v2 events carried three innermost-first (loop, entry, iter) triples.
+  // They must still parse, re-interned into an equivalent nest chain: same
+  // entry triple -> same node, different entry -> sibling node.
+  const std::string text =
+      "depfuzz-repro v2\n"
+      "config storage=perfect dedup=0 pack=0\n"
+      "ev W addr=0x100 loc=11 loops=60:1:2,50:1:3,0:0:0\n"
+      "ev R addr=0x100 loc=12 loops=60:1:4,50:1:3,0:0:0\n"
+      "ev R addr=0x100 loc=13 loops=60:2:0,50:1:3,0:0:0\n";
+  ReproCase out;
+  std::string error;
+  ASSERT_TRUE(parse_repro(out, text, &error)) << error;
+  ASSERT_EQ(out.trace.size(), 3u);
+  const NestForest& forest = nest_forest();
+  const AccessEvent& a = out.trace.events[0];
+  const AccessEvent& b = out.trace.events[1];
+  const AccessEvent& c = out.trace.events[2];
+  // Triples are innermost-first: loop 50 is the outer level.
+  EXPECT_EQ(forest.depth(a.ctx), 2u);
+  EXPECT_EQ(forest.loop(a.ctx), 60u);
+  EXPECT_EQ(forest.loop(forest.parent(a.ctx)), 50u);
+  // iters become root-anchored: outer first.
+  EXPECT_EQ(a.iters[0], 3u);
+  EXPECT_EQ(a.iters[1], 2u);
+  // Same (loop, entry) chain -> same interned node.
+  EXPECT_EQ(a.ctx, b.ctx);
+  // Different inner entry -> sibling node under the same parent.
+  EXPECT_NE(c.ctx, a.ctx);
+  EXPECT_EQ(forest.parent(c.ctx), forest.parent(a.ctx));
 }
 
 TEST(Corpus, StrictParserRejectsUnknownInput) {
@@ -404,9 +611,10 @@ TEST(Corpus, VersionedFrontEndReductionKeys) {
   EXPECT_FALSE(out.cfg.pack);
   // format_repro always writes the current version with both keys present.
   const std::string text = format_repro(sample_repro());
-  EXPECT_NE(text.find("depfuzz-repro v2"), std::string::npos);
+  EXPECT_NE(text.find("depfuzz-repro v3"), std::string::npos);
   EXPECT_NE(text.find("dedup="), std::string::npos);
   EXPECT_NE(text.find("pack="), std::string::npos);
+  EXPECT_NE(text.find("nest id=1"), std::string::npos);
 }
 
 // --- committed corpus replays clean ---------------------------------------

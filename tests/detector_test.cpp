@@ -1,13 +1,15 @@
 // Tests for Algorithm 1 (the dependence detector) and the dependence model:
 // RAW/WAR/WAW/INIT construction, RAR suppression, lifetime removal,
-// loop-carried classification over the three-level loop context, the
-// address-tag gating, merging, and migration state transfer.
+// loop-carried attribution over the interned nest contexts (innermost
+// common loop + per-level distance buckets), the address-tag gating,
+// merging, and migration state transfer.
 
 #include <gtest/gtest.h>
 
 #include "core/detector.hpp"
 #include "sig/perfect_signature.hpp"
 #include "sig/signature.hpp"
+#include "trace/nest.hpp"
 
 namespace depprof {
 namespace {
@@ -144,131 +146,184 @@ TEST(Detector, FreeRemovesReadStateToo) {
   EXPECT_EQ(deps.find(key(DepType::kWar, 20, 10)), nullptr);
 }
 
-// ----------------------------------------------- loop-carried classification
+// ------------------------------------------------- loop-nest attribution
 
-AccessEvent with_loops(AccessEvent e, LoopCtx l0, LoopCtx l1 = {},
-                       LoopCtx l2 = {}) {
-  e.loops[0] = l0;
-  e.loops[1] = l1;
-  e.loops[2] = l2;
+/// Stamps `e` with a nest context and a root-anchored iteration window.
+AccessEvent with_nest(AccessEvent e, std::uint32_t ctx,
+                      std::initializer_list<std::uint32_t> iters) {
+  e.ctx = ctx;
+  std::size_t i = 0;
+  for (std::uint32_t v : iters) {
+    if (i < kNestIters) e.iters[i] = v;
+    ++i;
+  }
   return e;
 }
 
 TEST(Detector, SameIterationIsNotCarried) {
+  const std::uint32_t ctx = nest_forest().enter(NestForest::kRoot, 1);
   auto det = make_perfect();
   DepMap deps;
-  det.process(with_loops(wr(100, 10), {1, 1, 5}), deps);
-  det.process(with_loops(rd(100, 20), {1, 1, 5}), deps);
+  det.process(with_nest(wr(100, 10), ctx, {5}), deps);
+  det.process(with_nest(rd(100, 20), ctx, {5}), deps);
   const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
   ASSERT_NE(info, nullptr);
   EXPECT_EQ(info->flags & kLoopCarried, 0);
+  EXPECT_EQ(info->levels[0].loop, 1u);  // attributed, distance 0
+  EXPECT_EQ(info->levels[0].d0, 1u);
+  EXPECT_EQ(info->levels[0].carried(), 0u);
 }
 
 TEST(Detector, DifferentIterationIsCarried) {
+  const std::uint32_t ctx = nest_forest().enter(NestForest::kRoot, 1);
   auto det = make_perfect();
   DepMap deps;
-  det.process(with_loops(wr(100, 10), {1, 1, 5}), deps);
-  det.process(with_loops(rd(100, 20), {1, 1, 6}), deps);
+  det.process(with_nest(wr(100, 10), ctx, {5}), deps);
+  det.process(with_nest(rd(100, 20), ctx, {6}), deps);
   const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
   ASSERT_NE(info, nullptr);
   EXPECT_NE(info->flags & kLoopCarried, 0);
-  EXPECT_EQ(info->loop, 1u);
+  EXPECT_EQ(info->carried_loop(), 1u);
+  EXPECT_EQ(info->carried_level(), 1u);
+  EXPECT_EQ(info->levels[0].d1, 1u);
 }
 
 TEST(Detector, DifferentEntryOfSameLoopIsNotCarriedByIt) {
   // A loop re-entered from an outer context: same static loop id, same
   // iteration index, different dynamic entries — not carried by that loop.
+  NestForest& f = nest_forest();
+  const std::uint32_t e1 = f.enter(NestForest::kRoot, 1);
+  const std::uint32_t e2 = f.enter(NestForest::kRoot, 1);
   auto det = make_perfect();
   DepMap deps;
-  det.process(with_loops(wr(100, 10), {1, /*entry=*/1, 5}), deps);
-  det.process(with_loops(rd(100, 20), {1, /*entry=*/2, 5}), deps);
+  det.process(with_nest(wr(100, 10), e1, {5}), deps);
+  det.process(with_nest(rd(100, 20), e2, {5}), deps);
   const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
   ASSERT_NE(info, nullptr);
   EXPECT_EQ(info->flags & kLoopCarried, 0);
   EXPECT_NE(info->flags & kCrossLoop, 0);  // no shared dynamic context
+  EXPECT_EQ(info->carried_level(), 0u);
 }
 
 TEST(Detector, OuterLoopCarriedThroughParentLevel) {
   // The SP pattern: inner loop re-entered per time step; the dependence is
-  // carried by the outer loop (parent level), not the inner one.
+  // carried by the outer loop (the innermost *common* entry), not the
+  // inner one.
+  NestForest& f = nest_forest();
+  const std::uint32_t outer = f.enter(NestForest::kRoot, 1);
+  const std::uint32_t in1 = f.enter(outer, 2);
+  const std::uint32_t in2 = f.enter(outer, 2);
   auto det = make_perfect();
   DepMap deps;
-  det.process(with_loops(wr(100, 10), {/*inner*/ 2, 10, 3}, {/*outer*/ 1, 1, 0}),
-              deps);
-  det.process(with_loops(rd(100, 20), {/*inner*/ 2, 11, 3}, {/*outer*/ 1, 1, 1}),
-              deps);
+  det.process(with_nest(wr(100, 10), in1, {0, 3}), deps);
+  det.process(with_nest(rd(100, 20), in2, {1, 3}), deps);
   const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
   ASSERT_NE(info, nullptr);
   EXPECT_NE(info->flags & kLoopCarried, 0);
-  EXPECT_EQ(info->loop, 1u);  // attributed to the outer loop
+  EXPECT_EQ(info->carried_loop(), 1u);  // attributed to the outer loop
+  EXPECT_EQ(info->carried_level(), 1u);
+  EXPECT_EQ(info->levels[0].d1, 1u);  // time-step distance 1
 }
 
 TEST(Detector, GrandparentLoopCarriedThroughThirdLevel) {
   // The h264dec pattern: frames > slices > macroblocks; the reference-frame
   // dependence is carried by the grandparent (frame) loop.
+  NestForest& f = nest_forest();
+  const std::uint32_t frames = f.enter(NestForest::kRoot, 1);
+  const std::uint32_t s1 = f.enter(frames, 2);
+  const std::uint32_t s2 = f.enter(frames, 2);
+  const std::uint32_t m1 = f.enter(s1, 3);
+  const std::uint32_t m2 = f.enter(s2, 3);
   auto det = make_perfect();
   DepMap deps;
-  det.process(
-      with_loops(wr(100, 10), {3, 30, 2}, {2, 20, 1}, {/*frames*/ 1, 1, 0}),
-      deps);
-  det.process(
-      with_loops(rd(100, 20), {3, 31, 2}, {2, 21, 1}, {/*frames*/ 1, 1, 1}),
-      deps);
+  det.process(with_nest(wr(100, 10), m1, {0, 1, 2}), deps);
+  det.process(with_nest(rd(100, 20), m2, {1, 1, 2}), deps);
   const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
   ASSERT_NE(info, nullptr);
   EXPECT_NE(info->flags & kLoopCarried, 0);
-  EXPECT_EQ(info->loop, 1u);
+  EXPECT_EQ(info->carried_loop(), 1u);
+  EXPECT_EQ(info->carried_level(), 1u);
 }
 
-TEST(Detector, InnermostMatchWinsOverOuter) {
-  // Both inner and outer contexts match; the inner iteration differs — the
-  // dependence is attributed to the innermost carrying loop.
+TEST(Detector, InnermostCommonLoopWins) {
+  // Both endpoints share the whole nest; the inner iteration differs — the
+  // dependence is attributed to the innermost common loop (level 2).
+  NestForest& f = nest_forest();
+  const std::uint32_t outer = f.enter(NestForest::kRoot, 1);
+  const std::uint32_t inner = f.enter(outer, 2);
   auto det = make_perfect();
   DepMap deps;
-  det.process(with_loops(wr(100, 10), {2, 20, 3}, {1, 1, 0}), deps);
-  det.process(with_loops(rd(100, 20), {2, 20, 4}, {1, 1, 0}), deps);
+  det.process(with_nest(wr(100, 10), inner, {0, 3}), deps);
+  det.process(with_nest(rd(100, 20), inner, {0, 4}), deps);
   const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
   ASSERT_NE(info, nullptr);
-  EXPECT_EQ(info->loop, 2u);
+  EXPECT_EQ(info->carried_loop(), 2u);
+  EXPECT_EQ(info->carried_level(), 2u);
+  EXPECT_EQ(info->levels[1].loop, 2u);
 }
 
-TEST(Detector, CarriedDistanceRecorded) {
-  // Reads of a[i-4]: every carried instance has iteration distance 4.
+TEST(Detector, CarriedDistanceBucketed) {
+  // Reads of a[i-4]: every carried instance has iteration distance 4,
+  // which lands in the >= 2 bucket.
+  const std::uint32_t ctx = nest_forest().enter(NestForest::kRoot, 1);
   auto det = make_perfect();
   DepMap deps;
   for (std::uint32_t i = 0; i < 16; ++i) {
-    if (i >= 4) det.process(with_loops(rd(100 + (i - 4), 20), {1, 1, i}), deps);
-    det.process(with_loops(wr(100 + i, 10), {1, 1, i}), deps);
+    if (i >= 4) det.process(with_nest(rd(100 + (i - 4), 20), ctx, {i}), deps);
+    det.process(with_nest(wr(100 + i, 10), ctx, {i}), deps);
   }
   const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
   ASSERT_NE(info, nullptr);
   EXPECT_NE(info->flags & kLoopCarried, 0);
-  EXPECT_EQ(info->min_distance, 4u);
-  EXPECT_EQ(info->max_distance, 4u);
+  EXPECT_EQ(info->levels[0].d0, 0u);
+  EXPECT_EQ(info->levels[0].d1, 0u);
+  EXPECT_EQ(info->levels[0].d2p, 12u);
+  EXPECT_EQ(info->min_carried_bucket(), 2u);
 }
 
-TEST(Detector, DistanceRangeAccumulates) {
+TEST(Detector, DistanceBucketsAccumulate) {
+  const std::uint32_t ctx = nest_forest().enter(NestForest::kRoot, 1);
   auto det = make_perfect();
   DepMap deps;
-  det.process(with_loops(wr(100, 10), {1, 1, 0}), deps);
-  det.process(with_loops(rd(100, 20), {1, 1, 1}), deps);  // d = 1
-  det.process(with_loops(wr(100, 10), {1, 1, 1}), deps);
-  det.process(with_loops(rd(100, 20), {1, 1, 6}), deps);  // d = 5
+  det.process(with_nest(wr(100, 10), ctx, {0}), deps);
+  det.process(with_nest(rd(100, 20), ctx, {1}), deps);  // d = 1
+  det.process(with_nest(wr(100, 10), ctx, {1}), deps);
+  det.process(with_nest(rd(100, 20), ctx, {6}), deps);  // d = 5
   const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
   ASSERT_NE(info, nullptr);
-  EXPECT_EQ(info->min_distance, 1u);
-  EXPECT_EQ(info->max_distance, 5u);
+  EXPECT_EQ(info->levels[0].d1, 1u);
+  EXPECT_EQ(info->levels[0].d2p, 1u);
+  EXPECT_EQ(info->min_carried_bucket(), 1u);
 }
 
-TEST(DepMap, MergeCombinesDistances) {
+TEST(Detector, DeepNestBeyondWindowIsConservativelyCarried) {
+  // Common entry deeper than the event's iteration window: the distance is
+  // unknown, so the instance lands in the carried >= 2 bucket rather than
+  // being guessed independent.
+  NestForest& f = nest_forest();
+  std::uint32_t ctx = NestForest::kRoot;
+  for (std::uint32_t d = 1; d <= kNestIters + 2; ++d) ctx = f.enter(ctx, d);
+  auto det = make_perfect();
+  DepMap deps;
+  det.process(with_nest(wr(100, 10), ctx, {1, 1, 1, 1, 1, 1, 1}), deps);
+  det.process(with_nest(rd(100, 20), ctx, {1, 1, 1, 1, 1, 1, 1}), deps);
+  const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
+  ASSERT_NE(info, nullptr);
+  EXPECT_NE(info->flags & kLoopCarried, 0);
+  // Level clamps to the last window row; the bucket is ">= 2 / unknown".
+  EXPECT_EQ(info->levels[kNestLevels - 1].d2p, 1u);
+}
+
+TEST(DepMap, MergeCombinesBuckets) {
   DepMap a, b;
-  a.add(key(DepType::kRaw, 20, 10), kLoopCarried, 1, /*distance=*/3);
-  b.add(key(DepType::kRaw, 20, 10), kLoopCarried, 1, /*distance=*/7);
+  a.add(key(DepType::kRaw, 20, 10), kLoopCarried, {1, 1, 3, true});
+  b.add(key(DepType::kRaw, 20, 10), kLoopCarried, {1, 1, 1, true});
   a.merge(b);
   const DepInfo* info = a.find(key(DepType::kRaw, 20, 10));
   ASSERT_NE(info, nullptr);
-  EXPECT_EQ(info->min_distance, 3u);
-  EXPECT_EQ(info->max_distance, 7u);
+  EXPECT_EQ(info->levels[0].d1, 1u);
+  EXPECT_EQ(info->levels[0].d2p, 1u);
+  EXPECT_EQ(info->min_carried_bucket(), 1u);
 }
 
 TEST(Detector, NoLoopContextNoFlags) {
@@ -287,23 +342,26 @@ TEST(Detector, CollidingAddressStillBuildsDepButNoCarriedFlag) {
   // Modulo collision: addr and addr + slots share a slot.  The dependence
   // record is built (approximate membership), but the loop-context compare
   // is gated off by the address tag, so no carried flag can be fabricated.
+  const std::uint32_t ctx = nest_forest().enter(NestForest::kRoot, 1);
   DetectorCore<Signature<SeqSlot>> det{
       Signature<SeqSlot>(128, SigHash::kModulo),
       Signature<SeqSlot>(128, SigHash::kModulo)};
   DepMap deps;
-  det.process(with_loops(wr(5, 10), {1, 1, 3}), deps);
-  det.process(with_loops(rd(5 + 128, 20), {1, 1, 4}), deps);  // collides
+  det.process(with_nest(wr(5, 10), ctx, {3}), deps);
+  det.process(with_nest(rd(5 + 128, 20), ctx, {4}), deps);  // collides
   const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
   ASSERT_NE(info, nullptr) << "false dependence is still reported";
   EXPECT_EQ(info->flags & kLoopCarried, 0) << "but never classified carried";
+  EXPECT_EQ(info->carried_level(), 0u) << "and never attributed";
 }
 
 TEST(Detector, SameAddressKeepsCarriedFlagUnderSignature) {
+  const std::uint32_t ctx = nest_forest().enter(NestForest::kRoot, 1);
   DetectorCore<Signature<SeqSlot>> det{Signature<SeqSlot>(128),
                                        Signature<SeqSlot>(128)};
   DepMap deps;
-  det.process(with_loops(wr(5, 10), {1, 1, 3}), deps);
-  det.process(with_loops(rd(5, 20), {1, 1, 4}), deps);
+  det.process(with_nest(wr(5, 10), ctx, {3}), deps);
+  det.process(with_nest(rd(5, 20), ctx, {4}), deps);
   const DepInfo* info = deps.find(key(DepType::kRaw, 20, 10));
   ASSERT_NE(info, nullptr);
   EXPECT_NE(info->flags & kLoopCarried, 0);
@@ -377,21 +435,21 @@ TEST(DepMap, MergesIdenticalInstances) {
   DepMap deps;
   const DepKey k = key(DepType::kRaw, 20, 10);
   deps.add(k, 0);
-  deps.add(k, kLoopCarried, 3);
+  deps.add(k, kLoopCarried, {3, 1, 1, true});
   deps.add(k, kCrossThread);
   EXPECT_EQ(deps.size(), 1u);
   const DepInfo* info = deps.find(k);
   ASSERT_NE(info, nullptr);
   EXPECT_EQ(info->count, 3u);
   EXPECT_EQ(info->flags, kLoopCarried | kCrossThread);  // flags accumulate
-  EXPECT_EQ(info->loop, 3u);
+  EXPECT_EQ(info->carried_loop(), 3u);
   EXPECT_EQ(deps.instances(), 3u);
 }
 
 TEST(DepMap, MergeCombinesMaps) {
   DepMap a, b;
   a.add(key(DepType::kRaw, 20, 10), 0);
-  b.add(key(DepType::kRaw, 20, 10), kLoopCarried, 9);
+  b.add(key(DepType::kRaw, 20, 10), kLoopCarried, {9, 1, 1, true});
   b.add(key(DepType::kWar, 21, 11), 0);
   a.merge(b);
   EXPECT_EQ(a.size(), 2u);
@@ -422,7 +480,9 @@ TEST(DepMap, AddManyMatchesRepeatedAdds) {
   ASSERT_NE(info, nullptr);
   EXPECT_EQ(info->count, 5u);
   EXPECT_EQ(info->flags, 0u);
-  EXPECT_EQ(info->min_distance, 0u);  // no distance recorded: sentinel stays
+  // Unattributed instances touch no level bucket.
+  EXPECT_EQ(info->carried_level(), 0u);
+  EXPECT_EQ(info->min_carried_bucket(), 0u);
   bulk.add_many(k, 0);  // zero-count bulk add is a no-op
   EXPECT_EQ(bulk.instances(), 5u);
   EXPECT_EQ(bulk.size(), 1u);
@@ -433,17 +493,16 @@ TEST(DepMap, FoldMatchesReplayedAdds) {
   // must land exactly as the per-event adds it replaces.
   const DepKey k = key(DepType::kRaw, 20, 10);
   DepMap replayed;
-  replayed.add(k, kLoopCarried, 3, /*distance=*/4);
-  replayed.add(k, kLoopCarried, 3, /*distance=*/9);
+  replayed.add(k, kLoopCarried, {3, 2, 1, true});
+  replayed.add(k, kLoopCarried, {3, 2, 9, true});
   replayed.add(k, kCrossThread);
 
   DepMap folded;
   DepInfo rec;
-  rec.count = 3;
-  rec.flags = kLoopCarried | kCrossThread;
-  rec.loop = 3;
-  rec.min_distance = 4;
-  rec.max_distance = 9;
+  // Build the pre-aggregated record exactly as the batched accumulator does.
+  apply_dep_instance(rec, kLoopCarried, {3, 2, 1, true});
+  apply_dep_instance(rec, kLoopCarried, {3, 2, 9, true});
+  apply_dep_instance(rec, kCrossThread, {});
   folded.fold(k, rec);
 
   EXPECT_EQ(folded.instances(), replayed.instances());
@@ -453,39 +512,39 @@ TEST(DepMap, FoldMatchesReplayedAdds) {
   ASSERT_NE(b, nullptr);
   EXPECT_EQ(a->count, b->count);
   EXPECT_EQ(a->flags, b->flags);
-  EXPECT_EQ(a->loop, b->loop);
-  EXPECT_EQ(a->min_distance, b->min_distance);
-  EXPECT_EQ(a->max_distance, b->max_distance);
+  for (std::size_t d = 0; d < kNestLevels; ++d) {
+    EXPECT_EQ(a->levels[d].loop, b->levels[d].loop) << "level " << d;
+    EXPECT_EQ(a->levels[d].d0, b->levels[d].d0) << "level " << d;
+    EXPECT_EQ(a->levels[d].d1, b->levels[d].d1) << "level " << d;
+    EXPECT_EQ(a->levels[d].d2p, b->levels[d].d2p) << "level " << d;
+  }
 }
 
-TEST(DepMap, FoldPreservesZeroDistanceSentinel) {
-  // min_distance == 0 means "no distance recorded", not a distance of zero.
-  // Folding a distance-free record must not clobber a recorded minimum, and
-  // a fresh entry built only from distance-free records keeps the sentinel.
+TEST(DepMap, FoldCombinesLevelBuckets) {
+  // Folding a record on top of an existing entry must sum the per-level
+  // buckets and max-join the loop ids — never overwrite either side.
   const DepKey k = key(DepType::kRaw, 20, 10);
   DepMap deps;
-  deps.add(k, kLoopCarried, 3, /*distance=*/5);
-  DepInfo no_dist;
-  no_dist.count = 2;
-  no_dist.flags = kLoopCarried;
-  no_dist.loop = 3;
-  deps.fold(k, no_dist);
+  deps.add(k, kLoopCarried, {3, 1, 5, true});  // level 1, d>=2 bucket
+  DepInfo rec;
+  apply_dep_instance(rec, kLoopCarried, {7, 1, 1, true});  // level 1, d=1
+  apply_dep_instance(rec, 0, {2, 2, 0, true});             // level 2, d=0
+  deps.fold(k, rec);
   const DepInfo* info = deps.find(k);
   ASSERT_NE(info, nullptr);
   EXPECT_EQ(info->count, 3u);
-  EXPECT_EQ(info->min_distance, 5u);
-  EXPECT_EQ(info->max_distance, 5u);
-
-  DepMap fresh;
-  fresh.fold(k, no_dist);
-  EXPECT_EQ(fresh.find(k)->min_distance, 0u);
-  EXPECT_EQ(fresh.find(k)->max_distance, 0u);
+  EXPECT_EQ(info->levels[0].loop, 7u);  // max-join of 3 and 7
+  EXPECT_EQ(info->levels[0].d1, 1u);
+  EXPECT_EQ(info->levels[0].d2p, 1u);
+  EXPECT_EQ(info->levels[1].loop, 2u);
+  EXPECT_EQ(info->levels[1].d0, 1u);
+  EXPECT_EQ(info->min_carried_bucket(), 1u);
 }
 
 TEST(DepMap, MergeFromTransfersAndEmptiesSource) {
   DepMap a, b;
   a.add(key(DepType::kRaw, 20, 10), 0);
-  b.add(key(DepType::kRaw, 20, 10), kLoopCarried, 9);
+  b.add(key(DepType::kRaw, 20, 10), kLoopCarried, {9, 1, 1, true});
   b.add(key(DepType::kWar, 21, 11), 0);
   a.merge_from(b);
   EXPECT_EQ(b.size(), 0u);

@@ -123,27 +123,38 @@ TEST(Formatter, RaceMarkAndCounts) {
 
 TEST(Formatter, CsvExportRoundTrip) {
   const std::uint32_t var_x = var_registry().intern("x");
+  const std::uint32_t loop5 = SourceLocation(1, 5).packed();
   DepMap deps;
-  deps.add(key(DepType::kRaw, 20, 10, var_x, 1, 2), kLoopCarried | kCrossThread, 7);
+  deps.add(key(DepType::kRaw, 20, 10, var_x, 1, 2), kLoopCarried | kCrossThread,
+           {loop5, 1, 1, true});
   deps.add(key(DepType::kInit, 20, 0, var_x), 0);
   const std::string csv = deps_csv(deps);
   EXPECT_NE(csv.find("type,sink,sink_tid,source,src_tid,var,count,carried,"
-                     "cross_thread,reversed,min_dist,max_dist"),
+                     "cross_thread,reversed,carried_level,carried_loop,d0,d1,"
+                     "d2p"),
             std::string::npos);
-  EXPECT_NE(csv.find("RAW,1:20,1,1:10,2,x,1,1,1,0,0,0"), std::string::npos)
+  EXPECT_NE(csv.find("RAW,1:20,1,1:10,2,x,1,1,1,0,1,1:5,0,1,0"),
+            std::string::npos)
       << csv;
-  EXPECT_NE(csv.find("INIT,1:20,0,*,0,x,1,0,0,0,0,0"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("INIT,1:20,0,*,0,x,1,0,0,0,0,,0,0,0"), std::string::npos)
+      << csv;
 }
 
 TEST(Formatter, DistanceAnnotation) {
+  const std::uint32_t loop5 = SourceLocation(1, 5).packed();
   DepMap deps;
-  deps.add(key(DepType::kRaw, 20, 10), kLoopCarried, 3, /*distance=*/4);
-  deps.add(key(DepType::kRaw, 20, 10), kLoopCarried, 3, /*distance=*/9);
+  deps.add(key(DepType::kRaw, 20, 10), kLoopCarried, {loop5, 1, 1, true});
+  deps.add(key(DepType::kRaw, 20, 10), kLoopCarried, {loop5, 1, 9, true});
+  deps.add(key(DepType::kRaw, 20, 10), 0, {loop5, 2, 0, true});
   FormatOptions opts;
   opts.show_distances = true;
-  EXPECT_NE(format_deps(deps, nullptr, opts).find("d=4..9"), std::string::npos);
+  const std::string out = format_deps(deps, nullptr, opts);
+  // Per-level carry buckets: level 1 has one d=1 and one d>=2 instance,
+  // level 2 one iteration-local (d=0) instance.
+  EXPECT_NE(out.find("L1=0|1|1"), std::string::npos) << out;
+  EXPECT_NE(out.find("L2=1|0|0"), std::string::npos) << out;
   opts.show_distances = false;
-  EXPECT_EQ(format_deps(deps, nullptr, opts).find("d="), std::string::npos);
+  EXPECT_EQ(format_deps(deps, nullptr, opts).find("L1="), std::string::npos);
 }
 
 TEST(Formatter, EmptyMapYieldsEmptyOutput) {
@@ -170,20 +181,20 @@ TEST(Formatter, InitOnlyMapFormatsEverySink) {
   EXPECT_NE(csv.find("INIT,1:12,0,*,"), std::string::npos) << csv;
 }
 
-TEST(Formatter, ZeroDistanceSentinelIsNotAnnotated) {
-  // min_distance == 0 is the "no distance recorded" sentinel, not a real
-  // distance: a carried dependence whose iteration distance was never
-  // measured must not grow a "d=" annotation even with distances enabled.
+TEST(Formatter, UnknownDistanceLandsInConservativeBucket) {
+  // A carried instance whose common level lies beyond the event iteration
+  // window has no measured distance: it must land in the d>=2 bucket (the
+  // conservative choice), never in d0 or d1.
+  const std::uint32_t loop5 = SourceLocation(1, 5).packed();
   DepMap deps;
-  deps.add(key(DepType::kRaw, 20, 10), kLoopCarried, /*loop=*/3,
-           /*distance=*/0);
+  deps.add(key(DepType::kRaw, 20, 10), kLoopCarried,
+           {loop5, 1, 0, /*distance_known=*/false});
   FormatOptions opts;
   opts.show_distances = true;
-  EXPECT_EQ(format_deps(deps, nullptr, opts).find("d="), std::string::npos);
-  // The CSV keeps the raw sentinel so downstream tools can tell "unknown"
-  // from a measured distance.
-  EXPECT_NE(deps_csv(deps).find(",1,1,0,0,0,0"), std::string::npos)
-      << deps_csv(deps);
+  EXPECT_NE(format_deps(deps, nullptr, opts).find("L1=0|0|1"),
+            std::string::npos);
+  const std::string csv = deps_csv(deps);
+  EXPECT_NE(csv.find(",1,0,0,1,1:5,0,0,1"), std::string::npos) << csv;
 }
 
 }  // namespace

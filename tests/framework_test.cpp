@@ -116,7 +116,7 @@ TEST(DepGraphTest, DetectsRawCycle) {
 TEST(DepGraphTest, DotExportMentionsEdgesAndStyles) {
   const auto var = var_registry().intern("acc");
   DepMap deps;
-  deps.add(key(DepType::kRaw, 20, 10, var), kLoopCarried, 5);
+  deps.add(key(DepType::kRaw, 20, 10, var), kLoopCarried, {5, 1, 1, true});
   deps.add(key(DepType::kWaw, 20, 10, var), 0);
   deps.add(key(DepType::kInit, 10, 0, var), 0);
   const std::string dot = DepGraph(deps).to_dot();
@@ -141,8 +141,8 @@ TEST(LoopTableTest, AggregatesPerLoop) {
 
   DepMap deps;
   DepKey inside = key(DepType::kRaw, 15, 12);
-  deps.add(inside, kLoopCarried, loop.loop_id);
-  deps.add(inside, kLoopCarried, loop.loop_id);
+  deps.add(inside, kLoopCarried, {loop.loop_id, 1, 1, true});
+  deps.add(inside, kLoopCarried, {loop.loop_id, 1, 1, true});
   deps.add(key(DepType::kRaw, 50, 40), 0);  // outside the loop body
 
   const LoopTable table(deps, cf, {});
@@ -151,10 +151,12 @@ TEST(LoopTableTest, AggregatesPerLoop) {
   EXPECT_EQ(row.dep_kinds, 1u);
   EXPECT_EQ(row.dep_instances, 2u);
   EXPECT_EQ(row.carried_raw, 1u);
+  EXPECT_EQ(row.min_carried_bucket, 1u);
+  EXPECT_EQ(row.verdict, LoopVerdictKind::kSerial);
   EXPECT_FALSE(row.parallelizable);
   EXPECT_NE(table.find(loop.loop_id), nullptr);
   EXPECT_EQ(table.find(12345), nullptr);
-  EXPECT_NE(table.render().find("no"), std::string::npos);
+  EXPECT_NE(table.render().find("serial"), std::string::npos);
 }
 
 // ----------------------------------------------------------- ProgramModel
@@ -230,7 +232,7 @@ TEST(PluginTest, SelfParallelismPrefersParallelHotLoops) {
   DepMap deps;
   for (int i = 0; i < 100; ++i) {
     deps.add(key(DepType::kRaw, 15, 12), 0);  // intra-iteration work
-    deps.add(key(DepType::kRaw, 45, 42), kLoopCarried, seq.loop_id);
+    deps.add(key(DepType::kRaw, 45, 42), kLoopCarried, {seq.loop_id, 1, 1, true});
   }
   ProgramModel model(std::move(deps), cf, {}, {});
   const std::string out = make_self_parallelism_plugin()->run(model);
@@ -239,24 +241,29 @@ TEST(PluginTest, SelfParallelismPrefersParallelHotLoops) {
 }
 
 TEST(PluginTest, DepDistanceReportsBlockingAdvice) {
+  const std::uint32_t loop5 = SourceLocation(1, 5).packed();
   DepMap deps;
   DepKey k = key(DepType::kRaw, 20, 10, var_registry().intern("a"));
-  deps.add(k, kLoopCarried, SourceLocation(1, 5).packed(), /*distance=*/4);
-  deps.add(k, kLoopCarried, SourceLocation(1, 5).packed(), /*distance=*/4);
+  deps.add(k, kLoopCarried, {loop5, 1, 4, true});
+  deps.add(k, kLoopCarried, {loop5, 1, 4, true});
   ProgramModel model(std::move(deps), {}, {}, {});
   const std::string out = make_dep_distance_plugin()->run(model);
-  EXPECT_NE(out.find("block by 4"), std::string::npos) << out;
+  // Both instances sit in the d>=2 bucket: a gap of independent iterations
+  // remains, so blocking/unrolling advice applies.
+  EXPECT_NE(out.find("gapped: blocking/unrolling may apply"),
+            std::string::npos)
+      << out;
 
   DepMap serial_deps;
   serial_deps.add(key(DepType::kRaw, 20, 10), kLoopCarried,
-                  SourceLocation(1, 5).packed(), 1);
+                  {loop5, 1, 1, true});
   ProgramModel serial_model(std::move(serial_deps), {}, {}, {});
   EXPECT_NE(make_dep_distance_plugin()->run(serial_model).find(
                 "serializing recurrence"),
             std::string::npos);
 }
 
-TEST(PluginTest, SelfParallelismUsesDistanceForCarriedLoops) {
+TEST(PluginTest, SelfParallelismUsesBucketForCarriedLoops) {
   ControlFlowLog cf;
   LoopRecord loop;
   loop.loop_id = SourceLocation(1, 10).packed();
@@ -266,15 +273,17 @@ TEST(PluginTest, SelfParallelismUsesDistanceForCarriedLoops) {
   loop.entries = 1;
   cf.loops.push_back(loop);
   DepMap deps;
-  deps.add(key(DepType::kRaw, 15, 12), kLoopCarried, loop.loop_id,
-           /*distance=*/8);
+  deps.add(key(DepType::kRaw, 15, 12), kLoopCarried,
+           {loop.loop_id, 1, 8, true});
   ProgramModel model(std::move(deps), cf, {}, {});
   const LoopRow& row = model.loop_table().rows()[0];
   EXPECT_FALSE(row.parallelizable);
-  EXPECT_EQ(row.min_carried_distance, 8u);
-  // The plugin reports SP = 8 (partial overlap), not 1.
+  EXPECT_EQ(row.verdict, LoopVerdictKind::kSerial);
+  // Only d>=2 instances: at least one independent iteration between
+  // conflicting ones, so SP floors at 2 rather than serializing fully.
+  EXPECT_EQ(row.min_carried_bucket, 2u);
   const std::string out = make_self_parallelism_plugin()->run(model);
-  EXPECT_NE(out.find("8"), std::string::npos);
+  EXPECT_NE(out.find("self-parallelism"), std::string::npos);
 }
 
 TEST(PluginTest, CustomPluginCanBeRegistered) {

@@ -9,6 +9,7 @@
 
 #include "instrument/macros.hpp"
 #include "instrument/runtime.hpp"
+#include "trace/nest.hpp"
 #include "trace/trace.hpp"
 
 DP_FILE("instrument_test");
@@ -70,11 +71,13 @@ TEST_F(RuntimeTest, LoopContextAttachedToAccesses) {
   DP_LOOP_END();
   const Trace& t = capture();
   ASSERT_EQ(t.events.size(), 3u);
-  const std::uint32_t loop_id = t.events[0].loops[0].loop;
-  EXPECT_NE(loop_id, 0u);
+  const std::uint32_t ctx = t.events[0].ctx;
+  ASSERT_NE(ctx, NestForest::kRoot);
+  EXPECT_NE(nest_forest().loop(ctx), 0u);
+  EXPECT_EQ(nest_forest().depth(ctx), 1u);
   for (int i = 0; i < 3; ++i) {
-    EXPECT_EQ(t.events[i].loops[0].loop, loop_id);
-    EXPECT_EQ(t.events[i].loops[0].iter, static_cast<std::uint32_t>(i + 1));
+    EXPECT_EQ(t.events[i].ctx, ctx) << "one dynamic entry, one context";
+    EXPECT_EQ(t.events[i].iters[0], static_cast<std::uint32_t>(i + 1));
   }
 }
 
@@ -92,8 +95,11 @@ TEST_F(RuntimeTest, LoopEntriesAreDistinct) {
   }
   const Trace& t = capture();
   ASSERT_EQ(t.events.size(), 4u);
-  EXPECT_EQ(t.events[0].loops[0].loop, t.events[2].loops[0].loop);
-  EXPECT_NE(t.events[0].loops[0].entry, t.events[2].loops[0].entry);
+  // Same static loop, but each DP_LOOP_BEGIN interns a fresh forest node:
+  // the two rounds are distinguishable dynamic entries.
+  EXPECT_EQ(nest_forest().loop(t.events[0].ctx),
+            nest_forest().loop(t.events[2].ctx));
+  EXPECT_NE(t.events[0].ctx, t.events[2].ctx);
 }
 
 TEST_F(RuntimeTest, ThreeLevelNestingRecorded) {
@@ -117,11 +123,101 @@ TEST_F(RuntimeTest, ThreeLevelNestingRecorded) {
   const Trace& t = capture();
   ASSERT_EQ(t.events.size(), 1u);
   const AccessEvent& e = t.events[0];
-  EXPECT_NE(e.loops[0].loop, 0u);
-  EXPECT_NE(e.loops[1].loop, 0u);
-  EXPECT_NE(e.loops[2].loop, 0u);
-  EXPECT_NE(e.loops[0].loop, e.loops[1].loop);
-  EXPECT_NE(e.loops[1].loop, e.loops[2].loop);
+  const NestForest& forest = nest_forest();
+  ASSERT_EQ(forest.depth(e.ctx), 3u);
+  const std::uint32_t inner = e.ctx;
+  const std::uint32_t middle = forest.parent(inner);
+  const std::uint32_t outer = forest.parent(middle);
+  EXPECT_EQ(forest.parent(outer), NestForest::kRoot);
+  EXPECT_NE(forest.loop(inner), 0u);
+  EXPECT_NE(forest.loop(middle), 0u);
+  EXPECT_NE(forest.loop(outer), 0u);
+  EXPECT_NE(forest.loop(inner), forest.loop(middle));
+  EXPECT_NE(forest.loop(middle), forest.loop(outer));
+  // Root-anchored iteration window: one DP_LOOP_ITER at each level.
+  EXPECT_EQ(e.iters[0], 1u);
+  EXPECT_EQ(e.iters[1], 1u);
+  EXPECT_EQ(e.iters[2], 1u);
+}
+
+TEST_F(RuntimeTest, NestEdgesFormLoopTree) {
+  Runtime::instance().attach(&recorder_);
+  int a = 0;
+  DP_LOOP_BEGIN();  // outer
+  DP_LOOP_ITER();
+  {
+    DP_LOOP_BEGIN();  // inner
+    DP_LOOP_ITER();
+    DP_WRITE(a);
+    a = 1;
+    DP_LOOP_END();
+  }
+  DP_LOOP_END();
+  Runtime::instance().detach();
+  const ControlFlowLog cf = Runtime::instance().control_flow();
+  ASSERT_EQ(cf.loops.size(), 2u);
+  const std::uint32_t outer_id = cf.loops[0].loop_id;
+  const std::uint32_t inner_id = cf.loops[1].loop_id;
+  ASSERT_EQ(cf.edges.size(), 2u);
+  EXPECT_EQ(cf.children_of(0), std::vector<std::uint32_t>{outer_id});
+  EXPECT_EQ(cf.children_of(outer_id), std::vector<std::uint32_t>{inner_id});
+  EXPECT_FALSE(cf.has_parent(outer_id));
+  EXPECT_TRUE(cf.has_parent(inner_id));
+}
+
+TEST_F(RuntimeTest, StrayLoopMarkersAreCountedNotFatal) {
+  // DP_LOOP_ITER / DP_LOOP_END on an empty per-thread loop stack (mismatched
+  // instrumentation, or a thread entering mid-loop) must be ignored and
+  // counted — never pop or advance another frame.
+  Runtime::instance().attach(&recorder_);
+  int a = 0;
+  DP_LOOP_ITER();
+  DP_LOOP_END();
+  DP_WRITE(a);
+  a = 1;
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 1u);
+  EXPECT_EQ(t.events[0].ctx, NestForest::kRoot) << "no nest context fabricated";
+  const ControlFlowLog cf = Runtime::instance().control_flow();
+  EXPECT_EQ(cf.stray_iters, 1u);
+  EXPECT_EQ(cf.stray_ends, 1u);
+  EXPECT_TRUE(cf.loops.empty());
+}
+
+TEST_F(RuntimeTest, ThreadEnteringMidLoopKeepsOwnNestCursor) {
+  // An MT target thread that starts inside another thread's loop sees that
+  // loop's iteration and end markers without ever having opened a frame.
+  // Its accesses stay context-free and the opener's nest is untouched.
+  Runtime::instance().attach(&recorder_, /*mt_mode=*/true);
+  int a = 0;
+  DP_LOOP_BEGIN();
+  DP_LOOP_ITER();
+  std::thread worker([&] {
+    DP_LOOP_ITER();  // stray: this thread never entered the loop
+    DP_WRITE(a);
+    DP_LOOP_END();  // stray: must not pop the opener's frame
+  });
+  worker.join();
+  DP_WRITE(a);
+  a = 1;
+  DP_LOOP_END();
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 2u);
+  const std::uint16_t main_tid = Runtime::instance().thread_id();
+  for (const auto& e : t.events) {
+    if (e.tid == main_tid) {
+      EXPECT_NE(e.ctx, NestForest::kRoot);
+      EXPECT_EQ(e.iters[0], 1u);
+    } else {
+      EXPECT_EQ(e.ctx, NestForest::kRoot);
+    }
+  }
+  const ControlFlowLog cf = Runtime::instance().control_flow();
+  EXPECT_EQ(cf.stray_iters, 1u);
+  EXPECT_EQ(cf.stray_ends, 1u);
+  ASSERT_EQ(cf.loops.size(), 1u);
+  EXPECT_EQ(cf.loops[0].entries, 1u);
+  EXPECT_EQ(cf.loops[0].iterations, 1u);
 }
 
 TEST_F(RuntimeTest, ControlFlowLogRecordsLoops) {

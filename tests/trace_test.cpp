@@ -7,7 +7,9 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/wire.hpp"
 #include "trace/generators.hpp"
+#include "trace/nest.hpp"
 #include "trace/trace.hpp"
 #include "trace/trace_io.hpp"
 
@@ -79,9 +81,56 @@ TEST(Generators, LoopTraceCarriesLoopContext) {
   p.distinct = 10;
   const Trace t = gen_loop(p, /*iters=*/3, /*carried=*/true, /*loop_id=*/7);
   ASSERT_EQ(t.size(), 3u * 10u * 2u);
-  for (const auto& ev : t.events) EXPECT_EQ(ev.loops[0].loop, 7u);
-  EXPECT_EQ(t.events[0].loops[0].iter, 0u);
-  EXPECT_EQ(t.events.back().loops[0].iter, 2u);
+  const NestForest& forest = nest_forest();
+  for (const auto& ev : t.events) {
+    ASSERT_NE(ev.ctx, NestForest::kRoot);
+    EXPECT_EQ(forest.loop(ev.ctx), 7u);
+    EXPECT_EQ(forest.depth(ev.ctx), 1u);
+  }
+  // All events share one dynamic loop entry; iters[0] tracks the iteration.
+  EXPECT_EQ(t.events.back().ctx, t.events[0].ctx);
+  EXPECT_EQ(t.events[0].iters[0], 0u);
+  EXPECT_EQ(t.events.back().iters[0], 2u);
+}
+
+TEST(Generators, NestTraceBuildsDeepImperfectNests) {
+  GenParams p;
+  p.seed = 11;
+  const Trace t = gen_nest(p, /*depth=*/3, /*width=*/3);
+  ASSERT_FALSE(t.events.empty());
+  const NestForest& forest = nest_forest();
+  std::size_t max_depth = 0;
+  std::size_t shallow = 0;  // events stamped above the deepest level
+  for (const auto& ev : t.events) {
+    ASSERT_LT(ev.ctx, forest.size());
+    const std::size_t d = forest.depth(ev.ctx);
+    max_depth = std::max(max_depth, d);
+    if (d > 0 && d < 3) ++shallow;
+  }
+  EXPECT_EQ(max_depth, 3u);
+  // The nest is imperfect: outer levels issue accesses of their own.
+  EXPECT_GT(shallow, 0u);
+}
+
+TEST(Generators, ChurnTraceNestStampsAreConsistent) {
+  GenParams p;
+  p.accesses = 2'000;
+  p.seed = 5;
+  const Trace t = gen_churn(p, 0.2, /*threads=*/0, /*nest_depth=*/3);
+  const NestForest& forest = nest_forest();
+  std::size_t distinct_ctx = 0;
+  std::uint32_t last_ctx = NestForest::kRoot;
+  for (const auto& ev : t.events) {
+    if (ev.is_free()) continue;
+    ASSERT_NE(ev.ctx, NestForest::kRoot);
+    EXPECT_EQ(forest.depth(ev.ctx), 3u);
+    if (ev.ctx != last_ctx) {
+      ++distinct_ctx;
+      last_ctx = ev.ctx;
+    }
+  }
+  // Sibling re-entry of the innermost loop creates fresh contexts mid-trace.
+  EXPECT_GT(distinct_ctx, 1u);
 }
 
 TEST(Generators, MtTraceHasTimestampsAndThreads) {
@@ -126,6 +175,130 @@ TEST(TraceIo, RoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(TraceIo, NestContextsSurviveRoundTrip) {
+  // Events stamped with interned nest contexts must come back with the same
+  // nest *shape* (loop ids, depths, parent linkage, iteration windows) even
+  // though the reader re-interns fresh forest ids.
+  NestForest& forest = nest_forest();
+  const std::uint32_t outer = forest.enter(NestForest::kRoot, 40);
+  const std::uint32_t in1 = forest.enter(outer, 41);
+  const std::uint32_t in2 = forest.enter(outer, 41);  // sibling re-entry
+  Trace t;
+  AccessEvent ev;
+  ev.kind = AccessKind::kWrite;
+  ev.addr = 100;
+  ev.ctx = in1;
+  ev.iters[0] = 2;
+  ev.iters[1] = 5;
+  t.events.push_back(ev);
+  ev.kind = AccessKind::kRead;
+  ev.addr = 100;
+  ev.ctx = in2;
+  ev.iters[0] = 3;
+  ev.iters[1] = 0;
+  t.events.push_back(ev);
+  ev.ctx = NestForest::kRoot;  // an event outside any loop
+  t.events.push_back(ev);
+
+  const std::string path = "/tmp/depprof_nest_trace_test.bin";
+  ASSERT_TRUE(write_trace(t, path));
+  Trace back;
+  ASSERT_TRUE(read_trace(back, path));
+  std::remove(path.c_str());
+  ASSERT_EQ(back.size(), 3u);
+
+  const AccessEvent& a = back.events[0];
+  const AccessEvent& b = back.events[1];
+  EXPECT_EQ(forest.loop(a.ctx), 41u);
+  EXPECT_EQ(forest.depth(a.ctx), 2u);
+  EXPECT_EQ(forest.loop(forest.parent(a.ctx)), 40u);
+  EXPECT_EQ(a.iters[0], 2u);
+  EXPECT_EQ(a.iters[1], 5u);
+  EXPECT_EQ(forest.loop(b.ctx), 41u);
+  // The two sibling entries stay distinct but share the same parent entry.
+  EXPECT_NE(a.ctx, b.ctx);
+  EXPECT_EQ(forest.parent(a.ctx), forest.parent(b.ctx));
+  EXPECT_EQ(back.events[2].ctx, NestForest::kRoot);
+}
+
+TEST(TraceIo, GeneratedNestTraceRoundTripsAttribution) {
+  GenParams p;
+  p.seed = 3;
+  const Trace t = gen_nest(p, /*depth=*/3, /*width=*/3);
+  const std::string path = "/tmp/depprof_nest_gen_trace_test.bin";
+  ASSERT_TRUE(write_trace(t, path));
+  Trace back;
+  ASSERT_TRUE(read_trace(back, path));
+  std::remove(path.c_str());
+  ASSERT_EQ(back.size(), t.size());
+  const NestForest& forest = nest_forest();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Re-interned ids may differ; the per-event nest chain must not.
+    std::uint32_t orig = t.events[i].ctx;
+    std::uint32_t got = back.events[i].ctx;
+    ASSERT_EQ(forest.depth(got), forest.depth(orig));
+    while (orig != NestForest::kRoot) {
+      EXPECT_EQ(forest.loop(got), forest.loop(orig));
+      orig = forest.parent(orig);
+      got = forest.parent(got);
+    }
+    EXPECT_EQ(got, NestForest::kRoot);
+    for (std::size_t d = 0; d < kNestIters; ++d)
+      EXPECT_EQ(back.events[i].iters[d], t.events[i].iters[d]);
+  }
+}
+
+TEST(TraceIo, RejectsMalformedNestTables) {
+  const std::string path = "/tmp/depprof_bad_nest_trace_test.bin";
+  const char magic[8] = {'D', 'E', 'P', 'T', 'R', 'C', '0', '2'};
+  Trace out;
+
+  // Node table claims more nodes than the file holds.
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(magic, 1, sizeof(magic), f);
+    const std::uint64_t node_count = 1'000'000;
+    std::fwrite(&node_count, 1, sizeof(node_count), f);
+    std::fclose(f);
+    EXPECT_FALSE(read_trace(out, path));
+  }
+
+  // A node whose parent is itself / a later node (forward reference).
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(magic, 1, sizeof(magic), f);
+    const std::uint64_t node_count = 1;
+    std::fwrite(&node_count, 1, sizeof(node_count), f);
+    const std::uint32_t node[2] = {1, 7};  // parent == own id
+    std::fwrite(node, 1, sizeof(node), f);
+    const std::uint64_t count = 0;
+    std::fwrite(&count, 1, sizeof(count), f);
+    std::fclose(f);
+    EXPECT_FALSE(read_trace(out, path));
+  }
+
+  // An event referencing a context id beyond the declared node table.
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(magic, 1, sizeof(magic), f);
+    const std::uint64_t node_count = 1;
+    std::fwrite(&node_count, 1, sizeof(node_count), f);
+    const std::uint32_t node[2] = {0, 7};
+    std::fwrite(node, 1, sizeof(node), f);
+    const std::uint64_t count = 1;
+    std::fwrite(&count, 1, sizeof(count), f);
+    AccessEvent ev;
+    ev.ctx = 2;  // only node 1 was declared
+    std::fwrite(&ev, 1, sizeof(ev), f);
+    std::fclose(f);
+    EXPECT_FALSE(read_trace(out, path));
+  }
+  std::remove(path.c_str());
+}
+
 TEST(TraceIo, RejectsMissingAndMalformedFiles) {
   Trace out;
   EXPECT_FALSE(read_trace(out, "/tmp/depprof_does_not_exist.bin"));
@@ -137,6 +310,112 @@ TEST(TraceIo, RejectsMissingAndMalformedFiles) {
   EXPECT_FALSE(read_trace(out, path));
   EXPECT_TRUE(out.events.empty());
   std::remove(path.c_str());
+}
+
+// Direct step-op coverage for the wire codec's nest-context delta coding.
+// The profiler's dedup×pack lattice exercises the codec end-to-end; these
+// pin each [op:2] transition individually.
+class WireCodecTest : public ::testing::Test {
+ protected:
+  /// Encodes `ev` and immediately decodes it back, asserting the round trip
+  /// is exact.  Returns true when the event fit a 16-byte delta record.
+  bool round_trip(const AccessEvent& ev) {
+    unsigned char buf[kMaxWireRecordBytes];
+    bool escaped = false;
+    const std::size_t wrote = enc_.encode(ev, 1, buf, escaped);
+    AccessEvent back;
+    std::uint32_t rep = 0;
+    EXPECT_EQ(dec_.decode(buf, back, rep), wrote);
+    EXPECT_EQ(rep, 1u);
+    EXPECT_EQ(back.addr, ev.addr);
+    EXPECT_EQ(back.ctx, ev.ctx);
+    EXPECT_EQ(back.kind, ev.kind);
+    EXPECT_EQ(back.loc, ev.loc);
+    for (std::size_t i = 0; i < kNestIters; ++i)
+      EXPECT_EQ(back.iters[i], ev.iters[i]) << "slot " << i;
+    return !escaped;
+  }
+
+  WireEncoder enc_;
+  WireDecoder dec_;
+};
+
+TEST_F(WireCodecTest, FirstRecordAlwaysEscapes) {
+  AccessEvent ev;
+  ev.addr = 64;
+  EXPECT_FALSE(round_trip(ev));  // chunk base: full-size record
+  ev.addr += 8;
+  EXPECT_TRUE(round_trip(ev));  // second event delta-packs
+}
+
+TEST_F(WireCodecTest, IterAdvancePacksSameContext) {
+  NestForest& forest = nest_forest();
+  AccessEvent ev;
+  ev.ctx = forest.enter(NestForest::kRoot, 30);
+  round_trip(ev);  // base
+  ev.iters[0] += 1;
+  EXPECT_TRUE(round_trip(ev));  // op0: iters[0] += 1
+  ev.iters[0] += 5;
+  EXPECT_TRUE(round_trip(ev));  // op0 with payload > 1
+  ev.iters[0] += kMaxStepPayload + 1;
+  EXPECT_FALSE(round_trip(ev));  // beyond the 11-bit payload: escape
+}
+
+TEST_F(WireCodecTest, PushPopAndSiblingReentryPack) {
+  NestForest& forest = nest_forest();
+  const std::uint32_t outer = forest.enter(NestForest::kRoot, 50);
+  const std::uint32_t inner = forest.enter(outer, 51);
+  AccessEvent ev;
+  ev.ctx = outer;
+  ev.iters[0] = 3;
+  round_trip(ev);  // base
+  ev.ctx = inner;  // op1 push: deeper entry, window unchanged
+  EXPECT_TRUE(round_trip(ev));
+  ev.iters[1] = 9;
+  EXPECT_TRUE(round_trip(ev));  // op0 inside the inner loop
+  ev.ctx = outer;  // op2 pop: back to the ancestor, deep slots zeroed
+  ev.iters[1] = 0;
+  EXPECT_TRUE(round_trip(ev));
+  // op3 sibling re-entry: fresh inner entry, enclosing iter advances.
+  ev.ctx = forest.enter(outer, 51);
+  ev.iters[0] = 4;
+  EXPECT_TRUE(round_trip(ev));
+}
+
+TEST_F(WireCodecTest, PopWithStaleDeepSlotsEscapes) {
+  // A pop whose event still carries non-zero deep iteration slots cannot be
+  // predicted by op2 (which zeroes them) and must escape — the codec never
+  // emits a step whose replay diverges from the real event.
+  NestForest& forest = nest_forest();
+  const std::uint32_t outer = forest.enter(NestForest::kRoot, 60);
+  const std::uint32_t inner = forest.enter(outer, 61);
+  AccessEvent ev;
+  ev.ctx = inner;
+  ev.iters[1] = 4;
+  round_trip(ev);  // base
+  ev.ctx = outer;
+  // iters[1] left at 4: contradicts the pop transition.
+  EXPECT_FALSE(round_trip(ev));
+}
+
+TEST_F(WireCodecTest, ThreadOrWideFieldChangesEscape) {
+  AccessEvent ev;
+  round_trip(ev);  // base
+  ev.tid = 2;
+  EXPECT_FALSE(round_trip(ev));  // tid change never packs
+  ev.var = 0x1'0000;
+  EXPECT_FALSE(round_trip(ev));  // var beyond 16 bits never packs
+}
+
+TEST_F(WireCodecTest, RunLengthTravelsInOneRecord) {
+  AccessEvent ev;
+  unsigned char buf[kMaxWireRecordBytes];
+  bool escaped = false;
+  const std::size_t wrote = enc_.encode(ev, kMaxWireRep, buf, escaped);
+  AccessEvent back;
+  std::uint32_t rep = 0;
+  EXPECT_EQ(dec_.decode(buf, back, rep), wrote);
+  EXPECT_EQ(rep, kMaxWireRep);
 }
 
 }  // namespace

@@ -100,6 +100,14 @@ std::vector<NamedTrace> smoke_traces(std::size_t accesses,
   GenParams cp = p;
   cp.distinct = 512;
   traces.push_back({"churn", gen_churn(cp, 0.3), false});
+  // Nested traces: a deep imperfect nest (zero-iteration inner entries,
+  // sibling re-entry) and churn stamped under a three-deep nest — the cases
+  // that exercise common-loop attribution and the wire codec's push/pop/
+  // sibling steps.
+  GenParams np = p;
+  np.accesses = accesses;
+  traces.push_back({"nest3", gen_nest(np, 3, 4), false});
+  traces.push_back({"churn-nest", gen_churn(cp, 0.2, 0, 3), false});
   traces.push_back({"mt-pc", gen_mt_producer_consumer(p, 4, 64), true});
   traces.push_back({"mt-churn", gen_churn(cp, 0.25, 4), true});
   return traces;
@@ -115,7 +123,7 @@ std::vector<FuzzCase> smoke_cases() {
   for (const StoragePoint& sp : kStorages) {
     for (const QueueKind queue : kQueues) {
       for (const std::size_t chunk : kChunkSizes) {
-        const NamedTrace& tr = traces[idx % 5];  // sequential traces only
+        const NamedTrace& tr = traces[idx % 7];  // sequential traces only
         FuzzCase c;
         c.cfg.storage = sp.storage;
         c.cfg.slots = sp.slots;
@@ -149,7 +157,7 @@ std::vector<FuzzCase> smoke_cases() {
   }
   for (std::size_t s = 0; s < std::size(kStorages); ++s) {
     const StoragePoint& sp = kStorages[s];
-    const NamedTrace& tr = traces[5 + (s % 2)];  // mt-pc / mt-churn
+    const NamedTrace& tr = traces[7 + (s % 2)];  // mt-pc / mt-churn
     FuzzCase c;
     c.cfg.storage = sp.storage;
     c.cfg.slots = sp.slots;
@@ -187,7 +195,7 @@ FuzzCase random_case(Rng& rng, std::uint64_t seq) {
   p.seed = rng();
 
   FuzzCase c;
-  const std::uint64_t gen = rng.below(7);
+  const std::uint64_t gen = rng.below(9);
   bool mt = false;
   const char* gname = "?";
   switch (gen) {
@@ -203,6 +211,17 @@ FuzzCase random_case(Rng& rng, std::uint64_t seq) {
       p.distinct = 64 + rng.below(1024);
       c.trace = gen_churn(p, 0.1 + 0.4 * rng.uniform());
       gname = "churn";
+      break;
+    case 7:
+      c.trace = gen_nest(p, 2 + static_cast<std::uint32_t>(rng.below(3)),
+                         2 + static_cast<std::size_t>(rng.below(4)));
+      gname = "nest";
+      break;
+    case 8:
+      p.distinct = 64 + rng.below(1024);
+      c.trace = gen_churn(p, 0.1 + 0.4 * rng.uniform(), 0,
+                          1 + static_cast<unsigned>(rng.below(3)));
+      gname = "churn-nest";
       break;
     case 5:
       c.trace = gen_mt_producer_consumer(

@@ -9,6 +9,9 @@
 //   depprof plugins
 //   depprof run <workload> [options]
 //   depprof replay <trace-file> [options]
+//   depprof report <workload> [options]   loop-parallelism verdicts over the
+//                        run's loop-nest tree (DOALL-safe / reduction-suspect
+//                        / serial), text by default
 //
 // Options:
 //   --storage signature|perfect|shadow|hashtable   (default signature)
@@ -33,7 +36,13 @@
 //   --mt-threads N       run the pthread variant with N target threads
 //   --scale N            workload scale factor            (default 1)
 //   --format text|csv|dot                                (default text)
-//   --distances          annotate carried iteration distances (text format)
+//   --distances          annotate per-level carried-distance buckets
+//                        (text format): each level prints d0|d1|d2p — the
+//                        iteration-local, distance-1, and distance>=2-or-
+//                        unknown instance counts at that nest level
+//   --json               (report) emit the report as JSON
+//   --check              (report) score verdicts against the workload's
+//                        OpenMP ground truth; exit 1 on any mismatch
 //   --plugin NAME        run an analysis plugin (repeatable; 'all' = every)
 //   --stats              print run statistics and the per-stage pipeline
 //                        counters (produce/route/detect/merge); rendered as
@@ -45,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/report.hpp"
 #include "core/formatter.hpp"
 #include "framework/plugin.hpp"
 #include "obs/report.hpp"
@@ -60,7 +70,8 @@ namespace {
 
 int usage() {
   std::fputs(
-      "usage: depprof <list|plugins|run <workload>|replay <trace>> [options]\n"
+      "usage: depprof <list|plugins|run <workload>|replay <trace>|"
+      "report <workload>> [options]\n"
       "see the header of tools/depprof_cli.cpp or README.md for options\n",
       stderr);
   return 2;
@@ -75,6 +86,8 @@ struct CliOptions {
   bool distances = false;
   std::vector<std::string> plugins;
   bool stats = false;
+  bool report_json = false;
+  bool report_check = false;
 };
 
 bool parse(int argc, char** argv, int start, CliOptions& out) {
@@ -153,6 +166,10 @@ bool parse(int argc, char** argv, int start, CliOptions& out) {
       out.plugins.emplace_back(v);
     } else if (arg == "--stats") {
       out.stats = true;
+    } else if (arg == "--json") {
+      out.report_json = true;
+    } else if (arg == "--check") {
+      out.report_check = true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -209,12 +226,10 @@ void emit(const ProgramModel& model, const CliOptions& opts) {
   }
 }
 
-int cmd_run(const char* name, const CliOptions& opts) {
-  const Workload* w = find_workload(name);
-  if (w == nullptr) {
-    std::fprintf(stderr, "unknown workload '%s' (try `depprof list`)\n", name);
-    return 1;
-  }
+/// Profiles `w` under `opts` and builds the run's program model.  Returns
+/// false when the configuration is unsupported.
+bool profile_workload(const Workload& w, const CliOptions& opts,
+                      ProgramModel& out) {
   ProfilerConfig cfg = opts.cfg;
   if (opts.mt_threads > 0) cfg.mt_targets = true;
 
@@ -223,16 +238,60 @@ int cmd_run(const char* name, const CliOptions& opts) {
                                 : make_serial_profiler(cfg);
   if (!profiler) {
     std::fprintf(stderr, "storage kind not supported by this pipeline\n");
-    return 1;
+    return false;
   }
   Runtime::instance().attach(profiler.get(), cfg.mt_targets, cfg.dedup);
-  if (opts.mt_threads > 0 && w->run_parallel)
-    (void)w->run_parallel(opts.scale, opts.mt_threads);
+  if (opts.mt_threads > 0 && w.run_parallel)
+    (void)w.run_parallel(opts.scale, opts.mt_threads);
   else
-    (void)w->run(opts.scale);
+    (void)w.run(opts.scale);
   Runtime::instance().detach();
+  out = ProgramModel::from_run(*profiler);
+  return true;
+}
 
-  emit(ProgramModel::from_run(*profiler), opts);
+int cmd_run(const char* name, const CliOptions& opts) {
+  const Workload* w = find_workload(name);
+  if (w == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (try `depprof list`)\n", name);
+    return 1;
+  }
+  ProgramModel model;
+  if (!profile_workload(*w, opts, model)) return 1;
+  emit(model, opts);
+  return 0;
+}
+
+int cmd_report(const char* name, const CliOptions& opts) {
+  const Workload* w = find_workload(name);
+  if (w == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (try `depprof list`)\n", name);
+    return 1;
+  }
+  ProgramModel model;
+  if (!profile_workload(*w, opts, model)) return 1;
+
+  LoopAnalysisOptions ao;
+  ao.reduction_lines = model.reduction_lines();
+  const std::vector<LoopVerdict> verdicts =
+      analyze_loops(model.deps(), model.control_flow(), ao);
+  ReportOptions ro;
+  ro.json = opts.report_json;
+  std::fputs(render_loop_report(verdicts, model.control_flow(), ro).c_str(),
+             stdout);
+
+  if (opts.report_check) {
+    std::vector<LoopExpectation> truth;
+    truth.reserve(w->loops.size());
+    for (const LoopTruth& t : w->loops)
+      truth.push_back({t.label, t.parallelizable});
+    const ReportCheck chk = check_verdicts(verdicts, truth);
+    std::printf("check: %u/%u loops match ground truth\n", chk.matched,
+                chk.total);
+    for (const std::string& m : chk.mismatches)
+      std::printf("  mismatch: %s\n", m.c_str());
+    if (!chk.ok()) return 1;
+  }
   return 0;
 }
 
@@ -273,10 +332,12 @@ int main(int argc, char** argv) {
       std::printf("%-18s %s\n", p->name().c_str(), p->description().c_str());
     return 0;
   }
-  if ((cmd == "run" || cmd == "replay") && argc >= 3) {
+  if ((cmd == "run" || cmd == "replay" || cmd == "report") && argc >= 3) {
     CliOptions opts;
     if (!parse(argc, argv, 3, opts)) return usage();
-    return cmd == "run" ? cmd_run(argv[2], opts) : cmd_replay(argv[2], opts);
+    if (cmd == "run") return cmd_run(argv[2], opts);
+    if (cmd == "report") return cmd_report(argv[2], opts);
+    return cmd_replay(argv[2], opts);
   }
   return usage();
 }
