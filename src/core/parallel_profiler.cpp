@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -42,6 +43,7 @@
 #include "core/profiler.hpp"
 #include "core/store_factory.hpp"
 #include "queue/wait_strategy.hpp"
+#include "sched/sched.hpp"
 
 namespace depprof {
 namespace {
@@ -49,6 +51,19 @@ namespace {
 /// Thread ids below this get a lock-free producer slot; higher ids go
 /// through the mutex-guarded registry (producer_for).
 constexpr std::size_t kMaxFastProducers = 256;
+
+/// Chunk-pool population plan.  Auto sizing covers the pipeline's maximum
+/// in-flight census — per worker: a full queue (capacity rounds up to a
+/// power of two) + one chunk being processed + one staged in the producer —
+/// plus slack for the stop sentinels and a migration pair in flight.  With
+/// that population a sealed acquire can always be satisfied by a future
+/// release, so blocking instead of allocating cannot deadlock.
+std::size_t planned_pool_chunks(const ProfilerConfig& cfg, unsigned workers) {
+  if (cfg.pool_chunks != 0) return cfg.pool_chunks;
+  const std::size_t qcap =
+      SpscQueue<Chunk*>::round_up_pow2(cfg.queue_capacity);
+  return workers * (qcap + 2) + 8;
+}
 
 /// One-shot handoff cell for migrating an address's signature state from its
 /// old owner to its new owner (Sec. IV-A: "If an address is moved to another
@@ -78,10 +93,25 @@ class ParallelProfiler final : public IProfiler {
         obs_(cfg.workers ? cfg.workers : 1),
         router_(cfg, obs_.workers(), obs_.route()),
         merge_(obs_.merge()),
+        // The whole chunk population is allocated here, before the target
+        // starts running; sequential targets seal the pool so the steady
+        // state never allocates (see ChunkPool).  MT targets have an
+        // unbounded producer count, so their pool may still grow.
+        pool_(std::max<std::size_t>(
+                  256, planned_pool_chunks(cfg, obs_.workers())),
+              planned_pool_chunks(cfg, obs_.workers()),
+              /*sealed=*/!cfg.mt_targets, cfg.wait),
         gates_(std::make_unique<QueueGates[]>(obs_.workers())),
         mailboxes_(kMailboxCount),
         mailbox_free_(kMailboxCount) {
     const unsigned w = obs_.workers();
+    // Under a schedule-exploration session, publish the thread census first
+    // so no grant is made before every pipeline thread has attached — the
+    // first scheduling decisions must not depend on spawn timing.  The
+    // constructing thread attaches LAST (below), after the workers are
+    // spawned: an attached thread parks at its next schedule point until
+    // the census is met, and this thread is the one doing the spawning.
+    sched::expect_threads(static_cast<std::size_t>(w) + 1);
     // Multiple producers (MT targets) need multi-producer queues regardless
     // of the configured kind; the mutex queue supports both multiplicities.
     QueueKind qk = cfg_.queue;
@@ -99,6 +129,9 @@ class ParallelProfiler final : public IProfiler {
     threads_.reserve(w);
     for (unsigned i = 0; i < w; ++i)
       threads_.emplace_back([this, i] { worker_main(i); });
+    // The constructing thread is the pipeline's producer: it joins the
+    // schedule as "main" and is serialized from its first hand-off on.
+    sched::attach("main");
   }
 
   ~ParallelProfiler() override {
@@ -169,6 +202,9 @@ class ParallelProfiler final : public IProfiler {
     }
     join_workers();
     for (auto& d : detectors_) merge_.fold(global_, d->deps());
+    // A sealed pool that had to wait for recycled chunks was a producer
+    // stall: fold it into the produce-stage backpressure counter.
+    obs_.produce().add_stalls(pool_.acquire_stalls());
     finished_ = true;
   }
 
@@ -343,6 +379,10 @@ class ParallelProfiler final : public IProfiler {
   void enqueue(unsigned w, Chunk* c) {
     obs::StageStats& prod = obs_.produce();
     if (c->kind == Chunk::Kind::kData) prod.add_bytes_on_wire(c->wire_bytes());
+    // Commit ownership to worker w's queue BEFORE the push publishes the
+    // chunk — the worker may pop it the instant try_push succeeds.
+    chunk_handoff(*c, Chunk::kOwnerProducer, Chunk::kOwnerQueued | w,
+                  "queue.push");
     if (!queues_[w]->try_push(c)) {
       prod.add_stalls(1);
       const std::uint64_t t0 = WallTimer::now();
@@ -399,6 +439,9 @@ class ParallelProfiler final : public IProfiler {
   // --- worker side ------------------------------------------------------
 
   void worker_main(unsigned w) {
+    char sched_name[16];
+    std::snprintf(sched_name, sizeof(sched_name), "w%u", w);
+    sched::ThreadGuard sched_guard(sched_name);
     DetectStage<Store>& me = *detectors_[w];
     obs::StageStats& stats = obs_.detect(w);
     ConcurrentQueue<Chunk*>& queue = *queues_[w];
@@ -420,6 +463,11 @@ class ParallelProfiler final : public IProfiler {
       }
       // A producer blocked on this full queue can take the freed cell.
       stats.add_wakes(gate.not_full.notify_all());
+      // A popped chunk must have been queued to *this* worker: a wrong-
+      // worker delivery or double pop fires the invariant counter here,
+      // before its contents can pollute the local signatures.
+      chunk_handoff(*c, Chunk::kOwnerQueued | w, Chunk::kOwnerWorker | w,
+                    "queue.pop");
       switch (c->kind) {
         case Chunk::Kind::kData:
           if (c->packed)
@@ -440,6 +488,7 @@ class ParallelProfiler final : public IProfiler {
           box.has_write = st.has_write;
           box.read_slot = st.read_slot;
           box.write_slot = st.write_slot;
+          sched::point("mailbox.publish");
           box.ready.store(1, std::memory_order_release);
           // Wake the adopting worker (and anyone waiting for a mailbox).
           stats.add_wakes(mailbox_ec_.notify_all());
@@ -450,6 +499,7 @@ class ParallelProfiler final : public IProfiler {
         }
         case Chunk::Kind::kAdopt: {
           Mailbox<Slot>& box = mailboxes_[c->payload];
+          sched::point("mailbox.adopt");
           if (box.ready.load(std::memory_order_acquire) == 0) {
             // Handoff not published yet: blocked on a peer stage, so the
             // time is backpressure (block_ns), not input starvation.
@@ -511,6 +561,10 @@ class ParallelProfiler final : public IProfiler {
   }
 
   void join_workers() {
+    // pthread_join is a blocking region the schedule controller cannot see
+    // through: leave the schedule so the draining workers are not waiting
+    // for a grant that depends on this (blocked) thread reaching a point.
+    sched::DetachScope leave_schedule;
     for (auto& t : threads_)
       if (t.joinable()) t.join();
   }

@@ -55,6 +55,7 @@ class ProduceStage {
   template <typename Push>
   void add_run(unsigned w, const AccessEvent* events, std::size_t n,
                std::size_t fill, Push&& push) {
+    sched::point("produce.stage");
     Chunk*& pending = pending_[w];
     while (n > 0) {
       if (pending == nullptr) pending = pool_->acquire();
@@ -82,6 +83,7 @@ class ProduceStage {
       add_run(w, events, n, fill, std::forward<Push>(push));
       return;
     }
+    sched::point("produce.stage");
     Chunk*& pending = pending_[w];
     for (std::size_t i = 0; i < n; ++i) {
       std::size_t rep = reps[i];
@@ -111,6 +113,7 @@ class ProduceStage {
   void add_run_packed(unsigned w, const AccessEvent* events,
                       const std::uint32_t* reps, std::size_t n,
                       std::size_t fill, obs::StageStats& stats, Push&& push) {
+    sched::point("produce.stage");
     Chunk*& pending = pending_[w];
     WireEncoder& enc = encoders_[w];
     const std::size_t budget =

@@ -91,6 +91,15 @@ struct ProfilerConfig {
   /// 64-byte AccessEvents, and are decoded back before detection.  The
   /// dependence maps are byte-identical either way.
   bool pack = true;
+  /// Chunks preallocated by the pipeline's pool before the target starts
+  /// running (0 = auto: enough for full queues + in-flight + migration).
+  /// For sequential targets the pool is *sealed* to this population — an
+  /// empty free list blocks for a recycled chunk instead of allocating, so
+  /// steady-state profiling never touches the heap the target is mutating
+  /// (the root cause of the unpacked cross-attribution flake; see
+  /// core/chunk.hpp).  MT targets keep a growable pool, seeded to the same
+  /// size.
+  std::size_t pool_chunks = 0;
 };
 
 /// Post-run statistics.  Both profilers fill every field the same way: the

@@ -1,10 +1,16 @@
 #include "harness/runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "common/mem_stats.hpp"
 #include "common/timer.hpp"
 #include "instrument/runtime.hpp"
+#include "sched/sched.hpp"
 
 namespace depprof {
 
@@ -29,6 +35,46 @@ std::unique_ptr<IProfiler> make_profiler(const ProfilerConfig& cfg,
 }
 
 }  // namespace
+
+SchedEnvSession::SchedEnvSession(bool enabled) {
+  const char* on = std::getenv("DEPPROF_SCHED");
+  if (!enabled || on == nullptr || std::string(on) == "0") return;
+  sched::Options opts;
+  if (const char* seed = std::getenv("DEPPROF_SCHED_SEED"))
+    opts.seed = std::strtoull(seed, nullptr, 10);
+  if (const char* algo = std::getenv("DEPPROF_SCHED_ALGO"))
+    if (!sched::parse_algo(algo, opts.algo))
+      std::fprintf(stderr, "sched: unknown DEPPROF_SCHED_ALGO '%s'\n", algo);
+  if (const char* path = std::getenv("DEPPROF_SCHED_REPLAY")) {
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    if (!in || !sched::ScheduleTrace::parse(opts.replay, text.str(), &error))
+      std::fprintf(stderr, "sched: cannot replay %s: %s\n", path,
+                   in ? error.c_str() : "unreadable");
+  }
+  sched::begin(opts);
+  active_ = true;
+}
+
+SchedEnvSession::~SchedEnvSession() {
+  if (!active_) return;
+  const sched::Result r = sched::end();
+  if (const char* path = std::getenv("DEPPROF_SCHED_RECORD")) {
+    std::ofstream out(path);
+    out << r.recorded.format();
+    if (!out)
+      std::fprintf(stderr, "sched: cannot write schedule to %s\n", path);
+  }
+  std::fprintf(stderr,
+               "sched: steps=%llu divergences=%llu free_ran=%d "
+               "violations=%llu\n",
+               static_cast<unsigned long long>(r.steps),
+               static_cast<unsigned long long>(r.divergences),
+               r.free_ran ? 1 : 0,
+               static_cast<unsigned long long>(sched::violation_count()));
+}
 
 double measure_native(const Workload& w, const RunOptions& opts) {
   // Warm-up run populates caches and the allocator.
@@ -73,11 +119,17 @@ RunMeasurement profile_workload(const Workload& w, const ProfilerConfig& config,
     m.native_sec = t.elapsed() / std::max(1, opts.native_reps);
   }
 
-  // Profiled run.
+  // Profiled run (optionally under the deterministic schedule controller —
+  // the session spans construction through finish so every pipeline thread
+  // is scheduled from its first hand-off).
   ProfilerConfig cfg = config;
   if (opts.target_threads > 0) cfg.mt_targets = true;
   MemStats::instance().reset();
   Runtime::instance().reset();
+  // MT targets are excluded: the main thread blocks joining target threads
+  // mid-run, which the controller would (correctly) flag as a stall.
+  SchedEnvSession sched_session(opts.parallel_pipeline &&
+                                opts.target_threads == 0);
   auto profiler = make_profiler(cfg, opts);
   Runtime::instance().attach(profiler.get(), cfg.mt_targets);
   ThreadCpuTimer producer_cpu;

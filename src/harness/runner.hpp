@@ -66,6 +66,25 @@ struct RunOptions {
 RunMeasurement profile_workload(const Workload& w, const ProfilerConfig& config,
                                 const RunOptions& opts = {});
 
+/// Environment-activated deterministic-schedule session (ISSUE 7).  When
+/// constructed with `enabled` true and DEPPROF_SCHED=1 in the environment,
+/// the scope runs under the schedule controller: DEPPROF_SCHED_SEED /
+/// DEPPROF_SCHED_ALGO pick the exploration, DEPPROF_SCHED_REPLAY replays a
+/// recorded schedule, DEPPROF_SCHED_RECORD writes the schedule taken, and a
+/// one-line summary (steps/divergences/violations) goes to stderr at scope
+/// exit.  Construct it BEFORE the parallel profiler: workers attach to the
+/// controller as they spawn.
+class SchedEnvSession {
+ public:
+  explicit SchedEnvSession(bool enabled);
+  ~SchedEnvSession();
+  SchedEnvSession(const SchedEnvSession&) = delete;
+  SchedEnvSession& operator=(const SchedEnvSession&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
 /// Runs only the native side (used when one native baseline serves many
 /// profiler configurations).
 double measure_native(const Workload& w, const RunOptions& opts = {});

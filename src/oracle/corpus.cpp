@@ -27,6 +27,9 @@ namespace {
 constexpr std::string_view kVersionLineV1 = "depfuzz-repro v1";
 constexpr std::string_view kVersionLineV2 = "depfuzz-repro v2";
 constexpr std::string_view kVersionLineV3 = "depfuzz-repro v3";
+// v4 adds the deterministic-schedule section (`sched` + `sstep` lines);
+// v1-v3 files parse with the section absent.
+constexpr std::string_view kVersionLineV4 = "depfuzz-repro v4";
 
 /// File-scoped nest state threaded through event parsing.
 struct NestParseState {
@@ -196,6 +199,29 @@ bool parse_lb_line(const std::vector<std::string_view>& toks,
 
 /// v3 `nest id=N parent=P loop=L` directive: interns one dynamic entry.
 /// Parents must be declared (or 0) before their children.
+/// v4 `sched seed=N algo=<name>` directive.
+bool parse_sched_line(const std::vector<std::string_view>& toks,
+                      ReproCase& repro, std::string& bad_key) {
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    std::string_view key, value;
+    if (!split_kv(toks[i], key, value)) {
+      bad_key = std::string(toks[i]);
+      return false;
+    }
+    bool ok;
+    if (key == "seed") ok = parse_u64(value, repro.sched_seed);
+    else if (key == "algo")
+      ok = sched::parse_algo(std::string(value).c_str(), repro.sched_algo);
+    else ok = false;
+    if (!ok) {
+      bad_key = std::string(toks[i]);
+      return false;
+    }
+  }
+  repro.sched = true;
+  return true;
+}
+
 bool parse_nest_line(const std::vector<std::string_view>& toks,
                      NestParseState& nest, std::string& bad_key) {
   std::uint64_t id = 0, parent = 0, loop = 0;
@@ -319,7 +345,7 @@ bool parse_event_line(const std::vector<std::string_view>& toks,
 
 std::string format_repro(const ReproCase& repro) {
   std::ostringstream os;
-  os << kVersionLineV3 << '\n';
+  os << (repro.sched ? kVersionLineV4 : kVersionLineV3) << '\n';
   if (!repro.note.empty()) os << "note " << repro.note << '\n';
   const ProfilerConfig& c = repro.cfg;
   os << "config storage=" << storage_kind_name(c.storage)
@@ -338,6 +364,12 @@ std::string format_repro(const ReproCase& repro) {
      << " interval=" << lb.eval_interval_chunks
      << " threshold=" << lb.imbalance_threshold << " top_k=" << lb.top_k
      << " max_rounds=" << lb.max_rounds << '\n';
+  if (repro.sched) {
+    os << "sched seed=" << repro.sched_seed
+       << " algo=" << sched::algo_name(repro.sched_algo) << '\n';
+    for (const sched::ScheduleStep& s : repro.schedule.steps)
+      os << "sstep " << s.thread << ' ' << s.site << '\n';
+  }
   // Nest table: every forest node reachable from an event context, written
   // ancestors-first (forest ids grow child-after-parent, so ascending
   // forest-id order is a valid declaration order) with dense file-local
@@ -401,12 +433,13 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
         version = 2;
       } else if (line == kVersionLineV3) {
         version = 3;
+      } else if (line == kVersionLineV4) {
+        version = 4;
       } else {
         return set_error(error, line_no,
                          "expected version line '" +
-                             std::string(kVersionLineV1) + "', '" +
-                             std::string(kVersionLineV2) + "' or '" +
-                             std::string(kVersionLineV3) + "'");
+                             std::string(kVersionLineV1) + "' .. '" +
+                             std::string(kVersionLineV4) + "'");
       }
       continue;
     }
@@ -430,6 +463,20 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
     } else if (toks[0] == "lb") {
       if (!parse_lb_line(toks, repro.cfg.load_balance, bad))
         return set_error(error, line_no, "bad lb token '" + bad + "'");
+    } else if (toks[0] == "sched") {
+      if (version < 4)
+        return set_error(error, line_no, "sched directive requires v4");
+      if (!parse_sched_line(toks, repro, bad))
+        return set_error(error, line_no, "bad sched token '" + bad + "'");
+    } else if (toks[0] == "sstep") {
+      if (version < 4)
+        return set_error(error, line_no, "sstep directive requires v4");
+      if (!repro.sched)
+        return set_error(error, line_no, "sstep before sched directive");
+      if (toks.size() != 3)
+        return set_error(error, line_no, "sstep wants '<thread> <site>'");
+      repro.schedule.steps.push_back(
+          {std::string(toks[1]), std::string(toks[2])});
     } else if (toks[0] == "nest") {
       if (version < 3)
         return set_error(error, line_no, "nest directive requires v3");

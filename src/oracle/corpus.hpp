@@ -6,7 +6,7 @@
 // tests/corpus/ is replayed by the corpus regression test on each CI run,
 // turning yesterday's fuzz finding into tomorrow's regression gate.
 //
-//   depfuzz-repro v3
+//   depfuzz-repro v4
 //   # free-form provenance comment
 //   note <one-line description>
 //   config storage=perfect slots=1048576 sighash=modulo mt=0 workers=4
@@ -14,6 +14,9 @@
 //          ... batch=1 dedup=1 pack=1
 //   lb enabled=1 sample_shift=0 interval=200 threshold=1.25 top_k=10
 //          ... max_rounds=64
+//   sched seed=7 algo=pct
+//   sstep w0 queue.pop
+//   sstep main produce.stage
 //   nest id=1 parent=0 loop=16777276
 //   nest id=2 parent=1 loop=16777280
 //   ev W addr=0x2000 loc=16777226 var=0 tid=0 ts=0 flags=0
@@ -24,18 +27,27 @@
 // hard parse errors — the corpus lint relies on strictness, so a typo in a
 // committed repro fails CI instead of silently replaying something else.
 //
-// Versioning: v3 (current) carries the loop-nest context as interned
-// `nest` directives (file-local ids, parents declared before children)
-// referenced by each event's ctx= key, plus the root-anchored iteration
-// window iters=; parsing re-interns the table into the process nest
-// forest.  v2 files, whose events carried three fixed innermost-first
+// Versioning: v4 (current) adds the deterministic-schedule section for
+// interleaving-dependent findings: a `sched` directive (exploration seed
+// and algorithm) plus zero or more `sstep <thread> <site>` lines — the
+// recorded schedule the failing run took, replayed verbatim by the
+// controller (src/sched/) when the repro is re-run.  The worker count and
+// queue kind a schedule is only meaningful against were already on the
+// config line (workers=, queue=).  v3 carries the loop-nest context as
+// interned `nest` directives (file-local ids, parents declared before
+// children) referenced by each event's ctx= key, plus the root-anchored
+// iteration window iters=; parsing re-interns the table into the process
+// nest forest.  v2 files, whose events carried three fixed innermost-first
 // (loop, entry, iter) triples under loops=, still parse: the triples are
 // re-interned into an equivalent nest chain keyed by (parent, loop,
-// entry).  v2 also introduced — and v3 keeps — the hard-required front-end
-// reduction keys dedup= and pack= on the config line, so a repro can never
-// silently replay under whichever defaults happen to be current.  v1 files
-// (which predate those axes) still parse, with both axes off — the
-// semantics they were recorded under.  format_repro always writes v3.
+// entry).  v2 also introduced — and every later version keeps — the
+// hard-required front-end reduction keys dedup= and pack= on the config
+// line, so a repro can never silently replay under whichever defaults
+// happen to be current.  v1 files (which predate those axes) still parse,
+// with both axes off — the semantics they were recorded under.  v1–v3
+// files parse with the schedule section absent (sched disabled).
+// format_repro writes v4 when the case carries a schedule, v3 otherwise,
+// so schedule-free corpus files keep diffing cleanly against history.
 //
 // MT repros must be order-faithful under single-threaded replay: every
 // mixed-tid event stream needs the lock-region flag (bit 0) set, as the
@@ -46,6 +58,7 @@
 #include <string_view>
 
 #include "core/profiler.hpp"
+#include "sched/sched.hpp"
 #include "trace/trace.hpp"
 
 namespace depprof {
@@ -55,9 +68,18 @@ struct ReproCase {
   std::string note;  ///< one-line provenance ("" allowed)
   ProfilerConfig cfg;
   Trace trace;
+  /// Deterministic-schedule section (v4).  When sched is true the case is
+  /// replayed under the schedule controller: `schedule` non-empty replays
+  /// that exact interleaving, empty re-explores from (sched_seed,
+  /// sched_algo).  v1–v3 files parse with sched == false.
+  bool sched = false;
+  std::uint64_t sched_seed = 1;
+  sched::Algo sched_algo = sched::Algo::kRandomWalk;
+  sched::ScheduleTrace schedule;
 };
 
-/// Renders `repro` in the v1 text format.
+/// Renders `repro` in the current text format (v4 when it carries a
+/// schedule section, v3 otherwise).
 std::string format_repro(const ReproCase& repro);
 
 /// Strict parser: returns false and sets `error` (when non-null) on any

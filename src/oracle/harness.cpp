@@ -78,7 +78,8 @@ DivergenceBudget divergence_budget(const ProfilerConfig& cfg,
   return b;
 }
 
-CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg) {
+CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg,
+                     const SchedSpec* sched_spec) {
   CaseOutcome out;
   out.expectation = classify_expectation(cfg, trace);
 
@@ -90,16 +91,15 @@ CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg) {
     out.detail += what;
   };
 
-  auto serial = make_serial_profiler(cfg);
-  auto parallel = make_parallel_profiler(cfg);
+  // The dedup front end is checked (and applied) once for both profilers.
+  RleStream rle;
   if (cfg.dedup) {
     // Map-preservation contract of the front-end dedup (instrument/dedup.hpp):
     // expanding the RLE stream must reproduce the oracle's map exactly, for
     // every configuration — this is stronger than the exact/bounded split
     // below and is checked against the oracle itself, so a dedup defect is
     // attributed to dedup rather than to whichever store runs under it.
-    const RleStream rle =
-        dedup_stream(trace.events.data(), trace.events.size());
+    rle = dedup_stream(trace.events.data(), trace.events.size());
     Trace expanded;
     expanded.events = expand_rle(rle);
     const DepMap oracle_rle = oracle_dependences(expanded, cfg.mt_targets);
@@ -107,36 +107,70 @@ CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg) {
     if (!dedup_diff.identical())
       fail("dedup is not map-preserving:\n" +
            format_diff(dedup_diff, "oracle(raw)", "oracle(dedup-expanded)"));
-    replay_rle(rle, *serial);
-    replay_rle(rle, *parallel);
-  } else {
-    replay(trace, *serial);
-    replay(trace, *parallel);
   }
 
-  const DepDiff serial_diff = diff_deps(oracle, serial->dependences());
-  const DepDiff parallel_diff = diff_deps(oracle, parallel->dependences());
+  auto serial = make_serial_profiler(cfg);
+  if (cfg.dedup)
+    replay_rle(rle, *serial);
+  else
+    replay(trace, *serial);
 
-  if (out.expectation == Expectation::kExact) {
-    if (!serial_diff.identical())
-      fail(format_diff(serial_diff, "oracle", "serial"));
-    if (!parallel_diff.identical())
-      fail(format_diff(parallel_diff, "oracle", "parallel"));
-  } else {
-    const DivergenceBudget budget =
-        divergence_budget(cfg, trace, oracle.size());
-    auto check_bounded = [&](const DepDiff& d, const char* name) {
-      if (d.divergent_keys() <= budget.max_divergent_keys) return;
-      char head[160];
+  // Parallel run, optionally under the deterministic schedule controller.
+  // The session spans construction through finish(): workers attach as they
+  // spawn.  The hand-off invariant counter is diffed across the run either
+  // way — a violation is a pipeline bug regardless of schedule mode.
+  const std::uint64_t violations_before = sched::violation_count();
+  if (sched_spec != nullptr) {
+    sched::Options opts;
+    opts.seed = sched_spec->seed;
+    opts.algo = sched_spec->algo;
+    opts.replay = sched_spec->replay;
+    sched::begin(opts);
+  }
+  {
+    auto parallel = make_parallel_profiler(cfg);
+    if (cfg.dedup)
+      replay_rle(rle, *parallel);
+    else
+      replay(trace, *parallel);
+    if (sched_spec != nullptr) {
+      sched::Result r = sched::end();
+      out.schedule = std::move(r.recorded);
+      out.sched_divergences = r.divergences;
+    }
+    out.violations = sched::violation_count() - violations_before;
+    if (out.violations > 0) {
+      char head[96];
       std::snprintf(head, sizeof(head),
-                    "%s exceeds the formula-2 divergence budget: %zu "
-                    "divergent keys > %zu allowed (P_fp=%.4f)\n",
-                    name, d.divergent_keys(), budget.max_divergent_keys,
-                    budget.fpr);
-      fail(head + format_diff(d, "oracle", name));
-    };
-    check_bounded(serial_diff, "serial");
-    check_bounded(parallel_diff, "parallel");
+                    "%llu chunk hand-off invariant violation(s)",
+                    static_cast<unsigned long long>(out.violations));
+      fail(head);
+    }
+
+    const DepDiff serial_diff = diff_deps(oracle, serial->dependences());
+    const DepDiff parallel_diff = diff_deps(oracle, parallel->dependences());
+
+    if (out.expectation == Expectation::kExact) {
+      if (!serial_diff.identical())
+        fail(format_diff(serial_diff, "oracle", "serial"));
+      if (!parallel_diff.identical())
+        fail(format_diff(parallel_diff, "oracle", "parallel"));
+    } else {
+      const DivergenceBudget budget =
+          divergence_budget(cfg, trace, oracle.size());
+      auto check_bounded = [&](const DepDiff& d, const char* name) {
+        if (d.divergent_keys() <= budget.max_divergent_keys) return;
+        char head[160];
+        std::snprintf(head, sizeof(head),
+                      "%s exceeds the formula-2 divergence budget: %zu "
+                      "divergent keys > %zu allowed (P_fp=%.4f)\n",
+                      name, d.divergent_keys(), budget.max_divergent_keys,
+                      budget.fpr);
+        fail(head + format_diff(d, "oracle", name));
+      };
+      check_bounded(serial_diff, "serial");
+      check_bounded(parallel_diff, "parallel");
+    }
   }
   return out;
 }

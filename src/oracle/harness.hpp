@@ -32,6 +32,7 @@
 #include <string>
 
 #include "core/profiler.hpp"
+#include "sched/sched.hpp"
 #include "trace/trace.hpp"
 
 namespace depprof {
@@ -66,16 +67,37 @@ DivergenceBudget divergence_budget(const ProfilerConfig& cfg,
                                    const Trace& trace,
                                    std::size_t oracle_keys);
 
+/// Deterministic-schedule directive for a case (ISSUE 7): run the parallel
+/// profiler under the schedule controller, either exploring from `seed`
+/// with `algo` or replaying a recorded schedule.
+struct SchedSpec {
+  std::uint64_t seed = 1;
+  sched::Algo algo = sched::Algo::kRandomWalk;
+  /// Non-empty: replay this schedule instead of exploring.
+  sched::ScheduleTrace replay;
+};
+
 /// Verdict for one (trace, config) case.
 struct CaseOutcome {
   bool ok = true;
   Expectation expectation = Expectation::kExact;
   std::string detail;  ///< failure report ("" when ok)
+  /// Hand-off invariant violations observed during the case (always
+  /// checked; any violation fails the case).
+  std::uint64_t violations = 0;
+  /// Schedule the parallel run took (recorded under a SchedSpec session;
+  /// empty otherwise) — what a failing case commits as its repro.
+  sched::ScheduleTrace schedule;
+  std::uint64_t sched_divergences = 0;
 };
 
 /// Runs oracle + serial + parallel over `trace` under `cfg` and checks the
 /// contract above.  The parallel run uses cfg as-is (workers, queue, wait,
 /// chunking, load balancer); the serial run shares the storage half of cfg.
-CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg);
+/// With a SchedSpec the parallel run executes under the deterministic
+/// schedule controller; the ownership/epoch invariant is checked either
+/// way.
+CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg,
+                     const SchedSpec* sched = nullptr);
 
 }  // namespace depprof

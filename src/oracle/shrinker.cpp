@@ -146,4 +146,44 @@ ProfilerConfig shrink_config(const Trace& trace, ProfilerConfig cfg,
   return cfg;
 }
 
+sched::ScheduleTrace shrink_schedule(const Trace& trace,
+                                     const ProfilerConfig& cfg,
+                                     sched::ScheduleTrace schedule,
+                                     const SchedFailurePredicate& still_fails,
+                                     ShrinkStats* stats, bool* dropped) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  st.initial_events = schedule.steps.size();
+  if (dropped != nullptr) *dropped = false;
+
+  // Rung 1: no controller at all.  A failure that reproduces free-running
+  // is not schedule-dependent; the repro then needs no sched section.
+  ++st.evaluations;
+  if (still_fails(trace, cfg, nullptr)) {
+    if (dropped != nullptr) *dropped = true;
+    st.final_events = 0;
+    return sched::ScheduleTrace{};
+  }
+
+  // Rung 2: truncate from the back with geometric back-off.  Replay runs
+  // free after the last recorded step, so every prefix is a valid schedule
+  // — the shortest failing prefix localizes the decisive hand-off.
+  std::size_t cut = schedule.steps.size() / 2;
+  while (cut >= 1) {
+    sched::ScheduleTrace candidate;
+    candidate.steps.assign(schedule.steps.begin(),
+                           schedule.steps.end() -
+                               static_cast<std::ptrdiff_t>(cut));
+    ++st.evaluations;
+    if (still_fails(trace, cfg, &candidate)) {
+      schedule.steps = std::move(candidate.steps);
+      cut = std::min(cut, schedule.steps.size() / 2);
+    } else {
+      cut /= 2;
+    }
+  }
+  st.final_events = schedule.steps.size();
+  return schedule;
+}
+
 }  // namespace depprof

@@ -18,6 +18,7 @@
 #include "common/mem_stats.hpp"
 #include "queue/concurrent_queue.hpp"
 #include "queue/spsc_queue.hpp"
+#include "sched/sched.hpp"
 
 namespace depprof {
 
@@ -34,6 +35,7 @@ class MpmcQueue final : public ConcurrentQueue<T> {
   }
 
   bool try_push(const T& value) override {
+    sched::point("mpmc.push");
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];
@@ -55,6 +57,7 @@ class MpmcQueue final : public ConcurrentQueue<T> {
   }
 
   bool try_pop(T& out) override {
+    sched::point("mpmc.pop");
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];

@@ -11,6 +11,7 @@
 #include "common/mem_stats.hpp"
 #include "queue/concurrent_queue.hpp"
 #include "queue/spsc_queue.hpp"
+#include "sched/sched.hpp"
 
 namespace depprof {
 
@@ -24,6 +25,7 @@ class MutexQueue final : public ConcurrentQueue<T> {
                 static_cast<std::int64_t>(sizeof(T) * (mask_ + 1))) {}
 
   bool try_push(const T& value) override {
+    sched::point("mutex.push");
     std::lock_guard lock(mu_);
     if (head_ - tail_ > mask_) return false;
     buf_[head_ & mask_] = value;
@@ -32,6 +34,7 @@ class MutexQueue final : public ConcurrentQueue<T> {
   }
 
   bool try_pop(T& out) override {
+    sched::point("mutex.pop");
     std::lock_guard lock(mu_);
     if (head_ == tail_) return false;
     out = buf_[tail_ & mask_];

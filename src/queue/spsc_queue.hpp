@@ -13,6 +13,7 @@
 
 #include "common/mem_stats.hpp"
 #include "queue/concurrent_queue.hpp"
+#include "sched/sched.hpp"
 
 namespace depprof {
 
@@ -26,6 +27,7 @@ class SpscQueue final : public ConcurrentQueue<T> {
                 static_cast<std::int64_t>(sizeof(T) * (mask_ + 1))) {}
 
   bool try_push(const T& value) override {
+    sched::point("spsc.push");
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (head - tail_cache_ > mask_) {
       tail_cache_ = tail_.load(std::memory_order_acquire);
@@ -37,6 +39,7 @@ class SpscQueue final : public ConcurrentQueue<T> {
   }
 
   bool try_pop(T& out) override {
+    sched::point("spsc.pop");
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == head_cache_) {
       head_cache_ = head_.load(std::memory_order_acquire);

@@ -30,6 +30,8 @@
 #include <string_view>
 #include <thread>
 
+#include "sched/sched.hpp"
+
 namespace depprof {
 
 /// How a pipeline thread waits when it cannot make progress.
@@ -146,6 +148,14 @@ WaitCounters wait_until(WaitKind kind, EventCount& ec, Poll&& poll) {
   constexpr int kSpinIters = 256;
   constexpr int kYieldIters = 16;
   WaitCounters out;
+  if (sched::active()) {
+    // Under deterministic scheduling the wait IS a schedule point: spinning
+    // while serialized would livelock (the peer that makes poll() true can
+    // never be granted a turn), and parking would stall the controller.
+    // Each failed poll yields one step to the controller instead.
+    while (!poll()) sched::point("wait.poll");
+    return out;
+  }
   for (;;) {
     for (int i = 0; i < kSpinIters; ++i) {
       if (poll()) return out;

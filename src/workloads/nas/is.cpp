@@ -10,6 +10,9 @@
 //   verify    — parallel
 
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -53,6 +56,22 @@ WorkloadResult run_is(int scale) {
   DP_LOOP_END();
 
   std::vector<std::uint32_t> cursor = start;
+  // Layout diagnostic (env-gated, off in normal runs): the word-distance
+  // between the mid-run `cursor` allocation and `sorted` is the observable
+  // behind the PR 7 cross-attribution flake — when `cursor` lands within
+  // `sorted`'s span modulo the signature slot count, the modulo signature
+  // aliases the two arrays and cross-attributes their dependences.  Kept so
+  // schedule-sweep findings on this workload can be triaged to a layout
+  // cause without rebuilding (see DESIGN.md, deterministic schedule
+  // exploration).
+  if (std::getenv("DEPPROF_LAYOUT_DIAG") != nullptr) {
+    const long delta_words =
+        (reinterpret_cast<const char*>(cursor.data()) -
+         reinterpret_cast<const char*>(sorted.data())) /
+        4;
+    std::fprintf(stderr, "layout-diag: is cursor-sorted delta_words=%ld\n",
+                 delta_words);
+  }
   DP_LOOP_BEGIN();
   for (std::size_t i = 0; i < n; ++i) {
     DP_LOOP_ITER();

@@ -9,6 +9,10 @@
 
 #include <tuple>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include "core/formatter.hpp"
 #include "core/profiler.hpp"
 #include "harness/accuracy.hpp"
@@ -166,6 +170,48 @@ INSTANTIATE_TEST_SUITE_P(
                       EquivCase{QueueKind::kMutex, 4, 512, false},
                       EquivCase{QueueKind::kMutex, 8, 32, true},
                       EquivCase{QueueKind::kLockFreeSpsc, 4, 512, true}));
+
+// Oversubscription axis (ISSUE 7): eight workers plus the producer pinned
+// to at most two CPUs, so the kernel preempts pipeline threads mid-hand-off
+// constantly — the regime where the unpacked cross-attribution flake lived.
+// Covers both the packed and unpacked staging paths.
+TEST(SerialParallelEquivalence, OversubscribedWorkersMatchSerial) {
+#if defined(__linux__)
+  cpu_set_t saved;
+  CPU_ZERO(&saved);
+  if (sched_getaffinity(0, sizeof(saved), &saved) != 0)
+    GTEST_SKIP() << "sched_getaffinity unavailable";
+  cpu_set_t pinned;
+  CPU_ZERO(&pinned);
+  CPU_SET(0, &pinned);
+  if (CPU_ISSET(1, &saved)) CPU_SET(1, &pinned);
+  if (sched_setaffinity(0, sizeof(pinned), &pinned) != 0)
+    GTEST_SKIP() << "cannot pin CPUs";
+
+  GenParams p;
+  p.accesses = 60'000;
+  p.distinct = 3'000;
+  p.write_ratio = 0.4;
+  const Trace t = gen_uniform(p);
+  ProfilerConfig cfg = perfect_cfg();
+  const DepMap serial = run_serial(t, cfg);
+  cfg.workers = 8;
+  cfg.chunk_size = 64;
+  cfg.pack = false;
+  const DepMap unpacked = run_parallel(t, cfg);
+  cfg.pack = true;
+  const DepMap packed = run_parallel(t, cfg);
+
+  sched_setaffinity(0, sizeof(saved), &saved);  // before any EXPECT fires
+
+  EXPECT_TRUE(same_deps(serial, unpacked)) << "unpacked staging, workers=8";
+  EXPECT_EQ(serial.instances(), unpacked.instances());
+  EXPECT_TRUE(same_deps(serial, packed)) << "packed staging, workers=8";
+  EXPECT_EQ(serial.instances(), packed.instances());
+#else
+  GTEST_SKIP() << "CPU affinity is Linux-only";
+#endif
+}
 
 TEST(ParallelProfiler, EquivalenceOnLoopTrace) {
   GenParams p;

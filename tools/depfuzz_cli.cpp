@@ -11,7 +11,14 @@
 //   depfuzz --smoke [--corpus DIR]       deterministic PR-gate lattice (~50 cases)
 //   depfuzz --deep [--runs N] [--seconds S] [--seed S] [--corpus DIR]
 //                                        randomized nightly sweep
-//   depfuzz --replay FILE                re-run one committed repro
+//   depfuzz --schedules [--runs N] [--seed S] [--corpus DIR]
+//                                        deterministic-schedule lattice: every
+//                                        case runs the parallel pipeline under
+//                                        the seeded interleaving controller
+//                                        (src/sched/); --runs adds N extra
+//                                        seeds on the flake-shaped point
+//   depfuzz --replay FILE                re-run one committed repro (v4 repros
+//                                        replay their recorded schedule)
 //   depfuzz --replay-dir DIR             corpus lint: parse + re-run every repro
 //   depfuzz --list                       print the smoke lattice
 //
@@ -41,6 +48,9 @@ struct FuzzCase {
   std::string name;
   ProfilerConfig cfg;
   Trace trace;
+  /// --schedules: run the parallel side under the interleaving controller.
+  bool sched = false;
+  SchedSpec sched_spec;
 };
 
 struct NamedTrace {
@@ -262,28 +272,113 @@ FuzzCase random_case(Rng& rng, std::uint64_t seq) {
   return c;
 }
 
-/// Shrinks a failing case and (optionally) writes a corpus repro.
+/// Deterministic-schedule lattice (ISSUE 7): queue x wait x pack at 2 and 8
+/// workers, exact-expectation storages only (sig-exact / perfect alternate)
+/// so any schedule-dependent divergence is a hard byte-level failure, with
+/// the exploration seed and algorithm varied per case.  `extra` appends
+/// that many additional seeds on the flake-shaped point — unpacked staging,
+/// eight workers, the default SPSC/park transport — which is where the
+/// cross-attribution bug this lattice exists to catch actually lived.
+std::vector<FuzzCase> schedule_cases(std::uint64_t seed, std::size_t extra) {
+  // Smaller traces than the plain smoke gate: every hand-off runs through
+  // the controller (one grant per point), so case cost scales with the
+  // point count, and 2.5k events already cross every chunk boundary kind.
+  const std::vector<NamedTrace> traces = smoke_traces(2500, 800);
+  std::vector<FuzzCase> cases;
+  std::size_t idx = 0;
+  auto make = [&](unsigned workers, QueueKind queue, WaitKind wait, bool pack,
+                  std::uint64_t case_seed) {
+    const StoragePoint& sp = kStorages[idx % 2 == 0 ? 0 : 2];
+    FuzzCase c;
+    c.cfg.storage = sp.storage;
+    c.cfg.slots = sp.slots;
+    c.cfg.sig_hash = sp.hash;
+    c.cfg.workers = workers;
+    c.cfg.queue = queue;
+    c.cfg.wait = wait;
+    c.cfg.pack = pack;
+    c.cfg.dedup = (idx / 2) % 2 == 0;
+    c.cfg.chunk_size = kChunkSizes[idx % 3];
+    const NamedTrace& tr = traces[idx % 7];  // sequential traces only
+    c.trace = tr.trace;
+    c.sched = true;
+    c.sched_spec.seed = case_seed;
+    c.sched_spec.algo =
+        idx % 2 == 0 ? sched::Algo::kRandomWalk : sched::Algo::kPct;
+    c.name = std::string("sched/") + sp.name + "/w" + std::to_string(workers) +
+             "/" + queue_kind_name(queue) + "/" + wait_kind_name(wait) +
+             (pack ? "/pack" : "/nopack") + (c.cfg.dedup ? "/dedup" : "") +
+             "/chunk" + std::to_string(c.cfg.chunk_size) + "/" + tr.name +
+             "/" + sched::algo_name(c.sched_spec.algo) + "-seed" +
+             std::to_string(case_seed);
+    cases.push_back(std::move(c));
+    ++idx;
+  };
+  for (const unsigned workers : {2u, 8u})
+    for (const QueueKind queue : kQueues)
+      for (const WaitKind wait : kWaits)
+        for (const bool pack : {false, true})
+          make(workers, queue, wait, pack, seed + idx);
+  for (std::size_t i = 0; i < extra; ++i)
+    make(8, QueueKind::kLockFreeSpsc, WaitKind::kPark, false,
+         seed + 1000 + i);
+  return cases;
+}
+
+/// Shrinks a failing case and (optionally) writes a corpus repro.  For a
+/// scheduled case the ladder starts with the schedule itself (drop, then
+/// truncate — see shrink_schedule); trace and config minimization then run
+/// with the surviving schedule replayed, and the repro is written in the v4
+/// format carrying it.
 void handle_failure(const FuzzCase& c, const CaseOutcome& outcome,
                     const std::string& corpus_dir, std::size_t failure_no) {
   std::fprintf(stderr, "FAIL %s (%s expectation)\n%s\n", c.name.c_str(),
                expectation_name(outcome.expectation), outcome.detail.c_str());
 
-  const FailurePredicate still_fails =
-      [](const Trace& t, const ProfilerConfig& cfg) {
-        return !run_case(t, cfg).ok;
-      };
+  ReproCase repro;
   ShrinkStats st;
-  Trace minimized = shrink_trace(c.trace, c.cfg, still_fails, 400, &st);
-  const ProfilerConfig min_cfg = shrink_config(minimized, c.cfg, still_fails);
+  if (c.sched) {
+    // The failing exploration recorded the interleaving it took; replaying
+    // that recording (not re-exploring) is what makes the shrink predicate
+    // deterministic.
+    const SchedFailurePredicate sched_fails =
+        [&](const Trace& t, const ProfilerConfig& cfg,
+            const sched::ScheduleTrace* schedule) {
+          if (schedule == nullptr) return !run_case(t, cfg).ok;
+          SchedSpec spec = c.sched_spec;
+          spec.replay = *schedule;
+          return !run_case(t, cfg, &spec).ok;
+        };
+    bool dropped = false;
+    repro.schedule = shrink_schedule(c.trace, c.cfg, outcome.schedule,
+                                     sched_fails, &st, &dropped);
+    std::fprintf(stderr, "schedule shrunk: %zu -> %zu steps%s\n",
+                 st.initial_events, st.final_events,
+                 dropped ? " (dropped: fails free-running)" : "");
+    repro.sched = !dropped;
+    repro.sched_seed = c.sched_spec.seed;
+    repro.sched_algo = c.sched_spec.algo;
+    const FailurePredicate still_fails =
+        [&](const Trace& t, const ProfilerConfig& cfg) {
+          return sched_fails(t, cfg, repro.sched ? &repro.schedule : nullptr);
+        };
+    st = ShrinkStats{};
+    repro.trace = shrink_trace(c.trace, c.cfg, still_fails, 400, &st);
+    repro.cfg = shrink_config(repro.trace, c.cfg, still_fails);
+  } else {
+    const FailurePredicate still_fails =
+        [](const Trace& t, const ProfilerConfig& cfg) {
+          return !run_case(t, cfg).ok;
+        };
+    repro.trace = shrink_trace(c.trace, c.cfg, still_fails, 400, &st);
+    repro.cfg = shrink_config(repro.trace, c.cfg, still_fails);
+  }
   std::fprintf(stderr,
                "shrunk: %zu -> %zu events in %zu evaluations\n",
                st.initial_events, st.final_events, st.evaluations);
 
   if (corpus_dir.empty()) return;
-  ReproCase repro;
   repro.note = c.name;
-  repro.cfg = min_cfg;
-  repro.trace = std::move(minimized);
   std::error_code ec;
   std::filesystem::create_directories(corpus_dir, ec);
   const std::string path =
@@ -298,7 +393,8 @@ int run_cases(const std::vector<FuzzCase>& cases,
               const std::string& corpus_dir) {
   std::size_t failures = 0;
   for (const FuzzCase& c : cases) {
-    const CaseOutcome outcome = run_case(c.trace, c.cfg);
+    const CaseOutcome outcome =
+        run_case(c.trace, c.cfg, c.sched ? &c.sched_spec : nullptr);
     if (outcome.ok) continue;
     handle_failure(c, outcome, corpus_dir, failures);
     ++failures;
@@ -315,15 +411,23 @@ int replay_file(const std::string& path) {
     std::fprintf(stderr, "depfuzz: %s: %s\n", path.c_str(), error.c_str());
     return 1;
   }
-  const CaseOutcome outcome = run_case(repro.trace, repro.cfg);
+  SchedSpec spec;
+  if (repro.sched) {
+    spec.seed = repro.sched_seed;
+    spec.algo = repro.sched_algo;
+    spec.replay = repro.schedule;
+  }
+  const CaseOutcome outcome =
+      run_case(repro.trace, repro.cfg, repro.sched ? &spec : nullptr);
   if (!outcome.ok) {
     std::fprintf(stderr, "FAIL %s%s%s (%s expectation)\n%s\n", path.c_str(),
                  repro.note.empty() ? "" : ": ", repro.note.c_str(),
                  expectation_name(outcome.expectation), outcome.detail.c_str());
     return 1;
   }
-  std::printf("ok %s (%zu events, %s expectation)\n", path.c_str(),
-              repro.trace.size(), expectation_name(outcome.expectation));
+  std::printf("ok %s (%zu events, %s expectation%s)\n", path.c_str(),
+              repro.trace.size(), expectation_name(outcome.expectation),
+              repro.sched ? ", scheduled" : "");
   return 0;
 }
 
@@ -354,16 +458,19 @@ int usage() {
       stderr,
       "usage: depfuzz --smoke [--corpus DIR]\n"
       "       depfuzz --deep [--runs N] [--seconds S] [--seed S] [--corpus DIR]\n"
+      "       depfuzz --schedules [--runs N] [--seed S] [--corpus DIR]\n"
       "       depfuzz --replay FILE | --replay-dir DIR | --list\n");
   return 2;
 }
 
 int depfuzz_main(int argc, char** argv) {
-  enum class Mode { kNone, kSmoke, kDeep, kReplay, kReplayDir, kList };
+  enum class Mode { kNone, kSmoke, kDeep, kSchedules, kReplay, kReplayDir,
+                    kList };
   Mode mode = Mode::kNone;
   std::string corpus_dir, replay_path;
   std::uint64_t seed = 1;
   std::size_t runs = 200;
+  bool runs_set = false;
   long seconds = 0;
 
   auto value = [&](int& i) -> const char* {
@@ -373,6 +480,7 @@ int depfuzz_main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--smoke") mode = Mode::kSmoke;
     else if (arg == "--deep") mode = Mode::kDeep;
+    else if (arg == "--schedules") mode = Mode::kSchedules;
     else if (arg == "--list") mode = Mode::kList;
     else if (arg == "--replay") {
       mode = Mode::kReplay;
@@ -396,6 +504,7 @@ int depfuzz_main(int argc, char** argv) {
       const char* v = value(i);
       if (v == nullptr) return usage();
       runs = std::strtoull(v, nullptr, 0);
+      runs_set = true;
     } else if (arg == "--seconds") {
       const char* v = value(i);
       if (v == nullptr) return usage();
@@ -413,6 +522,10 @@ int depfuzz_main(int argc, char** argv) {
     }
     case Mode::kSmoke:
       return run_cases(smoke_cases(), corpus_dir);
+    case Mode::kSchedules:
+      // The 36-case lattice is the bounded PR gate; --runs N appends N
+      // extra exploration seeds for the nightly sweep.
+      return run_cases(schedule_cases(seed, runs_set ? runs : 0), corpus_dir);
     case Mode::kDeep: {
       Rng rng(seed);
       const auto deadline =

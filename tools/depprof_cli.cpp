@@ -234,6 +234,10 @@ bool profile_workload(const Workload& w, const CliOptions& opts,
   if (opts.mt_threads > 0) cfg.mt_targets = true;
 
   Runtime::instance().reset();
+  // DEPPROF_SCHED=1 runs the pipeline under the deterministic schedule
+  // controller (see harness/runner.hpp); sequential targets only — an MT
+  // target's joins would stall the schedule.
+  SchedEnvSession sched_session(opts.parallel && opts.mt_threads == 0);
   auto profiler = opts.parallel ? make_parallel_profiler(cfg)
                                 : make_serial_profiler(cfg);
   if (!profiler) {
