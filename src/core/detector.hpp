@@ -229,6 +229,15 @@ class DetectorCore {
   /// the per-event kernel adds them straight to the map.
   template <typename Sink>
   void process_one(const AccessEvent& ev, Sink&& sink) {
+    if (ev.is_burst_mark()) {
+      // Overhead-budget sampling: accesses were dropped before this point.
+      // Forget every recorded last access so no dependence is attributed
+      // across the unobserved gap — a stale source could name the wrong
+      // endpoint, and the subset contract tolerates missed edges only.
+      sig_read_.clear();
+      sig_write_.clear();
+      return;
+    }
     if (ev.is_free()) {
       // Variable-lifetime analysis: obsolete addresses leave the signatures
       // so later re-use of the memory does not fabricate dependences.

@@ -59,7 +59,20 @@ constexpr std::size_t kMaxFastProducers = 256;
 /// that population a sealed acquire can always be satisfied by a future
 /// release, so blocking instead of allocating cannot deadlock.
 std::size_t planned_pool_chunks(const ProfilerConfig& cfg, unsigned workers) {
-  if (cfg.pool_chunks != 0) return cfg.pool_chunks;
+  if (cfg.pool_chunks != 0) {
+    // Liveness floor for an explicit population.  The producer alone can
+    // pin one pending (staged, part-full) chunk per worker plus the one it
+    // is acquiring; every other chunk in flight (queued, being processed,
+    // migration pair) is eventually released by a live worker.  Below
+    // workers + 2 a sealed pool can deadlock: with pool_chunks = 1 and two
+    // workers the producer stages its only chunk for worker 0, then blocks
+    // forever acquiring one for worker 1 — the pending never flushes while
+    // the producer is blocked, and the workers have nothing to recycle.
+    // Sampling makes the quiescent-producer window routine (a skipped unit
+    // produces nothing), so the floor is enforced rather than documented.
+    const std::size_t floor = static_cast<std::size_t>(workers) + 2;
+    return std::max(cfg.pool_chunks, floor);
+  }
   const std::size_t qcap =
       SpscQueue<Chunk*>::round_up_pow2(cfg.queue_capacity);
   return workers * (qcap + 2) + 8;
@@ -219,6 +232,18 @@ class ParallelProfiler final : public IProfiler {
     return st;
   }
 
+  std::uint64_t profiling_cost_ns() const override {
+    return obs_.total_cpu_ns();
+  }
+
+  void on_sampling_stats(std::uint64_t events_sampled_out,
+                         std::uint64_t bursts,
+                         std::uint64_t overhead_ppm) override {
+    obs_.produce().add_events_sampled_out(events_sampled_out);
+    obs_.produce().add_bursts(bursts);
+    obs_.produce().raise_sampled_overhead_ppm(overhead_ppm);
+  }
+
  private:
   static constexpr std::uint32_t kMailboxCount = 64;
   /// Scatter granularity: one routing pass + one counting sort per this many
@@ -244,22 +269,48 @@ class ParallelProfiler final : public IProfiler {
     std::array<AccessEvent, kScatterBatch> unit;
     std::array<unsigned, kScatterBatch> dest;
     bool lock_region = false;
+    bool has_marker = false;
     for (std::size_t i = 0; i < n; ++i) {
       // Canonicalize to the word-granular address unit once, here; routing,
       // statistics, migration, and the detectors all operate on units.
       unit[i] = events[i];
       unit[i].addr = word_addr(events[i].addr);
       lock_region |= (unit[i].flags & kInLockRegion) != 0;
+      has_marker |= unit[i].is_burst_mark();
     }
     const bool sample = lb_enabled_ && !cfg_.mt_targets;
     const unsigned W = obs_.workers();
-    if (lock_region || W > kMaxScatterWorkers) {
+    if (lock_region || has_marker || W > kMaxScatterWorkers) {
       // Per-event fallback.  Routing is re-consulted per event because a
       // push below can trigger a rebalance that changes it mid-batch.  With
       // packing on, staging must stay packed: a worker's pending chunk may
       // already hold wire records, and a raw append would corrupt it.
       for (std::size_t i = 0; i < n; ++i) {
         const std::uint32_t rep = reps != nullptr ? reps[i] : 1;
+        if (unit[i].is_burst_mark()) {
+          // A sampling gap cuts the WHOLE stream, so the marker is
+          // broadcast: every worker's signatures hold addresses whose
+          // pre-gap accesses must not pair with post-gap ones.  Staged
+          // in-order into each worker's pending chunk, the per-worker FIFO
+          // delivers it after all pre-gap and before all post-gap events
+          // of that worker — exactly the serial clearing point.  (The
+          // bursts counter is fed by on_sampling_stats, not here: the gate
+          // lives in the runtime, and counting markers again would double
+          // the stat on live runs.)
+          for (unsigned w = 0; w < W; ++w) {
+            if (cfg_.pack) {
+              const std::uint32_t one = 1;
+              prod.add_run_packed(w, &unit[i], &one, 1, chunk_fill_,
+                                  obs_.produce(),
+                                  [this](Chunk* c, unsigned worker) {
+                                    push_chunk(c, worker);
+                                  });
+            } else if (Chunk* ready = prod.add(w, unit[i], chunk_fill_)) {
+              push_chunk(ready, w);
+            }
+          }
+          continue;
+        }
         const unsigned w = router_.route(unit[i].addr);
         if (cfg_.pack) {
           prod.add_run_packed(w, &unit[i], &rep, 1, chunk_fill_,

@@ -91,6 +91,27 @@ struct ProfilerConfig {
   /// 64-byte AccessEvents, and are decoded back before detection.  The
   /// dependence maps are byte-identical either way.
   bool pack = true;
+  // Overhead-budget sampling (sequential targets only; see DESIGN.md
+  // "Overhead-budget sampling").  The sampling unit is one iteration of an
+  // outermost loop: a profiled unit is observed whole, so every inner-loop
+  // invocation inside it is profiled end to end and loop-carried distances
+  // stay exact within a burst.  Dropped units are bracketed by a
+  // kBurstMark event that clears all detection state, which makes the
+  // sampled map a provable subset (per non-INIT dependence edge) of the
+  // unsampled map.
+  /// Target overhead fraction for the adaptive controller: < 1.0 enables
+  /// feedback mode (profiling cost measured online from the sink's stage
+  /// CPU clocks, the skip count adjusted between bursts).  >= 1.0 with
+  /// sampling_skip == 0 means sampling is entirely off — byte-identical
+  /// output to an unsampled run.
+  double budget = 1.0;
+  /// Units profiled per burst (the deterministic B of the B-on / K-off
+  /// cycle; also the adaptive controller's burst length).
+  unsigned sampling_burst = 8;
+  /// Units skipped between bursts.  > 0 selects the deterministic fixed
+  /// schedule (budget is then ignored) — the mode the equivalence matrix,
+  /// the depfuzz lattice, and bench/sampling sweep.
+  unsigned sampling_skip = 0;
   /// Chunks preallocated by the pipeline's pool before the target starts
   /// running (0 = auto: enough for full queues + in-flight + migration).
   /// For sequential targets the pool is *sealed* to this population — an

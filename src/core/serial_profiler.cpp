@@ -88,6 +88,18 @@ class SerialProfiler final : public IProfiler {
     merge_.fold(global_, detect_.deps());
   }
 
+  std::uint64_t profiling_cost_ns() const override {
+    return obs_.total_cpu_ns();
+  }
+
+  void on_sampling_stats(std::uint64_t events_sampled_out,
+                         std::uint64_t bursts,
+                         std::uint64_t overhead_ppm) override {
+    obs_.produce().add_events_sampled_out(events_sampled_out);
+    obs_.produce().add_bursts(bursts);
+    obs_.produce().raise_sampled_overhead_ppm(overhead_ppm);
+  }
+
   const DepMap& dependences() const override { return global_; }
 
   DepMap take_dependences() override { return std::move(global_); }

@@ -130,11 +130,15 @@ class WireEncoder {
                      unsigned char* dst, bool& escaped) {
     WireRecord r;
     r.rep = static_cast<std::uint8_t>(rep - 1);
-    // kind_flags can never collide with the escape marker for valid kinds
-    // (kind <= 2), but flags with bits above 0x3F would be truncated by the
-    // << 2 packing, so such events take the escape path.
+    // Flags with bits above 0x3F would be truncated by the << 2 packing, and
+    // a (kind, flags) combination whose packed byte equals 0xFF — possible
+    // since kBurstMark made kind = 3 representable — would masquerade as an
+    // escape header; both take the escape path instead.
+    const std::uint8_t kf = static_cast<std::uint8_t>(
+        static_cast<std::uint8_t>(ev.kind) |
+        static_cast<std::uint8_t>(ev.flags << 2));
     bool fit = has_prev_ && ev.tid == prev_.tid && ev.var <= 0xFFFF &&
-               (ev.flags >> 6) == 0 &&
+               (ev.flags >> 6) == 0 && kf != kWireEscape &&
                ev.ts >= prev_.ts && ev.ts - prev_.ts <= 0xFFFF &&
                find_step(ev, r.step);
     if (fit) {
@@ -157,9 +161,7 @@ class WireEncoder {
     }
     r.loc = ev.loc;
     r.var = static_cast<std::uint16_t>(ev.var);
-    r.kind_flags = static_cast<std::uint8_t>(
-        static_cast<std::uint8_t>(ev.kind) |
-        static_cast<std::uint8_t>(ev.flags << 2));
+    r.kind_flags = kf;
     std::memcpy(dst, &r, sizeof(r));
     escaped = false;
     return sizeof(r);

@@ -67,9 +67,11 @@ inline bool same_access_identity(const AccessEvent& a, const AccessEvent& b) {
 /// targets) carry per-instance order the race check depends on; lock-region
 /// events are flushed per-region anyway; lifetime events are never merged
 /// (adjacent identical frees are rare and the word-span invalidation below
-/// wants to see each one).
+/// wants to see each one); burst markers are state-clearing control events,
+/// never data.  Only plain reads and writes are merge candidates.
 inline bool dedup_eligible(const AccessEvent& ev) {
-  return ev.ts == 0 && ev.flags == 0 && ev.kind != AccessKind::kFree;
+  return ev.ts == 0 && ev.flags == 0 &&
+         (ev.kind == AccessKind::kRead || ev.kind == AccessKind::kWrite);
 }
 
 /// Fixed-size direct-mapped map from word address to the index of the most
@@ -156,6 +158,15 @@ inline RleStream dedup_stream(const AccessEvent* events, std::size_t count) {
     const std::uint64_t word = word_addr(ev.addr);
     if (ev.kind == AccessKind::kFree) {
       cache.invalidate_word(word);
+      out.events.push_back(ev);
+      out.reps.push_back(1);
+      continue;
+    }
+    if (ev.kind == AccessKind::kBurstMark) {
+      // The marker clears all detection state downstream, so a post-marker
+      // repeat must not merge into a pre-marker record: expanding the run
+      // would move the repeat across the store clear.
+      cache.invalidate_all();
       out.events.push_back(ev);
       out.reps.push_back(1);
       continue;

@@ -1,8 +1,10 @@
 #include "instrument/runtime.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/hash.hpp"
+#include "common/timer.hpp"
 #include "trace/nest.hpp"
 
 namespace depprof {
@@ -27,6 +29,14 @@ Runtime::ThreadState& Runtime::thread_state() {
     state.call_stack.clear();
     state.buffer.discard();
     state.cache.invalidate_all();
+    state.unit_pos = 0;
+    state.unit_off = false;
+    state.pending_gap = false;
+    state.sampled_out = 0;
+    state.gaps_closed = 0;
+    state.ctl_wall_ns = 0;
+    state.ctl_cost_ns = 0;
+    state.ctl_ewma = 0.0;
   }
   if (!state.registered) {
     std::lock_guard lock(buffers_mu_);
@@ -43,6 +53,16 @@ void Runtime::forget_thread(ThreadState& state) {
   if (enabled_.load(std::memory_order_acquire) && sink != nullptr)
     state.buffer.flush(*sink);
   state.cache.invalidate_all();
+  // A pending gap dies with the thread: no later event of this thread can
+  // be attributed across it, so no closing marker is needed — but the gate
+  // counters must survive into the session totals.
+  exited_sampled_out_.fetch_add(state.sampled_out, std::memory_order_relaxed);
+  exited_gaps_closed_.fetch_add(state.gaps_closed, std::memory_order_relaxed);
+  state.sampled_out = 0;
+  state.gaps_closed = 0;
+  state.unit_pos = 0;
+  state.unit_off = false;
+  state.pending_gap = false;
   threads_.erase(std::remove(threads_.begin(), threads_.end(), &state),
                  threads_.end());
 }
@@ -53,7 +73,8 @@ void Runtime::drain_in_flight_locked() {
     }
 }
 
-void Runtime::attach(AccessSink* sink, bool mt_mode, bool dedup) {
+void Runtime::attach(AccessSink* sink, bool mt_mode, bool dedup,
+                     SamplingConfig sampling) {
   {
     // Buffers may still hold events of a previous session whose sink is
     // gone; they must not leak into the new one.  Late record() calls of
@@ -63,12 +84,32 @@ void Runtime::attach(AccessSink* sink, bool mt_mode, bool dedup) {
     for (ThreadState* ts : threads_) {
       ts->buffer.discard();
       ts->cache.invalidate_all();
+      ts->unit_pos = 0;
+      ts->unit_off = false;
+      ts->pending_gap = false;
+      ts->sampled_out = 0;
+      ts->gaps_closed = 0;
+      ts->ctl_wall_ns = 0;
+      ts->ctl_cost_ns = 0;
+      ts->ctl_ewma = 0.0;
     }
   }
   mt_mode_.store(mt_mode, std::memory_order_relaxed);
   // In mt_mode every event carries a fresh timestamp, so no two events are
   // ever identical — the cache could only miss.  Keep it off entirely.
   dedup_.store(dedup && !mt_mode, std::memory_order_relaxed);
+  // Sampling is sequential-target only: a per-thread unit boundary cannot
+  // cut an MT trace consistently across threads.
+  const bool sample = sampling.enabled() && !mt_mode;
+  sampling_on_.store(sample, std::memory_order_relaxed);
+  adaptive_.store(sample && sampling.budget < 1.0, std::memory_order_relaxed);
+  sampling_burst_.store(std::max(1u, sampling.burst),
+                        std::memory_order_relaxed);
+  sampling_skip_.store(sample ? sampling.skip : 0, std::memory_order_relaxed);
+  budget_target_ = sampling.budget;
+  measured_overhead_ppm_.store(0, std::memory_order_relaxed);
+  exited_sampled_out_.store(0, std::memory_order_relaxed);
+  exited_gaps_closed_.store(0, std::memory_order_relaxed);
   sink_.store(sink, std::memory_order_seq_cst);
   enabled_.store(sink != nullptr, std::memory_order_release);
 }
@@ -80,23 +121,64 @@ void Runtime::detach() {
   // thread that passed the enabled() check either saw the swap (and bailed)
   // or raised its in_flight flag before our load of it.
   AccessSink* sink = sink_.exchange(nullptr, std::memory_order_seq_cst);
+  std::uint64_t sampled_out = exited_sampled_out_.load(std::memory_order_relaxed);
+  std::uint64_t gaps = exited_gaps_closed_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(buffers_mu_);
     drain_in_flight_locked();
     for (ThreadState* ts : threads_) {
       if (sink != nullptr) ts->buffer.flush(*sink);
       ts->cache.invalidate_all();
+      sampled_out += ts->sampled_out;
+      gaps += ts->gaps_closed;
+      ts->sampled_out = 0;
+      ts->gaps_closed = 0;
+      ts->unit_pos = 0;
+      ts->unit_off = false;
+      ts->pending_gap = false;
     }
   }
-  if (sink != nullptr) sink->finish();
+  if (sink != nullptr) {
+    if (sampling_on_.load(std::memory_order_relaxed))
+      sink->on_sampling_stats(
+          sampled_out, gaps,
+          measured_overhead_ppm_.load(std::memory_order_relaxed));
+    sink->finish();
+  }
+  sampling_on_.store(false, std::memory_order_relaxed);
+  adaptive_.store(false, std::memory_order_relaxed);
+}
+
+void Runtime::close_gap(ThreadState& ts, AccessSink& sink) {
+  ts.pending_gap = false;
+  ts.gaps_closed += 1;
+  // The marker precedes the first kept event after any drop — whatever that
+  // event is, loop-body or root-level.  Without it the kept event would be
+  // detected against store state recorded before the gap, which can emit a
+  // dependence the unsampled run attributes to a (dropped) later source —
+  // an extra key, breaking the subset contract.
+  AccessEvent mark;
+  mark.kind = AccessKind::kBurstMark;
+  mark.tid = ts.tid;
+  if (ts.buffer.add(mark)) ts.buffer.flush(sink);
+  // The marker clears all detection state downstream, so no post-gap repeat
+  // may merge into a pre-gap buffered record.
+  ts.cache.invalidate_all();
 }
 
 void Runtime::record(const void* addr, std::size_t size, std::uint32_t file,
                      std::uint32_t line, std::uint32_t var, bool is_write) {
   (void)size;
   ThreadState& ts = thread_state();
+  if (ts.unit_off && !ts.loop_stack.empty()) {
+    // Inside a skipped sampling unit: drop without touching the sink.
+    ts.sampled_out += 1;
+    ts.pending_gap = true;
+    return;
+  }
   SinkUse use(*this, ts);
   if (use.sink() == nullptr) return;  // detached after the enabled() check
+  if (ts.pending_gap) close_gap(ts, *use.sink());
   AccessEvent ev;
   ev.addr = reinterpret_cast<std::uintptr_t>(addr);
   ev.loc = SourceLocation(file, line).packed();
@@ -141,8 +223,17 @@ void Runtime::record(const void* addr, std::size_t size, std::uint32_t file,
 
 void Runtime::record_free(const void* addr, std::size_t size) {
   ThreadState& ts = thread_state();
+  if (ts.unit_off && !ts.loop_stack.empty()) {
+    // A free inside a skipped unit is dropped like any other event: the
+    // burst marker that closes the gap clears strictly more state than the
+    // free would have, so the subset contract is unaffected.
+    ts.sampled_out += 1;
+    ts.pending_gap = true;
+    return;
+  }
   SinkUse use(*this, ts);
   if (use.sink() == nullptr) return;  // detached after the enabled() check
+  if (ts.pending_gap) close_gap(ts, *use.sink());
   const auto base = reinterpret_cast<std::uintptr_t>(addr);
   // One lifetime event per 4-byte word overlapped by [base, base+size),
   // matching the signature's address granularity (hash_address discards the
@@ -163,16 +254,79 @@ void Runtime::record_free(const void* addr, std::size_t size) {
     ev.kind = AccessKind::kFree;
     ev.tid = ts.tid;
     if (mt) ev.ts = timestamp_.fetch_add(1, std::memory_order_relaxed);
-    if (ts.buffer.add(ev)) {
+    // A free inside a lock region needs the same treatment as an access
+    // (Fig. 4): flag it so the parallel producer keeps it on the in-order
+    // immediate path, and push before the target can release the lock.
+    // Without both, a lock-protected free travels the chunked path while
+    // the accesses around it take the immediate one, and another thread's
+    // post-free access can reach the detector before the free clears the
+    // word — fabricating a dependence on the dead lifetime.
+    if (ts.lock_depth > 0) ev.flags |= kInLockRegion;
+    if (ts.buffer.add(ev) || ts.lock_depth > 0) {
       ts.buffer.flush(*use.sink());
       ts.cache.invalidate_all();
     }
   }
 }
 
+void Runtime::begin_unit(ThreadState& ts) {
+  const unsigned burst = sampling_burst_.load(std::memory_order_relaxed);
+  // Cycle boundary: the finished B+K cycle is the controller's feedback
+  // granularity (adaptive mode retunes the skip count here).
+  if (ts.unit_pos == 0 && adaptive_.load(std::memory_order_relaxed))
+    controller_tick(ts, burst);
+  const unsigned skip = sampling_skip_.load(std::memory_order_relaxed);
+  ts.unit_off = ts.unit_pos >= burst;
+  ts.unit_pos += 1;
+  if (ts.unit_pos >= burst + skip) ts.unit_pos = 0;
+}
+
+void Runtime::controller_tick(ThreadState& ts, unsigned burst) {
+  AccessSink* sink = sink_.load(std::memory_order_acquire);
+  if (sink == nullptr) return;
+  const std::uint64_t now = WallTimer::now();
+  const std::uint64_t cost = sink->profiling_cost_ns();
+  if (ts.ctl_wall_ns != 0 && now > ts.ctl_wall_ns && cost >= ts.ctl_cost_ns) {
+    const std::uint64_t dwall = now - ts.ctl_wall_ns;
+    const std::uint64_t dcost = cost - ts.ctl_cost_ns;
+    if (dwall > dcost) {
+      // Overhead of the finished cycle: profiling CPU over everything else
+      // (target work + skipped units), o = Δcost / (Δwall − Δcost).
+      const double o = static_cast<double>(dcost) /
+                       static_cast<double>(dwall - dcost);
+      ts.ctl_ewma = ts.ctl_ewma == 0.0 ? o : 0.5 * ts.ctl_ewma + 0.5 * o;
+      measured_overhead_ppm_.store(
+          static_cast<std::uint64_t>(ts.ctl_ewma * 1e6),
+          std::memory_order_relaxed);
+      // Overhead scales with the duty cycle d = B/(B+K): steering measured
+      // overhead o toward the budget b means d_new = d * b / o, i.e.
+      // K_new = B/d_new - B, clamped to a sane skip range.
+      const unsigned skip = sampling_skip_.load(std::memory_order_relaxed);
+      const double duty =
+          static_cast<double>(burst) / static_cast<double>(burst + skip);
+      double d_new = ts.ctl_ewma > 1e-12
+                         ? duty * budget_target_ / ts.ctl_ewma
+                         : 1.0;
+      if (d_new > 1.0) d_new = 1.0;
+      const double k_raw =
+          static_cast<double>(burst) / d_new - static_cast<double>(burst);
+      long k_new = std::lround(k_raw);
+      if (k_new < 0) k_new = 0;
+      if (k_new > 1024) k_new = 1024;
+      sampling_skip_.store(static_cast<unsigned>(k_new),
+                           std::memory_order_relaxed);
+    }
+  }
+  ts.ctl_wall_ns = now;
+  ts.ctl_cost_ns = cost;
+}
+
 void Runtime::loop_begin(std::uint32_t file, std::uint32_t line) {
   ThreadState& ts = thread_state();
   ts.cache.invalidate_all();  // dedup never crosses a loop-context change
+  // A fresh outermost-loop invocation starts a new sampling unit.
+  if (ts.loop_stack.empty() && sampling_on_.load(std::memory_order_relaxed))
+    begin_unit(ts);
   const std::uint32_t loc = SourceLocation(file, line).packed();
   const std::uint32_t parent_node =
       ts.loop_stack.empty() ? NestForest::kRoot : ts.loop_stack.back().node;
@@ -201,6 +355,11 @@ void Runtime::loop_iter() {
     stray_iters_ += 1;
     return;
   }
+  // An outermost-loop iteration boundary ends one sampling unit and starts
+  // the next (inner-loop iterations stay inside the enclosing unit).
+  if (ts.loop_stack.size() == 1 &&
+      sampling_on_.load(std::memory_order_relaxed))
+    begin_unit(ts);
   ts.loop_stack.back().iter += 1;
 }
 
@@ -216,6 +375,11 @@ void Runtime::loop_end(std::uint32_t file, std::uint32_t line) {
   }
   const ActiveLoop top = ts.loop_stack.back();
   ts.loop_stack.pop_back();
+  // Leaving the outermost loop ends the current sampling unit; code outside
+  // any loop is always profiled (the gate additionally requires a nonempty
+  // stack, so a stale unit_off could never drop root-level events — this
+  // just keeps the flag honest).
+  if (ts.loop_stack.empty()) ts.unit_off = false;
   std::lock_guard lock(cf_mu_);
   auto it = loops_.find(top.loop_id);
   if (it != loops_.end()) {

@@ -31,6 +31,29 @@
 
 namespace depprof {
 
+/// Overhead-budget sampling policy for one profiling session (see DESIGN.md
+/// "Overhead-budget sampling").  The sampling unit is one iteration of an
+/// outermost loop on the recording thread: a profiled unit is observed
+/// whole — every inner-loop invocation inside it included — so loop-carried
+/// distances stay exact within a burst.  Accesses outside any loop are
+/// always profiled.  Disabled entirely in mt_mode (cross-thread gaps would
+/// need a global cut, which the per-thread unit cannot provide).
+struct SamplingConfig {
+  /// Target overhead fraction.  < 1.0 enables the adaptive controller:
+  /// profiling cost is measured online from the sink's stage CPU clocks
+  /// (AccessSink::profiling_cost_ns) and `skip` is adjusted between bursts
+  /// to steer measured overhead toward the target.  >= 1.0 leaves the
+  /// schedule fixed.
+  double budget = 1.0;
+  /// Units profiled per burst (the B of the B-on / K-off cycle).
+  unsigned burst = 8;
+  /// Units skipped between bursts.  budget >= 1.0 with skip == 0 means
+  /// sampling is entirely off: no gate, no markers, byte-identical output.
+  unsigned skip = 0;
+
+  bool enabled() const { return skip > 0 || budget < 1.0; }
+};
+
 class Runtime {
  public:
   static Runtime& instance();
@@ -43,8 +66,10 @@ class Runtime {
   /// a fresh timestamp the race check depends on.  The depprof CLI wires
   /// this from ProfilerConfig::dedup (default on); the parameter itself
   /// defaults off so recorders and existing harnesses see the verbatim
-  /// stream unless they opt in.
-  void attach(AccessSink* sink, bool mt_mode = false, bool dedup = false);
+  /// stream unless they opt in.  `sampling` selects the overhead-budget
+  /// burst schedule (also ignored in mt_mode); the default is fully off.
+  void attach(AccessSink* sink, bool mt_mode = false, bool dedup = false,
+              SamplingConfig sampling = {});
 
   /// Detaches the sink and calls its finish().  Control-flow data remains
   /// readable until the next attach().
@@ -151,6 +176,16 @@ class Runtime {
     /// begin/iter/end, lock and sync boundaries — and per-word by
     /// record_free for the freed span.
     DedupCache cache;
+    // --- overhead-budget sampling (see SamplingConfig) -------------------
+    unsigned unit_pos = 0;    ///< index of the next unit within the B+K cycle
+    bool unit_off = false;    ///< current unit is being skipped
+    bool pending_gap = false;  ///< >=1 event dropped since the last kept one
+    std::uint64_t sampled_out = 0;  ///< accesses dropped by the gate
+    std::uint64_t gaps_closed = 0;  ///< burst markers emitted
+    // Adaptive-controller state, sampled at each cycle boundary.
+    std::uint64_t ctl_wall_ns = 0;
+    std::uint64_t ctl_cost_ns = 0;
+    double ctl_ewma = 0.0;  ///< smoothed overhead estimate (0 = no sample yet)
     /// True while the owning thread is inside a record/flush critical
     /// section using the attached sink.  attach()/detach() swap the sink
     /// pointer first and then wait for every registered thread's flag to
@@ -193,6 +228,15 @@ class Runtime {
 
   ThreadState& thread_state();
   void forget_thread(ThreadState& state);
+  /// Starts the next sampling unit on `ts`: decides whether it is profiled
+  /// or skipped, and runs the adaptive controller at each cycle boundary.
+  void begin_unit(ThreadState& ts);
+  /// Adaptive feedback step: measures the overhead of the finished cycle
+  /// from the sink's stage CPU clocks and retunes the skip count.
+  void controller_tick(ThreadState& ts, unsigned burst);
+  /// Emits the kBurstMark that closes a sampling gap, before the first kept
+  /// event after it reaches the buffer.
+  void close_gap(ThreadState& ts, AccessSink& sink);
   /// Spins until no registered thread is inside a SinkUse section.  Caller
   /// holds buffers_mu_ and has already swapped sink_, so no new section can
   /// observe the old sink.  Threads inside a section never block on
@@ -204,6 +248,16 @@ class Runtime {
   std::atomic<AccessSink*> sink_{nullptr};
   std::atomic<bool> mt_mode_{false};
   std::atomic<bool> dedup_{false};
+  std::atomic<bool> sampling_on_{false};
+  std::atomic<bool> adaptive_{false};
+  std::atomic<unsigned> sampling_burst_{8};
+  std::atomic<unsigned> sampling_skip_{0};  ///< retuned live by the controller
+  double budget_target_ = 1.0;  ///< written at attach only
+  /// Latest controller overhead estimate, parts per million.
+  std::atomic<std::uint64_t> measured_overhead_ppm_{0};
+  /// Gate/marker counters of threads that exited mid-session.
+  std::atomic<std::uint64_t> exited_sampled_out_{0};
+  std::atomic<std::uint64_t> exited_gaps_closed_{0};
   std::atomic<std::uint64_t> timestamp_{1};
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint16_t> next_tid_{0};

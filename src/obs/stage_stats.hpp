@@ -50,6 +50,9 @@ struct alignas(64) StageStats {
   std::atomic<std::uint64_t> events_deduped{0};  ///< accesses elided as exact repeats (produce)
   std::atomic<std::uint64_t> bytes_on_wire{0};   ///< chunk payload bytes actually queued (produce)
   std::atomic<std::uint64_t> pack_escapes{0};    ///< wire records that needed the escape slot (produce)
+  std::atomic<std::uint64_t> events_sampled_out{0};  ///< accesses dropped by the sampling gate (produce)
+  std::atomic<std::uint64_t> bursts{0};              ///< sampling gaps closed by a burst marker (produce)
+  std::atomic<std::uint64_t> sampled_overhead_ppm{0};  ///< controller's measured overhead, parts per million (produce, hwm)
 
   void add_events(std::uint64_t n) { events.fetch_add(n, std::memory_order_relaxed); }
   void add_chunks(std::uint64_t n) { chunks.fetch_add(n, std::memory_order_relaxed); }
@@ -71,6 +74,18 @@ struct alignas(64) StageStats {
   void add_events_deduped(std::uint64_t n) { events_deduped.fetch_add(n, std::memory_order_relaxed); }
   void add_bytes_on_wire(std::uint64_t n) { bytes_on_wire.fetch_add(n, std::memory_order_relaxed); }
   void add_pack_escapes(std::uint64_t n) { pack_escapes.fetch_add(n, std::memory_order_relaxed); }
+  void add_events_sampled_out(std::uint64_t n) { events_sampled_out.fetch_add(n, std::memory_order_relaxed); }
+  void add_bursts(std::uint64_t n) { bursts.fetch_add(n, std::memory_order_relaxed); }
+
+  /// Latches the controller's latest overhead estimate, keeping the counter
+  /// monotone (obs_test's snapshot-ordering property) by only raising it.
+  void raise_sampled_overhead_ppm(std::uint64_t ppm) {
+    std::uint64_t cur = sampled_overhead_ppm.load(std::memory_order_relaxed);
+    while (ppm > cur &&
+           !sampled_overhead_ppm.compare_exchange_weak(
+               cur, ppm, std::memory_order_relaxed)) {
+    }
+  }
 
   /// Raises the queue-depth high-water mark to `depth` if it is higher.
   void raise_queue_depth(std::uint64_t depth) {
@@ -107,6 +122,9 @@ struct StageSnapshot {
   std::uint64_t events_deduped = 0;
   std::uint64_t bytes_on_wire = 0;
   std::uint64_t pack_escapes = 0;
+  std::uint64_t events_sampled_out = 0;
+  std::uint64_t bursts = 0;
+  std::uint64_t sampled_overhead_ppm = 0;
 
   double busy_sec() const { return static_cast<double>(busy_ns) * 1e-9; }
   double cpu_sec() const { return static_cast<double>(cpu_ns) * 1e-9; }
@@ -154,6 +172,18 @@ class PipelineObs {
   StageStats& detect(unsigned worker) { return detect_[worker]; }
   StageStats& merge() { return merge_; }
 
+  /// Sum of thread-CPU time across all stages — the profiler's own cost,
+  /// cheap enough to probe from the sampling controller between bursts
+  /// (AccessSink::profiling_cost_ns).
+  std::uint64_t total_cpu_ns() const {
+    std::uint64_t ns = produce_.cpu_ns.load(std::memory_order_relaxed) +
+                       route_.cpu_ns.load(std::memory_order_relaxed) +
+                       merge_.cpu_ns.load(std::memory_order_relaxed);
+    for (unsigned w = 0; w < workers_; ++w)
+      ns += detect_[w].cpu_ns.load(std::memory_order_relaxed);
+    return ns;
+  }
+
   PipelineSnapshot snapshot() const {
     PipelineSnapshot snap;
     snap.stages.reserve(workers_ + 3);
@@ -188,6 +218,11 @@ class PipelineObs {
     out.events_deduped = s.events_deduped.load(std::memory_order_relaxed);
     out.bytes_on_wire = s.bytes_on_wire.load(std::memory_order_relaxed);
     out.pack_escapes = s.pack_escapes.load(std::memory_order_relaxed);
+    out.events_sampled_out =
+        s.events_sampled_out.load(std::memory_order_relaxed);
+    out.bursts = s.bursts.load(std::memory_order_relaxed);
+    out.sampled_overhead_ppm =
+        s.sampled_overhead_ppm.load(std::memory_order_relaxed);
     return out;
   }
 

@@ -1,5 +1,6 @@
 #include "oracle/corpus.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,11 @@ constexpr std::string_view kVersionLineV3 = "depfuzz-repro v3";
 // v4 adds the deterministic-schedule section (`sched` + `sstep` lines);
 // v1-v3 files parse with the section absent.
 constexpr std::string_view kVersionLineV4 = "depfuzz-repro v4";
+// v5 adds the overhead-budget sampling axes and hard-requires their keys
+// (budget=/burst=/skip=) for the same reason v2 hard-required dedup=/pack=:
+// a repro that omits them would silently replay under whatever the current
+// sampling defaults are.  v1-v4 files parse with sampling off.
+constexpr std::string_view kVersionLineV5 = "depfuzz-repro v5";
 
 /// File-scoped nest state threaded through event parsing.
 struct NestParseState {
@@ -126,15 +132,40 @@ bool set_error(std::string* error, std::size_t line_no,
   return false;
 }
 
+/// Rejects a key seen twice on one directive line: a duplicate would
+/// silently last-write-win, which is exactly the ambiguity the corpus lint
+/// exists to reject.
+bool note_key(std::vector<std::string_view>& seen, std::string_view key,
+              std::string& err) {
+  if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+    err = "duplicate key '" + std::string(key) + "'";
+    return false;
+  }
+  seen.push_back(key);
+  return true;
+}
+
+/// Which hard-required config keys the line actually carried (checked
+/// against the file's version by the caller).
+struct ConfigKeysSeen {
+  bool dedup = false;
+  bool pack = false;
+  bool budget = false;
+  bool burst = false;
+  bool skip = false;
+};
+
 bool parse_config_line(const std::vector<std::string_view>& toks, int version,
-                       ProfilerConfig& cfg, bool& saw_dedup, bool& saw_pack,
-                       std::string& bad_key) {
+                       ProfilerConfig& cfg, ConfigKeysSeen& saw,
+                       std::string& err) {
+  std::vector<std::string_view> keys;
   for (std::size_t i = 1; i < toks.size(); ++i) {
     std::string_view key, value;
     if (!split_kv(toks[i], key, value)) {
-      bad_key = std::string(toks[i]);
+      err = "bad config token '" + std::string(toks[i]) + "'";
       return false;
     }
+    if (!note_key(keys, key, err)) return false;
     std::uint64_t u = 0;
     bool ok;
     if (key == "storage") ok = parse_storage(value, cfg.storage);
@@ -154,12 +185,21 @@ bool parse_config_line(const std::vector<std::string_view>& toks, int version,
     // v2-only front-end reduction axes; in a v1 file they are unknown keys
     // (strictness over permissiveness — see the version-line comment).
     else if (key == "dedup" && version >= 2)
-      ok = parse_bool(value, cfg.dedup), saw_dedup = true;
+      ok = parse_bool(value, cfg.dedup), saw.dedup = true;
     else if (key == "pack" && version >= 2)
-      ok = parse_bool(value, cfg.pack), saw_pack = true;
+      ok = parse_bool(value, cfg.pack), saw.pack = true;
+    // v5-only overhead-budget sampling axes; unknown keys below v5.
+    else if (key == "budget" && version >= 5)
+      ok = parse_double(value, cfg.budget), saw.budget = true;
+    else if (key == "burst" && version >= 5)
+      ok = parse_u64(value, u), cfg.sampling_burst = static_cast<unsigned>(u),
+      saw.burst = true;
+    else if (key == "skip" && version >= 5)
+      ok = parse_u64(value, u), cfg.sampling_skip = static_cast<unsigned>(u),
+      saw.skip = true;
     else ok = false;
     if (!ok) {
-      bad_key = std::string(toks[i]);
+      err = "bad config token '" + std::string(toks[i]) + "'";
       return false;
     }
   }
@@ -167,13 +207,15 @@ bool parse_config_line(const std::vector<std::string_view>& toks, int version,
 }
 
 bool parse_lb_line(const std::vector<std::string_view>& toks,
-                   LoadBalanceConfig& lb, std::string& bad_key) {
+                   LoadBalanceConfig& lb, std::string& err) {
+  std::vector<std::string_view> keys;
   for (std::size_t i = 1; i < toks.size(); ++i) {
     std::string_view key, value;
     if (!split_kv(toks[i], key, value)) {
-      bad_key = std::string(toks[i]);
+      err = "bad lb token '" + std::string(toks[i]) + "'";
       return false;
     }
+    if (!note_key(keys, key, err)) return false;
     std::uint64_t u = 0;
     double d = 0.0;
     bool ok;
@@ -190,31 +232,31 @@ bool parse_lb_line(const std::vector<std::string_view>& toks,
       ok = parse_u64(value, u), lb.max_rounds = static_cast<unsigned>(u);
     else ok = false;
     if (!ok) {
-      bad_key = std::string(toks[i]);
+      err = "bad lb token '" + std::string(toks[i]) + "'";
       return false;
     }
   }
   return true;
 }
 
-/// v3 `nest id=N parent=P loop=L` directive: interns one dynamic entry.
-/// Parents must be declared (or 0) before their children.
 /// v4 `sched seed=N algo=<name>` directive.
 bool parse_sched_line(const std::vector<std::string_view>& toks,
-                      ReproCase& repro, std::string& bad_key) {
+                      ReproCase& repro, std::string& err) {
+  std::vector<std::string_view> keys;
   for (std::size_t i = 1; i < toks.size(); ++i) {
     std::string_view key, value;
     if (!split_kv(toks[i], key, value)) {
-      bad_key = std::string(toks[i]);
+      err = "bad sched token '" + std::string(toks[i]) + "'";
       return false;
     }
+    if (!note_key(keys, key, err)) return false;
     bool ok;
     if (key == "seed") ok = parse_u64(value, repro.sched_seed);
     else if (key == "algo")
       ok = sched::parse_algo(std::string(value).c_str(), repro.sched_algo);
     else ok = false;
     if (!ok) {
-      bad_key = std::string(toks[i]);
+      err = "bad sched token '" + std::string(toks[i]) + "'";
       return false;
     }
   }
@@ -222,33 +264,43 @@ bool parse_sched_line(const std::vector<std::string_view>& toks,
   return true;
 }
 
+/// v3 `nest id=N parent=P loop=L` directive: interns one dynamic entry.
+/// Parents must be declared (or 0) before their children; all three keys
+/// are required — a defaulted parent/loop would silently re-shape the nest.
 bool parse_nest_line(const std::vector<std::string_view>& toks,
-                     NestParseState& nest, std::string& bad_key) {
+                     NestParseState& nest, std::string& err) {
   std::uint64_t id = 0, parent = 0, loop = 0;
-  bool saw_id = false;
+  bool saw_id = false, saw_parent = false, saw_loop = false;
+  std::vector<std::string_view> keys;
   for (std::size_t i = 1; i < toks.size(); ++i) {
     std::string_view key, value;
     if (!split_kv(toks[i], key, value)) {
-      bad_key = std::string(toks[i]);
+      err = "bad nest token '" + std::string(toks[i]) + "'";
       return false;
     }
+    if (!note_key(keys, key, err)) return false;
     bool ok;
     if (key == "id") ok = parse_u64(value, id), saw_id = true;
-    else if (key == "parent") ok = parse_u64(value, parent);
-    else if (key == "loop") ok = parse_u64(value, loop);
+    else if (key == "parent") ok = parse_u64(value, parent), saw_parent = true;
+    else if (key == "loop") ok = parse_u64(value, loop), saw_loop = true;
     else ok = false;
     if (!ok) {
-      bad_key = std::string(toks[i]);
+      err = "bad nest token '" + std::string(toks[i]) + "'";
       return false;
     }
   }
+  if (!saw_parent || !saw_loop) {
+    err = std::string("nest directive missing ") +
+          (!saw_parent ? "parent=" : "loop=") + " key";
+    return false;
+  }
   if (!saw_id || id == 0 || nest.id_map.count(static_cast<std::uint32_t>(id))) {
-    bad_key = "id";
+    err = "bad nest token 'id'";
     return false;
   }
   const auto pit = nest.id_map.find(static_cast<std::uint32_t>(parent));
   if (pit == nest.id_map.end()) {
-    bad_key = "parent";
+    err = "bad nest token 'parent'";
     return false;
   }
   nest.id_map[static_cast<std::uint32_t>(id)] =
@@ -282,24 +334,26 @@ bool apply_legacy_loops(AccessEvent& ev, std::string_view value,
 
 bool parse_event_line(const std::vector<std::string_view>& toks,
                       AccessEvent& ev, int version, NestParseState& nest,
-                      std::string& bad_key) {
+                      std::string& err) {
   if (toks.size() < 2) {
-    bad_key = "missing event kind";
+    err = "bad event token 'missing event kind'";
     return false;
   }
   if (toks[1] == "R") ev.kind = AccessKind::kRead;
   else if (toks[1] == "W") ev.kind = AccessKind::kWrite;
   else if (toks[1] == "F") ev.kind = AccessKind::kFree;
   else {
-    bad_key = std::string(toks[1]);
+    err = "bad event token '" + std::string(toks[1]) + "'";
     return false;
   }
+  std::vector<std::string_view> keys;
   for (std::size_t i = 2; i < toks.size(); ++i) {
     std::string_view key, value;
     if (!split_kv(toks[i], key, value)) {
-      bad_key = std::string(toks[i]);
+      err = "bad event token '" + std::string(toks[i]) + "'";
       return false;
     }
+    if (!note_key(keys, key, err)) return false;
     std::uint64_t u = 0;
     bool ok = true;
     if (key == "addr") ok = parse_u64(value, ev.addr);
@@ -334,7 +388,7 @@ bool parse_event_line(const std::vector<std::string_view>& toks,
       ok = end != nullptr && *end == '\0';
     } else ok = false;
     if (!ok) {
-      bad_key = std::string(toks[i]);
+      err = "bad event token '" + std::string(toks[i]) + "'";
       return false;
     }
   }
@@ -345,9 +399,19 @@ bool parse_event_line(const std::vector<std::string_view>& toks,
 
 std::string format_repro(const ReproCase& repro) {
   std::ostringstream os;
-  os << (repro.sched ? kVersionLineV4 : kVersionLineV3) << '\n';
-  if (!repro.note.empty()) os << "note " << repro.note << '\n';
   const ProfilerConfig& c = repro.cfg;
+  // Lowest version whose grammar covers the case: sampling axes force v5
+  // (their keys are unknown below it), a schedule section forces v4, and
+  // everything else keeps writing v3 so schedule- and sampling-free corpus
+  // files stay byte-stable across profiler growth.
+  const ProfilerConfig defaults;
+  const bool sampled = c.budget != defaults.budget ||
+                       c.sampling_burst != defaults.sampling_burst ||
+                       c.sampling_skip != defaults.sampling_skip;
+  os << (sampled ? kVersionLineV5 : repro.sched ? kVersionLineV4
+                                                : kVersionLineV3)
+     << '\n';
+  if (!repro.note.empty()) os << "note " << repro.note << '\n';
   os << "config storage=" << storage_kind_name(c.storage)
      << " slots=" << c.slots << " sighash=" << sig_hash_name(c.sig_hash)
      << " mt=" << (c.mt_targets ? 1 : 0) << " workers=" << c.workers
@@ -356,8 +420,11 @@ std::string format_repro(const ReproCase& repro) {
      << " qcap=" << c.queue_capacity
      << " modulo_routing=" << (c.modulo_routing ? 1 : 0)
      << " batch=" << (c.batched_detect ? 1 : 0)
-     << " dedup=" << (c.dedup ? 1 : 0) << " pack=" << (c.pack ? 1 : 0)
-     << '\n';
+     << " dedup=" << (c.dedup ? 1 : 0) << " pack=" << (c.pack ? 1 : 0);
+  if (sampled)
+    os << " budget=" << c.budget << " burst=" << c.sampling_burst
+       << " skip=" << c.sampling_skip;
+  os << '\n';
   const LoadBalanceConfig& lb = c.load_balance;
   os << "lb enabled=" << (lb.enabled ? 1 : 0)
      << " sample_shift=" << lb.sample_shift
@@ -410,11 +477,21 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
   ReproCase repro;
   int version = 0;
   bool saw_config = false;
-  bool saw_dedup = false;
-  bool saw_pack = false;
+  bool saw_lb = false;
+  ConfigKeysSeen saw;
   NestParseState nest;
   std::size_t line_no = 0;
   std::size_t pos = 0;
+  // Every directive except the provenance note needs the config line first:
+  // a directive parsed before the config could be reinterpreted (or a
+  // second config could retroactively invalidate it), so ordering is part
+  // of the strictness contract rather than a formatting convention.
+  auto after_config = [&](const char* directive) {
+    return saw_config ||
+           set_error(error, line_no,
+                     std::string(directive) +
+                         " directive before the config line");
+  };
   while (pos <= text.size()) {
     const std::size_t nl = text.find('\n', pos);
     std::string_view line = text.substr(
@@ -435,39 +512,57 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
         version = 3;
       } else if (line == kVersionLineV4) {
         version = 4;
+      } else if (line == kVersionLineV5) {
+        version = 5;
       } else {
         return set_error(error, line_no,
                          "expected version line '" +
                              std::string(kVersionLineV1) + "' .. '" +
-                             std::string(kVersionLineV4) + "'");
+                             std::string(kVersionLineV5) + "'");
+      }
+      // v1-v4 predate the sampling axes: replay with sampling off, the
+      // semantics those repros were recorded under.
+      if (version < 5) {
+        repro.cfg.budget = 1.0;
+        repro.cfg.sampling_skip = 0;
       }
       continue;
     }
     if (line[0] == '#') continue;
     const std::vector<std::string_view> toks = tokens_of(line);
     if (toks.empty()) continue;
-    std::string bad;
+    std::string err;
     if (toks[0] == "note") {
       const std::size_t at = line.find("note ");
       repro.note = at == std::string_view::npos
                        ? ""
                        : std::string(line.substr(at + 5));
     } else if (toks[0] == "config") {
-      if (!parse_config_line(toks, version, repro.cfg, saw_dedup, saw_pack,
-                             bad))
-        return set_error(error, line_no, "bad config token '" + bad + "'");
-      if (version >= 2 && (!saw_dedup || !saw_pack))
+      if (saw_config)
+        return set_error(error, line_no, "duplicate config line");
+      if (!parse_config_line(toks, version, repro.cfg, saw, err))
+        return set_error(error, line_no, err);
+      if (version >= 2 && (!saw.dedup || !saw.pack))
         return set_error(error, line_no,
                          "v2 config requires dedup= and pack= keys");
+      if (version >= 5 && (!saw.budget || !saw.burst || !saw.skip))
+        return set_error(error, line_no,
+                         "v5 config requires budget=, burst= and skip= keys");
       saw_config = true;
     } else if (toks[0] == "lb") {
-      if (!parse_lb_line(toks, repro.cfg.load_balance, bad))
-        return set_error(error, line_no, "bad lb token '" + bad + "'");
+      if (!after_config("lb")) return false;
+      if (saw_lb) return set_error(error, line_no, "duplicate lb line");
+      if (!parse_lb_line(toks, repro.cfg.load_balance, err))
+        return set_error(error, line_no, err);
+      saw_lb = true;
     } else if (toks[0] == "sched") {
       if (version < 4)
         return set_error(error, line_no, "sched directive requires v4");
-      if (!parse_sched_line(toks, repro, bad))
-        return set_error(error, line_no, "bad sched token '" + bad + "'");
+      if (!after_config("sched")) return false;
+      if (repro.sched)
+        return set_error(error, line_no, "duplicate sched line");
+      if (!parse_sched_line(toks, repro, err))
+        return set_error(error, line_no, err);
     } else if (toks[0] == "sstep") {
       if (version < 4)
         return set_error(error, line_no, "sstep directive requires v4");
@@ -480,12 +575,14 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
     } else if (toks[0] == "nest") {
       if (version < 3)
         return set_error(error, line_no, "nest directive requires v3");
-      if (!parse_nest_line(toks, nest, bad))
-        return set_error(error, line_no, "bad nest token '" + bad + "'");
+      if (!after_config("nest")) return false;
+      if (!parse_nest_line(toks, nest, err))
+        return set_error(error, line_no, err);
     } else if (toks[0] == "ev") {
+      if (!after_config("ev")) return false;
       AccessEvent ev;
-      if (!parse_event_line(toks, ev, version, nest, bad))
-        return set_error(error, line_no, "bad event token '" + bad + "'");
+      if (!parse_event_line(toks, ev, version, nest, err))
+        return set_error(error, line_no, err);
       repro.trace.events.push_back(ev);
     } else {
       return set_error(error, line_no,

@@ -6,12 +6,12 @@
 // tests/corpus/ is replayed by the corpus regression test on each CI run,
 // turning yesterday's fuzz finding into tomorrow's regression gate.
 //
-//   depfuzz-repro v4
+//   depfuzz-repro v5
 //   # free-form provenance comment
 //   note <one-line description>
 //   config storage=perfect slots=1048576 sighash=modulo mt=0 workers=4
 //          ... queue=lock-free-spsc wait=park chunk=7 qcap=64 modulo_routing=0
-//          ... batch=1 dedup=1 pack=1
+//          ... batch=1 dedup=1 pack=1 budget=1 burst=8 skip=0
 //   lb enabled=1 sample_shift=0 interval=200 threshold=1.25 top_k=10
 //          ... max_rounds=64
 //   sched seed=7 algo=pct
@@ -23,11 +23,18 @@
 //          ... ctx=2 iters=3,1,0,0,0,0,0
 //
 // (`config` and `lb` are single lines; they are wrapped here for the
-// comment only.)  `ev` kinds are R / W / F.  Unknown directives or keys are
-// hard parse errors — the corpus lint relies on strictness, so a typo in a
-// committed repro fails CI instead of silently replaying something else.
+// comment only.)  `ev` kinds are R / W / F.  Unknown directives or keys,
+// duplicate keys within a line, duplicate config/lb/sched lines, and any
+// directive other than `note` appearing before the config line are hard
+// parse errors with the offending line number — the corpus lint relies on
+// strictness, so a typo in a committed repro fails CI instead of silently
+// replaying something else.
 //
-// Versioning: v4 (current) adds the deterministic-schedule section for
+// Versioning: v5 (current) adds the overhead-budget sampling axes and
+// hard-requires their keys (budget=/burst=/skip=) on the config line, so a
+// repro can never silently replay under whichever sampling defaults happen
+// to be current; v1–v4 files replay with sampling off, the semantics they
+// were recorded under.  v4 added the deterministic-schedule section for
 // interleaving-dependent findings: a `sched` directive (exploration seed
 // and algorithm) plus zero or more `sstep <thread> <site>` lines — the
 // recorded schedule the failing run took, replayed verbatim by the
@@ -42,12 +49,9 @@
 // re-interned into an equivalent nest chain keyed by (parent, loop,
 // entry).  v2 also introduced — and every later version keeps — the
 // hard-required front-end reduction keys dedup= and pack= on the config
-// line, so a repro can never silently replay under whichever defaults
-// happen to be current.  v1 files (which predate those axes) still parse,
-// with both axes off — the semantics they were recorded under.  v1–v3
-// files parse with the schedule section absent (sched disabled).
-// format_repro writes v4 when the case carries a schedule, v3 otherwise,
-// so schedule-free corpus files keep diffing cleanly against history.
+// line.  v1 files (which predate those axes) still parse, with both axes
+// off.  v1–v3 files parse with the schedule section absent (sched
+// disabled).  format_repro always writes v5.
 //
 // MT repros must be order-faithful under single-threaded replay: every
 // mixed-tid event stream needs the lock-region flag (bit 0) set, as the
@@ -78,12 +82,15 @@ struct ReproCase {
   sched::ScheduleTrace schedule;
 };
 
-/// Renders `repro` in the current text format (v4 when it carries a
-/// schedule section, v3 otherwise).
+/// Renders `repro` in the current text format (always v5; the sched
+/// section is present only when the case carries one).
 std::string format_repro(const ReproCase& repro);
 
-/// Strict parser: returns false and sets `error` (when non-null) on any
-/// unknown directive, unknown key, malformed value, or missing section.
+/// Strict parser: returns false and sets `error` (when non-null, prefixed
+/// with the offending line number) on any unknown directive, unknown or
+/// duplicate key, malformed value, missing required key, duplicate
+/// config/lb/sched line, directive before the config line, or missing
+/// section.
 bool parse_repro(ReproCase& out, std::string_view text,
                  std::string* error = nullptr);
 

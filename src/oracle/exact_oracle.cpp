@@ -93,6 +93,14 @@ void ExactOracle::emit(const AccessEvent& sink, const LastAccess& src,
 }
 
 void ExactOracle::on_access(const AccessEvent& ev) {
+  if (ev.is_burst_mark()) {
+    // Sampling gap: the same clearing rule the detectors apply, derived
+    // independently — forget every last access so no dependence spans the
+    // unobserved region.
+    last_read_.clear();
+    last_write_.clear();
+    return;
+  }
   const std::uint64_t unit = word_addr(ev.addr);
   if (ev.is_free()) {
     last_read_.erase(unit);

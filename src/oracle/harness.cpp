@@ -10,6 +10,7 @@
 #include "oracle/diff.hpp"
 #include "oracle/exact_oracle.hpp"
 #include "sig/fpr_model.hpp"
+#include "trace/nest.hpp"
 
 namespace depprof {
 namespace {
@@ -29,6 +30,18 @@ struct UnitStats {
   std::size_t events = 0;   ///< non-free accesses
   std::size_t distinct = 0; ///< distinct word units
 };
+
+/// Depth-1 ancestor of a nest context — the outermost-loop invocation the
+/// event executed under (kRoot for events outside any loop, or for context
+/// ids the forest never interned, which only corrupt input can produce).
+std::uint32_t outermost_invocation(const NestForest& forest,
+                                   std::uint32_t ctx) {
+  if (ctx == NestForest::kRoot || ctx >= forest.size())
+    return NestForest::kRoot;
+  std::uint32_t c = ctx;
+  while (forest.parent(c) != NestForest::kRoot) c = forest.parent(c);
+  return c;
+}
 
 UnitStats unit_stats(const Trace& trace) {
   UnitStats s;
@@ -78,18 +91,133 @@ DivergenceBudget divergence_budget(const ProfilerConfig& cfg,
   return b;
 }
 
+Trace sample_stream(const Trace& trace, unsigned burst, unsigned skip) {
+  Trace out;
+  out.events.reserve(trace.events.size());
+  if (burst == 0) burst = 1;
+  const NestForest& forest = nest_forest();
+  const unsigned cycle = burst + skip;
+  bool in_unit = false;
+  std::uint32_t unit_root = NestForest::kRoot;
+  std::uint32_t unit_iter = 0;
+  unsigned pos = 0;       // index of the current unit within the B+K cycle
+  bool off = false;       // current unit is skipped
+  bool pending_gap = false;
+  for (const AccessEvent& ev : trace.events) {
+    const std::uint32_t root = outermost_invocation(forest, ev.ctx);
+    if (root == NestForest::kRoot) {
+      // Outside any loop: always profiled, and any open unit is over.
+      in_unit = false;
+      off = false;
+    } else if (!in_unit || root != unit_root || ev.iters[0] != unit_iter) {
+      // New unit: a fresh outermost-loop invocation (each dynamic entry is
+      // a fresh forest node) or the next iteration of the current one.
+      in_unit = true;
+      unit_root = root;
+      unit_iter = ev.iters[0];
+      off = pos >= burst;
+      pos += 1;
+      if (pos >= cycle) pos = 0;
+    }
+    if (off) {
+      pending_gap = true;
+      continue;
+    }
+    if (pending_gap) {
+      // Gap-close rule: the marker precedes the first kept event after any
+      // drop, so nothing is ever detected against pre-gap store state.
+      pending_gap = false;
+      AccessEvent mark;
+      mark.kind = AccessKind::kBurstMark;
+      mark.tid = ev.tid;
+      out.events.push_back(mark);
+    }
+    out.events.push_back(ev);
+  }
+  return out;
+}
+
+SubsetReport check_sampled_subset(const DepMap& full, const DepMap& sampled) {
+  SubsetReport r;
+  for (const auto& [k, info] : full)
+    if (k.type != DepType::kInit) ++r.full_edges;
+  std::size_t violations = 0;
+  auto violate = [&](const DepKey& k, const char* what) {
+    r.ok = false;
+    ++violations;
+    if (violations > 8) return;
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "subset violation: %s sink=%u src=%u var=%u tid=%u: %s\n",
+                  dep_type_name(k.type), k.sink_loc, k.src_loc, k.var,
+                  k.sink_tid, what);
+    r.detail += line;
+  };
+  for (const auto& [k, info] : sampled) {
+    if (k.type == DepType::kInit) continue;
+    ++r.sampled_edges;
+    const DepInfo* f = full.find(k);
+    if (f == nullptr) {
+      violate(k, "edge absent from the unsampled map");
+      continue;
+    }
+    if (info.count > f->count)
+      violate(k, "instance count exceeds the unsampled map");
+    if ((info.flags & static_cast<std::uint8_t>(~f->flags)) != 0)
+      violate(k, "qualifier flags are not a subset");
+    for (std::size_t d = 0; d < kNestLevels; ++d) {
+      if (info.levels[d].d0 > f->levels[d].d0 ||
+          info.levels[d].d1 > f->levels[d].d1 ||
+          info.levels[d].d2p > f->levels[d].d2p) {
+        violate(k, "per-level distance bucket exceeds the unsampled map");
+        break;
+      }
+    }
+  }
+  if (violations > 8) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "(+%zu more violations)\n",
+                  violations - 8);
+    r.detail += line;
+  }
+  r.recall = r.full_edges == 0
+                 ? 1.0
+                 : static_cast<double>(r.sampled_edges) /
+                       static_cast<double>(r.full_edges);
+  return r;
+}
+
 CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg,
                      const SchedSpec* sched_spec) {
   CaseOutcome out;
-  out.expectation = classify_expectation(cfg, trace);
-
-  const DepMap oracle = oracle_dependences(trace, cfg.mt_targets);
 
   auto fail = [&](const std::string& what) {
     out.ok = false;
     if (!out.detail.empty()) out.detail += '\n';
     out.detail += what;
   };
+
+  // Sampled mode (sequential targets, fixed schedule): the profilers run
+  // over the sampled stream and are judged against the sampled-trace
+  // oracle; the sampled oracle itself must first satisfy the subset
+  // contract against the full-trace oracle.
+  const bool sampled = cfg.sampling_skip > 0 && !cfg.mt_targets;
+  Trace sampled_trace;
+  const Trace* effective = &trace;
+  DepMap oracle;
+  if (sampled) {
+    DepMap full = oracle_dependences(trace, cfg.mt_targets);
+    sampled_trace =
+        sample_stream(trace, cfg.sampling_burst, cfg.sampling_skip);
+    oracle = oracle_dependences(sampled_trace, cfg.mt_targets);
+    const SubsetReport sub = check_sampled_subset(full, oracle);
+    if (!sub.ok)
+      fail("sampled map violates the subset contract:\n" + sub.detail);
+    effective = &sampled_trace;
+  } else {
+    oracle = oracle_dependences(trace, cfg.mt_targets);
+  }
+  out.expectation = classify_expectation(cfg, *effective);
 
   // The dedup front end is checked (and applied) once for both profilers.
   RleStream rle;
@@ -99,7 +227,7 @@ CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg,
     // every configuration — this is stronger than the exact/bounded split
     // below and is checked against the oracle itself, so a dedup defect is
     // attributed to dedup rather than to whichever store runs under it.
-    rle = dedup_stream(trace.events.data(), trace.events.size());
+    rle = dedup_stream(effective->events.data(), effective->events.size());
     Trace expanded;
     expanded.events = expand_rle(rle);
     const DepMap oracle_rle = oracle_dependences(expanded, cfg.mt_targets);
@@ -113,7 +241,7 @@ CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg,
   if (cfg.dedup)
     replay_rle(rle, *serial);
   else
-    replay(trace, *serial);
+    replay(*effective, *serial);
 
   // Parallel run, optionally under the deterministic schedule controller.
   // The session spans construction through finish(): workers attach as they
@@ -132,7 +260,7 @@ CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg,
     if (cfg.dedup)
       replay_rle(rle, *parallel);
     else
-      replay(trace, *parallel);
+      replay(*effective, *parallel);
     if (sched_spec != nullptr) {
       sched::Result r = sched::end();
       out.schedule = std::move(r.recorded);
@@ -157,7 +285,7 @@ CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg,
         fail(format_diff(parallel_diff, "oracle", "parallel"));
     } else {
       const DivergenceBudget budget =
-          divergence_budget(cfg, trace, oracle.size());
+          divergence_budget(cfg, *effective, oracle.size());
       auto check_bounded = [&](const DepDiff& d, const char* name) {
         if (d.divergent_keys() <= budget.max_divergent_keys) return;
         char head[160];

@@ -91,12 +91,51 @@ struct CaseOutcome {
   std::uint64_t sched_divergences = 0;
 };
 
+/// Trace-replay twin of the runtime's overhead-budget sampling gate
+/// (instrument/runtime.cpp): applies the deterministic B-on / K-off burst
+/// schedule at outermost-loop-iteration granularity and returns the stream
+/// a sampled run would have delivered.  A sampling unit is identified by
+/// (root-ancestor nest node, outermost iteration counter); events outside
+/// any loop are always kept; after any dropped event a kBurstMark precedes
+/// the next kept event, whatever it is — the gap-close rule that makes the
+/// sampled map a subset of the unsampled one.  With skip == 0 the output is
+/// the input, marker-free.
+Trace sample_stream(const Trace& trace, unsigned burst, unsigned skip);
+
+/// Verdict of the sampled-vs-unsampled subset contract.
+struct SubsetReport {
+  bool ok = true;
+  std::string detail;  ///< first few violations ("" when ok)
+  /// Non-INIT dependence edges in each map.  INIT keys are excluded from
+  /// the contract: INIT marks the burst-local first observed write, so a
+  /// post-gap write legitimately re-INITs an address the unsampled run saw
+  /// written earlier — a sampling artifact, not a dependence edge.
+  std::size_t full_edges = 0;
+  std::size_t sampled_edges = 0;
+  /// Edge recall: sampled_edges / full_edges (1.0 for an empty full map).
+  double recall = 1.0;
+};
+
+/// Checks that `sampled` is a subset of `full` per non-INIT dependence
+/// edge: every sampled key exists in the full map with no larger instance
+/// count, a subset of its qualifier flags, and component-wise no larger
+/// per-level distance buckets.  This is the correctness claim of sampling —
+/// gaps may only *lose* evidence, never invent or misattribute it.
+SubsetReport check_sampled_subset(const DepMap& full, const DepMap& sampled);
+
 /// Runs oracle + serial + parallel over `trace` under `cfg` and checks the
 /// contract above.  The parallel run uses cfg as-is (workers, queue, wait,
 /// chunking, load balancer); the serial run shares the storage half of cfg.
 /// With a SchedSpec the parallel run executes under the deterministic
 /// schedule controller; the ownership/epoch invariant is checked either
 /// way.
+///
+/// With cfg.sampling_skip > 0 (and sequential targets) the case runs in
+/// sampled mode: the full-trace oracle is computed first, the trace is
+/// passed through sample_stream, the sampled-trace oracle must satisfy the
+/// subset contract against the full one, and both profilers then run over
+/// the sampled stream under the usual exact/bounded rules relative to the
+/// sampled oracle.
 CaseOutcome run_case(const Trace& trace, const ProfilerConfig& cfg,
                      const SchedSpec* sched = nullptr);
 

@@ -143,6 +143,14 @@ ProfilerConfig shrink_config(const Trace& trace, ProfilerConfig cfg,
   // repro should say so.
   if (cfg.dedup) try_apply([](ProfilerConfig& c) { c.dedup = false; });
   if (cfg.pack) try_apply([](ProfilerConfig& c) { c.pack = false; });
+  // Sampling-off rung: a failure that survives with the burst gate removed
+  // did not need sampling, and the repro then judges the profilers against
+  // the plain full-trace oracle — the simpler diagnosis target.
+  if (cfg.sampling_skip != 0 || cfg.budget < 1.0)
+    try_apply([](ProfilerConfig& c) {
+      c.sampling_skip = 0;
+      c.budget = 1.0;
+    });
   return cfg;
 }
 

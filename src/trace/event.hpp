@@ -31,6 +31,12 @@ enum class AccessKind : std::uint8_t {
   /// Variable-lifetime event (Sec. III-B): the address range became obsolete
   /// (free / scope exit); remove it from the signatures.
   kFree = 2,
+  /// Burst boundary of the overhead-budget sampling mode: one or more
+  /// accesses were dropped immediately before this point.  Consumers must
+  /// clear their last-access state so no dependence is attributed across
+  /// the unobserved gap — that clearing is what makes every sampled
+  /// dependence edge a true edge of the unsampled run (subset contract).
+  kBurstMark = 3,
 };
 
 /// Event flag bits.
@@ -64,6 +70,7 @@ struct AccessEvent {
   bool is_read() const { return kind == AccessKind::kRead; }
   bool is_write() const { return kind == AccessKind::kWrite; }
   bool is_free() const { return kind == AccessKind::kFree; }
+  bool is_burst_mark() const { return kind == AccessKind::kBurstMark; }
   SourceLocation location() const { return SourceLocation::from_packed(loc); }
 };
 
@@ -101,6 +108,22 @@ class AccessSink {
   virtual void on_unlock(std::uint16_t tid) { (void)tid; }
   /// Stream end: flush buffered state.
   virtual void finish() {}
+  /// Profiling cost spent inside this sink so far, in nanoseconds of CPU
+  /// time (sum of the pipeline stages' cpu_ns for profilers).  The
+  /// overhead-budget sampling controller polls this between bursts to
+  /// measure the achieved overhead fraction online; sinks without stage
+  /// clocks report 0 and the controller falls back to its configured duty.
+  virtual std::uint64_t profiling_cost_ns() const { return 0; }
+  /// Sampling summary, delivered once at detach when the overhead-budget
+  /// mode was active: accesses dropped in skipped units, burst boundaries
+  /// emitted, and the controller's measured overhead in parts-per-million.
+  virtual void on_sampling_stats(std::uint64_t events_sampled_out,
+                                 std::uint64_t bursts,
+                                 std::uint64_t overhead_ppm) {
+    (void)events_sampled_out;
+    (void)bursts;
+    (void)overhead_ppm;
+  }
 };
 
 }  // namespace depprof

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "oracle/corpus.hpp"
@@ -251,6 +253,103 @@ TEST(Harness, BoundedBudgetGrowsWithPredictedFpr) {
   EXPECT_GE(b_small.max_divergent_keys, b_large.max_divergent_keys);
 }
 
+// --- overhead-budget sampling ---------------------------------------------
+
+TEST(Harness, SampleStreamIsIdentityAtSkipZero) {
+  GenParams p;
+  p.accesses = 2000;
+  p.distinct = 128;
+  const Trace t = gen_loop(p, 24, true);
+  const Trace s = sample_stream(t, 8, 0);
+  ASSERT_EQ(s.events.size(), t.events.size());
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&s.events[i], &t.events[i], sizeof(AccessEvent)), 0)
+        << "event " << i << " diverged";
+  }
+}
+
+TEST(Harness, SampleStreamDropsIterationsAndClosesGaps) {
+  GenParams p;
+  p.accesses = 2000;
+  p.distinct = 128;
+  const Trace t = gen_loop(p, 24, true);
+  const Trace s = sample_stream(t, 1, 1);  // 50% duty, burst of one iteration
+  ASSERT_LT(s.events.size(), t.events.size());
+  // Every marker must directly precede a kept access (gap-close rule), and
+  // at 50% duty with >1 outermost iteration at least one gap must close.
+  std::size_t markers = 0;
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    if (!s.events[i].is_burst_mark()) continue;
+    ++markers;
+    ASSERT_LT(i + 1, s.events.size()) << "trailing marker";
+    EXPECT_FALSE(s.events[i + 1].is_burst_mark());
+  }
+  EXPECT_GE(markers, 1u);
+}
+
+TEST(Harness, SampledOracleSatisfiesSubsetContract) {
+  GenParams p;
+  p.accesses = 4000;
+  p.distinct = 256;
+  for (const Trace& t : {gen_loop(p, 32, true), gen_churn(p, 0.25, 0, 3)}) {
+    const DepMap full = oracle_dependences(t, false);
+    for (const auto [burst, skip] : {std::pair{4u, 4u}, std::pair{1u, 9u}}) {
+      const Trace s = sample_stream(t, burst, skip);
+      const DepMap sampled = oracle_dependences(s, false);
+      const SubsetReport rep = check_sampled_subset(full, sampled);
+      EXPECT_TRUE(rep.ok) << "burst=" << burst << " skip=" << skip << "\n"
+                          << rep.detail;
+      EXPECT_LE(rep.recall, 1.0);
+      EXPECT_LE(rep.sampled_edges, rep.full_edges);
+    }
+  }
+}
+
+TEST(Harness, SubsetCheckFlagsInventedEvidence) {
+  // full: one RAW instance.  sampled-candidate A invents a second instance
+  // of the same edge; candidate B invents a brand-new edge.  Both must be
+  // flagged — sampling may only lose evidence.
+  Trace base;
+  base.events.push_back(make_ev(AccessKind::kWrite, 0x100, 1));
+  base.events.push_back(make_ev(AccessKind::kRead, 0x100, 2));
+  const DepMap full = oracle_dependences(base, false);
+
+  Trace doubled = base;
+  doubled.events.push_back(make_ev(AccessKind::kRead, 0x100, 2));
+  const SubsetReport count_rep =
+      check_sampled_subset(full, oracle_dependences(doubled, false));
+  EXPECT_FALSE(count_rep.ok);
+  EXPECT_NE(count_rep.detail.find("instance count"), std::string::npos);
+
+  Trace foreign = base;
+  foreign.events.push_back(make_ev(AccessKind::kWrite, 0x200, 3));
+  foreign.events.push_back(make_ev(AccessKind::kRead, 0x200, 4));
+  const SubsetReport absent_rep =
+      check_sampled_subset(full, oracle_dependences(foreign, false));
+  EXPECT_FALSE(absent_rep.ok);
+  EXPECT_NE(absent_rep.detail.find("absent"), std::string::npos);
+}
+
+TEST(Harness, SampledCasesHoldAcrossBackends) {
+  GenParams p;
+  p.accesses = 3000;
+  p.distinct = 256;
+  const Trace t = gen_loop(p, 32, true);
+  for (const StorageKind storage :
+       {StorageKind::kPerfect, StorageKind::kShadow, StorageKind::kHashTable,
+        StorageKind::kSignature}) {
+    ProfilerConfig cfg;
+    cfg.storage = storage;
+    cfg.workers = 3;
+    cfg.chunk_size = 16;
+    cfg.sampling_burst = 2;
+    cfg.sampling_skip = 3;
+    const CaseOutcome outcome = run_case(t, cfg);
+    EXPECT_TRUE(outcome.ok) << storage_kind_name(storage) << "\n"
+                            << outcome.detail;
+  }
+}
+
 // --- shrinker -------------------------------------------------------------
 
 TEST(Shrinker, MinimizesToThePlantedKernel) {
@@ -428,6 +527,9 @@ ReproCase sample_repro() {
   r.cfg.load_balance.imbalance_threshold = 1.5;
   r.cfg.load_balance.top_k = 3;
   r.cfg.load_balance.max_rounds = 9;
+  r.cfg.budget = 0.5;  // non-default sampling: the file must carry the axes
+  r.cfg.sampling_burst = 4;
+  r.cfg.sampling_skip = 3;
   AccessEvent ev = make_ev(AccessKind::kWrite, 0xabc0, 41, 2, 1, 99);
   ev.flags = kInLockRegion;
   ev.ctx = nest_forest().enter(NestForest::kRoot, 5);
@@ -458,6 +560,9 @@ TEST(Corpus, FormatParseRoundTrip) {
   EXPECT_EQ(back.cfg.batched_detect, original.cfg.batched_detect);
   EXPECT_EQ(back.cfg.dedup, original.cfg.dedup);
   EXPECT_EQ(back.cfg.pack, original.cfg.pack);
+  EXPECT_DOUBLE_EQ(back.cfg.budget, original.cfg.budget);
+  EXPECT_EQ(back.cfg.sampling_burst, original.cfg.sampling_burst);
+  EXPECT_EQ(back.cfg.sampling_skip, original.cfg.sampling_skip);
   EXPECT_EQ(back.cfg.load_balance.enabled, original.cfg.load_balance.enabled);
   EXPECT_EQ(back.cfg.load_balance.eval_interval_chunks,
             original.cfg.load_balance.eval_interval_chunks);
@@ -609,12 +714,105 @@ TEST(Corpus, VersionedFrontEndReductionKeys) {
       << error;
   EXPECT_FALSE(out.cfg.dedup);
   EXPECT_FALSE(out.cfg.pack);
-  // format_repro always writes the current version with both keys present.
+  // format_repro writes the lowest version whose grammar covers the case;
+  // sample_repro has non-default sampling, which forces v5 with every
+  // hard-required key present.
   const std::string text = format_repro(sample_repro());
-  EXPECT_NE(text.find("depfuzz-repro v3"), std::string::npos);
+  EXPECT_NE(text.find("depfuzz-repro v5"), std::string::npos);
   EXPECT_NE(text.find("dedup="), std::string::npos);
   EXPECT_NE(text.find("pack="), std::string::npos);
+  EXPECT_NE(text.find("budget="), std::string::npos);
+  EXPECT_NE(text.find("burst="), std::string::npos);
+  EXPECT_NE(text.find("skip="), std::string::npos);
   EXPECT_NE(text.find("nest id=1"), std::string::npos);
+}
+
+TEST(Corpus, V5SamplingKeysHardRequired) {
+  ReproCase out;
+  std::string error;
+  // v5 hard-requires the sampling axes, for the same reason v2 hard-required
+  // dedup=/pack=: omitting them would silently replay under the defaults.
+  EXPECT_FALSE(parse_repro(
+      out, "depfuzz-repro v5\nconfig storage=perfect dedup=0 pack=0\n",
+      &error));
+  EXPECT_NE(error.find("budget"), std::string::npos);
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v5\nconfig storage=perfect dedup=0 "
+                           "pack=0 budget=0.5 burst=4\n",
+                           &error));
+  ASSERT_TRUE(parse_repro(out,
+                          "depfuzz-repro v5\nconfig storage=perfect dedup=0 "
+                          "pack=0 budget=0.5 burst=4 skip=3\n",
+                          &error))
+      << error;
+  EXPECT_DOUBLE_EQ(out.cfg.budget, 0.5);
+  EXPECT_EQ(out.cfg.sampling_burst, 4u);
+  EXPECT_EQ(out.cfg.sampling_skip, 3u);
+  // Below v5 the sampling keys are unknown, and older files replay with
+  // sampling off — the semantics they were recorded under.
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v4\nconfig storage=perfect dedup=0 "
+                           "pack=0 budget=0.5 burst=4 skip=3\n",
+                           &error));
+  ASSERT_TRUE(parse_repro(
+      out, "depfuzz-repro v4\nconfig storage=perfect dedup=0 pack=0\n",
+      &error))
+      << error;
+  EXPECT_DOUBLE_EQ(out.cfg.budget, 1.0);
+  EXPECT_EQ(out.cfg.sampling_skip, 0u);
+}
+
+TEST(Corpus, StrictParserRejectsAmbiguousShape) {
+  ReproCase out;
+  std::string error;
+  // A duplicate key within one line would silently last-write-win.
+  EXPECT_FALSE(parse_repro(
+      out, "depfuzz-repro v1\nconfig storage=perfect storage=shadow\n",
+      &error));
+  EXPECT_NE(error.find("duplicate key 'storage'"), std::string::npos);
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v1\nconfig storage=perfect\n"
+                           "ev W addr=0x1 addr=0x2\n",
+                           &error));
+  EXPECT_NE(error.find("duplicate key 'addr'"), std::string::npos);
+  EXPECT_NE(error.find("line 3"), std::string::npos);
+  // A second config (or lb) line would retroactively rewrite the first.
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v1\nconfig storage=perfect\n"
+                           "config storage=shadow\n",
+                           &error));
+  EXPECT_NE(error.find("duplicate config line"), std::string::npos);
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v1\nconfig storage=perfect\n"
+                           "lb enabled=0\nlb enabled=1\n",
+                           &error));
+  EXPECT_NE(error.find("duplicate lb line"), std::string::npos);
+  // Every directive except the provenance note needs the config line first.
+  EXPECT_FALSE(parse_repro(
+      out, "depfuzz-repro v1\nev W addr=0x1\nconfig storage=perfect\n",
+      &error));
+  EXPECT_NE(error.find("before the config line"), std::string::npos);
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v3\nnest id=1 parent=0 loop=5\n"
+                           "config storage=perfect dedup=0 pack=0\n",
+                           &error));
+  EXPECT_NE(error.find("before the config line"), std::string::npos);
+  // nest directives must carry parent= and loop= explicitly: a defaulted
+  // value would silently re-shape the nest.
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v3\n"
+                           "config storage=perfect dedup=0 pack=0\n"
+                           "nest id=1 loop=5\n",
+                           &error));
+  EXPECT_NE(error.find("parent="), std::string::npos);
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v3\n"
+                           "config storage=perfect dedup=0 pack=0\n"
+                           "nest id=1 parent=0\n",
+                           &error));
+  EXPECT_NE(error.find("loop="), std::string::npos);
 }
 
 // --- committed corpus replays clean ---------------------------------------

@@ -12,14 +12,18 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/hash.hpp"
 #include "common/mem_stats.hpp"
 #include "core/pipeline.hpp"
 #include "core/profiler.hpp"
+#include "core/wire.hpp"
+#include "instrument/dedup.hpp"
 #include "instrument/runtime.hpp"
 #include "trace/trace.hpp"
 #include "trace/trace_io.hpp"
@@ -430,6 +434,65 @@ TEST(ChunkPoolRegression, ProduceBurstDoesNotRatchetThePoolFootprint) {
   // Teardown returns every charged byte.
   EXPECT_EQ(MemStats::instance().bytes(MemComponent::kQueues), 0);
   MemStats::instance().reset();
+}
+
+// --- ISSUE 8: the burst marker vs the front-end reduction layer ------------
+
+TEST(WireRegression, BurstMarkWithHighFlagsCannotMasqueradeAsEscape) {
+  // kind = kBurstMark (3) with flags 0x3F packs kind_flags to 0xFF — the
+  // escape header.  The compact path would emit a 16-byte record whose
+  // header byte reads as an escape, and the decoder would then interpret
+  // whatever follows as a raw 64-byte event.  The encoder must detect the
+  // collision and take the real escape path instead.
+  WireEncoder enc;
+  WireDecoder dec;
+  unsigned char buf[kMaxWireRecordBytes];
+  AccessEvent base;
+  base.addr = 0x1000;
+  base.kind = AccessKind::kRead;
+  bool escaped = false;
+  std::size_t n = enc.encode(base, 1, buf, escaped);
+  AccessEvent out;
+  std::uint32_t rep = 0;
+  ASSERT_EQ(dec.decode(buf, out, rep), n);
+
+  AccessEvent mark;
+  mark.addr = 0x1004;
+  mark.kind = AccessKind::kBurstMark;
+  mark.flags = 0x3F;  // kind | flags << 2 == kWireEscape
+  n = enc.encode(mark, 1, buf, escaped);
+  EXPECT_TRUE(escaped) << "collision with the escape header went compact";
+  ASSERT_EQ(n, kMaxWireRecordBytes);
+  ASSERT_EQ(dec.decode(buf, out, rep), n);
+  EXPECT_EQ(rep, 1u);
+  EXPECT_EQ(std::memcmp(&out, &mark, sizeof(out)), 0)
+      << "escape record did not roundtrip the marker";
+}
+
+TEST(DedupRegression, BurstMarkTerminatesRunsAndIsNeverMerged) {
+  // A repeat separated from its first instance by a burst marker must not
+  // merge: the marker clears all downstream detection state, and expanding
+  // the run would move the repeat back across that clearing point — turning
+  // the post-gap re-INIT into a pre-gap repeat the subset checker rejects.
+  std::vector<AccessEvent> evs;
+  AccessEvent w;
+  w.addr = 0x2000;
+  w.kind = AccessKind::kWrite;
+  w.loc = SourceLocation(1, 5).packed();
+  evs.push_back(w);
+  evs.push_back(w);  // exact repeat: merges into a run of two
+  AccessEvent mark;
+  mark.kind = AccessKind::kBurstMark;
+  evs.push_back(mark);
+  evs.push_back(w);  // post-gap instance: must open a fresh record
+  evs.push_back(w);  // ...which its own repeat may then join
+  const RleStream rle = dedup_stream(evs.data(), evs.size());
+  ASSERT_EQ(rle.events.size(), 3u);
+  EXPECT_EQ(rle.reps[0], 2u);
+  EXPECT_TRUE(rle.events[1].is_burst_mark());
+  EXPECT_EQ(rle.reps[1], 1u);
+  EXPECT_EQ(rle.reps[2], 2u);
+  EXPECT_EQ(rle.logical_events(), 5u);
 }
 
 }  // namespace

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <thread>
+#include <vector>
 
+#include "common/timer.hpp"
 #include "instrument/macros.hpp"
 #include "instrument/runtime.hpp"
 #include "trace/nest.hpp"
@@ -353,6 +356,217 @@ TEST_F(RuntimeTest, UpdateEmitsReadThenWrite) {
   EXPECT_TRUE(t.events[0].is_read());
   EXPECT_TRUE(t.events[1].is_write());
   EXPECT_EQ(t.events[0].addr, t.events[1].addr);
+}
+
+// --- lock-region boundary paths (regression + pins) -----------------------
+
+TEST_F(RuntimeTest, LockRegionFreeIsFlaggedAndDeliveredImmediately) {
+  // Regression: record_free used to buffer lock-region frees unflagged, so a
+  // lock-protected free travelled the chunked path while the accesses around
+  // it took the immediate one — another thread's post-free access could reach
+  // the detector before the free cleared the word.  The free must be flagged
+  // kInLockRegion and pushed before the target can release the lock.
+  Runtime::instance().attach(&recorder_, /*mt_mode=*/true);
+  alignas(4) char buf[4];
+  DP_LOCK_ENTER();
+  DP_FREE(buf, sizeof(buf));
+  {
+    // Still inside the lock region: the free is already at the sink.
+    const Trace& t = recorder_.trace();
+    ASSERT_EQ(t.events.size(), 1u);
+    EXPECT_TRUE(t.events[0].is_free());
+    EXPECT_NE(t.events[0].flags & kInLockRegion, 0);
+  }
+  DP_LOCK_EXIT();
+}
+
+TEST_F(RuntimeTest, LockExitFlushesBufferedAccesses) {
+  // Pin: leaving the outermost lock region pushes the thread's buffered
+  // accesses, so everything ordered before the release also arrives first.
+  Runtime::instance().attach(&recorder_, /*mt_mode=*/true);
+  int x = 0;
+  DP_WRITE(x);  // outside any lock region: buffered
+  x = 1;
+  EXPECT_TRUE(recorder_.trace().events.empty()) << "expected to stay buffered";
+  DP_LOCK_ENTER();
+  DP_LOCK_EXIT();
+  EXPECT_EQ(recorder_.trace().events.size(), 1u)
+      << "lock exit must flush before the target releases the lock";
+}
+
+// --- overhead-budget sampling gate ----------------------------------------
+
+/// Minimal sink capturing both the event stream and the detach-time sampling
+/// summary (TraceRecorder is final, so the override lives here).
+class StatsRecorder : public AccessSink {
+ public:
+  void on_access(const AccessEvent& ev) override {
+    trace_.events.push_back(ev);
+  }
+  void on_sampling_stats(std::uint64_t events_sampled_out,
+                         std::uint64_t bursts,
+                         std::uint64_t overhead_ppm) override {
+    sampled_out_ = events_sampled_out;
+    bursts_ = bursts;
+    ppm_ = overhead_ppm;
+    reported_ = true;
+  }
+  Trace trace_;
+  std::uint64_t sampled_out_ = 0;
+  std::uint64_t bursts_ = 0;
+  std::uint64_t ppm_ = 0;
+  bool reported_ = false;
+};
+
+TEST_F(RuntimeTest, FixedSkipSamplingGatesWholeIterations) {
+  SamplingConfig sampling;
+  sampling.burst = 1;
+  sampling.skip = 1;
+  Runtime::instance().attach(&recorder_, false, false, sampling);
+  int a = 0;
+  DP_LOOP_BEGIN();
+  for (int i = 0; i < 4; ++i) {
+    DP_LOOP_ITER();
+    DP_WRITE(a);
+    a = i;
+  }
+  DP_LOOP_END();
+  const Trace& t = capture();
+  // B=1/K=1 alternates whole outermost-loop iterations.  The loop entry
+  // opens the first (profiled) unit, iteration 1 starts the skipped one, so
+  // the kept iterations are 2 and 4 — and each kept event after a gap is
+  // preceded by exactly one burst marker.
+  ASSERT_EQ(t.events.size(), 4u);
+  EXPECT_TRUE(t.events[0].is_burst_mark());
+  EXPECT_TRUE(t.events[1].is_write());
+  EXPECT_EQ(t.events[1].iters[0], 2u);
+  EXPECT_TRUE(t.events[2].is_burst_mark());
+  EXPECT_TRUE(t.events[3].is_write());
+  EXPECT_EQ(t.events[3].iters[0], 4u);
+}
+
+TEST_F(RuntimeTest, AccessesOutsideLoopsBypassTheGate) {
+  SamplingConfig sampling;
+  sampling.burst = 1;
+  sampling.skip = 7;
+  Runtime::instance().attach(&recorder_, false, false, sampling);
+  int a = 0;
+  DP_LOOP_BEGIN();
+  DP_LOOP_ITER();  // first skipped unit of the cycle
+  DP_WRITE(a);     // dropped
+  a = 1;
+  DP_LOOP_END();
+  DP_READ(a);  // outside any loop: always profiled, behind a gap marker
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_TRUE(t.events[0].is_burst_mark());
+  EXPECT_TRUE(t.events[1].is_read());
+}
+
+TEST_F(RuntimeTest, SamplingDisabledUnderMtMode) {
+  // Cross-thread gaps would need a global cut; the per-thread unit cannot
+  // provide one, so mt_mode forces the gate off no matter the config.
+  SamplingConfig sampling;
+  sampling.burst = 1;
+  sampling.skip = 9;
+  Runtime::instance().attach(&recorder_, /*mt_mode=*/true, false, sampling);
+  int a = 0;
+  DP_LOOP_BEGIN();
+  for (int i = 0; i < 6; ++i) {
+    DP_LOOP_ITER();
+    DP_WRITE(a);
+    a = i;
+  }
+  DP_LOOP_END();
+  const Trace& t = capture();
+  ASSERT_EQ(t.events.size(), 6u);
+  for (const auto& e : t.events) EXPECT_FALSE(e.is_burst_mark());
+}
+
+TEST_F(RuntimeTest, SamplingOffConfigEmitsNoMarkersOrStats) {
+  StatsRecorder sink;
+  SamplingConfig sampling;  // budget 1.0, skip 0: entirely off
+  Runtime::instance().attach(&sink, false, false, sampling);
+  int a = 0;
+  DP_LOOP_BEGIN();
+  for (int i = 0; i < 4; ++i) {
+    DP_LOOP_ITER();
+    DP_WRITE(a);
+    a = i;
+  }
+  DP_LOOP_END();
+  Runtime::instance().detach();
+  EXPECT_EQ(sink.trace_.events.size(), 4u);
+  for (const auto& e : sink.trace_.events) EXPECT_FALSE(e.is_burst_mark());
+  EXPECT_FALSE(sink.reported_) << "no stats callback when sampling is off";
+}
+
+TEST_F(RuntimeTest, SamplingStatsReportedOnDetach) {
+  StatsRecorder sink;
+  SamplingConfig sampling;
+  sampling.burst = 1;
+  sampling.skip = 1;
+  Runtime::instance().attach(&sink, false, false, sampling);
+  int a = 0;
+  DP_LOOP_BEGIN();
+  for (int i = 0; i < 4; ++i) {
+    DP_LOOP_ITER();
+    DP_WRITE(a);
+    a = i;
+  }
+  DP_LOOP_END();
+  Runtime::instance().detach();
+  EXPECT_TRUE(sink.reported_);
+  EXPECT_EQ(sink.sampled_out_, 2u);  // the writes of iterations 1 and 3
+  EXPECT_EQ(sink.bursts_, 2u);       // one marker per closed gap
+  EXPECT_EQ(sink.ppm_, 0u);          // fixed schedule: controller never ran
+}
+
+/// Sink whose reported profiling cost is a fixed 3/4 of elapsed wall time —
+/// a measured overhead of cost/(wall-cost) = 3, far above any budget — so
+/// the adaptive controller must raise the skip count deterministically.
+class CostlySink : public AccessSink {
+ public:
+  CostlySink() : t0_(WallTimer::now()) {}
+  void on_access(const AccessEvent&) override {}
+  std::uint64_t profiling_cost_ns() const override {
+    return (WallTimer::now() - t0_) * 3 / 4;
+  }
+  void on_sampling_stats(std::uint64_t events_sampled_out,
+                         std::uint64_t bursts,
+                         std::uint64_t overhead_ppm) override {
+    sampled_out_ = events_sampled_out;
+    bursts_ = bursts;
+    ppm_ = overhead_ppm;
+  }
+  std::uint64_t sampled_out_ = 0;
+  std::uint64_t bursts_ = 0;
+  std::uint64_t ppm_ = 0;
+
+ private:
+  std::uint64_t t0_;
+};
+
+TEST_F(RuntimeTest, AdaptiveControllerThrottlesWhenOverBudget) {
+  CostlySink sink;
+  SamplingConfig sampling;
+  sampling.budget = 0.05;
+  sampling.burst = 2;
+  Runtime::instance().attach(&sink, false, false, sampling);
+  int a = 0;
+  for (int round = 0; round < 200; ++round) {
+    DP_LOOP_BEGIN();
+    for (int i = 0; i < 8; ++i) {
+      DP_LOOP_ITER();
+      DP_WRITE(a);
+      a = i;
+    }
+    DP_LOOP_END();
+  }
+  Runtime::instance().detach();
+  EXPECT_GT(sink.sampled_out_, 0u) << "controller never raised the skip count";
+  EXPECT_GE(sink.bursts_, 1u);
+  EXPECT_GT(sink.ppm_, 0u) << "measured overhead never published";
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "core/profiler.hpp"
 #include "harness/accuracy.hpp"
 #include "instrument/dedup.hpp"
+#include "oracle/harness.hpp"
 #include "queue/queues.hpp"
 #include "trace/generators.hpp"
 #include "trace/trace.hpp"
@@ -469,6 +470,64 @@ INSTANTIATE_TEST_SUITE_P(
         BackendQueueCase{StorageKind::kHashTable, QueueKind::kLockFreeSpsc},
         BackendQueueCase{StorageKind::kHashTable, QueueKind::kLockFreeMpmc},
         BackendQueueCase{StorageKind::kHashTable, QueueKind::kMutex}));
+
+// ----------------- sampling axis (ISSUE 8): off / 100% / 50% / 10% duty
+
+class SamplingEquivalence : public ::testing::TestWithParam<StorageKind> {};
+
+TEST_P(SamplingEquivalence, SubsetContractAndSerialParallelIdentity) {
+  const StorageKind storage = GetParam();
+  GenParams p;
+  p.distinct = 400;
+  p.seed = 7 + static_cast<unsigned>(storage);
+  const Trace t = gen_loop(p, /*iters=*/24, /*carried=*/true);
+
+  ProfilerConfig cfg;
+  cfg.storage = storage;
+  cfg.slots = 1u << 18;  // collision-free regime for the signature backend
+  const DepMap full = run_serial(t, cfg);
+
+  struct Duty {
+    unsigned burst, skip;
+    const char* name;
+  };
+  // samp100 keeps every unit (skip = 0): sample_stream is the identity, so
+  // the sampled maps must be byte-identical to the unsampled run — the
+  // budget=100% no-op guarantee.  The gapped points must satisfy the subset
+  // contract instead, and serial == parallel holds at every duty point.
+  constexpr Duty kDuties[] = {
+      {8, 0, "samp100"}, {4, 4, "samp50"}, {1, 9, "samp10"}};
+  for (const Duty& d : kDuties) {
+    const Trace sampled = sample_stream(t, d.burst, d.skip);
+    const DepMap serial = run_serial(sampled, cfg);
+    if (d.skip == 0) {
+      EXPECT_EQ(deps_csv(full), deps_csv(serial))
+          << storage_kind_name(storage) << ' ' << d.name
+          << ": skip=0 must be byte-identical to the unsampled run";
+    } else {
+      const SubsetReport sub = check_sampled_subset(full, serial);
+      EXPECT_TRUE(sub.ok)
+          << storage_kind_name(storage) << ' ' << d.name << ": " << sub.detail;
+      EXPECT_GT(sub.sampled_edges, 0u)
+          << storage_kind_name(storage) << ' ' << d.name
+          << ": sampled run kept no evidence at all";
+      EXPECT_LE(sub.recall, 1.0);
+    }
+    ProfilerConfig pcfg = cfg;
+    pcfg.workers = 4;
+    pcfg.chunk_size = 64;
+    const DepMap parallel = run_parallel(sampled, pcfg);
+    EXPECT_EQ(deps_csv(serial), deps_csv(parallel))
+        << storage_kind_name(storage) << ' ' << d.name
+        << ": serial != parallel on the sampled stream";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SamplingEquivalence,
+                         ::testing::Values(StorageKind::kSignature,
+                                           StorageKind::kPerfect,
+                                           StorageKind::kShadow,
+                                           StorageKind::kHashTable));
 
 }  // namespace
 }  // namespace depprof

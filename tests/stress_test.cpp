@@ -218,6 +218,46 @@ TEST(ParallelStress, BackpressureCountersReflectBlocking) {
   EXPECT_GT(worker_idle, 0u);
 }
 
+// An explicit pool_chunks below the liveness floor (workers + 2) could
+// deadlock the sealed pool: the producer stages its only chunk for one
+// worker, then blocks forever acquiring one for the next — the pending
+// chunk never flushes while the producer is blocked, and the workers have
+// nothing to recycle.  Overhead-budget sampling makes the quiescent-producer
+// window routine (a skipped unit produces nothing), so the plan must clamp
+// the population up to the floor.  The ctest timeout is the hang detector.
+TEST(ParallelStress, UndersizedSealedPoolIsClampedNotDeadlocked) {
+  GenParams p;
+  p.accesses = 60'000;
+  p.distinct = 256;
+  const Trace t = gen_uniform(p);
+
+  ProfilerConfig cfg;
+  cfg.storage = StorageKind::kPerfect;
+  const DepMap serial = [&] {
+    auto s = make_serial_profiler(cfg);
+    replay(t, *s);
+    return s->take_dependences();
+  }();
+
+  cfg.workers = 8;  // oversubscribed on most CI hosts
+  cfg.chunk_size = 4;
+  cfg.queue_capacity = 2;
+  cfg.pool_chunks = 1;  // far below the workers + 2 floor
+  cfg.wait = WaitKind::kPark;
+  auto prof = make_parallel_profiler(cfg);
+  // Bursty delivery with quiescent windows in between — the schedule a
+  // mid-burst skip produces on a live run.
+  constexpr std::size_t kBatch = 32;
+  for (std::size_t off = 0; off < t.events.size(); off += kBatch) {
+    prof->on_batch(t.events.data() + off,
+                   std::min(kBatch, t.events.size() - off));
+    if ((off / kBatch) % 64 == 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  prof->finish();
+  EXPECT_TRUE(same_deps(serial, prof->dependences()));
+}
+
 // Target threads keep calling into the runtime while the main thread
 // attaches and detaches profilers (ISSUE 3 satellite: the record path used
 // to read the sink pointer twice, so a detach between the enabled() check

@@ -151,6 +151,31 @@ std::vector<FuzzCase> smoke_cases() {
         // the case index advances so every combination is smoke-gated.
         c.cfg.dedup = (idx / 2) % 2 == 0;
         c.cfg.pack = idx % 2 == 0;
+        // Sampling axis: rotate off / 100% / 50% / 10% duty.  100% (skip=0)
+        // drops nothing and must behave exactly like off; the 50% and 10%
+        // points run the sampled-mode harness path — subset contract against
+        // the full oracle, then exact/bounded judging against the sampled
+        // one — on every storage backend as the index advances.
+        const char* samp = "";
+        switch (idx % 4) {
+          case 1:
+            c.cfg.sampling_burst = 8;
+            c.cfg.sampling_skip = 0;
+            samp = "/samp100";
+            break;
+          case 2:
+            c.cfg.sampling_burst = 4;
+            c.cfg.sampling_skip = 4;
+            samp = "/samp50";
+            break;
+          case 3:
+            c.cfg.sampling_burst = 1;
+            c.cfg.sampling_skip = 9;
+            samp = "/samp10";
+            break;
+          default:
+            break;  // sampling off
+        }
         c.trace = tr.trace;
         c.name = std::string(sp.name) + "/" + queue_kind_name(queue) +
                  "/chunk" + std::to_string(chunk) + "/" +
@@ -159,7 +184,7 @@ std::vector<FuzzCase> smoke_cases() {
                  (c.cfg.load_balance.enabled ? "/lb" : "") +
                  (c.cfg.batched_detect ? "/batch" : "/perev") +
                  (c.cfg.dedup ? "/dedup" : "") + (c.cfg.pack ? "/pack" : "") +
-                 "/" + tr.name;
+                 samp + "/" + tr.name;
         cases.push_back(std::move(c));
         ++idx;
       }
@@ -262,13 +287,23 @@ FuzzCase random_case(Rng& rng, std::uint64_t seq) {
   c.cfg.batched_detect = rng.below(2) == 0;
   c.cfg.dedup = rng.below(2) == 0;
   c.cfg.pack = rng.below(2) == 0;
+  // Sampling axis: half the sequential cases run sampled with a random
+  // burst/skip duty point (MT traces replay unsampled — the runtime gate is
+  // sequential-targets-only, and the harness mirrors that).
+  std::string samp;
+  if (!mt && rng.below(2) == 0) {
+    c.cfg.sampling_burst = 1 + static_cast<unsigned>(rng.below(8));
+    c.cfg.sampling_skip = 1 + static_cast<unsigned>(rng.below(11));
+    samp = "/samp" + std::to_string(c.cfg.sampling_burst) + "-" +
+           std::to_string(c.cfg.sampling_skip);
+  }
   if (rng.below(2) == 0) {
     c.cfg.load_balance = active_balancer();
     c.cfg.load_balance.sample_shift = static_cast<unsigned>(rng.below(4));
     c.cfg.load_balance.eval_interval_chunks = 4 + rng.below(64);
   }
   c.name = "deep#" + std::to_string(seq) + "/" + sp.name + "/" + gname +
-           (mt ? "/mt" : "");
+           (mt ? "/mt" : "") + samp;
   return c;
 }
 

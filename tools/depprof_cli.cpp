@@ -33,6 +33,14 @@
 //                        delta records on the pipeline queues (default
 //                        --pack; parallel runs only — the serial profiler
 //                        has no queue to pack)
+//   --budget F           overhead-budget sampling: adapt the burst duty
+//                        cycle so profiling overhead tracks fraction F of
+//                        target runtime (0 < F < 1; default 1 = profile
+//                        everything).  Sequential targets only.
+//   --burst N            profiled outermost-loop iterations per burst
+//                        (default 8)
+//   --skip N             fixed skipped iterations per cycle (deterministic
+//                        sampling; overrides the --budget controller)
 //   --mt-threads N       run the pthread variant with N target threads
 //   --scale N            workload scale factor            (default 1)
 //   --format text|csv|dot                                (default text)
@@ -145,6 +153,20 @@ bool parse(int argc, char** argv, int start, CliOptions& out) {
       out.cfg.pack = true;
     } else if (arg == "--no-pack") {
       out.cfg.pack = false;
+    } else if (arg == "--budget") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out.cfg.budget = std::atof(v);
+      if (out.cfg.budget <= 0.0 || out.cfg.budget > 1.0) return false;
+    } else if (arg == "--burst") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out.cfg.sampling_burst = static_cast<unsigned>(std::atoi(v));
+      if (out.cfg.sampling_burst == 0) return false;
+    } else if (arg == "--skip") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out.cfg.sampling_skip = static_cast<unsigned>(std::atoi(v));
     } else if (arg == "--mt-threads") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -244,7 +266,12 @@ bool profile_workload(const Workload& w, const CliOptions& opts,
     std::fprintf(stderr, "storage kind not supported by this pipeline\n");
     return false;
   }
-  Runtime::instance().attach(profiler.get(), cfg.mt_targets, cfg.dedup);
+  SamplingConfig sampling;
+  sampling.budget = cfg.budget;
+  sampling.burst = cfg.sampling_burst;
+  sampling.skip = cfg.sampling_skip;
+  Runtime::instance().attach(profiler.get(), cfg.mt_targets, cfg.dedup,
+                             sampling);
   if (opts.mt_threads > 0 && w.run_parallel)
     (void)w.run_parallel(opts.scale, opts.mt_threads);
   else
