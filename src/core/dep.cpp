@@ -65,6 +65,8 @@ namespace {
 
 void fold_info(DepInfo& into, const DepInfo& info) {
   into.count += info.count;
+  into.reversed += info.reversed;
+  into.locked += info.locked;
   into.flags |= info.flags;
   for (std::size_t d = 0; d < kNestLevels; ++d) {
     into.levels[d].loop = std::max(into.levels[d].loop, info.levels[d].loop);

@@ -46,6 +46,12 @@ enum DepFlags : std::uint8_t {
   /// push did not happen atomically with the access, exposing a potential
   /// data race (Sec. V-B).
   kReversed = 1u << 3,
+  /// Both conflicting accesses of this instance executed inside lock
+  /// regions (Sec. V-B): the pair was mutually excluded by the target's own
+  /// synchronization, so it is never a race candidate.  Map-side only —
+  /// derived by the detector from the two events' in-lock-region bits, never
+  /// present on AccessEvent::flags or the wire format.
+  kLockProtected = 1u << 4,
 };
 
 /// Identity of a merged dependence.
@@ -104,7 +110,16 @@ struct DepLevel {
 /// provably preserving the map (see DESIGN.md "Front-end event reduction").
 struct DepInfo {
   std::uint64_t count = 0;  ///< dynamic instances merged into this record
-  std::uint8_t flags = 0;   ///< OR of instance DepFlags
+  /// Instances whose timestamps arrived reversed (kReversed set) — the OR in
+  /// `flags` says *whether* a reversal happened, this says *how often*, which
+  /// is what a race report must quote (one reversal among N instances does
+  /// not make all N racy).
+  std::uint64_t reversed = 0;
+  /// Instances whose both endpoints were inside lock regions (kLockProtected
+  /// set); when locked == count, every observed conflict was mutually
+  /// excluded and the key is suppressed as a race candidate.
+  std::uint64_t locked = 0;
+  std::uint8_t flags = 0;  ///< OR of instance DepFlags
   /// levels[d] aggregates the instances whose innermost common loop sits at
   /// nest depth d+1 (levels[kNestLevels-1] also absorbs deeper ones).
   DepLevel levels[kNestLevels];
@@ -149,6 +164,8 @@ inline void apply_dep_instance(DepInfo& info, std::uint8_t flags,
                                const DepAttribution& at) {
   info.count += 1;
   info.flags |= flags;
+  if (flags & kReversed) info.reversed += 1;
+  if (flags & kLockProtected) info.locked += 1;
   if (at.loop != 0 && at.level != 0) {
     const std::size_t d =
         at.level <= kNestLevels ? at.level - 1 : kNestLevels - 1;
@@ -161,6 +178,26 @@ inline void apply_dep_instance(DepInfo& info, std::uint8_t flags,
     else
       lvl.d0 += 1;
   }
+}
+
+/// Sec. V-B race triage of one merged dependence.  Shared by the profilers'
+/// per-run counter publication and by find_races() so snapshot counters and
+/// the rendered report agree by construction.
+enum class RaceCandidate : std::uint8_t {
+  kNone = 0,            ///< not a cross-thread conflict (or INIT)
+  kConfirmed,           ///< >= 1 timestamp reversal: no mutual exclusion
+  kUnconfirmed,         ///< cross-thread, never reversed, not fully locked
+  kSuppressedByLock,    ///< every observed instance was inside lock regions
+};
+
+inline RaceCandidate classify_race_candidate(const DepKey& key,
+                                             const DepInfo& info) {
+  // INIT records the first write to an address — no conflicting pair.
+  if (key.type == DepType::kInit) return RaceCandidate::kNone;
+  if (info.reversed != 0) return RaceCandidate::kConfirmed;
+  if ((info.flags & kCrossThread) == 0) return RaceCandidate::kNone;
+  if (info.locked == info.count) return RaceCandidate::kSuppressedByLock;
+  return RaceCandidate::kUnconfirmed;
 }
 
 /// Merged dependence storage ("local dependence storage" / "global

@@ -49,6 +49,7 @@ Slot make_slot(const AccessEvent& ev) {
   for (std::size_t i = 0; i < kNestIters; ++i) s.iters[i] = ev.iters[i];
   if constexpr (std::is_same_v<Slot, MtSlot>) {
     s.tid = ev.tid;
+    s.flags = ev.flags;
     s.ts = ev.ts;
   }
   return s;
@@ -133,10 +134,19 @@ std::uint8_t classify_dep(const Slot& src, const AccessEvent& sink,
   }
   if constexpr (std::is_same_v<Slot, MtSlot>) {
     if (src.tid != sink.tid) f |= kCrossThread;
-    // A worker expects increasing timestamps per address (Sec. V-B); a
-    // reversal proves the access/push pair was not mutually excluded with
-    // the recorded one — a potential data race.
-    if (same_address && src.ts > sink.ts) f |= kReversed;
+    if (same_address) {
+      // A worker expects increasing timestamps per address (Sec. V-B); a
+      // reversal proves the access/push pair was not mutually excluded with
+      // the recorded one — a potential data race.
+      if (src.ts > sink.ts) f |= kReversed;
+      // Both endpoints inside lock regions: the target's own mutual
+      // exclusion ordered this pair, so it cannot be a race candidate.
+      // Gated on the address tag like the timestamp check — a colliding
+      // slot must not suppress an unrelated pair.
+      if ((src.flags & kInLockRegion) != 0 &&
+          (sink.flags & kInLockRegion) != 0)
+        f |= kLockProtected;
+    }
   }
   return f;
 }

@@ -112,7 +112,7 @@ std::string format_deps(const DepMap& deps, const ControlFlowLog* cf,
 std::string deps_csv(const DepMap& deps) {
   std::ostringstream os;
   os << "type,sink,sink_tid,source,src_tid,var,count,carried,cross_thread,"
-        "reversed,carried_level,carried_loop,d0,d1,d2p\n";
+        "reversed,locked,carried_level,carried_loop,d0,d1,d2p\n";
   for (const auto& [key, info] : deps.sorted()) {
     os << dep_type_name(key.type) << ','
        << SourceLocation::from_packed(key.sink_loc).str() << ',' << key.sink_tid
@@ -131,7 +131,9 @@ std::string deps_csv(const DepMap& deps) {
     os << ',' << key.src_tid << ',' << var_registry().name(key.var) << ','
        << info.count << ',' << ((info.flags & kLoopCarried) ? 1 : 0) << ','
        << ((info.flags & kCrossThread) ? 1 : 0) << ','
-       << ((info.flags & kReversed) ? 1 : 0) << ',' << clevel << ',';
+       // Race evidence as instance counts, not flags: how many instances
+       // arrived timestamp-reversed / fully lock-protected (Sec. V-B).
+       << info.reversed << ',' << info.locked << ',' << clevel << ',';
     if (clevel != 0)
       os << SourceLocation::from_packed(info.carried_loop()).str();
     os << ',' << d0 << ',' << d1 << ',' << d2p << '\n';

@@ -48,9 +48,12 @@
 namespace depprof {
 namespace {
 
-/// Thread ids below this get a lock-free producer slot; higher ids go
-/// through the mutex-guarded registry (producer_for).
-constexpr std::size_t kMaxFastProducers = 256;
+/// Process-unique profiler instance id, used to invalidate the thread-local
+/// producer-stage caches of earlier (possibly freed) profiler instances.
+std::uint64_t next_instance_id() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 /// Chunk-pool population plan.  Auto sizing covers the pipeline's maximum
 /// in-flight census — per worker: a full queue (capacity rounds up to a
@@ -159,9 +162,7 @@ class ParallelProfiler final : public IProfiler {
     if (count == 0) return;
     obs_.produce().add_events(count);
     obs_.route().add_events(count);
-    // Batches originate from one target thread (see AccessSink), so one
-    // producer lookup covers the whole batch.
-    ProduceStage& prod = producer_for(events[0].tid);
+    ProduceStage& prod = producer_for_caller();
     while (count > 0) {
       const std::size_t n = std::min(count, kScatterBatch);
       scatter(prod, events, nullptr, n);
@@ -181,7 +182,7 @@ class ParallelProfiler final : public IProfiler {
     obs_.produce().add_events(logical);
     obs_.route().add_events(logical);
     obs_.produce().add_events_deduped(logical - count);
-    ProduceStage& prod = producer_for(events[0].tid);
+    ProduceStage& prod = producer_for_caller();
     while (count > 0) {
       const std::size_t n = std::min(count, kScatterBatch);
       scatter(prod, events, reps, n);
@@ -191,8 +192,9 @@ class ParallelProfiler final : public IProfiler {
     }
   }
 
-  void on_unlock(std::uint16_t tid) override {
-    ProduceStage& prod = producer_for(tid);
+  void on_unlock(std::uint16_t) override {
+    // The unlocking thread flushes its own staged chunks (Fig. 4).
+    ProduceStage& prod = producer_for_caller();
     for (unsigned w = 0; w < obs_.workers(); ++w)
       if (Chunk* c = prod.take(w)) push_chunk(c, w);
   }
@@ -215,6 +217,10 @@ class ParallelProfiler final : public IProfiler {
     }
     join_workers();
     for (auto& d : detectors_) merge_.fold(global_, d->deps());
+    // MT targets only: triage the merged map for Sec. V-B race counters
+    // once the workers' maps are folded (slots carry timestamps then).
+    if constexpr (std::is_same_v<typename Store::slot_type, MtSlot>)
+      publish_race_counters(global_, obs_.produce());
     // A sealed pool that had to wait for recycled chunks was a producer
     // stall: fold it into the produce-stage backpressure counter.
     obs_.produce().add_stalls(pool_.acquire_stalls());
@@ -385,27 +391,28 @@ class ParallelProfiler final : public IProfiler {
     }
   }
 
-  /// Producer slot lookup.  Fast slots are published with release/acquire:
-  /// a target thread either sees a fully constructed stage or takes the
-  /// lock, so two threads can race on the same tid without a data race (the
-  /// old double-checked load was unsynchronized).  Thread ids beyond the
-  /// fast array go through the mutex-guarded registry — each tid gets its
-  /// own stage instead of all aliasing the last slot.
-  ProduceStage& producer_for(std::uint16_t tid) {
-    if (tid < kMaxFastProducers) {
-      if (ProduceStage* p = producers_[tid].load(std::memory_order_acquire))
-        return *p;
-      std::lock_guard lock(producer_mu_);
-      ProduceStage* p = producers_[tid].load(std::memory_order_relaxed);
-      if (p == nullptr) {
-        p = new_producer();
-        producers_[tid].store(p, std::memory_order_release);
-      }
-      return *p;
-    }
+  /// Stage of the *calling* thread.  Keying on the caller (not on the
+  /// event's recorded tid) partitions exactly like per-tid keying on live
+  /// MT targets — every target thread produces from its own OS thread — but
+  /// gives a single-threaded caller replaying an MT-recorded trace ONE
+  /// stage, so delivery stays order-faithful to the stream.  Per-tid keying
+  /// split such a replay across stagings and scrambled cross-thread order
+  /// at chunk-fill granularity, which made serial and parallel replays of
+  /// the same trace disagree (different slot-pairing order per address).
+  ///
+  /// The thread-local cache keeps the hot path lock-free; the instance id
+  /// guards against a recycled profiler allocation reviving a stale entry.
+  ProduceStage& producer_for_caller() {
+    struct Cache {
+      std::uint64_t owner = 0;
+      ProduceStage* stage = nullptr;
+    };
+    static thread_local Cache cache;
+    if (cache.owner == instance_id_) return *cache.stage;
     std::lock_guard lock(producer_mu_);
-    ProduceStage*& slot = producer_registry_[tid];
+    ProduceStage*& slot = producer_registry_[std::this_thread::get_id()];
     if (slot == nullptr) slot = new_producer();
+    cache = {instance_id_, slot};
     return *slot;
   }
 
@@ -453,8 +460,9 @@ class ParallelProfiler final : public IProfiler {
     for (const Migration& m : router_.evaluate(chunks_produced)) {
       // Flush staged accesses of the old owner so they arrive before the
       // handoff chunk; FIFO order makes the migration sound (see
-      // chunk.hpp).  Only reachable with sequential targets (producer 0).
-      ProduceStage& prod = producer_for(0);
+      // chunk.hpp).  Only reachable with sequential targets, whose single
+      // producing thread is the caller.
+      ProduceStage& prod = producer_for_caller();
       if (Chunk* c = prod.take(m.from)) push_chunk(c, m.from);
       hand_off(m);
     }
@@ -638,13 +646,12 @@ class ParallelProfiler final : public IProfiler {
   /// Per-worker wake hooks for the park strategy (one pair per queue).
   std::unique_ptr<QueueGates[]> gates_;
 
-  /// Producer slots: lock-free array for tids < kMaxFastProducers, registry
-  /// for the rest; producer_owned_ holds ownership of both (producer_mu_
-  /// guards all slow-path state).
-  std::array<std::atomic<ProduceStage*>, kMaxFastProducers> producers_{};
-  std::unordered_map<std::uint16_t, ProduceStage*> producer_registry_;
+  /// Producer stages, one per producing OS thread (see producer_for_caller);
+  /// producer_owned_ holds ownership, producer_mu_ guards the registry.
+  std::unordered_map<std::thread::id, ProduceStage*> producer_registry_;
   std::vector<std::unique_ptr<ProduceStage>> producer_owned_;
   std::mutex producer_mu_;
+  const std::uint64_t instance_id_ = next_instance_id();
 
   std::vector<Mailbox<Slot>> mailboxes_;
   MpmcQueue<std::uint32_t> mailbox_free_;
@@ -657,6 +664,7 @@ class ParallelProfiler final : public IProfiler {
 }  // namespace
 
 std::unique_ptr<IProfiler> make_parallel_profiler(const ProfilerConfig& config) {
+  if (!races_config_ok(config)) return nullptr;
   const unsigned w = config.workers ? config.workers : 1;
   return with_store(
       config,

@@ -589,6 +589,28 @@ class MergeStage {
   obs::StageStats* stats_;
 };
 
+/// Publishes the Sec. V-B race triage of the merged global map into the
+/// produce-stage counters.  Runs once, at finish() after the global merge,
+/// so the counters stay monotone for concurrent snapshots; both profiler
+/// drivers call it for MT targets, and find_races() applies the identical
+/// classification, so the snapshot counters and the rendered race report
+/// agree by construction.
+inline void publish_race_counters(const DepMap& global,
+                                  obs::StageStats& produce) {
+  std::uint64_t confirmed = 0, unconfirmed = 0, suppressed = 0;
+  for (const auto& [key, info] : global) {
+    switch (classify_race_candidate(key, info)) {
+      case RaceCandidate::kConfirmed: ++confirmed; break;
+      case RaceCandidate::kUnconfirmed: ++unconfirmed; break;
+      case RaceCandidate::kSuppressedByLock: ++suppressed; break;
+      case RaceCandidate::kNone: break;
+    }
+  }
+  produce.add_races_confirmed(confirmed);
+  produce.add_races_unconfirmed(unconfirmed);
+  produce.add_races_lock_suppressed(suppressed);
+}
+
 /// Derives the classic ProfilerStats fields from a pipeline snapshot — the
 /// one place that defines their meaning, used by both profilers.
 inline void fill_stats_from(obs::PipelineSnapshot snap, ProfilerStats& st) {

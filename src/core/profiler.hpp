@@ -59,6 +59,12 @@ struct ProfilerConfig {
   /// True for multi-threaded target programs (Sec. V): MtSlot layout,
   /// thread ids in dependence endpoints, timestamp race check.
   bool mt_targets = false;
+  /// First-class race mode (Sec. V-B): the run is being profiled *for* its
+  /// race report.  Requires mt_targets and forbids sampling — the sampling
+  /// subset guarantee covers dependence edges, not race candidates (a
+  /// dropped event can hide the reversal that confirms a race), so the
+  /// factories refuse the combination (see races_config_ok()).
+  bool races = false;
 
   // Parallel pipeline (ignored by the serial profiler).
   unsigned workers = 8;
@@ -149,6 +155,16 @@ class IProfiler : public AccessSink {
   virtual DepMap take_dependences() = 0;
   virtual ProfilerStats stats() const = 0;
 };
+
+/// API-level enforcement of the race-mode preconditions: races needs the MT
+/// slot layout (timestamps) and a complete event stream (no sampling).  The
+/// profiler factories return nullptr when this is false; the CLI rejects
+/// the same combinations with a usage error before ever building a config.
+inline bool races_config_ok(const ProfilerConfig& c) {
+  if (!c.races) return true;
+  const bool sampled = c.budget < 1.0 || c.sampling_skip > 0;
+  return c.mt_targets && !sampled;
+}
 
 /// Serial profiler (Sec. III): Algorithm 1 on the calling thread.  Its
 /// on_access is NOT thread-safe: events must come from a single thread (or

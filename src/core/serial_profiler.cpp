@@ -86,6 +86,10 @@ class SerialProfiler final : public IProfiler {
     if (finished_) return;
     finished_ = true;
     merge_.fold(global_, detect_.deps());
+    // MT targets only: the triage is meaningful only where the detector
+    // stamps timestamps and thread ids into the slots.
+    if constexpr (std::is_same_v<typename Store::slot_type, MtSlot>)
+      publish_race_counters(global_, obs_.produce());
   }
 
   std::uint64_t profiling_cost_ns() const override {
@@ -138,6 +142,7 @@ const char* storage_kind_name(StorageKind kind) {
 }
 
 std::unique_ptr<IProfiler> make_serial_profiler(const ProfilerConfig& config) {
+  if (!races_config_ok(config)) return nullptr;
   return with_store(
       config,
       [&]<typename Store>(std::type_identity<Store>) -> std::unique_ptr<IProfiler> {

@@ -6,14 +6,22 @@ namespace depprof {
 
 RaceReport find_races(const DepMap& deps, bool include_unconfirmed) {
   RaceReport report;
+  report.include_unconfirmed = include_unconfirmed;
   for (const auto& [key, info] : deps.sorted()) {
-    if (key.type == DepType::kInit) continue;
-    const bool reversed = (info.flags & kReversed) != 0;
-    const bool cross = (info.flags & kCrossThread) != 0;
-    if (reversed) {
-      report.findings.push_back({key, info.count, true});
-    } else if (include_unconfirmed && cross) {
-      report.findings.push_back({key, info.count, false});
+    switch (classify_race_candidate(key, info)) {
+      case RaceCandidate::kNone:
+        break;
+      case RaceCandidate::kConfirmed:
+        report.findings.push_back({key, info.reversed, true, info.count});
+        break;
+      case RaceCandidate::kUnconfirmed:
+        report.unconfirmed += 1;
+        if (include_unconfirmed)
+          report.findings.push_back({key, info.count, false, info.count});
+        break;
+      case RaceCandidate::kSuppressedByLock:
+        report.suppressed_by_lock += 1;
+        break;
     }
   }
   return report;
@@ -22,17 +30,47 @@ RaceReport find_races(const DepMap& deps, bool include_unconfirmed) {
 std::string format_race_report(const RaceReport& report) {
   std::ostringstream os;
   os << "potential data races: " << report.confirmed_count() << " confirmed, "
-     << (report.findings.size() - report.confirmed_count())
-     << " unconfirmed cross-thread dependences\n";
+     << report.unconfirmed << " unconfirmed cross-thread candidates ("
+     << (report.include_unconfirmed ? "listed" : "not listed") << "), "
+     << report.suppressed_by_lock << " suppressed by lock regions\n";
   for (const auto& f : report.findings) {
     os << (f.confirmed ? "  [RACE] " : "  [dep ] ") << dep_type_name(f.dep.type)
        << ' ' << SourceLocation::from_packed(f.dep.sink_loc).str() << '|'
        << f.dep.sink_tid << " <- "
-       << SourceLocation::from_packed(f.dep.src_loc).str() << '|' << f.dep.src_tid
-       << " var=" << var_registry().name(f.dep.var) << " x" << f.instances;
-    if (f.confirmed) os << "  (timestamp reversal: no mutual exclusion)";
+       << SourceLocation::from_packed(f.dep.src_loc).str() << '|'
+       << f.dep.src_tid << " var=" << var_registry().name(f.dep.var) << " x"
+       << f.instances;
+    if (f.confirmed) {
+      os << " of " << f.total
+         << "  (timestamp reversal: no mutual exclusion)";
+    }
     os << '\n';
   }
+  return os.str();
+}
+
+std::string race_report_json(const RaceReport& report) {
+  std::ostringstream os;
+  os << "{\n  \"confirmed\": " << report.confirmed_count()
+     << ",\n  \"unconfirmed\": " << report.unconfirmed
+     << ",\n  \"unconfirmed_listed\": "
+     << (report.include_unconfirmed ? "true" : "false")
+     << ",\n  \"suppressed_by_lock\": " << report.suppressed_by_lock
+     << ",\n  \"findings\": [";
+  bool first = true;
+  for (const auto& f : report.findings) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"type\": \"" << dep_type_name(f.dep.type) << "\", \"sink\": \""
+       << SourceLocation::from_packed(f.dep.sink_loc).str()
+       << "\", \"sink_tid\": " << f.dep.sink_tid << ", \"source\": \""
+       << SourceLocation::from_packed(f.dep.src_loc).str()
+       << "\", \"src_tid\": " << f.dep.src_tid << ", \"var\": \""
+       << var_registry().name(f.dep.var) << "\", \"instances\": "
+       << f.instances << ", \"total\": " << f.total << ", \"confirmed\": "
+       << (f.confirmed ? "true" : "false") << "}";
+  }
+  os << (first ? "]\n}\n" : "\n  ]\n}\n");
   return os.str();
 }
 

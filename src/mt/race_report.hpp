@@ -17,13 +17,29 @@ namespace depprof {
 
 struct RaceFinding {
   DepKey dep;
+  /// Racy evidence: for a confirmed finding, the number of instances whose
+  /// timestamps arrived reversed (NOT the key's total merge count — one
+  /// reversal among N merged instances is one reversal); for an unconfirmed
+  /// candidate, the cross-thread instance total.
   std::uint64_t instances = 0;
   /// True when a timestamp reversal proved the absence of mutual exclusion.
   bool confirmed = false;
+  /// All dynamic instances merged into the key (context for `instances`).
+  std::uint64_t total = 0;
 };
 
 struct RaceReport {
   std::vector<RaceFinding> findings;
+  /// What the caller asked find_races() for — rendering needs to know
+  /// whether unconfirmed candidates were listed or only counted.
+  bool include_unconfirmed = false;
+  /// Cross-thread candidate keys with no reversal and at least one instance
+  /// outside lock regions.  Counted whether or not they are listed.
+  std::uint64_t unconfirmed = 0;
+  /// Cross-thread keys excluded because *every* merged instance had both
+  /// endpoints inside lock regions: the target's own mutual exclusion
+  /// ordered each conflicting pair (Sec. V-B / Fig. 4).
+  std::uint64_t suppressed_by_lock = 0;
 
   std::size_t confirmed_count() const {
     std::size_t n = 0;
@@ -34,10 +50,16 @@ struct RaceReport {
 
 /// Extracts potential races from a merged dependence map of an MT-target
 /// run.  `include_unconfirmed` additionally lists cross-thread dependences
-/// whose enforcement is unknown (no reversal observed).
+/// whose enforcement is unknown (no reversal observed, not fully inside
+/// lock regions); those keys are counted in `unconfirmed` either way, and
+/// fully lock-protected keys in `suppressed_by_lock`.
 RaceReport find_races(const DepMap& deps, bool include_unconfirmed = false);
 
 /// Human-readable rendering of the report.
 std::string format_race_report(const RaceReport& report);
+
+/// JSON rendering (machine-readable `--races --json` channel): summary
+/// counters plus one object per listed finding.
+std::string race_report_json(const RaceReport& report);
 
 }  // namespace depprof

@@ -53,6 +53,9 @@ struct alignas(64) StageStats {
   std::atomic<std::uint64_t> events_sampled_out{0};  ///< accesses dropped by the sampling gate (produce)
   std::atomic<std::uint64_t> bursts{0};              ///< sampling gaps closed by a burst marker (produce)
   std::atomic<std::uint64_t> sampled_overhead_ppm{0};  ///< controller's measured overhead, parts per million (produce, hwm)
+  std::atomic<std::uint64_t> races_confirmed{0};       ///< merged keys with a timestamp reversal (produce, published at finish)
+  std::atomic<std::uint64_t> races_unconfirmed{0};     ///< cross-thread candidate keys, no reversal (produce, published at finish)
+  std::atomic<std::uint64_t> races_lock_suppressed{0}; ///< candidate keys fully inside lock regions (produce, published at finish)
 
   void add_events(std::uint64_t n) { events.fetch_add(n, std::memory_order_relaxed); }
   void add_chunks(std::uint64_t n) { chunks.fetch_add(n, std::memory_order_relaxed); }
@@ -76,6 +79,9 @@ struct alignas(64) StageStats {
   void add_pack_escapes(std::uint64_t n) { pack_escapes.fetch_add(n, std::memory_order_relaxed); }
   void add_events_sampled_out(std::uint64_t n) { events_sampled_out.fetch_add(n, std::memory_order_relaxed); }
   void add_bursts(std::uint64_t n) { bursts.fetch_add(n, std::memory_order_relaxed); }
+  void add_races_confirmed(std::uint64_t n) { races_confirmed.fetch_add(n, std::memory_order_relaxed); }
+  void add_races_unconfirmed(std::uint64_t n) { races_unconfirmed.fetch_add(n, std::memory_order_relaxed); }
+  void add_races_lock_suppressed(std::uint64_t n) { races_lock_suppressed.fetch_add(n, std::memory_order_relaxed); }
 
   /// Latches the controller's latest overhead estimate, keeping the counter
   /// monotone (obs_test's snapshot-ordering property) by only raising it.
@@ -97,7 +103,7 @@ struct alignas(64) StageStats {
   }
 };
 
-static_assert(sizeof(StageStats) == 192,
+static_assert(sizeof(StageStats) == 256,
               "whole cache lines only: no stage shares a line with another");
 
 /// Plain-data copy of one stage's counters at a point in time.
@@ -125,6 +131,9 @@ struct StageSnapshot {
   std::uint64_t events_sampled_out = 0;
   std::uint64_t bursts = 0;
   std::uint64_t sampled_overhead_ppm = 0;
+  std::uint64_t races_confirmed = 0;
+  std::uint64_t races_unconfirmed = 0;
+  std::uint64_t races_lock_suppressed = 0;
 
   double busy_sec() const { return static_cast<double>(busy_ns) * 1e-9; }
   double cpu_sec() const { return static_cast<double>(cpu_ns) * 1e-9; }
@@ -223,6 +232,11 @@ class PipelineObs {
     out.bursts = s.bursts.load(std::memory_order_relaxed);
     out.sampled_overhead_ppm =
         s.sampled_overhead_ppm.load(std::memory_order_relaxed);
+    out.races_confirmed = s.races_confirmed.load(std::memory_order_relaxed);
+    out.races_unconfirmed =
+        s.races_unconfirmed.load(std::memory_order_relaxed);
+    out.races_lock_suppressed =
+        s.races_lock_suppressed.load(std::memory_order_relaxed);
     return out;
   }
 

@@ -36,6 +36,13 @@ constexpr std::string_view kVersionLineV4 = "depfuzz-repro v4";
 // a repro that omits them would silently replay under whatever the current
 // sampling defaults are.  v1-v4 files parse with sampling off.
 constexpr std::string_view kVersionLineV5 = "depfuzz-repro v5";
+// v6 adds the first-class race mode and hard-requires its key (races=).
+// A races=1 config that also samples (budget<1 or skip>0) or profiles a
+// sequential target (mt=0) is a parse error, mirroring races_config_ok():
+// the profiler factories refuse such configs, so a repro claiming one
+// could never have been recorded and must not lint clean.  v1-v5 files
+// parse with race mode off.
+constexpr std::string_view kVersionLineV6 = "depfuzz-repro v6";
 
 /// File-scoped nest state threaded through event parsing.
 struct NestParseState {
@@ -153,6 +160,7 @@ struct ConfigKeysSeen {
   bool budget = false;
   bool burst = false;
   bool skip = false;
+  bool races = false;
 };
 
 bool parse_config_line(const std::vector<std::string_view>& toks, int version,
@@ -197,6 +205,9 @@ bool parse_config_line(const std::vector<std::string_view>& toks, int version,
     else if (key == "skip" && version >= 5)
       ok = parse_u64(value, u), cfg.sampling_skip = static_cast<unsigned>(u),
       saw.skip = true;
+    // v6-only first-class race mode; unknown key below v6.
+    else if (key == "races" && version >= 6)
+      ok = parse_bool(value, cfg.races), saw.races = true;
     else ok = false;
     if (!ok) {
       err = "bad config token '" + std::string(toks[i]) + "'";
@@ -400,16 +411,19 @@ bool parse_event_line(const std::vector<std::string_view>& toks,
 std::string format_repro(const ReproCase& repro) {
   std::ostringstream os;
   const ProfilerConfig& c = repro.cfg;
-  // Lowest version whose grammar covers the case: sampling axes force v5
-  // (their keys are unknown below it), a schedule section forces v4, and
-  // everything else keeps writing v3 so schedule- and sampling-free corpus
-  // files stay byte-stable across profiler growth.
+  // Lowest version whose grammar covers the case: race mode forces v6,
+  // sampling axes force v5 (their keys are unknown below those versions),
+  // a schedule section forces v4, and everything else keeps writing v3 so
+  // race-, schedule- and sampling-free corpus files stay byte-stable
+  // across profiler growth.
   const ProfilerConfig defaults;
   const bool sampled = c.budget != defaults.budget ||
                        c.sampling_burst != defaults.sampling_burst ||
                        c.sampling_skip != defaults.sampling_skip;
-  os << (sampled ? kVersionLineV5 : repro.sched ? kVersionLineV4
-                                                : kVersionLineV3)
+  os << (c.races    ? kVersionLineV6
+         : sampled  ? kVersionLineV5
+         : repro.sched ? kVersionLineV4
+                       : kVersionLineV3)
      << '\n';
   if (!repro.note.empty()) os << "note " << repro.note << '\n';
   os << "config storage=" << storage_kind_name(c.storage)
@@ -421,9 +435,12 @@ std::string format_repro(const ReproCase& repro) {
      << " modulo_routing=" << (c.modulo_routing ? 1 : 0)
      << " batch=" << (c.batched_detect ? 1 : 0)
      << " dedup=" << (c.dedup ? 1 : 0) << " pack=" << (c.pack ? 1 : 0);
-  if (sampled)
+  // A v6 file inherits v5's hard-required sampling keys, so race-mode
+  // repros carry them even when unsampled.
+  if (sampled || c.races)
     os << " budget=" << c.budget << " burst=" << c.sampling_burst
        << " skip=" << c.sampling_skip;
+  if (c.races) os << " races=1";
   os << '\n';
   const LoadBalanceConfig& lb = c.load_balance;
   os << "lb enabled=" << (lb.enabled ? 1 : 0)
@@ -514,11 +531,13 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
         version = 4;
       } else if (line == kVersionLineV5) {
         version = 5;
+      } else if (line == kVersionLineV6) {
+        version = 6;
       } else {
         return set_error(error, line_no,
                          "expected version line '" +
                              std::string(kVersionLineV1) + "' .. '" +
-                             std::string(kVersionLineV5) + "'");
+                             std::string(kVersionLineV6) + "'");
       }
       // v1-v4 predate the sampling axes: replay with sampling off, the
       // semantics those repros were recorded under.
@@ -526,6 +545,8 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
         repro.cfg.budget = 1.0;
         repro.cfg.sampling_skip = 0;
       }
+      // v1-v5 predate the race mode: replay with it off.
+      if (version < 6) repro.cfg.races = false;
       continue;
     }
     if (line[0] == '#') continue;
@@ -548,6 +569,15 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
       if (version >= 5 && (!saw.budget || !saw.burst || !saw.skip))
         return set_error(error, line_no,
                          "v5 config requires budget=, burst= and skip= keys");
+      if (version >= 6 && !saw.races)
+        return set_error(error, line_no, "v6 config requires the races= key");
+      // Semantic rule, not just grammar: the profiler factories refuse a
+      // race-mode config that samples or targets a sequential program, so
+      // a repro claiming one could never have been recorded.
+      if (!races_config_ok(repro.cfg))
+        return set_error(error, line_no,
+                         "races=1 requires mt=1 and no sampling "
+                         "(budget=1, skip=0)");
       saw_config = true;
     } else if (toks[0] == "lb") {
       if (!after_config("lb")) return false;

@@ -6,12 +6,12 @@
 // tests/corpus/ is replayed by the corpus regression test on each CI run,
 // turning yesterday's fuzz finding into tomorrow's regression gate.
 //
-//   depfuzz-repro v5
+//   depfuzz-repro v6
 //   # free-form provenance comment
 //   note <one-line description>
-//   config storage=perfect slots=1048576 sighash=modulo mt=0 workers=4
+//   config storage=perfect slots=1048576 sighash=modulo mt=1 workers=4
 //          ... queue=lock-free-spsc wait=park chunk=7 qcap=64 modulo_routing=0
-//          ... batch=1 dedup=1 pack=1 budget=1 burst=8 skip=0
+//          ... batch=1 dedup=1 pack=1 budget=1 burst=8 skip=0 races=1
 //   lb enabled=1 sample_shift=0 interval=200 threshold=1.25 top_k=10
 //          ... max_rounds=64
 //   sched seed=7 algo=pct
@@ -30,11 +30,17 @@
 // strictness, so a typo in a committed repro fails CI instead of silently
 // replaying something else.
 //
-// Versioning: v5 (current) adds the overhead-budget sampling axes and
-// hard-requires their keys (budget=/burst=/skip=) on the config line, so a
-// repro can never silently replay under whichever sampling defaults happen
-// to be current; v1–v4 files replay with sampling off, the semantics they
-// were recorded under.  v4 added the deterministic-schedule section for
+// Versioning: v6 (current) adds the first-class race mode (Sec. V-B) and
+// hard-requires its key (races=) on the config line.  races=1 combined
+// with sampling (budget<1 or skip>0) or a sequential target (mt=0) is a
+// hard parse error mirroring races_config_ok(): the profiler factories
+// refuse such configs, so a repro claiming one could never have been
+// recorded and must not lint clean.  v1–v5 files replay with race mode
+// off.  v5 added the overhead-budget sampling axes and hard-requires
+// their keys (budget=/burst=/skip=) on the config line, so a repro can
+// never silently replay under whichever sampling defaults happen to be
+// current; v1–v4 files replay with sampling off, the semantics they were
+// recorded under.  v4 added the deterministic-schedule section for
 // interleaving-dependent findings: a `sched` directive (exploration seed
 // and algorithm) plus zero or more `sstep <thread> <site>` lines — the
 // recorded schedule the failing run took, replayed verbatim by the
@@ -51,12 +57,15 @@
 // hard-required front-end reduction keys dedup= and pack= on the config
 // line.  v1 files (which predate those axes) still parse, with both axes
 // off.  v1–v3 files parse with the schedule section absent (sched
-// disabled).  format_repro always writes v5.
+// disabled).  format_repro writes the lowest version whose grammar covers
+// the case (race mode forces v6, sampling v5, a schedule section v4,
+// everything else v3), so committed files stay byte-stable across
+// profiler growth.
 //
-// MT repros must be order-faithful under single-threaded replay: every
-// mixed-tid event stream needs the lock-region flag (bit 0) set, as the
-// harness replays the trace from one thread and the producer side only
-// preserves cross-thread order for lock-flagged accesses.
+// MT repros replay order-faithfully from a single thread: the parallel
+// pipeline stages events by producing thread, not by event tid, so a
+// one-thread replay of a mixed-tid stream delivers the recorded
+// cross-thread order regardless of lock-region flags.
 
 #include <string>
 #include <string_view>
@@ -82,8 +91,9 @@ struct ReproCase {
   sched::ScheduleTrace schedule;
 };
 
-/// Renders `repro` in the current text format (always v5; the sched
-/// section is present only when the case carries one).
+/// Renders `repro` in the lowest text-format version whose grammar covers
+/// it (see the versioning note above; the sched section is present only
+/// when the case carries one).
 std::string format_repro(const ReproCase& repro);
 
 /// Strict parser: returns false and sets `error` (when non-null, prefixed

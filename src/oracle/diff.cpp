@@ -8,7 +8,9 @@ namespace depprof {
 namespace {
 
 bool same_info(const DepInfo& a, const DepInfo& b) {
-  if (a.count != b.count || a.flags != b.flags) return false;
+  if (a.count != b.count || a.flags != b.flags ||
+      a.reversed != b.reversed || a.locked != b.locked)
+    return false;
   for (std::size_t d = 0; d < kNestLevels; ++d) {
     if (a.levels[d].loop != b.levels[d].loop ||
         a.levels[d].d0 != b.levels[d].d0 || a.levels[d].d1 != b.levels[d].d1 ||
@@ -31,8 +33,10 @@ void append_key(std::string& out, const DepKey& k) {
 
 void append_info(std::string& out, const DepInfo& i) {
   char buf[120];
-  std::snprintf(buf, sizeof(buf), "count=%llu flags=0x%x",
-                static_cast<unsigned long long>(i.count), i.flags);
+  std::snprintf(buf, sizeof(buf), "count=%llu flags=0x%x rev=%llu lock=%llu",
+                static_cast<unsigned long long>(i.count), i.flags,
+                static_cast<unsigned long long>(i.reversed),
+                static_cast<unsigned long long>(i.locked));
   out += buf;
   for (std::size_t d = 0; d < kNestLevels; ++d) {
     const DepLevel& l = i.levels[d];

@@ -58,6 +58,7 @@ ExactOracle::LastAccess ExactOracle::remember(const AccessEvent& ev) {
   LastAccess a;
   a.loc = ev.loc;
   a.tid = ev.tid;
+  a.flags = ev.flags;
   a.ts = ev.ts;
   a.ctx = ev.ctx;
   for (std::size_t i = 0; i < kNestIters; ++i) a.iters[i] = ev.iters[i];
@@ -76,6 +77,9 @@ void ExactOracle::emit(const AccessEvent& sink, const LastAccess& src,
   if (mt_) {
     if (src.tid != sink.tid) flags |= kCrossThread;
     if (src.ts > sink.ts) flags |= kReversed;
+    if ((src.flags & kInLockRegion) != 0 &&
+        (sink.flags & kInLockRegion) != 0)
+      flags |= kLockProtected;
   }
   DepKey k;
   k.sink_loc = sink.loc;

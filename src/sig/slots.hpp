@@ -57,7 +57,11 @@ struct MtSlot {
   std::uint32_t ctx = 0;  ///< innermost dynamic loop entry (NestForest id)
   std::uint32_t iters[kNestIters] = {};  ///< root-anchored iteration window
   std::uint32_t tid = 0;  ///< target-program thread id of the last access
-  std::uint64_t ts = 0;   ///< global timestamp of the last access (race check)
+  /// AccessFlags of the last access (kInLockRegion feeds the Sec. V-B lock
+  /// suppression).  Fills the alignment hole before `ts`, so the MT slot
+  /// stays at 56 bytes.
+  std::uint32_t flags = 0;
+  std::uint64_t ts = 0;  ///< global timestamp of the last access (race check)
 
   bool empty() const { return loc == 0; }
   SourceLocation location() const { return SourceLocation::from_packed(loc); }

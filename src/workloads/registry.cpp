@@ -28,6 +28,10 @@ Workload make_h264dec();
 // SPLASH analogue.
 Workload make_water_spatial();
 
+// Task-graph family (race ground truth; see taskgraph/task_graph.hpp).
+Workload make_taskgraph();
+Workload make_taskgraph_racy();
+
 }  // namespace depprof::workloads
 
 namespace depprof {
@@ -56,6 +60,8 @@ const std::vector<Workload>& all_workloads() {
     v.push_back(make_bodytrack());
     v.push_back(make_h264dec());
     v.push_back(make_water_spatial());
+    v.push_back(make_taskgraph());
+    v.push_back(make_taskgraph_racy());
     return v;
   }();
   return registry;

@@ -1,0 +1,416 @@
+// Task-graph workload family: see task_graph.hpp for the design contract.
+//
+// DAG shape (scale-independent; ids are topological by construction):
+//
+//   init ──┬── race pairs (a_i, b_i — unordered siblings, only when armed)
+//          ├── stage0..stage3 (disjoint grid shards)
+//          │        └── reduce ── tallyA / tallyB (lock-protected) ── sink
+//
+// All race-free state is integral so every combination order yields the same
+// checksum; the racy cells never feed the checksum (a real race can lose
+// updates).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "instrument/macros.hpp"
+#include "mt/instrumented_mutex.hpp"
+#include "workloads/taskgraph/task_graph.hpp"
+#include "workloads/workload.hpp"
+
+DP_FILE("taskgraph");
+
+namespace depprof::workloads::taskgraph {
+namespace {
+
+struct TaskCtx {
+  bool concurrent;   ///< false in sequential mode: skip the handshakes
+  unsigned workers;  ///< pool size (1 in sequential mode)
+};
+
+/// How a task touches a declared shared resource.
+enum class Mode : std::uint8_t {
+  kRead,
+  kWrite,
+  kLockedUpdate,  ///< read-modify-write under a common InstrumentedMutex
+  kRacyUpdate,    ///< injected race: unordered and deliberately unprotected
+};
+
+struct Touch {
+  unsigned task;
+  unsigned resource;
+  Mode mode;
+};
+
+constexpr unsigned kNoTask = ~0u;
+
+/// Fork/join DAG with declared conflicts.  Tasks must be added in
+/// topological order (every predecessor id < the task's id); the DAG is
+/// capped at 64 tasks so the DePa-style order maintenance is one ancestor
+/// bitmask per task.
+class TaskGraph {
+ public:
+  unsigned add(const char* name, std::initializer_list<unsigned> preds,
+               std::function<void(const TaskCtx&)> body) {
+    const unsigned id = static_cast<unsigned>(tasks_.size());
+    if (id >= 64) fail("task graph exceeds 64 tasks");
+    Task t;
+    t.name = name;
+    t.body = std::move(body);
+    for (unsigned p : preds) {
+      if (p >= id) fail("predecessors must precede the task (topological ids)");
+      t.preds |= 1ull << p;
+      t.ancestors |= tasks_[p].ancestors | (1ull << p);
+    }
+    tasks_.push_back(std::move(t));
+    return id;
+  }
+
+  void touch(unsigned task, unsigned resource, Mode mode) {
+    touches_.push_back({task, resource, mode});
+  }
+
+  /// O(1) ordered query over the ancestor bitmasks.
+  bool ordered(unsigned a, unsigned b) const {
+    return ((tasks_[b].ancestors >> a) & 1u) || ((tasks_[a].ancestors >> b) & 1u);
+  }
+
+  /// The DePa-style startup check: every declared conflict (two tasks, same
+  /// resource, at least one writer) must be DAG-ordered, lock-protected, or
+  /// an explicitly injected race.  Anything else is an undeclared race in
+  /// the workload itself — abort rather than corrupt the ground truth.
+  void validate() const {
+    for (std::size_t i = 0; i < touches_.size(); ++i) {
+      for (std::size_t j = i + 1; j < touches_.size(); ++j) {
+        const Touch& a = touches_[i];
+        const Touch& b = touches_[j];
+        if (a.resource != b.resource || a.task == b.task) continue;
+        if (a.mode == Mode::kRead && b.mode == Mode::kRead) continue;
+        if (ordered(a.task, b.task)) continue;
+        if (a.mode == Mode::kLockedUpdate && b.mode == Mode::kLockedUpdate)
+          continue;
+        if (a.mode == Mode::kRacyUpdate && b.mode == Mode::kRacyUpdate)
+          continue;
+        std::fprintf(stderr,
+                     "taskgraph: undeclared conflict on resource %u between "
+                     "unordered tasks '%s' and '%s'\n",
+                     a.resource, tasks_[a.task].name, tasks_[b.task].name);
+        std::abort();
+      }
+    }
+  }
+
+  void run_sequential() {
+    validate();
+    const TaskCtx ctx{false, 1};
+    for (const Task& t : tasks_) t.body(ctx);
+  }
+
+  void run_parallel(unsigned threads) {
+    validate();
+    const unsigned n = static_cast<unsigned>(tasks_.size());
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t done = 0;     // completion bitmask
+    std::uint64_t claimed = 0;  // claim bitmask
+    unsigned completed = 0;
+
+    auto worker = [&](unsigned wid) {
+      // Id 0 is the main thread.
+      Runtime::instance().bind_thread_id(static_cast<std::uint16_t>(wid + 1));
+      const TaskCtx ctx{true, threads};
+      for (;;) {
+        unsigned id = kNoTask;
+        {
+          std::unique_lock lock(mu);
+          for (;;) {
+            if (completed == n) return;
+            id = kNoTask;
+            // Claim the lowest-id ready task.  Racy pair halves are added
+            // adjacently with identical predecessors, so the claimed set is
+            // always a prefix of the ready order and at most one worker can
+            // be parked inside an unmatched ping-pong handshake — no
+            // deadlock for any pool of >= 2 workers.
+            for (unsigned i = 0; i < n; ++i) {
+              if ((claimed >> i) & 1u) continue;
+              if ((tasks_[i].preds & done) == tasks_[i].preds) {
+                id = i;
+                break;
+              }
+            }
+            if (id != kNoTask) {
+              claimed |= 1ull << id;
+              break;
+            }
+            cv.wait(lock);
+          }
+        }
+        tasks_[id].body(ctx);
+        // Flush this task's buffered accesses before publishing completion,
+        // so a successor running on another thread records its accesses
+        // strictly after ours reach the profiler (Sec. V-A ordering).
+        DP_SYNC();
+        {
+          std::lock_guard lock(mu);
+          done |= 1ull << id;
+          ++completed;
+        }
+        cv.notify_all();
+      }
+    };
+
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& th : pool) th.join();
+  }
+
+ private:
+  struct Task {
+    const char* name = nullptr;
+    std::uint64_t preds = 0;
+    std::uint64_t ancestors = 0;
+    std::function<void(const TaskCtx&)> body;
+  };
+
+  [[noreturn]] static void fail(const char* msg) {
+    std::fprintf(stderr, "taskgraph: %s\n", msg);
+    std::abort();
+  }
+
+  std::vector<Task> tasks_;
+  std::vector<Touch> touches_;
+};
+
+/// One injected race site: a plain cell plus the uninstrumented relaxed
+/// handshake that alternates the two sibling tasks over it.
+struct PingPong {
+  std::atomic<unsigned> turn{0};
+  std::uint64_t cell = 0;
+};
+
+/// Iterations per ping-pong side — enough accesses that each task spans
+/// more than one delivery chunk, so the timestamp ranges of the two sides
+/// interleave across chunk boundaries.
+constexpr unsigned kPingPongRounds = 256;
+
+const char* const kRaceVarNames[kRaceSites] = {"race0", "race1", "race2"};
+
+/// One side of a ping-pong pair.  The handshake (`turn`) is deliberately
+/// relaxed and uninstrumented: no happens-before edge exists between the two
+/// tasks' cell accesses, which is exactly the race being injected.  The cell
+/// updates commute (integer addition), so the race can interleave any way
+/// without perturbing deterministic state.  Sequential mode runs the rounds
+/// straight — alternation without concurrency would self-deadlock.
+///
+/// Templated on the site so each site gets its own DP_*_AT expansion: the
+/// macros intern the variable name into a function-local static id, so a
+/// shared function body would stamp every site with the first name it saw.
+template <unsigned Site>
+void ping_pong_side(PingPong& p, unsigned side, const TaskCtx& ctx) {
+  for (unsigned k = 0; k < kPingPongRounds; ++k) {
+    if (ctx.concurrent)
+      while (p.turn.load(std::memory_order_relaxed) != side)
+        std::this_thread::yield();
+    DP_READ_AT(&p.cell, 8, kRaceVarNames[Site]);
+    const std::uint64_t v = p.cell;
+    DP_WRITE_AT(&p.cell, 8, kRaceVarNames[Site]);
+    p.cell = v + k + side + 1;
+    if (ctx.concurrent) p.turn.store(side ^ 1u, std::memory_order_relaxed);
+  }
+}
+
+using PingPongFn = void (*)(PingPong&, unsigned, const TaskCtx&);
+constexpr PingPongFn kPingPongFns[kRaceSites] = {
+    &ping_pong_side<0>, &ping_pong_side<1>, &ping_pong_side<2>};
+
+/// Shared state of one run.  Everything feeding the checksum is integral and
+/// combined commutatively, so sequential and parallel execution (at any
+/// thread count) produce identical results.
+struct Data {
+  std::vector<std::uint64_t> grid;
+  std::vector<std::uint64_t> out;
+  std::uint64_t sum = 0;
+  std::uint64_t tally = 0;
+  InstrumentedMutex tally_mu;
+  /// Rendezvous so the two tally tasks provably overlap in time (and thus
+  /// run on different workers): without it one worker can claim and finish
+  /// both, and the lock-suppression triage path would see same-thread
+  /// dependences only.  Acquire/release — a legitimate synchronization, not
+  /// an injected race.
+  std::atomic<unsigned> tally_arrivals{0};
+  PingPong race[kRaceSites];
+};
+
+constexpr unsigned kShards = 4;
+
+// Declared-resource ids.
+constexpr unsigned kResGrid0 = 0;               // .. kResGrid0 + kShards - 1
+constexpr unsigned kResOut0 = kResGrid0 + kShards;
+constexpr unsigned kResSum = kResOut0 + kShards;
+constexpr unsigned kResTally = kResSum + 1;
+constexpr unsigned kResRace0 = kResTally + 1;   // .. kResRace0 + kRaceSites - 1
+
+void build_graph(TaskGraph& g, Data& d, std::size_t n, unsigned race_mask) {
+  const unsigned init = g.add("init", {}, [&d, n](const TaskCtx&) {
+    for (std::size_t i = 0; i < n; ++i) {
+      DP_WRITE_AT(&d.grid[i], 8, "grid");
+      d.grid[i] = (i * 2654435761ull) ^ 0x9e3779b97f4a7c15ull;
+    }
+  });
+  for (unsigned s = 0; s < kShards; ++s)
+    g.touch(init, kResGrid0 + s, Mode::kWrite);
+
+  // Injected races right after init so the pair halves sit adjacently at the
+  // head of the ready order (see the claim-order comment in run_parallel).
+  for (unsigned site = 0; site < kRaceSites; ++site) {
+    if (!(race_mask & (1u << site))) continue;
+    PingPong& p = d.race[site];
+    const PingPongFn fn = kPingPongFns[site];
+    const unsigned a = g.add("race-a", {init}, [&p, fn](const TaskCtx& ctx) {
+      fn(p, 0, ctx);
+    });
+    const unsigned b = g.add("race-b", {init}, [&p, fn](const TaskCtx& ctx) {
+      fn(p, 1, ctx);
+    });
+    g.touch(a, kResRace0 + site, Mode::kRacyUpdate);
+    g.touch(b, kResRace0 + site, Mode::kRacyUpdate);
+  }
+
+  std::vector<unsigned> stages;
+  for (unsigned s = 0; s < kShards; ++s) {
+    const std::size_t lo = n * s / kShards;
+    const std::size_t hi = n * (s + 1) / kShards;
+    const unsigned id =
+        g.add("stage", {init}, [&d, lo, hi](const TaskCtx&) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            DP_READ_AT(&d.grid[i], 8, "grid");
+            const std::uint64_t v = d.grid[i];
+            DP_WRITE_AT(&d.out[i], 8, "out");
+            d.out[i] = v * 2 + 1;
+          }
+        });
+    g.touch(id, kResGrid0 + s, Mode::kRead);
+    g.touch(id, kResOut0 + s, Mode::kWrite);
+    stages.push_back(id);
+  }
+
+  const unsigned reduce =
+      g.add("reduce", {stages[0], stages[1], stages[2], stages[3]},
+            [&d, n](const TaskCtx&) {
+              std::uint64_t acc = 0;
+              for (std::size_t i = 0; i < n; ++i) {
+                DP_READ_AT(&d.out[i], 8, "out");
+                acc += d.out[i];
+              }
+              DP_WRITE_AT(&d.sum, 8, "sum");
+              d.sum = acc;
+            });
+  for (unsigned s = 0; s < kShards; ++s)
+    g.touch(reduce, kResOut0 + s, Mode::kRead);
+  g.touch(reduce, kResSum, Mode::kWrite);
+
+  // Two unordered siblings updating a shared tally under a common lock: the
+  // end-to-end exercise of the suppressed-by-lock triage path.
+  unsigned tally[2];
+  for (unsigned side = 0; side < 2; ++side) {
+    tally[side] = g.add("tally", {reduce}, [&d, side](const TaskCtx& ctx) {
+      if (ctx.concurrent && ctx.workers >= 2) {
+        d.tally_arrivals.fetch_add(1, std::memory_order_acq_rel);
+        while (d.tally_arrivals.load(std::memory_order_acquire) < 2)
+          std::this_thread::yield();
+      }
+      DP_READ_AT(&d.sum, 8, "sum");
+      const std::uint64_t base = d.sum;
+      std::lock_guard lock(d.tally_mu);
+      DP_READ_AT(&d.tally, 8, "tally");
+      DP_WRITE_AT(&d.tally, 8, "tally");
+      d.tally += base / (side + 2) + side;
+    });
+    g.touch(tally[side], kResSum, Mode::kRead);
+    g.touch(tally[side], kResTally, Mode::kLockedUpdate);
+  }
+
+  const unsigned sink =
+      g.add("sink", {tally[0], tally[1]}, [&d](const TaskCtx&) {
+        DP_READ_AT(&d.sum, 8, "sum");
+        DP_READ_AT(&d.tally, 8, "tally");
+        d.sum = d.sum * 31 + d.tally;
+      });
+  g.touch(sink, kResSum, Mode::kWrite);
+  g.touch(sink, kResTally, Mode::kRead);
+}
+
+// Keeps the racy cells observable without letting them near the checksum.
+volatile std::uint64_t g_race_cell_sink;
+
+}  // namespace
+
+const char* race_var_name(unsigned site) {
+  return site < kRaceSites ? kRaceVarNames[site] : "?";
+}
+
+std::uint64_t run_task_graph(int scale, unsigned threads, unsigned race_mask) {
+  const std::size_t n = 1'024 * static_cast<std::size_t>(scale);
+  Data d;
+  d.grid.resize(n);
+  d.out.resize(n);
+
+  TaskGraph g;
+  build_graph(g, d, n, race_mask & kRaceAll);
+
+  if (threads == 0) {
+    g.run_sequential();
+  } else {
+    // A ping-pong pair needs both halves in flight at once.
+    if (race_mask != 0 && threads < 2) threads = 2;
+    DP_SYNC();  // thread creation orders pre-run writes before worker reads
+    g.run_parallel(threads);
+  }
+
+  std::uint64_t cells = 0;
+  for (const PingPong& p : d.race) cells += p.cell;
+  g_race_cell_sink = cells;
+  return d.sum;
+}
+
+}  // namespace depprof::workloads::taskgraph
+
+namespace depprof::workloads {
+
+Workload make_taskgraph() {
+  Workload w;
+  w.name = "taskgraph";
+  w.suite = "taskgraph";
+  w.run = [](int scale) {
+    return WorkloadResult{taskgraph::run_task_graph(scale, 0, taskgraph::kRaceNone)};
+  };
+  w.run_parallel = [](int scale, unsigned threads) {
+    return WorkloadResult{
+        taskgraph::run_task_graph(scale, threads, taskgraph::kRaceNone)};
+  };
+  return w;
+}
+
+Workload make_taskgraph_racy() {
+  Workload w;
+  w.name = "taskgraph-racy";
+  w.suite = "taskgraph";
+  w.run = [](int scale) {
+    return WorkloadResult{taskgraph::run_task_graph(scale, 0, taskgraph::kRaceAll)};
+  };
+  w.run_parallel = [](int scale, unsigned threads) {
+    return WorkloadResult{
+        taskgraph::run_task_graph(scale, threads, taskgraph::kRaceAll)};
+  };
+  for (unsigned site = 0; site < taskgraph::kRaceSites; ++site)
+    w.races.push_back(taskgraph::race_var_name(site));
+  return w;
+}
+
+}  // namespace depprof::workloads

@@ -1,0 +1,51 @@
+#pragma once
+// Fork/join task-graph workload family with injectable ground-truth races.
+//
+// The kernel is a small task DAG (init → map stages → reduce → two
+// lock-protected tally tasks → sink) executed either sequentially (topological
+// order) or by a worker pool.  Every shared-data conflict between tasks is
+// *declared*, and the engine verifies at startup — with DePa-style ancestor
+// bitmasks giving O(1) ordered(a, b) queries — that each declared conflict is
+// either DAG-ordered, protected by a common lock, or an explicitly injected
+// race.  That makes the family's race ground truth exact by construction:
+// `depprof run --races` must confirm every injected race and nothing else.
+//
+// Injected races are ping-pong pairs between two DAG-unordered sibling tasks
+// that alternate strictly over a plain cell, handshaking through an
+// UNinstrumented relaxed atomic.  Relaxed ordering means no happens-before
+// edge, so ThreadSanitizer reports the cell as a real race (the external
+// oracle in tools/tsan_probe.cpp), and strict alternation interleaves the
+// profiler's access timestamps so chunked delivery is guaranteed to observe a
+// reversal (Sec. V-B) no matter which thread's chunk arrives first.
+//
+// This header exposes the kernel directly (not just through the workload
+// registry) so the TSan probe can execute it natively with no profiler
+// attached.
+
+#include <cstdint>
+
+namespace depprof::workloads::taskgraph {
+
+/// Number of injectable ping-pong race sites.
+inline constexpr unsigned kRaceSites = 3;
+
+/// Bitmask values for `race_mask`.
+inline constexpr unsigned kRaceNone = 0;
+inline constexpr unsigned kRaceAll = (1u << kRaceSites) - 1;
+
+/// Instrumented variable name of race site `site` (0 <= site < kRaceSites):
+/// "race0", "race1", "race2".  This is the ground truth a confirmed race
+/// finding is matched against.
+const char* race_var_name(unsigned site);
+
+/// Runs the task DAG and returns the checksum of the race-free computation
+/// (the racy cells are deliberately excluded: a data race may lose updates).
+///
+/// `threads` == 0 runs the tasks sequentially in topological order on the
+/// calling thread; the ping-pong handshakes are skipped (they would
+/// self-deadlock without concurrency).  With `threads` >= 1 a worker pool
+/// executes the DAG; when `race_mask` is nonzero at least two workers are
+/// used so each ping-pong pair can actually interleave.
+std::uint64_t run_task_graph(int scale, unsigned threads, unsigned race_mask);
+
+}  // namespace depprof::workloads::taskgraph

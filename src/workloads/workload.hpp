@@ -42,6 +42,11 @@ struct Workload {
   /// Ground truth per instrumented loop, in ascending order of the loop's
   /// begin location (the order ControlFlowLog::loops is sorted in).
   std::vector<LoopTruth> loops;
+  /// Injected ground-truth data races (the racy task-graph variants): the
+  /// variable names a `--races` run must report as confirmed findings.
+  /// Empty for race-free workloads — a race-free workload must produce zero
+  /// confirmed findings.
+  std::vector<const char*> races;
 };
 
 /// All registered workloads (stable order: NAS, then Starbench, then SPLASH).

@@ -762,6 +762,79 @@ TEST(Corpus, V5SamplingKeysHardRequired) {
   EXPECT_EQ(out.cfg.sampling_skip, 0u);
 }
 
+TEST(Corpus, V6RaceModeKeyAndConfigRule) {
+  ReproCase out;
+  std::string error;
+  // v6 hard-requires the races= key: a repro omitting it would silently
+  // replay under whatever the current race-mode default is.
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v6\nconfig storage=perfect dedup=0 "
+                           "pack=0 budget=1 burst=8 skip=0 mt=1\n",
+                           &error));
+  EXPECT_NE(error.find("races"), std::string::npos);
+  ASSERT_TRUE(parse_repro(out,
+                          "depfuzz-repro v6\nconfig storage=perfect dedup=0 "
+                          "pack=0 budget=1 burst=8 skip=0 mt=1 races=1\n",
+                          &error))
+      << error;
+  EXPECT_TRUE(out.cfg.races);
+  // The config rule mirrors races_config_ok(): race mode with sampling or
+  // a sequential target could never have been recorded, so it must not
+  // lint clean.
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v6\nconfig storage=perfect dedup=0 "
+                           "pack=0 budget=0.5 burst=8 skip=0 mt=1 races=1\n",
+                           &error));
+  EXPECT_NE(error.find("races=1"), std::string::npos);
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v6\nconfig storage=perfect dedup=0 "
+                           "pack=0 budget=1 burst=8 skip=4 mt=1 races=1\n",
+                           &error));
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v6\nconfig storage=perfect dedup=0 "
+                           "pack=0 budget=1 burst=8 skip=0 mt=0 races=1\n",
+                           &error));
+  // races=0 carries no preconditions.
+  ASSERT_TRUE(parse_repro(out,
+                          "depfuzz-repro v6\nconfig storage=perfect dedup=0 "
+                          "pack=0 budget=0.5 burst=8 skip=4 mt=0 races=0\n",
+                          &error))
+      << error;
+  EXPECT_FALSE(out.cfg.races);
+  // Below v6 the key is unknown, and older files replay with race mode off.
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v5\nconfig storage=perfect dedup=0 "
+                           "pack=0 budget=1 burst=8 skip=0 mt=1 races=1\n",
+                           &error));
+  ASSERT_TRUE(parse_repro(out,
+                          "depfuzz-repro v5\nconfig storage=perfect dedup=0 "
+                          "pack=0 budget=1 burst=8 skip=0 mt=1\n",
+                          &error))
+      << error;
+  EXPECT_FALSE(out.cfg.races);
+}
+
+TEST(Corpus, RaceModeRoundTripsAtV6) {
+  ReproCase r = sample_repro();
+  r.cfg.races = true;
+  r.cfg.budget = 1.0;  // race mode forbids sampling...
+  r.cfg.sampling_burst = ProfilerConfig().sampling_burst;
+  r.cfg.sampling_skip = 0;
+  ASSERT_TRUE(r.cfg.mt_targets);  // ...and needs MT targets
+  const std::string text = format_repro(r);
+  EXPECT_NE(text.find("depfuzz-repro v6"), std::string::npos);
+  // v6 inherits v5's hard-required sampling keys even when unsampled.
+  EXPECT_NE(text.find("budget="), std::string::npos);
+  EXPECT_NE(text.find("races=1"), std::string::npos);
+  ReproCase back;
+  std::string error;
+  ASSERT_TRUE(parse_repro(back, text, &error)) << error;
+  EXPECT_TRUE(back.cfg.races);
+  EXPECT_TRUE(back.cfg.mt_targets);
+  EXPECT_DOUBLE_EQ(back.cfg.budget, 1.0);
+  ASSERT_EQ(back.trace.size(), r.trace.size());
+}
+
 TEST(Corpus, StrictParserRejectsAmbiguousShape) {
   ReproCase out;
   std::string error;

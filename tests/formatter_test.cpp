@@ -130,13 +130,14 @@ TEST(Formatter, CsvExportRoundTrip) {
   deps.add(key(DepType::kInit, 20, 0, var_x), 0);
   const std::string csv = deps_csv(deps);
   EXPECT_NE(csv.find("type,sink,sink_tid,source,src_tid,var,count,carried,"
-                     "cross_thread,reversed,carried_level,carried_loop,d0,d1,"
-                     "d2p"),
+                     "cross_thread,reversed,locked,carried_level,carried_loop,"
+                     "d0,d1,d2p"),
             std::string::npos);
-  EXPECT_NE(csv.find("RAW,1:20,1,1:10,2,x,1,1,1,0,1,1:5,0,1,0"),
+  EXPECT_NE(csv.find("RAW,1:20,1,1:10,2,x,1,1,1,0,0,1,1:5,0,1,0"),
             std::string::npos)
       << csv;
-  EXPECT_NE(csv.find("INIT,1:20,0,*,0,x,1,0,0,0,0,,0,0,0"), std::string::npos)
+  EXPECT_NE(csv.find("INIT,1:20,0,*,0,x,1,0,0,0,0,0,,0,0,0"),
+            std::string::npos)
       << csv;
 }
 
@@ -194,7 +195,7 @@ TEST(Formatter, UnknownDistanceLandsInConservativeBucket) {
   EXPECT_NE(format_deps(deps, nullptr, opts).find("L1=0|0|1"),
             std::string::npos);
   const std::string csv = deps_csv(deps);
-  EXPECT_NE(csv.find(",1,0,0,1,1:5,0,0,1"), std::string::npos) << csv;
+  EXPECT_NE(csv.find(",1,0,0,0,1,1:5,0,0,1"), std::string::npos) << csv;
 }
 
 }  // namespace

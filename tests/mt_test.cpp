@@ -14,6 +14,8 @@
 #include "instrument/runtime.hpp"
 #include "mt/instrumented_mutex.hpp"
 #include "mt/race_report.hpp"
+#include "oracle/exact_oracle.hpp"
+#include "trace/generators.hpp"
 #include "workloads/workload.hpp"
 
 DP_FILE("mt_test");
@@ -164,6 +166,102 @@ TEST(MtProfiling, ThreadIdsAppearInDependenceEndpoints) {
     if (key.sink_tid != 0 || key.src_tid != 0) nonzero_tid = true;
   }
   EXPECT_TRUE(nonzero_tid);
+}
+
+// ----------------------------------------------------- race-report triage
+//
+// Unit-level pinning of the Sec. V-B triage rules on hand-built maps and
+// generator traces — these failed against the original find_races (flag-OR
+// confirmation, no lock suppression, misleading unconfirmed line).
+
+DepKey race_key(DepType type, std::uint32_t sink_line, std::uint32_t src_line,
+                std::uint16_t sink_tid, std::uint16_t src_tid) {
+  DepKey k;
+  k.type = type;
+  k.sink_loc = SourceLocation(1, sink_line).packed();
+  k.src_loc = SourceLocation(1, src_line).packed();
+  k.var = 1;
+  k.sink_tid = sink_tid;
+  k.src_tid = src_tid;
+  return k;
+}
+
+TEST(RaceTriage, OneReversalAmongManyDoesNotInflateInstances) {
+  // 3000 well-ordered cross-thread instances merge with a single reversed
+  // one under the same key.  The OR-merged kReversed flag says "a reversal
+  // happened"; the finding must quote how often (1), not the key's total
+  // merge count (3001).
+  DepMap deps;
+  const DepKey k = race_key(DepType::kRaw, 20, 10, 2, 1);
+  for (int i = 0; i < 3000; ++i) deps.add(k, kCrossThread);
+  deps.add(k, kCrossThread | kReversed);
+
+  const RaceReport r = find_races(deps);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_TRUE(r.findings[0].confirmed);
+  EXPECT_EQ(r.findings[0].instances, 1u)
+      << "one reversal among 3001 merged instances is one reversal";
+  EXPECT_EQ(r.findings[0].total, 3001u);
+}
+
+TEST(RaceTriage, FullyLockProtectedKeysAreSuppressedNotUnconfirmed) {
+  // Mutex-protected churn: every access of the gen_churn MT interleaving is
+  // inside a lock region, so every conflicting pair was mutually excluded
+  // by the target itself — no key may surface as an unconfirmed candidate.
+  GenParams p;
+  p.accesses = 4000;
+  p.distinct = 32;
+  Trace t = gen_churn(p, /*free_ratio=*/0.05, /*threads=*/4);
+  const DepMap deps = oracle_dependences(t, /*mt_targets=*/true);
+
+  const RaceReport r = find_races(deps, /*include_unconfirmed=*/true);
+  EXPECT_EQ(r.confirmed_count(), 0u) << format_race_report(r);
+  EXPECT_TRUE(r.findings.empty())
+      << "lock-protected dependences listed as race candidates:\n"
+      << format_race_report(r);
+  EXPECT_GT(r.suppressed_by_lock, 0u);
+  EXPECT_EQ(r.unconfirmed, 0u);
+}
+
+TEST(RaceTriage, PartiallyLockedKeysStayUnconfirmed) {
+  // One instance outside lock regions is enough to keep the candidate: the
+  // suppression must require *every* observed conflict to be excluded.
+  DepMap deps;
+  const DepKey k = race_key(DepType::kWaw, 30, 31, 2, 1);
+  deps.add(k, kCrossThread | kLockProtected);
+  deps.add(k, kCrossThread);
+
+  const RaceReport off = find_races(deps);
+  EXPECT_TRUE(off.findings.empty());
+  EXPECT_EQ(off.unconfirmed, 1u);
+  EXPECT_EQ(off.suppressed_by_lock, 0u);
+
+  const RaceReport on = find_races(deps, /*include_unconfirmed=*/true);
+  ASSERT_EQ(on.findings.size(), 1u);
+  EXPECT_FALSE(on.findings[0].confirmed);
+}
+
+TEST(RaceTriage, FormatRendersActualSuppressionState) {
+  // One confirmed race plus one unconfirmed candidate, with unconfirmed
+  // listing OFF: the header must say the candidate exists but is not
+  // listed — the original code printed findings.size() - confirmed_count(),
+  // which is always 0 exactly when unconfirmed findings are excluded.
+  DepMap deps;
+  deps.add(race_key(DepType::kRaw, 20, 10, 2, 1), kCrossThread | kReversed);
+  deps.add(race_key(DepType::kWaw, 21, 11, 2, 1), kCrossThread);
+  deps.add(race_key(DepType::kRaw, 22, 12, 2, 1),
+           kCrossThread | kLockProtected);
+
+  const std::string hidden = format_race_report(find_races(deps));
+  EXPECT_NE(hidden.find("1 confirmed"), std::string::npos) << hidden;
+  EXPECT_NE(hidden.find("1 unconfirmed"), std::string::npos) << hidden;
+  EXPECT_NE(hidden.find("not listed"), std::string::npos) << hidden;
+  EXPECT_NE(hidden.find("1 suppressed by lock regions"), std::string::npos)
+      << hidden;
+
+  const std::string listed = format_race_report(find_races(deps, true));
+  EXPECT_NE(listed.find("1 unconfirmed"), std::string::npos) << listed;
+  EXPECT_EQ(listed.find("not listed"), std::string::npos) << listed;
 }
 
 TEST(InstrumentedMutexTest, LockableContract) {

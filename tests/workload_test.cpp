@@ -15,7 +15,8 @@ TEST(Registry, AllSuitesPresent) {
   EXPECT_EQ(workloads_in_suite("nas").size(), 8u);
   EXPECT_EQ(workloads_in_suite("starbench").size(), 11u);
   EXPECT_EQ(workloads_in_suite("splash").size(), 1u);
-  EXPECT_EQ(all_workloads().size(), 20u);
+  EXPECT_EQ(workloads_in_suite("taskgraph").size(), 2u);
+  EXPECT_EQ(all_workloads().size(), 22u);
 }
 
 TEST(Registry, LookupByName) {

@@ -41,6 +41,13 @@
 //                        (default 8)
 //   --skip N             fixed skipped iterations per cycle (deterministic
 //                        sampling; overrides the --budget controller)
+//   --races              first-class race mode (Sec. V-B): print the run's
+//                        potential-data-race report (text, or JSON with
+//                        --json) instead of the dependence listing.  Needs
+//                        an MT target (--mt-threads for run, an MT-recorded
+//                        trace for replay) and rejects the sampling flags —
+//                        a dropped event can hide the reversal that
+//                        confirms a race
 //   --mt-threads N       run the pthread variant with N target threads
 //   --scale N            workload scale factor            (default 1)
 //   --format text|csv|dot                                (default text)
@@ -69,6 +76,7 @@
 #include "framework/program_model.hpp"
 #include "harness/runner.hpp"
 #include "instrument/runtime.hpp"
+#include "mt/race_report.hpp"
 #include "trace/trace_io.hpp"
 #include "workloads/workload.hpp"
 
@@ -96,9 +104,11 @@ struct CliOptions {
   bool stats = false;
   bool report_json = false;
   bool report_check = false;
+  bool races = false;
 };
 
 bool parse(int argc, char** argv, int start, CliOptions& out) {
+  bool saw_budget = false, saw_burst = false, saw_skip = false;
   for (int i = start; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -158,15 +168,20 @@ bool parse(int argc, char** argv, int start, CliOptions& out) {
       if (v == nullptr) return false;
       out.cfg.budget = std::atof(v);
       if (out.cfg.budget <= 0.0 || out.cfg.budget > 1.0) return false;
+      saw_budget = true;
     } else if (arg == "--burst") {
       const char* v = next();
       if (v == nullptr) return false;
       out.cfg.sampling_burst = static_cast<unsigned>(std::atoi(v));
       if (out.cfg.sampling_burst == 0) return false;
+      saw_burst = true;
     } else if (arg == "--skip") {
       const char* v = next();
       if (v == nullptr) return false;
       out.cfg.sampling_skip = static_cast<unsigned>(std::atoi(v));
+      saw_skip = true;
+    } else if (arg == "--races") {
+      out.races = true;
     } else if (arg == "--mt-threads") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -197,11 +212,32 @@ bool parse(int argc, char** argv, int start, CliOptions& out) {
       return false;
     }
   }
+  if (out.races) {
+    // Hard reject, not a warning: the sampling subset guarantee covers
+    // dependence edges, not race candidates — one dropped event can hide
+    // the reversal that confirms a race, silently under-reporting.
+    if (saw_budget || saw_burst || saw_skip) {
+      std::fputs(
+          "--races cannot be combined with sampling "
+          "(--budget/--burst/--skip): a dropped event can hide the "
+          "reversal that confirms a race\n",
+          stderr);
+      return false;
+    }
+    out.cfg.races = true;
+    out.cfg.mt_targets = true;  // replay of MT-recorded traces
+  }
   return true;
 }
 
 void emit(const ProgramModel& model, const CliOptions& opts) {
-  if (opts.format == "csv") {
+  if (opts.races) {
+    const RaceReport report = find_races(model.deps());
+    if (opts.report_json || opts.format == "json")
+      std::fputs(race_report_json(report).c_str(), stdout);
+    else
+      std::fputs(format_race_report(report).c_str(), stdout);
+  } else if (opts.format == "csv") {
     std::fputs(deps_csv(model.deps()).c_str(), stdout);
   } else if (opts.format == "dot") {
     std::fputs(model.dep_graph().to_dot().c_str(), stdout);
@@ -285,6 +321,15 @@ int cmd_run(const char* name, const CliOptions& opts) {
   const Workload* w = find_workload(name);
   if (w == nullptr) {
     std::fprintf(stderr, "unknown workload '%s' (try `depprof list`)\n", name);
+    return 1;
+  }
+  if (opts.races && opts.mt_threads == 0) {
+    std::fputs("--races needs an MT target: pass --mt-threads N\n", stderr);
+    return usage();
+  }
+  if (opts.races && !w->run_parallel) {
+    std::fprintf(stderr, "workload '%s' has no pthread variant to race\n",
+                 name);
     return 1;
   }
   ProgramModel model;

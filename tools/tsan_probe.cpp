@@ -1,0 +1,53 @@
+// Native task-graph runner for the external-oracle crosscheck
+// (tsan_crosscheck.sh): runs the workload with no profiler attached, so a
+// ThreadSanitizer build sees exactly the races the program itself
+// contains — the injected ping-pong sites synchronize through relaxed
+// atomics only (no happens-before), while every other edge in the DAG is
+// ordered by the worker pool's mutex/condvar or an acquire/release
+// rendezvous.
+//
+//   tsan_probe none    race-free DAG        (must be TSan-silent)
+//   tsan_probe all     every site armed
+//   tsan_probe <site>  one site armed       (0 .. kRaceSites-1)
+//
+// The probe itself always exits 0 on a valid mode; under a TSan build the
+// runtime's default error exitcode (66) is the corroboration signal.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "workloads/taskgraph/task_graph.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  using depprof::workloads::taskgraph::kRaceSites;
+  std::fprintf(stderr, "usage: %s none|all|<site 0..%u>\n", argv0,
+               kRaceSites - 1);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace depprof::workloads::taskgraph;
+  if (argc != 2) return usage(argv[0]);
+  unsigned mask = kRaceNone;
+  if (std::strcmp(argv[1], "none") == 0) {
+    mask = kRaceNone;
+  } else if (std::strcmp(argv[1], "all") == 0) {
+    mask = kRaceAll;
+  } else {
+    char* end = nullptr;
+    const unsigned long site = std::strtoul(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || site >= kRaceSites)
+      return usage(argv[0]);
+    mask = 1u << static_cast<unsigned>(site);
+    std::printf("site %lu -> var %s\n", site,
+                race_var_name(static_cast<unsigned>(site)));
+  }
+  const std::uint64_t sum = run_task_graph(/*scale=*/1, /*threads=*/2, mask);
+  std::printf("checksum: %llu\n", static_cast<unsigned long long>(sum));
+  return 0;
+}
