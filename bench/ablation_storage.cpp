@@ -16,6 +16,7 @@
 #include "core/profiler.hpp"
 #include "obs/bench_report.hpp"
 #include "sig/hash_table_recorder.hpp"
+#include "sig/packed_shadow_store.hpp"
 #include "sig/perfect_signature.hpp"
 #include "sig/shadow_memory.hpp"
 #include "sig/signature.hpp"
@@ -79,6 +80,24 @@ void BM_PerfectSignature(benchmark::State& state) {
 }
 BENCHMARK(BM_PerfectSignature);
 
+void BM_PackedShadowStore(benchmark::State& state) {
+  run_detector<PackedShadowStore<SeqSlot>>(
+      state, +[] { return PackedShadowStore<SeqSlot>(); },
+      +[] { return PackedShadowStore<SeqSlot>(); });
+}
+BENCHMARK(BM_PackedShadowStore);
+
+/// A/B point for the shadow-memory walk assist (one-entry page cache +
+/// slot prefetch in the two-level walk): same stream, assist off vs on.
+void BM_ShadowMemoryWalkAssistOff(benchmark::State& state) {
+  ShadowMemory<SeqSlot>::set_walk_assist(false);
+  run_detector<ShadowMemory<SeqSlot>>(
+      state, +[] { return ShadowMemory<SeqSlot>(); },
+      +[] { return ShadowMemory<SeqSlot>(); });
+  ShadowMemory<SeqSlot>::set_walk_assist(true);
+}
+BENCHMARK(BM_ShadowMemoryWalkAssistOff);
+
 /// Space comparison on a sparse, widely spread address set: the shadow
 /// memory allocates a page per touched region while the signature stays
 /// fixed.
@@ -95,6 +114,7 @@ void space_comparison() {
   Signature<SeqSlot> sig(1u << 18);
   ShadowMemory<SeqSlot> shadow;
   HashTableRecorder<SeqSlot> table(1u << 14);
+  PackedShadowStore<SeqSlot> packed;
   SeqSlot s;
   s.loc = SourceLocation(1, 1).packed();
   for (std::size_t i = 0; i < kAddrs; ++i) {
@@ -102,6 +122,7 @@ void space_comparison() {
     sig.insert(addr, s);
     shadow.insert(addr, s);
     table.insert(addr, s);
+    packed.insert(addr, s);
   }
   std::printf("\nSpace on %zu sparse addresses (spread %llu B apart):\n", kAddrs,
               static_cast<unsigned long long>(kSpread));
@@ -112,6 +133,10 @@ void space_comparison() {
               shadow.page_count());
   std::printf("  hash table    : %10.2f MiB\n",
               static_cast<double>(table.bytes()) / 1048576.0);
+  std::printf("  packed paged  : %10.2f MiB (%zu x 2 MiB pages; 8 B/word "
+              "amortizes only on dense sets)\n",
+              static_cast<double>(packed.bytes()) / 1048576.0,
+              packed.page_count());
   std::printf(
       "\nPaper reference: signatures bound memory where shadow memory can "
       "exceed 16 GB on small programs; hash tables are exact but 1.5-3.7x "
@@ -157,12 +182,21 @@ void machine_report() {
       t, ShadowMemory<SeqSlot>(), ShadowMemory<SeqSlot>());
   const double perfect_ns = measured_ns_per_access<PerfectSignature<SeqSlot>>(
       t, PerfectSignature<SeqSlot>(), PerfectSignature<SeqSlot>());
+  const double packed_ns = measured_ns_per_access<PackedShadowStore<SeqSlot>>(
+      t, PackedShadowStore<SeqSlot>(), PackedShadowStore<SeqSlot>());
+  ShadowMemory<SeqSlot>::set_walk_assist(false);
+  const double shadow_raw_ns = measured_ns_per_access<ShadowMemory<SeqSlot>>(
+      t, ShadowMemory<SeqSlot>(), ShadowMemory<SeqSlot>());
+  ShadowMemory<SeqSlot>::set_walk_assist(true);
 
   report.metric("signature_ns_per_access", sig_ns);
   report.metric("hashtable_ns_per_access", table_ns);
   report.metric("shadow_ns_per_access", shadow_ns);
   report.metric("perfect_ns_per_access", perfect_ns);
+  report.metric("packed_ns_per_access", packed_ns);
+  report.metric("shadow_no_walk_assist_ns_per_access", shadow_raw_ns);
   report.metric("hashtable_over_signature", sig_ns > 0 ? table_ns / sig_ns : 0);
+  report.metric("hashtable_over_packed", packed_ns > 0 ? table_ns / packed_ns : 0);
   std::printf("\nSteady-state hash-table/signature per-access ratio: %.2fx "
               "(paper band 1.5-3.7x)\n",
               sig_ns > 0 ? table_ns / sig_ns : 0.0);
@@ -171,6 +205,7 @@ void machine_report() {
   report.stages("serial_hashtable", replay_stages(t, StorageKind::kHashTable));
   report.stages("serial_shadow", replay_stages(t, StorageKind::kShadow));
   report.stages("serial_perfect", replay_stages(t, StorageKind::kPerfect));
+  report.stages("serial_packed", replay_stages(t, StorageKind::kPacked));
   report.write();
 }
 

@@ -250,7 +250,8 @@ int main(int argc, char** argv) {
       make_uniform_stream(events / 2, working_set);
 
   const StorageKind kinds[] = {StorageKind::kSignature, StorageKind::kPerfect,
-                               StorageKind::kShadow, StorageKind::kHashTable};
+                               StorageKind::kShadow, StorageKind::kHashTable,
+                               StorageKind::kPacked};
 
   TextTable table("Detect hot path — batched kernel vs per-event, "
                   "detect-stage events/sec (" +

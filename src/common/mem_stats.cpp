@@ -45,6 +45,7 @@ std::string MemStats::component_name(MemComponent c) {
     case MemComponent::kDepMaps: return "dep-maps";
     case MemComponent::kAccessStats: return "access-stats";
     case MemComponent::kOther: return "other";
+    case MemComponent::kStore: return "store-pages";
     case MemComponent::kCount: break;
   }
   return "?";

@@ -20,6 +20,7 @@ enum class MemComponent : unsigned {
   kDepMaps,
   kAccessStats,
   kOther,
+  kStore,  ///< paged exact-store leaf pages + directories (PackedShadowStore)
   kCount,
 };
 

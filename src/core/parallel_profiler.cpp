@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/huge_alloc.hpp"
 #include "common/timer.hpp"
 #include "core/chunk.hpp"
 #include "core/pipeline.hpp"
@@ -99,8 +100,10 @@ class ParallelProfiler final : public IProfiler {
 
  public:
   ParallelProfiler(const ProfilerConfig& cfg, std::vector<Store> read_sigs,
-                   std::vector<Store> write_sigs, std::size_t signature_bytes)
+                   std::vector<Store> write_sigs, std::size_t signature_bytes,
+                   std::uint64_t hugepage_baseline)
       : cfg_(cfg),
+        hugepage_baseline_(hugepage_baseline),
         chunk_fill_(std::min<std::size_t>(cfg.chunk_size ? cfg.chunk_size : 1,
                                           Chunk::kCapacity)),
         signature_bytes_(signature_bytes),
@@ -216,6 +219,13 @@ class ParallelProfiler final : public IProfiler {
       enqueue(w, stop);  // enqueue's wake hook rouses a parked worker
     }
     join_workers();
+    // Footprint counters, published once the workers have quiesced: each
+    // detect stage's resident leaf pages (paged backends), and the run's
+    // huge-allocation fallbacks as a delta against the construction-time
+    // process total.
+    for (auto& d : detectors_) d->publish_residency();
+    obs_.produce().add_hugepage_fallbacks(huge::fallback_count() -
+                                          hugepage_baseline_);
     for (auto& d : detectors_) merge_.fold(global_, d->deps());
     // MT targets only: triage the merged map for Sec. V-B race counters
     // once the workers' maps are folded (slots carry timestamps then).
@@ -629,6 +639,7 @@ class ParallelProfiler final : public IProfiler {
   }
 
   ProfilerConfig cfg_;
+  const std::uint64_t hugepage_baseline_;
   const std::size_t chunk_fill_;
   const std::size_t signature_bytes_;
   const bool lb_enabled_;
@@ -666,6 +677,9 @@ class ParallelProfiler final : public IProfiler {
 std::unique_ptr<IProfiler> make_parallel_profiler(const ProfilerConfig& config) {
   if (!races_config_ok(config)) return nullptr;
   const unsigned w = config.workers ? config.workers : 1;
+  // Baseline BEFORE the stores are built: a signature slot array that falls
+  // back during construction belongs to this run's counter.
+  const std::uint64_t hp0 = huge::fallback_count();
   return with_store(
       config,
       [&]<typename Store>(std::type_identity<Store>) -> std::unique_ptr<IProfiler> {
@@ -679,7 +693,7 @@ std::unique_ptr<IProfiler> make_parallel_profiler(const ProfilerConfig& config) 
           bytes += reads.back().bytes() + writes.back().bytes();
         }
         return std::make_unique<ParallelProfiler<Store>>(
-            config, std::move(reads), std::move(writes), bytes);
+            config, std::move(reads), std::move(writes), bytes, hp0);
       });
 }
 

@@ -558,6 +558,22 @@ class DetectStage {
   DepMap& deps() { return deps_; }
   obs::StageStats& stats() { return *stats_; }
 
+  /// Publishes the store's residency (leaf pages of the paged backends)
+  /// into this stage's counters.  Runs once, at finish(), so the counter
+  /// stays monotone for concurrent snapshots; non-paged backends have no
+  /// page_count() and publish nothing.
+  void publish_residency() {
+    const auto pages = [](const auto& store) -> std::uint64_t {
+      if constexpr (requires { store.page_count(); })
+        return store.page_count();
+      else
+        return 0;
+    };
+    const std::uint64_t resident =
+        pages(core_.read_signature()) + pages(core_.write_signature());
+    if (resident != 0) stats_->add_resident_pages(resident);
+  }
+
  private:
   DetectorCore<Store> core_;
   DepMap deps_;

@@ -26,6 +26,7 @@ enum class StorageKind {
   kPerfect,    ///< collision-free baseline (Sec. VI-A)
   kShadow,     ///< multi-level shadow memory baseline (Sec. III-B)
   kHashTable,  ///< chained hash table baseline (Sec. III-B)
+  kPacked,     ///< SLAMP-style paged shadow memory, packed 64-bit words
 };
 
 const char* storage_kind_name(StorageKind kind);

@@ -8,6 +8,7 @@
 #include <array>
 
 #include "common/hash.hpp"
+#include "common/huge_alloc.hpp"
 #include "core/pipeline.hpp"
 #include "core/profiler.hpp"
 #include "core/store_factory.hpp"
@@ -19,12 +20,13 @@ template <AccessStore Store>
 class SerialProfiler final : public IProfiler {
  public:
   SerialProfiler(Store sig_read, Store sig_write, std::size_t signature_bytes,
-                 bool batched)
+                 bool batched, std::uint64_t hugepage_baseline)
       : obs_(1),
         detect_(std::move(sig_read), std::move(sig_write), obs_.detect(0),
                 batched),
         merge_(obs_.merge()),
-        signature_bytes_(signature_bytes) {}
+        signature_bytes_(signature_bytes),
+        hugepage_baseline_(hugepage_baseline) {}
 
   void on_access(const AccessEvent& ev) override { on_batch(&ev, 1); }
 
@@ -85,6 +87,13 @@ class SerialProfiler final : public IProfiler {
   void finish() override {
     if (finished_) return;
     finished_ = true;
+    // Footprint counters, published once so snapshots stay monotone: the
+    // paged stores' resident leaf pages, and any huge allocations this run
+    // that degraded to operator new (delta against the construction-time
+    // process total).
+    detect_.publish_residency();
+    obs_.produce().add_hugepage_fallbacks(huge::fallback_count() -
+                                          hugepage_baseline_);
     merge_.fold(global_, detect_.deps());
     // MT targets only: the triage is meaningful only where the detector
     // stamps timestamps and thread ids into the slots.
@@ -126,6 +135,7 @@ class SerialProfiler final : public IProfiler {
   MergeStage merge_;
   DepMap global_;
   std::size_t signature_bytes_;
+  const std::uint64_t hugepage_baseline_;
   bool finished_ = false;
 };
 
@@ -137,12 +147,16 @@ const char* storage_kind_name(StorageKind kind) {
     case StorageKind::kPerfect: return "perfect";
     case StorageKind::kShadow: return "shadow";
     case StorageKind::kHashTable: return "hashtable";
+    case StorageKind::kPacked: return "packed";
   }
   return "?";
 }
 
 std::unique_ptr<IProfiler> make_serial_profiler(const ProfilerConfig& config) {
   if (!races_config_ok(config)) return nullptr;
+  // Baseline BEFORE the stores are built: a signature slot array that falls
+  // back during construction belongs to this run's counter.
+  const std::uint64_t hp0 = huge::fallback_count();
   return with_store(
       config,
       [&]<typename Store>(std::type_identity<Store>) -> std::unique_ptr<IProfiler> {
@@ -150,7 +164,7 @@ std::unique_ptr<IProfiler> make_serial_profiler(const ProfilerConfig& config) {
         Store w = make_store<Store>(config);
         const std::size_t bytes = r.bytes() + w.bytes();
         return std::make_unique<SerialProfiler<Store>>(
-            std::move(r), std::move(w), bytes, config.batched_detect);
+            std::move(r), std::move(w), bytes, config.batched_detect, hp0);
       });
 }
 

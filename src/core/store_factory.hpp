@@ -11,6 +11,7 @@
 #include "core/profiler.hpp"
 #include "sig/access_store.hpp"
 #include "sig/hash_table_recorder.hpp"
+#include "sig/packed_shadow_store.hpp"
 #include "sig/perfect_signature.hpp"
 #include "sig/shadow_memory.hpp"
 #include "sig/signature.hpp"
@@ -45,7 +46,7 @@ Store make_store(const ProfilerConfig& c) {
 /// Resolves (storage kind, target kind) to a concrete store type and calls
 /// `fn` with a std::type_identity tag for it.  This switch is the single
 /// place the StorageKind enum is branched on; both profiler factories go
-/// through it, which is what makes all four backends available to both the
+/// through it, which is what makes every backend available to both the
 /// serial profiler and the parallel pipeline.
 template <typename Fn>
 auto with_store(const ProfilerConfig& c, Fn&& fn) {
@@ -57,6 +58,8 @@ auto with_store(const ProfilerConfig& c, Fn&& fn) {
         return fn(std::type_identity<ShadowMemory<Slot>>{});
       case StorageKind::kHashTable:
         return fn(std::type_identity<HashTableRecorder<Slot>>{});
+      case StorageKind::kPacked:
+        return fn(std::type_identity<PackedShadowStore<Slot>>{});
       case StorageKind::kSignature:
       default:
         return fn(std::type_identity<Signature<Slot>>{});

@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "common/mem_stats.hpp"
 #include "core/dep.hpp"
 #include "core/profiler.hpp"
 #include "trace/control_flow.hpp"
@@ -29,8 +30,10 @@ struct RunMeasurement {
   ProfilerStats stats;
   std::int64_t peak_component_bytes = 0;  ///< MemStats high-water during the run
   /// Component bytes at end of run (profiler still alive), indexed by
-  /// MemComponent: signatures, queues+chunks, dep-maps, access-stats, other.
-  std::int64_t component_bytes[5] = {};
+  /// MemComponent: signatures, queues+chunks, dep-maps, access-stats,
+  /// other, store-pages.
+  std::int64_t component_bytes[static_cast<unsigned>(MemComponent::kCount)] =
+      {};
   DepMap deps;                   ///< merged dependences of the profiled run
   ControlFlowLog control_flow;
   std::uint64_t native_checksum = 0;

@@ -21,7 +21,7 @@ std::string snapshot_csv(const PipelineSnapshot& snap) {
         "migrations,rounds,kernel_batches,prefetches,events_deduped,"
         "bytes_on_wire,pack_escapes,events_sampled_out,bursts,"
         "sampled_overhead_ppm,races_confirmed,races_unconfirmed,"
-        "races_lock_suppressed\n";
+        "races_lock_suppressed,resident_pages,hugepage_fallbacks\n";
   for (const auto& s : snap.stages) {
     os << s.stage << ',' << s.events << ',' << s.chunks << ',' << s.stalls
        << ',' << s.queue_depth_hwm << ',' << fmt_sec(s.busy_sec()) << ','
@@ -33,7 +33,8 @@ std::string snapshot_csv(const PipelineSnapshot& snap) {
        << ',' << s.pack_escapes << ',' << s.events_sampled_out << ','
        << s.bursts << ',' << s.sampled_overhead_ppm << ','
        << s.races_confirmed << ',' << s.races_unconfirmed << ','
-       << s.races_lock_suppressed << '\n';
+       << s.races_lock_suppressed << ',' << s.resident_pages << ','
+       << s.hugepage_fallbacks << '\n';
   }
   return os.str();
 }
@@ -67,7 +68,9 @@ std::string snapshot_json(const PipelineSnapshot& snap) {
        << ",\"sampled_overhead_ppm\":" << s.sampled_overhead_ppm
        << ",\"races_confirmed\":" << s.races_confirmed
        << ",\"races_unconfirmed\":" << s.races_unconfirmed
-       << ",\"races_lock_suppressed\":" << s.races_lock_suppressed << '}';
+       << ",\"races_lock_suppressed\":" << s.races_lock_suppressed
+       << ",\"resident_pages\":" << s.resident_pages
+       << ",\"hugepage_fallbacks\":" << s.hugepage_fallbacks << '}';
   }
   os << ']';
   return os.str();
@@ -75,21 +78,23 @@ std::string snapshot_json(const PipelineSnapshot& snap) {
 
 std::string snapshot_text(const PipelineSnapshot& snap) {
   std::ostringstream os;
-  char line[320];
+  char line[384];
   std::snprintf(line, sizeof(line),
                 "%-11s %12s %10s %8s %10s %10s %10s %10s %10s %9s %7s %9s %6s "
-                "%6s %6s %8s %10s %10s %12s %8s %10s %7s %8s %7s %7s %7s\n",
+                "%6s %6s %8s %10s %10s %12s %8s %10s %7s %8s %7s %7s %7s %9s "
+                "%9s\n",
                 "stage", "events", "chunks", "stalls", "depth_hwm", "busy_s",
                 "cpu_s", "idle_s", "idlecpu_s", "parked_s", "parks", "block_s",
                 "wakes", "moved", "rounds", "batches", "prefetch", "deduped",
                 "wire_bytes", "escapes", "sampled", "bursts", "ovh_ppm",
-                "races", "unconf", "locksup");
+                "races", "unconf", "locksup", "res_pages", "hp_fallbk");
   os << line;
   for (const auto& s : snap.stages) {
     std::snprintf(line, sizeof(line),
                   "%-11s %12llu %10llu %8llu %10llu %10.4f %10.4f %10.4f "
                   "%10.4f %9.4f %7llu %9.4f %6llu %6llu %6llu %8llu %10llu "
-                  "%10llu %12llu %8llu %10llu %7llu %8llu %7llu %7llu %7llu\n",
+                  "%10llu %12llu %8llu %10llu %7llu %8llu %7llu %7llu %7llu "
+                  "%9llu %9llu\n",
                   s.stage.c_str(), static_cast<unsigned long long>(s.events),
                   static_cast<unsigned long long>(s.chunks),
                   static_cast<unsigned long long>(s.stalls),
@@ -109,7 +114,9 @@ std::string snapshot_text(const PipelineSnapshot& snap) {
                   static_cast<unsigned long long>(s.sampled_overhead_ppm),
                   static_cast<unsigned long long>(s.races_confirmed),
                   static_cast<unsigned long long>(s.races_unconfirmed),
-                  static_cast<unsigned long long>(s.races_lock_suppressed));
+                  static_cast<unsigned long long>(s.races_lock_suppressed),
+                  static_cast<unsigned long long>(s.resident_pages),
+                  static_cast<unsigned long long>(s.hugepage_fallbacks));
     os << line;
   }
   return os.str();

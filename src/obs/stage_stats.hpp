@@ -56,6 +56,8 @@ struct alignas(64) StageStats {
   std::atomic<std::uint64_t> races_confirmed{0};       ///< merged keys with a timestamp reversal (produce, published at finish)
   std::atomic<std::uint64_t> races_unconfirmed{0};     ///< cross-thread candidate keys, no reversal (produce, published at finish)
   std::atomic<std::uint64_t> races_lock_suppressed{0}; ///< candidate keys fully inside lock regions (produce, published at finish)
+  std::atomic<std::uint64_t> resident_pages{0};        ///< paged-store leaf pages resident (detect, published at finish)
+  std::atomic<std::uint64_t> hugepage_fallbacks{0};    ///< huge allocs degraded to operator new (produce, published at finish)
 
   void add_events(std::uint64_t n) { events.fetch_add(n, std::memory_order_relaxed); }
   void add_chunks(std::uint64_t n) { chunks.fetch_add(n, std::memory_order_relaxed); }
@@ -82,6 +84,8 @@ struct alignas(64) StageStats {
   void add_races_confirmed(std::uint64_t n) { races_confirmed.fetch_add(n, std::memory_order_relaxed); }
   void add_races_unconfirmed(std::uint64_t n) { races_unconfirmed.fetch_add(n, std::memory_order_relaxed); }
   void add_races_lock_suppressed(std::uint64_t n) { races_lock_suppressed.fetch_add(n, std::memory_order_relaxed); }
+  void add_resident_pages(std::uint64_t n) { resident_pages.fetch_add(n, std::memory_order_relaxed); }
+  void add_hugepage_fallbacks(std::uint64_t n) { hugepage_fallbacks.fetch_add(n, std::memory_order_relaxed); }
 
   /// Latches the controller's latest overhead estimate, keeping the counter
   /// monotone (obs_test's snapshot-ordering property) by only raising it.
@@ -134,6 +138,8 @@ struct StageSnapshot {
   std::uint64_t races_confirmed = 0;
   std::uint64_t races_unconfirmed = 0;
   std::uint64_t races_lock_suppressed = 0;
+  std::uint64_t resident_pages = 0;
+  std::uint64_t hugepage_fallbacks = 0;
 
   double busy_sec() const { return static_cast<double>(busy_ns) * 1e-9; }
   double cpu_sec() const { return static_cast<double>(cpu_ns) * 1e-9; }
@@ -237,6 +243,9 @@ class PipelineObs {
         s.races_unconfirmed.load(std::memory_order_relaxed);
     out.races_lock_suppressed =
         s.races_lock_suppressed.load(std::memory_order_relaxed);
+    out.resident_pages = s.resident_pages.load(std::memory_order_relaxed);
+    out.hugepage_fallbacks =
+        s.hugepage_fallbacks.load(std::memory_order_relaxed);
     return out;
   }
 

@@ -43,6 +43,12 @@ constexpr std::string_view kVersionLineV5 = "depfuzz-repro v5";
 // could never have been recorded and must not lint clean.  v1-v5 files
 // parse with race mode off.
 constexpr std::string_view kVersionLineV6 = "depfuzz-repro v6";
+// v7 adds the packed paged exact store (`storage=packed`); the name is an
+// unknown storage value below v7 so a repro recorded against the packed
+// backend cannot silently replay as a hash-table one under an old grammar.
+// A v7 file inherits every v5/v6 hard-required key (budget=/burst=/skip=/
+// races=) regardless of whether the run sampled or raced.
+constexpr std::string_view kVersionLineV7 = "depfuzz-repro v7";
 
 /// File-scoped nest state threaded through event parsing.
 struct NestParseState {
@@ -59,11 +65,13 @@ const char* sig_hash_name(SigHash h) {
   return h == SigHash::kModulo ? "modulo" : "mix";
 }
 
-bool parse_storage(std::string_view v, StorageKind& out) {
+bool parse_storage(std::string_view v, int version, StorageKind& out) {
   if (v == "signature") out = StorageKind::kSignature;
   else if (v == "perfect") out = StorageKind::kPerfect;
   else if (v == "shadow") out = StorageKind::kShadow;
   else if (v == "hashtable") out = StorageKind::kHashTable;
+  // v7-only backend; an unknown storage value below v7.
+  else if (v == "packed" && version >= 7) out = StorageKind::kPacked;
   else return false;
   return true;
 }
@@ -176,7 +184,7 @@ bool parse_config_line(const std::vector<std::string_view>& toks, int version,
     if (!note_key(keys, key, err)) return false;
     std::uint64_t u = 0;
     bool ok;
-    if (key == "storage") ok = parse_storage(value, cfg.storage);
+    if (key == "storage") ok = parse_storage(value, version, cfg.storage);
     else if (key == "slots") ok = parse_u64(value, u), cfg.slots = u;
     else if (key == "sighash") ok = parse_sig_hash(value, cfg.sig_hash);
     else if (key == "mt") ok = parse_bool(value, cfg.mt_targets);
@@ -411,16 +419,18 @@ bool parse_event_line(const std::vector<std::string_view>& toks,
 std::string format_repro(const ReproCase& repro) {
   std::ostringstream os;
   const ProfilerConfig& c = repro.cfg;
-  // Lowest version whose grammar covers the case: race mode forces v6,
-  // sampling axes force v5 (their keys are unknown below those versions),
-  // a schedule section forces v4, and everything else keeps writing v3 so
-  // race-, schedule- and sampling-free corpus files stay byte-stable
-  // across profiler growth.
+  // Lowest version whose grammar covers the case: the packed backend forces
+  // v7, race mode forces v6, sampling axes force v5 (their keys/values are
+  // unknown below those versions), a schedule section forces v4, and
+  // everything else keeps writing v3 so packed-, race-, schedule- and
+  // sampling-free corpus files stay byte-stable across profiler growth.
   const ProfilerConfig defaults;
   const bool sampled = c.budget != defaults.budget ||
                        c.sampling_burst != defaults.sampling_burst ||
                        c.sampling_skip != defaults.sampling_skip;
-  os << (c.races    ? kVersionLineV6
+  const bool packed = c.storage == StorageKind::kPacked;
+  os << (packed     ? kVersionLineV7
+         : c.races  ? kVersionLineV6
          : sampled  ? kVersionLineV5
          : repro.sched ? kVersionLineV4
                        : kVersionLineV3)
@@ -435,12 +445,13 @@ std::string format_repro(const ReproCase& repro) {
      << " modulo_routing=" << (c.modulo_routing ? 1 : 0)
      << " batch=" << (c.batched_detect ? 1 : 0)
      << " dedup=" << (c.dedup ? 1 : 0) << " pack=" << (c.pack ? 1 : 0);
-  // A v6 file inherits v5's hard-required sampling keys, so race-mode
-  // repros carry them even when unsampled.
-  if (sampled || c.races)
+  // A v6 file inherits v5's hard-required sampling keys (so race-mode
+  // repros carry them even when unsampled), and a v7 file inherits both
+  // sets — packed repros always spell out their sampling and race axes.
+  if (sampled || c.races || packed)
     os << " budget=" << c.budget << " burst=" << c.sampling_burst
        << " skip=" << c.sampling_skip;
-  if (c.races) os << " races=1";
+  if (c.races || packed) os << " races=" << (c.races ? 1 : 0);
   os << '\n';
   const LoadBalanceConfig& lb = c.load_balance;
   os << "lb enabled=" << (lb.enabled ? 1 : 0)
@@ -533,11 +544,13 @@ bool parse_repro(ReproCase& out, std::string_view text, std::string* error) {
         version = 5;
       } else if (line == kVersionLineV6) {
         version = 6;
+      } else if (line == kVersionLineV7) {
+        version = 7;
       } else {
         return set_error(error, line_no,
                          "expected version line '" +
                              std::string(kVersionLineV1) + "' .. '" +
-                             std::string(kVersionLineV6) + "'");
+                             std::string(kVersionLineV7) + "'");
       }
       // v1-v4 predate the sampling axes: replay with sampling off, the
       // semantics those repros were recorded under.

@@ -143,6 +143,13 @@ ProfilerConfig shrink_config(const Trace& trace, ProfilerConfig cfg,
   // repro should say so.
   if (cfg.dedup) try_apply([](ProfilerConfig& c) { c.dedup = false; });
   if (cfg.pack) try_apply([](ProfilerConfig& c) { c.pack = false; });
+  // Backend-simplification rung: the packed paged store and the plain
+  // perfect hash map implement the same exact-store contract, so a failure
+  // that survives on kPerfect was not about the paged layout — and the
+  // perfect map is the simpler diagnosis target (no page table, no token
+  // intern, no sidecar).
+  if (cfg.storage == StorageKind::kPacked)
+    try_apply([](ProfilerConfig& c) { c.storage = StorageKind::kPerfect; });
   // Sampling-off rung: a failure that survives with the burst gate removed
   // did not need sampling, and the repro then judges the profilers against
   // the plain full-trace oracle — the simpler diagnosis target.

@@ -33,10 +33,21 @@ class ShadowMemory {
 
   ShadowMemory() = default;
 
+  /// A/B toggle for the walk assist below (bench/ablation_storage measures
+  /// the delta).  Process-wide and read-only on the hot path; defaults on.
+  static void set_walk_assist(bool on) { walk_assist_flag() = on; }
+  static bool walk_assist() { return walk_assist_flag(); }
+
   const Slot* find(std::uint64_t addr) const {
     const Page* page = find_page(addr);
     if (page == nullptr) return nullptr;
-    const Slot& s = page->slots[offset(addr)];
+    const std::size_t off = offset(addr);
+    // Issue the slot's lines the moment the walk resolves, before the
+    // empty()/caller loads reach them: a 40/56-byte slot regularly straddles
+    // two lines and the second line's miss is otherwise exposed on the
+    // caller's compare (and on the insert that usually follows).
+    if (walk_assist()) prefetch_obj_rw(&page->slots[off], sizeof(Slot));
+    const Slot& s = page->slots[off];
     return s.empty() ? nullptr : &s;
   }
 
@@ -76,6 +87,8 @@ class ShadowMemory {
   void clear() {
     pages_.clear();
     resident_ = 0;
+    last_page_id_ = kNoPage;
+    last_page_ = nullptr;
   }
 
   std::size_t page_count() const { return pages_.size(); }
@@ -95,22 +108,45 @@ class ShadowMemory {
     return static_cast<std::size_t>(addr & (kPageSlots - 1));
   }
 
+  // The two-level walk's fast path: consecutive accesses overwhelmingly hit
+  // the same second-level page (a page covers 64K words), so a one-entry
+  // page cache short-circuits the unordered_map probe — the pointer chase
+  // that dominates the walk.  Pages are never freed individually (remove()
+  // only empties slots), so the cached pointer stays valid until clear().
   const Page* find_page(std::uint64_t addr) const {
-    auto it = pages_.find(page_id(addr));
-    return it == pages_.end() ? nullptr : it->second.get();
+    const std::uint64_t id = page_id(addr);
+    if (walk_assist() && id == last_page_id_) return last_page_;
+    auto it = pages_.find(id);
+    if (it == pages_.end()) return nullptr;
+    last_page_id_ = id;
+    last_page_ = it->second.get();
+    return last_page_;
   }
   Page* find_page_mut(std::uint64_t addr) {
-    auto it = pages_.find(page_id(addr));
-    return it == pages_.end() ? nullptr : it->second.get();
+    return const_cast<Page*>(find_page(addr));
   }
   Page& touch_page(std::uint64_t addr) {
-    auto& p = pages_[page_id(addr)];
+    const std::uint64_t id = page_id(addr);
+    if (walk_assist() && id == last_page_id_)
+      return *const_cast<Page*>(last_page_);
+    auto& p = pages_[id];
     if (!p) p = std::make_unique<Page>();
+    last_page_id_ = id;
+    last_page_ = p.get();
     return *p;
   }
 
+  static bool& walk_assist_flag() {
+    static bool on = true;
+    return on;
+  }
+
+  static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
+
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
   std::size_t resident_ = 0;
+  mutable std::uint64_t last_page_id_ = kNoPage;
+  mutable const Page* last_page_ = nullptr;
 };
 
 static_assert(AccessStore<ShadowMemory<SeqSlot>>);

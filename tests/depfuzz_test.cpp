@@ -228,7 +228,7 @@ TEST(Harness, ExactCasesHoldAcrossBackends) {
   const Trace t = gen_churn(p, 0.2);
   for (const StorageKind storage :
        {StorageKind::kPerfect, StorageKind::kShadow, StorageKind::kHashTable,
-        StorageKind::kSignature}) {
+        StorageKind::kPacked, StorageKind::kSignature}) {
     ProfilerConfig cfg;
     cfg.storage = storage;
     cfg.workers = 3;
@@ -337,7 +337,7 @@ TEST(Harness, SampledCasesHoldAcrossBackends) {
   const Trace t = gen_loop(p, 32, true);
   for (const StorageKind storage :
        {StorageKind::kPerfect, StorageKind::kShadow, StorageKind::kHashTable,
-        StorageKind::kSignature}) {
+        StorageKind::kPacked, StorageKind::kSignature}) {
     ProfilerConfig cfg;
     cfg.storage = storage;
     cfg.workers = 3;
@@ -832,6 +832,54 @@ TEST(Corpus, RaceModeRoundTripsAtV6) {
   EXPECT_TRUE(back.cfg.races);
   EXPECT_TRUE(back.cfg.mt_targets);
   EXPECT_DOUBLE_EQ(back.cfg.budget, 1.0);
+  ASSERT_EQ(back.trace.size(), r.trace.size());
+}
+
+TEST(Corpus, V7PackedStorageVersionGated) {
+  ReproCase out;
+  std::string error;
+  // Below v7 "packed" is an unknown storage value: a repro recorded against
+  // the packed backend must not silently replay as some other backend under
+  // an old grammar.
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v6\nconfig storage=packed dedup=0 "
+                           "pack=0 budget=1 burst=8 skip=0 races=0\n",
+                           &error));
+  EXPECT_NE(error.find("storage=packed"), std::string::npos);
+  // v7 accepts it and inherits every v5/v6 hard-required key.
+  EXPECT_FALSE(parse_repro(
+      out, "depfuzz-repro v7\nconfig storage=packed dedup=0 pack=0\n",
+      &error));
+  EXPECT_NE(error.find("budget"), std::string::npos);
+  EXPECT_FALSE(parse_repro(out,
+                           "depfuzz-repro v7\nconfig storage=packed dedup=0 "
+                           "pack=0 budget=1 burst=8 skip=0\n",
+                           &error));
+  EXPECT_NE(error.find("races"), std::string::npos);
+  ASSERT_TRUE(parse_repro(out,
+                          "depfuzz-repro v7\nconfig storage=packed dedup=0 "
+                          "pack=0 budget=1 burst=8 skip=0 races=0\n",
+                          &error))
+      << error;
+  EXPECT_EQ(out.cfg.storage, StorageKind::kPacked);
+}
+
+TEST(Corpus, PackedStorageRoundTripsAtV7) {
+  ReproCase r = sample_repro();
+  r.cfg.storage = StorageKind::kPacked;
+  const std::string text = format_repro(r);
+  EXPECT_NE(text.find("depfuzz-repro v7"), std::string::npos);
+  EXPECT_NE(text.find("storage=packed"), std::string::npos);
+  // v7 spells out the sampling and race axes even when the run neither
+  // sampled nor raced (sample_repro samples; races stays 0 here).
+  EXPECT_NE(text.find("budget="), std::string::npos);
+  EXPECT_NE(text.find("races=0"), std::string::npos);
+  ReproCase back;
+  std::string error;
+  ASSERT_TRUE(parse_repro(back, text, &error)) << error;
+  EXPECT_EQ(back.cfg.storage, StorageKind::kPacked);
+  EXPECT_FALSE(back.cfg.races);
+  EXPECT_DOUBLE_EQ(back.cfg.budget, r.cfg.budget);
   ASSERT_EQ(back.trace.size(), r.trace.size());
 }
 

@@ -35,7 +35,10 @@ bool stage_ge(const obs::StageSnapshot& later, const obs::StageSnapshot& earlier
          later.idle_cpu_ns >= earlier.idle_cpu_ns &&
          later.parked_ns >= earlier.parked_ns && later.parks >= earlier.parks &&
          later.block_ns >= earlier.block_ns && later.wakes >= earlier.wakes &&
-         later.migrations >= earlier.migrations && later.rounds >= earlier.rounds;
+         later.migrations >= earlier.migrations &&
+         later.rounds >= earlier.rounds &&
+         later.resident_pages >= earlier.resident_pages &&
+         later.hugepage_fallbacks >= earlier.hugepage_fallbacks;
 }
 
 bool snapshot_ge(const obs::PipelineSnapshot& later,
@@ -64,6 +67,8 @@ TEST(StageStats, CountersAccumulate) {
   s.add_wakes(0);  // no-waiter fast path adds nothing
   s.add_migrations(5);
   s.add_rounds(1);
+  s.add_resident_pages(6);
+  s.add_hugepage_fallbacks(4);
   EXPECT_EQ(s.events.load(), 7u);
   EXPECT_EQ(s.chunks.load(), 2u);
   EXPECT_EQ(s.stalls.load(), 1u);
@@ -77,6 +82,8 @@ TEST(StageStats, CountersAccumulate) {
   EXPECT_EQ(s.wakes.load(), 3u);
   EXPECT_EQ(s.migrations.load(), 5u);
   EXPECT_EQ(s.rounds.load(), 1u);
+  EXPECT_EQ(s.resident_pages.load(), 6u);
+  EXPECT_EQ(s.hugepage_fallbacks.load(), 4u);
 }
 
 TEST(StageStats, QueueDepthIsHighWaterMark) {
@@ -220,6 +227,10 @@ TEST(Report, RenderersCoverEveryStage) {
   EXPECT_NE(json.find("\"block_sec\""), std::string::npos);
   EXPECT_NE(json.find("\"wakes\""), std::string::npos);
   EXPECT_NE(csv.find("parked_sec"), std::string::npos);
+  // Store-residency fields likewise.
+  EXPECT_NE(json.find("\"resident_pages\""), std::string::npos);
+  EXPECT_NE(json.find("\"hugepage_fallbacks\""), std::string::npos);
+  EXPECT_NE(csv.find("resident_pages"), std::string::npos);
 
   const std::string text = obs::snapshot_text(snap);
   EXPECT_NE(text.find("produce"), std::string::npos);

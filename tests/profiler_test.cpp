@@ -86,7 +86,8 @@ TEST(SerialProfiler, AllStorageBackendsRun) {
   p.distinct = 500;
   const Trace t = gen_uniform(p);
   for (StorageKind s : {StorageKind::kSignature, StorageKind::kPerfect,
-                        StorageKind::kShadow, StorageKind::kHashTable}) {
+                        StorageKind::kShadow, StorageKind::kHashTable,
+                        StorageKind::kPacked}) {
     ProfilerConfig cfg;
     cfg.storage = s;
     cfg.slots = 1u << 16;
@@ -110,8 +111,11 @@ TEST(SerialProfiler, ExactBackendsAgree) {
   const DepMap shadow = run_serial(t, cfg);
   cfg.storage = StorageKind::kHashTable;
   const DepMap table = run_serial(t, cfg);
+  cfg.storage = StorageKind::kPacked;
+  const DepMap packed = run_serial(t, cfg);
   EXPECT_TRUE(same_deps(perfect, shadow));
   EXPECT_TRUE(same_deps(perfect, table));
+  EXPECT_TRUE(same_deps(perfect, packed));
 }
 
 TEST(SerialProfiler, LargeSignatureMatchesPerfectOnSmallTrace) {
@@ -469,7 +473,10 @@ INSTANTIATE_TEST_SUITE_P(
         BackendQueueCase{StorageKind::kShadow, QueueKind::kMutex},
         BackendQueueCase{StorageKind::kHashTable, QueueKind::kLockFreeSpsc},
         BackendQueueCase{StorageKind::kHashTable, QueueKind::kLockFreeMpmc},
-        BackendQueueCase{StorageKind::kHashTable, QueueKind::kMutex}));
+        BackendQueueCase{StorageKind::kHashTable, QueueKind::kMutex},
+        BackendQueueCase{StorageKind::kPacked, QueueKind::kLockFreeSpsc},
+        BackendQueueCase{StorageKind::kPacked, QueueKind::kLockFreeMpmc},
+        BackendQueueCase{StorageKind::kPacked, QueueKind::kMutex}));
 
 // ----------------- sampling axis (ISSUE 8): off / 100% / 50% / 10% duty
 
@@ -527,7 +534,8 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, SamplingEquivalence,
                          ::testing::Values(StorageKind::kSignature,
                                            StorageKind::kPerfect,
                                            StorageKind::kShadow,
-                                           StorageKind::kHashTable));
+                                           StorageKind::kHashTable,
+                                           StorageKind::kPacked));
 
 }  // namespace
 }  // namespace depprof

@@ -7,9 +7,12 @@
 #include <cmath>
 #include <set>
 
+#include "common/huge_alloc.hpp"
+#include "common/mem_stats.hpp"
 #include "common/rng.hpp"
 #include "sig/fpr_model.hpp"
 #include "sig/hash_table_recorder.hpp"
+#include "sig/packed_shadow_store.hpp"
 #include "sig/perfect_signature.hpp"
 #include "sig/shadow_memory.hpp"
 #include "sig/signature.hpp"
@@ -207,6 +210,232 @@ TEST(ShadowMemory, RemoveAndExtract) {
   ASSERT_TRUE(st.has_value());
   EXPECT_EQ(shadow.find(100), nullptr);
   shadow.remove(12345);  // removing absent address is a no-op
+}
+
+// -------------------------------------------------------- PackedShadowStore
+
+using PackedSeq = PackedShadowStore<SeqSlot>;
+using PackedMt = PackedShadowStore<MtSlot>;
+
+TEST(PackedShadowStore, PackUnpackRoundTripsAtFieldBoundaries) {
+  // All-ones loc must not bleed into the token half and vice versa.
+  constexpr std::uint32_t kMaxLoc = 0xFFFFFFFFu;
+  constexpr std::uint32_t kMaxToken = 0xFFFFFFFFu;
+  static_assert(PackedSeq::word_loc(PackedSeq::pack_word(kMaxLoc, 0)) ==
+                kMaxLoc);
+  static_assert(PackedSeq::word_token(PackedSeq::pack_word(kMaxLoc, 0)) == 0u);
+  static_assert(PackedSeq::word_loc(PackedSeq::pack_word(0, kMaxToken)) == 0u);
+  static_assert(PackedSeq::word_token(PackedSeq::pack_word(0, kMaxToken)) ==
+                kMaxToken);
+  static_assert(PackedSeq::word_loc(PackedSeq::pack_word(kMaxLoc, kMaxToken)) ==
+                kMaxLoc);
+  static_assert(
+      PackedSeq::word_token(PackedSeq::pack_word(kMaxLoc, kMaxToken)) ==
+      kMaxToken);
+  // The zero word doubles as the empty sentinel.
+  static_assert(PackedSeq::pack_word(0, 0) == 0u);
+  // Alternating bit patterns survive both directions (no sign extension).
+  constexpr std::uint64_t w = PackedSeq::pack_word(0xAAAAAAAAu, 0x55555555u);
+  static_assert(PackedSeq::word_loc(w) == 0xAAAAAAAAu);
+  static_assert(PackedSeq::word_token(w) == 0x55555555u);
+  SUCCEED();
+}
+
+TEST(PackedShadowStore, InsertFindRemove) {
+  PackedSeq store;
+  EXPECT_EQ(store.find(42), nullptr);
+  store.insert(42, slot_at(10));
+  ASSERT_NE(store.find(42), nullptr);
+  EXPECT_EQ(store.find(42)->location().line(), 10u);
+  EXPECT_EQ(store.find(42)->tag, addr_tag(42));  // recomputed, not stored
+  EXPECT_EQ(store.occupied(), 1u);
+  EXPECT_EQ(store.page_count(), 1u);
+  store.remove(42);
+  EXPECT_EQ(store.find(42), nullptr);
+  EXPECT_EQ(store.occupied(), 0u);
+  store.remove(12345);  // removing an absent address is a no-op
+}
+
+TEST(PackedShadowStore, MaxLocRoundTripsThroughPage) {
+  // The largest packed SourceLocation occupies every loc bit; it must come
+  // back intact (and must not read as a token).
+  PackedSeq store;
+  SeqSlot s;
+  s.loc = 0xFFFFFFFFu;
+  s.ctx = 7;
+  s.iters[0] = 3;
+  store.insert(99, s);
+  const SeqSlot* got = store.find(99);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->loc, 0xFFFFFFFFu);
+  EXPECT_EQ(got->ctx, 7u);
+  EXPECT_EQ(got->iters[0], 3u);
+}
+
+TEST(PackedShadowStore, OverwriteReplacesSnapshotWithoutLeakingTokens) {
+  PackedSeq store;
+  SeqSlot s = slot_at(10);
+  s.iters[0] = 1;
+  store.insert(42, s);
+  s = slot_at(20);
+  s.iters[0] = 2;
+  store.insert(42, s);
+  EXPECT_EQ(store.occupied(), 1u);
+  EXPECT_EQ(store.find(42)->location().line(), 20u);
+  EXPECT_EQ(store.find(42)->iters[0], 2u);
+  // Only the live snapshot remains interned after the overwrite.
+  EXPECT_EQ(store.interned_snapshots(), 1u);
+}
+
+TEST(PackedShadowStore, InsertingEmptySlotReadsAsAbsent) {
+  // Shadow semantics: writing an empty slot is a removal, so a store that
+  // round-trips through extract/adopt behaves identically to ShadowMemory.
+  PackedSeq store;
+  store.insert(42, slot_at(10));
+  store.insert(42, SeqSlot{});
+  EXPECT_EQ(store.find(42), nullptr);
+  EXPECT_EQ(store.occupied(), 0u);
+  EXPECT_EQ(store.interned_snapshots(), 0u);
+}
+
+TEST(PackedShadowStore, TokenRecyclingBoundsTheInternTable) {
+  // The wrap guard in practice: overwrite churn with ever-fresh snapshots
+  // must recycle ids through the free list, not mint unboundedly toward the
+  // 2^31 aliasing cliff.  Acquire-before-release means at most two ids are
+  // live during one overwrite.
+  PackedSeq store;
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    SeqSlot s = slot_at(5);
+    s.iters[0] = i;  // every insert carries a brand-new snapshot
+    store.insert(7, s);
+  }
+  EXPECT_EQ(store.interned_snapshots(), 1u);
+  EXPECT_LE(store.snapshot_high_water(), 2u);
+  // Insert/remove churn never overlaps two snapshots at all.
+  PackedSeq churn;
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    SeqSlot s = slot_at(5);
+    s.iters[0] = i;
+    churn.insert(7, s);
+    churn.remove(7);
+  }
+  EXPECT_EQ(churn.interned_snapshots(), 0u);
+  EXPECT_EQ(churn.snapshot_high_water(), 1u);
+}
+
+TEST(PackedShadowStore, MtSidecarKeepsFlagBitsAndFullTimestamp) {
+  // All-ones flags and a max timestamp must survive the sidecar round trip
+  // without aliasing into each other, the tid, or the packed word — the
+  // race check compares full 64-bit timestamps.
+  PackedMt store;
+  MtSlot s;
+  s.loc = 0xFFFFFFFFu;
+  s.ctx = 3;
+  s.iters[0] = 9;
+  s.tid = 0xFFFFFFFFu;
+  s.flags = 0xFFFFFFFFu;
+  s.ts = ~std::uint64_t{0};
+  store.insert(1234, s);
+  const MtSlot* got = store.find(1234);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->loc, 0xFFFFFFFFu);
+  EXPECT_EQ(got->tid, 0xFFFFFFFFu);
+  EXPECT_EQ(got->flags, 0xFFFFFFFFu);
+  EXPECT_EQ(got->ts, ~std::uint64_t{0});
+  EXPECT_EQ(got->iters[0], 9u);
+  // A sibling word on the same page stays independent.
+  MtSlot other;
+  other.loc = 1;
+  store.insert(1235, other);
+  EXPECT_EQ(store.find(1234)->ts, ~std::uint64_t{0});
+  EXPECT_EQ(store.find(1235)->ts, 0u);
+}
+
+TEST(PackedShadowStore, ExtractMovesState) {
+  PackedSeq store;
+  store.insert(7, slot_at(33));
+  auto st = store.extract(7);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->location().line(), 33u);
+  EXPECT_EQ(store.find(7), nullptr);
+  EXPECT_FALSE(store.extract(7).has_value());
+  EXPECT_EQ(store.interned_snapshots(), 0u);
+}
+
+TEST(PackedShadowStore, PagesAllocatedOnTouchOnly) {
+  PackedSeq store;
+  store.insert(0, slot_at(1));
+  store.insert(PackedSeq::kPageWords + 5, slot_at(2));   // second leaf page
+  store.insert((std::uint64_t{1} << 40) + 9, slot_at(3));  // far directory
+  EXPECT_EQ(store.page_count(), 3u);
+  ASSERT_NE(store.find((std::uint64_t{1} << 40) + 9), nullptr);
+  EXPECT_EQ(store.find((std::uint64_t{1} << 40) + 8), nullptr);
+}
+
+TEST(PackedShadowStore, TeardownReleasesEveryByte) {
+  // Page-table teardown must return every charged byte: clear() keeps only
+  // the (re-zeroed) root directory, destruction releases that too.
+  const std::int64_t base = MemStats::instance().bytes(MemComponent::kStore);
+  std::int64_t after_clear = 0;
+  {
+    PackedSeq store;
+    const std::int64_t rooted =
+        MemStats::instance().bytes(MemComponent::kStore);
+    EXPECT_GT(rooted, base);  // eager root directory
+    for (std::uint64_t i = 0; i < 8; ++i)
+      store.insert(i * PackedSeq::kPageWords, slot_at(1));
+    EXPECT_EQ(store.page_count(), 8u);
+    EXPECT_GT(MemStats::instance().bytes(MemComponent::kStore), rooted);
+    store.clear();
+    after_clear = MemStats::instance().bytes(MemComponent::kStore);
+    EXPECT_EQ(after_clear, rooted);  // pages and directories all released
+    EXPECT_EQ(store.page_count(), 0u);
+    EXPECT_EQ(store.occupied(), 0u);
+    // The store stays usable after a reset (burst-mark semantics).
+    store.insert(42, slot_at(10));
+    ASSERT_NE(store.find(42), nullptr);
+  }
+  EXPECT_EQ(MemStats::instance().bytes(MemComponent::kStore), base);
+}
+
+// ---------------------------------------------------------------- huge_alloc
+
+TEST(HugeAlloc, ForcedFallbackCountsAndStaysUsable) {
+  // When mmap/MADV_HUGEPAGE is unavailable the allocator must degrade to
+  // operator new, count the degradation, zero the block (matching kernel
+  // zero-fill semantics the packed store's empty sentinel relies on), and
+  // free it through the right deallocator.
+  const std::uint64_t before = huge::fallback_count();
+  huge::set_force_fallback(true);
+  void* p = huge::alloc(huge::kHugeThreshold);
+  huge::set_force_fallback(false);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(huge::fallback_count(), before + 1);
+  const auto* bytes = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < huge::kHugeThreshold; i += 4096)
+    ASSERT_EQ(bytes[i], 0u) << "fallback block not zeroed at offset " << i;
+  huge::free(p, huge::kHugeThreshold);  // must route to the fallback path
+  // Sub-threshold blocks never touch mmap and never count as fallbacks.
+  const std::uint64_t small_before = huge::fallback_count();
+  void* q = huge::alloc_zeroed(4096);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(huge::fallback_count(), small_before);
+  huge::free(q, 4096);
+}
+
+TEST(HugeAlloc, PackedStoreSurvivesForcedFallback) {
+  // The packed store's leaf pages are exactly one huge block each; with the
+  // fast path gone it must still behave identically.
+  huge::set_force_fallback(true);
+  {
+    PackedSeq store;
+    store.insert(5, slot_at(11));
+    store.insert(PackedSeq::kPageWords + 6, slot_at(12));
+    ASSERT_NE(store.find(5), nullptr);
+    EXPECT_EQ(store.find(5)->location().line(), 11u);
+    EXPECT_EQ(store.page_count(), 2u);
+  }
+  huge::set_force_fallback(false);
 }
 
 // ------------------------------------------------------ HashTableRecorder

@@ -128,8 +128,8 @@ TEST(TaskGraphRaces, SerialAndParallelReportsIdenticalAcrossBackendsAndQueues) {
   const Workload* w = find_workload("taskgraph-racy");
   ASSERT_NE(w, nullptr);
 
-  // One MT-recorded trace feeds every profiler, so the 12-case matrix
-  // compares identical inputs: 4 store backends x 3 queue kinds, each
+  // One MT-recorded trace feeds every profiler, so the 15-case matrix
+  // compares identical inputs: 5 store backends x 3 queue kinds, each
   // parallel report against the same-backend serial reference.
   RunOptions ropts;
   ropts.target_threads = 2;
@@ -137,7 +137,8 @@ TEST(TaskGraphRaces, SerialAndParallelReportsIdenticalAcrossBackendsAndQueues) {
   ASSERT_GT(trace.size(), 0u);
 
   const StorageKind backends[] = {StorageKind::kSignature, StorageKind::kPerfect,
-                                  StorageKind::kShadow, StorageKind::kHashTable};
+                                  StorageKind::kShadow, StorageKind::kHashTable,
+                                  StorageKind::kPacked};
   const QueueKind queues[] = {QueueKind::kLockFreeSpsc, QueueKind::kLockFreeMpmc,
                               QueueKind::kMutex};
   for (StorageKind backend : backends) {

@@ -8,7 +8,7 @@
 // mismatch the ddmin shrinker minimizes the (trace, config) pair and, with
 // --corpus, writes a replayable repro for tests/corpus/.
 //
-//   depfuzz --smoke [--corpus DIR]       deterministic PR-gate lattice (~50 cases)
+//   depfuzz --smoke [--corpus DIR]       deterministic PR-gate lattice (~60 cases)
 //   depfuzz --deep [--runs N] [--seconds S] [--seed S] [--corpus DIR]
 //                                        randomized nightly sweep
 //   depfuzz --schedules [--runs N] [--seed S] [--corpus DIR]
@@ -75,6 +75,7 @@ constexpr StoragePoint kStorages[] = {
     {"perfect", StorageKind::kPerfect, 1u << 18, SigHash::kModulo},
     {"shadow", StorageKind::kShadow, 1u << 18, SigHash::kModulo},
     {"hashtable", StorageKind::kHashTable, 1u << 18, SigHash::kModulo},
+    {"packed", StorageKind::kPacked, 1u << 18, SigHash::kModulo},
 };
 constexpr QueueKind kQueues[] = {QueueKind::kLockFreeSpsc,
                                  QueueKind::kLockFreeMpmc, QueueKind::kMutex};

@@ -14,7 +14,10 @@
 //                        / serial), text by default
 //
 // Options:
-//   --storage signature|perfect|shadow|hashtable   (default signature)
+//   --storage signature|perfect|shadow|hashtable|packed
+//                        (default signature; packed = SLAMP-style paged
+//                        shadow memory with packed 64-bit words — exact,
+//                        memory proportional to touched pages)
 //   --slots N            signature slots per signature   (default 1M)
 //   --parallel           use the Fig. 2 pipeline
 //   --workers N          pipeline workers                 (default 8)
@@ -125,6 +128,8 @@ bool parse(int argc, char** argv, int start, CliOptions& out) {
         out.cfg.storage = StorageKind::kShadow;
       else if (std::strcmp(v, "hashtable") == 0)
         out.cfg.storage = StorageKind::kHashTable;
+      else if (std::strcmp(v, "packed") == 0)
+        out.cfg.storage = StorageKind::kPacked;
       else
         return false;
     } else if (arg == "--slots") {
